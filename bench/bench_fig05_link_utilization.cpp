@@ -1,0 +1,56 @@
+// Figure 5: "IXP-CE: ECDF of link utilization before and during the
+// lockdown" -- per-member minimum/average/maximum per-minute port
+// utilization for a base-week workday vs a stage-2 workday.
+#include "analysis/link_utilization.hpp"
+#include "bench_common.hpp"
+
+namespace lockdown::bench {
+namespace {
+
+using net::Date;
+
+void print_reproduction() {
+  std::cout << "=== Figure 5: IXP-CE member port utilization ECDFs ===\n\n";
+
+  const auto tl = synth::EpidemicTimeline::for_region(synth::Region::kCentralEurope);
+  const synth::IxpMemberModel model({.seed = 7, .members = 900}, tl);
+
+  const auto base = analysis::LinkUtilizationAnalyzer::analyze(
+      model.simulate_day(Date(2020, 2, 19)));
+  const auto stage2 = analysis::LinkUtilizationAnalyzer::analyze(
+      model.simulate_day(Date(2020, 4, 22)));
+
+  util::Table table({"utilization", "base min", "base avg", "base max",
+                     "stage2 min", "stage2 avg", "stage2 max"});
+  for (const double x : analysis::LinkUtilizationAnalyzer::utilization_grid()) {
+    table.add_row({fmt(100 * x, 0) + "%", fmt(base.min_util.at(x)),
+                   fmt(base.avg_util.at(x)), fmt(base.max_util.at(x)),
+                   fmt(stage2.min_util.at(x)), fmt(stage2.avg_util.at(x)),
+                   fmt(stage2.max_util.at(x))});
+  }
+  std::cout << table << "\n";
+
+  const auto shift = analysis::LinkUtilizationAnalyzer::median_shift(base, stage2);
+  std::cout << "Median utilization shift (stage2 - base): min "
+            << pct(100 * shift.min_shift) << ", avg " << pct(100 * shift.avg_shift)
+            << ", max " << pct(100 * shift.max_shift) << "\n";
+  std::cout << "(paper: all curves shift to the right during the lockdown)\n";
+  std::cout << "Port capacity added by member upgrades: "
+            << fmt(model.upgraded_capacity_gbps(), 0)
+            << " Gbps  (paper: ~1,500 Gbps at the IXP-CE, section 3.1)\n\n";
+}
+
+void BM_Fig5_SimulateDay(benchmark::State& state) {
+  const auto tl = synth::EpidemicTimeline::for_region(synth::Region::kCentralEurope);
+  const synth::IxpMemberModel model(
+      {.seed = 7, .members = static_cast<std::size_t>(state.range(0))}, tl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.simulate_day(Date(2020, 4, 22)));
+  }
+}
+BENCHMARK(BM_Fig5_SimulateDay)->Arg(100)->Arg(900)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace lockdown::bench
+
+LOCKDOWN_BENCH_MAIN(lockdown::bench::print_reproduction)

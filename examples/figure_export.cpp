@@ -1,0 +1,120 @@
+// figure_export: writes the datasets behind the paper's headline figures
+// as CSV files, ready for any plotting stack (gnuplot, matplotlib, R).
+// This is the hand-off point between the C++ pipeline and figure rendering.
+//
+//   $ ./figure_export [output-dir]
+//
+// Emits:
+//   fig01_<vantage>.csv      weekly normalized series (Fig 1)
+//   fig09_<class>.csv        IXP-CE heatmap base + stage diffs (Fig 9)
+//   fig10_vpn_profiles.csv   VPN port/domain hourly profiles (Fig 10)
+//   isp_hourly.csv           raw hourly ISP series Jan-May (Figs 2/3)
+#include <filesystem>
+#include <iostream>
+
+#include "analysis/export.hpp"
+#include "analysis/volume.hpp"
+#include "analysis/vpn.hpp"
+#include "dns/corpus.hpp"
+#include "dns/vpn_finder.hpp"
+#include "flow/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/vantage.hpp"
+
+using namespace lockdown;
+
+namespace {
+
+void run(const synth::VantagePoint& vp, const synth::AsRegistry& reg,
+         net::TimeRange range, double budget,
+         const std::function<void(const flow::FlowRecord&)>& sink) {
+  const synth::FlowSynthesizer synth(vp.model, reg, {.connections_per_hour = budget});
+  flow::ExportPump pump(vp.protocol, sink);
+  synth.synthesize(range, pump.as_sink());
+  pump.flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out =
+      argc > 1 ? argv[1] : std::filesystem::path("figure-data");
+  std::filesystem::create_directories(out);
+  const auto registry = synth::AsRegistry::create_default();
+  std::size_t files = 0;
+  auto emit = [&](const util::Table& table, const std::string& name) {
+    if (analysis::write_csv(table, (out / name).string())) {
+      std::cout << "  " << name << "  (" << table.rows() << " rows)\n";
+      ++files;
+    }
+  };
+
+  // --- Fig 1 -----------------------------------------------------------------
+  std::cout << "Fig 1 weekly series:\n";
+  const net::TimeRange full{net::Timestamp::from_date(net::Date(2020, 1, 1)),
+                            net::Timestamp::from_date(net::Date(2020, 5, 18))};
+  for (const auto id :
+       {synth::VantagePointId::kIspCe, synth::VantagePointId::kIxpCe,
+        synth::VantagePointId::kIxpSe, synth::VantagePointId::kIxpUs,
+        synth::VantagePointId::kMobileCe, synth::VantagePointId::kIpxCe}) {
+    const auto vp = synth::build_vantage(id, registry,
+                                         {.seed = 42, .enterprise_transit = false});
+    analysis::VolumeAggregator agg(stats::Bucket::kDay);
+    run(vp, registry, full, 150, agg.sink());
+    std::string name = to_string(id);
+    for (char& c : name) c = c == '-' ? '_' : static_cast<char>(std::tolower(c));
+    emit(analysis::weekly_table(analysis::weekly_normalized(agg.series(), 3)),
+         "fig01_" + name + ".csv");
+  }
+
+  // --- raw hourly ISP series (input to Figs 2 and 3) ---------------------------
+  {
+    const auto isp = synth::build_vantage(synth::VantagePointId::kIspCe, registry,
+                                          {.seed = 42, .enterprise_transit = false});
+    analysis::VolumeAggregator agg(stats::Bucket::kHour);
+    run(isp, registry, full, 150, agg.sink());
+    emit(analysis::timeseries_table(agg.series(), "bytes"), "isp_hourly.csv");
+  }
+
+  // --- Fig 9 heatmaps (IXP-CE) --------------------------------------------------
+  std::cout << "Fig 9 heatmaps (IXP-CE):\n";
+  {
+    const auto ixp = synth::build_vantage(synth::VantagePointId::kIxpCe, registry,
+                                          {.seed = 42});
+    const analysis::AsView view(registry.trie());
+    const auto classifier = analysis::AppClassifier::table1();
+    const std::vector<net::TimeRange> weeks = {
+        net::TimeRange::week_of(net::Date(2020, 2, 20)),
+        net::TimeRange::week_of(net::Date(2020, 3, 12)),
+        net::TimeRange::week_of(net::Date(2020, 4, 23))};
+    analysis::ClassHeatmap heatmap(classifier, view, weeks);
+    for (const auto& w : weeks) run(ixp, registry, w, 400, heatmap.sink());
+    for (const auto cls : heatmap.observed_classes()) {
+      std::string name = synth::to_string(cls);
+      for (char& c : name) c = (c == ' ' || c == '.') ? '_' : static_cast<char>(std::tolower(c));
+      emit(analysis::heatmap_table(heatmap, cls, 2), "fig09_" + name + ".csv");
+    }
+  }
+
+  // --- Fig 10 VPN profiles -------------------------------------------------------
+  std::cout << "Fig 10 VPN profiles:\n";
+  {
+    const auto corpus = dns::generate_corpus({.seed = 5, .organizations = 2000});
+    const auto psl = dns::PublicSuffixList::builtin();
+    const auto funnel = dns::VpnCandidateFinder(psl).find(corpus.domains, corpus.dns);
+    synth::ScenarioConfig cfg{.seed = 42};
+    cfg.vpn_tls_server_ips.assign(funnel.candidate_ips.begin(),
+                                  funnel.candidate_ips.end());
+    const auto ixp = synth::build_vantage(synth::VantagePointId::kIxpCe, registry, cfg);
+    const std::vector<net::TimeRange> weeks = {
+        net::TimeRange::week_of(net::Date(2020, 2, 20)),
+        net::TimeRange::week_of(net::Date(2020, 3, 19)),
+        net::TimeRange::week_of(net::Date(2020, 4, 23))};
+    analysis::VpnAnalyzer vpn(weeks, funnel.candidate_ips);
+    for (const auto& w : weeks) run(ixp, registry, w, 500, vpn.sink());
+    emit(analysis::vpn_profile_table(vpn.profiles()), "fig10_vpn_profiles.csv");
+  }
+
+  std::cout << "\nwrote " << files << " CSV files to " << out << "\n";
+  return 0;
+}

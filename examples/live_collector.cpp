@@ -1,0 +1,117 @@
+// live_collector: the deployment shape of this library -- an IPFIX
+// exporter streaming over real UDP sockets into a rotating collector
+// daemon that anonymizes on arrival and spools 15-minute trace slices to
+// disk, followed by an analysis pass over the spooled slices.
+//
+// Everything runs in one process over the loopback interface so the
+// example is self-contained, but the three roles (exporter, collector,
+// analyst) only communicate through datagrams and trace files -- exactly
+// how they would be split across machines.
+//
+//   $ ./live_collector [output-dir]
+#include <filesystem>
+#include <iostream>
+
+#include "analysis/volume.hpp"
+#include "flow/collector_daemon.hpp"
+#include "flow/ipfix.hpp"
+#include "flow/trace_file.hpp"
+#include "flow/udp_transport.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/vantage.hpp"
+#include "util/strings.hpp"
+
+using namespace lockdown;
+
+int main(int argc, char** argv) {
+  const std::filesystem::path out_dir =
+      argc > 1 ? argv[1] : std::filesystem::temp_directory_path() / "lockdown_slices";
+  std::filesystem::create_directories(out_dir);
+
+  // --- Collector side ------------------------------------------------------
+  auto transport = flow::UdpCollectorTransport::create();
+  if (!transport) {
+    std::cerr << "error: cannot bind a loopback UDP socket\n";
+    return 1;
+  }
+  std::cout << "collector listening on 127.0.0.1:" << transport->port() << "\n";
+
+  const flow::Anonymizer anonymizer({0x10cd0ULL, 0xeffec7ULL},
+                                    flow::AnonymizationMode::kPrefixPreserving);
+  std::vector<std::filesystem::path> slice_paths;
+  flow::CollectorDaemon daemon(
+      {.protocol = flow::ExportProtocol::kIpfix,
+       .rotation_seconds = 15 * 60,
+       .anonymizer = &anonymizer},
+      [&](flow::TraceSlice&& slice) {
+        const auto path =
+            out_dir / ("slice-" + std::to_string(slice.begin.seconds()) + ".lft");
+        std::FILE* f = std::fopen(path.c_str(), "wb");
+        if (f != nullptr) {
+          std::fwrite(slice.image.data(), 1, slice.image.size(), f);
+          std::fclose(f);
+          slice_paths.push_back(path);
+        }
+      });
+
+  // --- Exporter side ---------------------------------------------------------
+  auto exporter = flow::UdpExporterTransport::create(transport->port());
+  if (!exporter) {
+    std::cerr << "error: cannot create the exporter socket\n";
+    return 1;
+  }
+  const auto registry = synth::AsRegistry::create_default();
+  const auto ixp = synth::build_vantage(synth::VantagePointId::kIxpCe, registry,
+                                        {.seed = 42});
+  const synth::FlowSynthesizer synth(ixp.model, registry,
+                                     {.connections_per_hour = 400});
+
+  std::cout << "streaming two hours of lockdown-evening IXP traffic...\n";
+  flow::IpfixEncoder encoder(/*observation_domain=*/900);
+  std::vector<flow::FlowRecord> batch;
+  auto ship = [&]() {
+    if (batch.empty()) return;
+    for (const auto& msg : encoder.encode(batch, flow::batch_export_time(batch))) {
+      exporter->send(msg);
+    }
+    batch.clear();
+    // Drain the wire into the daemon as we go (single-threaded poll loop).
+    (void)transport->drain(
+        [&](std::span<const std::uint8_t> d) { daemon.ingest(d); });
+  };
+  synth.synthesize(
+      net::TimeRange{net::Timestamp::from_date(net::Date(2020, 3, 25), 19),
+                     net::Timestamp::from_date(net::Date(2020, 3, 25), 21)},
+      [&](const flow::FlowRecord& r) {
+        batch.push_back(r);
+        if (batch.size() == 48) ship();
+      });
+  ship();
+  for (int i = 0; i < 50; ++i) {  // drain any stragglers
+    (void)transport->drain([&](std::span<const std::uint8_t> d) { daemon.ingest(d); });
+  }
+  daemon.flush();
+
+  std::cout << "  datagrams sent: " << exporter->sent() << " (" << exporter->dropped()
+            << " dropped)\n";
+  std::cout << "  records spooled: " << daemon.records_spooled() << " into "
+            << daemon.slices_emitted() << " slices\n";
+  std::cout << "  malformed packets: " << daemon.wire_stats().malformed_packets
+            << "\n\n";
+
+  // --- Analyst side -----------------------------------------------------------
+  std::cout << "analyzing spooled slices from " << out_dir << ":\n";
+  analysis::VolumeAggregator volume(stats::Bucket::kHour);
+  for (const auto& path : slice_paths) {
+    const auto trace = flow::read_trace_file(path.string());
+    if (!trace) continue;
+    for (const auto& r : trace->records) volume.add(r);
+  }
+  for (const auto& [hour, bytes] : volume.series().points()) {
+    std::cout << "  " << hour.to_string() << "  "
+              << util::format_bytes(bytes) << "\n";
+  }
+  std::cout << "\n(the analyst never saw a raw address: slices were\n"
+            << " prefix-preservingly anonymized at the collector)\n";
+  return 0;
+}

@@ -1,0 +1,95 @@
+// vpn_hunter: the section 6 methodology as a standalone tool -- build a
+// CT-log/forward-DNS corpus, hunt for VPN gateways via the *vpn* label
+// heuristic with the www-collision rule, then classify a week of IXP
+// traffic and evaluate detection quality against the scenario's ground
+// truth.
+//
+//   $ ./vpn_hunter [organizations]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/vpn.hpp"
+#include "dns/corpus.hpp"
+#include "dns/vpn_finder.hpp"
+#include "flow/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/vantage.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace lockdown;
+
+int main(int argc, char** argv) {
+  const std::size_t orgs =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5000;
+
+  // --- Step 1: the domain corpus ------------------------------------------
+  std::cout << "Generating a synthetic CT-log/FDNS corpus for " << orgs
+            << " organizations...\n";
+  const auto corpus = dns::generate_corpus({.seed = 7, .organizations = orgs});
+  std::cout << "  " << corpus.domains.size() << " domains, "
+            << corpus.vpn_gateway_ips.size() << " true VPN gateways, "
+            << corpus.www_shared_vpn_ips.size() << " www-shared fronts, "
+            << corpus.portonly_vpn_ips.size() << " port-only VPN servers\n\n";
+
+  // --- Step 2: the *vpn* label hunt ---------------------------------------
+  const auto psl = dns::PublicSuffixList::builtin();
+  const dns::VpnCandidateFinder finder(psl);
+  const auto result = finder.find(corpus.domains, corpus.dns);
+
+  std::cout << "Candidate funnel (paper section 6):\n";
+  std::cout << "  domains matching *vpn* left of public suffix: "
+            << result.matched_domains << "\n";
+  std::cout << "  resolved candidate IPs:                       "
+            << result.resolved_ips << "\n";
+  std::cout << "  eliminated by the www-collision rule:         "
+            << result.eliminated_shared_ips << "\n";
+  std::cout << "  final candidates:                             "
+            << result.candidate_ips.size() << "\n\n";
+
+  // Detection quality vs ground truth.
+  std::size_t true_positive = 0;
+  for (const auto& ip : corpus.vpn_gateway_ips) {
+    true_positive += result.candidate_ips.contains(ip) ? 1 : 0;
+  }
+  std::size_t false_positive = result.candidate_ips.size() - true_positive;
+  std::cout << "Detection quality (candidate set vs ground truth):\n";
+  std::cout << "  recall over dedicated-IP gateways: "
+            << util::format_fixed(100.0 * true_positive /
+                                      corpus.vpn_gateway_ips.size(), 1)
+            << "%\n";
+  std::cout << "  non-gateway candidates:            " << false_positive << "\n";
+  std::cout << "  port-only gateways missed (by design -- no *vpn* name): "
+            << corpus.portonly_vpn_ips.size() << "\n\n";
+
+  // --- Step 3: classify live traffic ---------------------------------------
+  std::cout << "Classifying one lockdown week of IXP-CE traffic...\n";
+  const auto registry = synth::AsRegistry::create_default();
+  synth::ScenarioConfig cfg{.seed = 7};
+  cfg.vpn_tls_server_ips.assign(result.candidate_ips.begin(),
+                                result.candidate_ips.end());
+  const auto ixp = synth::build_vantage(synth::VantagePointId::kIxpCe, registry, cfg);
+
+  const std::vector<net::TimeRange> weeks = {
+      net::TimeRange::week_of(net::Date(2020, 2, 20)),
+      net::TimeRange::week_of(net::Date(2020, 3, 19))};
+  analysis::VpnAnalyzer analyzer(weeks, result.candidate_ips);
+  const synth::FlowSynthesizer synth(ixp.model, registry,
+                                     {.connections_per_hour = 600});
+  flow::ExportPump pump(ixp.protocol, analyzer.sink());
+  for (const auto& w : weeks) synth.synthesize(w, pump.as_sink());
+  pump.flush();
+
+  std::cout << "  port-based VPN growth (working hours): "
+            << util::format_fixed(
+                   analyzer.working_hours_growth(analysis::VpnMethod::kPort, 1), 1)
+            << "%\n";
+  std::cout << "  domain-based VPN growth:               "
+            << util::format_fixed(
+                   analyzer.working_hours_growth(analysis::VpnMethod::kDomain, 1), 1)
+            << "%\n\n";
+  std::cout << "Conclusion (the paper's): identification solely on a transport\n"
+            << "port basis vastly undercounts actual VPN traffic; combine the\n"
+            << "port filter with domain-identified TCP/443 gateways.\n";
+  return 0;
+}

@@ -1,0 +1,278 @@
+#include "analysis/app_filter.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace lockdown::analysis {
+
+using flow::IpProtocol;
+using flow::PortKey;
+using net::Asn;
+
+namespace {
+
+[[nodiscard]] PortKey tcp(std::uint16_t p) { return {IpProtocol::kTcp, p}; }
+[[nodiscard]] PortKey udp(std::uint16_t p) { return {IpProtocol::kUdp, p}; }
+
+[[nodiscard]] std::vector<Asn> as_list(std::initializer_list<std::uint32_t> v) {
+  std::vector<Asn> out;
+  for (const auto a : v) out.emplace_back(a);
+  return out;
+}
+
+}  // namespace
+
+AppClassifier::AppClassifier(std::vector<AppFilter> filters)
+    : filters_(std::move(filters)) {
+  for (const AppFilter& f : filters_) {
+    if (!f.valid()) {
+      throw std::invalid_argument("AppFilter '" + f.name + "' constrains nothing");
+    }
+  }
+}
+
+AppClassifier AppClassifier::table1() {
+  std::vector<AppFilter> f;
+
+  // --- Web conferencing and telephony: 7 filters, 1 ASN, 6 ports. --------
+  f.push_back({"webconf-teams-skype-stun", AppClass::kWebConf, as_list({8075}),
+               {udp(3480)}});
+  f.push_back({"webconf-stun-3480", AppClass::kWebConf, {}, {udp(3480)}});
+  f.push_back({"webconf-zoom-connector", AppClass::kWebConf, {}, {udp(8801)}});
+  f.push_back({"webconf-zoom-alt", AppClass::kWebConf, {}, {udp(8802)}});
+  f.push_back({"webconf-stun-3478", AppClass::kWebConf, {}, {udp(3478)}});
+  f.push_back({"webconf-stun-3479", AppClass::kWebConf, {}, {udp(3479)}});
+  f.push_back({"webconf-rtp-5004", AppClass::kWebConf, {}, {tcp(5004)}});
+
+  // --- Gaming: 8 filters, 5 ASNs, 57 ports. ------------------------------
+  {
+    std::vector<PortKey> steam;
+    for (std::uint16_t p = 27000; p <= 27031; ++p) steam.push_back(udp(p));
+    f.push_back({"gaming-steam-ports", AppClass::kGaming, {}, std::move(steam)});
+  }
+  {
+    std::vector<PortKey> console;
+    for (std::uint16_t p = 3074; p <= 3079; ++p) console.push_back(udp(p));
+    f.push_back({"gaming-console-ports", AppClass::kGaming, {}, std::move(console)});
+  }
+  {
+    std::vector<PortKey> misc = {tcp(25565), tcp(3724), tcp(1119)};
+    for (std::uint16_t p = 6112; p <= 6119; ++p) misc.push_back(tcp(p));
+    for (std::uint16_t p = 30000; p <= 30007; ++p) misc.push_back(tcp(p));
+    f.push_back({"gaming-misc-ports", AppClass::kGaming, {}, std::move(misc)});
+  }
+  f.push_back({"gaming-riot", AppClass::kGaming, as_list({6507}), {}});
+  f.push_back({"gaming-valve", AppClass::kGaming, as_list({32590}), {}});
+  f.push_back({"gaming-blizzard", AppClass::kGaming, as_list({57976}), {}});
+  f.push_back({"gaming-nintendo", AppClass::kGaming, as_list({11426}), {}});
+  f.push_back({"gaming-sony", AppClass::kGaming, as_list({33353}), {}});
+
+  // --- Messaging: 3 filters, no ASNs, 5 ports. ----------------------------
+  f.push_back({"messaging-xmpp", AppClass::kMessaging, {}, {tcp(5222)}});
+  f.push_back({"messaging-mobile-a", AppClass::kMessaging, {},
+               {tcp(4244), tcp(5242)}});
+  f.push_back({"messaging-mobile-b", AppClass::kMessaging, {},
+               {udp(5243), udp(9785)}});
+
+  // --- Email: 1 filter, 10 ports. -----------------------------------------
+  f.push_back({"email-ports", AppClass::kEmail, {},
+               {tcp(25), tcp(110), tcp(143), tcp(465), tcp(587), tcp(993),
+                tcp(995), tcp(2525), tcp(4190), tcp(106)}});
+
+  // --- Collaborative working: 8 filters, 2 ASNs, 9 ports. -----------------
+  f.push_back({"collab-dropbox", AppClass::kCollabWork, as_list({19679}), {}});
+  f.push_back({"collab-suite", AppClass::kCollabWork, as_list({64621}), {}});
+  f.push_back({"collab-8443", AppClass::kCollabWork, {}, {tcp(8443)}});
+  f.push_back({"collab-5005", AppClass::kCollabWork, {}, {tcp(5005)}});
+  f.push_back({"collab-777x", AppClass::kCollabWork, {}, {tcp(7777), tcp(7780)}});
+  f.push_back({"collab-844x", AppClass::kCollabWork, {}, {tcp(8444), tcp(8445)}});
+  f.push_back({"collab-777x-udp", AppClass::kCollabWork, {},
+               {udp(7778), udp(7779)}});
+  f.push_back({"collab-9443", AppClass::kCollabWork, {}, {tcp(9443)}});
+
+  // --- Social media: 4 filters, 4 ASNs, 1 port. ---------------------------
+  f.push_back({"social-facebook", AppClass::kSocialMedia, as_list({32934}), {}});
+  f.push_back({"social-twitter", AppClass::kSocialMedia, as_list({13414}), {}});
+  f.push_back({"social-shortvideo", AppClass::kSocialMedia, as_list({138699}), {}});
+  f.push_back({"social-eastsocial", AppClass::kSocialMedia, as_list({47541}),
+               {tcp(443)}});
+
+  // --- Video on Demand: 5 filters, 5 ASNs, no ports. ----------------------
+  for (const std::uint32_t asn : {2906u, 64600u, 64601u, 64602u, 64603u}) {
+    f.push_back({"vod-as" + std::to_string(asn), AppClass::kVod, as_list({asn}), {}});
+  }
+
+  // --- Educational: 9 filters, 9 ASNs. ------------------------------------
+  for (const std::uint32_t asn :
+       {680u, 766u, 20965u, 11537u, 1103u, 2200u, 137u, 786u, 1930u}) {
+    f.push_back({"edu-as" + std::to_string(asn), AppClass::kEducational,
+                 as_list({asn}), {}});
+  }
+
+  // --- CDN: 8 filters, 8 ASNs. ---------------------------------------------
+  for (const std::uint32_t asn : {20940u, 13335u, 22822u, 15133u, 54113u,
+                                  60068u, 12989u, 30081u}) {
+    f.push_back({"cdn-as" + std::to_string(asn), AppClass::kCdn, as_list({asn}), {}});
+  }
+
+  return AppClassifier(std::move(f));
+}
+
+std::optional<AppClass> AppClassifier::classify(const flow::FlowRecord& r,
+                                                const AsView& view) const {
+  const net::Asn src = view.src_as(r);
+  const net::Asn dst = view.dst_as(r);
+  const PortKey port = r.service_port();
+
+  for (const AppFilter& f : filters_) {
+    if (!f.asns.empty()) {
+      const bool as_match =
+          std::find(f.asns.begin(), f.asns.end(), src) != f.asns.end() ||
+          std::find(f.asns.begin(), f.asns.end(), dst) != f.asns.end();
+      if (!as_match) continue;
+    }
+    if (!f.ports.empty()) {
+      if (std::find(f.ports.begin(), f.ports.end(), port) == f.ports.end()) {
+        continue;
+      }
+    }
+    return f.target;
+  }
+  return std::nullopt;
+}
+
+std::vector<AppClassifier::ClassStats> AppClassifier::table_stats() const {
+  std::map<AppClass, ClassStats> by_class;
+  std::map<AppClass, std::set<std::uint32_t>> asns;
+  std::map<AppClass, std::set<PortKey>> ports;
+
+  for (const AppFilter& f : filters_) {
+    ClassStats& s = by_class[f.target];
+    s.app_class = f.target;
+    ++s.filters;
+    for (const Asn a : f.asns) asns[f.target].insert(a.value());
+    for (const PortKey p : f.ports) ports[f.target].insert(p);
+  }
+
+  std::vector<ClassStats> out;
+  for (auto& [cls, s] : by_class) {
+    s.distinct_asns = asns[cls].size();
+    s.distinct_ports = ports[cls].size();
+    out.push_back(s);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ClassHeatmap
+// ---------------------------------------------------------------------------
+
+ClassHeatmap::ClassHeatmap(const AppClassifier& classifier, const AsView& view,
+                           std::vector<net::TimeRange> weeks)
+    : classifier_(classifier), view_(view), weeks_(std::move(weeks)) {
+  if (weeks_.size() < 2) {
+    throw std::invalid_argument("ClassHeatmap: need a base week plus stages");
+  }
+  for (const net::TimeRange& w : weeks_) {
+    if (w.hours() != 168) {
+      throw std::invalid_argument("ClassHeatmap: weeks must be 7 days");
+    }
+  }
+}
+
+void ClassHeatmap::add(const flow::FlowRecord& r) {
+  std::size_t week = weeks_.size();
+  for (std::size_t i = 0; i < weeks_.size(); ++i) {
+    if (weeks_[i].contains(r.first)) {
+      week = i;
+      break;
+    }
+  }
+  if (week == weeks_.size()) return;
+
+  const auto cls = classifier_.classify(r, view_);
+  if (!cls) return;
+
+  const auto slot = static_cast<std::size_t>(
+      (r.first.seconds() - weeks_[week].begin.seconds()) / net::kSecondsPerHour);
+  auto& per_week = volume_[*cls];
+  if (per_week.empty()) per_week.assign(weeks_.size(), {});
+  per_week[week][slot] += static_cast<double>(r.bytes);
+}
+
+std::vector<AppClass> ClassHeatmap::observed_classes() const {
+  std::vector<AppClass> out;
+  for (const auto& [cls, v] : volume_) out.push_back(cls);
+  return out;
+}
+
+std::vector<double> ClassHeatmap::base_normalized(AppClass cls) const {
+  std::vector<double> out(168, kMaskedHour);
+  const auto it = volume_.find(cls);
+  if (it == volume_.end()) return out;
+
+  double mn = 0, mx = 0;
+  bool first = true;
+  for (const auto& week : it->second) {
+    for (std::size_t slot = 0; slot < 168; ++slot) {
+      if (masked_hour(static_cast<unsigned>(slot % 24))) continue;
+      const double v = week[slot];
+      if (first || v < mn) mn = v;
+      if (first || v > mx) mx = v;
+      first = false;
+    }
+  }
+  const double span = mx - mn;
+  for (std::size_t slot = 0; slot < 168; ++slot) {
+    if (masked_hour(static_cast<unsigned>(slot % 24))) continue;
+    out[slot] = span > 0 ? (it->second[0][slot] - mn) / span : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> ClassHeatmap::diff_percent(AppClass cls,
+                                               std::size_t week_index) const {
+  if (week_index == 0 || week_index >= weeks_.size()) {
+    throw std::out_of_range("ClassHeatmap::diff_percent: bad week index");
+  }
+  std::vector<double> out(168, kMaskedHour);
+  const auto it = volume_.find(cls);
+  if (it == volume_.end()) return out;
+
+  for (std::size_t slot = 0; slot < 168; ++slot) {
+    if (masked_hour(static_cast<unsigned>(slot % 24))) continue;
+    const double base = it->second[0][slot];
+    const double stage = it->second[week_index][slot];
+    if (base <= 0.0) {
+      out[slot] = stage > 0.0 ? 200.0 : 0.0;
+      continue;
+    }
+    const double pct = 100.0 * (stage - base) / base;
+    out[slot] = std::clamp(pct, -100.0, 200.0);
+  }
+  return out;
+}
+
+double ClassHeatmap::working_hours_growth(AppClass cls,
+                                          std::size_t week_index) const {
+  const auto diffs = diff_percent(cls, week_index);
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t slot = 0; slot < 168; ++slot) {
+    const unsigned hour = static_cast<unsigned>(slot % 24);
+    const unsigned day = static_cast<unsigned>(slot / 24);
+    // Weeks start on Thursday in the paper's panels; days 2,3 are Sat/Sun.
+    const net::Date date = weeks_[0].begin.plus(static_cast<std::int64_t>(day) *
+                                                net::kSecondsPerDay)
+                               .date();
+    if (net::is_weekend(date.weekday())) continue;
+    if (hour < 9 || hour >= 17) continue;
+    if (diffs[slot] == kMaskedHour) continue;
+    sum += diffs[slot];
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace lockdown::analysis

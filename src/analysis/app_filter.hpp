@@ -1,0 +1,115 @@
+// §5 / Table 1 / Fig 9: application-class traffic classification.
+//
+// "We apply a traffic classification based on a combination of transport
+// port and traffic source/sink criteria. In total, we define more than 50
+// combinations of transport port and AS criteria." Each filter can match
+// on AS endpoints, on the service port, or on both; the first matching
+// filter (in registry order: most specific first) assigns the class.
+// The table1() registry reproduces Table 1's per-class filter/ASN/port
+// counts exactly.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/as_view.hpp"
+#include "flow/flow_record.hpp"
+#include "net/civil_time.hpp"
+#include "synth/app_class.hpp"
+
+namespace lockdown::analysis {
+
+using synth::AppClass;
+
+struct AppFilter {
+  std::string name;
+  AppClass target = AppClass::kOther;
+  std::vector<net::Asn> asns;        ///< empty = no AS criterion
+  std::vector<flow::PortKey> ports;  ///< empty = no port criterion
+
+  /// A filter must constrain something.
+  [[nodiscard]] bool valid() const noexcept {
+    return !asns.empty() || !ports.empty();
+  }
+};
+
+class AppClassifier {
+ public:
+  explicit AppClassifier(std::vector<AppFilter> filters);
+
+  /// The paper's filter registry (Table 1's nine classes).
+  [[nodiscard]] static AppClassifier table1();
+
+  /// First matching filter's class; nullopt if nothing matches.
+  [[nodiscard]] std::optional<AppClass> classify(const flow::FlowRecord& r,
+                                                 const AsView& view) const;
+
+  [[nodiscard]] const std::vector<AppFilter>& filters() const noexcept {
+    return filters_;
+  }
+
+  /// Table 1 rows: per class, number of filters, distinct ASNs, distinct
+  /// transport ports.
+  struct ClassStats {
+    AppClass app_class = AppClass::kOther;
+    std::size_t filters = 0;
+    std::size_t distinct_asns = 0;
+    std::size_t distinct_ports = 0;
+  };
+  [[nodiscard]] std::vector<ClassStats> table_stats() const;
+
+ private:
+  std::vector<AppFilter> filters_;
+};
+
+/// Fig 9 heatmaps: per application class, hourly volume over a base week
+/// and the differences of two lockdown-stage weeks against it. Weeks are
+/// aligned on their first day (the paper's panels run Thu..Wed).
+class ClassHeatmap {
+ public:
+  /// `weeks[0]` is the base week; all weeks must be 7 days.
+  ClassHeatmap(const AppClassifier& classifier, const AsView& view,
+               std::vector<net::TimeRange> weeks);
+
+  void add(const flow::FlowRecord& r);
+
+  [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
+    return [this](const flow::FlowRecord& r) { add(r); };
+  }
+
+  [[nodiscard]] std::vector<AppClass> observed_classes() const;
+
+  /// Base-week hourly volume of a class normalized to [0,1] by the class's
+  /// min/max over *all* weeks, with early-morning hours (2-7 am) removed
+  /// (set to -1 as a sentinel), per the paper's §5 transformation.
+  [[nodiscard]] std::vector<double> base_normalized(AppClass cls) const;
+
+  /// Difference of week `week_index` (>=1) vs the base week, as percent of
+  /// the base value, clamped to [-100, +200] ("we cut off any growth above
+  /// 200% and decrease below 100%"). Early-morning hours -> sentinel -999.
+  [[nodiscard]] std::vector<double> diff_percent(AppClass cls,
+                                                 std::size_t week_index) const;
+
+  /// Mean diff (percent) over working hours (9-17) of workdays -- the
+  /// quantitative summary used in EXPERIMENTS.md.
+  [[nodiscard]] double working_hours_growth(AppClass cls,
+                                            std::size_t week_index) const;
+
+  static constexpr double kMaskedHour = -999.0;
+
+ private:
+  [[nodiscard]] static bool masked_hour(unsigned hour_of_day) noexcept {
+    return hour_of_day >= 2 && hour_of_day < 7;
+  }
+
+  const AppClassifier& classifier_;
+  const AsView& view_;
+  std::vector<net::TimeRange> weeks_;
+  // volume[class][week][hour-slot 0..167]
+  std::map<AppClass, std::vector<std::array<double, 168>>> volume_;
+};
+
+}  // namespace lockdown::analysis

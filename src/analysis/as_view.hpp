@@ -1,0 +1,55 @@
+// Endpoint-to-AS resolution for analyses. Real flow pipelines prefer the
+// exporter's BGP-derived AS annotations and fall back to longest-prefix
+// matching a routing snapshot; we mirror that: use FlowRecord src/dst AS if
+// present, else the registry's prefix trie.
+#pragma once
+
+#include <set>
+
+#include "flow/flow_record.hpp"
+#include "net/asn.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace lockdown::analysis {
+
+class AsView {
+ public:
+  explicit AsView(const net::Ipv4PrefixTrie<net::Asn>& trie) : trie_(trie) {}
+
+  [[nodiscard]] net::Asn src_as(const flow::FlowRecord& r) const {
+    if (r.src_as.value() != 0) return r.src_as;
+    if (r.src_addr.is_v4()) {
+      if (const auto as = trie_.lookup(r.src_addr.v4())) return *as;
+    }
+    return net::Asn(0);
+  }
+
+  [[nodiscard]] net::Asn dst_as(const flow::FlowRecord& r) const {
+    if (r.dst_as.value() != 0) return r.dst_as;
+    if (r.dst_addr.is_v4()) {
+      if (const auto as = trie_.lookup(r.dst_addr.v4())) return *as;
+    }
+    return net::Asn(0);
+  }
+
+ private:
+  const net::Ipv4PrefixTrie<net::Asn>& trie_;
+};
+
+/// Ordered ASN set with membership test; used for hypergiant lists, eyeball
+/// lists, local-network lists.
+class AsnSet {
+ public:
+  AsnSet() = default;
+  explicit AsnSet(const std::vector<net::Asn>& asns)
+      : set_(asns.begin(), asns.end()) {}
+
+  void insert(net::Asn a) { set_.insert(a); }
+  [[nodiscard]] bool contains(net::Asn a) const { return set_.contains(a); }
+  [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+
+ private:
+  std::set<net::Asn> set_;
+};
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,65 @@
+#include "analysis/class_activity.hpp"
+
+#include "net/ip.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lockdown::analysis {
+
+void ClassActivityTracker::add(const flow::FlowRecord& r) {
+  const auto cls = classifier_.classify(r, view_);
+  if (!cls || *cls != cls_) return;
+
+  const std::int64_t hour = r.first.floor_hour().seconds();
+  HourAcc& acc = hours_[hour];
+  acc.bytes += static_cast<double>(r.bytes);
+  const net::IpAddressHash hash;
+  acc.ips.insert(hash(r.src_addr));
+  acc.ips.insert(hash(r.dst_addr));
+}
+
+std::vector<ClassActivityTracker::HourPoint> ClassActivityTracker::hourly() const {
+  std::vector<HourPoint> out;
+  out.reserve(hours_.size());
+  for (const auto& [hour, acc] : hours_) {
+    out.push_back(HourPoint{net::Timestamp(hour), acc.bytes, acc.ips.size()});
+  }
+  return out;
+}
+
+std::vector<ClassActivityTracker::DayEnvelope> ClassActivityTracker::envelope(
+    const std::function<double(const HourAcc&)>& metric) const {
+  // Global minimum hourly value for normalization (Fig 8's y-axis).
+  double global_min = 0.0;
+  bool first = true;
+  for (const auto& [hour, acc] : hours_) {
+    const double v = metric(acc);
+    if (first || v < global_min) global_min = v;
+    first = false;
+  }
+  if (global_min <= 0.0) global_min = 1.0;
+
+  std::map<std::int64_t, stats::RunningStats> days;
+  for (const auto& [hour, acc] : hours_) {
+    days[net::Timestamp(hour).floor_day().seconds()].add(metric(acc) / global_min);
+  }
+
+  std::vector<DayEnvelope> out;
+  out.reserve(days.size());
+  for (const auto& [day, rs] : days) {
+    out.push_back(DayEnvelope{net::Timestamp(day).date(), rs.min(), rs.mean(),
+                              rs.max()});
+  }
+  return out;
+}
+
+std::vector<ClassActivityTracker::DayEnvelope>
+ClassActivityTracker::daily_volume_envelope() const {
+  return envelope([](const HourAcc& a) { return a.bytes; });
+}
+
+std::vector<ClassActivityTracker::DayEnvelope>
+ClassActivityTracker::daily_ip_envelope() const {
+  return envelope([](const HourAcc& a) { return static_cast<double>(a.ips.size()); });
+}
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,62 @@
+// §5 / Fig 8: per-hour activity of one application class -- traffic volume
+// and distinct IP addresses (a proxy for the order of households) -- with
+// daily min/avg/max envelopes, normalized to the observed minimum.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/app_filter.hpp"
+#include "flow/flow_record.hpp"
+#include "net/civil_time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lockdown::analysis {
+
+class ClassActivityTracker {
+ public:
+  ClassActivityTracker(const AppClassifier& classifier, const AsView& view,
+                       AppClass cls)
+      : classifier_(classifier), view_(view), cls_(cls) {}
+
+  void add(const flow::FlowRecord& r);
+
+  [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
+    return [this](const flow::FlowRecord& r) { add(r); };
+  }
+
+  struct HourPoint {
+    net::Timestamp hour;
+    double bytes = 0.0;
+    std::size_t unique_ips = 0;
+  };
+  /// Chronological per-hour activity.
+  [[nodiscard]] std::vector<HourPoint> hourly() const;
+
+  struct DayEnvelope {
+    net::Date date;
+    double min = 0.0, avg = 0.0, max = 0.0;
+  };
+  /// Daily envelopes of one metric, normalized to the global minimum hourly
+  /// value of that metric (the paper normalizes Fig 8 to the minimum).
+  [[nodiscard]] std::vector<DayEnvelope> daily_volume_envelope() const;
+  [[nodiscard]] std::vector<DayEnvelope> daily_ip_envelope() const;
+
+ private:
+  struct HourAcc {
+    double bytes = 0.0;
+    std::unordered_set<std::size_t> ips;  // hashed addresses
+  };
+
+  [[nodiscard]] std::vector<DayEnvelope> envelope(
+      const std::function<double(const HourAcc&)>& metric) const;
+
+  const AppClassifier& classifier_;
+  const AsView& view_;
+  AppClass cls_;
+  std::map<std::int64_t, HourAcc> hours_;
+};
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,198 @@
+#include "analysis/edu.hpp"
+
+#include <vector>
+
+#include "stats/ecdf.hpp"
+
+namespace lockdown::analysis {
+
+using flow::IpProtocol;
+
+std::optional<EduClass> EduAnalyzer::classify_port(
+    const flow::FlowRecord& r) const noexcept {
+  // VPN protocols first (no ports).
+  if (r.protocol == IpProtocol::kGre || r.protocol == IpProtocol::kEsp) {
+    return EduClass::kVpn;
+  }
+  if (r.protocol != IpProtocol::kTcp && r.protocol != IpProtocol::kUdp) {
+    return std::nullopt;
+  }
+
+  // Spotify is also identified by AS 8403 (Appendix B).
+  if (view_.src_as(r) == net::Asn(8403) || view_.dst_as(r) == net::Asn(8403)) {
+    return EduClass::kSpotify;
+  }
+
+  const flow::PortKey p = r.service_port();
+  const bool tcp = p.proto == IpProtocol::kTcp;
+  const bool udp = p.proto == IpProtocol::kUdp;
+
+  switch (p.port) {
+    case 443:
+      if (udp) return EduClass::kQuic;
+      [[fallthrough]];
+    case 80:
+    case 8000:
+    case 8080:
+      if (tcp) {
+        const bool hg = hypergiants_.contains(view_.src_as(r)) ||
+                        hypergiants_.contains(view_.dst_as(r));
+        return hg ? EduClass::kHypergiantWeb : EduClass::kWeb;
+      }
+      return std::nullopt;
+    case 5223:
+    case 5228:
+      return tcp ? std::optional(EduClass::kPushNotifications) : std::nullopt;
+    case 25:
+    case 110:
+    case 143:
+    case 465:
+    case 587:
+    case 993:
+    case 995:
+      return tcp ? std::optional(EduClass::kEmail) : std::nullopt;
+    case 500:
+      return udp ? std::optional(EduClass::kVpn) : std::nullopt;
+    case 1194:
+      return EduClass::kVpn;  // TCP and UDP (Appendix B)
+    case 4500:
+      return udp ? std::optional(EduClass::kVpn) : std::nullopt;
+    case 22:
+      return tcp ? std::optional(EduClass::kSsh) : std::nullopt;
+    case 1494:
+    case 5938:
+      return EduClass::kRemoteDesktop;  // Citrix / TeamViewer, TCP+UDP
+    case 3389:
+      return tcp ? std::optional(EduClass::kRemoteDesktop) : std::nullopt;
+    case 4070:
+      return tcp ? std::optional(EduClass::kSpotify) : std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+Direction EduAnalyzer::direction_of(const flow::FlowRecord& r,
+                                    bool classified) const noexcept {
+  // A connection is oriented by its service side; without a recognizable
+  // service the paper could not orient 39% of flows.
+  if (!classified) return Direction::kUndetermined;
+  const bool dst_inside = universities_.contains(view_.dst_as(r));
+  const bool src_inside = universities_.contains(view_.src_as(r));
+  if (dst_inside && !src_inside) return Direction::kIncoming;
+  if (src_inside && !dst_inside) return Direction::kOutgoing;
+  return Direction::kUndetermined;
+}
+
+void EduAnalyzer::add(const flow::FlowRecord& r) {
+  const bool dst_inside = universities_.contains(view_.dst_as(r));
+  const bool src_inside = universities_.contains(view_.src_as(r));
+  const auto bytes = static_cast<double>(r.bytes);
+
+  // Byte-level directionality (Fig 11): every flow crossing the border is
+  // either entering or leaving.
+  if (dst_inside && !src_inside) {
+    volume_in_.add(r.first, bytes);
+  } else if (src_inside && !dst_inside) {
+    volume_out_.add(r.first, bytes);
+  }
+
+  // Connection counting: request-direction flows only. Clients use
+  // ephemeral ports (> service port); portless protocols count as requests
+  // towards the ESP/GRE terminator.
+  const bool portless =
+      r.protocol == IpProtocol::kGre || r.protocol == IpProtocol::kEsp;
+  const bool is_request = portless || r.dst_port < r.src_port;
+  if (!is_request) return;
+
+  const auto cls = classify_port(r);
+  const Direction dir = direction_of(r, cls.has_value());
+  const std::int64_t day = r.first.floor_day().seconds();
+
+  connections_total_[day] += 1.0;
+  connections_by_dir_[dir][day] += 1.0;
+  if (dir == Direction::kUndetermined) {
+    undetermined_ += 1.0;
+  } else {
+    determined_ += 1.0;
+  }
+  if (cls) {
+    connections_[{*cls, dir}][day] += 1.0;
+    // Hypergiant web also counts as plain web (it *is* web traffic).
+    if (*cls == EduClass::kHypergiantWeb) {
+      connections_[{EduClass::kWeb, dir}][day] += 1.0;
+    }
+  }
+}
+
+double EduAnalyzer::daily_volume(net::Date d) const {
+  const net::Timestamp t = net::Timestamp::from_date(d);
+  return volume_in_.at(t) + volume_out_.at(t);
+}
+
+double EduAnalyzer::in_out_ratio(net::Date d) const {
+  const net::Timestamp t = net::Timestamp::from_date(d);
+  const double out = volume_out_.at(t);
+  return out > 0.0 ? volume_in_.at(t) / out : 0.0;
+}
+
+std::vector<std::pair<net::Date, double>> EduAnalyzer::daily_connections(
+    EduClass cls, Direction dir) const {
+  std::vector<std::pair<net::Date, double>> out;
+  const auto it = connections_.find({cls, dir});
+  if (it == connections_.end()) return out;
+  for (const auto& [day, count] : it->second) {
+    out.emplace_back(net::Timestamp(day).date(), count);
+  }
+  return out;
+}
+
+std::vector<std::pair<net::Date, double>> EduAnalyzer::daily_connections(
+    Direction dir) const {
+  std::vector<std::pair<net::Date, double>> out;
+  const auto it = connections_by_dir_.find(dir);
+  if (it == connections_by_dir_.end()) return out;
+  for (const auto& [day, count] : it->second) {
+    out.emplace_back(net::Timestamp(day).date(), count);
+  }
+  return out;
+}
+
+double EduAnalyzer::median_of_range(const std::map<std::int64_t, double>& daily,
+                                    net::TimeRange range) {
+  std::vector<double> values;
+  for (auto it = daily.lower_bound(range.begin.seconds());
+       it != daily.end() && it->first < range.end.seconds(); ++it) {
+    values.push_back(it->second);
+  }
+  return stats::median(std::move(values));
+}
+
+double EduAnalyzer::median_growth(EduClass cls, Direction dir,
+                                  net::TimeRange before,
+                                  net::TimeRange after) const {
+  const auto it = connections_.find({cls, dir});
+  if (it == connections_.end()) return 0.0;
+  const double b = median_of_range(it->second, before);
+  return b > 0.0 ? median_of_range(it->second, after) / b : 0.0;
+}
+
+double EduAnalyzer::median_growth(Direction dir, net::TimeRange before,
+                                  net::TimeRange after) const {
+  const auto it = connections_by_dir_.find(dir);
+  if (it == connections_by_dir_.end()) return 0.0;
+  const double b = median_of_range(it->second, before);
+  return b > 0.0 ? median_of_range(it->second, after) / b : 0.0;
+}
+
+double EduAnalyzer::median_growth_total(net::TimeRange before,
+                                        net::TimeRange after) const {
+  const double b = median_of_range(connections_total_, before);
+  return b > 0.0 ? median_of_range(connections_total_, after) / b : 0.0;
+}
+
+double EduAnalyzer::undetermined_fraction() const noexcept {
+  const double total = undetermined_ + determined_;
+  return total > 0.0 ? undetermined_ / total : 0.0;
+}
+
+}  // namespace lockdown::analysis

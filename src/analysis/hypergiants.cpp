@@ -1,0 +1,70 @@
+#include "analysis/hypergiants.hpp"
+
+#include <stdexcept>
+
+namespace lockdown::analysis {
+
+void HypergiantAnalyzer::add(const flow::FlowRecord& r) {
+  // Attribute to the serving side: whichever endpoint is a hypergiant; for
+  // hypergiant-to-hypergiant (rare) the source wins; otherwise the source.
+  const net::Asn src = view_.src_as(r);
+  const net::Asn dst = view_.dst_as(r);
+  net::Asn server = src;
+  if (hypergiants_.contains(src)) {
+    server = src;
+  } else if (hypergiants_.contains(dst)) {
+    server = dst;
+  }
+  const bool is_hg = hypergiants_.contains(server);
+
+  const auto bytes = static_cast<double>(r.bytes);
+  total_bytes_ += bytes;
+  if (is_hg) {
+    hg_bytes_ += bytes;
+    per_hg_bytes_[server] += bytes;
+  }
+
+  const unsigned hour = r.first.hour_of_day();
+  // Fig 4 slices cover 09:00-24:00 only; night hours are not plotted.
+  if (hour < 9) return;
+
+  const bool weekend = net::is_weekend(r.first.weekday());
+  const bool evening = hour >= 17;
+  const DaySlice slice =
+      weekend ? (evening ? DaySlice::kWeekendEvening : DaySlice::kWeekendWork)
+              : (evening ? DaySlice::kWorkdayEvening : DaySlice::kWorkdayWork);
+  const Key key{r.first.date().paper_week(), slice};
+  bytes_[key][is_hg ? 0 : 1] += bytes;
+}
+
+std::vector<HypergiantAnalyzer::WeeklySlice> HypergiantAnalyzer::weekly_series(
+    unsigned baseline_week) const {
+  // Baseline per slice.
+  std::array<double, 4> base_hg{}, base_other{};
+  bool have_base = false;
+  for (const auto& [key, v] : bytes_) {
+    if (key.week == baseline_week) {
+      base_hg[static_cast<std::size_t>(key.slice)] = v[0];
+      base_other[static_cast<std::size_t>(key.slice)] = v[1];
+      have_base = true;
+    }
+  }
+  if (!have_base) {
+    throw std::invalid_argument("HypergiantAnalyzer: baseline week has no data");
+  }
+
+  std::vector<WeeklySlice> out;
+  for (const auto& [key, v] : bytes_) {
+    const auto s = static_cast<std::size_t>(key.slice);
+    if (base_hg[s] <= 0.0 || base_other[s] <= 0.0) continue;
+    out.push_back(WeeklySlice{key.week, key.slice, v[0] / base_hg[s],
+                              v[1] / base_other[s]});
+  }
+  return out;
+}
+
+double HypergiantAnalyzer::hypergiant_share() const noexcept {
+  return total_bytes_ > 0.0 ? hg_bytes_ / total_bytes_ : 0.0;
+}
+
+}  // namespace lockdown::analysis

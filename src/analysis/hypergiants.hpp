@@ -1,0 +1,87 @@
+// Hypergiant vs other-AS decomposition (§3.2, Fig 4, Table 2).
+//
+// Fig 4 plots, per calendar week, the traffic of each AS group in four
+// time-of-day/day-type slices (workday/weekend x 9:00-16:59 / 17:00-24:00),
+// normalized by that slice's value in a baseline week. Table 2's headline
+// is the hypergiants' ~75% share of traffic delivered to the ISP's users.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "analysis/as_view.hpp"
+#include "flow/flow_record.hpp"
+#include "net/civil_time.hpp"
+
+namespace lockdown::analysis {
+
+enum class DaySlice : std::uint8_t {
+  kWorkdayWork = 0,     // workday 09:00-16:59
+  kWorkdayEvening = 1,  // workday 17:00-24:00
+  kWeekendWork = 2,     // weekend 09:00-16:59
+  kWeekendEvening = 3,  // weekend 17:00-24:00
+};
+
+[[nodiscard]] constexpr const char* to_string(DaySlice s) noexcept {
+  switch (s) {
+    case DaySlice::kWorkdayWork: return "Workday 09:00-16:59";
+    case DaySlice::kWorkdayEvening: return "Workday 17:00-24:00";
+    case DaySlice::kWeekendWork: return "Weekend 09:00-16:59";
+    case DaySlice::kWeekendEvening: return "Weekend 17:00-24:00";
+  }
+  return "?";
+}
+
+class HypergiantAnalyzer {
+ public:
+  HypergiantAnalyzer(const AsView& view, AsnSet hypergiants)
+      : view_(view), hypergiants_(std::move(hypergiants)) {}
+
+  /// Feed a flow: attributes its bytes to the serving AS group (the
+  /// non-eyeball endpoint; for flows between two non-hypergiants the
+  /// source side is used -- deliveries are server-sourced in NetFlow).
+  void add(const flow::FlowRecord& r);
+
+  [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
+    return [this](const flow::FlowRecord& r) { add(r); };
+  }
+
+  /// Fig 4 series: per paper week, per slice, traffic normalized by
+  /// `baseline_week`. Missing slices yield no entry.
+  struct WeeklySlice {
+    unsigned week = 0;
+    DaySlice slice = DaySlice::kWorkdayWork;
+    double hypergiant = 0.0;  ///< normalized
+    double other = 0.0;       ///< normalized
+  };
+  [[nodiscard]] std::vector<WeeklySlice> weekly_series(
+      unsigned baseline_week = 3) const;
+
+  /// Table 2 headline: fraction of total bytes served by hypergiants.
+  [[nodiscard]] double hypergiant_share() const noexcept;
+
+  /// Per-hypergiant byte totals (Table 2 rows).
+  [[nodiscard]] std::map<net::Asn, double> per_hypergiant_bytes() const {
+    return per_hg_bytes_;
+  }
+
+ private:
+  struct Key {
+    unsigned week;
+    DaySlice slice;
+    bool operator<(const Key& o) const noexcept {
+      return week != o.week ? week < o.week : slice < o.slice;
+    }
+  };
+
+  const AsView& view_;
+  AsnSet hypergiants_;
+  std::map<Key, std::array<double, 2>> bytes_;  // [hypergiant, other]
+  std::map<net::Asn, double> per_hg_bytes_;
+  double total_bytes_ = 0.0;
+  double hg_bytes_ = 0.0;
+};
+
+}  // namespace lockdown::analysis

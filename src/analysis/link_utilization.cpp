@@ -1,0 +1,31 @@
+#include "analysis/link_utilization.hpp"
+
+namespace lockdown::analysis {
+
+UtilizationEcdfs LinkUtilizationAnalyzer::analyze(
+    std::span<const synth::PortDayUtilization> day) {
+  UtilizationEcdfs out;
+  for (const synth::PortDayUtilization& p : day) {
+    out.min_util.add(p.min_util);
+    out.avg_util.add(p.avg_util);
+    out.max_util.add(p.max_util);
+  }
+  return out;
+}
+
+std::vector<double> LinkUtilizationAnalyzer::utilization_grid() {
+  std::vector<double> grid = {0.01};
+  for (int pct = 10; pct <= 100; pct += 10) grid.push_back(pct / 100.0);
+  return grid;
+}
+
+LinkUtilizationAnalyzer::Shift LinkUtilizationAnalyzer::median_shift(
+    const UtilizationEcdfs& base, const UtilizationEcdfs& stage2) {
+  Shift s;
+  s.min_shift = stage2.min_util.quantile(0.5) - base.min_util.quantile(0.5);
+  s.avg_shift = stage2.avg_util.quantile(0.5) - base.avg_util.quantile(0.5);
+  s.max_shift = stage2.max_util.quantile(0.5) - base.max_util.quantile(0.5);
+  return s;
+}
+
+}  // namespace lockdown::analysis

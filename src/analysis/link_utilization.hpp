@@ -1,0 +1,41 @@
+// §3.3 / Fig 5: ECDFs of IXP member port utilization (minimum, average,
+// maximum per-minute usage over a day), compared between a base week
+// workday and a stage-2 workday. Consumes per-port daily summaries (from
+// synth::IxpMemberModel or any SNMP-style source).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "synth/member_model.hpp"
+
+namespace lockdown::analysis {
+
+struct UtilizationEcdfs {
+  stats::Ecdf min_util;
+  stats::Ecdf avg_util;
+  stats::Ecdf max_util;
+};
+
+class LinkUtilizationAnalyzer {
+ public:
+  /// Build the three ECDFs from one day's per-port summaries.
+  [[nodiscard]] static UtilizationEcdfs analyze(
+      std::span<const synth::PortDayUtilization> day);
+
+  /// Fig 5's x-axis grid: utilization percentages 1,10,20,...,100.
+  [[nodiscard]] static std::vector<double> utilization_grid();
+
+  /// Median (P50) shift between two days, per statistic -- the quantitative
+  /// summary of "all curves are shifted to the right".
+  struct Shift {
+    double min_shift = 0.0;
+    double avg_shift = 0.0;
+    double max_shift = 0.0;
+  };
+  [[nodiscard]] static Shift median_shift(const UtilizationEcdfs& base,
+                                          const UtilizationEcdfs& stage2);
+};
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,108 @@
+#include "analysis/pattern.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lockdown::analysis {
+
+using net::Date;
+using net::Timestamp;
+
+namespace {
+
+double cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0, na = 0, nb = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0 || nb <= 0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace
+
+PatternClassifier::PatternClassifier(unsigned bin_hours)
+    : bin_hours_(bin_hours),
+      bins_(bin_hours != 0 && 24 % bin_hours == 0 ? 24 / bin_hours : 0) {
+  if (bins_ == 0) {
+    throw std::invalid_argument("PatternClassifier: bin_hours must divide 24");
+  }
+}
+
+std::optional<std::vector<double>> PatternClassifier::day_shape(
+    const stats::TimeSeries& hourly, Date day, double* volume_out) const {
+  std::vector<double> shape(bins_, 0.0);
+  double total = 0.0;
+  const Timestamp day_start = Timestamp::from_date(day);
+  for (unsigned h = 0; h < 24; ++h) {
+    const double v = hourly.at(day_start.plus(h * net::kSecondsPerHour));
+    shape[h / bin_hours_] += v;
+    total += v;
+  }
+  if (total <= 0.0) return std::nullopt;
+  for (double& v : shape) v /= total;  // remove the volume scale
+  if (volume_out != nullptr) *volume_out = total;
+  return shape;
+}
+
+void PatternClassifier::train(const stats::TimeSeries& hourly,
+                              net::TimeRange train_range) {
+  std::vector<double> sum_workday(bins_, 0.0), sum_weekend(bins_, 0.0);
+  std::size_t n_workday = 0, n_weekend = 0;
+
+  for (Timestamp t = train_range.begin.floor_day(); t < train_range.end;
+       t = t.plus(net::kSecondsPerDay)) {
+    const Date day = t.date();
+    const auto shape = day_shape(hourly, day, nullptr);
+    if (!shape) continue;
+    if (day.is_weekend_day()) {
+      for (unsigned b = 0; b < bins_; ++b) sum_weekend[b] += (*shape)[b];
+      ++n_weekend;
+    } else {
+      for (unsigned b = 0; b < bins_; ++b) sum_workday[b] += (*shape)[b];
+      ++n_workday;
+    }
+  }
+  if (n_workday == 0 || n_weekend == 0) {
+    throw std::invalid_argument(
+        "PatternClassifier::train: training range lacks workdays or weekends");
+  }
+  centroid_workday_.assign(bins_, 0.0);
+  centroid_weekend_.assign(bins_, 0.0);
+  for (unsigned b = 0; b < bins_; ++b) {
+    centroid_workday_[b] = sum_workday[b] / static_cast<double>(n_workday);
+    centroid_weekend_[b] = sum_weekend[b] / static_cast<double>(n_weekend);
+  }
+  trained_ = true;
+}
+
+std::vector<ClassifiedDay> PatternClassifier::classify(
+    const stats::TimeSeries& hourly, net::TimeRange range) const {
+  if (!trained_) {
+    throw std::logic_error("PatternClassifier::classify before train");
+  }
+  std::vector<ClassifiedDay> out;
+  for (Timestamp t = range.begin.floor_day(); t < range.end;
+       t = t.plus(net::kSecondsPerDay)) {
+    const Date day = t.date();
+    double volume = 0.0;
+    const auto shape = day_shape(hourly, day, &volume);
+    if (!shape) continue;
+
+    ClassifiedDay cd;
+    cd.date = day;
+    cd.actual_weekend = day.is_weekend_day();
+    cd.similarity_workday = cosine(*shape, centroid_workday_);
+    cd.similarity_weekend = cosine(*shape, centroid_weekend_);
+    cd.classified = cd.similarity_weekend >= cd.similarity_workday
+                        ? DayPattern::kWeekendLike
+                        : DayPattern::kWorkdayLike;
+    cd.daily_volume = volume;
+    out.push_back(cd);
+  }
+  return out;
+}
+
+}  // namespace lockdown::analysis

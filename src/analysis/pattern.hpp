@@ -1,0 +1,77 @@
+// Workday-vs-weekend pattern classification (Fig 2b/2c). The paper's
+// method, §1: "For our classification, we use baseline data from Feb 2020
+// at the aggregation level of 6 hours. Then we apply this classification to
+// all days."
+//
+// Implementation: from a February training window, build the average
+// 6-hour-bin day shape of actual workdays and actual weekends (each day's
+// bins normalized to sum 1, removing the volume scale). A day is then
+// classified by which centroid its own normalized shape is closer to
+// (cosine similarity). The headline result is that from mid-March onward
+// almost every day classifies as weekend-like.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "net/civil_time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lockdown::analysis {
+
+enum class DayPattern : std::uint8_t { kWorkdayLike, kWeekendLike };
+
+[[nodiscard]] constexpr const char* to_string(DayPattern p) noexcept {
+  return p == DayPattern::kWorkdayLike ? "workday-like" : "weekend-like";
+}
+
+struct ClassifiedDay {
+  net::Date date;
+  DayPattern classified = DayPattern::kWorkdayLike;
+  bool actual_weekend = false;  ///< true for Sat/Sun (not holidays)
+  double similarity_workday = 0.0;
+  double similarity_weekend = 0.0;
+  double daily_volume = 0.0;
+
+  /// Blue bars in Fig 2b/2c: classification matches the actual day type.
+  [[nodiscard]] bool agrees() const noexcept {
+    return (classified == DayPattern::kWeekendLike) == actual_weekend;
+  }
+};
+
+class PatternClassifier {
+ public:
+  /// Number of bins per day. The paper uses 6-hour aggregation (4 bins);
+  /// the ablation bench sweeps this.
+  explicit PatternClassifier(unsigned bin_hours = 6);
+
+  /// Train centroids from hourly `series` over [train.begin, train.end).
+  /// Days with zero volume are skipped. Throws if either class ends up
+  /// with no training days.
+  void train(const stats::TimeSeries& hourly, net::TimeRange train_range);
+
+  /// Classify every day with data in the range.
+  [[nodiscard]] std::vector<ClassifiedDay> classify(
+      const stats::TimeSeries& hourly, net::TimeRange range) const;
+
+  [[nodiscard]] const std::vector<double>& workday_centroid() const noexcept {
+    return centroid_workday_;
+  }
+  [[nodiscard]] const std::vector<double>& weekend_centroid() const noexcept {
+    return centroid_weekend_;
+  }
+  [[nodiscard]] unsigned bin_hours() const noexcept { return bin_hours_; }
+
+ private:
+  [[nodiscard]] std::optional<std::vector<double>> day_shape(
+      const stats::TimeSeries& hourly, net::Date day, double* volume_out) const;
+
+  unsigned bin_hours_;
+  unsigned bins_;
+  std::vector<double> centroid_workday_;
+  std::vector<double> centroid_weekend_;
+  bool trained_ = false;
+};
+
+}  // namespace lockdown::analysis

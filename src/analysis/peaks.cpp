@@ -1,0 +1,71 @@
+#include "analysis/peaks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace lockdown::analysis {
+
+namespace {
+
+double growth_pct(double base, double after) noexcept {
+  return base > 0.0 ? 100.0 * (after - base) / base : 0.0;
+}
+
+}  // namespace
+
+double PeakShift::peak_growth_pct() const noexcept {
+  return growth_pct(base.peak, after.peak);
+}
+double PeakShift::p95_growth_pct() const noexcept {
+  return growth_pct(base.p95, after.p95);
+}
+double PeakShift::mean_growth_pct() const noexcept {
+  return growth_pct(base.mean, after.mean);
+}
+double PeakShift::offpeak_growth_pct() const noexcept {
+  return growth_pct(base.offpeak_mean, after.offpeak_mean);
+}
+double PeakShift::valley_growth_pct() const noexcept {
+  return growth_pct(base.valley, after.valley);
+}
+double PeakShift::base_peak_to_mean() const noexcept {
+  return base.mean > 0.0 ? base.peak / base.mean : 0.0;
+}
+double PeakShift::after_peak_to_mean() const noexcept {
+  return after.mean > 0.0 ? after.peak / after.mean : 0.0;
+}
+
+WeekLoadProfile PeakAnalyzer::profile(const stats::TimeSeries& hourly,
+                                      net::TimeRange week) {
+  std::vector<double> values;
+  for (const auto& [ts, v] : hourly.points_in(week)) values.push_back(v);
+  if (values.empty()) {
+    throw std::invalid_argument("PeakAnalyzer: no data in the requested week");
+  }
+  std::sort(values.begin(), values.end());
+
+  const std::size_t n = values.size();
+  auto mean_of = [&](std::size_t from, std::size_t to) {  // [from, to)
+    double sum = 0.0;
+    for (std::size_t i = from; i < to; ++i) sum += values[i];
+    return sum / static_cast<double>(to - from);
+  };
+
+  WeekLoadProfile p;
+  p.valley = values.front();
+  p.peak = values.back();
+  p.p95 = values[std::min(n - 1, static_cast<std::size_t>(0.95 * n))];
+  p.mean = mean_of(0, n);
+  p.busy_mean = mean_of(n - std::max<std::size_t>(1, n / 10), n);
+  p.offpeak_mean = mean_of(0, std::max<std::size_t>(1, n / 4));
+  return p;
+}
+
+PeakShift PeakAnalyzer::compare(const stats::TimeSeries& hourly,
+                                net::TimeRange base_week,
+                                net::TimeRange after_week) {
+  return PeakShift{profile(hourly, base_week), profile(hourly, after_week)};
+}
+
+}  // namespace lockdown::analysis

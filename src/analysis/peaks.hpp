@@ -1,0 +1,59 @@
+// §9 (Discussion) quantified: "The effect of the pandemic fills the valleys
+// during the working hours ... and has a moderate increase in the peak
+// traffic that can be handled by well-provisioned networks."
+//
+// Traffic engineering provisions for the peak; this analyzer splits a
+// week's hourly series into peak / busy / off-peak strata and compares two
+// weeks stratum by stratum, so the "valley-filling" claim becomes a number:
+// off-peak growth should exceed mean growth, which should exceed peak
+// growth.
+#pragma once
+
+#include "net/civil_time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lockdown::analysis {
+
+struct WeekLoadProfile {
+  double peak = 0.0;        ///< maximum hourly volume
+  double p95 = 0.0;         ///< 95th-percentile hour (industry billing metric)
+  double busy_mean = 0.0;   ///< mean of the busiest 10% of hours
+  double mean = 0.0;        ///< mean over all hours
+  double offpeak_mean = 0.0;///< mean of the quietest 25% of hours
+  double valley = 0.0;      ///< minimum hourly volume
+};
+
+struct PeakShift {
+  WeekLoadProfile base;
+  WeekLoadProfile after;
+
+  [[nodiscard]] double peak_growth_pct() const noexcept;
+  [[nodiscard]] double p95_growth_pct() const noexcept;
+  [[nodiscard]] double mean_growth_pct() const noexcept;
+  [[nodiscard]] double offpeak_growth_pct() const noexcept;
+  [[nodiscard]] double valley_growth_pct() const noexcept;
+
+  /// The §9 claim in one bit: valleys grow faster than peaks.
+  [[nodiscard]] bool valleys_fill_faster() const noexcept {
+    return offpeak_growth_pct() > peak_growth_pct();
+  }
+
+  /// Peak-to-mean ratio ("burstiness") before and after; valley-filling
+  /// flattens it.
+  [[nodiscard]] double base_peak_to_mean() const noexcept;
+  [[nodiscard]] double after_peak_to_mean() const noexcept;
+};
+
+class PeakAnalyzer {
+ public:
+  /// Stratified load profile of `week` from an hourly series. The week
+  /// must contain data. Throws std::invalid_argument if empty.
+  [[nodiscard]] static WeekLoadProfile profile(const stats::TimeSeries& hourly,
+                                               net::TimeRange week);
+
+  [[nodiscard]] static PeakShift compare(const stats::TimeSeries& hourly,
+                                         net::TimeRange base_week,
+                                         net::TimeRange after_week);
+};
+
+}  // namespace lockdown::analysis

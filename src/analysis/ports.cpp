@@ -1,0 +1,113 @@
+#include "analysis/ports.hpp"
+
+#include <algorithm>
+
+#include "synth/timeline.hpp"
+
+namespace lockdown::analysis {
+
+using flow::PortKey;
+
+PortAnalyzer::PortAnalyzer(std::vector<net::TimeRange> weeks,
+                           bool holidays_as_weekend)
+    : weeks_(std::move(weeks)), holidays_as_weekend_(holidays_as_weekend) {}
+
+void PortAnalyzer::add(const flow::FlowRecord& r) {
+  std::size_t week_index = weeks_.size();
+  for (std::size_t i = 0; i < weeks_.size(); ++i) {
+    if (weeks_[i].contains(r.first)) {
+      week_index = i;
+      break;
+    }
+  }
+  if (week_index == weeks_.size()) return;
+
+  const net::Date date = r.first.date();
+  const bool weekend =
+      date.is_weekend_day() ||
+      (holidays_as_weekend_ && synth::is_holiday_2020(date));
+  const PortKey port = r.service_port();
+  const auto bytes = static_cast<double>(r.bytes);
+
+  bytes_[{week_index, port, weekend, r.first.hour_of_day()}] += bytes;
+  totals_[port] += bytes;
+  all_bytes_ += bytes;
+  if (port.proto == flow::IpProtocol::kTcp && (port.port == 80 || port.port == 443)) {
+    web_bytes_ += bytes;
+  }
+}
+
+std::vector<PortKey> PortAnalyzer::top_ports(std::size_t top_n,
+                                             bool skip_web) const {
+  std::vector<std::pair<PortKey, double>> ranked(totals_.begin(), totals_.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<PortKey> out;
+  for (const auto& [port, bytes] : ranked) {
+    if (skip_web && port.proto == flow::IpProtocol::kTcp &&
+        (port.port == 80 || port.port == 443)) {
+      continue;
+    }
+    out.push_back(port);
+    if (out.size() == top_n) break;
+  }
+  return out;
+}
+
+std::vector<PortAnalyzer::PortProfile> PortAnalyzer::profiles(
+    const std::vector<PortKey>& ports) const {
+  // Count workdays/weekend days per week for averaging.
+  std::vector<std::array<unsigned, 2>> day_counts(weeks_.size(), {0, 0});
+  for (std::size_t w = 0; w < weeks_.size(); ++w) {
+    for (net::Timestamp t = weeks_[w].begin.floor_day(); t < weeks_[w].end;
+         t = t.plus(net::kSecondsPerDay)) {
+      const net::Date d = t.date();
+      const bool weekend =
+          d.is_weekend_day() ||
+          (holidays_as_weekend_ && synth::is_holiday_2020(d));
+      ++day_counts[w][weekend ? 1 : 0];
+    }
+  }
+
+  std::vector<PortProfile> out;
+  for (const PortKey& port : ports) {
+    // Find the port's maximum hourly average across all weeks for the
+    // shared normalization.
+    double max_avg = 0.0;
+    std::vector<PortProfile> port_profiles;
+    for (std::size_t w = 0; w < weeks_.size(); ++w) {
+      PortProfile p;
+      p.port = port;
+      p.week_index = w;
+      for (unsigned h = 0; h < 24; ++h) {
+        for (const bool weekend : {false, true}) {
+          const auto it = bytes_.find({w, port, weekend, h});
+          const unsigned days = day_counts[w][weekend ? 1 : 0];
+          const double avg =
+              (it == bytes_.end() || days == 0)
+                  ? 0.0
+                  : it->second / static_cast<double>(days);
+          (weekend ? p.weekend : p.workday)[h] = avg;
+          max_avg = std::max(max_avg, avg);
+        }
+      }
+      port_profiles.push_back(p);
+    }
+    if (max_avg > 0.0) {
+      for (PortProfile& p : port_profiles) {
+        for (unsigned h = 0; h < 24; ++h) {
+          p.workday[h] /= max_avg;
+          p.weekend[h] /= max_avg;
+        }
+      }
+    }
+    out.insert(out.end(), port_profiles.begin(), port_profiles.end());
+  }
+  return out;
+}
+
+double PortAnalyzer::web_share() const noexcept {
+  return all_bytes_ > 0.0 ? web_bytes_ / all_bytes_ : 0.0;
+}
+
+}  // namespace lockdown::analysis

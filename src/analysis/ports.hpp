@@ -1,0 +1,67 @@
+// §4 / Fig 7: per-port diurnal traffic profiles. For each analysis week,
+// volume is kept per (service port, hour-of-day, workday/weekend); the
+// figure plots the top 3-12 ports (TCP/443 and TCP/80 are omitted for
+// readability) normalized across all weeks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "net/civil_time.hpp"
+
+namespace lockdown::analysis {
+
+class PortAnalyzer {
+ public:
+  /// `weeks`: the analysis weeks (e.g. Feb/Mar/Apr weeks of Fig 7). Flows
+  /// outside all weeks are ignored. Holiday days count as weekends when
+  /// `holidays_as_weekend` (the ISP treats Easter as weekend days, §4).
+  explicit PortAnalyzer(std::vector<net::TimeRange> weeks,
+                        bool holidays_as_weekend = true);
+
+  void add(const flow::FlowRecord& r);
+
+  [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
+    return [this](const flow::FlowRecord& r) { add(r); };
+  }
+
+  /// Ports ranked by total volume over all weeks. `skip_web` drops TCP/80
+  /// and TCP/443 (the paper omits them); `top_n` bounds the result.
+  [[nodiscard]] std::vector<flow::PortKey> top_ports(std::size_t top_n,
+                                                     bool skip_web = true) const;
+
+  /// Hourly profile of one port in one week: 24 workday values followed by
+  /// 24 weekend values, each the average bytes for that hour-of-day,
+  /// normalized by the port's maximum across *all* weeks (so growth across
+  /// weeks is visible, like Fig 7's shared scale).
+  struct PortProfile {
+    flow::PortKey port;
+    std::size_t week_index = 0;
+    std::array<double, 24> workday{};
+    std::array<double, 24> weekend{};
+  };
+  [[nodiscard]] std::vector<PortProfile> profiles(
+      const std::vector<flow::PortKey>& ports) const;
+
+  /// Total bytes share of TCP/443 + TCP/80 (the paper: ~80% at the ISP,
+  /// ~60% at the IXP).
+  [[nodiscard]] double web_share() const noexcept;
+
+ private:
+  struct Cell {
+    double bytes = 0.0;
+    unsigned days = 0;  // populated lazily at query time
+  };
+
+  std::vector<net::TimeRange> weeks_;
+  bool holidays_as_weekend_;
+  // key: (week index, port, weekend?, hour)
+  std::map<std::tuple<std::size_t, flow::PortKey, bool, unsigned>, double> bytes_;
+  std::map<flow::PortKey, double> totals_;
+  double all_bytes_ = 0.0;
+  double web_bytes_ = 0.0;
+};
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,48 @@
+// Volume aggregation: flows -> calendar time series, the reduction behind
+// Figs 1, 2a, 3, 11a. A VolumeAggregator is a flow sink (plugs directly
+// into a flow::Collector or a synth::FlowSynthesizer) with an optional
+// record filter.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "flow/flow_record.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lockdown::analysis {
+
+class VolumeAggregator {
+ public:
+  using Filter = std::function<bool(const flow::FlowRecord&)>;
+
+  explicit VolumeAggregator(stats::Bucket bucket, Filter filter = {})
+      : series_(bucket), filter_(std::move(filter)) {}
+
+  void add(const flow::FlowRecord& r) {
+    if (filter_ && !filter_(r)) return;
+    series_.add(r.first, static_cast<double>(r.bytes));
+    ++records_;
+  }
+
+  /// Sink adapter.
+  [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
+    return [this](const flow::FlowRecord& r) { add(r); };
+  }
+
+  [[nodiscard]] const stats::TimeSeries& series() const noexcept { return series_; }
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+
+ private:
+  stats::TimeSeries series_;
+  Filter filter_;
+  std::uint64_t records_ = 0;
+};
+
+/// Fig 1 reduction: daily traffic averaged per week, normalized by the
+/// value of `baseline_week` (the paper's calendar week 3). Input must be a
+/// day- or finer-bucketed series; returns (paper week -> normalized value).
+[[nodiscard]] std::vector<std::pair<unsigned, double>> weekly_normalized(
+    const stats::TimeSeries& series, unsigned baseline_week = 3);
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,116 @@
+#include "dns/corpus.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lockdown::dns {
+
+namespace {
+
+constexpr std::array<const char*, 24> kOrgStems = {
+    "acme",    "globex",   "initech", "umbra",   "vandelay", "hooli",
+    "stark",   "wayne",    "tyrell",  "cyberdyne", "aperture", "wonka",
+    "oscorp",  "dunder",   "pied",    "massive", "soylent",  "gringott",
+    "weyland", "monarch",  "sirius",  "zorin",   "virtucon", "octan"};
+
+constexpr std::array<const char*, 12> kOrgSuffixes = {
+    "corp", "group",  "systems", "labs",   "works", "tech",
+    "soft", "media",  "logistics", "energy", "bank",  "consulting"};
+
+constexpr std::array<const char*, 8> kTlds = {"com", "net",   "org", "de",
+                                              "es",  "co.uk", "eu",  "io"};
+
+// Varied VPN gateway naming patterns seen in real CT logs. All contain
+// "vpn" as a substring of some label left of the public suffix.
+constexpr std::array<const char*, 8> kVpnPatterns = {
+    "vpn",      "vpn2",     "sslvpn", "companyvpn3",
+    "vpn-gw",   "remotevpn", "myvpn", "vpn1"};
+
+// Host names that contain "vpn" only incidentally; the substring matcher
+// still flags them (conservative direction for the detector).
+constexpr std::array<const char*, 3> kDecoyPatterns = {"openvpn-docs", "vpnshop",
+                                                       "novpnhere"};
+
+constexpr std::array<const char*, 5> kPlainHosts = {"mail", "portal", "shop",
+                                                    "intranet", "api"};
+
+}  // namespace
+
+SyntheticCorpus generate_corpus(const CorpusConfig& config) {
+  if (config.address_pools.empty()) {
+    throw std::invalid_argument("generate_corpus: empty address pool list");
+  }
+
+  util::Rng rng(config.seed);
+  SyntheticCorpus corpus;
+  std::uint64_t next_host = 1;  // allocation cursor across all pools
+
+  auto allocate_ip = [&]() -> net::IpAddress {
+    const auto& pool =
+        config.address_pools[next_host % config.address_pools.size()];
+    // Skip network/broadcast-ish low addresses for realism.
+    const net::Ipv4Address addr = pool.address_at(16 + next_host * 7);
+    ++next_host;
+    return addr;
+  };
+
+  auto register_host = [&](const std::string& fqdn,
+                           net::IpAddress ip) -> Domain {
+    const auto domain = Domain::parse(fqdn);
+    if (!domain) throw std::logic_error("generate_corpus: bad fqdn " + fqdn);
+    corpus.domains.push_back(*domain);
+    corpus.dns.add(*domain, ip);
+    return *domain;
+  };
+
+  for (std::size_t i = 0; i < config.organizations; ++i) {
+    const std::string stem = kOrgStems[rng.uniform_u64(kOrgStems.size())];
+    const std::string suffix = kOrgSuffixes[rng.uniform_u64(kOrgSuffixes.size())];
+    const std::string tld = kTlds[rng.uniform_u64(kTlds.size())];
+    const std::string registrable =
+        stem + "-" + suffix + "-" + std::to_string(i) + "." + tld;
+
+    // Every org has a www host plus a couple of plain services.
+    const net::IpAddress www_ip = allocate_ip();
+    register_host("www." + registrable, www_ip);
+    const std::size_t extra = rng.uniform_u64(3);
+    const std::size_t host_offset = rng.uniform_u64(kPlainHosts.size());
+    for (std::size_t h = 0; h < extra; ++h) {
+      // Distinct host names per organization (offset walk, no repeats).
+      register_host(std::string(kPlainHosts[(host_offset + h) % kPlainHosts.size()]) +
+                        "." + registrable,
+                    allocate_ip());
+    }
+
+    if (rng.bernoulli(config.vpn_fraction)) {
+      const std::string pattern = kVpnPatterns[rng.uniform_u64(kVpnPatterns.size())];
+      if (rng.bernoulli(config.shared_ip_fraction)) {
+        // Gateway behind the same front end as www: must be eliminated.
+        register_host(pattern + "." + registrable, www_ip);
+        corpus.www_shared_vpn_ips.insert(www_ip);
+      } else {
+        const net::IpAddress vpn_ip = allocate_ip();
+        register_host(pattern + "." + registrable, vpn_ip);
+        corpus.vpn_gateway_ips.insert(vpn_ip);
+      }
+    } else if (rng.bernoulli(config.decoy_fraction)) {
+      const std::string pattern =
+          kDecoyPatterns[rng.uniform_u64(kDecoyPatterns.size())];
+      const net::IpAddress ip = allocate_ip();
+      register_host(pattern + "." + registrable, ip);
+      // Substring semantics: these are legitimate matches of the paper's
+      // "*vpn*" filter, hence ground-truth candidates.
+      corpus.vpn_gateway_ips.insert(ip);
+    } else if (rng.bernoulli(0.10)) {
+      // Port-only VPN gateway: IPsec/OpenVPN server with a non-vpn name.
+      const net::IpAddress ip = allocate_ip();
+      register_host("gw." + registrable, ip);
+      corpus.portonly_vpn_ips.insert(ip);
+    }
+  }
+  return corpus;
+}
+
+}  // namespace lockdown::dns

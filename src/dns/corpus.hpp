@@ -1,0 +1,57 @@
+// Synthetic domain corpus generator: stands in for the 2.7B CT-log domains,
+// 1.9B Rapid7 forward-DNS names and the Cisco Umbrella toplist the paper
+// mined for "*vpn*" labels (§6). The generator produces organizations with
+// realistic host name sets (www, mail, portal, ...), a configurable
+// fraction of VPN gateways under varied "*vpn*" naming patterns, and --
+// crucially -- a fraction of VPN names that share their IP address with the
+// organization's www host, which is exactly the misclassification hazard
+// the paper's www-collision elimination rule exists for.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dns/domain.hpp"
+#include "dns/resolver.hpp"
+#include "net/prefix.hpp"
+
+namespace lockdown::dns {
+
+struct CorpusConfig {
+  std::uint64_t seed = 1;
+  std::size_t organizations = 1000;
+  /// Probability that an organization operates a VPN gateway.
+  double vpn_fraction = 0.35;
+  /// Probability that a VPN gateway name resolves to the same address as
+  /// the org's www host (reverse-proxy / shared front end).
+  double shared_ip_fraction = 0.15;
+  /// Probability of an unrelated host whose name merely *contains* "vpn"
+  /// as part of a word ("openvpn-docs", "vpn" inside a product name) --
+  /// these are true positives for the *label* matcher by the paper's
+  /// definition (substring match), so they count as candidates too.
+  double decoy_fraction = 0.05;
+  /// Address pools to allocate organization hosts from. Must be non-empty.
+  std::vector<net::Ipv4Prefix> address_pools = {
+      net::Ipv4Prefix(net::Ipv4Address(203, 0, 0, 0), 10)};
+};
+
+/// Generated corpus with ground truth for evaluating the detector.
+struct SyntheticCorpus {
+  std::vector<Domain> domains;  ///< everything that appeared in CT/FDNS
+  DnsDb dns;
+
+  /// Ground truth: addresses of VPN gateways with a dedicated IP.
+  std::set<net::IpAddress> vpn_gateway_ips;
+  /// Addresses of VPN names that collide with the www host (should be
+  /// eliminated by the detector to stay conservative).
+  std::set<net::IpAddress> www_shared_vpn_ips;
+  /// Port-based-only VPN servers (IPsec/OpenVPN on well-known ports, no
+  /// *vpn* DNS name at all) -- invisible to the domain heuristic.
+  std::set<net::IpAddress> portonly_vpn_ips;
+};
+
+[[nodiscard]] SyntheticCorpus generate_corpus(const CorpusConfig& config);
+
+}  // namespace lockdown::dns

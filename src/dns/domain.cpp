@@ -1,0 +1,61 @@
+#include "dns/domain.hpp"
+
+#include "util/strings.hpp"
+
+namespace lockdown::dns {
+
+namespace {
+
+bool valid_label(std::string_view label) noexcept {
+  if (label.empty() || label.size() > 63) return false;
+  if (label.front() == '-' || label.back() == '-') return false;
+  for (const char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Domain> Domain::parse(std::string_view text) {
+  if (!text.empty() && text.back() == '.') text.remove_suffix(1);
+  if (text.empty() || text.size() > 253) return std::nullopt;
+  const std::string lower = util::to_lower(text);
+  for (const auto label : util::split(lower, '.')) {
+    if (!valid_label(label)) return std::nullopt;
+  }
+  return Domain(lower);
+}
+
+std::vector<std::string_view> Domain::labels() const {
+  return util::split(name_, '.');
+}
+
+std::size_t Domain::label_count() const noexcept {
+  if (name_.empty()) return 0;
+  std::size_t n = 1;
+  for (const char c : name_) {
+    if (c == '.') ++n;
+  }
+  return n;
+}
+
+std::string_view Domain::suffix(std::size_t n) const noexcept {
+  const std::string_view full(name_);
+  if (n == 0) return full.substr(full.size());
+  std::size_t dots = 0;
+  for (std::size_t i = full.size(); i-- > 0;) {
+    if (full[i] == '.') {
+      if (++dots == n) return full.substr(i + 1);
+    }
+  }
+  return full;  // n >= label count
+}
+
+std::optional<Domain> Domain::with_prefix_label(std::string_view label) const {
+  if (empty()) return std::nullopt;
+  return parse(std::string(label) + "." + name_);
+}
+
+}  // namespace lockdown::dns

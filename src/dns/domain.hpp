@@ -1,0 +1,50 @@
+// DNS domain names. Stored lowercase (DNS is case-insensitive) with
+// validated label syntax; label access is zero-copy.
+#pragma once
+
+#include <compare>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::dns {
+
+class Domain {
+ public:
+  Domain() = default;
+
+  /// Parse and normalize. Rules: 1-253 chars total, labels of 1-63 chars of
+  /// [a-z0-9-] (not starting/ending with '-'), at least one dot-separated
+  /// label. A single trailing dot (FQDN form) is accepted and stripped.
+  [[nodiscard]] static std::optional<Domain> parse(std::string_view text);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] bool empty() const noexcept { return name_.empty(); }
+
+  /// Labels left-to-right ("a.b.com" -> ["a","b","com"]). Views into name().
+  [[nodiscard]] std::vector<std::string_view> labels() const;
+
+  [[nodiscard]] std::size_t label_count() const noexcept;
+
+  /// The last `n` labels joined ("a.b.com", 2 -> "b.com"); whole domain if
+  /// n >= label_count.
+  [[nodiscard]] std::string_view suffix(std::size_t n) const noexcept;
+
+  /// New domain with `label` prepended ("www" + "example.com").
+  [[nodiscard]] std::optional<Domain> with_prefix_label(std::string_view label) const;
+
+  friend auto operator<=>(const Domain&, const Domain&) = default;
+
+ private:
+  explicit Domain(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+};
+
+struct DomainHash {
+  [[nodiscard]] std::size_t operator()(const Domain& d) const noexcept {
+    return std::hash<std::string>{}(d.name());
+  }
+};
+
+}  // namespace lockdown::dns

@@ -1,0 +1,117 @@
+#include "dns/public_suffix.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace lockdown::dns {
+
+PublicSuffixList PublicSuffixList::builtin() {
+  PublicSuffixList psl;
+  psl.load(R"(// built-in mini PSL: suffixes used by the synthetic corpora
+com
+net
+org
+edu
+gov
+int
+de
+es
+eu
+us
+io
+fr
+it
+nl
+ch
+at
+uk
+co.uk
+ac.uk
+gov.uk
+cloud
+app
+dev
+online
+site
+// wildcard + exception examples (exercise the full algorithm)
+*.ck
+!www.ck
+)");
+  return psl;
+}
+
+bool PublicSuffixList::add_rule(std::string_view rule) {
+  rule = util::trim(rule);
+  if (rule.empty()) return false;
+
+  RuleKind kind = RuleKind::kNormal;
+  if (rule.front() == '!') {
+    kind = RuleKind::kException;
+    rule.remove_prefix(1);
+  } else if (util::starts_with(rule, "*.")) {
+    kind = RuleKind::kWildcard;
+    rule.remove_prefix(2);
+  }
+  const auto domain = Domain::parse(rule);
+  if (!domain) return false;
+  rules_[domain->name()] = kind;
+  return true;
+}
+
+void PublicSuffixList::load(std::string_view file_contents) {
+  for (const auto line : util::split(file_contents, '\n')) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || util::starts_with(trimmed, "//")) continue;
+    (void)add_rule(trimmed);
+  }
+}
+
+std::size_t PublicSuffixList::public_suffix_labels(const Domain& d) const {
+  const std::size_t n = d.label_count();
+  std::size_t best = 1;  // fallback rule "*": the TLD is a public suffix
+
+  for (std::size_t k = 1; k <= n; ++k) {
+    const auto it = rules_.find(std::string(d.suffix(k)));
+    if (it == rules_.end()) continue;
+    switch (it->second) {
+      case RuleKind::kException:
+        // Exception rule prevails immediately; its suffix is one label
+        // shorter than the rule itself.
+        return k - 1;
+      case RuleKind::kNormal:
+        best = std::max(best, k);
+        break;
+      case RuleKind::kWildcard:
+        // "*.foo" covers one extra label beyond the stored base, but only
+        // if the domain actually has it.
+        if (n >= k + 1) best = std::max(best, k + 1);
+        // The wildcard's base itself is also a public suffix per PSL
+        // semantics (the implicit "foo" entry).
+        best = std::max(best, k);
+        break;
+    }
+  }
+  return std::min(best, n);
+}
+
+std::string PublicSuffixList::public_suffix(const Domain& d) const {
+  return std::string(d.suffix(public_suffix_labels(d)));
+}
+
+std::optional<Domain> PublicSuffixList::registrable_domain(const Domain& d) const {
+  const std::size_t suffix_labels = public_suffix_labels(d);
+  if (d.label_count() <= suffix_labels) return std::nullopt;
+  return Domain::parse(d.suffix(suffix_labels + 1));
+}
+
+std::vector<std::string_view> PublicSuffixList::labels_left_of_suffix(
+    const Domain& d) const {
+  const std::size_t suffix_labels = public_suffix_labels(d);
+  auto labels = d.labels();
+  const std::size_t keep = labels.size() - std::min(labels.size(), suffix_labels);
+  labels.resize(keep);
+  return labels;
+}
+
+}  // namespace lockdown::dns

@@ -1,0 +1,59 @@
+// Public Suffix List engine (https://publicsuffix.org/ -- paper ref [43]).
+// Implements the PSL algorithm: normal rules, wildcard rules ("*.ck") and
+// exception rules ("!www.ck"); the longest matching rule wins and the
+// registrable domain is the public suffix plus one label.
+//
+// The paper's VPN heuristic (§6) searches for "*vpn*" in labels *left of
+// the public suffix*, which requires exactly this computation.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/domain.hpp"
+
+namespace lockdown::dns {
+
+class PublicSuffixList {
+ public:
+  /// Empty list: every TLD (last label) acts as the public suffix, which is
+  /// the PSL's specified fallback ("the prevailing rule is '*'").
+  PublicSuffixList() = default;
+
+  /// A built-in list covering the suffixes our synthetic corpora use (com,
+  /// net, org, de, es, eu, uk + co.uk/ac.uk, us, io, cloud, app, edu, ...).
+  [[nodiscard]] static PublicSuffixList builtin();
+
+  /// Add one rule in PSL file syntax: "com", "co.uk", "*.ck", "!www.ck".
+  /// Returns false (and changes nothing) on malformed input.
+  bool add_rule(std::string_view rule);
+
+  /// Load newline-separated rules; '//' comments and blank lines ignored.
+  void load(std::string_view file_contents);
+
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  /// Number of labels in the public suffix of `d` (>= 1 by the fallback
+  /// rule; may equal label_count for a bare suffix like "co.uk").
+  [[nodiscard]] std::size_t public_suffix_labels(const Domain& d) const;
+
+  /// The public suffix itself ("a.b.co.uk" -> "co.uk").
+  [[nodiscard]] std::string public_suffix(const Domain& d) const;
+
+  /// Registrable domain = public suffix + 1 label ("a.b.co.uk" -> "b.co.uk").
+  /// nullopt when the whole name is itself a public suffix.
+  [[nodiscard]] std::optional<Domain> registrable_domain(const Domain& d) const;
+
+  /// Labels strictly left of the public suffix, left-to-right.
+  [[nodiscard]] std::vector<std::string_view> labels_left_of_suffix(const Domain& d) const;
+
+ private:
+  enum class RuleKind : std::uint8_t { kNormal, kWildcard, kException };
+  // Keyed by the rule's literal label string (wildcard stored without "*.").
+  std::unordered_map<std::string, RuleKind> rules_;
+};
+
+}  // namespace lockdown::dns

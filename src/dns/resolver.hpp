@@ -1,0 +1,39 @@
+// Forward-DNS database: the "resolve all matching domains" step of the
+// paper's VPN heuristic needs an A-record source. In the paper this was
+// live resolution of 3M candidate domains; here it is a deterministic map
+// populated by the synthetic corpus generator.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/domain.hpp"
+#include "net/ip.hpp"
+
+namespace lockdown::dns {
+
+class DnsDb {
+ public:
+  void add(const Domain& domain, net::IpAddress address) {
+    records_[domain].push_back(address);
+  }
+
+  /// A-records for `domain` (empty if NXDOMAIN).
+  [[nodiscard]] std::span<const net::IpAddress> resolve(const Domain& domain) const {
+    const auto it = records_.find(domain);
+    if (it == records_.end()) return {};
+    return it->second;
+  }
+
+  [[nodiscard]] bool exists(const Domain& domain) const {
+    return records_.contains(domain);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  std::unordered_map<Domain, std::vector<net::IpAddress>, DomainHash> records_;
+};
+
+}  // namespace lockdown::dns

@@ -1,0 +1,50 @@
+#include "dns/vpn_finder.hpp"
+
+#include "util/strings.hpp"
+
+namespace lockdown::dns {
+
+bool VpnCandidateFinder::matches(const Domain& domain) const {
+  const auto left = psl_.labels_left_of_suffix(domain);
+  if (left.empty()) return false;
+  // "labeled as *vpn* but not as www." -- the paper excludes www hosts.
+  if (left.front() == "www") return false;
+  for (const auto label : left) {
+    if (util::contains(label, needle_)) return true;
+  }
+  return false;
+}
+
+VpnCandidateResult VpnCandidateFinder::find(std::span<const Domain> corpus,
+                                            const DnsDb& dns) const {
+  VpnCandidateResult result;
+
+  // Step 1 + 2: match and resolve.
+  std::vector<const Domain*> matched;
+  for (const Domain& d : corpus) {
+    if (!matches(d)) continue;
+    ++result.matched_domains;
+    matched.push_back(&d);
+    for (const net::IpAddress& ip : dns.resolve(d)) {
+      result.candidate_ips.insert(ip);
+    }
+  }
+  result.resolved_ips = result.candidate_ips.size();
+
+  // Step 3: eliminate addresses shared with the www host of the same
+  // registrable domain.
+  for (const Domain* d : matched) {
+    const auto registrable = psl_.registrable_domain(*d);
+    if (!registrable) continue;
+    const auto www = registrable->with_prefix_label("www");
+    if (!www) continue;
+    for (const net::IpAddress& www_ip : dns.resolve(*www)) {
+      if (result.candidate_ips.erase(www_ip) > 0) {
+        ++result.eliminated_shared_ips;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lockdown::dns

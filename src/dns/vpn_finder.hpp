@@ -1,0 +1,54 @@
+// The paper's §6 domain-based VPN identification, verbatim:
+//
+//   1. Search every corpus domain for "vpn" as a substring of any label
+//      left of the public suffix (e.g. companyvpn3.example.com), excluding
+//      names whose host label is exactly "www".
+//   2. Resolve all matching domains to candidate IP addresses.
+//   3. For each match, also resolve www.<registrable domain>; if the
+//      candidate shares an address with the www host, eliminate that
+//      address (conservative estimate: do not claim Web front ends).
+//   4. Classify TCP/443 traffic towards the surviving candidates as VPN.
+//
+// Step 4 lives in analysis::VpnAnalyzer; this class produces the candidate
+// address set and bookkeeping statistics.
+#pragma once
+
+#include <set>
+#include <span>
+#include <string>
+
+#include "dns/domain.hpp"
+#include "dns/public_suffix.hpp"
+#include "dns/resolver.hpp"
+
+namespace lockdown::dns {
+
+struct VpnCandidateResult {
+  std::set<net::IpAddress> candidate_ips;
+
+  // Statistics mirroring the paper's reported funnel (3M candidate IPs ->
+  // 1.7M after removing shared addresses).
+  std::size_t matched_domains = 0;
+  std::size_t resolved_ips = 0;          ///< before www elimination
+  std::size_t eliminated_shared_ips = 0; ///< removed by the www rule
+};
+
+class VpnCandidateFinder {
+ public:
+  explicit VpnCandidateFinder(const PublicSuffixList& psl,
+                              std::string needle = "vpn")
+      : psl_(psl), needle_(std::move(needle)) {}
+
+  /// True if `domain` matches the *vpn* filter (step 1 above).
+  [[nodiscard]] bool matches(const Domain& domain) const;
+
+  /// Run the full funnel over a corpus.
+  [[nodiscard]] VpnCandidateResult find(std::span<const Domain> corpus,
+                                        const DnsDb& dns) const;
+
+ private:
+  const PublicSuffixList& psl_;
+  std::string needle_;
+};
+
+}  // namespace lockdown::dns

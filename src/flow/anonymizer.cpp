@@ -1,0 +1,89 @@
+#include "flow/anonymizer.hpp"
+
+#include <array>
+
+namespace lockdown::flow {
+
+using net::Ipv4Address;
+using net::Ipv6Address;
+
+Ipv4Address Anonymizer::anonymize(Ipv4Address addr) const noexcept {
+  if (mode_ == AnonymizationMode::kPrefixPreserving) {
+    return prefix_preserving_v4(addr);
+  }
+  // Four-round Feistel network on 16-bit halves with a SipHash round
+  // function: a keyed *bijection* on the 32-bit address space, so distinct
+  // addresses never collide (unique-IP counts on anonymized traces are
+  // exact, which Fig 8 relies on).
+  std::uint32_t left = addr.value() >> 16;
+  std::uint32_t right = addr.value() & 0xffff;
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    const std::uint64_t f = util::siphash24_value(
+        key_, (static_cast<std::uint64_t>(round) << 32) | right);
+    const std::uint32_t next = left ^ (static_cast<std::uint32_t>(f) & 0xffff);
+    left = right;
+    right = next;
+  }
+  return Ipv4Address((left << 16) | right);
+}
+
+Ipv6Address Anonymizer::anonymize(const Ipv6Address& addr) const noexcept {
+  if (mode_ == AnonymizationMode::kPrefixPreserving) {
+    // Bitwise scheme over the full 128 bits, same construction as v4.
+    const auto& in = addr.bytes();
+    Ipv6Address::Bytes out{};
+    std::uint64_t prefix_hi = 0;
+    std::uint64_t prefix_lo = 0;
+    for (int bit = 0; bit < 128; ++bit) {
+      const int byte = bit / 8;
+      const int shift = 7 - bit % 8;
+      const int b = (in[byte] >> shift) & 1;
+      // One pseudorandom bit per prefix value seen so far.
+      const std::uint64_t h = util::siphash24_value(
+          key_, std::array<std::uint64_t, 2>{
+                    prefix_hi, (prefix_lo << 8) | static_cast<unsigned>(bit)});
+      const int flip = static_cast<int>(h & 1);
+      out[byte] = static_cast<std::uint8_t>(out[byte] | ((b ^ flip) << shift));
+      // Extend the prefix with the *original* bit.
+      prefix_hi = (prefix_hi << 1) | (prefix_lo >> 63);
+      prefix_lo = (prefix_lo << 1) | static_cast<unsigned>(b);
+    }
+    return Ipv6Address(out);
+  }
+  const std::uint64_t h1 = util::siphash24_value(key_, addr.high());
+  const std::uint64_t h2 = util::siphash24_value(
+      key_, std::array<std::uint64_t, 2>{addr.low(), 0x6c6f636bULL});
+  return Ipv6Address::from_halves(h1, h2);
+}
+
+net::IpAddress Anonymizer::anonymize(const net::IpAddress& addr) const noexcept {
+  return addr.is_v4() ? net::IpAddress(anonymize(addr.v4()))
+                      : net::IpAddress(anonymize(addr.v6()));
+}
+
+void Anonymizer::anonymize(FlowRecord& record) const noexcept {
+  record.src_addr = anonymize(record.src_addr);
+  record.dst_addr = anonymize(record.dst_addr);
+}
+
+Ipv4Address Anonymizer::prefix_preserving_v4(Ipv4Address addr) const noexcept {
+  // Crypto-PAn construction: output bit i = input bit i XOR f(prefix_i),
+  // where prefix_i is the first i input bits. Two addresses agreeing on k
+  // bits produce identical f-streams for the first k bits, so the outputs
+  // agree on exactly those k bits (and differ at the first disagreeing bit
+  // because XOR preserves the difference).
+  const std::uint32_t in = addr.value();
+  std::uint32_t out = 0;
+  std::uint32_t prefix = 0;  // first i bits, right-aligned
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t h = util::siphash24_value(
+        key_, (static_cast<std::uint64_t>(prefix) << 8) | static_cast<unsigned>(i));
+    const std::uint32_t in_bit = (in >> (31 - i)) & 1;
+    const std::uint32_t out_bit = in_bit ^ static_cast<std::uint32_t>(h & 1);
+    out |= out_bit << (31 - i);
+    prefix = (prefix << 1) | in_bit;
+  }
+  return Ipv4Address(out);
+}
+
+}  // namespace lockdown::flow

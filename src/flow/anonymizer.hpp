@@ -1,0 +1,51 @@
+// IP address anonymization, modelling the paper's ethics setup (§2.1): all
+// analyses ran on-premise and IP addresses were hashed before any result
+// left the vantage point. Two modes:
+//
+//  * kFullHash: each address maps to a pseudorandom address under a keyed
+//    SipHash-2-4; no structure survives. Sufficient for every analysis that
+//    groups by AS/port only (AS annotations are taken before hashing, as at
+//    the real vantage points).
+//  * kPrefixPreserving: a Crypto-PAn-style bitwise scheme where two inputs
+//    sharing a k-bit prefix map to outputs sharing exactly a k-bit prefix.
+//    This keeps prefix-trie lookups meaningful on anonymized data.
+//
+// Both are deterministic per key, so unique-IP counting (Fig 8) still works
+// on anonymized traces.
+#pragma once
+
+#include <cstdint>
+
+#include "flow/flow_record.hpp"
+#include "net/ip.hpp"
+#include "util/siphash.hpp"
+
+namespace lockdown::flow {
+
+enum class AnonymizationMode : std::uint8_t {
+  kFullHash,
+  kPrefixPreserving,
+};
+
+class Anonymizer {
+ public:
+  Anonymizer(util::SipHashKey key, AnonymizationMode mode) noexcept
+      : key_(key), mode_(mode) {}
+
+  [[nodiscard]] net::Ipv4Address anonymize(net::Ipv4Address addr) const noexcept;
+  [[nodiscard]] net::Ipv6Address anonymize(const net::Ipv6Address& addr) const noexcept;
+  [[nodiscard]] net::IpAddress anonymize(const net::IpAddress& addr) const noexcept;
+
+  /// Anonymize both endpoints of a record in place.
+  void anonymize(FlowRecord& record) const noexcept;
+
+  [[nodiscard]] AnonymizationMode mode() const noexcept { return mode_; }
+
+ private:
+  [[nodiscard]] net::Ipv4Address prefix_preserving_v4(net::Ipv4Address addr) const noexcept;
+
+  util::SipHashKey key_;
+  AnonymizationMode mode_;
+};
+
+}  // namespace lockdown::flow

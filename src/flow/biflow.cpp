@@ -1,0 +1,114 @@
+#include "flow/biflow.hpp"
+
+#include <cmath>
+
+namespace lockdown::flow {
+
+namespace {
+
+/// Initiator heuristic: the endpoint using the higher (ephemeral) port is
+/// the client; ties fall back to "src initiated" (the exporter saw the
+/// first packet in that direction).
+bool src_is_client(const FlowRecord& r) noexcept {
+  if (r.protocol == IpProtocol::kGre || r.protocol == IpProtocol::kEsp ||
+      r.protocol == IpProtocol::kIcmp) {
+    return true;
+  }
+  return r.src_port >= r.dst_port;
+}
+
+}  // namespace
+
+Biflow BiflowStitcher::orient(const FlowRecord& fwd, const FlowRecord* rev) {
+  // `fwd` is the record whose src is the client.
+  Biflow b;
+  b.client_addr = fwd.src_addr;
+  b.server_addr = fwd.dst_addr;
+  b.client_port = fwd.src_port;
+  b.server_port = fwd.dst_port;
+  b.protocol = fwd.protocol;
+  b.client_as = fwd.src_as;
+  b.server_as = fwd.dst_as;
+  b.forward_bytes = fwd.bytes;
+  b.forward_packets = fwd.packets;
+  b.first = fwd.first;
+  b.last = fwd.last;
+  if (rev != nullptr) {
+    b.reverse_bytes = rev->bytes;
+    b.reverse_packets = rev->packets;
+    if (rev->first < b.first) b.first = rev->first;
+    if (b.last < rev->last) b.last = rev->last;
+  } else {
+    b.one_sided = true;
+  }
+  return b;
+}
+
+void BiflowStitcher::add(const FlowRecord& record) {
+  // Look for the reverse 5-tuple among pending records.
+  const TupleKey reverse_key{record.dst_addr, record.src_addr, record.dst_port,
+                             record.src_port, record.protocol};
+  auto [it, end] = pending_.equal_range(reverse_key);
+  for (; it != end; ++it) {
+    const FlowRecord& partner = it->second;
+    if (std::llabs(partner.first.seconds() - record.first.seconds()) > window_) {
+      continue;
+    }
+    // Found the pair: orient by the client heuristic.
+    const FlowRecord& fwd = src_is_client(record) ? record : partner;
+    const FlowRecord& rev = src_is_client(record) ? partner : record;
+    sink_(orient(fwd, &rev));
+    ++paired_;
+    pending_.erase(it);
+    return;
+  }
+
+  // No partner yet: remember this record, periodically expiring stale
+  // state so memory stays bounded on long streams without paying a full
+  // scan per insertion.
+  if (++adds_since_expiry_ >= 4096) {
+    adds_since_expiry_ = 0;
+    expire_older_than(net::Timestamp(record.first.seconds() - 2 * window_));
+  }
+  pending_.emplace(TupleKey{record.src_addr, record.dst_addr, record.src_port,
+                            record.dst_port, record.protocol},
+                   record);
+}
+
+void BiflowStitcher::emit_one_sided(const FlowRecord& r) {
+  // Orient one-sided records too: a lone response flow still identifies
+  // the server on its source side.
+  if (src_is_client(r)) {
+    sink_(orient(r, nullptr));
+  } else {
+    FlowRecord flipped = r;
+    std::swap(flipped.src_addr, flipped.dst_addr);
+    std::swap(flipped.src_port, flipped.dst_port);
+    std::swap(flipped.src_as, flipped.dst_as);
+    flipped.bytes = 0;
+    flipped.packets = 0;
+    Biflow b = orient(flipped, nullptr);
+    b.reverse_bytes = r.bytes;
+    b.reverse_packets = r.packets;
+    sink_(b);
+  }
+  ++unpaired_;
+}
+
+void BiflowStitcher::expire_older_than(net::Timestamp cutoff) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.first < cutoff) {
+      emit_one_sided(it->second);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BiflowStitcher::flush() {
+  for (const auto& [key, record] : pending_) emit_one_sided(record);
+  pending_.clear();
+}
+
+}  // namespace lockdown::flow

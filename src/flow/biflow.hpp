@@ -1,0 +1,91 @@
+// Bidirectional flow stitching (RFC 5103 "Bidirectional Flow Export").
+//
+// NetFlow/IPFIX exporters emit two unidirectional records per TCP/UDP
+// exchange; analyses that reason about *connections* (the paper's §7) are
+// cleaner on biflows. The stitcher pairs records whose 5-tuples are exact
+// reverses within a time window and labels the initiator by the
+// ephemeral-port convention, producing one Biflow per connection; records
+// that never find a reverse partner are flushed as one-sided.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "net/ip.hpp"
+
+namespace lockdown::flow {
+
+struct Biflow {
+  // Oriented so that src is the initiator (client).
+  net::IpAddress client_addr;
+  net::IpAddress server_addr;
+  std::uint16_t client_port = 0;
+  std::uint16_t server_port = 0;
+  IpProtocol protocol = IpProtocol::kTcp;
+  net::Asn client_as;
+  net::Asn server_as;
+
+  std::uint64_t forward_bytes = 0;   ///< client -> server
+  std::uint64_t reverse_bytes = 0;   ///< server -> client
+  std::uint64_t forward_packets = 0;
+  std::uint64_t reverse_packets = 0;
+  net::Timestamp first;
+  net::Timestamp last;
+  bool one_sided = false;  ///< no reverse record was observed
+};
+
+class BiflowStitcher {
+ public:
+  using Sink = std::function<void(const Biflow&)>;
+
+  /// `pairing_window_seconds`: maximum distance between the two records'
+  /// start timestamps for them to belong to the same connection.
+  explicit BiflowStitcher(Sink sink, std::int64_t pairing_window_seconds = 300)
+      : sink_(std::move(sink)), window_(pairing_window_seconds) {}
+
+  /// Offer one unidirectional record. Emits a Biflow as soon as its
+  /// reverse partner is found; unpaired records are emitted one-sided by
+  /// flush() or when they age out of the pairing window.
+  void add(const FlowRecord& record);
+
+  /// Emit all still-unpaired records as one-sided biflows.
+  void flush();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t paired() const noexcept { return paired_; }
+  [[nodiscard]] std::uint64_t unpaired() const noexcept { return unpaired_; }
+
+ private:
+  struct TupleKey {
+    net::IpAddress a;
+    net::IpAddress b;
+    std::uint16_t pa;
+    std::uint16_t pb;
+    IpProtocol proto;
+    bool operator==(const TupleKey&) const = default;
+  };
+  struct TupleKeyHash {
+    std::size_t operator()(const TupleKey& k) const noexcept {
+      const net::IpAddressHash h;
+      std::size_t v = h(k.a) * 31 + h(k.b);
+      v = v * 31 + ((static_cast<std::size_t>(k.pa) << 16) | k.pb);
+      return v * 31 + static_cast<std::size_t>(k.proto);
+    }
+  };
+
+  [[nodiscard]] static Biflow orient(const FlowRecord& fwd, const FlowRecord* rev);
+  void emit_one_sided(const FlowRecord& r);
+  void expire_older_than(net::Timestamp cutoff);
+
+  Sink sink_;
+  std::int64_t window_;
+  std::unordered_multimap<TupleKey, FlowRecord, TupleKeyHash> pending_;
+  std::uint64_t paired_ = 0;
+  std::uint64_t unpaired_ = 0;
+  std::uint32_t adds_since_expiry_ = 0;
+};
+
+}  // namespace lockdown::flow

@@ -1,0 +1,62 @@
+#include "flow/collector_daemon.hpp"
+
+#include <stdexcept>
+
+namespace lockdown::flow {
+
+CollectorDaemon::CollectorDaemon(CollectorDaemonConfig config, SliceSink sink)
+    : config_(config), sink_(std::move(sink)),
+      collector_(config.protocol,
+                 [this](const FlowRecord& r) { on_record(r); },
+                 config.anonymizer) {
+  if (config_.rotation_seconds <= 0) {
+    throw std::invalid_argument("CollectorDaemon: non-positive rotation window");
+  }
+}
+
+void CollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
+  collector_.ingest(datagram);
+}
+
+void CollectorDaemon::on_record(const FlowRecord& record) {
+  // Window anchored on aligned flow time, like nfcapd's file naming.
+  const std::int64_t window = config_.rotation_seconds;
+  const net::Timestamp aligned(record.first.seconds() -
+                               (((record.first.seconds() % window) + window) %
+                                window));
+  if (!window_begin_) {
+    window_begin_ = aligned;
+  } else if (aligned.seconds() >= window_begin_->seconds() + window) {
+    rotate(aligned);
+  }
+  // Late records (older than the current window) are kept in the current
+  // slice rather than reopening a shipped one -- same policy as nfcapd.
+  writer_.append(record);
+  ++spooled_;
+}
+
+void CollectorDaemon::rotate(net::Timestamp new_window_begin) {
+  if (writer_.records_written() > 0) {
+    TraceSlice slice;
+    slice.begin = *window_begin_;
+    slice.records = writer_.records_written();
+    slice.image = writer_.finish();
+    ++slices_;
+    sink_(std::move(slice));
+  }
+  window_begin_ = new_window_begin;
+}
+
+void CollectorDaemon::flush() {
+  if (writer_.records_written() > 0 && window_begin_) {
+    TraceSlice slice;
+    slice.begin = *window_begin_;
+    slice.records = writer_.records_written();
+    slice.image = writer_.finish();
+    ++slices_;
+    sink_(std::move(slice));
+  }
+  window_begin_.reset();
+}
+
+}  // namespace lockdown::flow

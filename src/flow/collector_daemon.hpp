@@ -1,0 +1,72 @@
+// Rotating flow collector: the long-running service a vantage point
+// actually deploys (nfcapd-style). Combines a wire decoder, optional
+// on-premise anonymization (the §2.1 ethics requirement), and time-based
+// trace-file rotation so analysis jobs can pick up completed slices.
+//
+// The daemon is transport-agnostic: feed it datagrams from
+// UdpCollectorTransport::drain, from a pcap replay, or from the in-memory
+// pipeline -- it only cares about bytes in, rotated trace images out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/anonymizer.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/trace_file.hpp"
+
+namespace lockdown::flow {
+
+struct CollectorDaemonConfig {
+  ExportProtocol protocol = ExportProtocol::kIpfix;
+  /// Rotate when the current slice covers this many seconds of flow time
+  /// (nfcapd's default is 300s). Rotation is driven by record timestamps,
+  /// not the wall clock, so replays rotate identically to live capture.
+  std::int64_t rotation_seconds = 300;
+  /// Anonymize before spooling (nullptr = store raw).
+  const Anonymizer* anonymizer = nullptr;
+};
+
+/// A completed trace slice.
+struct TraceSlice {
+  net::Timestamp begin;  ///< start of the slice window (aligned)
+  std::vector<std::uint8_t> image;
+  std::size_t records = 0;
+};
+
+class CollectorDaemon {
+ public:
+  using SliceSink = std::function<void(TraceSlice&&)>;
+
+  CollectorDaemon(CollectorDaemonConfig config, SliceSink sink);
+
+  /// Ingest one datagram from the wire.
+  void ingest(std::span<const std::uint8_t> datagram);
+
+  /// Flush the current partial slice (end of capture / shutdown).
+  void flush();
+
+  [[nodiscard]] const CollectorStats& wire_stats() const noexcept {
+    return collector_.stats();
+  }
+  [[nodiscard]] std::size_t slices_emitted() const noexcept { return slices_; }
+  [[nodiscard]] std::size_t records_spooled() const noexcept { return spooled_; }
+
+ private:
+  void on_record(const FlowRecord& record);
+  void rotate(net::Timestamp new_window_begin);
+
+  CollectorDaemonConfig config_;
+  SliceSink sink_;
+  Collector collector_;
+  TraceWriter writer_;
+  std::optional<net::Timestamp> window_begin_;
+  std::size_t slices_ = 0;
+  std::size_t spooled_ = 0;
+};
+
+}  // namespace lockdown::flow

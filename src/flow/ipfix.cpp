@@ -1,0 +1,144 @@
+#include "flow/ipfix.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "flow/field_codec.hpp"
+#include "flow/wire.hpp"
+
+namespace lockdown::flow {
+
+namespace {
+
+void write_template_set(WireWriter& w, std::span<const TemplateRecord> templates) {
+  const std::size_t set_start = w.size();
+  w.u16(kIpfixTemplateSetId);
+  w.u16(0);  // length placeholder
+  for (const TemplateRecord& t : templates) {
+    w.u16(t.template_id);
+    w.u16(static_cast<std::uint16_t>(t.fields.size()));
+    for (const FieldSpec& f : t.fields) {
+      w.u16(static_cast<std::uint16_t>(f.id));
+      w.u16(f.length);
+    }
+  }
+  w.patch_u16(set_start + 2, static_cast<std::uint16_t>(w.size() - set_start));
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(
+    std::span<const FlowRecord> records, net::Timestamp export_time,
+    std::size_t max_records_per_message) {
+  const TemplateRecord t4 = ipfix_v4_template();
+  const TemplateRecord t6 = ipfix_v6_template();
+  const TimeContext tc{};  // IPFIX uses absolute timestamps
+
+  std::vector<std::vector<std::uint8_t>> messages;
+  if (max_records_per_message == 0) max_records_per_message = 1;
+
+  for (std::size_t off = 0; off < records.size() || messages.empty();) {
+    const std::size_t n =
+        std::min(max_records_per_message, records.size() - off);
+    WireWriter w;
+    w.u16(kIpfixVersion);
+    w.u16(0);  // total length placeholder
+    w.u32(static_cast<std::uint32_t>(export_time.seconds()));
+    w.u32(sequence_);
+    w.u32(domain_);
+
+    const std::array<TemplateRecord, 2> both = {t4, t6};
+    write_template_set(w, both);
+
+    // Partition this chunk's records into one v4 data set and one v6 data
+    // set (sets are homogeneous per template).
+    for (const bool v6_pass : {false, true}) {
+      const TemplateRecord& tmpl = v6_pass ? t6 : t4;
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (records[off + i].src_addr.is_v6() == v6_pass) ++count;
+      }
+      if (count == 0) continue;
+      const std::size_t set_start = w.size();
+      w.u16(tmpl.template_id);
+      w.u16(0);  // length placeholder
+      for (std::size_t i = 0; i < n; ++i) {
+        const FlowRecord& r = records[off + i];
+        if (r.src_addr.is_v6() != v6_pass) continue;
+        for (const FieldSpec& f : tmpl.fields) encode_field(w, f, r, tc);
+      }
+      w.patch_u16(set_start + 2, static_cast<std::uint16_t>(w.size() - set_start));
+      sequence_ += static_cast<std::uint32_t>(count);
+    }
+
+    w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
+    messages.push_back(w.take());
+    off += n;
+    if (records.empty()) break;
+  }
+  return messages;
+}
+
+std::optional<IpfixMessage> IpfixDecoder::decode(
+    std::span<const std::uint8_t> message) {
+  WireReader r(message);
+  if (r.u16() != kIpfixVersion) return std::nullopt;
+  const std::uint16_t total_len = r.u16();
+  if (total_len != message.size() || total_len < kIpfixHeaderSize) {
+    return std::nullopt;
+  }
+
+  IpfixMessage out;
+  out.export_time = r.u32();
+  out.sequence = r.u32();
+  out.observation_domain = r.u32();
+  if (r.failed()) return std::nullopt;
+
+  while (r.remaining() >= 4) {
+    const std::uint16_t set_id = r.u16();
+    const std::uint16_t set_len = r.u16();
+    if (set_len < 4 || static_cast<std::size_t>(set_len - 4) > r.remaining()) return std::nullopt;
+    WireReader set = r.sub(set_len - 4);
+
+    if (set_id == kIpfixTemplateSetId) {
+      // Template set: sequence of (template id, field count, fields...).
+      while (set.remaining() >= 4) {
+        TemplateRecord tmpl;
+        tmpl.template_id = set.u16();
+        const std::uint16_t field_count = set.u16();
+        if (tmpl.template_id < 256) return std::nullopt;
+        for (std::uint16_t i = 0; i < field_count; ++i) {
+          FieldSpec f{static_cast<FieldId>(set.u16()), set.u16()};
+          tmpl.fields.push_back(f);
+        }
+        if (set.failed()) return std::nullopt;
+        templates_[{out.observation_domain, tmpl.template_id}] = tmpl;
+        ++out.templates_seen;
+      }
+    } else if (set_id >= 256) {
+      const auto it = templates_.find({out.observation_domain, set_id});
+      if (it == templates_.end()) {
+        ++out.skipped_data_sets;
+        continue;  // RFC 7011: a collector MUST skip unknown data sets
+      }
+      const TemplateRecord& tmpl = it->second;
+      const std::size_t rec_len = tmpl.record_length();
+      if (rec_len == 0) return std::nullopt;
+      const TimeContext tc{};
+      while (set.remaining() >= rec_len) {
+        FlowRecord rec;
+        for (const FieldSpec& f : tmpl.fields) decode_field(set, f, rec, tc);
+        if (set.failed()) return std::nullopt;
+        out.records.push_back(rec);
+      }
+      // Anything left is padding (< one record); RFC 7011 allows it.
+    } else {
+      // Options templates (id 3) and reserved sets: skip.
+      continue;
+    }
+  }
+  if (r.failed()) return std::nullopt;
+  return out;
+}
+
+}  // namespace lockdown::flow

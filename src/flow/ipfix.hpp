@@ -1,0 +1,71 @@
+// IPFIX message codec (RFC 7011). Used by the IXP vantage points (the
+// paper's IXPs export IPFIX, §2). Messages are self-contained: every
+// message carries its template set followed by data sets, which models the
+// periodic template refresh real exporters perform and lets the decoder be
+// stateless per message while still exercising the template-cache path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "flow/template_fields.hpp"
+
+namespace lockdown::flow {
+
+inline constexpr std::size_t kIpfixHeaderSize = 16;
+inline constexpr std::uint16_t kIpfixVersion = 10;
+inline constexpr std::uint16_t kIpfixTemplateSetId = 2;
+
+/// Encodes FlowRecords into IPFIX messages with v4/v6 templates.
+class IpfixEncoder {
+ public:
+  explicit IpfixEncoder(std::uint32_t observation_domain) noexcept
+      : domain_(observation_domain) {}
+
+  /// Encode into one or more messages, each <= `max_records_per_message`
+  /// data records, each beginning with a template set describing both
+  /// templates. Records may mix v4 and v6.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const FlowRecord> records, net::Timestamp export_time,
+      std::size_t max_records_per_message = 24);
+
+  [[nodiscard]] std::uint32_t sequence() const noexcept { return sequence_; }
+
+ private:
+  std::uint32_t domain_;
+  std::uint32_t sequence_ = 0;  // data records sent (per RFC 7011 §3.1)
+};
+
+/// Decoded IPFIX message.
+struct IpfixMessage {
+  std::uint32_t export_time = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t observation_domain = 0;
+  std::vector<FlowRecord> records;
+  std::size_t templates_seen = 0;
+  std::size_t skipped_data_sets = 0;  ///< data sets with unknown template
+};
+
+/// Stateful IPFIX decoder: caches templates per observation domain so data
+/// sets arriving in later messages (or after the template in the same
+/// message) can be decoded. Malformed messages yield nullopt; a malformed
+/// set aborts only that message. Never throws, never reads out of bounds.
+class IpfixDecoder {
+ public:
+  [[nodiscard]] std::optional<IpfixMessage> decode(
+      std::span<const std::uint8_t> message);
+
+  [[nodiscard]] std::size_t cached_templates() const noexcept {
+    return templates_.size();
+  }
+
+ private:
+  // key: (observation domain, template id)
+  std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateRecord> templates_;
+};
+
+}  // namespace lockdown::flow

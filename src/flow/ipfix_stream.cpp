@@ -1,0 +1,39 @@
+#include "flow/ipfix_stream.hpp"
+
+#include "flow/ipfix.hpp"
+
+namespace lockdown::flow {
+
+std::size_t IpfixStreamReassembler::feed(std::span<const std::uint8_t> chunk) {
+  if (poisoned_) return 0;
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+
+  std::size_t emitted_now = 0;
+  std::size_t offset = 0;
+  while (buffer_.size() - offset >= 4) {
+    const std::uint16_t version = static_cast<std::uint16_t>(
+        (buffer_[offset] << 8) | buffer_[offset + 1]);
+    const std::uint16_t length = static_cast<std::uint16_t>(
+        (buffer_[offset + 2] << 8) | buffer_[offset + 3]);
+
+    if (version != kIpfixVersion || length < kIpfixHeaderSize ||
+        length > max_message_) {
+      // Desynchronized or hostile: there is no in-band resync marker in
+      // IPFIX/TCP, so poison the stream.
+      poisoned_ = true;
+      buffer_.clear();
+      return emitted_now;
+    }
+    if (buffer_.size() - offset < length) break;  // message incomplete
+
+    handler_(std::span<const std::uint8_t>(buffer_.data() + offset, length));
+    ++emitted_;
+    ++emitted_now;
+    offset += length;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return emitted_now;
+}
+
+}  // namespace lockdown::flow

@@ -1,0 +1,99 @@
+#include "flow/metering.hpp"
+
+#include <stdexcept>
+
+namespace lockdown::flow {
+
+MeteringCache::MeteringCache(MeteringConfig config, Sink sink)
+    : config_(config), sink_(std::move(sink)) {
+  if (config_.idle_timeout_seconds <= 0 || config_.active_timeout_seconds <= 0 ||
+      config_.cache_entries == 0) {
+    throw std::invalid_argument("MeteringCache: invalid configuration");
+  }
+}
+
+void MeteringCache::observe(const PacketObservation& packet) {
+  if (packet.timestamp < clock_) {
+    throw std::invalid_argument("MeteringCache: packets must be time-ordered");
+  }
+  clock_ = packet.timestamp;
+  ++stats_.packets;
+  expire_timeouts(clock_);
+
+  const FlowKey key{packet.src_addr, packet.dst_addr, packet.src_port,
+                    packet.dst_port, packet.protocol};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    FlowRecord& r = it->second.record;
+    r.bytes += packet.bytes;
+    r.packets += 1;
+    r.tcp_flags |= packet.tcp_flags;
+    r.last = packet.timestamp;
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);  // touch
+    return;
+  }
+
+  // New flow: make room first, the way a fixed-size hardware table would.
+  if (cache_.size() >= config_.cache_entries) {
+    export_entry(lru_.front(), /*count_as_eviction=*/true);
+  }
+
+  FlowRecord r;
+  r.src_addr = packet.src_addr;
+  r.dst_addr = packet.dst_addr;
+  r.src_port = packet.src_port;
+  r.dst_port = packet.dst_port;
+  r.protocol = packet.protocol;
+  r.tcp_flags = packet.tcp_flags;
+  r.bytes = packet.bytes;
+  r.packets = 1;
+  r.first = packet.timestamp;
+  r.last = packet.timestamp;
+
+  lru_.push_back(key);
+  cache_.emplace(key, Entry{r, std::prev(lru_.end())});
+}
+
+void MeteringCache::expire_timeouts(net::Timestamp now) {
+  // Scan from the LRU front: every entry idle-expired is by construction
+  // at the front, so the scan stops at the first live entry. Active
+  // timeouts can apply to recently-touched entries too, so a second pass
+  // over the remainder handles them (bounded by table size; real routers
+  // amortize this with timer wheels).
+  while (!lru_.empty()) {
+    const auto it = cache_.find(lru_.front());
+    if (now.seconds() - it->second.record.last.seconds() >
+        config_.idle_timeout_seconds) {
+      ++stats_.idle_expirations;
+      export_entry(lru_.front(), /*count_as_eviction=*/false);
+    } else {
+      break;
+    }
+  }
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const FlowKey key = *it;
+    ++it;  // export_entry invalidates the current iterator
+    const auto entry = cache_.find(key);
+    if (now.seconds() - entry->second.record.first.seconds() >=
+        config_.active_timeout_seconds) {
+      ++stats_.active_expirations;
+      export_entry(key, /*count_as_eviction=*/false);
+    }
+  }
+}
+
+void MeteringCache::export_entry(const FlowKey& key, bool count_as_eviction) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  if (count_as_eviction) ++stats_.cache_evictions;
+  ++stats_.records_exported;
+  sink_(it->second.record);
+  lru_.erase(it->second.lru_pos);
+  cache_.erase(it);
+}
+
+void MeteringCache::flush() {
+  while (!lru_.empty()) export_entry(lru_.front(), /*count_as_eviction=*/false);
+}
+
+}  // namespace lockdown::flow

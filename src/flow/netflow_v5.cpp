@@ -1,0 +1,136 @@
+#include "flow/netflow_v5.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "flow/wire.hpp"
+
+namespace lockdown::flow {
+
+namespace {
+
+// Fixed fictional uptime at export: long enough that First/Last of any flow
+// in the preceding hours stays positive in sysUptime-relative terms.
+constexpr std::uint32_t kSysUptimeAtExportMs = 48u * 3600u * 1000u;
+
+std::uint32_t to_uptime_ms(net::Timestamp t, net::Timestamp export_time) noexcept {
+  const std::int64_t delta_ms = (export_time.seconds() - t.seconds()) * 1000;
+  // Flows stamped "in the future" relative to the export (clock skew, or a
+  // batch exported mid-hour) are clamped to the export instant; flows older
+  // than the fictional uptime clamp to boot time. Real exporters behave the
+  // same way -- sysUptime cannot run backwards.
+  if (delta_ms < 0) return kSysUptimeAtExportMs;
+  if (delta_ms > kSysUptimeAtExportMs) return 0;
+  return kSysUptimeAtExportMs - static_cast<std::uint32_t>(delta_ms);
+}
+
+net::Timestamp from_uptime_ms(std::uint32_t uptime_ms, std::uint32_t sys_uptime,
+                              std::uint32_t unix_secs) noexcept {
+  const std::int64_t delta_s =
+      (static_cast<std::int64_t>(sys_uptime) - uptime_ms) / 1000;
+  return net::Timestamp(static_cast<std::int64_t>(unix_secs) - delta_s);
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> NetflowV5Encoder::encode(
+    std::span<const FlowRecord> records, net::Timestamp export_time) {
+  for (const FlowRecord& r : records) {
+    if (!r.src_addr.is_v4() || !r.dst_addr.is_v4()) {
+      throw std::invalid_argument("NetFlow v5 cannot carry IPv6 flows");
+    }
+  }
+
+  std::vector<std::vector<std::uint8_t>> packets;
+  for (std::size_t off = 0; off < records.size(); off += kNetflowV5MaxRecords) {
+    const std::size_t n = std::min(kNetflowV5MaxRecords, records.size() - off);
+    WireWriter w;
+    w.u16(5);  // version
+    w.u16(static_cast<std::uint16_t>(n));
+    w.u32(kSysUptimeAtExportMs);
+    w.u32(static_cast<std::uint32_t>(export_time.seconds()));
+    w.u32(0);  // unix_nsecs
+    w.u32(sequence_);
+    w.u8(0);  // engine_type
+    w.u8(engine_id_);
+    w.u16(sampling_);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowRecord& r = records[off + i];
+      w.u32(r.src_addr.v4().value());
+      w.u32(r.dst_addr.v4().value());
+      w.u32(0);  // nexthop
+      w.u16(r.input_if);
+      w.u16(r.output_if);
+      w.u32(static_cast<std::uint32_t>(r.packets));
+      w.u32(static_cast<std::uint32_t>(r.bytes));
+      w.u32(to_uptime_ms(r.first, export_time));
+      w.u32(to_uptime_ms(r.last, export_time));
+      w.u16(r.src_port);
+      w.u16(r.dst_port);
+      w.u8(0);  // pad1
+      w.u8(r.tcp_flags);
+      w.u8(static_cast<std::uint8_t>(r.protocol));
+      w.u8(0);  // tos
+      w.u16(static_cast<std::uint16_t>(r.src_as.value()));
+      w.u16(static_cast<std::uint16_t>(r.dst_as.value()));
+      w.u8(0);  // src_mask
+      w.u8(0);  // dst_mask
+      w.u16(0);  // pad2
+    }
+    sequence_ += static_cast<std::uint32_t>(n);
+    packets.push_back(w.take());
+  }
+  return packets;
+}
+
+std::optional<NetflowV5Packet> decode_netflow_v5(
+    std::span<const std::uint8_t> packet) noexcept {
+  WireReader r(packet);
+  if (r.u16() != 5) return std::nullopt;
+
+  NetflowV5Packet out;
+  out.header.count = r.u16();
+  out.header.sys_uptime_ms = r.u32();
+  out.header.unix_secs = r.u32();
+  out.header.unix_nsecs = r.u32();
+  out.header.flow_sequence = r.u32();
+  out.header.engine_type = r.u8();
+  out.header.engine_id = r.u8();
+  out.header.sampling = r.u16();
+  if (r.failed()) return std::nullopt;
+  if (out.header.count > kNetflowV5MaxRecords) return std::nullopt;
+  if (r.remaining() != out.header.count * kNetflowV5RecordSize) return std::nullopt;
+
+  out.records.reserve(out.header.count);
+  for (unsigned i = 0; i < out.header.count; ++i) {
+    FlowRecord rec;
+    rec.src_addr = net::Ipv4Address(r.u32());
+    rec.dst_addr = net::Ipv4Address(r.u32());
+    (void)r.u32();  // nexthop
+    rec.input_if = r.u16();
+    rec.output_if = r.u16();
+    rec.packets = r.u32();
+    rec.bytes = r.u32();
+    const std::uint32_t first_ms = r.u32();
+    const std::uint32_t last_ms = r.u32();
+    rec.first = from_uptime_ms(first_ms, out.header.sys_uptime_ms, out.header.unix_secs);
+    rec.last = from_uptime_ms(last_ms, out.header.sys_uptime_ms, out.header.unix_secs);
+    rec.src_port = r.u16();
+    rec.dst_port = r.u16();
+    (void)r.u8();  // pad1
+    rec.tcp_flags = r.u8();
+    rec.protocol = static_cast<IpProtocol>(r.u8());
+    (void)r.u8();  // tos
+    rec.src_as = net::Asn(r.u16());
+    rec.dst_as = net::Asn(r.u16());
+    (void)r.u8();   // src_mask
+    (void)r.u8();   // dst_mask
+    (void)r.u16();  // pad2
+    if (r.failed()) return std::nullopt;
+    out.records.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace lockdown::flow

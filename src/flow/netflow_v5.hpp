@@ -1,0 +1,70 @@
+// NetFlow version 5 codec (the fixed 48-byte record format; Cisco white
+// paper "Introduction to Cisco IOS NetFlow", paper ref [13]). v5 is
+// IPv4-only and carries 16-bit AS numbers; the synthesizer uses it for the
+// ISP-CE and EDU vantage points exactly because those deployments predate
+// IPFIX.
+//
+// Timestamp convention: the v5 header carries the exporter's sysUptime and
+// the export wall-clock (unix_secs); per-record First/Last are
+// sysUptime-relative milliseconds. Encoder and decoder implement the
+// standard reconstruction  abs = unix_secs - (sysUptime - First)/1000.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+
+namespace lockdown::flow {
+
+struct NetflowV5Header {
+  std::uint16_t count = 0;
+  std::uint32_t sys_uptime_ms = 0;
+  std::uint32_t unix_secs = 0;
+  std::uint32_t unix_nsecs = 0;
+  std::uint32_t flow_sequence = 0;
+  std::uint8_t engine_type = 0;
+  std::uint8_t engine_id = 0;
+  std::uint16_t sampling = 0;  ///< 2-bit mode + 14-bit interval
+};
+
+inline constexpr std::size_t kNetflowV5HeaderSize = 24;
+inline constexpr std::size_t kNetflowV5RecordSize = 48;
+inline constexpr std::size_t kNetflowV5MaxRecords = 30;
+
+/// Encodes batches of FlowRecords into NetFlow v5 packets.
+class NetflowV5Encoder {
+ public:
+  /// `engine_id` distinguishes border routers of one vantage point.
+  explicit NetflowV5Encoder(std::uint8_t engine_id = 0,
+                            std::uint16_t sampling_interval = 0) noexcept
+      : engine_id_(engine_id), sampling_(sampling_interval) {}
+
+  /// Encode up to kNetflowV5MaxRecords per packet; returns one packet per
+  /// chunk. `export_time` stamps the packet header. Throws
+  /// std::invalid_argument on IPv6 records (not representable in v5).
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const FlowRecord> records, net::Timestamp export_time);
+
+  [[nodiscard]] std::uint32_t flow_sequence() const noexcept { return sequence_; }
+
+ private:
+  std::uint8_t engine_id_;
+  std::uint16_t sampling_;
+  std::uint32_t sequence_ = 0;
+};
+
+/// Result of decoding one v5 packet.
+struct NetflowV5Packet {
+  NetflowV5Header header;
+  std::vector<FlowRecord> records;
+};
+
+/// Decode a v5 packet; nullopt on malformed/truncated input (never throws,
+/// never reads out of bounds).
+[[nodiscard]] std::optional<NetflowV5Packet> decode_netflow_v5(
+    std::span<const std::uint8_t> packet) noexcept;
+
+}  // namespace lockdown::flow

@@ -1,0 +1,232 @@
+#include "flow/netflow_v9.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "flow/field_codec.hpp"
+#include "flow/wire.hpp"
+
+namespace lockdown::flow {
+
+namespace {
+constexpr std::uint32_t kSysUptimeAtExportMs = 48u * 3600u * 1000u;
+}
+
+std::vector<std::vector<std::uint8_t>> NetflowV9Encoder::encode(
+    std::span<const FlowRecord> records, net::Timestamp export_time,
+    std::size_t max_records_per_packet) {
+  for (const FlowRecord& r : records) {
+    if (r.src_addr.is_v6() || r.dst_addr.is_v6()) {
+      throw std::invalid_argument("NetflowV9Encoder: IPv6 not supported by this exporter");
+    }
+  }
+  if (max_records_per_packet == 0) max_records_per_packet = 1;
+
+  const TemplateRecord tmpl = netflow_v9_v4_template();
+  const TimeContext tc{kSysUptimeAtExportMs,
+                       static_cast<std::uint32_t>(export_time.seconds())};
+
+  std::vector<std::vector<std::uint8_t>> packets;
+  for (std::size_t off = 0; off < records.size() || packets.empty();) {
+    const std::size_t n = std::min(max_records_per_packet, records.size() - off);
+    WireWriter w;
+    w.u16(kNetflowV9Version);
+    w.u16(0);  // count placeholder (flowset records incl. templates)
+    w.u32(kSysUptimeAtExportMs);
+    w.u32(static_cast<std::uint32_t>(export_time.seconds()));
+    w.u32(sequence_++);
+    w.u32(source_id_);
+
+    // Template flowset.
+    {
+      const std::size_t fs_start = w.size();
+      w.u16(kNetflowV9TemplateFlowsetId);
+      w.u16(0);
+      w.u16(tmpl.template_id);
+      w.u16(static_cast<std::uint16_t>(tmpl.fields.size()));
+      for (const FieldSpec& f : tmpl.fields) {
+        w.u16(static_cast<std::uint16_t>(f.id));
+        w.u16(f.length);
+      }
+      w.patch_u16(fs_start + 2, static_cast<std::uint16_t>(w.size() - fs_start));
+    }
+
+    // Data flowset.
+    if (n > 0) {
+      const std::size_t fs_start = w.size();
+      w.u16(tmpl.template_id);
+      w.u16(0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (const FieldSpec& f : tmpl.fields) {
+          encode_field(w, f, records[off + i], tc);
+        }
+      }
+      // Pad to 32-bit boundary as the spec recommends.
+      while ((w.size() - fs_start) % 4 != 0) w.u8(0);
+      w.patch_u16(fs_start + 2, static_cast<std::uint16_t>(w.size() - fs_start));
+    }
+
+    w.patch_u16(2, static_cast<std::uint16_t>(n + 1));  // records + 1 template
+    packets.push_back(w.take());
+    off += n;
+    if (records.empty()) break;
+  }
+  return packets;
+}
+
+std::vector<std::uint8_t> NetflowV9Encoder::encode_sampling_options(
+    net::Timestamp export_time, std::uint32_t sampling_interval,
+    std::uint8_t sampling_algorithm) {
+  WireWriter w;
+  w.u16(kNetflowV9Version);
+  w.u16(2);  // one options template + one options data record
+  w.u32(kSysUptimeAtExportMs);
+  w.u32(static_cast<std::uint32_t>(export_time.seconds()));
+  w.u32(sequence_++);
+  w.u32(source_id_);
+
+  // Options template flowset (RFC 3954 Figure 8): id, scope length in
+  // bytes, option length in bytes, then scope and option field specs.
+  {
+    const std::size_t fs = w.size();
+    w.u16(kNetflowV9OptionsTemplateFlowsetId);
+    w.u16(0);
+    w.u16(kOptionsTemplateId);
+    w.u16(4);   // scope section: one (type,len) pair = 4 bytes of specs
+    w.u16(8);   // options section: two (type,len) pairs = 8 bytes of specs
+    w.u16(kScopeSystem);
+    w.u16(0);   // System scope carries no value bytes
+    w.u16(kFieldSamplingInterval);
+    w.u16(4);
+    w.u16(kFieldSamplingAlgorithm);
+    w.u16(1);
+    w.u8(0);    // pad to 32 bits
+    w.u8(0);
+    w.patch_u16(fs + 2, static_cast<std::uint16_t>(w.size() - fs));
+  }
+
+  // Options data flowset.
+  {
+    const std::size_t fs = w.size();
+    w.u16(kOptionsTemplateId);
+    w.u16(0);
+    w.u32(sampling_interval);
+    w.u8(sampling_algorithm);
+    while ((w.size() - fs) % 4 != 0) w.u8(0);
+    w.patch_u16(fs + 2, static_cast<std::uint16_t>(w.size() - fs));
+  }
+  return w.take();
+}
+
+std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
+    std::span<const std::uint8_t> packet) {
+  WireReader r(packet);
+  if (r.u16() != kNetflowV9Version) return std::nullopt;
+  const std::uint16_t count = r.u16();
+
+  NetflowV9Packet out;
+  out.sys_uptime_ms = r.u32();
+  out.unix_secs = r.u32();
+  out.sequence = r.u32();
+  out.source_id = r.u32();
+  if (r.failed()) return std::nullopt;
+
+  const TimeContext tc{out.sys_uptime_ms, out.unix_secs};
+  std::size_t parsed_records = 0;
+
+  while (r.remaining() >= 4) {
+    const std::uint16_t flowset_id = r.u16();
+    const std::uint16_t flowset_len = r.u16();
+    if (flowset_len < 4 || static_cast<std::size_t>(flowset_len - 4) > r.remaining()) return std::nullopt;
+    WireReader fs = r.sub(flowset_len - 4);
+
+    if (flowset_id == kNetflowV9TemplateFlowsetId) {
+      while (fs.remaining() >= 4) {
+        TemplateRecord tmpl;
+        tmpl.template_id = fs.u16();
+        const std::uint16_t field_count = fs.u16();
+        if (tmpl.template_id < 256) return std::nullopt;
+        for (std::uint16_t i = 0; i < field_count; ++i) {
+          tmpl.fields.push_back(FieldSpec{static_cast<FieldId>(fs.u16()), fs.u16()});
+        }
+        if (fs.failed()) return std::nullopt;
+        templates_[{out.source_id, tmpl.template_id}] = tmpl;
+        ++out.templates_seen;
+        ++parsed_records;
+      }
+    } else if (flowset_id == kNetflowV9OptionsTemplateFlowsetId) {
+      // Options template(s): scope specs are skipped (we key everything by
+      // the packet's source id), option field specs are retained.
+      while (fs.remaining() >= 6) {
+        const std::uint16_t template_id = fs.u16();
+        const std::uint16_t scope_spec_bytes = fs.u16();
+        const std::uint16_t option_spec_bytes = fs.u16();
+        if (template_id < 256) return std::nullopt;
+        OptionsTemplate tmpl;
+        for (std::uint16_t consumed = 0; consumed + 4 <= scope_spec_bytes;
+             consumed += 4) {
+          (void)fs.u16();  // scope field type
+          tmpl.scope_bytes += fs.u16();
+        }
+        for (std::uint16_t consumed = 0; consumed + 4 <= option_spec_bytes;
+             consumed += 4) {
+          tmpl.fields.push_back(FieldSpec{static_cast<FieldId>(fs.u16()), fs.u16()});
+        }
+        if (fs.failed()) return std::nullopt;
+        options_[{out.source_id, template_id}] = tmpl;
+        ++out.options_templates_seen;
+        ++parsed_records;
+        // Anything remaining < 6 bytes is padding.
+        if (fs.remaining() < 6) break;
+      }
+    } else if (flowset_id >= 256) {
+      if (const auto opt = options_.find({out.source_id, flowset_id});
+          opt != options_.end()) {
+        // Options data record: skip the scope values, read option fields.
+        const OptionsTemplate& tmpl = opt->second;
+        std::size_t rec_len = tmpl.scope_bytes;
+        for (const FieldSpec& f : tmpl.fields) rec_len += f.length;
+        if (rec_len == 0) return std::nullopt;
+        while (fs.remaining() >= rec_len) {
+          if (!fs.skip(tmpl.scope_bytes)) return std::nullopt;
+          for (const FieldSpec& f : tmpl.fields) {
+            const std::uint16_t raw_id = static_cast<std::uint16_t>(f.id);
+            std::uint64_t value = 0;
+            for (std::uint16_t b = 0; b < f.length; ++b) {
+              value = (value << 8) | fs.u8();
+            }
+            if (raw_id == kFieldSamplingInterval && value > 0) {
+              sampling_[out.source_id] = static_cast<std::uint32_t>(value);
+            }
+          }
+          if (fs.failed()) return std::nullopt;
+          ++parsed_records;
+        }
+        continue;
+      }
+      const auto it = templates_.find({out.source_id, flowset_id});
+      if (it == templates_.end()) {
+        ++out.skipped_flowsets;
+        continue;
+      }
+      const std::size_t rec_len = it->second.record_length();
+      if (rec_len == 0) return std::nullopt;
+      while (fs.remaining() >= rec_len) {
+        FlowRecord rec;
+        for (const FieldSpec& f : it->second.fields) decode_field(fs, f, rec, tc);
+        if (fs.failed()) return std::nullopt;
+        out.records.push_back(rec);
+        ++parsed_records;
+      }
+    } else {
+      continue;  // reserved flowset ids
+    }
+  }
+  if (r.failed()) return std::nullopt;
+  // Header count is advisory (padding can skew it); only reject wild
+  // disagreement, which indicates corruption.
+  if (parsed_records > 0 && count == 0) return std::nullopt;
+  return out;
+}
+
+}  // namespace lockdown::flow

@@ -1,0 +1,95 @@
+// NetFlow version 9 codec (template-based, RFC 3954 flavor). Used by the
+// mobile-operator and IPX vantage points. Shares the information-element
+// registry and field codec with IPFIX; differs in header layout (count +
+// sysUptime instead of message length) and sysUptime-relative timestamps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "flow/template_fields.hpp"
+
+namespace lockdown::flow {
+
+inline constexpr std::uint16_t kNetflowV9Version = 9;
+inline constexpr std::uint16_t kNetflowV9TemplateFlowsetId = 0;
+inline constexpr std::uint16_t kNetflowV9OptionsTemplateFlowsetId = 1;
+inline constexpr std::size_t kNetflowV9HeaderSize = 20;
+
+// Options-data field types (RFC 3954 section 8).
+inline constexpr std::uint16_t kFieldSamplingInterval = 34;
+inline constexpr std::uint16_t kFieldSamplingAlgorithm = 35;
+inline constexpr std::uint16_t kScopeSystem = 1;
+inline constexpr std::uint16_t kOptionsTemplateId = 512;
+
+class NetflowV9Encoder {
+ public:
+  explicit NetflowV9Encoder(std::uint32_t source_id) noexcept
+      : source_id_(source_id) {}
+
+  /// Emit an options packet announcing the exporter's sampling
+  /// configuration (RFC 3954 section 6.1: options template with a System
+  /// scope plus samplingInterval/samplingAlgorithm fields, followed by the
+  /// options data record). Collectors use it to rescale sampled counters.
+  [[nodiscard]] std::vector<std::uint8_t> encode_sampling_options(
+      net::Timestamp export_time, std::uint32_t sampling_interval,
+      std::uint8_t sampling_algorithm = 0x02 /* random */);
+
+  /// Encode into packets of at most `max_records_per_packet` data records.
+  /// Each packet carries the template flowset followed by data flowsets.
+  /// v9 is IPv4-only here (matching our deployments); throws
+  /// std::invalid_argument on IPv6 records.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      std::span<const FlowRecord> records, net::Timestamp export_time,
+      std::size_t max_records_per_packet = 24);
+
+ private:
+  std::uint32_t source_id_;
+  std::uint32_t sequence_ = 0;  // packets sent (v9 counts packets, not records)
+};
+
+struct NetflowV9Packet {
+  std::uint32_t sys_uptime_ms = 0;
+  std::uint32_t unix_secs = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t source_id = 0;
+  std::vector<FlowRecord> records;
+  std::size_t templates_seen = 0;
+  std::size_t options_templates_seen = 0;
+  std::size_t skipped_flowsets = 0;
+};
+
+/// Stateful v9 decoder with a per-source template cache, including options
+/// templates: once an exporter announces its sampling interval, the
+/// decoder exposes it so collectors can rescale counters.
+class NetflowV9Decoder {
+ public:
+  [[nodiscard]] std::optional<NetflowV9Packet> decode(
+      std::span<const std::uint8_t> packet);
+
+  [[nodiscard]] std::size_t cached_templates() const noexcept {
+    return templates_.size();
+  }
+
+  /// Last announced sampling interval of a source (1 = unsampled/unknown).
+  [[nodiscard]] std::uint32_t sampling_interval(std::uint32_t source_id) const {
+    const auto it = sampling_.find(source_id);
+    return it == sampling_.end() ? 1 : it->second;
+  }
+
+ private:
+  struct OptionsTemplate {
+    std::uint16_t scope_bytes = 0;
+    std::vector<FieldSpec> fields;  // option (non-scope) fields
+  };
+
+  std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateRecord> templates_;
+  std::map<std::pair<std::uint32_t, std::uint16_t>, OptionsTemplate> options_;
+  std::map<std::uint32_t, std::uint32_t> sampling_;
+};
+
+}  // namespace lockdown::flow

@@ -1,0 +1,113 @@
+#include "flow/pipeline.hpp"
+
+namespace lockdown::flow {
+
+void Collector::ingest(std::span<const std::uint8_t> datagram) {
+  ++stats_.packets;
+
+  auto deliver = [&](std::vector<FlowRecord>&& records, std::uint64_t scale = 1) {
+    for (FlowRecord& r : records) {
+      if (scale > 1) {
+        r.bytes *= scale;
+        r.packets *= scale;
+      }
+      if (anonymizer_ != nullptr) anonymizer_->anonymize(r);
+      ++stats_.records;
+      sink_(r);
+    }
+  };
+
+  switch (protocol_) {
+    case ExportProtocol::kNetflowV5: {
+      auto pkt = decode_netflow_v5(datagram);
+      if (!pkt) {
+        ++stats_.malformed_packets;
+        return;
+      }
+      // v5 carries the sampling mode/interval in the header (2-bit mode in
+      // the top bits, 14-bit interval below).
+      const std::uint64_t interval = pkt->header.sampling & 0x3fff;
+      deliver(std::move(pkt->records),
+              rescale_sampled_ && interval > 0 ? interval : 1);
+      return;
+    }
+    case ExportProtocol::kNetflowV9: {
+      auto pkt = v9_.decode(datagram);
+      if (!pkt) {
+        ++stats_.malformed_packets;
+        return;
+      }
+      stats_.templates += pkt->templates_seen;
+      const std::uint64_t interval = v9_.sampling_interval(pkt->source_id);
+      deliver(std::move(pkt->records), rescale_sampled_ ? interval : 1);
+      return;
+    }
+    case ExportProtocol::kIpfix: {
+      auto msg = ipfix_.decode(datagram);
+      if (!msg) {
+        ++stats_.malformed_packets;
+        return;
+      }
+      stats_.templates += msg->templates_seen;
+      deliver(std::move(msg->records));
+      return;
+    }
+  }
+}
+
+std::vector<FlowRecord> export_and_collect(ExportProtocol protocol,
+                                           std::span<const FlowRecord> records,
+                                           net::Timestamp export_time,
+                                           const Anonymizer* anonymizer,
+                                           CollectorStats* stats_out) {
+  std::vector<FlowRecord> out;
+  out.reserve(records.size());
+  Collector collector(
+      protocol, [&out](const FlowRecord& r) { out.push_back(r); }, anonymizer);
+
+  std::vector<std::vector<std::uint8_t>> datagrams;
+  switch (protocol) {
+    case ExportProtocol::kNetflowV5: {
+      NetflowV5Encoder enc;
+      datagrams = enc.encode(records, export_time);
+      break;
+    }
+    case ExportProtocol::kNetflowV9: {
+      NetflowV9Encoder enc(/*source_id=*/1);
+      datagrams = enc.encode(records, export_time);
+      break;
+    }
+    case ExportProtocol::kIpfix: {
+      IpfixEncoder enc(/*observation_domain=*/1);
+      datagrams = enc.encode(records, export_time);
+      break;
+    }
+  }
+  for (const auto& d : datagrams) collector.ingest(d);
+  if (stats_out != nullptr) *stats_out = collector.stats();
+  return out;
+}
+
+net::Timestamp batch_export_time(std::span<const FlowRecord> records) {
+  net::Timestamp latest;
+  for (const FlowRecord& r : records) {
+    if (r.first > latest) latest = r.first;
+  }
+  return latest.plus(1);
+}
+
+void ExportPump::flush() {
+  if (batch_.empty()) return;
+  CollectorStats stats;
+  for (const FlowRecord& r : export_and_collect(
+           protocol_, batch_, batch_export_time(batch_), anonymizer_, &stats)) {
+    sink_(r);
+  }
+  stats_.packets += stats.packets;
+  stats_.malformed_packets += stats.malformed_packets;
+  stats_.records += stats.records;
+  stats_.templates += stats.templates;
+  batch_.clear();
+}
+
+}  // namespace lockdown::flow

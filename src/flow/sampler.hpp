@@ -1,0 +1,80 @@
+// Flow sampling, as deployed at every high-volume vantage point in the
+// paper (NetFlow/IPFIX are packet- or flow-sampled in practice; the header
+// even carries the sampling interval). Two strategies:
+//
+//  * deterministic 1:N  -- keep every Nth flow (router-style systematic
+//    sampling); byte counts of kept flows are scaled by N so volume
+//    estimates stay unbiased.
+//  * probabilistic p    -- keep each flow independently with probability p,
+//    seeded per flow so the decision is reproducible and independent of
+//    processing order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "flow/flow_record.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::flow {
+
+class SystematicSampler {
+ public:
+  /// Keep every `interval`-th flow; interval 1 keeps everything.
+  explicit SystematicSampler(std::uint32_t interval) noexcept
+      : interval_(interval == 0 ? 1 : interval) {}
+
+  /// Returns the (scaled) record if sampled, nullopt otherwise.
+  [[nodiscard]] std::optional<FlowRecord> offer(const FlowRecord& r) noexcept {
+    const bool keep = (counter_++ % interval_) == 0;
+    if (!keep) return std::nullopt;
+    FlowRecord scaled = r;
+    scaled.bytes *= interval_;
+    scaled.packets *= interval_;
+    return scaled;
+  }
+
+  [[nodiscard]] std::uint32_t interval() const noexcept { return interval_; }
+
+ private:
+  std::uint32_t interval_;
+  std::uint64_t counter_ = 0;
+};
+
+class ProbabilisticSampler {
+ public:
+  ProbabilisticSampler(double probability, std::uint64_t seed) noexcept
+      : probability_(probability < 0.0   ? 0.0
+                     : probability > 1.0 ? 1.0
+                                         : probability),
+        seed_(seed) {}
+
+  [[nodiscard]] std::optional<FlowRecord> offer(const FlowRecord& r) const noexcept {
+    if (probability_ >= 1.0) return r;
+    if (probability_ <= 0.0) return std::nullopt;
+    // Hash the flow identity so the decision is order-independent.
+    net::IpAddressHash iphash;
+    std::uint64_t h = util::hash_combine(seed_, iphash(r.src_addr));
+    h = util::hash_combine(h, iphash(r.dst_addr));
+    h = util::hash_combine(h, (static_cast<std::uint64_t>(r.src_port) << 32) |
+                                  (static_cast<std::uint64_t>(r.dst_port) << 16) |
+                                  static_cast<std::uint64_t>(r.protocol));
+    h = util::hash_combine(h, static_cast<std::uint64_t>(r.first.seconds()));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (unit >= probability_) return std::nullopt;
+    FlowRecord scaled = r;
+    scaled.bytes = static_cast<std::uint64_t>(
+        static_cast<double>(r.bytes) / probability_ + 0.5);
+    scaled.packets = static_cast<std::uint64_t>(
+        static_cast<double>(r.packets) / probability_ + 0.5);
+    return scaled;
+  }
+
+  [[nodiscard]] double probability() const noexcept { return probability_; }
+
+ private:
+  double probability_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lockdown::flow

@@ -1,0 +1,68 @@
+#include "flow/template_fields.hpp"
+
+namespace lockdown::flow {
+
+TemplateRecord ipfix_v4_template() {
+  return TemplateRecord{
+      kTemplateIdV4,
+      {
+          {FieldId::kSourceIpv4Address, 4},
+          {FieldId::kDestinationIpv4Address, 4},
+          {FieldId::kSourceTransportPort, 2},
+          {FieldId::kDestinationTransportPort, 2},
+          {FieldId::kProtocolIdentifier, 1},
+          {FieldId::kTcpControlBits, 1},
+          {FieldId::kIngressInterface, 2},
+          {FieldId::kEgressInterface, 2},
+          {FieldId::kOctetDeltaCount, 8},
+          {FieldId::kPacketDeltaCount, 8},
+          {FieldId::kFlowStartSeconds, 4},
+          {FieldId::kFlowEndSeconds, 4},
+          {FieldId::kBgpSourceAsNumber, 4},
+          {FieldId::kBgpDestinationAsNumber, 4},
+      }};
+}
+
+TemplateRecord ipfix_v6_template() {
+  return TemplateRecord{
+      kTemplateIdV6,
+      {
+          {FieldId::kSourceIpv6Address, 16},
+          {FieldId::kDestinationIpv6Address, 16},
+          {FieldId::kSourceTransportPort, 2},
+          {FieldId::kDestinationTransportPort, 2},
+          {FieldId::kProtocolIdentifier, 1},
+          {FieldId::kTcpControlBits, 1},
+          {FieldId::kIngressInterface, 2},
+          {FieldId::kEgressInterface, 2},
+          {FieldId::kOctetDeltaCount, 8},
+          {FieldId::kPacketDeltaCount, 8},
+          {FieldId::kFlowStartSeconds, 4},
+          {FieldId::kFlowEndSeconds, 4},
+          {FieldId::kBgpSourceAsNumber, 4},
+          {FieldId::kBgpDestinationAsNumber, 4},
+      }};
+}
+
+TemplateRecord netflow_v9_v4_template() {
+  return TemplateRecord{
+      kTemplateIdV4,
+      {
+          {FieldId::kSourceIpv4Address, 4},
+          {FieldId::kDestinationIpv4Address, 4},
+          {FieldId::kSourceTransportPort, 2},
+          {FieldId::kDestinationTransportPort, 2},
+          {FieldId::kProtocolIdentifier, 1},
+          {FieldId::kTcpControlBits, 1},
+          {FieldId::kIngressInterface, 2},
+          {FieldId::kEgressInterface, 2},
+          {FieldId::kOctetDeltaCount, 4},
+          {FieldId::kPacketDeltaCount, 4},
+          {FieldId::kFirstSwitched, 4},
+          {FieldId::kLastSwitched, 4},
+          {FieldId::kBgpSourceAsNumber, 4},
+          {FieldId::kBgpDestinationAsNumber, 4},
+      }};
+}
+
+}  // namespace lockdown::flow

@@ -1,0 +1,64 @@
+// Information-element registry shared by the NetFlow v9 and IPFIX codecs.
+// NetFlow v9 field types and IANA IPFIX information elements use the same
+// numbering for the subset we need, so one registry serves both codecs;
+// only the timestamp semantics differ (v9: sysUptime-relative, IPFIX:
+// absolute seconds) and are handled by the respective codec.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lockdown::flow {
+
+/// IANA IPFIX information element identifiers (== NetFlow v9 field types).
+enum class FieldId : std::uint16_t {
+  kOctetDeltaCount = 1,
+  kPacketDeltaCount = 2,
+  kProtocolIdentifier = 4,
+  kTcpControlBits = 6,
+  kSourceTransportPort = 7,
+  kSourceIpv4Address = 8,
+  kIngressInterface = 10,
+  kDestinationTransportPort = 11,
+  kDestinationIpv4Address = 12,
+  kEgressInterface = 14,
+  kBgpSourceAsNumber = 16,
+  kBgpDestinationAsNumber = 17,
+  kLastSwitched = 21,    // v9: sysUptime ms of flow end
+  kFirstSwitched = 22,   // v9: sysUptime ms of flow start
+  kSourceIpv6Address = 27,
+  kDestinationIpv6Address = 28,
+  kFlowStartSeconds = 150,  // IPFIX: absolute Unix seconds
+  kFlowEndSeconds = 151,
+};
+
+struct FieldSpec {
+  FieldId id;
+  std::uint16_t length;
+};
+
+/// A (NetFlow v9 / IPFIX) template: an id plus an ordered field list.
+struct TemplateRecord {
+  std::uint16_t template_id = 0;
+  std::vector<FieldSpec> fields;
+
+  [[nodiscard]] std::size_t record_length() const noexcept {
+    std::size_t n = 0;
+    for (const FieldSpec& f : fields) n += f.length;
+    return n;
+  }
+};
+
+/// Template ids used by our exporters. Values >= 256 as required by both
+/// specs (ids < 256 are reserved for set/flowset headers).
+inline constexpr std::uint16_t kTemplateIdV4 = 256;
+inline constexpr std::uint16_t kTemplateIdV6 = 257;
+
+/// The standard v4 flow template used by our IPFIX exporters.
+[[nodiscard]] TemplateRecord ipfix_v4_template();
+/// The standard v6 flow template used by our IPFIX exporters.
+[[nodiscard]] TemplateRecord ipfix_v6_template();
+/// The v4 flow template used by our NetFlow v9 exporters (sysUptime stamps).
+[[nodiscard]] TemplateRecord netflow_v9_v4_template();
+
+}  // namespace lockdown::flow

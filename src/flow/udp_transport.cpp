@@ -1,0 +1,114 @@
+#include "flow/udp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace lockdown::flow {
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+  }
+  return *this;
+}
+
+std::optional<UdpSocket> UdpSocket::bind_loopback(std::uint16_t port) {
+  UdpSocket s;
+  s.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (s.fd_ < 0) return std::nullopt;
+
+  // Non-blocking: collectors poll from one thread.
+  const int flags = ::fcntl(s.fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(s.fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return std::nullopt;
+  }
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return std::nullopt;
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(s.fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return std::nullopt;
+  }
+  s.port_ = ntohs(bound.sin_port);
+  return s;
+}
+
+bool UdpSocket::send_to(std::uint16_t dest_port,
+                        std::span<const std::uint8_t> datagram) const {
+  if (fd_ < 0) return false;
+  sockaddr_in dest{};
+  dest.sin_family = AF_INET;
+  dest.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  dest.sin_port = htons(dest_port);
+  const ssize_t sent =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
+  return sent == static_cast<ssize_t>(datagram.size());
+}
+
+std::optional<std::vector<std::uint8_t>> UdpSocket::receive() const {
+  if (fd_ < 0) return std::nullopt;
+  // NetFlow/IPFIX datagrams fit in one MTU-ish read; 64 KiB covers any UDP
+  // payload.
+  std::vector<std::uint8_t> buf(65536);
+  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0, nullptr, nullptr);
+  if (n < 0) return std::nullopt;  // EAGAIN: queue empty
+  buf.resize(static_cast<std::size_t>(n));
+  return buf;
+}
+
+std::optional<UdpExporterTransport> UdpExporterTransport::create(
+    std::uint16_t collector_port) {
+  auto socket = UdpSocket::bind_loopback(0);
+  if (!socket) return std::nullopt;
+  return UdpExporterTransport(std::move(*socket), collector_port);
+}
+
+void UdpExporterTransport::send(std::span<const std::uint8_t> packet) {
+  if (socket_.send_to(collector_port_, packet)) {
+    ++sent_;
+  } else {
+    ++dropped_;  // best-effort, like real NetFlow over UDP
+  }
+}
+
+std::optional<UdpCollectorTransport> UdpCollectorTransport::create(
+    std::uint16_t port) {
+  auto socket = UdpSocket::bind_loopback(port);
+  if (!socket) return std::nullopt;
+  return UdpCollectorTransport(std::move(*socket));
+}
+
+std::size_t UdpCollectorTransport::drain(const Handler& handler) {
+  std::size_t count = 0;
+  while (auto datagram = socket_.receive()) {
+    handler(*datagram);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace lockdown::flow

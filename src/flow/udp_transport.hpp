@@ -1,0 +1,96 @@
+// Loopback UDP transport for exporter -> collector datagrams: the actual
+// on-the-wire path of every NetFlow/IPFIX deployment. The rest of this
+// repository uses the in-memory ExportPump for speed; this transport backs
+// the integration tests and examples that exercise real sockets, and is
+// what a production deployment of this collector would bind.
+//
+// Design notes (POSIX, IPv4 loopback):
+//  * RAII socket ownership; sockets are created non-blocking so a
+//    collector can be polled from a single thread without hanging;
+//  * send is best-effort like real NetFlow (UDP: no retransmission);
+//    ENOBUFS/EAGAIN surface as counted drops, not exceptions;
+//  * receive drains everything currently queued and hands each datagram to
+//    the caller, preserving datagram boundaries (one recvfrom per packet).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace lockdown::flow {
+
+/// RAII wrapper around a bound UDP socket.
+class UdpSocket {
+ public:
+  UdpSocket() = default;
+  ~UdpSocket();
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  /// Bind a non-blocking UDP socket on 127.0.0.1. Port 0 lets the kernel
+  /// choose; the chosen port is then available via port(). nullopt on error.
+  [[nodiscard]] static std::optional<UdpSocket> bind_loopback(std::uint16_t port = 0);
+
+  /// The locally bound port (0 if not bound).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Send one datagram to 127.0.0.1:dest_port. Returns false on any
+  /// failure (caller counts it as a drop).
+  [[nodiscard]] bool send_to(std::uint16_t dest_port,
+                             std::span<const std::uint8_t> datagram) const;
+
+  /// Receive one datagram if available (non-blocking); nullopt when the
+  /// queue is empty.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> receive() const;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Counted best-effort sender for export packets.
+class UdpExporterTransport {
+ public:
+  /// nullopt if no local socket could be created.
+  [[nodiscard]] static std::optional<UdpExporterTransport> create(
+      std::uint16_t collector_port);
+
+  /// Send one packet; drops are counted, never thrown.
+  void send(std::span<const std::uint8_t> packet);
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  UdpExporterTransport(UdpSocket socket, std::uint16_t port)
+      : socket_(std::move(socket)), collector_port_(port) {}
+  UdpSocket socket_;
+  std::uint16_t collector_port_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Collector-side receiver: drain whatever is queued into a handler.
+class UdpCollectorTransport {
+ public:
+  using Handler = std::function<void(std::span<const std::uint8_t>)>;
+
+  [[nodiscard]] static std::optional<UdpCollectorTransport> create(
+      std::uint16_t port = 0);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return socket_.port(); }
+
+  /// Process every currently queued datagram; returns how many were seen.
+  std::size_t drain(const Handler& handler);
+
+ private:
+  explicit UdpCollectorTransport(UdpSocket socket) : socket_(std::move(socket)) {}
+  UdpSocket socket_;
+};
+
+}  // namespace lockdown::flow

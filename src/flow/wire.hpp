@@ -1,0 +1,117 @@
+// Big-endian wire buffer reader/writer shared by the NetFlow and IPFIX
+// codecs. The reader is bounds-checked and never throws on malformed input:
+// reads past the end set a sticky error flag checked by callers, so the
+// decoders are safe on truncated or hostile packets (decoders must never
+// crash -- see DESIGN.md invariants).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace lockdown::flow {
+
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void zeros(std::size_t n) { buf_.insert(buf_.end(), n, 0); }
+
+  /// Overwrite a previously written big-endian u16 at `offset` (used to
+  /// patch length fields once a set/packet is complete).
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() noexcept {
+    if (!require(2)) return 0;
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    const std::uint32_t hi = u16();
+    const std::uint32_t lo = u16();
+    return (hi << 16) | lo;
+  }
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+
+  bool read_bytes(std::span<std::uint8_t> out) noexcept {
+    if (!require(out.size())) return false;
+    std::memcpy(out.data(), data_.data() + pos_, out.size());
+    pos_ += out.size();
+    return true;
+  }
+
+  bool skip(std::size_t n) noexcept {
+    if (!require(n)) return false;
+    pos_ += n;
+    return true;
+  }
+
+  /// A bounded sub-reader over the next `n` bytes (advances this reader).
+  [[nodiscard]] WireReader sub(std::size_t n) noexcept {
+    if (!require(n)) return WireReader({});
+    WireReader r(data_.subspan(pos_, n));
+    pos_ += n;
+    return r;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return failed_ ? 0 : data_.size() - pos_;
+  }
+  [[nodiscard]] bool ok() const noexcept { return !failed_; }
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+
+ private:
+  bool require(std::size_t n) noexcept {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace lockdown::flow

@@ -1,0 +1,76 @@
+// Autonomous-system number and organization metadata types used throughout
+// the synthesizer and the analyses (hypergiant grouping, remote-work AS
+// identification, EDU directionality).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace lockdown::net {
+
+/// Strongly-typed AS number (32-bit per RFC 6793).
+class Asn {
+ public:
+  constexpr Asn() noexcept = default;
+  explicit constexpr Asn(std::uint32_t number) noexcept : number_(number) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return number_; }
+  [[nodiscard]] std::string to_string() const { return "AS" + std::to_string(number_); }
+
+  friend constexpr auto operator<=>(Asn, Asn) noexcept = default;
+
+ private:
+  std::uint32_t number_ = 0;
+};
+
+struct AsnHash {
+  [[nodiscard]] constexpr std::size_t operator()(Asn a) const noexcept {
+    return a.value() * 0x9e3779b97f4a7c15ULL;
+  }
+};
+
+/// Coarse role of an AS in the Internet economy. Used by the synthesizer to
+/// decide traffic direction and by the analyses only where the paper also
+/// used out-of-band knowledge (e.g. the manually curated eyeball list in
+/// §3.4 or the hypergiant list of Appendix A).
+enum class AsRole : std::uint8_t {
+  kHypergiant,       // Table 2 content/CDN/cloud giants
+  kEyeballIsp,       // residential broadband providers
+  kEnterprise,       // companies with their own AS (remote-work relevant)
+  kCloudSaas,        // cloud-hosted products used for remote work
+  kUniversity,       // members of the EDU metropolitan network
+  kGamingProvider,   // multiplayer/cloud gaming
+  kVodProvider,      // video-on-demand streaming
+  kConferencing,     // web conferencing / telephony
+  kSocialMedia,
+  kMessaging,
+  kCdn,
+  kHosting,          // generic hosting (e.g. the unknown TCP/25461 sources)
+  kEducationalNet,   // national research & education backbones
+  kMobileOperator,
+  kOther,
+};
+
+[[nodiscard]] constexpr const char* to_string(AsRole role) noexcept {
+  switch (role) {
+    case AsRole::kHypergiant: return "hypergiant";
+    case AsRole::kEyeballIsp: return "eyeball-isp";
+    case AsRole::kEnterprise: return "enterprise";
+    case AsRole::kCloudSaas: return "cloud-saas";
+    case AsRole::kUniversity: return "university";
+    case AsRole::kGamingProvider: return "gaming";
+    case AsRole::kVodProvider: return "vod";
+    case AsRole::kConferencing: return "conferencing";
+    case AsRole::kSocialMedia: return "social-media";
+    case AsRole::kMessaging: return "messaging";
+    case AsRole::kCdn: return "cdn";
+    case AsRole::kHosting: return "hosting";
+    case AsRole::kEducationalNet: return "edu-net";
+    case AsRole::kMobileOperator: return "mobile";
+    case AsRole::kOther: return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace lockdown::net

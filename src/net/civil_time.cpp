@@ -1,0 +1,61 @@
+#include "net/civil_time.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace lockdown::net {
+
+namespace {
+
+constexpr bool is_leap(int year) noexcept {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+constexpr unsigned days_in_month(int year, unsigned month) noexcept {
+  constexpr unsigned kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return (month >= 1 && month <= 12) ? kDays[month - 1] : 0;
+}
+
+}  // namespace
+
+std::optional<Date> Date::make(int year, unsigned month, unsigned day) noexcept {
+  if (month < 1 || month > 12) return std::nullopt;
+  if (day < 1 || day > days_in_month(year, month)) return std::nullopt;
+  return Date(year, month, day);
+}
+
+std::optional<Date> Date::parse(std::string_view text) noexcept {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') return std::nullopt;
+  int y = 0;
+  unsigned m = 0, d = 0;
+  auto parse_uint = [](std::string_view s, auto& out) {
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+    return ec == std::errc{} && ptr == s.data() + s.size();
+  };
+  if (!parse_uint(text.substr(0, 4), y) || !parse_uint(text.substr(5, 2), m) ||
+      !parse_uint(text.substr(8, 2), d)) {
+    return std::nullopt;
+  }
+  return make(y, m, d);
+}
+
+std::string Date::to_string() const {
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof(buf), "%04d-%02u-%02u", year_, month_, day_);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string Timestamp::to_string() const {
+  const Date d = date();
+  const std::int64_t rem = ((seconds_ % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay;
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%s %02lld:%02lld:%02lld",
+                              d.to_string().c_str(),
+                              static_cast<long long>(rem / 3600),
+                              static_cast<long long>((rem / 60) % 60),
+                              static_cast<long long>(rem % 60));
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace lockdown::net

@@ -1,0 +1,223 @@
+// Civil-time utilities: proleptic Gregorian calendar <-> Unix time, weekday
+// math, and the week-numbering conventions the paper uses. All timestamps in
+// this project are UTC seconds since the Unix epoch; the vantage points'
+// local-time diurnal shapes are handled by the synthesizer's profiles, not
+// by timezone conversion.
+//
+// Calendar algorithms follow Howard Hinnant's "chrono-compatible low-level
+// date algorithms" (public domain), which are exact for the proleptic
+// Gregorian calendar.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lockdown::net {
+
+inline constexpr std::int64_t kSecondsPerMinute = 60;
+inline constexpr std::int64_t kSecondsPerHour = 3600;
+inline constexpr std::int64_t kSecondsPerDay = 86400;
+inline constexpr std::int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+enum class Weekday : std::uint8_t {
+  kMonday = 0,
+  kTuesday,
+  kWednesday,
+  kThursday,
+  kFriday,
+  kSaturday,
+  kSunday,
+};
+
+[[nodiscard]] constexpr const char* to_string(Weekday d) noexcept {
+  switch (d) {
+    case Weekday::kMonday: return "Mon";
+    case Weekday::kTuesday: return "Tue";
+    case Weekday::kWednesday: return "Wed";
+    case Weekday::kThursday: return "Thu";
+    case Weekday::kFriday: return "Fri";
+    case Weekday::kSaturday: return "Sat";
+    case Weekday::kSunday: return "Sun";
+  }
+  return "???";
+}
+
+[[nodiscard]] constexpr bool is_weekend(Weekday d) noexcept {
+  return d == Weekday::kSaturday || d == Weekday::kSunday;
+}
+
+/// A calendar date (UTC). Validity is checked by the factory.
+class Date {
+ public:
+  constexpr Date() noexcept = default;
+  constexpr Date(int year, unsigned month, unsigned day) noexcept
+      : year_(year), month_(month), day_(day) {}
+
+  [[nodiscard]] static std::optional<Date> make(int year, unsigned month,
+                                                unsigned day) noexcept;
+  /// Parse "YYYY-MM-DD".
+  [[nodiscard]] static std::optional<Date> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr int year() const noexcept { return year_; }
+  [[nodiscard]] constexpr unsigned month() const noexcept { return month_; }
+  [[nodiscard]] constexpr unsigned day() const noexcept { return day_; }
+
+  /// Days since 1970-01-01.
+  [[nodiscard]] constexpr std::int64_t days_from_epoch() const noexcept {
+    const int y = year_ - (month_ <= 2 ? 1 : 0);
+    const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+    const unsigned yoe = static_cast<unsigned>(y - era * 400);
+    const unsigned doy =
+        (153 * (month_ + (month_ > 2 ? -3 : 9)) + 2) / 5 + day_ - 1;
+    const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+  }
+
+  [[nodiscard]] static constexpr Date from_days(std::int64_t days) noexcept {
+    days += 719468;
+    const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+    const unsigned doe = static_cast<unsigned>(days - era * 146097);
+    const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+    const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    const unsigned mp = (5 * doy + 2) / 153;
+    const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+    const unsigned m = mp + (mp < 10 ? 3 : -9);
+    return Date(static_cast<int>(y + (m <= 2 ? 1 : 0)), m, d);
+  }
+
+  [[nodiscard]] constexpr Weekday weekday() const noexcept {
+    // 1970-01-01 was a Thursday.
+    const std::int64_t days = days_from_epoch();
+    return static_cast<Weekday>(((days % 7) + 7 + 3) % 7);
+  }
+
+  [[nodiscard]] constexpr bool is_weekend_day() const noexcept {
+    return is_weekend(weekday());
+  }
+
+  /// Day of year, 1-based (Jan 1 -> 1).
+  [[nodiscard]] constexpr unsigned day_of_year() const noexcept {
+    return static_cast<unsigned>(days_from_epoch() -
+                                 Date(year_, 1, 1).days_from_epoch()) + 1;
+  }
+
+  /// The paper's x-axis convention ("Calendar week (2020)"): Jan 1-7 is
+  /// week 1, Jan 8-14 week 2, etc. The paper normalizes Fig 1 by week 3.
+  [[nodiscard]] constexpr unsigned paper_week() const noexcept {
+    return (day_of_year() - 1) / 7 + 1;
+  }
+
+  /// ISO-8601 week number (weeks start Monday; week 1 contains Jan 4).
+  [[nodiscard]] constexpr unsigned iso_week() const noexcept {
+    const std::int64_t days = days_from_epoch();
+    // Thursday of this date's week determines the ISO year/week.
+    const std::int64_t thursday =
+        days - static_cast<std::int64_t>(weekday()) + 3;
+    const Date th = from_days(thursday);
+    const std::int64_t jan1 = Date(th.year(), 1, 1).days_from_epoch();
+    return static_cast<unsigned>((thursday - jan1) / 7) + 1;
+  }
+
+  [[nodiscard]] constexpr Date plus_days(std::int64_t n) const noexcept {
+    return from_days(days_from_epoch() + n);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Date&, const Date&) noexcept = default;
+
+ private:
+  int year_ = 1970;
+  unsigned month_ = 1;
+  unsigned day_ = 1;
+};
+
+/// UTC timestamp with second resolution.
+class Timestamp {
+ public:
+  constexpr Timestamp() noexcept = default;
+  explicit constexpr Timestamp(std::int64_t unix_seconds) noexcept
+      : seconds_(unix_seconds) {}
+
+  [[nodiscard]] static constexpr Timestamp from_date(Date d,
+                                                     unsigned hour = 0,
+                                                     unsigned minute = 0,
+                                                     unsigned second = 0) noexcept {
+    return Timestamp(d.days_from_epoch() * kSecondsPerDay +
+                     static_cast<std::int64_t>(hour) * kSecondsPerHour +
+                     static_cast<std::int64_t>(minute) * kSecondsPerMinute +
+                     second);
+  }
+
+  [[nodiscard]] constexpr std::int64_t seconds() const noexcept { return seconds_; }
+
+  [[nodiscard]] constexpr Date date() const noexcept {
+    // Floor division handles pre-epoch timestamps correctly.
+    std::int64_t days = seconds_ / kSecondsPerDay;
+    if (seconds_ % kSecondsPerDay < 0) --days;
+    return Date::from_days(days);
+  }
+
+  [[nodiscard]] constexpr unsigned hour_of_day() const noexcept {
+    const std::int64_t rem = ((seconds_ % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay;
+    return static_cast<unsigned>(rem / kSecondsPerHour);
+  }
+
+  [[nodiscard]] constexpr Weekday weekday() const noexcept {
+    return date().weekday();
+  }
+
+  [[nodiscard]] constexpr Timestamp plus(std::int64_t s) const noexcept {
+    return Timestamp(seconds_ + s);
+  }
+
+  /// Truncate to the start of the containing hour / day.
+  [[nodiscard]] constexpr Timestamp floor_hour() const noexcept {
+    std::int64_t s = seconds_ - (((seconds_ % kSecondsPerHour) + kSecondsPerHour) % kSecondsPerHour);
+    return Timestamp(s);
+  }
+  [[nodiscard]] constexpr Timestamp floor_day() const noexcept {
+    std::int64_t s = seconds_ - (((seconds_ % kSecondsPerDay) + kSecondsPerDay) % kSecondsPerDay);
+    return Timestamp(s);
+  }
+
+  /// "YYYY-MM-DD HH:MM:SS".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Timestamp, Timestamp) noexcept = default;
+
+ private:
+  std::int64_t seconds_ = 0;
+};
+
+/// Half-open time interval [begin, end).
+struct TimeRange {
+  Timestamp begin;
+  Timestamp end;
+
+  [[nodiscard]] constexpr bool contains(Timestamp t) const noexcept {
+    return begin <= t && t < end;
+  }
+  [[nodiscard]] constexpr std::int64_t duration_seconds() const noexcept {
+    return end.seconds() - begin.seconds();
+  }
+  [[nodiscard]] constexpr std::int64_t hours() const noexcept {
+    return duration_seconds() / kSecondsPerHour;
+  }
+
+  /// Week starting at `first_day` 00:00 UTC, 7 days long.
+  [[nodiscard]] static constexpr TimeRange week_of(Date first_day) noexcept {
+    const Timestamp b = Timestamp::from_date(first_day);
+    return TimeRange{b, b.plus(kSecondsPerWeek)};
+  }
+  [[nodiscard]] static constexpr TimeRange day_of(Date day) noexcept {
+    const Timestamp b = Timestamp::from_date(day);
+    return TimeRange{b, b.plus(kSecondsPerDay)};
+  }
+};
+
+}  // namespace lockdown::net

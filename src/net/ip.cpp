@@ -1,0 +1,163 @@
+#include "net/ip.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace lockdown::net {
+
+namespace {
+
+/// Parse a decimal octet [0,255] with no leading '+', at most 3 digits.
+std::optional<std::uint8_t> parse_octet(std::string_view s) {
+  if (s.empty() || s.size() > 3) return std::nullopt;
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value > 255) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+/// Parse a hex group [0,0xffff].
+std::optional<std::uint16_t> parse_hex_group(std::string_view s) {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  unsigned value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, 16);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value > 0xffff) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    const auto octet = parse_octet(part);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+  }
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  const int n = std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", value_ >> 24,
+                              (value_ >> 16) & 0xff, (value_ >> 8) & 0xff,
+                              value_ & 0xff);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  // Handle "::" compression by splitting into the left and right halves.
+  const std::size_t dcolon = text.find("::");
+  std::vector<std::uint16_t> left;
+  std::vector<std::uint16_t> right;
+
+  auto parse_groups = [](std::string_view s,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (s.empty()) return true;
+    for (const auto part : util::split(s, ':')) {
+      const auto group = parse_hex_group(part);
+      if (!group) return false;
+      out.push_back(*group);
+    }
+    return true;
+  };
+
+  if (dcolon == std::string_view::npos) {
+    if (!parse_groups(text, left) || left.size() != 8) return std::nullopt;
+  } else {
+    if (text.find("::", dcolon + 1) != std::string_view::npos) {
+      return std::nullopt;  // at most one "::"
+    }
+    if (!parse_groups(text.substr(0, dcolon), left)) return std::nullopt;
+    if (!parse_groups(text.substr(dcolon + 2), right)) return std::nullopt;
+    if (left.size() + right.size() >= 8) return std::nullopt;
+  }
+
+  Bytes bytes{};
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    bytes[2 * i] = static_cast<std::uint8_t>(left[i] >> 8);
+    bytes[2 * i + 1] = static_cast<std::uint8_t>(left[i] & 0xff);
+  }
+  for (std::size_t i = 0; i < right.size(); ++i) {
+    const std::size_t g = 8 - right.size() + i;
+    bytes[2 * g] = static_cast<std::uint8_t>(right[i] >> 8);
+    bytes[2 * g + 1] = static_cast<std::uint8_t>(right[i] & 0xff);
+  }
+  return Ipv6Address(bytes);
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> groups{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    groups[i] = static_cast<std::uint16_t>((bytes_[2 * i] << 8) | bytes_[2 * i + 1]);
+  }
+
+  // Find the longest run of zero groups (length >= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && groups[j] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // "::" regardless of position; the preceding group did not append a
+      // trailing colon, and the following group sees out.back() == ':' and
+      // skips its separator.
+      out += "::";
+      i += best_len;
+      if (i == 8) return out;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof(buf), "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  return out;
+}
+
+std::optional<IpAddress> IpAddress::parse(std::string_view text) {
+  if (text.find(':') != std::string_view::npos) {
+    if (const auto v6 = Ipv6Address::parse(text)) return IpAddress(*v6);
+    return std::nullopt;
+  }
+  if (const auto v4 = Ipv4Address::parse(text)) return IpAddress(*v4);
+  return std::nullopt;
+}
+
+std::string IpAddress::to_string() const {
+  return is_v6_ ? v6_.to_string() : v4_.to_string();
+}
+
+std::size_t IpAddressHash::operator()(const IpAddress& a) const noexcept {
+  if (a.is_v4()) {
+    return static_cast<std::size_t>(util::splitmix64(a.v4().value()));
+  }
+  return static_cast<std::size_t>(
+      util::hash_combine(util::splitmix64(a.v6().high()), a.v6().low()));
+}
+
+}  // namespace lockdown::net

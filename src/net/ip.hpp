@@ -1,0 +1,124 @@
+// IP address value types. IPv4 and IPv6 are distinct strong types unified by
+// IpAddress (a variant-like tagged value). All byte order handling lives
+// here: values are stored host-order (v4) / big-endian byte array (v6), and
+// only the flow codecs convert to wire format.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lockdown::net {
+
+/// IPv4 address stored as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Parse dotted-quad notation; nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv4Address> parse(std::string_view text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// IPv6 address stored as 16 bytes in network order.
+class Ipv6Address {
+ public:
+  using Bytes = std::array<std::uint8_t, 16>;
+
+  constexpr Ipv6Address() noexcept = default;
+  explicit constexpr Ipv6Address(const Bytes& bytes) noexcept : bytes_(bytes) {}
+
+  /// Construct from two 64-bit halves (host-order, high = first 8 bytes).
+  static constexpr Ipv6Address from_halves(std::uint64_t high,
+                                           std::uint64_t low) noexcept {
+    Bytes b{};
+    for (int i = 0; i < 8; ++i) {
+      b[i] = static_cast<std::uint8_t>(high >> (56 - 8 * i));
+      b[8 + i] = static_cast<std::uint8_t>(low >> (56 - 8 * i));
+    }
+    return Ipv6Address(b);
+  }
+
+  [[nodiscard]] constexpr const Bytes& bytes() const noexcept { return bytes_; }
+  [[nodiscard]] constexpr std::uint64_t high() const noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | bytes_[i];
+    return v;
+  }
+  [[nodiscard]] constexpr std::uint64_t low() const noexcept {
+    std::uint64_t v = 0;
+    for (int i = 8; i < 16; ++i) v = (v << 8) | bytes_[i];
+    return v;
+  }
+
+  /// Parse RFC 4291 text form, including "::" compression; no zone IDs.
+  [[nodiscard]] static std::optional<Ipv6Address> parse(std::string_view text);
+
+  /// Canonical lowercase form with "::" compression of the longest zero run.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) noexcept = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+/// Tagged union of v4/v6. Comparison orders all v4 before all v6.
+class IpAddress {
+ public:
+  constexpr IpAddress() noexcept : v4_(), is_v6_(false) {}
+  constexpr IpAddress(Ipv4Address a) noexcept : v4_(a), is_v6_(false) {}  // NOLINT implicit
+  constexpr IpAddress(Ipv6Address a) noexcept : v6_(a), is_v6_(true) {}   // NOLINT implicit
+
+  [[nodiscard]] constexpr bool is_v4() const noexcept { return !is_v6_; }
+  [[nodiscard]] constexpr bool is_v6() const noexcept { return is_v6_; }
+
+  [[nodiscard]] constexpr Ipv4Address v4() const noexcept { return v4_; }
+  [[nodiscard]] constexpr const Ipv6Address& v6() const noexcept { return v6_; }
+
+  [[nodiscard]] static std::optional<IpAddress> parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const IpAddress& a, const IpAddress& b) noexcept {
+    if (a.is_v6_ != b.is_v6_) return false;
+    return a.is_v6_ ? a.v6_ == b.v6_ : a.v4_ == b.v4_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const IpAddress& a,
+                                                    const IpAddress& b) noexcept {
+    if (a.is_v6_ != b.is_v6_) {
+      return a.is_v6_ ? std::strong_ordering::greater : std::strong_ordering::less;
+    }
+    return a.is_v6_ ? a.v6_ <=> b.v6_ : a.v4_ <=> b.v4_;
+  }
+
+ private:
+  union {
+    Ipv4Address v4_;
+    Ipv6Address v6_;
+  };
+  bool is_v6_;
+};
+
+/// Hash functor for IpAddress usable with unordered containers.
+struct IpAddressHash {
+  [[nodiscard]] std::size_t operator()(const IpAddress& a) const noexcept;
+};
+
+}  // namespace lockdown::net

@@ -1,0 +1,48 @@
+#include "net/prefix.hpp"
+
+#include <charconv>
+
+namespace lockdown::net {
+
+namespace {
+
+std::optional<std::uint8_t> parse_length(std::string_view s, unsigned max) {
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size() || value > max) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::optional<Ipv4Prefix> Ipv4Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  const auto len = parse_length(text.substr(slash + 1), 32);
+  if (!addr || !len) return std::nullopt;
+  if ((addr->value() & ~mask(*len)) != 0) return std::nullopt;
+  return Ipv4Prefix(*addr, *len);
+}
+
+std::string Ipv4Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv6Address::parse(text.substr(0, slash));
+  const auto len = parse_length(text.substr(slash + 1), 128);
+  if (!addr || !len) return std::nullopt;
+  if (!(apply_mask(*addr, *len) == *addr)) return std::nullopt;
+  return Ipv6Prefix(*addr, *len);
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace lockdown::net

@@ -1,0 +1,130 @@
+// CIDR prefixes over Ipv4Address / Ipv6Address with containment tests.
+// Invariant: host bits below the prefix length are zero (enforced by the
+// factory; the throwing constructor rejects unnormalized input).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "net/ip.hpp"
+
+namespace lockdown::net {
+
+/// IPv4 CIDR prefix, e.g. 192.0.2.0/24.
+class Ipv4Prefix {
+ public:
+  constexpr Ipv4Prefix() noexcept = default;
+
+  /// Throws std::invalid_argument if length > 32 or host bits are set.
+  Ipv4Prefix(Ipv4Address network, std::uint8_t length)
+      : network_(network), length_(length) {
+    if (length > 32) throw std::invalid_argument("Ipv4Prefix: length > 32");
+    if ((network.value() & ~mask(length)) != 0) {
+      throw std::invalid_argument("Ipv4Prefix: host bits set in " +
+                                  network.to_string() + "/" +
+                                  std::to_string(length));
+    }
+  }
+
+  /// Build from any address by masking off host bits.
+  [[nodiscard]] static Ipv4Prefix containing(Ipv4Address addr,
+                                             std::uint8_t length) {
+    if (length > 32) throw std::invalid_argument("Ipv4Prefix: length > 32");
+    return Ipv4Prefix(Ipv4Address(addr.value() & mask(length)), length);
+  }
+
+  /// Parse "a.b.c.d/len".
+  [[nodiscard]] static std::optional<Ipv4Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4Address network() const noexcept { return network_; }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address addr) const noexcept {
+    return (addr.value() & mask(length_)) == network_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Ipv4Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.network_);
+  }
+
+  /// Number of addresses covered (2^(32-len)), as double to avoid overflow.
+  [[nodiscard]] constexpr double size() const noexcept {
+    return static_cast<double>(1ULL << (32 - length_));
+  }
+
+  /// The i-th address inside the prefix (i taken modulo prefix size).
+  [[nodiscard]] constexpr Ipv4Address address_at(std::uint64_t i) const noexcept {
+    const std::uint64_t span = 1ULL << (32 - length_);
+    return Ipv4Address(network_.value() + static_cast<std::uint32_t>(i % span));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv4Prefix&, const Ipv4Prefix&) noexcept = default;
+
+ private:
+  static constexpr std::uint32_t mask(std::uint8_t len) noexcept {
+    return len == 0 ? 0 : ~std::uint32_t{0} << (32 - len);
+  }
+  Ipv4Address network_{};
+  std::uint8_t length_ = 0;
+};
+
+/// IPv6 CIDR prefix.
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() noexcept = default;
+
+  Ipv6Prefix(Ipv6Address network, std::uint8_t length)
+      : network_(network), length_(length) {
+    if (length > 128) throw std::invalid_argument("Ipv6Prefix: length > 128");
+    const Ipv6Address masked = apply_mask(network, length);
+    if (!(masked == network)) {
+      throw std::invalid_argument("Ipv6Prefix: host bits set");
+    }
+  }
+
+  [[nodiscard]] static Ipv6Prefix containing(const Ipv6Address& addr,
+                                             std::uint8_t length) {
+    if (length > 128) throw std::invalid_argument("Ipv6Prefix: length > 128");
+    return Ipv6Prefix(apply_mask(addr, length), length);
+  }
+
+  [[nodiscard]] static std::optional<Ipv6Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr const Ipv6Address& network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] constexpr std::uint8_t length() const noexcept { return length_; }
+
+  [[nodiscard]] bool contains(const Ipv6Address& addr) const noexcept {
+    return apply_mask(addr, length_) == network_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Prefix&, const Ipv6Prefix&) noexcept = default;
+
+ private:
+  static constexpr Ipv6Address apply_mask(const Ipv6Address& addr,
+                                          std::uint8_t len) noexcept {
+    Ipv6Address::Bytes out = addr.bytes();
+    for (std::size_t i = 0; i < 16; ++i) {
+      const int bits = static_cast<int>(len) - static_cast<int>(8 * i);
+      if (bits >= 8) continue;
+      if (bits <= 0) {
+        out[i] = 0;
+      } else {
+        out[i] &= static_cast<std::uint8_t>(0xff << (8 - bits));
+      }
+    }
+    return Ipv6Address(out);
+  }
+  Ipv6Address network_{};
+  std::uint8_t length_ = 0;
+};
+
+}  // namespace lockdown::net

@@ -1,0 +1,80 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lockdown::stats {
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)), dirty_(true) {
+  ensure_sorted();
+}
+
+void Ecdf::add(double v) {
+  sorted_.push_back(v);
+  dirty_ = true;
+}
+
+void Ecdf::ensure_sorted() const {
+  if (dirty_) {
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+}
+
+double Ecdf::at(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto n = sorted_.size();
+  const auto idx = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  return sorted_[idx == 0 ? 0 : std::min(idx - 1, n - 1)];
+}
+
+std::vector<double> Ecdf::evaluate(std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back(at(x));
+  return out;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) noexcept {
+  if (x.size() != y.size() || x.size() < 2) return 0.0;
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double median(std::vector<double> values) noexcept {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower = *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace lockdown::stats

@@ -1,0 +1,50 @@
+// Empirical cumulative distribution function, as used by Fig 5 (link
+// utilization before vs. during lockdown).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace lockdown::stats {
+
+class Ecdf {
+ public:
+  Ecdf() = default;
+  explicit Ecdf(std::vector<double> samples);
+
+  void add(double v);
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
+
+  /// F(x) = fraction of samples <= x. 0 for empty ECDF.
+  [[nodiscard]] double at(double x) const noexcept;
+
+  /// q-quantile (q in [0,1]) via the nearest-rank method; 0 if empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  [[nodiscard]] double min() const noexcept { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  [[nodiscard]] double max() const noexcept { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+  /// Evaluate at each of `xs`; convenient for printing ECDF curves.
+  [[nodiscard]] std::vector<double> evaluate(std::span<const double> xs) const;
+
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> sorted_;
+  mutable bool dirty_ = false;
+};
+
+/// Pearson correlation coefficient; 0 if either side has zero variance or
+/// sizes mismatch / are < 2.
+[[nodiscard]] double pearson(std::span<const double> x, std::span<const double> y) noexcept;
+
+/// Median of a sample set (copies; nearest-rank lower median for even n
+/// averaged with upper). 0 for empty input.
+[[nodiscard]] double median(std::vector<double> values) noexcept;
+
+}  // namespace lockdown::stats

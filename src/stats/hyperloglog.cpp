@@ -1,0 +1,68 @@
+#include "stats/hyperloglog.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace lockdown::stats {
+
+HyperLogLog::HyperLogLog(unsigned precision) : precision_(precision) {
+  if (precision < 4 || precision > 18) {
+    throw std::invalid_argument("HyperLogLog: precision must be in [4,18]");
+  }
+  regs_.assign(std::size_t{1} << precision, 0);
+}
+
+void HyperLogLog::add_hash(std::uint64_t hash) noexcept {
+  const std::size_t index = hash >> (64 - precision_);
+  // Rank = position of the first 1-bit in the remaining bits, 1-based.
+  const std::uint64_t rest = hash << precision_;
+  const int rank =
+      rest == 0 ? static_cast<int>(64 - precision_ + 1) : std::countl_zero(rest) + 1;
+  if (static_cast<std::uint8_t>(rank) > regs_[index]) {
+    regs_[index] = static_cast<std::uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::estimate() const {
+  const double m = static_cast<double>(regs_.size());
+  // Bias-correction constant alpha_m.
+  double alpha;
+  if (regs_.size() == 16) {
+    alpha = 0.673;
+  } else if (regs_.size() == 32) {
+    alpha = 0.697;
+  } else if (regs_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+
+  double sum = 0.0;
+  std::size_t zeros = 0;
+  for (const std::uint8_t r : regs_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    zeros += r == 0 ? 1 : 0;
+  }
+  const double raw = alpha * m * m / sum;
+
+  // Small-range correction: linear counting while registers are sparse.
+  if (raw <= 2.5 * m && zeros > 0) {
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    throw std::invalid_argument("HyperLogLog::merge: precision mismatch");
+  }
+  for (std::size_t i = 0; i < regs_.size(); ++i) {
+    if (other.regs_[i] > regs_[i]) regs_[i] = other.regs_[i];
+  }
+}
+
+double HyperLogLog::standard_error() const noexcept {
+  return 1.04 / std::sqrt(static_cast<double>(regs_.size()));
+}
+
+}  // namespace lockdown::stats

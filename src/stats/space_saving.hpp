@@ -1,0 +1,102 @@
+// Space-Saving heavy-hitter sketch (Metwally et al. 2005): bounded-memory
+// top-K tracking with deterministic error bounds. The §4 "top 3-12 ports"
+// ranking is exactly a heavy-hitter query; at a multi-Tbps IXP the exact
+// per-port map used by analysis::PortAnalyzer is feasible for ports (64k
+// keys) but not for, e.g., per-prefix rankings -- this sketch covers that
+// regime and the ablation bench compares it against the exact ranking.
+//
+// Guarantees with `capacity` counters over total weight W:
+//   * every key with true weight > W / capacity is present;
+//   * each reported count overestimates by at most its stored `error`.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace lockdown::stats {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class SpaceSaving {
+ public:
+  struct Entry {
+    Key key{};
+    double count = 0;  ///< estimated weight (upper bound)
+    double error = 0;  ///< maximum overestimation of `count`
+  };
+
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("SpaceSaving: zero capacity");
+    entries_.reserve(capacity);
+  }
+
+  /// Add `weight` to `key`; evicts the current minimum if the key is new
+  /// and the sketch is full (the evicted count becomes the new key's error).
+  void add(const Key& key, double weight = 1.0) {
+    total_ += weight;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      entries_[it->second].count += weight;
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      index_[key] = entries_.size();
+      entries_.push_back(Entry{key, weight, 0.0});
+      return;
+    }
+    // Replace the minimum-count entry.
+    std::size_t min_idx = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].count < entries_[min_idx].count) min_idx = i;
+    }
+    Entry& victim = entries_[min_idx];
+    index_.erase(victim.key);
+    const double inherited = victim.count;
+    victim = Entry{key, inherited + weight, inherited};
+    index_[key] = min_idx;
+  }
+
+  /// Top-n entries by estimated count, descending.
+  [[nodiscard]] std::vector<Entry> top(std::size_t n) const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return a.count > b.count; });
+    if (out.size() > n) out.resize(n);
+    return out;
+  }
+
+  /// Estimated count for a key (0 if not tracked).
+  [[nodiscard]] double count(const Key& key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? 0.0 : entries_[it->second].count;
+  }
+
+  /// True if `key`'s presence is *guaranteed* (its count minus error still
+  /// exceeds the eviction threshold).
+  [[nodiscard]] bool guaranteed(const Key& key) const {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    const Entry& e = entries_[it->second];
+    return e.count - e.error > total_ / static_cast<double>(capacity_);
+  }
+
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Maximum possible error of any reported count: W / capacity.
+  [[nodiscard]] double error_bound() const noexcept {
+    return total_ / static_cast<double>(capacity_);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, std::size_t, Hash> index_;
+  double total_ = 0.0;
+};
+
+}  // namespace lockdown::stats

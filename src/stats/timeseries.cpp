@@ -1,0 +1,134 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lockdown::stats {
+
+using net::Timestamp;
+
+Timestamp bucket_start(Timestamp t, Bucket b) noexcept {
+  switch (b) {
+    case Bucket::kHour:
+      return t.floor_hour();
+    case Bucket::kSixHours: {
+      const Timestamp day = t.floor_day();
+      const unsigned slot = t.hour_of_day() / 6;
+      return day.plus(static_cast<std::int64_t>(slot) * 6 * net::kSecondsPerHour);
+    }
+    case Bucket::kDay:
+      return t.floor_day();
+    case Bucket::kWeek: {
+      const net::Date d = t.date();
+      const net::Date jan1(d.year(), 1, 1);
+      const std::int64_t week_index = (d.days_from_epoch() - jan1.days_from_epoch()) / 7;
+      return Timestamp::from_date(jan1.plus_days(week_index * 7));
+    }
+  }
+  return t;
+}
+
+double TimeSeries::sum_in(net::TimeRange range) const noexcept {
+  double sum = 0.0;
+  for (auto it = bins_.lower_bound(range.begin.seconds());
+       it != bins_.end() && it->first < range.end.seconds(); ++it) {
+    sum += it->second;
+  }
+  return sum;
+}
+
+std::optional<double> TimeSeries::mean_in(net::TimeRange range) const noexcept {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (auto it = bins_.lower_bound(range.begin.seconds());
+       it != bins_.end() && it->first < range.end.seconds(); ++it) {
+    sum += it->second;
+    ++n;
+  }
+  if (n == 0) return std::nullopt;
+  return sum / static_cast<double>(n);
+}
+
+double TimeSeries::min_value() const noexcept {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& [ts, v] : bins_) {
+    if (first || v < m) m = v;
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::max_value() const noexcept {
+  double m = 0.0;
+  bool first = true;
+  for (const auto& [ts, v] : bins_) {
+    if (first || v > m) m = v;
+    first = false;
+  }
+  return m;
+}
+
+double TimeSeries::total() const noexcept {
+  double sum = 0.0;
+  for (const auto& [ts, v] : bins_) sum += v;
+  return sum;
+}
+
+std::vector<std::pair<Timestamp, double>> TimeSeries::points() const {
+  std::vector<std::pair<Timestamp, double>> out;
+  out.reserve(bins_.size());
+  for (const auto& [ts, v] : bins_) out.emplace_back(Timestamp(ts), v);
+  return out;
+}
+
+std::vector<std::pair<Timestamp, double>> TimeSeries::points_in(
+    net::TimeRange range) const {
+  std::vector<std::pair<Timestamp, double>> out;
+  for (auto it = bins_.lower_bound(range.begin.seconds());
+       it != bins_.end() && it->first < range.end.seconds(); ++it) {
+    out.emplace_back(Timestamp(it->first), it->second);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::normalized_by(double denominator) const {
+  if (denominator <= 0.0) {
+    throw std::invalid_argument("TimeSeries::normalized_by: non-positive denominator");
+  }
+  TimeSeries out(bucket_);
+  for (const auto& [ts, v] : bins_) out.bins_[ts] = v / denominator;
+  return out;
+}
+
+TimeSeries TimeSeries::normalized_by_min() const {
+  const double m = min_value();
+  if (m <= 0.0) {
+    throw std::invalid_argument("TimeSeries::normalized_by_min: non-positive minimum");
+  }
+  return normalized_by(m);
+}
+
+TimeSeries TimeSeries::normalized_by_max() const {
+  const double m = max_value();
+  if (m <= 0.0) {
+    throw std::invalid_argument("TimeSeries::normalized_by_max: non-positive maximum");
+  }
+  return normalized_by(m);
+}
+
+TimeSeries TimeSeries::rebucket(Bucket coarser) const {
+  // Bucket enum is ordered fine -> coarse.
+  if (static_cast<int>(coarser) < static_cast<int>(bucket_)) {
+    throw std::invalid_argument("TimeSeries::rebucket: target is finer than source");
+  }
+  TimeSeries out(coarser);
+  for (const auto& [ts, v] : bins_) out.add(Timestamp(ts), v);
+  return out;
+}
+
+void TimeSeries::transform(const std::function<double(double)>& fn) {
+  for (auto& [ts, v] : bins_) v = fn(v);
+}
+
+}  // namespace lockdown::stats

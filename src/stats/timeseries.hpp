@@ -1,0 +1,117 @@
+// Calendar-aware time-series accumulator. All of the paper's figures are
+// reductions of (timestamp, value) streams into hour/6-hour/day/week bins
+// followed by a normalization; this type is that reduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/civil_time.hpp"
+
+namespace lockdown::stats {
+
+enum class Bucket : std::uint8_t {
+  kHour,
+  kSixHours,
+  kDay,
+  kWeek,  // paper weeks: 7-day blocks anchored at Jan 1 of the sample's year
+};
+
+[[nodiscard]] constexpr const char* to_string(Bucket b) noexcept {
+  switch (b) {
+    case Bucket::kHour: return "hour";
+    case Bucket::kSixHours: return "6h";
+    case Bucket::kDay: return "day";
+    case Bucket::kWeek: return "week";
+  }
+  return "?";
+}
+
+/// Truncate `t` to the start of its bucket.
+[[nodiscard]] net::Timestamp bucket_start(net::Timestamp t, Bucket b) noexcept;
+
+/// Accumulates double-valued samples into calendar buckets (sum semantics).
+class TimeSeries {
+ public:
+  explicit TimeSeries(Bucket bucket) noexcept : bucket_(bucket) {}
+
+  void add(net::Timestamp t, double value) {
+    bins_[bucket_start(t, bucket_).seconds()] += value;
+  }
+
+  [[nodiscard]] Bucket bucket() const noexcept { return bucket_; }
+  [[nodiscard]] std::size_t size() const noexcept { return bins_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bins_.empty(); }
+
+  /// Value of the bucket containing `t` (0 if absent).
+  [[nodiscard]] double at(net::Timestamp t) const noexcept {
+    const auto it = bins_.find(bucket_start(t, bucket_).seconds());
+    return it == bins_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over buckets whose start lies in [range.begin, range.end).
+  [[nodiscard]] double sum_in(net::TimeRange range) const noexcept;
+
+  /// Mean of bucket values whose start lies in the range; nullopt if none.
+  [[nodiscard]] std::optional<double> mean_in(net::TimeRange range) const noexcept;
+
+  [[nodiscard]] double min_value() const noexcept;
+  [[nodiscard]] double max_value() const noexcept;
+  [[nodiscard]] double total() const noexcept;
+
+  /// Ordered (bucket start, value) pairs.
+  [[nodiscard]] std::vector<std::pair<net::Timestamp, double>> points() const;
+
+  /// Ordered points restricted to a range (bucket starts in [begin,end)).
+  [[nodiscard]] std::vector<std::pair<net::Timestamp, double>> points_in(
+      net::TimeRange range) const;
+
+  /// New series with every value divided by `denominator`.
+  /// Throws std::invalid_argument on zero/negative denominator.
+  [[nodiscard]] TimeSeries normalized_by(double denominator) const;
+
+  /// New series normalized so its minimum (resp. maximum) is 1.0.
+  [[nodiscard]] TimeSeries normalized_by_min() const;
+  [[nodiscard]] TimeSeries normalized_by_max() const;
+
+  /// Re-bucket into a coarser granularity (sums). Throws if finer.
+  [[nodiscard]] TimeSeries rebucket(Bucket coarser) const;
+
+  /// Apply a function to every value (e.g. scaling).
+  void transform(const std::function<double(double)>& fn);
+
+ private:
+  Bucket bucket_;
+  std::map<std::int64_t, double> bins_;
+};
+
+/// Min/mean/max/count accumulator (used for per-day link-utilization stats
+/// and the Fig 8 daily min/avg/max envelopes).
+class RunningStats {
+ public:
+  void add(double v) noexcept {
+    if (count_ == 0 || v < min_) min_ = v;
+    if (count_ == 0 || v > max_) max_ = v;
+    sum_ += v;
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace lockdown::stats

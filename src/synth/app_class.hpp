@@ -1,0 +1,67 @@
+// Application classes: the nine classes of Table 1, plus the auxiliary
+// classes the paper analyzes at port level (§4) and at the EDU network
+// (Appendix B). Each traffic component in the model belongs to exactly one
+// class; the analysis-side classifier must rediscover class membership from
+// ports and AS endpoints alone.
+#pragma once
+
+#include <cstdint>
+
+namespace lockdown::synth {
+
+enum class AppClass : std::uint8_t {
+  // Table 1 classes.
+  kWebConf,        // Web conferencing and telephony
+  kVod,            // Video on Demand
+  kGaming,
+  kSocialMedia,
+  kMessaging,
+  kEmail,
+  kEducational,
+  kCollabWork,     // collaborative working
+  kCdn,
+  // Port-level / §4 + Appendix B classes.
+  kWeb,            // generic HTTP(S) not otherwise classified
+  kQuic,           // UDP/443
+  kVpnPort,        // well-known-port VPN (IPsec/OpenVPN/L2TP/PPTP/GRE/ESP)
+  kVpnTls,         // VPN tunneled over TCP/443 (domain-identified)
+  kTvStreaming,    // TCP/8200 Russian TV streaming (§4)
+  kCloudflareLb,   // UDP/2408 load balancer (§4)
+  kUnknownHosting, // TCP/25461, hosting-company prefixes (§4)
+  kPushNotif,      // TCP/5223, TCP/5228 mobile push (App. B)
+  kSsh,            // TCP/22
+  kRemoteDesktop,  // Citrix/RDP/TeamViewer (App. B)
+  kSpotify,        // TCP/4070 / AS8403 (App. B)
+  kOther,
+};
+
+inline constexpr std::size_t kAppClassCount = 22;
+
+[[nodiscard]] constexpr const char* to_string(AppClass c) noexcept {
+  switch (c) {
+    case AppClass::kWebConf: return "Web conf";
+    case AppClass::kVod: return "VoD";
+    case AppClass::kGaming: return "gaming";
+    case AppClass::kSocialMedia: return "social media";
+    case AppClass::kMessaging: return "messaging";
+    case AppClass::kEmail: return "email";
+    case AppClass::kEducational: return "educational";
+    case AppClass::kCollabWork: return "coll. working";
+    case AppClass::kCdn: return "CDN";
+    case AppClass::kWeb: return "web";
+    case AppClass::kQuic: return "QUIC";
+    case AppClass::kVpnPort: return "VPN (port)";
+    case AppClass::kVpnTls: return "VPN (TLS)";
+    case AppClass::kTvStreaming: return "TV streaming";
+    case AppClass::kCloudflareLb: return "Cloudflare LB";
+    case AppClass::kUnknownHosting: return "unknown (25461)";
+    case AppClass::kPushNotif: return "push notifications";
+    case AppClass::kSsh: return "SSH";
+    case AppClass::kRemoteDesktop: return "remote desktop";
+    case AppClass::kSpotify: return "Spotify";
+    case AppClass::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace lockdown::synth

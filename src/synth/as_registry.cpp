@@ -1,0 +1,344 @@
+#include "synth/as_registry.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+
+using net::Asn;
+using net::AsRole;
+using net::Ipv4Address;
+using net::Ipv4Prefix;
+
+net::Ipv4Address AsInfo::host(std::uint64_t i) const {
+  if (prefixes.empty()) {
+    throw std::logic_error("AsInfo::host: AS " + asn.to_string() + " has no prefixes");
+  }
+  // Spread host indices pseudorandomly across the announced space, skipping
+  // the lowest/highest addresses (network/router space). Deterministic per
+  // (AS, i) so the same logical host always gets the same address.
+  const Ipv4Prefix& p = prefixes[i % prefixes.size()];
+  const std::uint64_t span = 1ULL << (32 - p.length());
+  const std::uint64_t hashed =
+      util::splitmix64(i ^ (static_cast<std::uint64_t>(asn.value()) << 32));
+  const std::uint64_t offset =
+      span > 1024 ? 256 + hashed % (span - 512) : hashed % span;
+  return p.address_at(offset);
+}
+
+// The dual-stack scheme: a fictional 2a06::/16 block where bits 16..47 of
+// the high half carry the origin ASN. Deterministic, collision-free per
+// AS, and trivially reversible by resolve6().
+constexpr std::uint64_t kV6BlockHigh = 0x2a06ULL << 48;
+
+net::Ipv6Address AsInfo::host6(std::uint64_t i) const {
+  const std::uint64_t high =
+      kV6BlockHigh | (static_cast<std::uint64_t>(asn.value()) << 16);
+  const std::uint64_t low =
+      util::splitmix64(i ^ (static_cast<std::uint64_t>(asn.value()) << 40) ^
+                       0x76362d686f7374ULL);
+  return net::Ipv6Address::from_halves(high, low);
+}
+
+std::optional<net::Asn> AsRegistry::resolve6(const net::Ipv6Address& addr) const {
+  const std::uint64_t high = addr.high();
+  if ((high & (0xffffULL << 48)) != kV6BlockHigh) return std::nullopt;
+  const auto asn = net::Asn(static_cast<std::uint32_t>((high >> 16) & 0xffffffff));
+  return find(asn) != nullptr ? std::optional(asn) : std::nullopt;
+}
+
+void AsRegistry::add(AsInfo info) {
+  if (index_.contains(info.asn.value())) {
+    throw std::invalid_argument("AsRegistry: duplicate " + info.asn.to_string());
+  }
+  for (const Ipv4Prefix& p : info.prefixes) {
+    if (trie_.exact(p).has_value()) {
+      throw std::invalid_argument("AsRegistry: prefix " + p.to_string() +
+                                  " announced twice");
+    }
+    trie_.insert(p, info.asn);
+  }
+  index_[info.asn.value()] = ases_.size();
+  ases_.push_back(std::move(info));
+}
+
+const AsInfo* AsRegistry::find(Asn asn) const {
+  const auto it = index_.find(asn.value());
+  return it == index_.end() ? nullptr : &ases_[it->second];
+}
+
+const AsInfo& AsRegistry::at(Asn asn) const {
+  const AsInfo* info = find(asn);
+  if (info == nullptr) {
+    throw std::out_of_range("AsRegistry: unknown " + asn.to_string());
+  }
+  return *info;
+}
+
+std::vector<const AsInfo*> AsRegistry::by_role(AsRole role) const {
+  std::vector<const AsInfo*> out;
+  for (const AsInfo& info : ases_) {
+    if (info.role == role) out.push_back(&info);
+  }
+  return out;
+}
+
+std::vector<const AsInfo*> AsRegistry::by_role_region(AsRole role,
+                                                      Region region) const {
+  std::vector<const AsInfo*> out;
+  for (const AsInfo& info : ases_) {
+    if (info.role == role && info.region == region) out.push_back(&info);
+  }
+  return out;
+}
+
+const std::vector<Asn>& AsRegistry::hypergiant_asns() {
+  // Table 2 (Appendix A), Böttger et al. classification.
+  static const std::vector<Asn> kList = {
+      Asn(714),    // Apple Inc
+      Asn(16509),  // Amazon.com
+      Asn(32934),  // Facebook
+      Asn(15169),  // Google Inc.
+      Asn(20940),  // Akamai Technologies
+      Asn(10310),  // Yahoo!
+      Asn(2906),   // Netflix
+      Asn(6939),   // Hurricane Electric
+      Asn(16276),  // OVH
+      Asn(22822),  // Limelight Networks Global
+      Asn(8075),   // Microsoft
+      Asn(13414),  // Twitter, Inc.
+      Asn(46489),  // Twitch
+      Asn(13335),  // Cloudflare
+      Asn(15133),  // Verizon Digital Media Services
+  };
+  return kList;
+}
+
+namespace {
+
+/// Sequential /16 allocator inside a /8-style pool.
+class PrefixAllocator {
+ public:
+  explicit PrefixAllocator(std::uint8_t first_octet) noexcept
+      : base_(static_cast<std::uint32_t>(first_octet) << 24) {}
+
+  [[nodiscard]] Ipv4Prefix next_slash16() {
+    const Ipv4Prefix p(Ipv4Address(base_ | (next_ << 16)), 16);
+    ++next_;
+    if (next_ > 255) throw std::logic_error("PrefixAllocator: /8 exhausted");
+    return p;
+  }
+
+  [[nodiscard]] std::vector<Ipv4Prefix> take_slash16s(std::size_t n) {
+    std::vector<Ipv4Prefix> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(next_slash16());
+    return out;
+  }
+
+ private:
+  std::uint32_t base_;
+  std::uint32_t next_ = 0;
+};
+
+}  // namespace
+
+AsRegistry AsRegistry::create_default(std::size_t enterprises) {
+  AsRegistry reg;
+
+  // --- Hypergiants (Table 2). Content giants get several /16s. -----------
+  PrefixAllocator hg_pool(101);
+  const struct {
+    std::uint32_t asn;
+    const char* name;
+    std::size_t slash16s;
+  } kHypergiants[] = {
+      {714, "Apple Inc", 3},
+      {16509, "Amazon.com", 4},
+      {32934, "Facebook", 3},
+      {15169, "Google Inc.", 5},
+      {20940, "Akamai Technologies", 5},
+      {10310, "Yahoo!", 2},
+      {2906, "Netflix", 4},
+      {6939, "Hurricane Electric", 2},
+      {16276, "OVH", 2},
+      {22822, "Limelight Networks Global", 2},
+      {8075, "Microsoft", 4},
+      {13414, "Twitter, Inc.", 2},
+      {46489, "Twitch", 2},
+      {13335, "Cloudflare", 3},
+      {15133, "Verizon Digital Media Services", 2},
+  };
+  for (const auto& hg : kHypergiants) {
+    reg.add(AsInfo{Asn(hg.asn), hg.name, AsRole::kHypergiant,
+                   Region::kCentralEurope, hg_pool.take_slash16s(hg.slash16s)});
+  }
+
+  // --- Eyeball ISPs per region (incl. the L-ISP itself). -----------------
+  PrefixAllocator eyeball_pool(81);
+  const struct {
+    std::uint32_t asn;
+    const char* name;
+    Region region;
+    std::size_t slash16s;
+  } kEyeballs[] = {
+      {64700, "ISP-CE (the L-ISP)", Region::kCentralEurope, 8},
+      {64701, "CE Broadband 2", Region::kCentralEurope, 4},
+      {64702, "CE Broadband 3", Region::kCentralEurope, 4},
+      {64703, "CE Cable 1", Region::kCentralEurope, 3},
+      {64710, "SE Broadband 1", Region::kSouthernEurope, 4},
+      {64711, "SE Broadband 2", Region::kSouthernEurope, 3},
+      {64712, "SE Cable 1", Region::kSouthernEurope, 2},
+      {64720, "US Broadband 1", Region::kUsEastCoast, 4},
+      {64721, "US Broadband 2", Region::kUsEastCoast, 4},
+      {64722, "US Cable 1", Region::kUsEastCoast, 3},
+      {64730, "LatAm Broadband 1", Region::kUsEastCoast, 2},
+  };
+  for (const auto& eb : kEyeballs) {
+    reg.add(AsInfo{Asn(eb.asn), eb.name, AsRole::kEyeballIsp, eb.region,
+                   eyeball_pool.take_slash16s(eb.slash16s)});
+  }
+
+  // --- Mobile operator + roaming IPX. -------------------------------------
+  PrefixAllocator mobile_pool(91);
+  reg.add(AsInfo{Asn(64740), "Mobile Operator CE", AsRole::kMobileOperator,
+                 Region::kCentralEurope, mobile_pool.take_slash16s(4)});
+  reg.add(AsInfo{Asn(64741), "Roaming IPX CE", AsRole::kMobileOperator,
+                 Region::kCentralEurope, mobile_pool.take_slash16s(2)});
+
+  // --- Gaming providers (5 ASNs of the Table 1 gaming filters). ----------
+  PrefixAllocator gaming_pool(103);
+  const struct {
+    std::uint32_t asn;
+    const char* name;
+  } kGaming[] = {
+      {6507, "Riot Games"},
+      {32590, "Valve"},
+      {57976, "Blizzard Entertainment"},
+      {11426, "Nintendo"},
+      {33353, "Sony Interactive"},
+  };
+  for (const auto& g : kGaming) {
+    reg.add(AsInfo{Asn(g.asn), g.name, AsRole::kGamingProvider,
+                   Region::kCentralEurope, gaming_pool.take_slash16s(2)});
+  }
+
+  // --- VoD providers (5 ASNs; Netflix is already in as a hypergiant, so
+  //     the class uses 4 additional streaming ASes + Netflix). ------------
+  PrefixAllocator vod_pool(104);
+  const struct {
+    std::uint32_t asn;
+    const char* name;
+  } kVod[] = {
+      {64600, "StreamFlix Europe"},
+      {64601, "CineStream"},
+      {64602, "SE TV Online"},
+      {64603, "US Prime Streaming"},
+  };
+  for (const auto& v : kVod) {
+    reg.add(AsInfo{Asn(v.asn), v.name, AsRole::kVodProvider,
+                   Region::kCentralEurope, vod_pool.take_slash16s(2)});
+  }
+
+  // --- Conferencing (Zoom; Microsoft Teams/Skype use AS8075 above). ------
+  PrefixAllocator conf_pool(105);
+  reg.add(AsInfo{Asn(30103), "Zoom Video Communications", AsRole::kConferencing,
+                 Region::kUsEastCoast, conf_pool.take_slash16s(2)});
+  reg.add(AsInfo{Asn(13445), "Cisco Webex", AsRole::kConferencing,
+                 Region::kUsEastCoast, conf_pool.take_slash16s(2)});
+
+  // --- Social media (4 ASNs of the Table 1 filter; Facebook/Twitter are
+  //     hypergiants, add two more). ---------------------------------------
+  PrefixAllocator social_pool(106);
+  reg.add(AsInfo{Asn(138699), "ShortVideo Social", AsRole::kSocialMedia,
+                 Region::kCentralEurope, social_pool.take_slash16s(2)});
+  reg.add(AsInfo{Asn(47541), "EastSocial Network", AsRole::kSocialMedia,
+                 Region::kCentralEurope, social_pool.take_slash16s(2)});
+
+  // --- Messaging / collaborative working / music streaming. --------------
+  PrefixAllocator saas_pool(107);
+  reg.add(AsInfo{Asn(64620), "TeamChat SaaS", AsRole::kMessaging,
+                 Region::kUsEastCoast, saas_pool.take_slash16s(1)});
+  reg.add(AsInfo{Asn(19679), "Dropbox", AsRole::kCloudSaas,
+                 Region::kUsEastCoast, saas_pool.take_slash16s(2)});
+  reg.add(AsInfo{Asn(64621), "CollabSuite Cloud", AsRole::kCloudSaas,
+                 Region::kCentralEurope, saas_pool.take_slash16s(1)});
+  reg.add(AsInfo{Asn(8403), "Spotify", AsRole::kCloudSaas,
+                 Region::kCentralEurope, saas_pool.take_slash16s(2)});
+
+  // --- CDNs (Table 1 CDN class: 8 ASNs; Akamai/Cloudflare/Limelight/
+  //     Verizon DMS are hypergiants; add four dedicated CDN ASes). --------
+  PrefixAllocator cdn_pool(108);
+  const struct {
+    std::uint32_t asn;
+    const char* name;
+  } kCdns[] = {
+      {54113, "Fastly"},
+      {60068, "CDN77"},
+      {12989, "StackPath"},
+      {30081, "CacheFly"},
+  };
+  for (const auto& c : kCdns) {
+    reg.add(AsInfo{Asn(c.asn), c.name, AsRole::kCdn, Region::kCentralEurope,
+                   cdn_pool.take_slash16s(2)});
+  }
+
+  // --- Research & education backbones (Table 1 educational: 9 ASNs). -----
+  PrefixAllocator edu_pool(141);
+  const struct {
+    std::uint32_t asn;
+    const char* name;
+    Region region;
+  } kEduNets[] = {
+      {680, "DFN (German NREN)", Region::kCentralEurope},
+      {766, "RedIRIS (Spanish NREN)", Region::kSouthernEurope},
+      {20965, "GEANT", Region::kCentralEurope},
+      {11537, "Internet2", Region::kUsEastCoast},
+      {1103, "SURFnet", Region::kCentralEurope},
+      {2200, "Renater", Region::kCentralEurope},
+      {137, "GARR", Region::kSouthernEurope},
+      {786, "JANET", Region::kCentralEurope},
+      {1930, "RCTS/FCCN", Region::kSouthernEurope},
+  };
+  for (const auto& e : kEduNets) {
+    reg.add(AsInfo{Asn(e.asn), e.name, AsRole::kEducationalNet, e.region,
+                   edu_pool.take_slash16s(1)});
+  }
+
+  // --- The 16 universities of the EDU metropolitan network (§7). ---------
+  PrefixAllocator uni_pool(147);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    reg.add(AsInfo{Asn(64800 + i), "EDU member university " + std::to_string(i + 1),
+                   AsRole::kUniversity, Region::kSouthernEurope,
+                   uni_pool.take_slash16s(1)});
+  }
+
+  // --- Hosting (source of the unknown TCP/25461 traffic, §4). ------------
+  PrefixAllocator hosting_pool(109);
+  reg.add(AsInfo{Asn(64650), "BulkHost Ltd", AsRole::kHosting,
+                 Region::kCentralEurope, hosting_pool.take_slash16s(2)});
+  reg.add(AsInfo{Asn(64651), "CheapServers Inc", AsRole::kHosting,
+                 Region::kCentralEurope, hosting_pool.take_slash16s(2)});
+
+  // --- Enterprise ASes (the §3.4 remote-work population). ----------------
+  // Two /8-style pools of /16s: 195.x and 194.x give room for 512.
+  PrefixAllocator ent_pool_a(195);
+  PrefixAllocator ent_pool_b(194);
+  if (enterprises > 500) {
+    throw std::invalid_argument("AsRegistry: too many enterprises (max 500)");
+  }
+  for (std::size_t i = 0; i < enterprises; ++i) {
+    PrefixAllocator& pool = (i % 2 == 0) ? ent_pool_a : ent_pool_b;
+    const Region region = (i % 5 == 0)   ? Region::kSouthernEurope
+                          : (i % 5 == 1) ? Region::kUsEastCoast
+                                         : Region::kCentralEurope;
+    reg.add(AsInfo{Asn(65000 + static_cast<std::uint32_t>(i)),
+                   "Enterprise " + std::to_string(i + 1), AsRole::kEnterprise,
+                   region, pool.take_slash16s(1)});
+  }
+
+  return reg;
+}
+
+}  // namespace lockdown::synth

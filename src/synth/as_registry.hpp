@@ -1,0 +1,84 @@
+// The synthetic AS-level Internet: who originates which prefixes and what
+// role each AS plays. Includes the paper's Appendix A hypergiant list
+// (Table 2, real AS numbers), real research/education backbones, real CDN
+// ASes, and synthetic eyeballs/enterprises/universities standing in for
+// networks the paper could not name.
+//
+// The registry is the shared truth between the synthesizer (which draws
+// flow endpoints from AS prefixes) and the analyses (which map endpoint
+// addresses back to ASes via longest-prefix match -- the same BGP-derived
+// mapping the paper's pipelines used).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "net/prefix_trie.hpp"
+#include "synth/timeline.hpp"
+
+namespace lockdown::synth {
+
+struct AsInfo {
+  net::Asn asn;
+  std::string name;
+  net::AsRole role = net::AsRole::kOther;
+  Region region = Region::kCentralEurope;
+  std::vector<net::Ipv4Prefix> prefixes;
+
+  /// Draw the i-th host address of this AS (wraps within its space).
+  [[nodiscard]] net::Ipv4Address host(std::uint64_t i) const;
+
+  /// The i-th IPv6 host of this AS. Every AS is dual-stacked under a
+  /// deterministic 2a06:<asn>::/64-style scheme so v6 endpoints resolve
+  /// back to their origin AS without a v6 routing table.
+  [[nodiscard]] net::Ipv6Address host6(std::uint64_t i) const;
+};
+
+class AsRegistry {
+ public:
+  /// The default Internet used by every experiment: Table 2 hypergiants,
+  /// per-region eyeball ISPs, `enterprises` enterprise ASes, 16
+  /// universities (the EDU metropolitan network), gaming/VoD/conferencing/
+  /// social/messaging/CDN providers, research backbones, hosting.
+  [[nodiscard]] static AsRegistry create_default(std::size_t enterprises = 150);
+
+  /// Register an AS; throws std::invalid_argument on duplicate ASN or
+  /// overlapping prefix announcements.
+  void add(AsInfo info);
+
+  [[nodiscard]] const AsInfo* find(net::Asn asn) const;
+  [[nodiscard]] const AsInfo& at(net::Asn asn) const;  ///< throws if unknown
+
+  /// Longest-prefix-match an address to its origin AS.
+  [[nodiscard]] std::optional<net::Asn> resolve(net::Ipv4Address addr) const {
+    return trie_.lookup(addr);
+  }
+
+  /// Resolve a v6 address allocated by AsInfo::host6 back to its AS.
+  [[nodiscard]] std::optional<net::Asn> resolve6(const net::Ipv6Address& addr) const;
+
+  [[nodiscard]] std::vector<const AsInfo*> by_role(net::AsRole role) const;
+  [[nodiscard]] std::vector<const AsInfo*> by_role_region(net::AsRole role,
+                                                          Region region) const;
+
+  /// Table 2 / Appendix A: the 15 hypergiant ASNs in the paper's order.
+  [[nodiscard]] static const std::vector<net::Asn>& hypergiant_asns();
+
+  [[nodiscard]] const std::vector<AsInfo>& all() const noexcept { return ases_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ases_.size(); }
+
+  [[nodiscard]] const net::Ipv4PrefixTrie<net::Asn>& trie() const noexcept {
+    return trie_;
+  }
+
+ private:
+  std::vector<AsInfo> ases_;
+  std::unordered_map<std::uint32_t, std::size_t> index_;
+  net::Ipv4PrefixTrie<net::Asn> trie_;
+};
+
+}  // namespace lockdown::synth

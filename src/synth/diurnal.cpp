@@ -1,0 +1,96 @@
+#include "synth/diurnal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lockdown::synth {
+
+DiurnalProfile::DiurnalProfile(const Shape& raw) {
+  double sum = 0.0;
+  for (const double w : raw) {
+    if (w < 0.0) throw std::invalid_argument("DiurnalProfile: negative weight");
+    sum += w;
+  }
+  if (sum <= 0.0) throw std::invalid_argument("DiurnalProfile: zero-sum shape");
+  const double mean = sum / 24.0;
+  for (std::size_t h = 0; h < 24; ++h) weights_[h] = raw[h] / mean;
+}
+
+DiurnalProfile DiurnalProfile::mix(const DiurnalProfile& other, double w) const {
+  w = std::clamp(w, 0.0, 1.0);
+  Shape blended{};
+  for (std::size_t h = 0; h < 24; ++h) {
+    blended[h] = (1.0 - w) * weights_[h] + w * other.weights_[h];
+  }
+  DiurnalProfile out;
+  out.weights_ = blended;  // both inputs have mean 1.0, so the blend does too
+  return out;
+}
+
+const DiurnalProfile& DiurnalProfile::residential_workday() {
+  //                          0     1     2     3     4     5     6     7
+  static const DiurnalProfile p(Shape{
+      0.55, 0.42, 0.35, 0.32, 0.30, 0.32, 0.40, 0.55,
+      //                      8     9    10    11    12    13    14    15
+      0.70, 0.80, 0.85, 0.88, 0.92, 0.90, 0.88, 0.90,
+      //                     16    17    18    19    20    21    22    23
+      1.00, 1.15, 1.35, 1.55, 1.70, 1.72, 1.45, 0.95});
+  return p;
+}
+
+const DiurnalProfile& DiurnalProfile::residential_weekend() {
+  static const DiurnalProfile p(Shape{
+      0.70, 0.55, 0.45, 0.38, 0.35, 0.35, 0.40, 0.52,
+      0.75, 1.00, 1.20, 1.30, 1.32, 1.28, 1.30, 1.32,
+      1.35, 1.40, 1.48, 1.55, 1.62, 1.60, 1.35, 0.95});
+  return p;
+}
+
+const DiurnalProfile& DiurnalProfile::business_hours() {
+  static const DiurnalProfile p(Shape{
+      0.20, 0.15, 0.12, 0.12, 0.12, 0.15, 0.30, 0.60,
+      1.20, 1.90, 2.10, 2.15, 1.80, 1.95, 2.10, 2.05,
+      1.85, 1.50, 1.00, 0.70, 0.50, 0.40, 0.30, 0.25});
+  return p;
+}
+
+const DiurnalProfile& DiurnalProfile::flat() {
+  static const DiurnalProfile p;
+  return p;
+}
+
+const DiurnalProfile& DiurnalProfile::gaming_evening() {
+  static const DiurnalProfile p(Shape{
+      0.50, 0.35, 0.25, 0.20, 0.18, 0.18, 0.20, 0.28,
+      0.40, 0.55, 0.65, 0.70, 0.75, 0.78, 0.85, 1.00,
+      1.25, 1.60, 2.00, 2.35, 2.50, 2.40, 1.90, 1.00});
+  return p;
+}
+
+const DiurnalProfile& DiurnalProfile::campus() {
+  static const DiurnalProfile p(Shape{
+      0.15, 0.12, 0.10, 0.10, 0.10, 0.12, 0.25, 0.55,
+      1.30, 2.00, 2.20, 2.25, 1.95, 1.90, 2.10, 2.15,
+      2.00, 1.70, 1.30, 0.90, 0.60, 0.40, 0.25, 0.18});
+  return p;
+}
+
+const DiurnalProfile& DiurnalProfile::timezone_smeared() {
+  static const DiurnalProfile p(Shape{
+      0.75, 0.68, 0.62, 0.60, 0.60, 0.62, 0.68, 0.78,
+      0.90, 1.00, 1.08, 1.12, 1.15, 1.15, 1.15, 1.18,
+      1.22, 1.28, 1.32, 1.35, 1.35, 1.28, 1.10, 0.90});
+  return p;
+}
+
+const DiurnalProfile& DiurnalProfile::overseas_night() {
+  // Latin-American students accessing Madrid-hosted resources: connections
+  // start ~17h local (Madrid time), peak 0-7h with maxima at 3-4 am (§7).
+  static const DiurnalProfile p(Shape{
+      2.20, 2.30, 2.35, 2.50, 2.50, 2.20, 1.80, 1.20,
+      0.60, 0.35, 0.25, 0.20, 0.20, 0.20, 0.22, 0.25,
+      0.35, 0.80, 1.10, 1.30, 1.50, 1.70, 1.90, 2.05});
+  return p;
+}
+
+}  // namespace lockdown::synth

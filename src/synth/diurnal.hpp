@@ -1,0 +1,58 @@
+// Hour-of-day traffic shapes. A profile is 24 non-negative weights
+// normalized to mean 1.0, so multiplying a base bytes-per-hour volume by
+// the profile preserves daily totals. The paper's core observation (Fig 2)
+// is the lockdown-induced morph from the workday shape (evening peak)
+// towards the weekend shape (activity from 9-10 am): the synthesizer
+// implements that as a convex blend controlled by lockdown intensity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace lockdown::synth {
+
+class DiurnalProfile {
+ public:
+  using Shape = std::array<double, 24>;
+
+  DiurnalProfile() noexcept { weights_.fill(1.0); }
+
+  /// Normalizes the given weights to mean 1.0. Weights must be >= 0 with a
+  /// positive sum (enforced; throws std::invalid_argument otherwise).
+  explicit DiurnalProfile(const Shape& raw);
+
+  [[nodiscard]] double value(unsigned hour) const noexcept {
+    return weights_[hour % 24];
+  }
+
+  [[nodiscard]] const Shape& weights() const noexcept { return weights_; }
+
+  /// Convex blend: (1-w)*this + w*other; w clamped to [0,1].
+  [[nodiscard]] DiurnalProfile mix(const DiurnalProfile& other, double w) const;
+
+  // --- Canonical shapes ---------------------------------------------------
+
+  /// Residential workday: quiet nights, modest daytime, strong 19-22h peak.
+  [[nodiscard]] static const DiurnalProfile& residential_workday();
+  /// Residential weekend: activity "gains momentum at about 9 to 10 am"
+  /// (paper §1), sustained through the day, evening peak.
+  [[nodiscard]] static const DiurnalProfile& residential_weekend();
+  /// Business hours: 9-17h plateau, small lunch dip, low evenings.
+  [[nodiscard]] static const DiurnalProfile& business_hours();
+  /// Flat: infrastructure traffic with no diurnal structure.
+  [[nodiscard]] static const DiurnalProfile& flat();
+  /// Gaming: strong evening concentration on workdays.
+  [[nodiscard]] static const DiurnalProfile& gaming_evening();
+  /// Campus: on-premise university usage, 8-19h.
+  [[nodiscard]] static const DiurnalProfile& campus();
+  /// Multi-timezone blur: the IXP-US shape -- "serves customers from many
+  /// different time zones" so day/night contrast is damped.
+  [[nodiscard]] static const DiurnalProfile& timezone_smeared();
+  /// Overseas-student access pattern (§7): peak midnight-7am local.
+  [[nodiscard]] static const DiurnalProfile& overseas_night();
+
+ private:
+  Shape weights_{};
+};
+
+}  // namespace lockdown::synth

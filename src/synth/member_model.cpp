@@ -1,0 +1,99 @@
+#include "synth/member_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/diurnal.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+
+IxpMemberModel::IxpMemberModel(MemberModelConfig config,
+                               const EpidemicTimeline& timeline)
+    : config_(config), timeline_(timeline) {
+  util::Rng rng(config_.seed);
+  members_.reserve(config_.members);
+
+  for (std::size_t i = 0; i < config_.members; ++i) {
+    MemberPort port;
+    port.member_id = static_cast<std::uint32_t>(i);
+
+    // Capacity tiers: mostly 10G, some 40G/100G for the big members.
+    const double tier = rng.uniform();
+    port.capacity_gbps = tier < 0.65 ? 10.0 : tier < 0.9 ? 40.0 : 100.0;
+
+    // Base average utilization: log-normal-ish between ~5% and ~70%.
+    const double base_util = std::clamp(0.08 + 0.5 * rng.lognormal(-1.2, 0.7),
+                                        0.03, 0.70);
+    port.base_avg_gbps = base_util * port.capacity_gbps;
+
+    // Member-specific lockdown growth: everything from flat to +60%
+    // ("individual links experience drastic increases", §9 -- a small tail
+    // gets much more).
+    port.lockdown_growth = 1.0 + std::min(1.5, rng.lognormal(-1.6, 0.8));
+
+    // Members whose ports would saturate upgrade capacity (next tier).
+    const double projected =
+        base_util * port.lockdown_growth;
+    if (projected > config_.upgrade_threshold) {
+      port.upgraded = true;
+      port.upgraded_capacity_gbps =
+          port.capacity_gbps >= 100.0 ? port.capacity_gbps * 2
+          : port.capacity_gbps >= 40.0 ? 100.0
+                                       : 40.0;
+    }
+    members_.push_back(port);
+  }
+}
+
+std::vector<PortDayUtilization> IxpMemberModel::simulate_day(net::Date day) const {
+  const double intensity = timeline_.intensity(day);
+  const bool weekendish = behaves_like_weekend(day);
+  const DiurnalProfile& shape = weekendish
+                                    ? DiurnalProfile::residential_weekend()
+                                    : DiurnalProfile::residential_workday();
+
+  std::vector<PortDayUtilization> out;
+  out.reserve(members_.size());
+  const std::uint64_t day_key = static_cast<std::uint64_t>(day.days_from_epoch());
+
+  for (const MemberPort& m : members_) {
+    // Upgrades take effect once the lockdown ramp is past halfway.
+    const double capacity = (m.upgraded && intensity > 0.5)
+                                ? m.upgraded_capacity_gbps
+                                : m.capacity_gbps;
+    const double growth = 1.0 + (m.lockdown_growth - 1.0) * intensity;
+
+    PortDayUtilization u;
+    u.member_id = m.member_id;
+    double sum = 0.0;
+    double mn = 1.0;
+    double mx = 0.0;
+    for (int minute = 0; minute < 24 * 60; ++minute) {
+      const unsigned hour = static_cast<unsigned>(minute / 60);
+      const double noise = util::coordinate_noise(
+          config_.seed, m.member_id, day_key, static_cast<std::uint64_t>(minute),
+          0.18);
+      const double gbps = m.base_avg_gbps * growth * shape.value(hour) * noise;
+      const double util_frac = std::min(1.0, gbps / capacity);
+      sum += util_frac;
+      mn = std::min(mn, util_frac);
+      mx = std::max(mx, util_frac);
+    }
+    u.min_util = mn;
+    u.max_util = mx;
+    u.avg_util = sum / (24.0 * 60.0);
+    out.push_back(u);
+  }
+  return out;
+}
+
+double IxpMemberModel::upgraded_capacity_gbps() const noexcept {
+  double total = 0.0;
+  for (const MemberPort& m : members_) {
+    if (m.upgraded) total += m.upgraded_capacity_gbps - m.capacity_gbps;
+  }
+  return total;
+}
+
+}  // namespace lockdown::synth

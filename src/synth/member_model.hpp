@@ -1,0 +1,65 @@
+// IXP member-port model for the §3.3 link-utilization analysis (Fig 5).
+//
+// Port utilization comes from per-minute interface counters (SNMP-style),
+// a different data source than the flow exports, so it gets its own small
+// model: every IXP member has a physical port capacity and a base traffic
+// level; during the lockdown a member's traffic grows by a member-specific
+// factor, and members whose ports run hot upgrade capacity (the paper
+// observed ~1,500 Gbps of port upgrades at the IXP-CE alone, §3.1/§9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/civil_time.hpp"
+#include "synth/timeline.hpp"
+
+namespace lockdown::synth {
+
+struct MemberPort {
+  std::uint32_t member_id = 0;
+  double capacity_gbps = 10.0;       ///< physical capacity at baseline
+  double base_avg_gbps = 1.0;        ///< average traffic before the lockdown
+  double lockdown_growth = 1.2;      ///< member-specific volume growth factor
+  bool upgraded = false;             ///< added port capacity during lockdown
+  double upgraded_capacity_gbps = 0; ///< capacity after the upgrade
+};
+
+/// Per-day utilization summary of one member port (fractions of capacity).
+struct PortDayUtilization {
+  std::uint32_t member_id = 0;
+  double min_util = 0.0;  ///< minimum over the day's minutes
+  double avg_util = 0.0;
+  double max_util = 0.0;
+};
+
+struct MemberModelConfig {
+  std::uint64_t seed = 7;
+  std::size_t members = 900;  ///< IXP-CE has >900 members (§2)
+  /// Utilization threshold above which a member upgrades its port during
+  /// the lockdown ramp-up.
+  double upgrade_threshold = 0.85;
+};
+
+class IxpMemberModel {
+ public:
+  IxpMemberModel(MemberModelConfig config, const EpidemicTimeline& timeline);
+
+  [[nodiscard]] const std::vector<MemberPort>& members() const noexcept {
+    return members_;
+  }
+
+  /// Simulate one day at one-minute resolution and summarize each member's
+  /// port utilization. Utilization is capped at 1.0 (a saturated port).
+  [[nodiscard]] std::vector<PortDayUtilization> simulate_day(net::Date day) const;
+
+  /// Total capacity added by lockdown upgrades, in Gbps.
+  [[nodiscard]] double upgraded_capacity_gbps() const noexcept;
+
+ private:
+  MemberModelConfig config_;
+  EpidemicTimeline timeline_;
+  std::vector<MemberPort> members_;
+};
+
+}  // namespace lockdown::synth

@@ -1,0 +1,42 @@
+#include "synth/mobility.hpp"
+
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+
+MobilityDay MobilityModel::day(net::Date date) const {
+  const double intensity = timeline_.intensity(date);
+  const bool weekendish = behaves_like_weekend(date);
+
+  MobilityDay d;
+  d.date = date;
+
+  // Workplace visits: weekends sit at roughly -45% vs the (workday)
+  // baseline even without a pandemic; the lockdown pushes workdays down by
+  // up to ~65% (Google reported -60..-70% for DE/ES in April 2020).
+  const double weekend_base = weekendish ? -45.0 : 0.0;
+  d.workplaces = weekend_base - 65.0 * intensity * (weekendish ? 0.35 : 1.0);
+
+  // Transit: collapses hardest (Google: up to -80% in Spain).
+  d.transit_stations =
+      (weekendish ? -25.0 : 0.0) - 72.0 * intensity * (weekendish ? 0.6 : 1.0);
+
+  // Residential presence moves little by construction (people already
+  // spend most hours at home); Google reported +10..+25%.
+  d.residential = (weekendish ? 6.0 : 0.0) + 22.0 * intensity * (weekendish ? 0.5 : 1.0);
+
+  // Day-to-day noise, deterministic per date.
+  const auto key = static_cast<std::uint64_t>(date.days_from_epoch());
+  d.workplaces += 4.0 * (util::coordinate_noise(seed_, key, 1, 0, 1.0) - 1.0);
+  d.transit_stations += 4.0 * (util::coordinate_noise(seed_, key, 2, 0, 1.0) - 1.0);
+  d.residential += 1.5 * (util::coordinate_noise(seed_, key, 3, 0, 1.0) - 1.0);
+  return d;
+}
+
+std::vector<MobilityDay> MobilityModel::series(net::Date from, net::Date to) const {
+  std::vector<MobilityDay> out;
+  for (net::Date d = from; d < to; d = d.plus_days(1)) out.push_back(day(d));
+  return out;
+}
+
+}  // namespace lockdown::synth

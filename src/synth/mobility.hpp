@@ -1,0 +1,48 @@
+// Mobility-report model: the paper corroborates its traffic findings with
+// Google's COVID-19 Community Mobility Reports ("our findings are
+// confirmed by mobility reports published by Google", §1). This module
+// synthesizes the mobility side -- daily indices for workplace, transit,
+// and residential presence relative to a January baseline, driven by the
+// same epidemic timelines as the traffic scenario -- so the cross-dataset
+// validation the paper gestures at can be run quantitatively: residential
+// traffic growth should correlate positively with residential mobility and
+// negatively with workplace mobility.
+#pragma once
+
+#include <vector>
+
+#include "net/civil_time.hpp"
+#include "synth/timeline.hpp"
+
+namespace lockdown::synth {
+
+/// One day of mobility indices, as percent change vs the baseline period
+/// (Google's convention: 0 = baseline, -60 = 60% fewer visits).
+struct MobilityDay {
+  net::Date date;
+  double workplaces = 0.0;
+  double transit_stations = 0.0;
+  double residential = 0.0;  ///< time spent at home (moves little, like Google's)
+};
+
+class MobilityModel {
+ public:
+  MobilityModel(Region region, std::uint64_t seed)
+      : timeline_(EpidemicTimeline::for_region(region)), seed_(seed) {}
+
+  /// Daily index for one date. Deterministic per (region, seed, date).
+  [[nodiscard]] MobilityDay day(net::Date date) const;
+
+  /// Series over [from, to).
+  [[nodiscard]] std::vector<MobilityDay> series(net::Date from, net::Date to) const;
+
+  [[nodiscard]] const EpidemicTimeline& timeline() const noexcept {
+    return timeline_;
+  }
+
+ private:
+  EpidemicTimeline timeline_;
+  std::uint64_t seed_;
+};
+
+}  // namespace lockdown::synth

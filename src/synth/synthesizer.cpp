@@ -1,0 +1,211 @@
+#include "synth/synthesizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+
+using flow::FlowRecord;
+using flow::IpProtocol;
+using flow::PortKey;
+using net::Timestamp;
+
+FlowSynthesizer::FlowSynthesizer(const TrafficModel& model,
+                                 const AsRegistry& registry,
+                                 SynthesisConfig config)
+    : model_(model), registry_(registry), config_(config) {
+  if (config_.connections_per_hour <= 0.0) {
+    throw std::invalid_argument("FlowSynthesizer: non-positive connection budget");
+  }
+}
+
+void FlowSynthesizer::synthesize(net::TimeRange range, const Sink& sink) const {
+  if (range.begin.seconds() % net::kSecondsPerHour != 0 ||
+      range.end.seconds() % net::kSecondsPerHour != 0) {
+    throw std::invalid_argument("FlowSynthesizer: range must be hour-aligned");
+  }
+  for (Timestamp h = range.begin; h < range.end; h = h.plus(net::kSecondsPerHour)) {
+    for (const TrafficComponent& c : model_.components()) {
+      emit_component_hour(c, h, sink);
+    }
+  }
+}
+
+std::vector<FlowRecord> FlowSynthesizer::collect(net::TimeRange range) const {
+  std::vector<FlowRecord> out;
+  synthesize(range, [&out](const FlowRecord& r) { out.push_back(r); });
+  return out;
+}
+
+void FlowSynthesizer::synthesize_component_hour(const TrafficComponent& c,
+                                                Timestamp hour_start,
+                                                const Sink& sink) const {
+  emit_component_hour(c, hour_start, sink);
+}
+
+void FlowSynthesizer::emit_component_hour(const TrafficComponent& c,
+                                          Timestamp hour_start,
+                                          const Sink& sink) const {
+  const double expected = model_.expected_bytes(c, hour_start);
+  if (expected <= 0.0) return;
+
+  // The connection budget is normalized by the model's *base* volume, not
+  // the current hour's total: record rates must track absolute traffic
+  // levels, otherwise connection-count analyses (Fig 12) would be blind to
+  // vantage-wide growth or collapse. connection_boost models chatty,
+  // volume-light classes; the floor keeps small classes observable.
+  double n_conn_f = config_.connections_per_hour * c.connection_boost *
+                    expected / std::max(model_.base_total(), 1.0);
+  n_conn_f = std::max(n_conn_f, config_.min_connections);
+  // Keep per-flow byte counts below NetFlow v5's 32-bit octet counter.
+  constexpr double kMaxFlowBytes = 3.0e9;
+  n_conn_f = std::max(n_conn_f, expected / kMaxFlowBytes);
+  const auto n_conn = static_cast<std::size_t>(std::lround(n_conn_f));
+  if (n_conn == 0) return;
+
+  // Deterministic stream per (model seed, salt, component, hour).
+  const std::uint64_t cid = util::splitmix64(std::hash<std::string>{}(c.id));
+  util::Rng rng(util::hash_combine(
+      util::hash_combine(util::hash_combine(model_.seed(), config_.seed_salt), cid),
+      static_cast<std::uint64_t>(hour_start.seconds())));
+
+  // Draw relative connection sizes, then scale so totals match exactly.
+  std::vector<double> weights(n_conn);
+  double weight_sum = 0.0;
+  for (double& w : weights) {
+    w = rng.lognormal(0.0, 1.0);
+    weight_sum += w;
+  }
+
+  // Active client pool size follows relative volume (unique-IP realism).
+  const double rel_volume = expected / c.base_bytes_per_hour;
+  const auto client_pool = static_cast<std::uint64_t>(
+      std::max(4.0, c.client_pool_base * rel_volume));
+
+  // Port selection CDF.
+  double port_weight_sum = 0.0;
+  for (const auto& [port, w] : c.ports) port_weight_sum += w;
+
+  for (std::size_t i = 0; i < n_conn; ++i) {
+    const double conn_bytes = expected * weights[i] / weight_sum;
+
+    // --- endpoints --------------------------------------------------------
+    // Dual-stack: a connection is v6 with probability ipv6_share (both
+    // endpoints switch family together -- that is how happy-eyeballs
+    // clients behave). Explicit server addresses pin the family to v4.
+    const bool v6 = c.explicit_server_ips.empty() && rng.bernoulli(c.ipv6_share);
+    const auto as_host = [&](const AsInfo& info, std::uint64_t idx) {
+      return v6 ? net::IpAddress(info.host6(idx)) : net::IpAddress(info.host(idx));
+    };
+
+    net::IpAddress server_ip;
+    net::Asn server_as;
+    if (!c.explicit_server_ips.empty()) {
+      const std::size_t idx = rng.uniform_u64(c.explicit_server_ips.size());
+      server_ip = c.explicit_server_ips[idx];
+      server_as = server_ip.is_v4()
+                      ? registry_.resolve(server_ip.v4()).value_or(net::Asn(0))
+                      : net::Asn(0);
+    } else {
+      server_as = c.server_ases[rng.uniform_u64(c.server_ases.size())];
+      const AsInfo& info = registry_.at(server_as);
+      // Zipf-ish host popularity: a few heavy servers.
+      server_ip = as_host(info, rng.zipf(c.server_pool, 0.9));
+    }
+
+    net::IpAddress client_ip;
+    net::Asn client_as;
+    if (c.client_initiates && !c.client_ases.empty()) {
+      client_as = c.client_ases[rng.uniform_u64(c.client_ases.size())];
+      client_ip = as_host(registry_.at(client_as), rng.uniform_u64(client_pool));
+    } else if (!c.client_ases.empty()) {
+      // Server-to-server traffic (GRE/ESP tunnels): the "client" side is
+      // another site, drawn from its server pool.
+      client_as = c.client_ases[rng.uniform_u64(c.client_ases.size())];
+      client_ip = as_host(registry_.at(client_as), rng.zipf(c.server_pool, 0.9));
+    } else {
+      // Degenerate: both sides from server ASes.
+      client_as = c.server_ases[rng.uniform_u64(c.server_ases.size())];
+      client_ip = as_host(registry_.at(client_as), rng.uniform_u64(client_pool));
+    }
+
+    // --- port -------------------------------------------------------------
+    PortKey service{IpProtocol::kTcp, 443};
+    double pick = rng.uniform() * port_weight_sum;
+    for (const auto& [port, w] : c.ports) {
+      pick -= w;
+      if (pick <= 0.0) {
+        service = port;
+        break;
+      }
+    }
+    const bool portless = service.proto == IpProtocol::kGre ||
+                          service.proto == IpProtocol::kEsp ||
+                          service.proto == IpProtocol::kIcmp;
+    const auto ephemeral =
+        static_cast<std::uint16_t>(32768 + rng.uniform_u64(28000));
+
+    // --- timestamps ---------------------------------------------------------
+    const std::int64_t start_off = static_cast<std::int64_t>(rng.uniform_u64(3300));
+    const std::int64_t duration =
+        1 + static_cast<std::int64_t>(rng.exponential(1.0 / 45.0));
+    const Timestamp first = hour_start.plus(start_off);
+    const Timestamp last = first.plus(std::min<std::int64_t>(duration, 295));
+
+    // --- request + response records ----------------------------------------
+    const double req_bytes_f = conn_bytes * c.request_fraction;
+    const double rsp_bytes_f = conn_bytes - req_bytes_f;
+
+    FlowRecord request;
+    request.src_addr = client_ip;
+    request.dst_addr = server_ip;
+    request.src_port = portless ? 0 : ephemeral;
+    request.dst_port = portless ? 0 : service.port;
+    request.protocol = service.proto;
+    request.tcp_flags = service.proto == IpProtocol::kTcp ? 0x1b : 0x00;
+    request.bytes = std::max<std::uint64_t>(
+        40, static_cast<std::uint64_t>(std::llround(req_bytes_f)));
+    request.packets = std::max<std::uint64_t>(1, request.bytes / 900);
+    request.first = first;
+    request.last = last;
+    request.src_as = client_as;
+    request.dst_as = server_as;
+    request.input_if = 1;
+    request.output_if = 2;
+
+    FlowRecord response = request;
+    response.src_addr = server_ip;
+    response.dst_addr = client_ip;
+    response.src_port = request.dst_port;
+    response.dst_port = request.src_port;
+    response.bytes = std::max<std::uint64_t>(
+        40, static_cast<std::uint64_t>(std::llround(rsp_bytes_f)));
+    response.packets = std::max<std::uint64_t>(1, response.bytes / 1300);
+    response.src_as = server_as;
+    response.dst_as = client_as;
+    response.input_if = 2;
+    response.output_if = 1;
+
+    // Records exceeding NetFlow v5's 32-bit octet counter are split into
+    // chunks, the way a real exporter's active timeout splits long flows.
+    constexpr std::uint64_t kMaxRecordBytes = 2'000'000'000;
+    const auto emit_split = [&sink](FlowRecord r) {
+      while (r.bytes > kMaxRecordBytes) {
+        FlowRecord chunk = r;
+        chunk.bytes = kMaxRecordBytes;
+        chunk.packets = kMaxRecordBytes / 1300;
+        sink(chunk);
+        r.bytes -= kMaxRecordBytes;
+        r.packets = std::max<std::uint64_t>(1, r.bytes / 1300);
+      }
+      sink(r);
+    };
+    emit_split(request);
+    emit_split(response);
+  }
+}
+
+}  // namespace lockdown::synth

@@ -1,0 +1,82 @@
+#include "synth/timeline.hpp"
+
+namespace lockdown::synth {
+
+using net::Date;
+
+double EpidemicTimeline::intensity(Date d) const noexcept {
+  const auto days = [](Date a, Date b) {
+    return static_cast<double>(b.days_from_epoch() - a.days_from_epoch());
+  };
+
+  if (d < outbreak) return 0.0;
+  if (d < lockdown_start) {
+    // Pre-lockdown awareness: slow creep to 0.15 (paper: traffic "increased
+    // slowly at the beginning of the outbreak").
+    const double t = days(outbreak, d) / std::max(1.0, days(outbreak, lockdown_start));
+    return 0.15 * t;
+  }
+  if (d < lockdown_full) {
+    // Announcement week: rapid ramp 0.15 -> 1.0 ("more rapidly ... within
+    // a week").
+    const double t = days(lockdown_start, d) / std::max(1.0, days(lockdown_start, lockdown_full));
+    return 0.15 + 0.85 * t;
+  }
+  if (d < relaxation1) return 1.0;
+  if (d < relaxation2) {
+    // Shops re-open: decay 1.0 -> 0.55.
+    const double t = days(relaxation1, d) / std::max(1.0, days(relaxation1, relaxation2));
+    return 1.0 - 0.45 * t;
+  }
+  // After school openings: settle at a persistent floor of 0.35 (some
+  // remote work/entertainment habits stay).
+  const double t = days(relaxation2, d) / 21.0;
+  const double v = 0.55 - 0.20 * (t < 1.0 ? t : 1.0);
+  return v;
+}
+
+EpidemicTimeline EpidemicTimeline::for_region(Region r) noexcept {
+  switch (r) {
+    case Region::kCentralEurope:
+      // Germany: outbreak awareness late Jan; contact restrictions announced
+      // Mar 13 (school closures), full federal contact ban Mar 22; shops
+      // re-open Apr 20; schools/further easing from May 4.
+      return EpidemicTimeline{r, Date(2020, 1, 27), Date(2020, 3, 13),
+                              Date(2020, 3, 22), Date(2020, 4, 20),
+                              Date(2020, 5, 4)};
+    case Region::kSouthernEurope:
+      // Spain: regional closures Mar 9-11, national state of emergency
+      // Mar 14; strict phase longer; easing from May 2 / May 11.
+      return EpidemicTimeline{r, Date(2020, 1, 31), Date(2020, 3, 9),
+                              Date(2020, 3, 15), Date(2020, 5, 2),
+                              Date(2020, 5, 11)};
+    case Region::kUsEastCoast:
+      // US East Coast: emergency declarations mid-March but stay-at-home
+      // orders effective later (NY PAUSE Mar 22, fully felt by Apr); first
+      // re-opening phases mid-May.
+      return EpidemicTimeline{r, Date(2020, 3, 1), Date(2020, 3, 22),
+                              Date(2020, 4, 1), Date(2020, 5, 15),
+                              Date(2020, 5, 28)};
+  }
+  return EpidemicTimeline{};
+}
+
+bool is_holiday_2020(Date d) noexcept {
+  if (d.year() != 2020) return false;
+  // New Year / Christmas-holiday tail (paper: week 1 dominated by the
+  // Christmas holiday effect) and Epiphany Jan 6.
+  if (d.month() == 1 && d.day() <= 6) return true;
+  // Easter: Good Friday Apr 10 through Easter Monday Apr 13 (§4 footnote:
+  // the ISP categorizes Apr 10-13 as weekend days).
+  if (d.month() == 4 && d.day() >= 10 && d.day() <= 13) return true;
+  // Labour Day.
+  if (d.month() == 5 && d.day() == 1) return true;
+  return false;
+}
+
+DayType day_type(Date d) noexcept {
+  if (is_holiday_2020(d)) return DayType::kHoliday;
+  return d.is_weekend_day() ? DayType::kWeekend : DayType::kWorkday;
+}
+
+}  // namespace lockdown::synth

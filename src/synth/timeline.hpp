@@ -1,0 +1,67 @@
+// Epidemic timelines and the 2020 civil calendar context for the three
+// regions the paper's vantage points sit in. Dates follow the paper's
+// narrative: outbreak reached Europe late January (week 4), first European
+// lockdowns mid-March (week 11/12), US lockdowns later, partial re-opening
+// mid-April (shops) and May (schools) in Central Europe.
+//
+// `lockdown_intensity(date)` is the scenario's central control signal: a
+// value in [0,1] that response curves and the diurnal morph consume. It
+// ramps up over the announcement week and decays through the staged
+// re-openings -- never back to zero within the studied window, matching
+// the paper's observation that some traffic growth persists.
+#pragma once
+
+#include <cstdint>
+
+#include "net/civil_time.hpp"
+
+namespace lockdown::synth {
+
+enum class Region : std::uint8_t {
+  kCentralEurope,
+  kSouthernEurope,
+  kUsEastCoast,
+};
+
+[[nodiscard]] constexpr const char* to_string(Region r) noexcept {
+  switch (r) {
+    case Region::kCentralEurope: return "Central Europe";
+    case Region::kSouthernEurope: return "Southern Europe";
+    case Region::kUsEastCoast: return "US East Coast";
+  }
+  return "?";
+}
+
+struct EpidemicTimeline {
+  Region region = Region::kCentralEurope;
+  net::Date outbreak;        ///< first noticeable behaviour change
+  net::Date lockdown_start;  ///< stay-at-home orders effective
+  net::Date lockdown_full;   ///< measures fully in force
+  net::Date relaxation1;     ///< shops re-open
+  net::Date relaxation2;     ///< schools / broader opening
+
+  /// Piecewise-linear lockdown intensity in [0,1].
+  [[nodiscard]] double intensity(net::Date d) const noexcept;
+
+  [[nodiscard]] static EpidemicTimeline for_region(Region r) noexcept;
+};
+
+/// Day-type classification used by the *synthesizer* (ground truth of
+/// behaviour). The analyses classify days from traffic alone (Fig 2); this
+/// is what they are compared against.
+enum class DayType : std::uint8_t { kWorkday, kWeekend, kHoliday };
+
+/// 2020 public holidays relevant to the studied window (Central/Southern
+/// Europe): New Year span, Epiphany, Easter (Good Friday Apr 10 - Easter
+/// Monday Apr 13, the holidays the ISP categorizes as weekend days in §4),
+/// Labour Day May 1.
+[[nodiscard]] bool is_holiday_2020(net::Date d) noexcept;
+
+/// Weekend or holiday -> behaves like a weekend for traffic purposes.
+[[nodiscard]] DayType day_type(net::Date d) noexcept;
+
+[[nodiscard]] inline bool behaves_like_weekend(net::Date d) noexcept {
+  return day_type(d) != DayType::kWorkday;
+}
+
+}  // namespace lockdown::synth

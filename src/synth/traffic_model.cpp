@@ -1,0 +1,151 @@
+#include "synth/traffic_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+
+using net::Date;
+using net::Timestamp;
+
+ResponseCurve::ResponseCurve(Knots workday, Knots weekend)
+    : workday_(std::move(workday)), weekend_(std::move(weekend)) {
+  auto check = [](const Knots& k) {
+    for (std::size_t i = 1; i < k.size(); ++i) {
+      if (!(k[i - 1].first < k[i].first)) {
+        throw std::invalid_argument("ResponseCurve: knots not strictly increasing");
+      }
+    }
+    for (const auto& [d, v] : k) {
+      if (v < 0.0) throw std::invalid_argument("ResponseCurve: negative multiplier");
+    }
+  };
+  check(workday_);
+  check(weekend_);
+}
+
+double ResponseCurve::eval(const Knots& k, Date d) noexcept {
+  if (k.empty()) return 1.0;
+  if (d <= k.front().first) return k.front().second;
+  if (d >= k.back().first) return k.back().second;
+  for (std::size_t i = 1; i < k.size(); ++i) {
+    if (d < k[i].first) {
+      const double span = static_cast<double>(k[i].first.days_from_epoch() -
+                                              k[i - 1].first.days_from_epoch());
+      const double t = static_cast<double>(d.days_from_epoch() -
+                                           k[i - 1].first.days_from_epoch()) /
+                       span;
+      return k[i - 1].second + t * (k[i].second - k[i - 1].second);
+    }
+  }
+  return k.back().second;
+}
+
+double ResponseCurve::value(Date d, bool weekend_like) const noexcept {
+  return eval(weekend_like ? weekend_ : workday_, d);
+}
+
+ResponseCurve ResponseCurve::constant(double v) {
+  return ResponseCurve({{Date(2020, 1, 1), v}}, {{Date(2020, 1, 1), v}});
+}
+
+ResponseCurve ResponseCurve::staged(const EpidemicTimeline& tl, double pre,
+                                    double s1, double s2, double s3,
+                                    double weekend_ratio) {
+  auto weekendize = [weekend_ratio](double v) {
+    return 1.0 + (v - 1.0) * weekend_ratio;
+  };
+  // Stage-2/3 anchor dates follow the paper's selected weeks (§3.1): late
+  // April and mid-May. For the US timeline the later lockdown shifts the
+  // ramp automatically via tl's dates.
+  const Date stage2(2020, 4, 22);
+  const Date stage3(2020, 5, 10);
+  // Behaviour only shifts once closures are announced: flat at `pre` until
+  // a few days before the lockdown, a small anticipatory creep to the
+  // announcement, then the rapid ramp to s1 ("increased slowly at the
+  // beginning of the outbreak and then more rapidly", §1).
+  const Date creep_start = tl.lockdown_start.plus_days(-5);
+  Knots wd = {{Date(2020, 1, 7), pre}, {tl.outbreak, pre}};
+  if (tl.outbreak < creep_start) wd.push_back({creep_start, pre});
+  wd.push_back({tl.lockdown_start, pre + 0.06 * (s1 - pre)});
+  wd.push_back({tl.lockdown_full, s1});
+  // Keep knots strictly increasing even for late (US) timelines.
+  if (wd.back().first < stage2) wd.push_back({stage2, s2});
+  if (wd.back().first < stage3) wd.push_back({stage3, s3});
+  wd.push_back({Date(2020, 5, 31), wd.back().second});
+
+  Knots we;
+  we.reserve(wd.size());
+  for (const auto& [d, v] : wd) we.push_back({d, weekendize(v)});
+  return ResponseCurve(std::move(wd), std::move(we));
+}
+
+void TrafficModel::add(TrafficComponent component) {
+  if (component.id.empty()) {
+    throw std::invalid_argument("TrafficComponent: empty id");
+  }
+  if (find(component.id) != nullptr) {
+    throw std::invalid_argument("TrafficComponent: duplicate id " + component.id);
+  }
+  if (component.base_bytes_per_hour <= 0.0) {
+    throw std::invalid_argument("TrafficComponent " + component.id +
+                                ": non-positive base volume");
+  }
+  if (component.ports.empty()) {
+    throw std::invalid_argument("TrafficComponent " + component.id + ": no ports");
+  }
+  if (component.server_ases.empty() && component.explicit_server_ips.empty()) {
+    throw std::invalid_argument("TrafficComponent " + component.id +
+                                ": no server side");
+  }
+  base_total_ += component.base_bytes_per_hour;
+  components_.push_back(std::move(component));
+}
+
+const TrafficComponent* TrafficModel::find(std::string_view id) const noexcept {
+  const auto it = std::find_if(components_.begin(), components_.end(),
+                               [&](const TrafficComponent& c) { return c.id == id; });
+  return it == components_.end() ? nullptr : &*it;
+}
+
+double TrafficModel::expected_bytes(const TrafficComponent& component,
+                                    Timestamp hour_start) const {
+  const Date date = hour_start.date();
+  const unsigned hour = hour_start.hour_of_day();
+  const bool weekendish = behaves_like_weekend(date);
+
+  double shape;
+  if (weekendish) {
+    shape = component.weekend.value(hour) * component.weekend_level;
+  } else {
+    const double w = component.morph * timeline_.intensity(date);
+    shape = component.workday.mix(component.weekend, w).value(hour);
+  }
+
+  double v = component.base_bytes_per_hour * shape *
+             component.response.value(date, weekendish);
+
+  for (const VolumeEvent& ev : component.events) {
+    if (ev.range.contains(hour_start)) v *= ev.factor;
+  }
+
+  // Deterministic per-(component, hour) jitter.
+  const std::uint64_t cid =
+      util::splitmix64(std::hash<std::string>{}(component.id));
+  v *= util::coordinate_noise(seed_, cid,
+                              static_cast<std::uint64_t>(hour_start.seconds()), 0,
+                              component.volume_noise);
+  return v;
+}
+
+double TrafficModel::total_expected(Timestamp hour_start) const {
+  double sum = 0.0;
+  for (const TrafficComponent& c : components_) {
+    sum += expected_bytes(c, hour_start);
+  }
+  return sum;
+}
+
+}  // namespace lockdown::synth

@@ -1,0 +1,163 @@
+// The expected-volume model: a vantage point is a set of traffic
+// components, each an (application class, provider ASes, client ASes, port
+// mix) bundle with a base volume, diurnal shapes, a lockdown response curve
+// and optional events (outages, the mid-March video-resolution reduction).
+//
+// The model is deterministic: expected_bytes(component, hour) is a pure
+// function, so analyses can be validated against ground truth and the flow
+// synthesizer's output converges to it as the flow budget grows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "flow/flow_record.hpp"
+#include "net/asn.hpp"
+#include "net/civil_time.hpp"
+#include "net/ip.hpp"
+#include "synth/app_class.hpp"
+#include "synth/diurnal.hpp"
+#include "synth/timeline.hpp"
+
+namespace lockdown::synth {
+
+/// Piecewise-linear multiplier over dates, with separate workday and
+/// weekend(-like) curves. Constant extrapolation beyond the knot range.
+class ResponseCurve {
+ public:
+  using Knots = std::vector<std::pair<net::Date, double>>;
+
+  ResponseCurve() = default;  // identity (1.0 everywhere)
+  ResponseCurve(Knots workday, Knots weekend);
+
+  [[nodiscard]] double value(net::Date d, bool weekend_like) const noexcept;
+
+  /// Constant multiplier regardless of date.
+  [[nodiscard]] static ResponseCurve constant(double v);
+
+  /// The canonical stage-shaped response: `pre` before the outbreak,
+  /// ramping to `s1` when the lockdown is fully in force, `s2` by late
+  /// April (stage-2 week), `s3` by mid-May (stage-3 week). Weekend
+  /// multiplier is 1 + (workday-1)*weekend_ratio at each stage.
+  [[nodiscard]] static ResponseCurve staged(const EpidemicTimeline& tl,
+                                            double pre, double s1, double s2,
+                                            double s3, double weekend_ratio);
+
+ private:
+  static double eval(const Knots& k, net::Date d) noexcept;
+  Knots workday_;
+  Knots weekend_;
+};
+
+/// A one-off multiplicative event (gaming-provider outage, resolution
+/// reduction window, ...).
+struct VolumeEvent {
+  net::TimeRange range;
+  double factor = 1.0;
+  std::string reason;
+};
+
+struct TrafficComponent {
+  std::string id;
+  AppClass app_class = AppClass::kOther;
+
+  /// Server side: the ASes providing the service. Hosts are drawn from the
+  /// AS's prefixes unless `explicit_server_ips` is set (used for the
+  /// VPN-over-TLS gateways whose addresses come from the DNS corpus).
+  std::vector<net::Asn> server_ases;
+  std::vector<net::IpAddress> explicit_server_ips;
+  std::uint32_t server_pool = 64;  ///< distinct server hosts per AS
+
+  /// Client side: the subscriber/member ASes consuming the service.
+  std::vector<net::Asn> client_ases;
+  /// Active clients at base volume; scales with relative volume so unique
+  /// client-IP counts (Fig 8) track activity.
+  double client_pool_base = 2000;
+
+  /// Service port mix: (port, weight). Weights need not sum to 1.
+  std::vector<std::pair<flow::PortKey, double>> ports;
+
+  double base_bytes_per_hour = 1e9;
+  DiurnalProfile workday = DiurnalProfile::residential_workday();
+  DiurnalProfile weekend = DiurnalProfile::residential_weekend();
+  /// Volume level of weekend(-like) days relative to workdays. Diurnal
+  /// profiles are shape-only (mean 1), so this carries the absolute
+  /// workday/weekend contrast: ~1 for residential classes, well below 1
+  /// for business traffic (the §3.4 workday/weekend ratio grouping and the
+  /// EDU weekend valleys depend on it).
+  double weekend_level = 1.0;
+  /// Strength of the lockdown-induced workday->weekend shape morph.
+  double morph = 0.0;
+  ResponseCurve response;
+  std::vector<VolumeEvent> events;
+
+  double mean_connection_bytes = 2e6;
+  double request_fraction = 0.05;  ///< request-flow share of connection bytes
+  double volume_noise = 0.04;     ///< per-(component,hour) jitter amplitude
+  /// Multiplies the component's share of the connection budget without
+  /// changing its byte volume: models chatty, low-volume traffic (the EDU
+  /// network's P2P-like flows are 39% of connections but little volume).
+  double connection_boost = 1.0;
+
+  /// False for server-to-server traffic (GRE/ESP tunnels between company
+  /// sites): both endpoints come from server pools, no eyeballs involved.
+  bool client_initiates = true;
+
+  /// Fraction of connections carried over IPv6 (dual-stack endpoints).
+  /// Must stay 0 at NetFlow v5/v9 vantage points -- those wire formats
+  /// cannot carry v6 and the exporters will reject it.
+  double ipv6_share = 0.0;
+};
+
+class TrafficModel {
+ public:
+  TrafficModel(std::string vantage_name, EpidemicTimeline timeline,
+               std::uint64_t seed)
+      : name_(std::move(vantage_name)), timeline_(timeline), seed_(seed) {}
+
+  void add(TrafficComponent component);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const EpidemicTimeline& timeline() const noexcept { return timeline_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::span<const TrafficComponent> components() const noexcept {
+    return components_;
+  }
+  [[nodiscard]] const TrafficComponent* find(std::string_view id) const noexcept;
+
+  /// Mutable access for scenario builders that post-edit components (e.g.
+  /// the US vantage point overriding the shared mix's responses).
+  [[nodiscard]] TrafficComponent* find_mutable(std::string_view id) noexcept {
+    return const_cast<TrafficComponent*>(find(id));
+  }
+  [[nodiscard]] TrafficComponent& back_mutable() noexcept {
+    return components_.back();
+  }
+
+  /// Expected bytes of `component` in the hour starting at `hour_start`
+  /// (must be hour-aligned). Includes diurnal shape, morph, response,
+  /// events and deterministic noise.
+  [[nodiscard]] double expected_bytes(const TrafficComponent& component,
+                                      net::Timestamp hour_start) const;
+
+  /// Sum of expected_bytes over all components.
+  [[nodiscard]] double total_expected(net::Timestamp hour_start) const;
+
+  /// Sum of the components' base (pre-lockdown, diurnal-mean) volumes.
+  /// The synthesizer normalizes its connection budget by this, so record
+  /// rates rise and fall with actual traffic like a real collector's.
+  [[nodiscard]] double base_total() const noexcept { return base_total_; }
+
+ private:
+  std::string name_;
+  EpidemicTimeline timeline_;
+  std::uint64_t seed_;
+  std::vector<TrafficComponent> components_;
+  double base_total_ = 0.0;
+};
+
+}  // namespace lockdown::synth

@@ -1,0 +1,807 @@
+#include "synth/vantage.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+
+using flow::IpProtocol;
+using flow::PortKey;
+using net::Asn;
+using net::AsRole;
+using net::Date;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small construction helpers.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] PortKey tcp(std::uint16_t p) { return {IpProtocol::kTcp, p}; }
+[[nodiscard]] PortKey udp(std::uint16_t p) { return {IpProtocol::kUdp, p}; }
+[[nodiscard]] PortKey gre() { return {IpProtocol::kGre, 0}; }
+[[nodiscard]] PortKey esp() { return {IpProtocol::kEsp, 0}; }
+
+constexpr double kGB = 1e9;
+
+[[nodiscard]] std::vector<Asn> asns(std::initializer_list<std::uint32_t> values) {
+  std::vector<Asn> out;
+  out.reserve(values.size());
+  for (const std::uint32_t v : values) out.emplace_back(v);
+  return out;
+}
+
+[[nodiscard]] std::vector<Asn> role_asns(const AsRegistry& reg, AsRole role) {
+  std::vector<Asn> out;
+  for (const AsInfo* info : reg.by_role(role)) out.push_back(info->asn);
+  return out;
+}
+
+/// Hypergiant web server mix, weighted by repetition (Google and Akamai
+/// dominate, consistent with the ~75% hypergiant share of §3.2).
+[[nodiscard]] std::vector<Asn> hypergiant_web_mix() {
+  return asns({15169, 15169, 15169, 20940, 20940, 16509, 16509, 32934, 32934,
+               8075, 8075, 714, 13414, 46489, 10310, 15133, 16276, 6939});
+}
+
+/// Table 1 gaming class: 57 distinct transport ports.
+[[nodiscard]] std::vector<std::pair<PortKey, double>> gaming_ports() {
+  std::vector<std::pair<PortKey, double>> ports;
+  for (std::uint16_t p = 27000; p <= 27031; ++p) ports.push_back({udp(p), 1.2});
+  for (std::uint16_t p = 3074; p <= 3079; ++p) ports.push_back({udp(p), 2.0});
+  ports.push_back({tcp(25565), 2.5});
+  ports.push_back({tcp(3724), 2.0});
+  ports.push_back({tcp(1119), 2.0});
+  for (std::uint16_t p = 6112; p <= 6119; ++p) ports.push_back({tcp(p), 1.0});
+  for (std::uint16_t p = 30000; p <= 30007; ++p) ports.push_back({tcp(p), 0.8});
+  return ports;
+}
+
+/// Event window of the mid-March video-resolution reduction (in force from
+/// Mar 19 until services restored HD around May 12 -- §1).
+[[nodiscard]] VolumeEvent resolution_reduction_event() {
+  return VolumeEvent{
+      net::TimeRange{net::Timestamp::from_date(Date(2020, 3, 19)),
+                     net::Timestamp::from_date(Date(2020, 5, 12))},
+      0.82, "EU streaming resolution reduction"};
+}
+
+// Shorthand for the per-vantage component tables below.
+struct Ctx {
+  const AsRegistry& reg;
+  const ScenarioConfig& cfg;
+  const EpidemicTimeline tl;
+  TrafficModel model;
+  std::vector<Asn> clients;  // default client mix of the vantage point
+
+  Ctx(const AsRegistry& r, const ScenarioConfig& c, Region region,
+      std::string name)
+      : reg(r), cfg(c), tl(EpidemicTimeline::for_region(region)),
+        model(std::move(name), tl, c.seed) {}
+
+  /// Add a component with this vantage's default client mix.
+  TrafficComponent& add(TrafficComponent c) {
+    if (c.client_ases.empty()) c.client_ases = clients;
+    model.add(std::move(c));
+    return model.back_mutable();
+  }
+
+  [[nodiscard]] ResponseCurve staged(double pre, double s1, double s2, double s3,
+                                     double weekend_ratio) const {
+    return ResponseCurve::staged(tl, pre, s1, s2, s3, weekend_ratio);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared component kits (parameterized per vantage point).
+// ---------------------------------------------------------------------------
+
+/// The §4/§5 application mix shared by the ISP and the European IXPs, with
+/// per-vantage scale and response strengths. `x` scales all volumes;
+/// `persist` lifts the stage-3 multipliers relative to stage 2 (IXPs keep
+/// their growth into May, the ISP does not -- Fig 1); `strength` scales
+/// every multiplier's deviation from 1 (the IXP-CE reacts more strongly
+/// than the ISP, the IXP-SE less -- §3.1's +30%/+20%/+12%).
+void add_core_mix(Ctx& ctx, double x, double persist, double strength,
+                  double ipv6_share = 0.0) {
+  const auto boost = [strength](double v) { return 1.0 + (v - 1.0) * strength; };
+  // Staged response with vantage strength and persistence applied: the
+  // stage-3 (May) multiplier is blended between the nominal decayed value
+  // and the stage-2 level -- persist=1 means May keeps April's growth.
+  const auto R = [&](double pre, double s1, double s2, double s3, double wr) {
+    const double s2b = boost(s2);
+    const double s3b = boost(s3);
+    return ctx.staged(pre, boost(s1), s2b, s3b + persist * (s2b - s3b), wr);
+  };
+
+  {
+    TrafficComponent c;
+    c.id = "hg-web";
+    c.app_class = AppClass::kWeb;
+    c.server_ases = hypergiant_web_mix();
+    c.ports = {{tcp(443), 0.75}, {tcp(80), 0.25}};
+    c.base_bytes_per_hour = 36 * kGB * x;
+    c.morph = 0.75;
+    c.response = R(1.0, 1.12, 1.10, 1.04, 0.6);
+    c.client_pool_base = 6000;
+        c.ipv6_share = ipv6_share;
+ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "quic";
+    c.app_class = AppClass::kQuic;
+    c.server_ases = asns({15169, 15169, 15169, 20940, 20940, 32934});
+    c.ports = {{udp(443), 1.0}};
+    c.base_bytes_per_hour = 18 * kGB * x;
+    c.morph = 0.85;  // largest increase in the morning hours (§4)
+    c.response = R(1.0, 1.50, 1.42, 1.15, 0.7);
+    c.client_pool_base = 5000;
+        c.ipv6_share = ipv6_share;
+ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "vod";
+    c.app_class = AppClass::kVod;
+    c.server_ases = asns({2906, 2906, 2906, 64600, 64601});
+    c.ports = {{tcp(443), 1.0}};
+    c.base_bytes_per_hour = 17 * kGB * x;
+    c.morph = 0.7;
+    c.response = R(1.0, 1.30, 1.25, 1.10, 0.85);
+    c.mean_connection_bytes = 2e7;  // long streaming sessions
+    if (ctx.cfg.resolution_reduction) c.events.push_back(resolution_reduction_event());
+    c.client_pool_base = 4000;
+        c.ipv6_share = ipv6_share;
+ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "cdn";
+    c.app_class = AppClass::kCdn;
+    c.server_ases = asns({20940, 13335, 22822, 15133, 54113, 60068, 12989, 30081});
+    c.ports = {{tcp(443), 0.8}, {tcp(80), 0.2}};
+    c.base_bytes_per_hour = 7 * kGB * x;
+    c.morph = 0.6;
+    c.response = R(1.0, 1.20, 1.15, 1.08, 0.7);
+        c.ipv6_share = ipv6_share;
+ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "other-web";
+    c.app_class = AppClass::kWeb;
+    c.server_ases = asns({64650, 64651, 16276, 6939, 65000, 65002, 65003,
+                          65004, 65006, 65008});
+    c.ports = {{tcp(443), 0.85}, {tcp(80), 0.15}};
+    c.base_bytes_per_hour = 11 * kGB * x;
+    c.morph = 0.7;
+    c.response = R(1.0, 1.28, 1.22, 1.08, 0.65);
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "alt-http-8080";
+    c.app_class = AppClass::kWeb;
+    c.server_ases = asns({64650, 64651});
+    c.ports = {{tcp(8080), 1.0}};
+    c.base_bytes_per_hour = 1.2 * kGB * x;
+    c.morph = 0.5;
+    c.response = ResponseCurve::constant(1.0);  // "no major changes" (§4)
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "social-media";
+    c.app_class = AppClass::kSocialMedia;
+    c.server_ases = asns({32934, 32934, 13414, 138699, 47541});
+    c.ports = {{tcp(443), 1.0}};
+    c.base_bytes_per_hour = 3.5 * kGB * x;
+    c.morph = 0.8;
+    // Strong initial increase that flattens in stage 2 (§5).
+    c.response = R(1.0, 1.70, 1.30, 1.10, 0.9);
+        c.ipv6_share = ipv6_share;
+ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "email";
+    c.app_class = AppClass::kEmail;
+    c.server_ases = asns({8075, 15169, 64621});
+    c.ports = {{tcp(993), 0.60}, {tcp(587), 0.10}, {tcp(465), 0.10},
+               {tcp(995), 0.05}, {tcp(25), 0.08},  {tcp(143), 0.07}};
+    c.base_bytes_per_hour = 0.4 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.35;
+    c.morph = 0.1;
+    c.response = R(1.0, 1.60, 1.50, 1.15, 0.35);  // IMAPS +60% (§4)
+    c.mean_connection_bytes = 2e5;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "vpn-nat-traversal";
+    c.app_class = AppClass::kVpnPort;
+    c.server_ases = asns({65001, 65005, 65007, 65010, 65012, 65015});
+    c.ports = {{udp(4500), 0.55}, {udp(1194), 0.25}, {udp(500), 0.12},
+               {tcp(1723), 0.03}, {udp(1701), 0.05}};
+    c.base_bytes_per_hour = 1.3 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.25;
+    c.morph = 0.1;  // VPN keeps office hours -- that is the point
+    c.response = R(1.0, 1.45, 1.35, 1.15, 0.2);
+    c.mean_connection_bytes = 5e6;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "vpn-site-tunnels";
+    c.app_class = AppClass::kVpnPort;
+    c.server_ases = asns({65001, 65005, 65007, 65011});
+    c.client_ases = asns({65021, 65025, 65027, 65031});
+    c.client_initiates = false;  // site-to-site GRE/ESP
+    // Bulky: whole-site tunnels, not per-user sessions -- ESP and GRE rank
+    // among the top non-web ports in the paper's Fig 7.
+    c.ports = {{gre(), 0.45}, {esp(), 0.55}};
+    c.base_bytes_per_hour = 2.2 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.20;
+    c.mean_connection_bytes = 2e7;
+    // Company-to-company tunnels shrink once offices empty (§4) -- the
+    // exact direction is set per vantage below; default: slight decline.
+    c.response = R(1.0, 0.95, 0.92, 0.95, 0.6);
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "vpn-tls";
+    c.app_class = AppClass::kVpnTls;
+    if (!ctx.cfg.vpn_tls_server_ips.empty()) {
+      c.explicit_server_ips = ctx.cfg.vpn_tls_server_ips;
+    } else {
+      c.server_ases = asns({65009, 65013, 65017, 65019});
+    }
+    c.ports = {{tcp(443), 1.0}};
+    c.base_bytes_per_hour = 0.8 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.25;
+    c.response = R(1.0, 3.2, 2.5, 1.8, 0.3);  // >200% (§6)
+    c.mean_connection_bytes = 4e6;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "webconf-teams-skype";
+    c.app_class = AppClass::kWebConf;
+    c.server_ases = asns({8075});
+    c.ports = {{udp(3480), 1.0}};
+    c.base_bytes_per_hour = 0.5 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.35;
+    c.response = R(1.0, 3.4, 3.1, 2.3, 0.5);
+    c.mean_connection_bytes = 8e6;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "webconf-zoom";
+    c.app_class = AppClass::kWebConf;
+    c.server_ases = asns({30103});
+    c.ports = {{udp(8801), 0.9}, {udp(8802), 0.1}};
+    c.base_bytes_per_hour = 0.3 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.35;
+    // Order-of-magnitude adoption between February and April (§4).
+    c.response = R(1.0, 6.0, 10.0, 7.0, 0.45);
+    c.mean_connection_bytes = 8e6;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "webconf-stun";
+    c.app_class = AppClass::kWebConf;
+    c.server_ases = asns({13445});
+    c.ports = {{udp(3478), 0.5}, {udp(3479), 0.3}, {tcp(5004), 0.2}};
+    c.base_bytes_per_hour = 0.3 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.35;
+    c.response = R(1.0, 2.8, 2.6, 1.9, 0.5);
+    c.mean_connection_bytes = 8e6;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "messaging";
+    c.app_class = AppClass::kMessaging;
+    c.server_ases = asns({32934, 32934, 64620});
+    c.ports = {{tcp(5222), 0.40}, {tcp(4244), 0.15}, {tcp(5242), 0.20},
+               {udp(5243), 0.15}, {udp(9785), 0.10}};
+    c.base_bytes_per_hour = 0.5 * kGB * x;
+    c.morph = 0.6;
+    c.response = R(1.0, 3.0, 2.6, 1.8, 0.85);  // Europe soars (§5)
+    c.mean_connection_bytes = 1e5;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "collab-work";
+    c.app_class = AppClass::kCollabWork;
+    c.server_ases = asns({19679, 64621});
+    c.ports = {{tcp(8443), 0.30}, {tcp(5005), 0.12}, {tcp(7777), 0.10},
+               {tcp(7780), 0.08}, {tcp(8444), 0.08}, {tcp(8445), 0.07},
+               {udp(7778), 0.08}, {udp(7779), 0.07}, {tcp(9443), 0.10}};
+    c.base_bytes_per_hour = 0.7 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.30;
+    c.response = R(1.0, 2.0, 1.9, 1.5, 0.4);
+    c.mean_connection_bytes = 1e6;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "educational";
+    c.app_class = AppClass::kEducational;
+    c.server_ases = role_asns(ctx.reg, AsRole::kEducationalNet);
+    c.ports = {{tcp(443), 1.0}};
+    c.base_bytes_per_hour = 0.5 * kGB * x;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.30;
+    c.response = R(1.0, 2.6, 2.9, 2.0, 0.4);
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "gaming";
+    c.app_class = AppClass::kGaming;
+    c.server_ases = role_asns(ctx.reg, AsRole::kGamingProvider);
+    c.ports = gaming_ports();
+    c.base_bytes_per_hour = 3 * kGB * x;
+    c.workday = DiurnalProfile::gaming_evening();
+    c.weekend = DiurnalProfile::residential_weekend();
+    c.morph = 0.85;  // "now used at any time" (§5)
+    c.response = R(1.0, 1.15, 1.12, 1.05, 0.9);
+    c.client_pool_base = 800;
+    c.mean_connection_bytes = 5e6;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "cloudflare-lb";
+    c.app_class = AppClass::kCloudflareLb;
+    c.server_ases = asns({13335});
+    c.ports = {{udp(2408), 1.0}};
+    c.base_bytes_per_hour = 0.4 * kGB * x;
+    c.workday = DiurnalProfile::flat();
+    c.weekend = DiurnalProfile::flat();
+    c.response = ResponseCurve::constant(1.0);  // "no major changes" (§4)
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "unknown-25461";
+    c.app_class = AppClass::kUnknownHosting;
+    c.server_ases = asns({64650, 64651});
+    c.ports = {{tcp(25461), 1.0}};
+    c.base_bytes_per_hour = 0.6 * kGB * x;
+    c.morph = 0.5;
+    c.response = R(1.0, 1.05, 1.05, 1.02, 0.9);
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "push-notifications";
+    c.app_class = AppClass::kPushNotif;
+    c.server_ases = asns({714, 15169});
+    c.ports = {{tcp(5223), 0.5}, {tcp(5228), 0.5}};
+    c.base_bytes_per_hour = 0.3 * kGB * x;
+    c.morph = 0.3;
+    c.response = R(1.0, 1.10, 1.08, 1.05, 0.9);
+    c.mean_connection_bytes = 5e4;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "spotify";
+    c.app_class = AppClass::kSpotify;
+    c.server_ases = asns({8403});
+    c.ports = {{tcp(4070), 0.7}, {tcp(443), 0.3}};
+    c.base_bytes_per_hour = 0.5 * kGB * x;
+    c.morph = 0.7;
+    c.response = R(1.0, 1.15, 1.10, 1.05, 0.9);
+    ctx.add(std::move(c));
+  }
+}
+
+/// §3.4 / Fig 6: per-enterprise components at the ISP (with transit). Five
+/// response archetypes spread the ASes over the four quadrants of the
+/// total-shift vs residential-shift plane.
+void add_enterprise_transit(Ctx& ctx, const std::vector<Asn>& eyeballs) {
+  const auto enterprises = ctx.reg.by_role(AsRole::kEnterprise);
+  for (std::size_t i = 0; i < enterprises.size(); ++i) {
+    const AsInfo& ent = *enterprises[i];
+    const double jitter = util::coordinate_noise(ctx.cfg.seed, ent.asn.value(),
+                                                 0xabcd, 0, 0.25);
+
+    double res_mult = 1.0;  // residential-facing response at full lockdown
+    double b2b_mult = 1.0;  // transit/B2B response
+    switch (i % 5) {
+      case 0:  // remote-work enabler: residential and total both up
+        res_mult = 2.2 * jitter;
+        b2b_mult = 1.05;
+        break;
+      case 1:  // pure B2B service: total shifts, residential untouched
+        res_mult = 1.0;
+        b2b_mult = (i % 10 == 1 ? 1.5 : 0.6) * jitter;
+        break;
+      case 2:  // internal-services company: total down, residential up
+        res_mult = 1.5 * jitter;
+        b2b_mult = 0.5;
+        break;
+      case 3:  // pandemic-hit consumer service: both down
+        res_mult = 0.45 * jitter;
+        b2b_mult = 0.7;
+        break;
+      case 4:  // cloud-product grower: both up
+        res_mult = 1.4 * jitter;
+        b2b_mult = 1.3;
+        break;
+    }
+
+    {
+      TrafficComponent c;
+      c.id = "ent-res-" + std::to_string(ent.asn.value());
+      c.app_class = AppClass::kWeb;
+      c.server_ases = {ent.asn};
+      c.client_ases = eyeballs;
+      c.ports = {{tcp(443), 1.0}};
+      c.base_bytes_per_hour = 0.05 * kGB * (0.5 + jitter);
+      c.workday = DiurnalProfile::business_hours();
+      c.weekend = DiurnalProfile::flat();
+      c.weekend_level = 0.25;
+      c.response = ctx.staged(1.0, res_mult, res_mult, 1.0 + (res_mult - 1.0) * 0.6, 0.3);
+      c.volume_noise = 0.08;
+      ctx.model.add(std::move(c));
+    }
+    {
+      TrafficComponent c;
+      c.id = "ent-b2b-" + std::to_string(ent.asn.value());
+      c.app_class = AppClass::kOther;
+      c.server_ases = {ent.asn};
+      // Non-residential counterparties: hosting + another enterprise.
+      c.client_ases = asns({64650, 64651,
+                            65000 + static_cast<std::uint32_t>((i * 37 + 11) %
+                                                               enterprises.size())});
+      c.client_initiates = false;
+      c.ports = {{tcp(443), 0.7}, {tcp(8443), 0.3}};
+      c.base_bytes_per_hour = 0.06 * kGB * (0.5 + jitter);
+      c.workday = DiurnalProfile::business_hours();
+      c.weekend = DiurnalProfile::flat();
+      c.weekend_level = 0.25;
+      c.response = ctx.staged(1.0, b2b_mult, b2b_mult, 1.0 + (b2b_mult - 1.0) * 0.6, 0.4);
+      c.volume_noise = 0.08;
+      ctx.model.add(std::move(c));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vantage points.
+// ---------------------------------------------------------------------------
+
+VantagePoint build_isp_ce(const AsRegistry& reg, const ScenarioConfig& cfg) {
+  Ctx ctx(reg, cfg, Region::kCentralEurope, "ISP-CE");
+  ctx.clients = asns({64700});  // the L-ISP's own subscribers (non-transit)
+  add_core_mix(ctx, 1.0, /*persist=*/0.05, /*strength=*/1.0);  // decays to ~+6% by May
+  if (cfg.enterprise_transit) {
+    add_enterprise_transit(ctx, role_asns(reg, AsRole::kEyeballIsp));
+  }
+  return VantagePoint{VantagePointId::kIspCe,
+                      "Large Central European ISP (>15M fixed lines), NetFlow",
+                      Region::kCentralEurope, flow::ExportProtocol::kNetflowV5,
+                      asns({64700}), std::move(ctx.model)};
+}
+
+VantagePoint build_ixp_ce(const AsRegistry& reg, const ScenarioConfig& cfg) {
+  Ctx ctx(reg, cfg, Region::kCentralEurope, "IXP-CE");
+  ctx.clients = asns({64700, 64701, 64702, 64703, 64710, 64720});
+  add_core_mix(ctx, 3.0, /*persist=*/0.85, /*strength=*/1.25,
+               /*ipv6_share=*/0.22);  // ~+30%, persists (Fig 1)
+
+  // IXP-only: the Russian TV streaming service on TCP/8200 (§4).
+  TrafficComponent tv;
+  tv.id = "tv-streaming-8200";
+  tv.app_class = AppClass::kTvStreaming;
+  tv.server_ases = asns({64651});
+  tv.ports = {{tcp(8200), 1.0}};
+  tv.base_bytes_per_hour = 2.0 * kGB;
+  tv.morph = 0.85;  // evening-centric -> spread over the whole day
+  tv.response = ctx.staged(1.0, 1.5, 1.45, 1.35, 1.0);  // weekends grow too
+  tv.mean_connection_bytes = 1.5e7;
+  ctx.add(std::move(tv));
+
+  // At the IXP the GRE/ESP decline is clearly visible (§4).
+  // (Default in add_core_mix is already a decline; steepen it.)
+  return VantagePoint{VantagePointId::kIxpCe,
+                      "Central European IXP (~900 members, >8 Tbps peak), IPFIX",
+                      Region::kCentralEurope, flow::ExportProtocol::kIpfix,
+                      asns({64700, 64701, 64702, 64703}), std::move(ctx.model)};
+}
+
+VantagePoint build_ixp_se(const AsRegistry& reg, const ScenarioConfig& cfg) {
+  Ctx ctx(reg, cfg, Region::kSouthernEurope, "IXP-SE");
+  ctx.clients = asns({64710, 64711, 64712});
+  add_core_mix(ctx, 0.35, /*persist=*/0.85, /*strength=*/0.5,
+               /*ipv6_share=*/0.15);  // ~+12% (Fig 1)
+
+  // Fig 8: gaming is analyzed at IXP-SE with a two-day provider outage in
+  // the first lockdown week. Split the class so the outage hits only the
+  // major provider (60% of gaming volume).
+  {
+    TrafficComponent c;
+    c.id = "gaming-major";
+    c.app_class = AppClass::kGaming;
+    c.server_ases = asns({32590});  // the dominant multiplayer platform
+    c.ports = gaming_ports();
+    c.base_bytes_per_hour = 1.6 * kGB;
+    c.workday = DiurnalProfile::gaming_evening();
+    c.weekend = DiurnalProfile::residential_weekend();
+    c.morph = 0.9;
+    c.response = ctx.staged(1.0, 2.3, 2.2, 1.9, 0.95);  // steep SE rise (Fig 8)
+    c.client_pool_base = 400;
+    c.mean_connection_bytes = 5e6;
+    if (cfg.gaming_outage) {
+      c.events.push_back(VolumeEvent{
+          net::TimeRange{net::Timestamp::from_date(Date(2020, 3, 12)),
+                         net::Timestamp::from_date(Date(2020, 3, 14))},
+          0.25, "major gaming provider outage"});
+    }
+    ctx.add(std::move(c));
+  }
+  return VantagePoint{VantagePointId::kIxpSe,
+                      "Southern European IXP (~170 members, ~500 Gbps peak), IPFIX",
+                      Region::kSouthernEurope, flow::ExportProtocol::kIpfix,
+                      asns({64710, 64711, 64712}), std::move(ctx.model)};
+}
+
+VantagePoint build_ixp_us(const AsRegistry& reg, const ScenarioConfig& cfg) {
+  Ctx ctx(reg, cfg, Region::kUsEastCoast, "IXP-US");
+  ctx.clients = asns({64720, 64721, 64722, 64730});
+  add_core_mix(ctx, 0.55, /*persist=*/0.9, /*strength=*/1.0,
+               /*ipv6_share=*/0.3);
+
+  // US deviations from the European pattern (§5): time-zone-smeared
+  // diurnals, email grows while messaging falls, VoD/CDN decline (a large
+  // AS's traffic-engineering decision), educational traffic drops.
+  std::vector<std::string> ids;
+  for (const TrafficComponent& existing : ctx.model.components()) {
+    ids.push_back(existing.id);
+  }
+  for (const std::string& id : ids) {
+    TrafficComponent& c = *ctx.model.find_mutable(id);
+    c.workday = DiurnalProfile::timezone_smeared().mix(c.workday, 0.35);
+    c.weekend = DiurnalProfile::timezone_smeared().mix(c.weekend, 0.35);
+    if (c.id == "email") {
+      c.response = ctx.staged(1.0, 1.6, 1.8, 1.6, 0.5);
+    } else if (c.id == "messaging") {
+      c.response = ctx.staged(1.0, 0.80, 0.72, 0.80, 0.9);
+    } else if (c.id == "vod") {
+      c.events.clear();  // no EU resolution reduction
+      c.response = ctx.staged(1.0, 0.95, 0.78, 0.80, 0.9);
+    } else if (c.id == "cdn") {
+      c.response = ctx.staged(1.0, 0.97, 0.88, 0.90, 0.9);
+    } else if (c.id == "educational") {
+      c.response = ctx.staged(1.0, 0.55, 0.45, 0.50, 0.6);
+    }
+  }
+  return VantagePoint{VantagePointId::kIxpUs,
+                      "US East Coast IXP (~250 members, >600 Gbps peak), IPFIX",
+                      Region::kUsEastCoast, flow::ExportProtocol::kIpfix,
+                      asns({64720, 64721, 64722}), std::move(ctx.model)};
+}
+
+VantagePoint build_edu(const AsRegistry& reg, const ScenarioConfig& cfg) {
+  Ctx ctx(reg, cfg, Region::kSouthernEurope, "EDU");
+  const std::vector<Asn> unis = role_asns(reg, AsRole::kUniversity);
+  const std::vector<Asn> national = asns({64710, 64711, 64712});
+  const std::vector<Asn> latam = asns({64730});
+  const std::vector<Asn> northam = asns({64720, 64721});
+
+  // -- Campus use: clients on campus, servers outside. Ingress-heavy.
+  //    Collapses with the closure (up to -55% on workdays, §7).
+  auto campus = [&](std::string id, AppClass klass, std::vector<Asn> servers,
+                    std::vector<std::pair<PortKey, double>> ports, double gb,
+                    double s1, double weekend_ratio) {
+    TrafficComponent c;
+    c.id = std::move(id);
+    c.app_class = klass;
+    c.server_ases = std::move(servers);
+    c.client_ases = unis;
+    c.ports = std::move(ports);
+    c.base_bytes_per_hour = gb * kGB;
+    c.workday = DiurnalProfile::campus();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.20;  // near-empty campuses on weekends
+    c.response = ctx.staged(1.0, s1, s1 * 1.05, s1 * 1.12, weekend_ratio);
+    c.client_pool_base = 3000;
+    c.connection_boost = 0.6;  // bulky downloads: few connections per byte
+    ctx.model.add(std::move(c));
+  };
+  // Negative weekend_ratio yields weekend multipliers slightly above 1
+  // while workdays collapse: the paper's +14%/+4% weekend growth.
+  campus("campus-hg-web", AppClass::kWeb, hypergiant_web_mix(),
+         {{tcp(443), 0.8}, {tcp(80), 0.2}}, 5.5, 0.42, -0.25);
+  campus("campus-cdn", AppClass::kCdn, asns({20940, 13335, 54113}),
+         {{tcp(443), 1.0}}, 2.5, 0.40, -0.10);
+  campus("campus-quic", AppClass::kQuic, asns({15169, 15169, 20940}),
+         {{udp(443), 1.0}}, 2.0, 0.35, -0.10);
+  campus("campus-push", AppClass::kPushNotif, asns({714, 15169}),
+         {{tcp(5223), 0.5}, {tcp(5228), 0.5}}, 0.3, 0.35, 0.2);
+  campus("campus-spotify", AppClass::kSpotify, asns({8403}),
+         {{tcp(4070), 0.8}, {tcp(443), 0.2}}, 0.4, 0.17, 0.2);
+  campus("campus-misc-web", AppClass::kWeb, asns({64650, 64651, 16276}),
+         {{tcp(443), 0.7}, {tcp(80), 0.3}}, 2.3, 0.44, -0.10);
+
+  // -- Inbound access: external users connecting to university services.
+  //    Egress-heavy (responses leave the network); connections double+.
+  auto inbound = [&](std::string id, AppClass klass, std::vector<Asn> clients,
+                     std::vector<std::pair<PortKey, double>> ports, double gb,
+                     double s1, const DiurnalProfile& wd, double noise) {
+    TrafficComponent c;
+    c.id = std::move(id);
+    c.app_class = klass;
+    c.server_ases = unis;
+    c.client_ases = std::move(clients);
+    c.ports = std::move(ports);
+    c.base_bytes_per_hour = gb * kGB;
+    c.workday = wd;
+    c.weekend = DiurnalProfile::residential_weekend();
+    c.weekend_level = 0.5;  // remote work slows down on weekends
+    c.morph = 0.3;
+    c.response = ctx.staged(1.0, s1, s1 * 0.97, s1 * 0.9, 0.55);
+    c.mean_connection_bytes = 4e5;
+    c.volume_noise = noise;
+    // Remote access is connection-heavy but volume-light: boost the flow
+    // share so Fig 12's connection counts are well-populated without
+    // inflating egress volume.
+    c.connection_boost = 24.0;
+    ctx.model.add(std::move(c));
+  };
+  const auto& biz = DiurnalProfile::business_hours();
+  inbound("in-web-national", AppClass::kWeb, national,
+          {{tcp(443), 0.8}, {tcp(80), 0.2}}, 0.18, 1.7, biz, 0.05);
+  inbound("in-web-latam", AppClass::kWeb, latam, {{tcp(443), 1.0}}, 0.03, 1.8,
+          DiurnalProfile::overseas_night(), 0.08);
+  inbound("in-web-northam", AppClass::kWeb, northam, {{tcp(443), 1.0}}, 0.01,
+          3.4, DiurnalProfile::overseas_night(), 0.08);
+  inbound("in-email", AppClass::kEmail, national,
+          {{tcp(993), 0.5}, {tcp(587), 0.2}, {tcp(465), 0.1}, {tcp(25), 0.2}},
+          0.04, 1.8, biz, 0.05);
+  inbound("in-vpn", AppClass::kVpnPort, national,
+          {{udp(1194), 0.5}, {udp(4500), 0.35}, {udp(500), 0.15}}, 0.05, 4.8,
+          biz, 0.06);
+  inbound("in-remote-desktop", AppClass::kRemoteDesktop, national,
+          {{tcp(3389), 0.5}, {tcp(1494), 0.2}, {udp(1494), 0.1},
+           {tcp(5938), 0.1}, {udp(5938), 0.1}},
+          0.015, 5.9, biz, 0.08);
+  inbound("in-ssh", AppClass::kSsh, national, {{tcp(22), 1.0}}, 0.008, 9.1, biz,
+          0.25);  // "SSH traffic patterns are more irregular" (§7)
+
+  // -- Ambiguous-direction traffic: P2P-like, odd ports, 39% of *flows*
+  //    but modest volume (§7).
+  {
+    TrafficComponent c;
+    c.id = "ambiguous-p2p";
+    c.app_class = AppClass::kOther;
+    c.server_ases = asns({64650, 64651, 16276, 6939});
+    c.client_ases = unis;
+    c.ports = {{tcp(6881), 0.3}, {udp(6881), 0.2}, {tcp(51413), 0.2},
+               {udp(4662), 0.15}, {tcp(12345), 0.15}};
+    c.base_bytes_per_hour = 1.1 * kGB;
+    c.morph = 0.4;
+    c.response = ctx.staged(1.0, 0.65, 0.65, 0.72, 0.8);
+    c.mean_connection_bytes = 1e5;
+    c.connection_boost = 11.0;
+    ctx.model.add(std::move(c));
+  }
+
+  return VantagePoint{VantagePointId::kEdu,
+                      "Academic metropolitan network (16 universities, ~290k users), NetFlow",
+                      Region::kSouthernEurope, flow::ExportProtocol::kNetflowV5,
+                      unis, std::move(ctx.model)};
+}
+
+VantagePoint build_mobile_ce(const AsRegistry& reg, const ScenarioConfig& cfg) {
+  Ctx ctx(reg, cfg, Region::kCentralEurope, "Mobile-CE");
+  ctx.clients = asns({64740});
+  {
+    TrafficComponent c;
+    c.id = "mobile-web";
+    c.app_class = AppClass::kWeb;
+    c.server_ases = hypergiant_web_mix();
+    c.ports = {{tcp(443), 0.7}, {udp(443), 0.3}};
+    c.base_bytes_per_hour = 20 * kGB;
+    c.morph = 0.4;
+    // Mobility loss slightly outweighs extra usage during the strict
+    // lockdown; recovery afterwards (Fig 1's mobile curve).
+    c.response = ctx.staged(1.0, 0.95, 1.0, 1.05, 0.9);
+    c.client_pool_base = 8000;
+    ctx.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "mobile-social-video";
+    c.app_class = AppClass::kSocialMedia;
+    c.server_ases = asns({32934, 138699, 15169});
+    c.ports = {{tcp(443), 1.0}};
+    c.base_bytes_per_hour = 8 * kGB;
+    c.morph = 0.4;
+    c.response = ctx.staged(1.0, 0.92, 0.98, 1.06, 0.9);
+    ctx.add(std::move(c));
+  }
+  return VantagePoint{VantagePointId::kMobileCe,
+                      "Mobile operator, Central Europe (>40M customers), NetFlow v9",
+                      Region::kCentralEurope, flow::ExportProtocol::kNetflowV9,
+                      asns({64740}), std::move(ctx.model)};
+}
+
+VantagePoint build_ipx_ce(const AsRegistry& reg, const ScenarioConfig& cfg) {
+  Ctx ctx(reg, cfg, Region::kCentralEurope, "IPX-CE");
+  ctx.clients = asns({64741});
+  {
+    TrafficComponent c;
+    c.id = "roaming";
+    c.app_class = AppClass::kWeb;
+    c.server_ases = hypergiant_web_mix();
+    c.ports = {{tcp(443), 0.8}, {udp(443), 0.2}};
+    c.base_bytes_per_hour = 3 * kGB;
+    c.morph = 0.2;
+    // International travel collapses with the lockdowns (Fig 1's roaming
+    // curve dropping to roughly half).
+    c.response = ctx.staged(1.0, 0.55, 0.50, 0.55, 1.0);
+    ctx.add(std::move(c));
+  }
+  return VantagePoint{VantagePointId::kIpxCe,
+                      "Roaming packet exchange (IPX), Central Europe, NetFlow v9",
+                      Region::kCentralEurope, flow::ExportProtocol::kNetflowV9,
+                      asns({64741}), std::move(ctx.model)};
+}
+
+}  // namespace
+
+VantagePoint build_vantage(VantagePointId id, const AsRegistry& registry,
+                           const ScenarioConfig& config) {
+  switch (id) {
+    case VantagePointId::kIspCe: return build_isp_ce(registry, config);
+    case VantagePointId::kIxpCe: return build_ixp_ce(registry, config);
+    case VantagePointId::kIxpSe: return build_ixp_se(registry, config);
+    case VantagePointId::kIxpUs: return build_ixp_us(registry, config);
+    case VantagePointId::kEdu: return build_edu(registry, config);
+    case VantagePointId::kMobileCe: return build_mobile_ce(registry, config);
+    case VantagePointId::kIpxCe: return build_ipx_ce(registry, config);
+  }
+  throw std::invalid_argument("build_vantage: unknown vantage point id");
+}
+
+std::vector<VantagePoint> build_all_vantages(const AsRegistry& registry,
+                                             const ScenarioConfig& config) {
+  std::vector<VantagePoint> out;
+  for (const VantagePointId id :
+       {VantagePointId::kIspCe, VantagePointId::kIxpCe, VantagePointId::kIxpSe,
+        VantagePointId::kIxpUs, VantagePointId::kEdu, VantagePointId::kMobileCe,
+        VantagePointId::kIpxCe}) {
+    out.push_back(build_vantage(id, registry, config));
+  }
+  return out;
+}
+
+}  // namespace lockdown::synth

@@ -1,0 +1,82 @@
+// Vantage-point construction: one calibrated TrafficModel per dataset of
+// the paper's §2 (L-ISP, IXP-CE, IXP-SE, IXP-US, EDU, Mobile Operator,
+// IPX). The numbers in vantage.cpp are the scenario calibration -- they
+// encode the *published effect sizes* (growth percentages, class
+// responses, diurnal morphs) as model parameters; every analysis then has
+// to recover those effects from synthesized flows alone.
+//
+// DESIGN.md §3 lists which experiment depends on which vantage point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/pipeline.hpp"
+#include "synth/as_registry.hpp"
+#include "synth/traffic_model.hpp"
+
+namespace lockdown::synth {
+
+enum class VantagePointId : std::uint8_t {
+  kIspCe,    // L-ISP, Central Europe, >15M fixed lines, NetFlow
+  kIxpCe,    // major Central European IXP, ~900 members, IPFIX
+  kIxpSe,    // Southern European IXP, ~170 members, IPFIX
+  kIxpUs,    // US East Coast IXP, ~250 members, IPFIX
+  kEdu,      // REDImadrid-like academic metropolitan network, NetFlow
+  kMobileCe, // mobile operator, Central Europe, NetFlow v9
+  kIpxCe,    // roaming packet exchange, NetFlow v9
+};
+
+[[nodiscard]] constexpr const char* to_string(VantagePointId id) noexcept {
+  switch (id) {
+    case VantagePointId::kIspCe: return "ISP-CE";
+    case VantagePointId::kIxpCe: return "IXP-CE";
+    case VantagePointId::kIxpSe: return "IXP-SE";
+    case VantagePointId::kIxpUs: return "IXP-US";
+    case VantagePointId::kEdu: return "EDU";
+    case VantagePointId::kMobileCe: return "Mobile-CE";
+    case VantagePointId::kIpxCe: return "IPX-CE";
+  }
+  return "?";
+}
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  /// §5/Fig 8: two-day outage of a major gaming provider in the first
+  /// lockdown week at IXP-SE.
+  bool gaming_outage = true;
+  /// §1/§3.2: streaming services reduce video resolution from Mar 19.
+  bool resolution_reduction = true;
+  /// §3.4/Fig 6: per-enterprise transit components at the ISP (heavier
+  /// model; required by the remote-work analysis).
+  bool enterprise_transit = true;
+  /// Addresses of VPN-over-TLS gateways (from the DNS corpus); when empty,
+  /// the VPN-TLS component draws from enterprise AS space directly (the
+  /// domain-based detector then cannot see it -- useful for ablations).
+  std::vector<net::IpAddress> vpn_tls_server_ips;
+};
+
+struct VantagePoint {
+  VantagePointId id;
+  std::string description;
+  Region region;
+  flow::ExportProtocol protocol;
+  /// ASes considered "local"/customer-side at this vantage point (the
+  /// eyeball ASes of an ISP, the member universities of the EDU network).
+  std::vector<net::Asn> local_ases;
+  TrafficModel model;
+};
+
+/// Build one vantage point against a registry. The registry must outlive
+/// the vantage point (components reference its ASNs, flows draw from its
+/// prefixes).
+[[nodiscard]] VantagePoint build_vantage(VantagePointId id,
+                                         const AsRegistry& registry,
+                                         const ScenarioConfig& config);
+
+/// All seven vantage points (Fig 1 needs six of them plus EDU).
+[[nodiscard]] std::vector<VantagePoint> build_all_vantages(
+    const AsRegistry& registry, const ScenarioConfig& config);
+
+}  // namespace lockdown::synth

@@ -1,0 +1,214 @@
+// Deterministic random number generation for reproducible traffic synthesis.
+//
+// All synthesis in this project must be a pure function of (seed, coordinates)
+// so that two runs -- or two analyses of the same scenario -- see identical
+// traffic. We therefore avoid std::random_device and the unspecified
+// std::distribution implementations, and provide:
+//
+//   * SplitMix64  -- seed expansion / stateless per-coordinate hashing
+//   * Xoshiro256pp -- fast, high-quality sequential generator
+//   * Rng          -- convenience wrapper with explicit, portable
+//                     distributions (uniform, normal, lognormal, poisson,
+//                     zipf, exponential)
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numbers>
+
+namespace lockdown::util {
+
+/// Stateless 64-bit mixer (Vigna's splitmix64 finalizer). Useful both as a
+/// seed expander and as a hash for "noise at coordinate (a,b,c)" lookups.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine hash values; order-sensitive. Suitable for deriving per-cell
+/// noise seeds from multi-dimensional coordinates.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return splitmix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna). Public-domain reference algorithm.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256pp(std::uint64_t seed) noexcept {
+    // Expand the seed with splitmix64 as recommended by the authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x = splitmix64(x);
+      word = x;
+    }
+    // All-zero state is invalid; splitmix64 of any seed cannot produce four
+    // zero outputs in a row, but keep the guard for explicitness.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead 2^128 steps: yields non-overlapping parallel streams.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc = {0, 0, 0, 0};
+    for (std::uint64_t mask : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if (mask & (1ULL << b)) {
+          for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+    return (v << k) | (v >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Seedable generator with portable distribution implementations. The
+/// std:: distributions are implementation-defined; hand-rolling them keeps
+/// traces byte-identical across standard libraries.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    // 53 random mantissa bits.
+    return static_cast<double>(gen_() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Unbiased via rejection.
+  [[nodiscard]] std::uint64_t uniform_u64(std::uint64_t n) noexcept {
+    if (n == 0) return 0;
+    const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
+                                std::numeric_limits<std::uint64_t>::max() % n;
+    std::uint64_t v = gen_();
+    while (v >= limit) v = gen_();
+    return v % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (no cached second value: determinism
+  /// over micro-efficiency).
+  [[nodiscard]] double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  [[nodiscard]] double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Lognormal with parameters of the underlying normal.
+  [[nodiscard]] double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  [[nodiscard]] double exponential(double rate) noexcept {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Poisson; inversion for small lambda, normal approximation for large.
+  [[nodiscard]] std::uint64_t poisson(double lambda) noexcept {
+    if (lambda <= 0.0) return 0;
+    if (lambda > 64.0) {
+      const double v = normal(lambda, std::sqrt(lambda));
+      return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+    }
+    const double limit = std::exp(-lambda);
+    double prod = uniform();
+    std::uint64_t n = 0;
+    while (prod > limit) {
+      prod *= uniform();
+      ++n;
+    }
+    return n;
+  }
+
+  /// Zipf-distributed rank in [0, n) with exponent s, via inverse-CDF on a
+  /// precomputed-free harmonic approximation (rejection-inversion is
+  /// overkill at our sizes). Exact for our use: popularity rank selection.
+  [[nodiscard]] std::uint64_t zipf(std::uint64_t n, double s) noexcept {
+    if (n <= 1) return 0;
+    // Inverse CDF by bisection on the generalized-harmonic CDF approximated
+    // with the integral form: H(k) ~ (k^(1-s) - 1) / (1 - s) for s != 1.
+    const double u = uniform();
+    if (s == 1.0) {
+      const double hn = std::log(static_cast<double>(n));
+      return static_cast<std::uint64_t>(std::exp(u * hn)) - 1;
+    }
+    const double oneMinusS = 1.0 - s;
+    const double hn =
+        (std::pow(static_cast<double>(n), oneMinusS) - 1.0) / oneMinusS;
+    const double k = std::pow(u * hn * oneMinusS + 1.0, 1.0 / oneMinusS);
+    const auto rank = static_cast<std::uint64_t>(k) - (k >= 1.0 ? 1 : 0);
+    return rank >= n ? n - 1 : rank;
+  }
+
+  /// Access the raw engine (for std::shuffle etc.).
+  [[nodiscard]] Xoshiro256pp& engine() noexcept { return gen_; }
+
+ private:
+  Xoshiro256pp gen_;
+};
+
+/// Deterministic noise in [1-amplitude, 1+amplitude] for a given coordinate
+/// tuple; used to jitter per-cell traffic volumes without any sequential
+/// generator state.
+[[nodiscard]] inline double coordinate_noise(std::uint64_t seed,
+                                             std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t c,
+                                             double amplitude) noexcept {
+  const std::uint64_t h = hash_combine(hash_combine(hash_combine(seed, a), b), c);
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + amplitude * (2.0 * unit - 1.0);
+}
+
+}  // namespace lockdown::util

@@ -1,0 +1,76 @@
+#include "util/siphash.hpp"
+
+#include <cstring>
+
+namespace lockdown::util {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t v, int k) noexcept {
+  return (v << k) | (v >> (64 - k));
+}
+
+struct State {
+  std::uint64_t v0, v1, v2, v3;
+
+  constexpr void sipround() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (__BYTE_ORDER__ == __ORDER_BIG_ENDIAN__) v = __builtin_bswap64(v);
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(SipHashKey key, std::span<const std::uint8_t> data) noexcept {
+  State s{key.k0 ^ 0x736f6d6570736575ULL, key.k1 ^ 0x646f72616e646f6dULL,
+          key.k0 ^ 0x6c7967656e657261ULL, key.k1 ^ 0x7465646279746573ULL};
+
+  const std::size_t n = data.size();
+  const std::uint8_t* p = data.data();
+  const std::size_t blocks = n / 8;
+  for (std::size_t i = 0; i < blocks; ++i, p += 8) {
+    const std::uint64_t m = load_le64(p);
+    s.v3 ^= m;
+    s.sipround();
+    s.sipround();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(n & 0xff) << 56;
+  const std::size_t rem = n & 7;
+  for (std::size_t i = 0; i < rem; ++i) {
+    b |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  s.v3 ^= b;
+  s.sipround();
+  s.sipround();
+  s.v0 ^= b;
+
+  s.v2 ^= 0xff;
+  s.sipround();
+  s.sipround();
+  s.sipround();
+  s.sipround();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+}  // namespace lockdown::util

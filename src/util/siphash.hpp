@@ -1,0 +1,33 @@
+// SipHash-2-4: keyed pseudorandom function used by flow::Anonymizer to hash
+// IP addresses before they leave a vantage point (paper §2.1, Ethical
+// Considerations). Reference algorithm by Aumasson & Bernstein.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace lockdown::util {
+
+/// 128-bit SipHash key.
+struct SipHashKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  friend bool operator==(const SipHashKey&, const SipHashKey&) = default;
+};
+
+/// Compute SipHash-2-4 of `data` under `key`.
+[[nodiscard]] std::uint64_t siphash24(SipHashKey key,
+                                      std::span<const std::uint8_t> data) noexcept;
+
+/// Convenience overload for trivially-copyable values.
+template <typename T>
+  requires std::is_trivially_copyable_v<T>
+[[nodiscard]] std::uint64_t siphash24_value(SipHashKey key, const T& value) noexcept {
+  std::array<std::uint8_t, sizeof(T)> buf{};
+  __builtin_memcpy(buf.data(), &value, sizeof(T));
+  return siphash24(key, buf);
+}
+
+}  // namespace lockdown::util

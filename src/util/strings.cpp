@@ -1,0 +1,77 @@
+#include "util/strings.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace lockdown::util {
+
+std::vector<std::string_view> split(std::string_view input, char delim) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = input.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(input.substr(start));
+      return out;
+    }
+    out.push_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) noexcept {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool contains(std::string_view haystack, std::string_view needle) noexcept {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string format_fixed(double value, int decimals) {
+  std::array<char, 64> buf{};
+  const int n = std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return std::string(buf.data(), n > 0 ? static_cast<std::size_t>(n) : 0);
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr std::array<const char*, 7> kUnits = {"B",  "KB", "MB", "GB",
+                                                        "TB", "PB", "EB"};
+  std::size_t unit = 0;
+  while (bytes >= 1024.0 && unit + 1 < kUnits.size()) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  return format_fixed(bytes, 2) + " " + kUnits[unit];
+}
+
+}  // namespace lockdown::util

@@ -1,0 +1,38 @@
+// Small string utilities shared across modules. Nothing here allocates
+// unless the return type requires it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lockdown::util {
+
+/// Split `input` on `delim`. Empty fields are preserved ("a,,b" -> 3 parts).
+[[nodiscard]] std::vector<std::string_view> split(std::string_view input,
+                                                  char delim);
+
+/// Join parts with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII-only lowercase copy (domains and ports are ASCII by construction).
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` starts with / ends with the given affix.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// True if `needle` occurs anywhere in `haystack` (ASCII, case-sensitive).
+[[nodiscard]] bool contains(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Trim ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Format a double with fixed decimals (no locale surprises).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Human-readable byte count ("1.50 GB").
+[[nodiscard]] std::string format_bytes(double bytes);
+
+}  // namespace lockdown::util

@@ -1,0 +1,38 @@
+// Plain-text and CSV table rendering. Every bench binary prints the paper's
+// rows/series through this; keeping it in one place guarantees consistent,
+// diff-able output across experiments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lockdown::util {
+
+/// A rectangular table of strings with a header row. Column widths are
+/// computed at render time; numeric cells should be pre-formatted by the
+/// caller (use format_fixed) so alignment is stable.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+
+  /// Render as an aligned monospace table with a separator rule.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Render as RFC-4180-ish CSV (fields with commas/quotes are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lockdown::util

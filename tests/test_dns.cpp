@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "dns/corpus.hpp"
+#include "dns/domain.hpp"
+#include "dns/public_suffix.hpp"
+#include "dns/resolver.hpp"
+#include "dns/vpn_finder.hpp"
+
+namespace lockdown::dns {
+namespace {
+
+// --- Domain ------------------------------------------------------------------
+
+TEST(Domain, ParseAndNormalize) {
+  const auto d = Domain::parse("VPN.Example.COM.");
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->name(), "vpn.example.com");
+  EXPECT_EQ(d->label_count(), 3u);
+}
+
+TEST(Domain, ParseRejectsMalformed) {
+  for (const char* bad : {"", ".", "a..b", "-bad.com", "bad-.com",
+                          "under_score.com", "spaces here.com"}) {
+    EXPECT_FALSE(Domain::parse(bad)) << bad;
+  }
+  EXPECT_FALSE(Domain::parse(std::string(300, 'a') + ".com"));
+  EXPECT_FALSE(Domain::parse(std::string(64, 'a') + ".com"));  // label > 63
+}
+
+TEST(Domain, LabelsAndSuffix) {
+  const auto d = Domain::parse("a.b.co.uk");
+  ASSERT_TRUE(d);
+  const auto labels = d->labels();
+  ASSERT_EQ(labels.size(), 4u);
+  EXPECT_EQ(labels[0], "a");
+  EXPECT_EQ(d->suffix(1), "uk");
+  EXPECT_EQ(d->suffix(2), "co.uk");
+  EXPECT_EQ(d->suffix(4), "a.b.co.uk");
+  EXPECT_EQ(d->suffix(9), "a.b.co.uk");
+}
+
+TEST(Domain, WithPrefixLabel) {
+  const auto d = Domain::parse("example.com");
+  const auto www = d->with_prefix_label("www");
+  ASSERT_TRUE(www);
+  EXPECT_EQ(www->name(), "www.example.com");
+}
+
+// --- PublicSuffixList --------------------------------------------------------
+
+TEST(Psl, BasicSuffixes) {
+  const auto psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix(*Domain::parse("vpn.example.com")), "com");
+  EXPECT_EQ(psl.public_suffix(*Domain::parse("a.b.co.uk")), "co.uk");
+}
+
+TEST(Psl, RegistrableDomain) {
+  const auto psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.registrable_domain(*Domain::parse("companyvpn3.example.com"))->name(),
+            "example.com");
+  EXPECT_EQ(psl.registrable_domain(*Domain::parse("x.y.acme.co.uk"))->name(),
+            "acme.co.uk");
+  // The bare suffix has no registrable domain.
+  EXPECT_FALSE(psl.registrable_domain(*Domain::parse("co.uk")).has_value());
+}
+
+TEST(Psl, WildcardAndException) {
+  const auto psl = PublicSuffixList::builtin();
+  // "*.ck": foo.ck is a public suffix, so bar.foo.ck is registrable.
+  EXPECT_EQ(psl.public_suffix(*Domain::parse("bar.foo.ck")), "foo.ck");
+  EXPECT_EQ(psl.registrable_domain(*Domain::parse("baz.bar.foo.ck"))->name(),
+            "bar.foo.ck");
+  // "!www.ck" overrides the wildcard: www.ck itself is registrable.
+  EXPECT_EQ(psl.registrable_domain(*Domain::parse("www.ck"))->name(), "www.ck");
+  EXPECT_EQ(psl.public_suffix(*Domain::parse("www.ck")), "ck");
+}
+
+TEST(Psl, FallbackRuleIsTld) {
+  const PublicSuffixList empty;
+  EXPECT_EQ(empty.public_suffix(*Domain::parse("a.b.unknowntld")), "unknowntld");
+}
+
+TEST(Psl, LabelsLeftOfSuffix) {
+  const auto psl = PublicSuffixList::builtin();
+  // Keep the Domain alive: the returned labels are views into its storage.
+  const Domain domain = *Domain::parse("companyvpn3.example.com");
+  const auto left = psl.labels_left_of_suffix(domain);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_EQ(left[0], "companyvpn3");
+  EXPECT_EQ(left[1], "example");
+}
+
+TEST(Psl, LoadIgnoresCommentsAndBlank) {
+  PublicSuffixList psl;
+  psl.load("// comment\n\nfoo\n!bar.foo\n*.baz\n");
+  EXPECT_EQ(psl.rule_count(), 3u);
+}
+
+// --- Corpus + VPN finder -----------------------------------------------------
+
+class CorpusTest : public ::testing::Test {
+ protected:
+  CorpusTest() : corpus_(generate_corpus(config())) {}
+
+  static CorpusConfig config() {
+    CorpusConfig c;
+    c.seed = 99;
+    c.organizations = 2000;
+    return c;
+  }
+  SyntheticCorpus corpus_;
+};
+
+TEST_F(CorpusTest, GeneratesGroundTruthPopulations) {
+  EXPECT_GT(corpus_.domains.size(), 2000u);
+  EXPECT_GT(corpus_.vpn_gateway_ips.size(), 300u);
+  EXPECT_GT(corpus_.www_shared_vpn_ips.size(), 30u);
+  EXPECT_GT(corpus_.portonly_vpn_ips.size(), 30u);
+  EXPECT_EQ(corpus_.dns.size(), corpus_.domains.size());
+}
+
+TEST_F(CorpusTest, IsDeterministic) {
+  const SyntheticCorpus again = generate_corpus(config());
+  EXPECT_EQ(again.domains.size(), corpus_.domains.size());
+  EXPECT_EQ(again.vpn_gateway_ips, corpus_.vpn_gateway_ips);
+}
+
+TEST_F(CorpusTest, FinderRecoversGatewaysAndAppliesWwwRule) {
+  const auto psl = PublicSuffixList::builtin();
+  const VpnCandidateFinder finder(psl);
+  const auto result = finder.find(corpus_.domains, corpus_.dns);
+
+  // Every dedicated-IP gateway must be found...
+  for (const auto& ip : corpus_.vpn_gateway_ips) {
+    EXPECT_TRUE(result.candidate_ips.contains(ip)) << ip.to_string();
+  }
+  // ...and every www-shared address must have been eliminated.
+  for (const auto& ip : corpus_.www_shared_vpn_ips) {
+    EXPECT_FALSE(result.candidate_ips.contains(ip)) << ip.to_string();
+  }
+  // Port-only VPNs are invisible to the domain method (the paper's point
+  // about undercounting works in both directions).
+  for (const auto& ip : corpus_.portonly_vpn_ips) {
+    EXPECT_FALSE(result.candidate_ips.contains(ip));
+  }
+  EXPECT_EQ(result.eliminated_shared_ips, corpus_.www_shared_vpn_ips.size());
+  EXPECT_GT(result.matched_domains, 0u);
+  EXPECT_EQ(result.candidate_ips.size(),
+            result.resolved_ips - result.eliminated_shared_ips);
+}
+
+TEST(VpnFinder, MatchSemantics) {
+  const auto psl = PublicSuffixList::builtin();
+  const VpnCandidateFinder finder(psl);
+  const auto match = [&](const char* name) {
+    return finder.matches(*Domain::parse(name));
+  };
+  EXPECT_TRUE(match("vpn.example.com"));
+  EXPECT_TRUE(match("companyvpn3.example.com"));
+  EXPECT_TRUE(match("host.vpn-pool.example.com"));  // any label left of suffix
+  EXPECT_FALSE(match("www.example.com"));  // www excluded
+  EXPECT_FALSE(match("example.com"));
+}
+
+TEST(VpnFinder, RegistrableVpnLabelMatches) {
+  const auto psl = PublicSuffixList::builtin();
+  const VpnCandidateFinder finder(psl);
+  EXPECT_TRUE(finder.matches(*Domain::parse("vpn.com")));
+  EXPECT_TRUE(finder.matches(*Domain::parse("openvpn-docs.acme.org")));
+  EXPECT_FALSE(finder.matches(*Domain::parse("vp-n.acme.org")));
+}
+
+TEST(VpnFinder, WwwCollisionElimination) {
+  const auto psl = PublicSuffixList::builtin();
+  DnsDb db;
+  const auto shared_ip = *net::IpAddress::parse("203.0.113.10");
+  const auto dedicated_ip = *net::IpAddress::parse("203.0.113.11");
+  db.add(*Domain::parse("www.acme.com"), shared_ip);
+  db.add(*Domain::parse("vpn.acme.com"), shared_ip);      // collides
+  db.add(*Domain::parse("vpn2.acme.com"), dedicated_ip);  // dedicated
+
+  const std::vector<Domain> corpus = {*Domain::parse("www.acme.com"),
+                                      *Domain::parse("vpn.acme.com"),
+                                      *Domain::parse("vpn2.acme.com")};
+  const VpnCandidateFinder finder(psl);
+  const auto result = finder.find(corpus, db);
+  EXPECT_FALSE(result.candidate_ips.contains(shared_ip));
+  EXPECT_TRUE(result.candidate_ips.contains(dedicated_ip));
+  EXPECT_EQ(result.matched_domains, 2u);
+  EXPECT_EQ(result.eliminated_shared_ips, 1u);
+}
+
+}  // namespace
+}  // namespace lockdown::dns

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "flow/anonymizer.hpp"
+#include "flow/sampler.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::flow {
+namespace {
+
+using net::Ipv4Address;
+using net::Ipv6Address;
+
+TEST(Anonymizer, DeterministicPerKey) {
+  const Anonymizer a({1, 2}, AnonymizationMode::kFullHash);
+  const Anonymizer b({1, 2}, AnonymizationMode::kFullHash);
+  const Anonymizer c({1, 3}, AnonymizationMode::kFullHash);
+  const Ipv4Address addr(192, 0, 2, 7);
+  EXPECT_EQ(a.anonymize(addr), b.anonymize(addr));
+  EXPECT_NE(a.anonymize(addr), c.anonymize(addr));
+}
+
+TEST(Anonymizer, FullHashChangesAddress) {
+  const Anonymizer a({1, 2}, AnonymizationMode::kFullHash);
+  const Ipv4Address addr(10, 1, 2, 3);
+  EXPECT_NE(a.anonymize(addr), addr);
+}
+
+TEST(Anonymizer, FullHashIsCollisionFree) {
+  // The v4 full-hash mode is a keyed Feistel bijection: distinct inputs
+  // can never collide (exact unique-IP counting on anonymized traces).
+  const Anonymizer a({0x1234, 0x5678}, AnonymizationMode::kFullHash);
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    const auto out = a.anonymize(Ipv4Address(0x0a000000 + i * 13));
+    EXPECT_TRUE(seen.insert(out.value()).second) << "collision at " << i;
+  }
+}
+
+TEST(Anonymizer, V6Deterministic) {
+  const Anonymizer a({9, 9}, AnonymizationMode::kFullHash);
+  const auto addr = Ipv6Address::from_halves(0x20010db8, 42);
+  EXPECT_EQ(a.anonymize(addr), a.anonymize(addr));
+  EXPECT_NE(a.anonymize(addr), addr);
+}
+
+TEST(Anonymizer, RecordAnonymizesBothEndpoints) {
+  const Anonymizer a({1, 2}, AnonymizationMode::kFullHash);
+  FlowRecord r;
+  r.src_addr = Ipv4Address(10, 0, 0, 1);
+  r.dst_addr = Ipv4Address(10, 0, 0, 2);
+  r.bytes = 1234;
+  const FlowRecord orig = r;
+  a.anonymize(r);
+  EXPECT_NE(r.src_addr, orig.src_addr);
+  EXPECT_NE(r.dst_addr, orig.dst_addr);
+  EXPECT_EQ(r.bytes, orig.bytes);  // counters untouched
+}
+
+namespace {
+int common_prefix_len(std::uint32_t a, std::uint32_t b) {
+  for (int i = 0; i < 32; ++i) {
+    if (((a ^ b) >> (31 - i)) & 1) return i;
+  }
+  return 32;
+}
+}  // namespace
+
+class PrefixPreservingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixPreservingProperty, PreservesCommonPrefixLengthExactly) {
+  const Anonymizer anon({GetParam(), ~GetParam()},
+                        AnonymizationMode::kPrefixPreserving);
+  util::Rng rng(GetParam());
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto a = static_cast<std::uint32_t>(rng.engine()());
+    // Mutate a at a random bit position to control the shared prefix.
+    const int flip = static_cast<int>(rng.uniform_u64(32));
+    const std::uint32_t b = a ^ (1u << (31 - flip));
+    const auto ea = anon.anonymize(Ipv4Address(a)).value();
+    const auto eb = anon.anonymize(Ipv4Address(b)).value();
+    EXPECT_EQ(common_prefix_len(ea, eb), common_prefix_len(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Keys, PrefixPreservingProperty,
+                         ::testing::Values(1, 22, 333, 4444));
+
+// --- samplers ----------------------------------------------------------------
+
+FlowRecord record_with_bytes(std::uint64_t bytes, std::uint64_t salt) {
+  FlowRecord r;
+  r.src_addr = Ipv4Address(static_cast<std::uint32_t>(0x0a000000 + salt));
+  r.dst_addr = Ipv4Address(static_cast<std::uint32_t>(0x0b000000 + salt * 3));
+  r.src_port = static_cast<std::uint16_t>(30000 + salt % 1000);
+  r.dst_port = 443;
+  r.bytes = bytes;
+  r.packets = bytes / 1000 + 1;
+  r.first = net::Timestamp(static_cast<std::int64_t>(1000000 + salt));
+  return r;
+}
+
+TEST(SystematicSampler, UnbiasedVolume) {
+  SystematicSampler sampler(10);
+  std::uint64_t raw = 0, sampled = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    const auto r = record_with_bytes(1000, i);
+    raw += r.bytes;
+    if (const auto kept = sampler.offer(r)) sampled += kept->bytes;
+  }
+  EXPECT_EQ(sampled, raw);  // constant sizes: exact with 1:10 systematic
+}
+
+TEST(SystematicSampler, IntervalOneKeepsAll) {
+  SystematicSampler sampler(1);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(sampler.offer(record_with_bytes(10, i)).has_value());
+  }
+}
+
+TEST(SystematicSampler, ZeroIntervalIsSanitized) {
+  SystematicSampler sampler(0);
+  EXPECT_EQ(sampler.interval(), 1u);
+}
+
+TEST(ProbabilisticSampler, ApproximatelyUnbiased) {
+  const ProbabilisticSampler sampler(0.25, 99);
+  double raw = 0, est = 0;
+  std::size_t kept = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    const auto r = record_with_bytes(1000 + i % 500, i);
+    raw += static_cast<double>(r.bytes);
+    if (const auto k = sampler.offer(r)) {
+      est += static_cast<double>(k->bytes);
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / kN, 0.25, 0.01);
+  EXPECT_NEAR(est / raw, 1.0, 0.03);
+}
+
+TEST(ProbabilisticSampler, DecisionIsOrderIndependent) {
+  const ProbabilisticSampler sampler(0.5, 7);
+  const auto r1 = record_with_bytes(100, 1);
+  const auto r2 = record_with_bytes(100, 2);
+  const bool keep1 = sampler.offer(r1).has_value();
+  const bool keep2 = sampler.offer(r2).has_value();
+  // Same decisions in any order, any number of times.
+  EXPECT_EQ(sampler.offer(r2).has_value(), keep2);
+  EXPECT_EQ(sampler.offer(r1).has_value(), keep1);
+}
+
+TEST(ProbabilisticSampler, ExtremesClamp) {
+  const ProbabilisticSampler all(1.5, 1);
+  const ProbabilisticSampler none(-0.5, 1);
+  EXPECT_TRUE(all.offer(record_with_bytes(1, 0)).has_value());
+  EXPECT_FALSE(none.offer(record_with_bytes(1, 0)).has_value());
+}
+
+}  // namespace
+}  // namespace lockdown::flow

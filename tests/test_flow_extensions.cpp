@@ -1,0 +1,270 @@
+// Tests for the flow-layer extensions: biflow stitching (RFC 5103 flavor),
+// the binary trace-file format, and the loopback UDP transport.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "flow/biflow.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/trace_file.hpp"
+#include "flow/udp_transport.hpp"
+#include "synth/as_registry.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/vantage.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::flow {
+namespace {
+
+using net::Asn;
+using net::Date;
+using net::Ipv4Address;
+using net::Timestamp;
+
+FlowRecord request_flow(std::uint64_t id, Timestamp t) {
+  FlowRecord r;
+  r.src_addr = Ipv4Address(static_cast<std::uint32_t>(0x0a000000 + id));
+  r.dst_addr = Ipv4Address(static_cast<std::uint32_t>(0x65000000 + id));
+  r.src_port = static_cast<std::uint16_t>(40000 + id % 1000);
+  r.dst_port = 443;
+  r.protocol = IpProtocol::kTcp;
+  r.bytes = 500;
+  r.packets = 5;
+  r.first = t;
+  r.last = t.plus(10);
+  r.src_as = Asn(64700);
+  r.dst_as = Asn(15169);
+  return r;
+}
+
+FlowRecord reverse_of(const FlowRecord& r, std::uint64_t bytes) {
+  FlowRecord rev = r;
+  std::swap(rev.src_addr, rev.dst_addr);
+  std::swap(rev.src_port, rev.dst_port);
+  std::swap(rev.src_as, rev.dst_as);
+  rev.bytes = bytes;
+  return rev;
+}
+
+// --- BiflowStitcher ------------------------------------------------------------
+
+TEST(Biflow, PairsRequestAndResponse) {
+  std::vector<Biflow> out;
+  BiflowStitcher stitcher([&](const Biflow& b) { out.push_back(b); });
+
+  const auto req = request_flow(1, Timestamp(1000));
+  stitcher.add(req);
+  EXPECT_TRUE(out.empty());
+  stitcher.add(reverse_of(req, 90000));
+
+  ASSERT_EQ(out.size(), 1u);
+  const Biflow& b = out[0];
+  EXPECT_FALSE(b.one_sided);
+  EXPECT_EQ(b.client_addr, req.src_addr);
+  EXPECT_EQ(b.server_addr, req.dst_addr);
+  EXPECT_EQ(b.server_port, 443);
+  EXPECT_EQ(b.forward_bytes, 500u);
+  EXPECT_EQ(b.reverse_bytes, 90000u);
+  EXPECT_EQ(b.client_as, Asn(64700));
+  EXPECT_EQ(b.server_as, Asn(15169));
+  EXPECT_EQ(stitcher.paired(), 1u);
+  EXPECT_EQ(stitcher.pending(), 0u);
+}
+
+TEST(Biflow, OrientationIndependentOfArrivalOrder) {
+  std::vector<Biflow> out;
+  BiflowStitcher stitcher([&](const Biflow& b) { out.push_back(b); });
+  const auto req = request_flow(2, Timestamp(2000));
+  // Response first, request second.
+  stitcher.add(reverse_of(req, 7777));
+  stitcher.add(req);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].client_addr, req.src_addr);  // still client-oriented
+  EXPECT_EQ(out[0].reverse_bytes, 7777u);
+}
+
+TEST(Biflow, WindowPreventsCrossConnectionPairing) {
+  std::vector<Biflow> out;
+  BiflowStitcher stitcher([&](const Biflow& b) { out.push_back(b); }, 60);
+  const auto req = request_flow(3, Timestamp(1000));
+  auto late_rev = reverse_of(req, 100);
+  late_rev.first = Timestamp(1000 + 600);  // outside the 60s window
+  stitcher.add(req);
+  stitcher.add(late_rev);
+  EXPECT_EQ(stitcher.paired(), 0u);
+  stitcher.flush();
+  EXPECT_EQ(out.size(), 2u);
+  for (const auto& b : out) EXPECT_TRUE(b.one_sided);
+}
+
+TEST(Biflow, FlushEmitsOneSidedWithServerOrientation) {
+  std::vector<Biflow> out;
+  BiflowStitcher stitcher([&](const Biflow& b) { out.push_back(b); });
+  const auto req = request_flow(4, Timestamp(1000));
+  stitcher.add(reverse_of(req, 4242));  // lone response
+  stitcher.flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].one_sided);
+  // Even a lone response identifies the server on the low-port side.
+  EXPECT_EQ(out[0].server_port, 443);
+  EXPECT_EQ(out[0].reverse_bytes, 4242u);
+  EXPECT_EQ(out[0].forward_bytes, 0u);
+}
+
+TEST(Biflow, StitchesSynthesizedTrafficNearCompletely) {
+  // The synthesizer emits request+response per connection; nearly every
+  // record must pair up (active-timeout splits of giant flows may not).
+  const auto reg = synth::AsRegistry::create_default();
+  const auto isp = synth::build_vantage(synth::VantagePointId::kIspCe, reg,
+                                        {.seed = 42, .enterprise_transit = false});
+  const synth::FlowSynthesizer synth(isp.model, reg, {.connections_per_hour = 400});
+
+  std::size_t biflows = 0, one_sided = 0;
+  BiflowStitcher stitcher([&](const Biflow& b) {
+    ++biflows;
+    one_sided += b.one_sided ? 1 : 0;
+  });
+  std::size_t records = 0;
+  synth.synthesize(net::TimeRange::day_of(Date(2020, 3, 25)),
+                   [&](const FlowRecord& r) {
+                     ++records;
+                     stitcher.add(r);
+                   });
+  stitcher.flush();
+  EXPECT_GT(biflows, records / 3);
+  EXPECT_LT(static_cast<double>(one_sided) / biflows, 0.02);
+}
+
+// --- trace file -----------------------------------------------------------------
+
+TEST(TraceFile, RoundTripMixedFamilies) {
+  TraceWriter writer;
+  std::vector<FlowRecord> records;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    auto r = request_flow(i, Timestamp(5000 + static_cast<std::int64_t>(i)));
+    if (i % 4 == 0) {
+      r.src_addr = net::Ipv6Address::from_halves(0x20010db8, i);
+      r.dst_addr = net::Ipv6Address::from_halves(0x20010db8, 1000 + i);
+    }
+    records.push_back(r);
+    writer.append(r);
+  }
+  EXPECT_EQ(writer.records_written(), 100u);
+  const auto image = writer.finish();
+  EXPECT_EQ(writer.records_written(), 0u);  // reusable
+
+  const auto result = read_trace(image);
+  ASSERT_TRUE(result);
+  EXPECT_FALSE(result->truncated);
+  ASSERT_EQ(result->records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(result->records[i], records[i]) << i;
+  }
+}
+
+TEST(TraceFile, RejectsBadHeader) {
+  std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  EXPECT_FALSE(read_trace(junk));
+  TraceWriter writer;
+  writer.append(request_flow(1, Timestamp(1)));
+  auto image = writer.finish();
+  image[5] = 99;  // version
+  EXPECT_FALSE(read_trace(image));
+}
+
+TEST(TraceFile, TruncationReturnsPrefix) {
+  TraceWriter writer;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    writer.append(request_flow(i, Timestamp(100)));
+  }
+  const auto image = writer.finish();
+  const std::span<const std::uint8_t> cut(image.data(), image.size() - 20);
+  const auto result = read_trace(cut);
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->truncated);
+  EXPECT_EQ(result->records.size(), 9u);
+}
+
+TEST(TraceFile, DiskRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lockdown_trace_test.lft").string();
+  TraceWriter writer;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    writer.append(request_flow(i, Timestamp(9000)));
+  }
+  ASSERT_TRUE(writer.write_file(path));
+  const auto result = read_trace_file(path);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->records.size(), 50u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_trace_file(path));  // gone
+}
+
+// --- UDP transport ---------------------------------------------------------------
+
+TEST(UdpTransport, LoopbackDatagramDelivery) {
+  auto collector = UdpCollectorTransport::create();
+  ASSERT_TRUE(collector);
+  ASSERT_NE(collector->port(), 0);
+  auto exporter = UdpExporterTransport::create(collector->port());
+  ASSERT_TRUE(exporter);
+
+  const std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {4, 5, 6, 7};
+  exporter->send(a);
+  exporter->send(b);
+  EXPECT_EQ(exporter->sent(), 2u);
+  EXPECT_EQ(exporter->dropped(), 0u);
+
+  std::vector<std::vector<std::uint8_t>> received;
+  // Loopback delivery is immediate but give the kernel a few polls.
+  for (int i = 0; i < 100 && received.size() < 2; ++i) {
+    (void)collector->drain([&](std::span<const std::uint8_t> d) {
+      received.emplace_back(d.begin(), d.end());
+    });
+  }
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], a);  // datagram boundaries preserved
+  EXPECT_EQ(received[1], b);
+}
+
+TEST(UdpTransport, NetflowOverRealSockets) {
+  // Full path: synthesize -> encode v5 -> UDP loopback -> decode -> verify.
+  auto collector_transport = UdpCollectorTransport::create();
+  ASSERT_TRUE(collector_transport);
+  auto exporter_transport = UdpExporterTransport::create(collector_transport->port());
+  ASSERT_TRUE(exporter_transport);
+
+  std::vector<FlowRecord> sent_records;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    sent_records.push_back(request_flow(i, Timestamp(77777)));
+  }
+  NetflowV5Encoder encoder;
+  for (const auto& packet : encoder.encode(sent_records, Timestamp(80000))) {
+    exporter_transport->send(packet);
+  }
+
+  std::vector<FlowRecord> got;
+  Collector collector(ExportProtocol::kNetflowV5,
+                      [&](const FlowRecord& r) { got.push_back(r); });
+  for (int i = 0; i < 200 && got.size() < sent_records.size(); ++i) {
+    (void)collector_transport->drain(
+        [&](std::span<const std::uint8_t> d) { collector.ingest(d); });
+  }
+  ASSERT_EQ(got.size(), sent_records.size());
+  EXPECT_EQ(collector.stats().malformed_packets, 0u);
+  std::uint64_t want = 0, have = 0;
+  for (const auto& r : sent_records) want += r.bytes;
+  for (const auto& r : got) have += r.bytes;
+  EXPECT_EQ(want, have);
+}
+
+TEST(UdpTransport, DrainOnEmptyQueueReturnsZero) {
+  auto collector = UdpCollectorTransport::create();
+  ASSERT_TRUE(collector);
+  EXPECT_EQ(collector->drain([](std::span<const std::uint8_t>) {}), 0u);
+}
+
+}  // namespace
+}  // namespace lockdown::flow

@@ -1,0 +1,181 @@
+// Exhaustive foundation checks: the 2020 civil calendar against an
+// independent algorithm, wire buffer invariants, and FlowRecord port
+// semantics. These underpin every figure -- a single mis-binned hour
+// would silently skew a diurnal profile.
+#include <gtest/gtest.h>
+
+#include "flow/flow_record.hpp"
+#include "flow/wire.hpp"
+#include "net/civil_time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lockdown {
+namespace {
+
+using net::Date;
+using net::Timestamp;
+using net::Weekday;
+
+// --- civil time, exhaustively over 2020 ----------------------------------------
+
+/// Independent weekday computation (Sakamoto's method), for cross-checking
+/// the Hinnant-style algorithm used by net::Date.
+Weekday sakamoto_weekday(int y, unsigned m, unsigned d) {
+  static const int t[] = {0, 3, 2, 5, 0, 3, 5, 1, 4, 6, 2, 4};
+  if (m < 3) y -= 1;
+  const int dow_sun0 =
+      (y + y / 4 - y / 100 + y / 400 + t[m - 1] + static_cast<int>(d)) % 7;
+  // Sakamoto: 0 = Sunday; our enum: 0 = Monday.
+  return static_cast<Weekday>((dow_sun0 + 6) % 7);
+}
+
+TEST(CivilTime2020, WeekdaysMatchIndependentAlgorithmAllYear) {
+  for (Date d(2020, 1, 1); d < Date(2021, 1, 1); d = d.plus_days(1)) {
+    EXPECT_EQ(d.weekday(), sakamoto_weekday(d.year(), d.month(), d.day()))
+        << d.to_string();
+  }
+}
+
+TEST(CivilTime2020, DaysFromEpochIsStrictlySequential) {
+  std::int64_t prev = Date(2019, 12, 31).days_from_epoch();
+  for (Date d(2020, 1, 1); d < Date(2021, 1, 1); d = d.plus_days(1)) {
+    EXPECT_EQ(d.days_from_epoch(), prev + 1) << d.to_string();
+    prev = d.days_from_epoch();
+  }
+}
+
+TEST(CivilTime2020, PaperWeeksPartitionTheYear) {
+  // Every day belongs to exactly one paper week; weeks are 7 consecutive
+  // days; week numbers are non-decreasing.
+  unsigned prev_week = 1;
+  int days_in_week = 0;
+  for (Date d(2020, 1, 1); d < Date(2021, 1, 1); d = d.plus_days(1)) {
+    const unsigned w = d.paper_week();
+    if (w == prev_week) {
+      ++days_in_week;
+      ASSERT_LE(days_in_week, 7) << d.to_string();
+    } else {
+      EXPECT_EQ(w, prev_week + 1) << d.to_string();
+      EXPECT_EQ(days_in_week, 7) << d.to_string();
+      prev_week = w;
+      days_in_week = 1;
+    }
+  }
+}
+
+TEST(CivilTime2020, BucketStartIsIdempotentAndContains) {
+  using stats::Bucket;
+  for (std::int64_t s = Timestamp::from_date(Date(2020, 3, 28)).seconds();
+       s < Timestamp::from_date(Date(2020, 3, 31)).seconds(); s += 977) {
+    const Timestamp t(s);
+    for (const Bucket b : {Bucket::kHour, Bucket::kSixHours, Bucket::kDay,
+                           Bucket::kWeek}) {
+      const Timestamp start = stats::bucket_start(t, b);
+      EXPECT_LE(start, t);
+      EXPECT_EQ(stats::bucket_start(start, b), start);  // idempotent
+    }
+  }
+}
+
+TEST(CivilTime2020, HourDecompositionRoundTrips) {
+  for (unsigned h = 0; h < 24; ++h) {
+    for (unsigned m : {0u, 13u, 59u}) {
+      const Timestamp t = Timestamp::from_date(Date(2020, 6, 15), h, m);
+      EXPECT_EQ(t.hour_of_day(), h);
+      EXPECT_EQ(t.date(), Date(2020, 6, 15));
+    }
+  }
+}
+
+// --- wire buffers -----------------------------------------------------------------
+
+TEST(Wire, WriterRoundTripsThroughReader) {
+  flow::WireWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  const auto buf = w.take();
+  ASSERT_EQ(buf.size(), 15u);
+
+  flow::WireReader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, BigEndianOnTheWire) {
+  flow::WireWriter w;
+  w.u16(0x0102);
+  const auto buf = w.data();
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(Wire, ReaderFailureIsSticky) {
+  const std::vector<std::uint8_t> two = {1, 2};
+  flow::WireReader r(two);
+  // u32 = two u16 reads; the second runs past the end and trips the flag
+  // (the partial value is unspecified -- callers must check failed()).
+  (void)r.u32();
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.u8(), 0u);  // still failed, even though a byte "exists"
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Wire, SubReaderIsBounded) {
+  const std::vector<std::uint8_t> buf = {1, 2, 3, 4, 5};
+  flow::WireReader r(buf);
+  auto sub = r.sub(3);
+  EXPECT_EQ(sub.u8(), 1);
+  EXPECT_EQ(sub.u16(), 0x0203);
+  EXPECT_EQ(sub.u8(), 0u);  // sub-reader exhausted
+  EXPECT_TRUE(sub.failed());
+  EXPECT_EQ(r.u8(), 4);  // parent continues after the sub-span
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Wire, PatchRewritesInPlace) {
+  flow::WireWriter w;
+  w.u16(0);
+  w.u32(7);
+  w.patch_u16(0, 0xbeef);
+  flow::WireReader r(w.data());
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 7u);
+}
+
+// --- FlowRecord port semantics ------------------------------------------------------
+
+TEST(FlowRecordPorts, ServicePortPicksLowerNonZero) {
+  flow::FlowRecord r;
+  r.protocol = flow::IpProtocol::kTcp;
+  r.src_port = 51234;
+  r.dst_port = 443;
+  EXPECT_EQ(r.service_port(), (flow::PortKey{flow::IpProtocol::kTcp, 443}));
+  std::swap(r.src_port, r.dst_port);  // response direction
+  EXPECT_EQ(r.service_port(), (flow::PortKey{flow::IpProtocol::kTcp, 443}));
+}
+
+TEST(FlowRecordPorts, PortlessProtocolsIgnorePorts) {
+  flow::FlowRecord r;
+  r.protocol = flow::IpProtocol::kEsp;
+  r.src_port = 1;
+  r.dst_port = 2;
+  EXPECT_EQ(r.service_port(), (flow::PortKey{flow::IpProtocol::kEsp, 0}));
+  EXPECT_EQ(r.service_port().to_string(), "ESP");
+}
+
+TEST(FlowRecordPorts, ZeroPortFallsBackToOther) {
+  flow::FlowRecord r;
+  r.protocol = flow::IpProtocol::kUdp;
+  r.src_port = 0;
+  r.dst_port = 4500;
+  EXPECT_EQ(r.service_port(), (flow::PortKey{flow::IpProtocol::kUdp, 4500}));
+}
+
+}  // namespace
+}  // namespace lockdown

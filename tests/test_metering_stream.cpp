@@ -1,0 +1,275 @@
+// Tests for the metering process (packets -> flow records) and the IPFIX
+// stream reassembler (RFC 7011 over TCP).
+#include <gtest/gtest.h>
+
+#include "flow/ipfix.hpp"
+#include "flow/ipfix_stream.hpp"
+#include "flow/metering.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::flow {
+namespace {
+
+using net::Ipv4Address;
+using net::Timestamp;
+
+PacketObservation packet(std::uint32_t src, std::uint16_t sport, Timestamp t,
+                         std::uint32_t bytes = 1000) {
+  PacketObservation p;
+  p.src_addr = Ipv4Address(src);
+  p.dst_addr = Ipv4Address(0x65000001);
+  p.src_port = sport;
+  p.dst_port = 443;
+  p.protocol = IpProtocol::kTcp;
+  p.tcp_flags = 0x10;
+  p.bytes = bytes;
+  p.timestamp = t;
+  return p;
+}
+
+// --- MeteringCache -------------------------------------------------------------
+
+TEST(Metering, AggregatesPacketsIntoOneFlow) {
+  std::vector<FlowRecord> out;
+  MeteringCache cache({}, [&](const FlowRecord& r) { out.push_back(r); });
+  for (int i = 0; i < 5; ++i) {
+    cache.observe(packet(0x0a000001, 40000, Timestamp(1000 + i), 100 + i));
+  }
+  EXPECT_TRUE(out.empty());
+  cache.flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].packets, 5u);
+  EXPECT_EQ(out[0].bytes, 100u + 101 + 102 + 103 + 104);
+  EXPECT_EQ(out[0].first.seconds(), 1000);
+  EXPECT_EQ(out[0].last.seconds(), 1004);
+}
+
+TEST(Metering, IdleTimeoutExportsFlow) {
+  std::vector<FlowRecord> out;
+  MeteringCache cache({.idle_timeout_seconds = 15},
+                      [&](const FlowRecord& r) { out.push_back(r); });
+  cache.observe(packet(0x0a000001, 40000, Timestamp(1000)));
+  // Next packet (different flow) 20s later triggers the idle expiry.
+  cache.observe(packet(0x0a000002, 40001, Timestamp(1020)));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].src_addr, net::IpAddress(Ipv4Address(0x0a000001)));
+  EXPECT_EQ(cache.stats().idle_expirations, 1u);
+}
+
+TEST(Metering, ActiveTimeoutSplitsLongFlows) {
+  std::vector<FlowRecord> out;
+  MeteringCache cache({.idle_timeout_seconds = 3600, .active_timeout_seconds = 60},
+                      [&](const FlowRecord& r) { out.push_back(r); });
+  // One packet every 10 seconds for 5 minutes: a single long-lived flow.
+  for (int i = 0; i <= 30; ++i) {
+    cache.observe(packet(0x0a000001, 40000, Timestamp(1000 + i * 10)));
+  }
+  cache.flush();
+  // Split at the active timeout into several records; counters add up.
+  EXPECT_GE(out.size(), 4u);
+  std::uint64_t total_packets = 0;
+  for (const auto& r : out) {
+    total_packets += r.packets;
+    EXPECT_LE(r.last.seconds() - r.first.seconds(), 60);
+  }
+  EXPECT_EQ(total_packets, 31u);
+  EXPECT_GE(cache.stats().active_expirations, 4u);
+}
+
+TEST(Metering, CachePressureEvictsOldest) {
+  std::vector<FlowRecord> out;
+  MeteringCache cache({.idle_timeout_seconds = 3600,
+                       .active_timeout_seconds = 3600, .cache_entries = 4},
+                      [&](const FlowRecord& r) { out.push_back(r); });
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    cache.observe(packet(0x0a000000 + i, 40000, Timestamp(1000 + i)));
+  }
+  EXPECT_EQ(cache.cached_flows(), 4u);
+  EXPECT_EQ(cache.stats().cache_evictions, 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].src_addr, net::IpAddress(Ipv4Address(0x0a000000)));  // oldest
+}
+
+TEST(Metering, RejectsTimeTravel) {
+  MeteringCache cache({}, [](const FlowRecord&) {});
+  cache.observe(packet(1, 1, Timestamp(1000)));
+  EXPECT_THROW(cache.observe(packet(2, 2, Timestamp(999))), std::invalid_argument);
+}
+
+TEST(Metering, RejectsBadConfig) {
+  EXPECT_THROW(MeteringCache({.idle_timeout_seconds = 0}, [](const FlowRecord&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(MeteringCache({.cache_entries = 0}, [](const FlowRecord&) {}),
+               std::invalid_argument);
+}
+
+TEST(Metering, TcpFlagsAccumulate) {
+  std::vector<FlowRecord> out;
+  MeteringCache cache({}, [&](const FlowRecord& r) { out.push_back(r); });
+  auto syn = packet(1, 40000, Timestamp(1000));
+  syn.tcp_flags = 0x02;
+  auto fin = packet(1, 40000, Timestamp(1001));
+  fin.tcp_flags = 0x11;
+  cache.observe(syn);
+  cache.observe(fin);
+  cache.flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].tcp_flags, 0x13);  // SYN | FIN | ACK union
+}
+
+TEST(Metering, ConservesBytesUnderAnyConfig) {
+  util::Rng rng(17);
+  for (const std::size_t cache_size : {8ull, 64ull, 4096ull}) {
+    std::uint64_t exported = 0;
+    MeteringCache cache({.idle_timeout_seconds = 5, .active_timeout_seconds = 30,
+                         .cache_entries = cache_size},
+                        [&](const FlowRecord& r) { exported += r.bytes; });
+    std::uint64_t observed = 0;
+    for (int i = 0; i < 20000; ++i) {
+      const auto p = packet(
+          static_cast<std::uint32_t>(0x0a000000 + rng.uniform_u64(300)),
+          static_cast<std::uint16_t>(40000 + rng.uniform_u64(50)),
+          Timestamp(1000 + i / 10), static_cast<std::uint32_t>(rng.uniform_u64(1500)));
+      observed += p.bytes;
+      cache.observe(p);
+    }
+    cache.flush();
+    EXPECT_EQ(exported, observed) << "cache " << cache_size;
+  }
+}
+
+// --- IpfixStreamReassembler ------------------------------------------------------
+
+std::vector<std::uint8_t> message_stream(std::size_t n_messages,
+                                         std::vector<std::vector<std::uint8_t>>* out) {
+  IpfixEncoder enc(9);
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < n_messages; ++i) {
+    FlowRecord r;
+    r.src_addr = Ipv4Address(static_cast<std::uint32_t>(0x0a000000 + i));
+    r.dst_addr = Ipv4Address(0x65000001);
+    r.src_port = 40000;
+    r.dst_port = 443;
+    r.bytes = 100 + i;
+    r.packets = 1;
+    r.first = Timestamp(static_cast<std::int64_t>(5000 + i));
+    r.last = r.first;
+    const std::vector<FlowRecord> batch = {r};
+    for (auto& msg : enc.encode(batch, Timestamp(6000))) {
+      stream.insert(stream.end(), msg.begin(), msg.end());
+      if (out != nullptr) out->push_back(std::move(msg));
+    }
+  }
+  return stream;
+}
+
+class ReassemblerChunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ReassemblerChunking, AnyChunkingYieldsIdenticalMessages) {
+  std::vector<std::vector<std::uint8_t>> originals;
+  const auto stream = message_stream(12, &originals);
+
+  std::vector<std::vector<std::uint8_t>> received;
+  IpfixStreamReassembler reasm([&](std::span<const std::uint8_t> m) {
+    received.emplace_back(m.begin(), m.end());
+  });
+  const std::size_t chunk = GetParam();
+  for (std::size_t off = 0; off < stream.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, stream.size() - off);
+    (void)reasm.feed(std::span<const std::uint8_t>(stream.data() + off, n));
+  }
+  EXPECT_FALSE(reasm.poisoned());
+  EXPECT_EQ(reasm.pending_bytes(), 0u);
+  ASSERT_EQ(received.size(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(received[i], originals[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ReassemblerChunking,
+                         ::testing::Values(1, 2, 3, 7, 16, 100, 1000, 100000));
+
+TEST(Reassembler, DecodesThroughIpfixDecoder) {
+  const auto stream = message_stream(5, nullptr);
+  IpfixDecoder decoder;
+  std::size_t records = 0;
+  IpfixStreamReassembler reasm([&](std::span<const std::uint8_t> m) {
+    const auto msg = decoder.decode(m);
+    ASSERT_TRUE(msg);
+    records += msg->records.size();
+  });
+  (void)reasm.feed(stream);
+  EXPECT_EQ(records, 5u);
+}
+
+TEST(Reassembler, PoisonsOnBadVersion) {
+  IpfixStreamReassembler reasm([](std::span<const std::uint8_t>) { FAIL(); });
+  const std::vector<std::uint8_t> junk = {0x00, 0x05, 0x00, 0x10, 1, 2, 3, 4};
+  EXPECT_EQ(reasm.feed(junk), 0u);
+  EXPECT_TRUE(reasm.poisoned());
+  // Further input is ignored.
+  const auto more = message_stream(1, nullptr);
+  EXPECT_EQ(reasm.feed(more), 0u);
+}
+
+TEST(Reassembler, PoisonsOnAbsurdLength) {
+  IpfixStreamReassembler reasm([](std::span<const std::uint8_t>) { FAIL(); },
+                               /*max_message_bytes=*/512);
+  // Valid version, length 0x7fff > max.
+  const std::vector<std::uint8_t> header = {0x00, 0x0a, 0x7f, 0xff};
+  (void)reasm.feed(header);
+  EXPECT_TRUE(reasm.poisoned());
+}
+
+TEST(Reassembler, PartialHeaderWaits) {
+  IpfixStreamReassembler reasm([](std::span<const std::uint8_t>) {});
+  const std::vector<std::uint8_t> partial = {0x00, 0x0a};
+  EXPECT_EQ(reasm.feed(partial), 0u);
+  EXPECT_FALSE(reasm.poisoned());
+  EXPECT_EQ(reasm.pending_bytes(), 2u);
+}
+
+// --- full chain: packets -> metering -> IPFIX/TCP -> reassembly -> decode --------
+
+TEST(MeteringToStream, FullExportChain) {
+  util::Rng rng(5);
+  // 1. Packets through the metering process.
+  std::vector<FlowRecord> metered;
+  MeteringCache cache({.idle_timeout_seconds = 10, .active_timeout_seconds = 60},
+                      [&](const FlowRecord& r) { metered.push_back(r); });
+  std::uint64_t packet_bytes = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto p = packet(
+        static_cast<std::uint32_t>(0x0a000000 + rng.uniform_u64(100)),
+        static_cast<std::uint16_t>(40000 + rng.uniform_u64(20)),
+        Timestamp(9000 + i / 20), static_cast<std::uint32_t>(rng.uniform_u64(1500)));
+    packet_bytes += p.bytes;
+    cache.observe(p);
+  }
+  cache.flush();
+
+  // 2. Records over IPFIX/TCP framing.
+  IpfixEncoder enc(3);
+  std::vector<std::uint8_t> stream;
+  for (const auto& msg : enc.encode(metered, Timestamp(10000))) {
+    stream.insert(stream.end(), msg.begin(), msg.end());
+  }
+
+  // 3. Reassemble + decode; byte conservation end to end.
+  IpfixDecoder decoder;
+  std::uint64_t decoded_bytes = 0;
+  IpfixStreamReassembler reasm([&](std::span<const std::uint8_t> m) {
+    const auto msg = decoder.decode(m);
+    ASSERT_TRUE(msg);
+    for (const auto& r : msg->records) decoded_bytes += r.bytes;
+  });
+  // Feed in awkward 13-byte chunks.
+  for (std::size_t off = 0; off < stream.size(); off += 13) {
+    (void)reasm.feed(std::span<const std::uint8_t>(
+        stream.data() + off, std::min<std::size_t>(13, stream.size() - off)));
+  }
+  EXPECT_EQ(decoded_bytes, packet_bytes);
+}
+
+}  // namespace
+}  // namespace lockdown::flow

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "net/ip.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::net {
+namespace {
+
+TEST(Ipv4, ParseValid) {
+  const auto a = Ipv4Address::parse("192.0.2.1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->value(), 0xc0000201u);
+  EXPECT_EQ(a->to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4, ParseBoundaries) {
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0"));
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255"));
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  for (const char* bad : {"256.0.0.1", "1.2.3", "1.2.3.4.5", "a.b.c.d",
+                          "1..2.3", "", "1.2.3.4 ", "-1.2.3.4", "1.2.3.0x4"}) {
+    EXPECT_FALSE(Ipv4Address::parse(bad)) << bad;
+  }
+}
+
+TEST(Ipv4, OctetConstructor) {
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1).value(), 0x0a000001u);
+}
+
+TEST(Ipv4, RoundTripProperty) {
+  util::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4Address a(static_cast<std::uint32_t>(rng.engine()()));
+    const auto parsed = Ipv4Address::parse(a.to_string());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(Ipv6, ParseFull) {
+  const auto a = Ipv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(Ipv6, ParseCompressed) {
+  const auto a = Ipv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->high(), 0x20010db800000000ULL);
+  EXPECT_EQ(a->low(), 1u);
+}
+
+TEST(Ipv6, ParseAllZeros) {
+  const auto a = Ipv6Address::parse("::");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->to_string(), "::");
+}
+
+TEST(Ipv6, ParseLeadingCompression) {
+  const auto a = Ipv6Address::parse("::ffff:1");
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->low(), 0xffff0001ULL);
+}
+
+TEST(Ipv6, ParseRejectsMalformed) {
+  for (const char* bad : {"1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9", ":::",
+                          "2001::db8::1", "g::1", "12345::1", ""}) {
+    EXPECT_FALSE(Ipv6Address::parse(bad)) << bad;
+  }
+}
+
+TEST(Ipv6, CompressionPicksLongestZeroRun) {
+  const auto a = Ipv6Address::from_halves(0x0001000000000001ULL, 0x0000000000000001ULL);
+  // 1:0:0:1:0:0:0:1 -> compress the run of three zeros.
+  EXPECT_EQ(a.to_string(), "1:0:0:1::1");
+}
+
+TEST(Ipv6, RoundTripProperty) {
+  util::Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = Ipv6Address::from_halves(rng.engine()(), rng.engine()());
+    const auto parsed = Ipv6Address::parse(a.to_string());
+    ASSERT_TRUE(parsed) << a.to_string();
+    EXPECT_EQ(*parsed, a);
+  }
+}
+
+TEST(IpAddress, ParseDispatch) {
+  const auto v4 = IpAddress::parse("10.1.2.3");
+  ASSERT_TRUE(v4);
+  EXPECT_TRUE(v4->is_v4());
+  const auto v6 = IpAddress::parse("fe80::1");
+  ASSERT_TRUE(v6);
+  EXPECT_TRUE(v6->is_v6());
+}
+
+TEST(IpAddress, OrderingV4BeforeV6) {
+  const IpAddress v4(Ipv4Address(255, 255, 255, 255));
+  const IpAddress v6(Ipv6Address::from_halves(0, 0));
+  EXPECT_LT(v4, v6);
+  EXPECT_FALSE(v4 == v6);
+}
+
+TEST(IpAddress, HashDistinguishes) {
+  IpAddressHash h;
+  EXPECT_NE(h(IpAddress(Ipv4Address(1, 2, 3, 4))),
+            h(IpAddress(Ipv4Address(1, 2, 3, 5))));
+  EXPECT_NE(h(IpAddress(Ipv4Address(0, 0, 0, 0))),
+            h(IpAddress(Ipv6Address::from_halves(0, 0))));
+}
+
+}  // namespace
+}  // namespace lockdown::net

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "net/prefix_trie.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::net {
+namespace {
+
+TEST(Ipv4Prefix, ContainsAddresses) {
+  const Ipv4Prefix p(Ipv4Address(192, 0, 2, 0), 24);
+  EXPECT_TRUE(p.contains(Ipv4Address(192, 0, 2, 1)));
+  EXPECT_TRUE(p.contains(Ipv4Address(192, 0, 2, 255)));
+  EXPECT_FALSE(p.contains(Ipv4Address(192, 0, 3, 0)));
+}
+
+TEST(Ipv4Prefix, RejectsHostBits) {
+  EXPECT_THROW(Ipv4Prefix(Ipv4Address(192, 0, 2, 1), 24), std::invalid_argument);
+  EXPECT_THROW(Ipv4Prefix(Ipv4Address(0, 0, 0, 0), 33), std::invalid_argument);
+}
+
+TEST(Ipv4Prefix, ContainingMasksHostBits) {
+  const auto p = Ipv4Prefix::containing(Ipv4Address(10, 20, 30, 40), 16);
+  EXPECT_EQ(p.network(), Ipv4Address(10, 20, 0, 0));
+}
+
+TEST(Ipv4Prefix, ZeroLengthContainsEverything) {
+  const Ipv4Prefix p(Ipv4Address(0u), 0);
+  EXPECT_TRUE(p.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(p.contains(Ipv4Address(0u)));
+}
+
+TEST(Ipv4Prefix, ParseRoundTrip) {
+  const auto p = Ipv4Prefix::parse("100.64.0.0/10");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->to_string(), "100.64.0.0/10");
+  EXPECT_FALSE(Ipv4Prefix::parse("100.64.0.1/10"));  // host bits
+  EXPECT_FALSE(Ipv4Prefix::parse("100.64.0.0"));
+  EXPECT_FALSE(Ipv4Prefix::parse("100.64.0.0/33"));
+}
+
+TEST(Ipv4Prefix, PrefixContainment) {
+  const Ipv4Prefix big(Ipv4Address(10, 0, 0, 0), 8);
+  const Ipv4Prefix small(Ipv4Address(10, 1, 0, 0), 16);
+  EXPECT_TRUE(big.contains(small));
+  EXPECT_FALSE(small.contains(big));
+}
+
+TEST(Ipv4Prefix, AddressAtWraps) {
+  const Ipv4Prefix p(Ipv4Address(192, 0, 2, 0), 24);
+  EXPECT_EQ(p.address_at(0), Ipv4Address(192, 0, 2, 0));
+  EXPECT_EQ(p.address_at(256), Ipv4Address(192, 0, 2, 0));
+  EXPECT_EQ(p.address_at(257), Ipv4Address(192, 0, 2, 1));
+}
+
+TEST(Ipv6Prefix, ContainsAndParse) {
+  const auto p = Ipv6Prefix::parse("2001:db8::/32");
+  ASSERT_TRUE(p);
+  EXPECT_TRUE(p->contains(*Ipv6Address::parse("2001:db8::42")));
+  EXPECT_FALSE(p->contains(*Ipv6Address::parse("2001:db9::42")));
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::1/32"));  // host bits
+}
+
+// --- trie --------------------------------------------------------------------
+
+TEST(PrefixTrie, LongestMatchWins) {
+  Ipv4PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 8), 1);
+  trie.insert(Ipv4Prefix(Ipv4Address(10, 1, 0, 0), 16), 2);
+  trie.insert(Ipv4Prefix(Ipv4Address(10, 1, 2, 0), 24), 3);
+
+  EXPECT_EQ(trie.lookup(Ipv4Address(10, 9, 9, 9)), 1);
+  EXPECT_EQ(trie.lookup(Ipv4Address(10, 1, 9, 9)), 2);
+  EXPECT_EQ(trie.lookup(Ipv4Address(10, 1, 2, 9)), 3);
+  EXPECT_EQ(trie.lookup(Ipv4Address(11, 0, 0, 0)), std::nullopt);
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesAll) {
+  Ipv4PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Address(0u), 0), 99);
+  EXPECT_EQ(trie.lookup(Ipv4Address(1, 2, 3, 4)), 99);
+}
+
+TEST(PrefixTrie, InsertReplaceReportsExisting) {
+  Ipv4PrefixTrie<int> trie;
+  const Ipv4Prefix p(Ipv4Address(10, 0, 0, 0), 8);
+  EXPECT_FALSE(trie.insert(p, 1));
+  EXPECT_TRUE(trie.insert(p, 2));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.exact(p), 2);
+}
+
+TEST(PrefixTrie, ExactDoesNotCover) {
+  Ipv4PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Address(10, 0, 0, 0), 8), 1);
+  EXPECT_EQ(trie.exact(Ipv4Prefix(Ipv4Address(10, 1, 0, 0), 16)), std::nullopt);
+}
+
+TEST(PrefixTrie, HostRoutes) {
+  Ipv4PrefixTrie<int> trie;
+  trie.insert(Ipv4Prefix(Ipv4Address(1, 2, 3, 4), 32), 7);
+  EXPECT_EQ(trie.lookup(Ipv4Address(1, 2, 3, 4)), 7);
+  EXPECT_EQ(trie.lookup(Ipv4Address(1, 2, 3, 5)), std::nullopt);
+}
+
+/// Property: trie lookup agrees with a brute-force longest-match scan over
+/// random prefix sets and random addresses.
+class PrefixTrieProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixTrieProperty, AgreesWithLinearScan) {
+  util::Rng rng(GetParam());
+  Ipv4PrefixTrie<std::size_t> trie;
+  std::vector<Ipv4Prefix> prefixes;
+
+  for (int i = 0; i < 200; ++i) {
+    const auto len = static_cast<std::uint8_t>(rng.uniform_int(4, 28));
+    const auto addr = Ipv4Address(static_cast<std::uint32_t>(rng.engine()()));
+    const auto prefix = Ipv4Prefix::containing(addr, len);
+    trie.insert(prefix, prefixes.size());
+    prefixes.push_back(prefix);
+  }
+
+  for (int i = 0; i < 2000; ++i) {
+    // Half the probes land inside a known prefix.
+    Ipv4Address probe(static_cast<std::uint32_t>(rng.engine()()));
+    if (i % 2 == 0) {
+      const auto& base = prefixes[rng.uniform_u64(prefixes.size())];
+      probe = base.address_at(rng.engine()());
+    }
+
+    // Linear scan: the longest containing prefix. Two same-length prefixes
+    // containing the same address are necessarily identical, so "last one
+    // wins" here matches the trie's overwrite semantics.
+    std::optional<std::size_t> expected;
+    int best_len = -1;
+    for (std::size_t j = 0; j < prefixes.size(); ++j) {
+      if (prefixes[j].contains(probe) &&
+          static_cast<int>(prefixes[j].length()) >= best_len) {
+        expected = j;
+        best_len = prefixes[j].length();
+      }
+    }
+    const auto got = trie.lookup(probe);
+    ASSERT_EQ(got.has_value(), expected.has_value()) << probe.to_string();
+    if (got) {
+      EXPECT_EQ(prefixes[*got].length(), prefixes[*expected].length());
+      EXPECT_TRUE(prefixes[*got].contains(probe));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixTrieProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace lockdown::net

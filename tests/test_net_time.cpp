@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "net/civil_time.hpp"
+#include "stats/timeseries.hpp"
+
+namespace lockdown::net {
+namespace {
+
+TEST(Date, EpochAnchors) {
+  EXPECT_EQ(Date(1970, 1, 1).days_from_epoch(), 0);
+  EXPECT_EQ(Date(1970, 1, 2).days_from_epoch(), 1);
+  EXPECT_EQ(Date(1969, 12, 31).days_from_epoch(), -1);
+  EXPECT_EQ(Date(2020, 1, 1).days_from_epoch(), 18262);
+}
+
+TEST(Date, RoundTripThroughDays) {
+  for (std::int64_t d = -1000; d < 40000; d += 17) {
+    const Date date = Date::from_days(d);
+    EXPECT_EQ(date.days_from_epoch(), d);
+  }
+}
+
+TEST(Date, Weekdays2020) {
+  EXPECT_EQ(Date(2020, 1, 1).weekday(), Weekday::kWednesday);
+  EXPECT_EQ(Date(2020, 2, 19).weekday(), Weekday::kWednesday);  // Fig 2a
+  EXPECT_EQ(Date(2020, 2, 22).weekday(), Weekday::kSaturday);   // Fig 2a
+  EXPECT_EQ(Date(2020, 3, 25).weekday(), Weekday::kWednesday);  // Fig 2a
+  EXPECT_EQ(Date(2020, 2, 29).weekday(), Weekday::kSaturday);   // leap day
+  EXPECT_EQ(Date(2020, 4, 10).weekday(), Weekday::kFriday);     // Good Friday
+}
+
+TEST(Date, LeapYearHandling) {
+  EXPECT_TRUE(Date::make(2020, 2, 29).has_value());
+  EXPECT_FALSE(Date::make(2021, 2, 29).has_value());
+  EXPECT_FALSE(Date::make(1900, 2, 29).has_value());
+  EXPECT_TRUE(Date::make(2000, 2, 29).has_value());
+  EXPECT_EQ(Date(2020, 3, 1).days_from_epoch() - Date(2020, 2, 28).days_from_epoch(), 2);
+}
+
+TEST(Date, MakeRejectsInvalid) {
+  EXPECT_FALSE(Date::make(2020, 0, 1));
+  EXPECT_FALSE(Date::make(2020, 13, 1));
+  EXPECT_FALSE(Date::make(2020, 4, 31));
+  EXPECT_FALSE(Date::make(2020, 4, 0));
+}
+
+TEST(Date, ParseIso) {
+  const auto d = Date::parse("2020-03-22");
+  ASSERT_TRUE(d);
+  EXPECT_EQ(*d, Date(2020, 3, 22));
+  EXPECT_FALSE(Date::parse("2020-3-22"));
+  EXPECT_FALSE(Date::parse("2020-03-32"));
+  EXPECT_FALSE(Date::parse("garbage-here"));
+  EXPECT_EQ(d->to_string(), "2020-03-22");
+}
+
+TEST(Date, PaperWeeks) {
+  // Paper convention: Jan 1-7 is week 1, the baseline week 3 is Jan 15-21.
+  EXPECT_EQ(Date(2020, 1, 1).paper_week(), 1u);
+  EXPECT_EQ(Date(2020, 1, 7).paper_week(), 1u);
+  EXPECT_EQ(Date(2020, 1, 8).paper_week(), 2u);
+  EXPECT_EQ(Date(2020, 1, 15).paper_week(), 3u);
+  EXPECT_EQ(Date(2020, 3, 22).paper_week(), 12u);  // lockdown week
+  EXPECT_EQ(Date(2020, 5, 17).paper_week(), 20u);
+}
+
+TEST(Date, IsoWeeks) {
+  // ISO week 1 of 2020 began Mon Dec 30, 2019.
+  EXPECT_EQ(Date(2020, 1, 1).iso_week(), 1u);
+  EXPECT_EQ(Date(2020, 1, 6).iso_week(), 2u);
+  EXPECT_EQ(Date(2020, 12, 31).iso_week(), 53u);
+}
+
+TEST(Date, DayOfYear) {
+  EXPECT_EQ(Date(2020, 1, 1).day_of_year(), 1u);
+  EXPECT_EQ(Date(2020, 12, 31).day_of_year(), 366u);  // leap year
+  EXPECT_EQ(Date(2020, 3, 1).day_of_year(), 61u);
+}
+
+TEST(Timestamp, DateAndHourDecomposition) {
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 22), 14, 30, 5);
+  EXPECT_EQ(t.date(), Date(2020, 3, 22));
+  EXPECT_EQ(t.hour_of_day(), 14u);
+  EXPECT_EQ(t.weekday(), Weekday::kSunday);
+  EXPECT_EQ(t.to_string(), "2020-03-22 14:30:05");
+}
+
+TEST(Timestamp, FloorOperations) {
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 22), 14, 30, 5);
+  EXPECT_EQ(t.floor_hour(), Timestamp::from_date(Date(2020, 3, 22), 14));
+  EXPECT_EQ(t.floor_day(), Timestamp::from_date(Date(2020, 3, 22)));
+}
+
+TEST(Timestamp, PreEpochFloors) {
+  const Timestamp t(-3601);  // 1969-12-31 22:59:59
+  EXPECT_EQ(t.hour_of_day(), 22u);
+  EXPECT_EQ(t.date(), Date(1969, 12, 31));
+}
+
+TEST(TimeRange, ContainsAndDuration) {
+  const auto week = TimeRange::week_of(Date(2020, 2, 19));
+  EXPECT_EQ(week.duration_seconds(), 7 * kSecondsPerDay);
+  EXPECT_EQ(week.hours(), 168);
+  EXPECT_TRUE(week.contains(Timestamp::from_date(Date(2020, 2, 19))));
+  EXPECT_TRUE(week.contains(Timestamp::from_date(Date(2020, 2, 25), 23, 59, 59)));
+  EXPECT_FALSE(week.contains(Timestamp::from_date(Date(2020, 2, 26))));
+}
+
+// --- stats bucketing over civil time ----------------------------------------
+
+TEST(Bucketing, SixHourSlots) {
+  using stats::Bucket;
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 22), 14, 3);
+  EXPECT_EQ(stats::bucket_start(t, Bucket::kSixHours),
+            Timestamp::from_date(Date(2020, 3, 22), 12));
+  EXPECT_EQ(stats::bucket_start(t, Bucket::kDay),
+            Timestamp::from_date(Date(2020, 3, 22)));
+}
+
+TEST(Bucketing, PaperWeekAnchoredAtJan1) {
+  using stats::Bucket;
+  // Mar 22 is in paper week 12, which starts Jan 1 + 11*7 days = Mar 18.
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 22), 5);
+  EXPECT_EQ(stats::bucket_start(t, Bucket::kWeek),
+            Timestamp::from_date(Date(2020, 3, 18)));
+  // Jan 1 itself.
+  EXPECT_EQ(stats::bucket_start(Timestamp::from_date(Date(2020, 1, 3)), Bucket::kWeek),
+            Timestamp::from_date(Date(2020, 1, 1)));
+}
+
+}  // namespace
+}  // namespace lockdown::net

@@ -1,0 +1,170 @@
+// Tests for the streaming sketches: HyperLogLog cardinality estimation and
+// Space-Saving heavy hitters.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "stats/hyperloglog.hpp"
+#include "stats/space_saving.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::stats {
+namespace {
+
+// --- HyperLogLog -------------------------------------------------------------
+
+TEST(HyperLogLog, RejectsBadPrecision) {
+  EXPECT_THROW(HyperLogLog(3), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog(19), std::invalid_argument);
+  EXPECT_NO_THROW(HyperLogLog(4));
+  EXPECT_NO_THROW(HyperLogLog(18));
+}
+
+TEST(HyperLogLog, EmptyEstimatesZero) {
+  const HyperLogLog hll(12);
+  EXPECT_NEAR(hll.estimate(), 0.0, 1e-9);
+}
+
+TEST(HyperLogLog, SmallRangeIsNearExact) {
+  HyperLogLog hll(12);
+  for (std::uint64_t i = 0; i < 100; ++i) hll.add_hash(util::splitmix64(i));
+  EXPECT_NEAR(hll.estimate(), 100.0, 5.0);  // linear counting regime
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 50; ++round) {
+    for (std::uint64_t i = 0; i < 200; ++i) hll.add_hash(util::splitmix64(i));
+  }
+  EXPECT_NEAR(hll.estimate(), 200.0, 10.0);
+}
+
+/// Property: estimation error stays within ~4 standard errors across
+/// cardinalities and precisions.
+class HllAccuracy : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(HllAccuracy, ErrorWithinBounds) {
+  const auto [precision, cardinality] = GetParam();
+  HyperLogLog hll(precision);
+  for (std::uint64_t i = 0; i < cardinality; ++i) {
+    hll.add_hash(util::splitmix64(i * 0x9e3779b97f4a7c15ULL + precision));
+  }
+  const double est = hll.estimate();
+  const double rel_err =
+      std::abs(est - static_cast<double>(cardinality)) / static_cast<double>(cardinality);
+  EXPECT_LT(rel_err, 4.0 * hll.standard_error())
+      << "precision " << precision << " cardinality " << cardinality
+      << " estimate " << est;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HllAccuracy,
+    ::testing::Combine(::testing::Values(10u, 12u, 14u),
+                       ::testing::Values(1000ull, 20000ull, 200000ull)));
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(12), b(12), u(12);
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const auto h = util::splitmix64(i);
+    if (i % 2 == 0) a.add_hash(h);
+    if (i % 3 == 0) b.add_hash(h);
+    if (i % 2 == 0 || i % 3 == 0) u.add_hash(h);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.estimate(), u.estimate(), 1e-9);  // register-wise identical
+}
+
+TEST(HyperLogLog, MergeRejectsPrecisionMismatch) {
+  HyperLogLog a(12), b(13);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+// --- SpaceSaving --------------------------------------------------------------
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving<int>(0), std::invalid_argument);
+}
+
+TEST(SpaceSaving, ExactBelowCapacity) {
+  SpaceSaving<int> ss(10);
+  for (int i = 0; i < 5; ++i) {
+    for (int n = 0; n <= i; ++n) ss.add(i);
+  }
+  const auto top = ss.top(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].key, 4);
+  EXPECT_DOUBLE_EQ(top[0].count, 5.0);
+  EXPECT_DOUBLE_EQ(top[0].error, 0.0);
+  EXPECT_EQ(top[4].key, 0);
+}
+
+TEST(SpaceSaving, HeavyHittersAlwaysSurvive) {
+  // Guarantee: any key with weight > W/capacity is present.
+  util::Rng rng(9);
+  SpaceSaving<std::uint64_t> ss(50);
+  std::map<std::uint64_t, double> exact;
+  // 5 heavy keys, 2000 light keys.
+  for (int i = 0; i < 40000; ++i) {
+    const std::uint64_t key =
+        rng.bernoulli(0.5) ? rng.uniform_u64(5) : 100 + rng.uniform_u64(2000);
+    ss.add(key);
+    exact[key] += 1.0;
+  }
+  for (std::uint64_t heavy = 0; heavy < 5; ++heavy) {
+    ASSERT_GT(exact[heavy], ss.total_weight() / 50.0);
+    EXPECT_GT(ss.count(heavy), 0.0) << heavy;
+    EXPECT_TRUE(ss.guaranteed(heavy)) << heavy;
+    // Count is an overestimate bounded by the stored error.
+    EXPECT_GE(ss.count(heavy) + 1e-9, exact[heavy]);
+    EXPECT_LE(ss.count(heavy) - exact[heavy], ss.error_bound() + 1e-9);
+  }
+}
+
+TEST(SpaceSaving, WeightedUpdates) {
+  SpaceSaving<std::string> ss(4);
+  ss.add("a", 100.0);
+  ss.add("b", 10.0);
+  ss.add("a", 50.0);
+  EXPECT_DOUBLE_EQ(ss.count("a"), 150.0);
+  EXPECT_DOUBLE_EQ(ss.total_weight(), 160.0);
+}
+
+TEST(SpaceSaving, EvictionInheritsMinimum) {
+  SpaceSaving<int> ss(2);
+  ss.add(1, 10.0);
+  ss.add(2, 5.0);
+  ss.add(3, 1.0);  // evicts key 2 (count 5): new count 6, error 5
+  EXPECT_DOUBLE_EQ(ss.count(3), 6.0);
+  EXPECT_DOUBLE_EQ(ss.count(2), 0.0);
+  const auto top = ss.top(2);
+  const auto& entry3 = top[0].key == 3 ? top[0] : top[1];
+  EXPECT_DOUBLE_EQ(entry3.error, 5.0);
+}
+
+TEST(SpaceSaving, TopRankingMatchesExactOnSkewedStream) {
+  util::Rng rng(10);
+  SpaceSaving<std::uint64_t> ss(64);
+  std::map<std::uint64_t, double> exact;
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t key = rng.zipf(10000, 1.2);
+    ss.add(key);
+    exact[key] += 1.0;
+  }
+  // Exact top-10.
+  std::vector<std::pair<double, std::uint64_t>> ranked;
+  for (const auto& [k, c] : exact) ranked.push_back({c, k});
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  const auto sketch_top = ss.top(10);
+  std::set<std::uint64_t> sketch_keys;
+  for (const auto& e : sketch_top) sketch_keys.insert(e.key);
+  // At least 9 of the exact top-10 appear in the sketch's top-10 (Zipf 1.2
+  // heavy head is unambiguous; the tail may swap).
+  std::size_t overlap = 0;
+  for (int i = 0; i < 10; ++i) overlap += sketch_keys.contains(ranked[i].second);
+  EXPECT_GE(overlap, 9u);
+}
+
+}  // namespace
+}  // namespace lockdown::stats

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "stats/ecdf.hpp"
+#include "stats/timeseries.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::stats {
+namespace {
+
+using net::Date;
+using net::Timestamp;
+
+TEST(TimeSeries, AccumulatesIntoBuckets) {
+  TimeSeries ts(Bucket::kHour);
+  const Timestamp h = Timestamp::from_date(Date(2020, 2, 19), 10);
+  ts.add(h.plus(10), 5.0);
+  ts.add(h.plus(3000), 7.0);
+  ts.add(h.plus(3700), 1.0);  // next hour
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.at(h), 12.0);
+  EXPECT_DOUBLE_EQ(ts.at(h.plus(3600)), 1.0);
+  EXPECT_DOUBLE_EQ(ts.at(h.plus(7200)), 0.0);
+}
+
+TEST(TimeSeries, SumAndMeanInRange) {
+  TimeSeries ts(Bucket::kDay);
+  for (int d = 0; d < 10; ++d) {
+    ts.add(Timestamp::from_date(Date(2020, 3, 1).plus_days(d)), 1.0 + d);
+  }
+  const net::TimeRange r{Timestamp::from_date(Date(2020, 3, 3)),
+                         Timestamp::from_date(Date(2020, 3, 6))};
+  EXPECT_DOUBLE_EQ(ts.sum_in(r), 3.0 + 4.0 + 5.0);
+  EXPECT_DOUBLE_EQ(*ts.mean_in(r), 4.0);
+  const net::TimeRange empty{Timestamp::from_date(Date(2021, 1, 1)),
+                             Timestamp::from_date(Date(2021, 1, 2))};
+  EXPECT_FALSE(ts.mean_in(empty).has_value());
+}
+
+TEST(TimeSeries, NormalizationScaleInvariance) {
+  util::Rng rng(3);
+  TimeSeries a(Bucket::kHour);
+  TimeSeries b(Bucket::kHour);
+  for (int h = 0; h < 100; ++h) {
+    const double v = 1.0 + rng.uniform();
+    const Timestamp t = Timestamp::from_date(Date(2020, 2, 1)).plus(h * 3600);
+    a.add(t, v);
+    b.add(t, v * 1000.0);  // scaled copy
+  }
+  const auto na = a.normalized_by_min().points();
+  const auto nb = b.normalized_by_min().points();
+  ASSERT_EQ(na.size(), nb.size());
+  for (std::size_t i = 0; i < na.size(); ++i) {
+    EXPECT_NEAR(na[i].second, nb[i].second, 1e-9);
+  }
+  EXPECT_NEAR(a.normalized_by_max().max_value(), 1.0, 1e-12);
+  EXPECT_NEAR(a.normalized_by_min().min_value(), 1.0, 1e-12);
+}
+
+TEST(TimeSeries, NormalizeRejectsDegenerate) {
+  TimeSeries ts(Bucket::kHour);
+  EXPECT_THROW(ts.normalized_by(0.0), std::invalid_argument);
+  ts.add(Timestamp(0), 0.0);
+  EXPECT_THROW(ts.normalized_by_min(), std::invalid_argument);
+}
+
+TEST(TimeSeries, RebucketSumsPreserveTotal) {
+  util::Rng rng(4);
+  TimeSeries hourly(Bucket::kHour);
+  for (int h = 0; h < 24 * 14; ++h) {
+    hourly.add(Timestamp::from_date(Date(2020, 2, 1)).plus(h * 3600),
+               rng.uniform(0.0, 10.0));
+  }
+  for (const Bucket b : {Bucket::kSixHours, Bucket::kDay, Bucket::kWeek}) {
+    const TimeSeries coarse = hourly.rebucket(b);
+    EXPECT_NEAR(coarse.total(), hourly.total(), 1e-9);
+    EXPECT_LT(coarse.size(), hourly.size());
+  }
+  const TimeSeries daily = hourly.rebucket(Bucket::kDay);
+  EXPECT_THROW(daily.rebucket(Bucket::kHour), std::invalid_argument);
+}
+
+TEST(RunningStats, TracksEnvelope) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  for (const double v : {3.0, 1.0, 4.0, 1.5}) rs.add(v);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 4.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 9.5 / 4.0);
+}
+
+// --- ECDF --------------------------------------------------------------------
+
+TEST(Ecdf, BasicEvaluation) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(Ecdf, MonotoneAndBounded) {
+  util::Rng rng(5);
+  Ecdf e;
+  for (int i = 0; i < 1000; ++i) e.add(rng.normal(0, 5));
+  double prev = 0.0;
+  for (double x = -20; x <= 20; x += 0.25) {
+    const double v = e.at(x);
+    EXPECT_GE(v, prev);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+}
+
+TEST(Ecdf, QuantileNearestRank) {
+  Ecdf e({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 50.0);
+}
+
+TEST(Ecdf, QuantileInverseProperty) {
+  util::Rng rng(6);
+  Ecdf e;
+  for (int i = 0; i < 500; ++i) e.add(rng.uniform(0.0, 1.0));
+  for (double q = 0.05; q < 1.0; q += 0.05) {
+    EXPECT_GE(e.at(e.quantile(q)), q - 1e-12);
+  }
+}
+
+TEST(Ecdf, EmptyIsSafe) {
+  const Ecdf e;
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Pearson, PerfectCorrelations) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateInputs) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> flat = {5, 5, 5};
+  std::vector<double> shorter = {1, 2};
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(pearson(x, flat), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(x, shorter), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(empty, empty), 0.0);
+}
+
+TEST(Median, OddEvenEmpty) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+}  // namespace
+}  // namespace lockdown::stats

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "synth/as_registry.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/traffic_model.hpp"
+
+namespace lockdown::synth {
+namespace {
+
+using flow::IpProtocol;
+using flow::PortKey;
+using net::Asn;
+using net::Date;
+using net::Timestamp;
+
+EpidemicTimeline ce_timeline() {
+  return EpidemicTimeline::for_region(Region::kCentralEurope);
+}
+
+TrafficComponent simple_component(std::string id = "web") {
+  TrafficComponent c;
+  c.id = std::move(id);
+  c.app_class = AppClass::kWeb;
+  c.server_ases = {Asn(15169)};
+  c.client_ases = {Asn(64700)};
+  c.ports = {{PortKey{IpProtocol::kTcp, 443}, 1.0}};
+  c.base_bytes_per_hour = 1e9;
+  return c;
+}
+
+// --- ResponseCurve -----------------------------------------------------------
+
+TEST(ResponseCurve, ConstantAndDefault) {
+  const ResponseCurve def;
+  EXPECT_DOUBLE_EQ(def.value(Date(2020, 3, 1), false), 1.0);
+  const auto c = ResponseCurve::constant(2.5);
+  EXPECT_DOUBLE_EQ(c.value(Date(2020, 1, 1), false), 2.5);
+  EXPECT_DOUBLE_EQ(c.value(Date(2020, 12, 1), true), 2.5);
+}
+
+TEST(ResponseCurve, PiecewiseLinearInterpolation) {
+  const ResponseCurve r({{Date(2020, 3, 1), 1.0}, {Date(2020, 3, 11), 2.0}},
+                        {{Date(2020, 3, 1), 1.0}, {Date(2020, 3, 11), 1.5}});
+  EXPECT_DOUBLE_EQ(r.value(Date(2020, 2, 1), false), 1.0);   // before
+  EXPECT_DOUBLE_EQ(r.value(Date(2020, 3, 6), false), 1.5);   // midpoint
+  EXPECT_DOUBLE_EQ(r.value(Date(2020, 4, 1), false), 2.0);   // after
+  EXPECT_DOUBLE_EQ(r.value(Date(2020, 3, 6), true), 1.25);   // weekend curve
+}
+
+TEST(ResponseCurve, RejectsBadKnots) {
+  EXPECT_THROW(ResponseCurve({{Date(2020, 3, 2), 1.0}, {Date(2020, 3, 1), 2.0}}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(ResponseCurve({{Date(2020, 3, 1), -1.0}}, {}), std::invalid_argument);
+}
+
+TEST(ResponseCurve, StagedHitsTheStageValues) {
+  const auto tl = ce_timeline();
+  const auto r = ResponseCurve::staged(tl, 1.0, 1.3, 1.2, 1.1, 0.5);
+  EXPECT_DOUBLE_EQ(r.value(Date(2020, 1, 15), false), 1.0);
+  EXPECT_NEAR(r.value(tl.lockdown_full, false), 1.3, 1e-12);
+  EXPECT_NEAR(r.value(Date(2020, 4, 22), false), 1.2, 1e-12);
+  EXPECT_NEAR(r.value(Date(2020, 5, 10), false), 1.1, 1e-12);
+  // Weekend ratio halves the deviation from 1.
+  EXPECT_NEAR(r.value(tl.lockdown_full, true), 1.15, 1e-12);
+}
+
+TEST(ResponseCurve, StagedWorksForLateUsTimeline) {
+  const auto us = EpidemicTimeline::for_region(Region::kUsEastCoast);
+  const auto r = ResponseCurve::staged(us, 1.0, 1.02, 1.25, 1.2, 0.9);
+  // US: almost no change in March, increase in April (§3.1).
+  EXPECT_LT(r.value(Date(2020, 3, 18), false), 1.03);
+  EXPECT_GT(r.value(Date(2020, 4, 25), false), 1.15);
+}
+
+// --- TrafficModel ------------------------------------------------------------
+
+TEST(TrafficModel, ValidatesComponents) {
+  TrafficModel m("test", ce_timeline(), 1);
+  EXPECT_THROW(m.add(TrafficComponent{}), std::invalid_argument);  // empty id
+
+  auto no_ports = simple_component();
+  no_ports.ports.clear();
+  EXPECT_THROW(m.add(no_ports), std::invalid_argument);
+
+  auto no_servers = simple_component();
+  no_servers.server_ases.clear();
+  EXPECT_THROW(m.add(no_servers), std::invalid_argument);
+
+  m.add(simple_component());
+  EXPECT_THROW(m.add(simple_component()), std::invalid_argument);  // dup id
+  EXPECT_NE(m.find("web"), nullptr);
+  EXPECT_EQ(m.find("nope"), nullptr);
+}
+
+TEST(TrafficModel, ExpectedBytesDeterministic) {
+  TrafficModel m("test", ce_timeline(), 7);
+  m.add(simple_component());
+  const auto& c = *m.find("web");
+  const Timestamp h = Timestamp::from_date(Date(2020, 2, 19), 20);
+  EXPECT_DOUBLE_EQ(m.expected_bytes(c, h), m.expected_bytes(c, h));
+
+  TrafficModel m2("test", ce_timeline(), 8);  // different seed -> jitter differs
+  m2.add(simple_component());
+  EXPECT_NE(m.expected_bytes(c, h), m2.expected_bytes(*m2.find("web"), h));
+}
+
+TEST(TrafficModel, DiurnalShapeAppliesByDayType) {
+  TrafficModel m("test", ce_timeline(), 7);
+  auto c = simple_component();
+  c.volume_noise = 0.0;
+  m.add(c);
+  const auto& comp = *m.find("web");
+  // Feb (pre-lockdown, response 1.0): workday evening ~ 1.70x base,
+  // workday 4 am ~ 0.30x base.
+  const double evening =
+      m.expected_bytes(comp, Timestamp::from_date(Date(2020, 2, 19), 20));
+  const double night =
+      m.expected_bytes(comp, Timestamp::from_date(Date(2020, 2, 19), 4));
+  EXPECT_GT(evening / night, 4.0);
+}
+
+TEST(TrafficModel, MorphMovesWorkdayTowardsWeekendShape) {
+  TrafficModel m("test", ce_timeline(), 7);
+  auto c = simple_component();
+  c.volume_noise = 0.0;
+  c.morph = 1.0;
+  c.response = ResponseCurve::constant(1.0);  // isolate the shape effect
+  m.add(c);
+  const auto& comp = *m.find("web");
+
+  // Wednesday mornings: Feb 19 (no lockdown) vs Mar 25 (full lockdown).
+  const double feb_morning =
+      m.expected_bytes(comp, Timestamp::from_date(Date(2020, 2, 19), 10));
+  const double mar_morning =
+      m.expected_bytes(comp, Timestamp::from_date(Date(2020, 3, 25), 10));
+  EXPECT_GT(mar_morning, feb_morning * 1.15);  // morning fills up
+}
+
+TEST(TrafficModel, EventsApplyInsideWindowOnly) {
+  TrafficModel m("test", ce_timeline(), 7);
+  auto c = simple_component();
+  c.volume_noise = 0.0;
+  c.events.push_back(VolumeEvent{
+      net::TimeRange{Timestamp::from_date(Date(2020, 3, 12)),
+                     Timestamp::from_date(Date(2020, 3, 14))},
+      0.25, "outage"});
+  m.add(c);
+  const auto& comp = *m.find("web");
+  const double inside =
+      m.expected_bytes(comp, Timestamp::from_date(Date(2020, 3, 12), 12));
+  const double outside =
+      m.expected_bytes(comp, Timestamp::from_date(Date(2020, 3, 19), 12));
+  // Same weekday one week apart; the event divides volume by 4 (response
+  // differences between the two dates are secondary -- use a loose bound).
+  EXPECT_LT(inside, outside * 0.5);
+}
+
+// --- FlowSynthesizer ---------------------------------------------------------
+
+class SynthesizerTest : public ::testing::Test {
+ protected:
+  SynthesizerTest() : reg_(AsRegistry::create_default()) {}
+
+  TrafficModel make_model() {
+    TrafficModel m("test", ce_timeline(), 11);
+    auto web = simple_component("web");
+    web.client_pool_base = 500;
+    m.add(web);
+    auto vpn = simple_component("vpn");
+    vpn.app_class = AppClass::kVpnPort;
+    vpn.server_ases = {Asn(65001)};
+    vpn.ports = {{PortKey{IpProtocol::kUdp, 4500}, 1.0}};
+    vpn.base_bytes_per_hour = 5e7;
+    m.add(vpn);
+    return m;
+  }
+
+  AsRegistry reg_;
+};
+
+TEST_F(SynthesizerTest, VolumeMatchesExpectationExactly) {
+  const auto model = make_model();
+  const FlowSynthesizer synth(model, reg_, {.connections_per_hour = 200});
+  const Timestamp h = Timestamp::from_date(Date(2020, 2, 19), 20);
+
+  for (const auto& comp : model.components()) {
+    double bytes = 0.0;
+    synth.synthesize_component_hour(
+        comp, h, [&](const flow::FlowRecord& r) { bytes += static_cast<double>(r.bytes); });
+    const double expected = model.expected_bytes(comp, h);
+    // Request+response rounding and the 40-byte floor cost at most a few
+    // bytes per connection.
+    EXPECT_NEAR(bytes, expected, expected * 0.001 + 500) << comp.id;
+  }
+}
+
+TEST_F(SynthesizerTest, DeterministicOutput) {
+  const auto model = make_model();
+  const FlowSynthesizer synth(model, reg_, {.connections_per_hour = 100});
+  const auto range = net::TimeRange{Timestamp::from_date(Date(2020, 2, 19)),
+                                    Timestamp::from_date(Date(2020, 2, 19), 6)};
+  const auto a = synth.collect(range);
+  const auto b = synth.collect(range);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  // A different salt produces a different draw of the same scenario.
+  const FlowSynthesizer salted(model, reg_,
+                               {.connections_per_hour = 100, .seed_salt = 5});
+  const auto c = salted.collect(range);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(SynthesizerTest, RequestAndResponsePerConnection) {
+  const auto model = make_model();
+  const FlowSynthesizer synth(model, reg_, {.connections_per_hour = 100});
+  const auto records =
+      synth.collect(net::TimeRange{Timestamp::from_date(Date(2020, 2, 19), 20),
+                                   Timestamp::from_date(Date(2020, 2, 19), 21)});
+  ASSERT_FALSE(records.empty());
+  ASSERT_EQ(records.size() % 2, 0u);
+  for (std::size_t i = 0; i < records.size(); i += 2) {
+    const auto& req = records[i];
+    const auto& rsp = records[i + 1];
+    EXPECT_EQ(req.src_addr, rsp.dst_addr);
+    EXPECT_EQ(req.dst_addr, rsp.src_addr);
+    EXPECT_EQ(req.src_port, rsp.dst_port);
+    EXPECT_EQ(req.dst_port, rsp.src_port);
+    EXPECT_GT(rsp.bytes, req.bytes);  // responses dominate
+    EXPECT_LE(req.dst_port, 32768);   // service side on the request dst
+  }
+}
+
+TEST_F(SynthesizerTest, EndpointsComeFromConfiguredAses) {
+  const auto model = make_model();
+  const FlowSynthesizer synth(model, reg_, {.connections_per_hour = 300});
+  std::set<std::uint32_t> server_as_seen;
+  synth.synthesize_component_hour(
+      *model.find("web"), Timestamp::from_date(Date(2020, 2, 19), 20),
+      [&](const flow::FlowRecord& r) {
+        // Request: src=client (ISP), dst=server (Google) -- verify via trie.
+        if (r.dst_port == 443) {
+          const auto client_as = reg_.resolve(r.src_addr.v4());
+          const auto server_as = reg_.resolve(r.dst_addr.v4());
+          ASSERT_TRUE(client_as && server_as);
+          EXPECT_EQ(*client_as, Asn(64700));
+          EXPECT_EQ(*server_as, Asn(15169));
+          EXPECT_EQ(r.src_as, Asn(64700));
+          EXPECT_EQ(r.dst_as, Asn(15169));
+          server_as_seen.insert(server_as->value());
+        }
+      });
+  EXPECT_EQ(server_as_seen, std::set<std::uint32_t>{15169u});
+}
+
+TEST_F(SynthesizerTest, V5SafeByteCounts) {
+  // Even a huge component must keep per-record bytes under 2^32.
+  TrafficModel m("big", ce_timeline(), 3);
+  auto c = simple_component("huge");
+  c.base_bytes_per_hour = 5e12;
+  m.add(c);
+  const FlowSynthesizer synth(m, reg_, {.connections_per_hour = 10});
+  std::uint64_t max_bytes = 0;
+  synth.synthesize_component_hour(
+      *m.find("huge"), Timestamp::from_date(Date(2020, 2, 19), 20),
+      [&](const flow::FlowRecord& r) { max_bytes = std::max(max_bytes, r.bytes); });
+  EXPECT_LT(max_bytes, (1ull << 32));
+}
+
+TEST_F(SynthesizerTest, ActiveClientPoolTracksVolume) {
+  // Unique client IPs must grow when volume grows (Fig 8's premise).
+  TrafficModel m("gaming", EpidemicTimeline::for_region(Region::kSouthernEurope), 5);
+  auto c = simple_component("game");
+  c.client_pool_base = 300;
+  c.response = ResponseCurve::staged(m.timeline(), 1.0, 2.0, 2.0, 2.0, 1.0);
+  c.volume_noise = 0.0;
+  m.add(c);
+  const FlowSynthesizer synth(m, reg_, {.connections_per_hour = 3000});
+
+  auto unique_clients = [&](Date day) {
+    std::set<std::uint32_t> ips;
+    synth.synthesize_component_hour(
+        *m.find("game"), Timestamp::from_date(day, 20),
+        [&](const flow::FlowRecord& r) {
+          if (r.dst_port == 443) ips.insert(r.src_addr.v4().value());
+        });
+    return ips.size();
+  };
+  const auto before = unique_clients(Date(2020, 2, 19));
+  const auto after = unique_clients(Date(2020, 3, 25));
+  EXPECT_GT(static_cast<double>(after), static_cast<double>(before) * 1.3);
+}
+
+TEST_F(SynthesizerTest, RejectsUnalignedRange) {
+  const auto model = make_model();
+  const FlowSynthesizer synth(model, reg_, {});
+  const net::TimeRange bad{Timestamp(100), Timestamp(7300)};
+  EXPECT_THROW(synth.collect(bad), std::invalid_argument);
+}
+
+TEST_F(SynthesizerTest, ConnectionBoostMultipliesFlowsNotBytes) {
+  TrafficModel m("boost", ce_timeline(), 9);
+  auto plain = simple_component("plain");
+  plain.volume_noise = 0.0;
+  m.add(plain);
+  auto boosted = simple_component("boosted");
+  boosted.volume_noise = 0.0;
+  boosted.connection_boost = 5.0;
+  m.add(boosted);
+  const FlowSynthesizer synth(m, reg_, {.connections_per_hour = 400});
+
+  const Timestamp h = Timestamp::from_date(Date(2020, 2, 19), 20);
+  std::size_t plain_flows = 0, boosted_flows = 0;
+  double plain_bytes = 0, boosted_bytes = 0;
+  synth.synthesize_component_hour(*m.find("plain"), h,
+                                  [&](const flow::FlowRecord& r) {
+                                    ++plain_flows;
+                                    plain_bytes += static_cast<double>(r.bytes);
+                                  });
+  synth.synthesize_component_hour(*m.find("boosted"), h,
+                                  [&](const flow::FlowRecord& r) {
+                                    ++boosted_flows;
+                                    boosted_bytes += static_cast<double>(r.bytes);
+                                  });
+  EXPECT_NEAR(static_cast<double>(boosted_flows) / plain_flows, 5.0, 0.5);
+  EXPECT_NEAR(boosted_bytes / plain_bytes, 1.0, 0.01);
+}
+
+}  // namespace
+}  // namespace lockdown::synth

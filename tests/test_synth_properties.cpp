@@ -1,0 +1,234 @@
+// Property tests on the synthesis substrate: convergence of sampled flows
+// to model expectations, distributional correctness of port/endpoint
+// draws, and invariants of every shipped vantage point.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/app_filter.hpp"
+#include "flow/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/vantage.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+namespace {
+
+using flow::IpProtocol;
+using flow::PortKey;
+using net::Asn;
+using net::Date;
+using net::TimeRange;
+using net::Timestamp;
+
+class SynthProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  SynthProperty() : reg_(AsRegistry::create_default()) {}
+  AsRegistry reg_;
+};
+
+TEST_P(SynthProperty, SampledVolumeEqualsModelAtAnyBudget) {
+  // The estimator is exact by construction at *every* budget, not just in
+  // the limit: each component-hour's records are scaled to the expectation.
+  TrafficModel m("prop", EpidemicTimeline::for_region(Region::kCentralEurope),
+                 GetParam());
+  TrafficComponent c;
+  c.id = "x";
+  c.server_ases = {Asn(15169)};
+  c.client_ases = {Asn(64700)};
+  c.ports = {{PortKey{IpProtocol::kTcp, 443}, 1.0}};
+  c.base_bytes_per_hour = 3.7e9;
+  m.add(c);
+
+  const Timestamp hour = Timestamp::from_date(Date(2020, 3, 25), 18);
+  const double expected = m.expected_bytes(*m.find("x"), hour);
+  for (const double budget : {7.0, 50.0, 400.0}) {
+    const FlowSynthesizer synth(m, reg_, {.connections_per_hour = budget});
+    double got = 0.0;
+    synth.synthesize_component_hour(*m.find("x"), hour,
+                                    [&](const flow::FlowRecord& r) {
+                                      got += static_cast<double>(r.bytes);
+                                    });
+    EXPECT_NEAR(got, expected, expected * 0.002 + 1000) << "budget " << budget;
+  }
+}
+
+TEST_P(SynthProperty, PortDrawsFollowConfiguredWeights) {
+  TrafficModel m("ports", EpidemicTimeline::for_region(Region::kCentralEurope),
+                 GetParam());
+  TrafficComponent c;
+  c.id = "mix";
+  c.server_ases = {Asn(15169)};
+  c.client_ases = {Asn(64700)};
+  c.ports = {{PortKey{IpProtocol::kTcp, 443}, 0.6},
+             {PortKey{IpProtocol::kTcp, 80}, 0.3},
+             {PortKey{IpProtocol::kUdp, 443}, 0.1}};
+  c.base_bytes_per_hour = 1e9;
+  m.add(c);
+
+  const FlowSynthesizer synth(m, reg_, {.connections_per_hour = 4000});
+  std::map<PortKey, int> counts;
+  int total = 0;
+  synth.synthesize_component_hour(
+      *m.find("mix"), Timestamp::from_date(Date(2020, 2, 19), 20),
+      [&](const flow::FlowRecord& r) {
+        if (r.dst_port < r.src_port) {  // requests only
+          ++counts[r.service_port()];
+          ++total;
+        }
+      });
+  ASSERT_GT(total, 1000);
+  const double tls = counts[PortKey{IpProtocol::kTcp, 443}] / static_cast<double>(total);
+  const double http = counts[PortKey{IpProtocol::kTcp, 80}] / static_cast<double>(total);
+  const double quic = counts[PortKey{IpProtocol::kUdp, 443}] / static_cast<double>(total);
+  EXPECT_NEAR(tls, 0.6, 0.05);
+  EXPECT_NEAR(http, 0.3, 0.05);
+  EXPECT_NEAR(quic, 0.1, 0.04);
+}
+
+TEST_P(SynthProperty, ServerPopularityIsSkewed) {
+  // Zipf host selection: the busiest server must carry far more
+  // connections than the median one.
+  TrafficModel m("zipf", EpidemicTimeline::for_region(Region::kCentralEurope),
+                 GetParam());
+  TrafficComponent c;
+  c.id = "s";
+  c.server_ases = {Asn(15169)};
+  c.client_ases = {Asn(64700)};
+  c.server_pool = 100;
+  c.ports = {{PortKey{IpProtocol::kTcp, 443}, 1.0}};
+  c.base_bytes_per_hour = 1e9;
+  m.add(c);
+
+  const FlowSynthesizer synth(m, reg_, {.connections_per_hour = 3000});
+  std::map<std::uint32_t, int> per_server;
+  synth.synthesize_component_hour(
+      *m.find("s"), Timestamp::from_date(Date(2020, 2, 19), 20),
+      [&](const flow::FlowRecord& r) {
+        if (r.dst_port == 443) ++per_server[r.dst_addr.v4().value()];
+      });
+  ASSERT_GT(per_server.size(), 10u);
+  std::vector<int> counts;
+  for (const auto& [ip, n] : per_server) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+  EXPECT_GT(counts[0], 5 * counts[counts.size() / 2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthProperty, ::testing::Values(1, 7, 42, 1234));
+
+// --- per-vantage invariants ----------------------------------------------------
+
+class VantageInvariants
+    : public ::testing::TestWithParam<VantagePointId> {
+ protected:
+  VantageInvariants() : reg_(AsRegistry::create_default()) {}
+  AsRegistry reg_;
+};
+
+TEST_P(VantageInvariants, AllEndpointsResolveAndAnnotationsAgreeWithRegistry) {
+  const auto vp = build_vantage(GetParam(), reg_,
+                                {.seed = 11, .enterprise_transit = false});
+  const FlowSynthesizer synth(vp.model, reg_, {.connections_per_hour = 150});
+  std::size_t checked = 0, v6_seen = 0;
+  auto resolve_any = [&](const net::IpAddress& a) {
+    return a.is_v4() ? reg_.resolve(a.v4()) : reg_.resolve6(a.v6());
+  };
+  synth.synthesize(
+      TimeRange::day_of(Date(2020, 3, 25)), [&](const flow::FlowRecord& r) {
+        // Dual-stack connections keep both endpoints in one family.
+        ASSERT_EQ(r.src_addr.is_v6(), r.dst_addr.is_v6());
+        v6_seen += r.src_addr.is_v6() ? 1 : 0;
+        const auto src = resolve_any(r.src_addr);
+        const auto dst = resolve_any(r.dst_addr);
+        ASSERT_TRUE(src.has_value());
+        ASSERT_TRUE(dst.has_value());
+        EXPECT_EQ(*src, r.src_as);
+        EXPECT_EQ(*dst, r.dst_as);
+        ++checked;
+      });
+  EXPECT_GT(checked, 1000u);
+  // IPFIX vantage points carry IPv6; v5/v9 ones must not.
+  const bool ipfix = vp.protocol == flow::ExportProtocol::kIpfix;
+  if (ipfix) {
+    EXPECT_GT(v6_seen, 0u);
+  } else {
+    EXPECT_EQ(v6_seen, 0u);
+  }
+}
+
+TEST_P(VantageInvariants, TotalExpectedEqualsComponentSum) {
+  const auto vp = build_vantage(GetParam(), reg_, {.seed = 11});
+  const Timestamp h = Timestamp::from_date(Date(2020, 4, 1), 15);
+  double sum = 0.0;
+  for (const auto& c : vp.model.components()) {
+    sum += vp.model.expected_bytes(c, h);
+  }
+  EXPECT_NEAR(vp.model.total_expected(h), sum, sum * 1e-12);
+}
+
+TEST_P(VantageInvariants, WireRoundTripPreservesEverything) {
+  const auto vp = build_vantage(GetParam(), reg_,
+                                {.seed = 11, .enterprise_transit = false});
+  const FlowSynthesizer synth(vp.model, reg_, {.connections_per_hour = 120});
+  const auto raw = synth.collect(
+      TimeRange{Timestamp::from_date(Date(2020, 3, 25), 12),
+                Timestamp::from_date(Date(2020, 3, 25), 14)});
+  flow::CollectorStats stats;
+  const auto decoded = flow::export_and_collect(
+      vp.protocol, raw, flow::batch_export_time(raw), nullptr, &stats);
+  ASSERT_EQ(decoded.size(), raw.size());
+  EXPECT_EQ(stats.malformed_packets, 0u);
+
+  std::uint64_t raw_bytes = 0, decoded_bytes = 0;
+  for (const auto& r : raw) raw_bytes += r.bytes;
+  for (const auto& r : decoded) decoded_bytes += r.bytes;
+  EXPECT_EQ(raw_bytes, decoded_bytes);
+  // Timestamps survive to the second across every wire format. IPFIX
+  // partitions each message into per-family sets, so compare as multisets.
+  std::multiset<std::int64_t> raw_firsts, decoded_firsts;
+  for (const auto& r : raw) raw_firsts.insert(r.first.seconds());
+  for (const auto& r : decoded) decoded_firsts.insert(r.first.seconds());
+  EXPECT_EQ(raw_firsts, decoded_firsts);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVantages, VantageInvariants,
+    ::testing::Values(VantagePointId::kIspCe, VantagePointId::kIxpCe,
+                      VantagePointId::kIxpSe, VantagePointId::kIxpUs,
+                      VantagePointId::kEdu, VantagePointId::kMobileCe,
+                      VantagePointId::kIpxCe),
+    [](const ::testing::TestParamInfo<VantagePointId>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- classification coverage -----------------------------------------------------
+
+TEST(ScenarioCoverage, EveryTable1ClassAppearsInIxpTraffic) {
+  const auto reg = AsRegistry::create_default();
+  const auto ixp = build_vantage(VantagePointId::kIxpCe, reg, {.seed = 5});
+  const analysis::AsView view(reg.trie());
+  const auto classifier = analysis::AppClassifier::table1();
+  const FlowSynthesizer synth(ixp.model, reg, {.connections_per_hour = 2000});
+
+  std::set<AppClass> seen;
+  synth.synthesize(TimeRange::day_of(Date(2020, 3, 25)),
+                   [&](const flow::FlowRecord& r) {
+                     if (const auto cls = classifier.classify(r, view)) {
+                       seen.insert(*cls);
+                     }
+                   });
+  for (const AppClass cls :
+       {AppClass::kWebConf, AppClass::kVod, AppClass::kGaming,
+        AppClass::kSocialMedia, AppClass::kMessaging, AppClass::kEmail,
+        AppClass::kEducational, AppClass::kCollabWork, AppClass::kCdn}) {
+    EXPECT_TRUE(seen.contains(cls)) << to_string(cls);
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::synth

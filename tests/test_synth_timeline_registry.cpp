@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/as_registry.hpp"
+#include "synth/diurnal.hpp"
+#include "synth/timeline.hpp"
+
+namespace lockdown::synth {
+namespace {
+
+using net::Date;
+
+// --- timeline ----------------------------------------------------------------
+
+class TimelineTest : public ::testing::TestWithParam<Region> {};
+
+TEST_P(TimelineTest, IntensityShape) {
+  const auto tl = EpidemicTimeline::for_region(GetParam());
+  EXPECT_DOUBLE_EQ(tl.intensity(Date(2020, 1, 10)), 0.0);
+  EXPECT_DOUBLE_EQ(tl.intensity(tl.lockdown_full), 1.0);
+  // Ramp is monotone between lockdown start and full lockdown.
+  double prev = 0.0;
+  for (Date d = tl.lockdown_start; d < tl.lockdown_full; d = d.plus_days(1)) {
+    const double v = tl.intensity(d);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  // Relaxation decays but never reaches zero in the studied window.
+  EXPECT_LT(tl.intensity(Date(2020, 5, 20)), 1.0);
+  EXPECT_GT(tl.intensity(Date(2020, 5, 20)), 0.2);
+}
+
+TEST_P(TimelineTest, DatesAreOrdered) {
+  const auto tl = EpidemicTimeline::for_region(GetParam());
+  EXPECT_LT(tl.outbreak, tl.lockdown_start);
+  EXPECT_LT(tl.lockdown_start, tl.lockdown_full);
+  EXPECT_LT(tl.lockdown_full, tl.relaxation1);
+  EXPECT_LT(tl.relaxation1, tl.relaxation2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regions, TimelineTest,
+                         ::testing::Values(Region::kCentralEurope,
+                                           Region::kSouthernEurope,
+                                           Region::kUsEastCoast));
+
+TEST(Timeline, UsLockdownIsLater) {
+  const auto ce = EpidemicTimeline::for_region(Region::kCentralEurope);
+  const auto us = EpidemicTimeline::for_region(Region::kUsEastCoast);
+  EXPECT_LT(ce.lockdown_full, us.lockdown_full);
+  // Mid-March: Europe locked down, the US not yet fully.
+  EXPECT_GT(ce.intensity(Date(2020, 3, 24)), us.intensity(Date(2020, 3, 18)));
+}
+
+TEST(Holidays, Year2020) {
+  EXPECT_TRUE(is_holiday_2020(Date(2020, 1, 1)));
+  EXPECT_TRUE(is_holiday_2020(Date(2020, 1, 6)));
+  EXPECT_TRUE(is_holiday_2020(Date(2020, 4, 10)));  // Good Friday
+  EXPECT_TRUE(is_holiday_2020(Date(2020, 4, 13)));  // Easter Monday
+  EXPECT_TRUE(is_holiday_2020(Date(2020, 5, 1)));
+  EXPECT_FALSE(is_holiday_2020(Date(2020, 4, 14)));
+  EXPECT_FALSE(is_holiday_2020(Date(2021, 1, 1)));
+}
+
+TEST(DayTypes, HolidayBehavesLikeWeekend) {
+  EXPECT_EQ(day_type(Date(2020, 4, 10)), DayType::kHoliday);
+  EXPECT_TRUE(behaves_like_weekend(Date(2020, 4, 10)));   // Easter Friday
+  EXPECT_TRUE(behaves_like_weekend(Date(2020, 3, 21)));   // Saturday
+  EXPECT_FALSE(behaves_like_weekend(Date(2020, 3, 23)));  // Monday
+}
+
+// --- diurnal -----------------------------------------------------------------
+
+TEST(Diurnal, ProfilesHaveMeanOne) {
+  for (const DiurnalProfile* p :
+       {&DiurnalProfile::residential_workday(), &DiurnalProfile::residential_weekend(),
+        &DiurnalProfile::business_hours(), &DiurnalProfile::gaming_evening(),
+        &DiurnalProfile::campus(), &DiurnalProfile::timezone_smeared(),
+        &DiurnalProfile::overseas_night(), &DiurnalProfile::flat()}) {
+    double sum = 0.0;
+    for (unsigned h = 0; h < 24; ++h) sum += p->value(h);
+    EXPECT_NEAR(sum / 24.0, 1.0, 1e-9);
+  }
+}
+
+TEST(Diurnal, ResidentialShapesMatchPaperNarrative) {
+  const auto& wd = DiurnalProfile::residential_workday();
+  const auto& we = DiurnalProfile::residential_weekend();
+  // Workday: evening peak dominates the morning.
+  EXPECT_GT(wd.value(20), 2.0 * wd.value(9));
+  // Weekend: significant momentum already at 9-10 am (§1).
+  EXPECT_GT(we.value(10), 0.7 * we.value(20));
+  EXPECT_GT(we.value(10), wd.value(10));
+}
+
+TEST(Diurnal, MixInterpolatesAndClamps) {
+  const auto& a = DiurnalProfile::residential_workday();
+  const auto& b = DiurnalProfile::residential_weekend();
+  const auto half = a.mix(b, 0.5);
+  for (unsigned h = 0; h < 24; ++h) {
+    EXPECT_NEAR(half.value(h), 0.5 * (a.value(h) + b.value(h)), 1e-12);
+  }
+  const auto clamped = a.mix(b, 5.0);
+  for (unsigned h = 0; h < 24; ++h) EXPECT_NEAR(clamped.value(h), b.value(h), 1e-12);
+}
+
+TEST(Diurnal, RejectsDegenerateShapes) {
+  DiurnalProfile::Shape zeros{};
+  EXPECT_THROW(DiurnalProfile{zeros}, std::invalid_argument);
+  DiurnalProfile::Shape negative{};
+  negative.fill(1.0);
+  negative[3] = -0.1;
+  EXPECT_THROW(DiurnalProfile{negative}, std::invalid_argument);
+}
+
+// --- registry ----------------------------------------------------------------
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  const AsRegistry reg_ = AsRegistry::create_default();
+};
+
+TEST_F(RegistryTest, HypergiantListMatchesTable2) {
+  const auto& hgs = AsRegistry::hypergiant_asns();
+  ASSERT_EQ(hgs.size(), 15u);  // Table 2 has exactly 15 rows
+  // Spot-check the published AS numbers.
+  EXPECT_EQ(hgs[0], net::Asn(714));     // Apple
+  EXPECT_EQ(hgs[3], net::Asn(15169));   // Google
+  EXPECT_EQ(hgs[6], net::Asn(2906));    // Netflix
+  EXPECT_EQ(hgs[13], net::Asn(13335));  // Cloudflare
+  for (const auto asn : hgs) {
+    const AsInfo* info = reg_.find(asn);
+    ASSERT_NE(info, nullptr) << asn.to_string();
+    EXPECT_EQ(info->role, net::AsRole::kHypergiant);
+  }
+}
+
+TEST_F(RegistryTest, PopulationCounts) {
+  EXPECT_EQ(reg_.by_role(net::AsRole::kUniversity).size(), 16u);  // §2: EDU
+  EXPECT_EQ(reg_.by_role(net::AsRole::kEnterprise).size(), 150u);
+  EXPECT_EQ(reg_.by_role(net::AsRole::kGamingProvider).size(), 5u);
+  EXPECT_EQ(reg_.by_role(net::AsRole::kEducationalNet).size(), 9u);
+  EXPECT_GE(reg_.by_role(net::AsRole::kEyeballIsp).size(), 8u);
+}
+
+TEST_F(RegistryTest, EveryHostResolvesToItsAs) {
+  for (const AsInfo& info : reg_.all()) {
+    for (std::uint64_t i : {0ull, 1ull, 17ull, 999ull}) {
+      const auto resolved = reg_.resolve(info.host(i));
+      ASSERT_TRUE(resolved.has_value()) << info.name;
+      EXPECT_EQ(*resolved, info.asn) << info.name << " host " << i;
+    }
+  }
+}
+
+TEST_F(RegistryTest, HostsAreMostlyDistinct) {
+  const AsInfo& isp = reg_.at(net::Asn(64700));
+  std::set<std::uint32_t> addrs;
+  constexpr int kHosts = 5000;
+  for (int i = 0; i < kHosts; ++i) addrs.insert(isp.host(i).value());
+  EXPECT_GT(addrs.size(), kHosts * 95 / 100);
+}
+
+TEST_F(RegistryTest, RejectsDuplicatesAndOverlaps) {
+  AsRegistry reg;
+  reg.add(AsInfo{net::Asn(1), "a", net::AsRole::kOther, Region::kCentralEurope,
+                 {net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 16)}});
+  EXPECT_THROW(reg.add(AsInfo{net::Asn(1), "dup", net::AsRole::kOther,
+                              Region::kCentralEurope, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      reg.add(AsInfo{net::Asn(2), "overlap", net::AsRole::kOther,
+                     Region::kCentralEurope,
+                     {net::Ipv4Prefix(net::Ipv4Address(10, 0, 0, 0), 16)}}),
+      std::invalid_argument);
+}
+
+TEST_F(RegistryTest, RegionFilter) {
+  const auto se = reg_.by_role_region(net::AsRole::kEyeballIsp, Region::kSouthernEurope);
+  EXPECT_EQ(se.size(), 3u);
+  for (const AsInfo* info : se) EXPECT_EQ(info->region, Region::kSouthernEurope);
+}
+
+}  // namespace
+}  // namespace lockdown::synth

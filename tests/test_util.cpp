@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/siphash.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace lockdown::util {
+namespace {
+
+// --- rng -------------------------------------------------------------------
+
+TEST(SplitMix64, KnownValues) {
+  // Reference values from the splitmix64 reference implementation with
+  // seed state 0/1 (first output after increment).
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(12345), splitmix64(12345));
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256pp a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    EXPECT_EQ(va, b());
+    (void)c();
+  }
+  Xoshiro256pp a2(7);
+  (void)a2;
+  EXPECT_NE(Xoshiro256pp(7)(), c());
+}
+
+TEST(Xoshiro, JumpCreatesDisjointStream) {
+  Xoshiro256pp a(42);
+  Xoshiro256pp b(42);
+  b.jump();
+  std::set<std::uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(a());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(first.contains(b()));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng(2);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kDraws = 60000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(6)];
+  ASSERT_EQ(counts.size(), 6u);
+  for (const auto& [v, n] : counts) {
+    EXPECT_NEAR(n, kDraws / 6.0, kDraws * 0.01) << "value " << v;
+  }
+}
+
+TEST(Rng, UniformU64ZeroYieldsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_u64(0), 0u);
+  EXPECT_EQ(rng.uniform_u64(1), 0u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(4);
+  double sum = 0, sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(5);
+  for (const double lambda : {0.5, 4.0, 30.0, 200.0}) {
+    double sum = 0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(sum / kN, lambda, lambda * 0.05 + 0.05) << "lambda " << lambda;
+  }
+}
+
+TEST(Rng, ZipfRanksSkewed) {
+  Rng rng(6);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[rng.zipf(100, 1.1)];
+  // Rank 0 must dominate rank 50.
+  EXPECT_GT(counts[0], counts[50] * 3);
+  for (const auto& [rank, n] : counts) EXPECT_LT(rank, 100u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(0.5);
+  EXPECT_NEAR(sum / kN, 2.0, 0.1);
+}
+
+TEST(CoordinateNoise, BoundedAndDeterministic) {
+  for (std::uint64_t a = 0; a < 50; ++a) {
+    const double v = coordinate_noise(9, a, a * 3, 7, 0.1);
+    EXPECT_GE(v, 0.9);
+    EXPECT_LE(v, 1.1);
+    EXPECT_EQ(v, coordinate_noise(9, a, a * 3, 7, 0.1));
+  }
+}
+
+// --- siphash ----------------------------------------------------------------
+
+TEST(SipHash, ReferenceVector) {
+  // Official SipHash-2-4 test vector: key = 000102...0f,
+  // data = 00 01 02 ... 3e, expected outputs from the reference paper.
+  SipHashKey key{0x0706050403020100ULL, 0x0f0e0d0c0b0a0908ULL};
+  std::vector<std::uint8_t> data;
+  // First expected output (empty input): 0x726fdb47dd0e0e31.
+  EXPECT_EQ(siphash24(key, data), 0x726fdb47dd0e0e31ULL);
+  data.push_back(0);  // input = {0x00}
+  EXPECT_EQ(siphash24(key, data), 0x74f839c593dc67fdULL);
+  for (std::uint8_t i = 1; i < 8; ++i) data.push_back(i);
+  // input = 00..07 (8 bytes)
+  EXPECT_EQ(siphash24(key, data), 0x93f5f5799a932462ULL);
+}
+
+TEST(SipHash, KeySensitivity) {
+  std::vector<std::uint8_t> data = {1, 2, 3, 4};
+  EXPECT_NE(siphash24({1, 2}, data), siphash24({1, 3}, data));
+}
+
+TEST(SipHash, ValueOverloadMatchesBytes) {
+  const std::uint32_t v = 0xdeadbeef;
+  std::array<std::uint8_t, 4> bytes{};
+  std::memcpy(bytes.data(), &v, 4);
+  EXPECT_EQ(siphash24_value({5, 6}, v), siphash24({5, 6}, bytes));
+}
+
+// --- strings -----------------------------------------------------------------
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, "."), "a.b.c");
+  EXPECT_EQ(join({}, "."), "");
+}
+
+TEST(Strings, ToLowerAsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD-123"), "mixed-123");
+}
+
+TEST(Strings, AffixChecks) {
+  EXPECT_TRUE(starts_with("companyvpn3.example.com", "company"));
+  EXPECT_TRUE(ends_with("companyvpn3.example.com", ".com"));
+  EXPECT_FALSE(starts_with("a", "ab"));
+  EXPECT_TRUE(contains("companyvpn3", "vpn"));
+  EXPECT_FALSE(contains("company", "vpn"));
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Formatting) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_bytes(1536.0), "1.50 KB");
+  EXPECT_EQ(format_bytes(0.0), "0.00 B");
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedText) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"a"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lockdown::util
