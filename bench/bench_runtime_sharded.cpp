@@ -1,0 +1,149 @@
+// Scaling of the sharded ingestion runtime: records/sec through
+// ShardedCollector at 1, 2, 4, 8 shards over a multi-exporter IPFIX
+// corpus, against the single-threaded Collector as the reference point.
+// The printed table is the reproduction-style summary; the registered
+// benchmarks time the same path under google-benchmark. Ingestion uses
+// the lossless ingest_wait() producer, so steady-state drops are 0 by
+// construction and the table asserts it.
+//
+// Parallel speedup needs cores: on a single-core host every shard count
+// collapses to the same throughput (the table still validates
+// correctness/drops). CI hardware has >= 4 vCPUs.
+#include "bench_common.hpp"
+
+#include <chrono>
+
+#include "runtime/sharded_collector.hpp"
+
+namespace {
+
+using namespace lockdown;
+
+constexpr std::size_t kSources = 16;
+
+/// One fixed multi-exporter corpus shared by the table and the benchmarks.
+const std::vector<std::vector<std::uint8_t>>& corpus() {
+  static const auto datagrams = [] {
+    std::vector<flow::FlowRecord> records;
+    const auto vp = synth::build_vantage(synth::VantagePointId::kIxpCe,
+                                         bench::registry(), {.seed = 42});
+    const synth::FlowSynthesizer synth(vp.model, bench::registry(),
+                                       {.connections_per_hour = 2500});
+    synth.synthesize(
+        net::TimeRange{net::Timestamp::from_date(net::Date(2020, 3, 25), 18),
+                       net::Timestamp::from_date(net::Date(2020, 3, 25), 22)},
+        [&](const flow::FlowRecord& r) { records.push_back(r); });
+
+    // Split across kSources observation domains and interleave round-robin:
+    // the arrival pattern of a collector port shared by many exporters.
+    std::vector<std::vector<std::vector<std::uint8_t>>> per_source(kSources);
+    const std::size_t chunk = (records.size() + kSources - 1) / kSources;
+    for (std::size_t s = 0; s < kSources; ++s) {
+      const std::size_t begin = s * chunk;
+      const std::size_t end = std::min(records.size(), begin + chunk);
+      if (begin >= end) continue;
+      flow::IpfixEncoder encoder(/*observation_domain=*/1000 + s);
+      std::span<const flow::FlowRecord> slice(records.data() + begin,
+                                              end - begin);
+      per_source[s] = encoder.encode(slice, flow::batch_export_time(slice));
+    }
+    std::vector<std::vector<std::uint8_t>> interleaved;
+    for (std::size_t i = 0;; ++i) {
+      bool any = false;
+      for (auto& source : per_source) {
+        if (i < source.size()) {
+          interleaved.push_back(std::move(source[i]));
+          any = true;
+        }
+      }
+      if (!any) break;
+    }
+    return interleaved;
+  }();
+  return datagrams;
+}
+
+struct RunResult {
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  double seconds = 0;
+};
+
+RunResult run_sharded(std::size_t shards) {
+  runtime::ShardedCollectorConfig config;
+  config.shards = shards;
+  config.ring_capacity = 4096;
+  runtime::ShardedCollector engine(
+      config, [](std::size_t, std::span<const flow::FlowRecord>) {});
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& datagram : corpus()) engine.ingest_wait(datagram);
+  engine.finish();
+  const auto t1 = std::chrono::steady_clock::now();
+  return {engine.merged_stats().records, engine.dropped(),
+          std::chrono::duration<double>(t1 - t0).count()};
+}
+
+RunResult run_single() {
+  flow::Collector collector(
+      flow::ExportProtocol::kIpfix,
+      flow::Collector::BatchSink([](std::span<const flow::FlowRecord>) {}));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& datagram : corpus()) collector.ingest(datagram);
+  const auto t1 = std::chrono::steady_clock::now();
+  return {collector.stats().records, 0,
+          std::chrono::duration<double>(t1 - t0).count()};
+}
+
+void print_scaling() {
+  std::cout << "Sharded ingestion runtime: " << corpus().size()
+            << " datagrams from " << kSources << " exporters\n\n";
+  util::Table table({"configuration", "records/s", "speedup vs 1 shard",
+                     "drops"});
+  const RunResult single = run_single();
+  table.add_row({"single-threaded Collector",
+                 bench::fmt(single.records / single.seconds, 0), "-", "0"});
+  double one_shard_rate = 0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const RunResult r = run_sharded(shards);
+    const double rate = r.records / r.seconds;
+    if (shards == 1) one_shard_rate = rate;
+    table.add_row({std::to_string(shards) + " shard" + (shards > 1 ? "s" : ""),
+                   bench::fmt(rate, 0),
+                   bench::fmt(rate / one_shard_rate, 2) + "x",
+                   std::to_string(r.dropped)});
+  }
+  std::cout << table;
+  std::cout << "\n(ingest_wait backpressure: drops must be 0 at steady "
+               "state; speedup needs cores)\n\n";
+}
+
+void BM_ShardedIngest(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::uint64_t records = 0;
+  std::uint64_t dropped = 0;
+  for (auto _ : state) {
+    const RunResult r = run_sharded(shards);
+    records += r.records;
+    dropped += r.dropped;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.counters["drops"] = benchmark::Counter(static_cast<double>(dropped));
+}
+BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleThreadedCollector(benchmark::State& state) {
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const RunResult r = run_single();
+    records += r.records;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_SingleThreadedCollector)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+LOCKDOWN_BENCH_MAIN(print_scaling)

@@ -8,15 +8,24 @@
 // analyst) only communicate through datagrams and trace files -- exactly
 // how they would be split across machines.
 //
-//   $ ./live_collector [output-dir]
+// With --shards N the collector runs on the sharded ingestion runtime
+// (src/runtime/): the drain loop stays a single wire thread, decode and
+// anonymization fan out to N worker shards keyed by export source, and
+// the engine's backpressure/drop counters are reported at the end.
+//
+//   $ ./live_collector [output-dir] [--shards N]
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "analysis/volume.hpp"
 #include "flow/collector_daemon.hpp"
 #include "flow/ipfix.hpp"
 #include "flow/trace_file.hpp"
 #include "flow/udp_transport.hpp"
+#include "runtime/sharded_daemon.hpp"
 #include "synth/synthesizer.hpp"
 #include "synth/vantage.hpp"
 #include "util/strings.hpp"
@@ -24,35 +33,68 @@
 using namespace lockdown;
 
 int main(int argc, char** argv) {
-  const std::filesystem::path out_dir =
-      argc > 1 ? argv[1] : std::filesystem::temp_directory_path() / "lockdown_slices";
+  std::filesystem::path out_dir =
+      std::filesystem::temp_directory_path() / "lockdown_slices";
+  std::size_t shards = 0;  // 0 = classic single-threaded daemon
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      out_dir = arg;
+    }
+  }
   std::filesystem::create_directories(out_dir);
 
   // --- Collector side ------------------------------------------------------
-  auto transport = flow::UdpCollectorTransport::create();
+  // 1 MiB socket buffer: the wire thread shares a core with the exporter
+  // in this self-contained setup, so give the kernel room to queue.
+  auto transport = flow::UdpCollectorTransport::create(0, 1 << 20);
   if (!transport) {
     std::cerr << "error: cannot bind a loopback UDP socket\n";
     return 1;
   }
-  std::cout << "collector listening on 127.0.0.1:" << transport->port() << "\n";
+  std::cout << "collector listening on 127.0.0.1:" << transport->port()
+            << " (rcvbuf " << transport->rcvbuf_bytes() << " bytes)\n";
 
   const flow::Anonymizer anonymizer({0x10cd0ULL, 0xeffec7ULL},
                                     flow::AnonymizationMode::kPrefixPreserving);
   std::vector<std::filesystem::path> slice_paths;
-  flow::CollectorDaemon daemon(
-      {.protocol = flow::ExportProtocol::kIpfix,
-       .rotation_seconds = 15 * 60,
-       .anonymizer = &anonymizer},
-      [&](flow::TraceSlice&& slice) {
-        const auto path =
-            out_dir / ("slice-" + std::to_string(slice.begin.seconds()) + ".lft");
-        std::FILE* f = std::fopen(path.c_str(), "wb");
-        if (f != nullptr) {
-          std::fwrite(slice.image.data(), 1, slice.image.size(), f);
-          std::fclose(f);
-          slice_paths.push_back(path);
-        }
-      });
+  const auto slice_sink = [&](flow::TraceSlice&& slice) {
+    const auto path =
+        out_dir / ("slice-" + std::to_string(slice.begin.seconds()) + ".lft");
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f != nullptr) {
+      std::fwrite(slice.image.data(), 1, slice.image.size(), f);
+      std::fclose(f);
+      slice_paths.push_back(path);
+    }
+  };
+
+  std::optional<flow::CollectorDaemon> daemon;
+  std::optional<runtime::ShardedCollectorDaemon> sharded;
+  if (shards > 0) {
+    std::cout << "sharded runtime: " << shards << " worker shards\n";
+    sharded.emplace(
+        runtime::ShardedDaemonConfig{.protocol = flow::ExportProtocol::kIpfix,
+                                     .shards = shards,
+                                     .rotation_seconds = 15 * 60,
+                                     .anonymizer = &anonymizer},
+        slice_sink);
+  } else {
+    daemon.emplace(
+        flow::CollectorDaemonConfig{.protocol = flow::ExportProtocol::kIpfix,
+                                    .rotation_seconds = 15 * 60,
+                                    .anonymizer = &anonymizer},
+        slice_sink);
+  }
+  const auto ingest = [&](std::span<const std::uint8_t> d) {
+    if (sharded) {
+      sharded->ingest(d);
+    } else {
+      daemon->ingest(d);
+    }
+  };
 
   // --- Exporter side ---------------------------------------------------------
   auto exporter = flow::UdpExporterTransport::create(transport->port());
@@ -75,9 +117,8 @@ int main(int argc, char** argv) {
       exporter->send(msg);
     }
     batch.clear();
-    // Drain the wire into the daemon as we go (single-threaded poll loop).
-    (void)transport->drain(
-        [&](std::span<const std::uint8_t> d) { daemon.ingest(d); });
+    // Drain the wire as we go (single-threaded poll loop on this side).
+    (void)transport->drain(ingest);
   };
   synth.synthesize(
       net::TimeRange{net::Timestamp::from_date(net::Date(2020, 3, 25), 19),
@@ -88,16 +129,38 @@ int main(int argc, char** argv) {
       });
   ship();
   for (int i = 0; i < 50; ++i) {  // drain any stragglers
-    (void)transport->drain([&](std::span<const std::uint8_t> d) { daemon.ingest(d); });
+    (void)transport->drain(ingest);
   }
-  daemon.flush();
+
+  flow::CollectorStats wire_stats;
+  std::size_t spooled = 0, slices = 0;
+  if (sharded) {
+    sharded->flush();
+    wire_stats = sharded->wire_stats();
+    spooled = sharded->records_spooled();
+    slices = sharded->slices_emitted();
+  } else {
+    daemon->flush();
+    wire_stats = daemon->wire_stats();
+    spooled = daemon->records_spooled();
+    slices = daemon->slices_emitted();
+  }
 
   std::cout << "  datagrams sent: " << exporter->sent() << " (" << exporter->dropped()
-            << " dropped)\n";
-  std::cout << "  records spooled: " << daemon.records_spooled() << " into "
-            << daemon.slices_emitted() << " slices\n";
-  std::cout << "  malformed packets: " << daemon.wire_stats().malformed_packets
-            << "\n\n";
+            << " dropped, " << transport->kernel_drops() << " shed by the kernel)\n";
+  std::cout << "  records spooled: " << spooled << " into " << slices
+            << " slices\n";
+  std::cout << "  malformed packets: " << wire_stats.malformed_packets << "\n";
+  if (sharded) {
+    const auto engine = sharded->engine_snapshot();
+    std::cout << "  engine: " << engine.dropped << " ring drops, queue high-water "
+              << engine.queue_high_water << "\n  per shard:";
+    for (std::size_t i = 0; i < engine.shards.size(); ++i) {
+      std::cout << " [" << i << "] " << engine.shards[i].records << " records";
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
 
   // --- Analyst side -----------------------------------------------------------
   std::cout << "analyzing spooled slices from " << out_dir << ":\n";

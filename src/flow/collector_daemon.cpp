@@ -4,23 +4,16 @@
 
 namespace lockdown::flow {
 
-CollectorDaemon::CollectorDaemon(CollectorDaemonConfig config, SliceSink sink)
-    : config_(config), sink_(std::move(sink)),
-      collector_(config.protocol,
-                 [this](const FlowRecord& r) { on_record(r); },
-                 config.anonymizer) {
-  if (config_.rotation_seconds <= 0) {
-    throw std::invalid_argument("CollectorDaemon: non-positive rotation window");
+SliceSpooler::SliceSpooler(std::int64_t rotation_seconds, SliceSink sink)
+    : rotation_seconds_(rotation_seconds), sink_(std::move(sink)) {
+  if (rotation_seconds_ <= 0) {
+    throw std::invalid_argument("SliceSpooler: non-positive rotation window");
   }
 }
 
-void CollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
-  collector_.ingest(datagram);
-}
-
-void CollectorDaemon::on_record(const FlowRecord& record) {
+void SliceSpooler::append(const FlowRecord& record) {
   // Window anchored on aligned flow time, like nfcapd's file naming.
-  const std::int64_t window = config_.rotation_seconds;
+  const std::int64_t window = rotation_seconds_;
   const net::Timestamp aligned(record.first.seconds() -
                                (((record.first.seconds() % window) + window) %
                                 window));
@@ -35,7 +28,7 @@ void CollectorDaemon::on_record(const FlowRecord& record) {
   ++spooled_;
 }
 
-void CollectorDaemon::rotate(net::Timestamp new_window_begin) {
+void SliceSpooler::rotate(net::Timestamp new_window_begin) {
   if (writer_.records_written() > 0) {
     TraceSlice slice;
     slice.begin = *window_begin_;
@@ -47,7 +40,7 @@ void CollectorDaemon::rotate(net::Timestamp new_window_begin) {
   window_begin_ = new_window_begin;
 }
 
-void CollectorDaemon::flush() {
+void SliceSpooler::flush() {
   if (writer_.records_written() > 0 && window_begin_) {
     TraceSlice slice;
     slice.begin = *window_begin_;
@@ -58,5 +51,19 @@ void CollectorDaemon::flush() {
   }
   window_begin_.reset();
 }
+
+CollectorDaemon::CollectorDaemon(CollectorDaemonConfig config, SliceSink sink)
+    : spooler_(config.rotation_seconds, std::move(sink)),
+      collector_(config.protocol,
+                 Collector::BatchSink([this](std::span<const FlowRecord> batch) {
+                   for (const FlowRecord& r : batch) spooler_.append(r);
+                 }),
+                 config.anonymizer) {}
+
+void CollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
+  collector_.ingest(datagram);
+}
+
+void CollectorDaemon::flush() { spooler_.flush(); }
 
 }  // namespace lockdown::flow

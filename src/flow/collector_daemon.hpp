@@ -38,9 +38,41 @@ struct TraceSlice {
   std::size_t records = 0;
 };
 
+using SliceSink = std::function<void(TraceSlice&&)>;
+
+/// The rotation engine on its own: decoded records in, completed trace
+/// slices out. Extracted from CollectorDaemon so other front-ends (the
+/// sharded runtime's daemon, replay tools) can reuse the exact nfcapd
+/// window policy without owning a wire decoder. Single-threaded: callers
+/// that decode on worker threads must serialize their appends.
+class SliceSpooler {
+ public:
+  /// Throws std::invalid_argument on a non-positive rotation window.
+  SliceSpooler(std::int64_t rotation_seconds, SliceSink sink);
+
+  /// Spool one decoded record, rotating when its aligned window advances.
+  void append(const FlowRecord& record);
+
+  /// Flush the current partial slice (end of capture / shutdown).
+  void flush();
+
+  [[nodiscard]] std::size_t slices_emitted() const noexcept { return slices_; }
+  [[nodiscard]] std::size_t records_spooled() const noexcept { return spooled_; }
+
+ private:
+  void rotate(net::Timestamp new_window_begin);
+
+  std::int64_t rotation_seconds_;
+  SliceSink sink_;
+  TraceWriter writer_;
+  std::optional<net::Timestamp> window_begin_;
+  std::size_t slices_ = 0;
+  std::size_t spooled_ = 0;
+};
+
 class CollectorDaemon {
  public:
-  using SliceSink = std::function<void(TraceSlice&&)>;
+  using SliceSink = flow::SliceSink;
 
   CollectorDaemon(CollectorDaemonConfig config, SliceSink sink);
 
@@ -53,20 +85,16 @@ class CollectorDaemon {
   [[nodiscard]] const CollectorStats& wire_stats() const noexcept {
     return collector_.stats();
   }
-  [[nodiscard]] std::size_t slices_emitted() const noexcept { return slices_; }
-  [[nodiscard]] std::size_t records_spooled() const noexcept { return spooled_; }
+  [[nodiscard]] std::size_t slices_emitted() const noexcept {
+    return spooler_.slices_emitted();
+  }
+  [[nodiscard]] std::size_t records_spooled() const noexcept {
+    return spooler_.records_spooled();
+  }
 
  private:
-  void on_record(const FlowRecord& record);
-  void rotate(net::Timestamp new_window_begin);
-
-  CollectorDaemonConfig config_;
-  SliceSink sink_;
+  SliceSpooler spooler_;
   Collector collector_;
-  TraceWriter writer_;
-  std::optional<net::Timestamp> window_begin_;
-  std::size_t slices_ = 0;
-  std::size_t spooled_ = 0;
 };
 
 }  // namespace lockdown::flow

@@ -1,5 +1,7 @@
 #include "flow/pipeline.hpp"
 
+#include "util/arith.hpp"
+
 namespace lockdown::flow {
 
 void Collector::ingest(std::span<const std::uint8_t> datagram) {
@@ -8,13 +10,13 @@ void Collector::ingest(std::span<const std::uint8_t> datagram) {
   auto deliver = [&](std::vector<FlowRecord>&& records, std::uint64_t scale = 1) {
     for (FlowRecord& r : records) {
       if (scale > 1) {
-        r.bytes *= scale;
-        r.packets *= scale;
+        r.bytes = util::saturating_mul(r.bytes, scale);
+        r.packets = util::saturating_mul(r.packets, scale);
       }
       if (anonymizer_ != nullptr) anonymizer_->anonymize(r);
-      ++stats_.records;
-      sink_(r);
     }
+    stats_.records += records.size();
+    if (!records.empty()) sink_(records);
   };
 
   switch (protocol_) {

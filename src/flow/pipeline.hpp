@@ -40,6 +40,8 @@ struct CollectorStats {
   std::uint64_t malformed_packets = 0;
   std::uint64_t records = 0;
   std::uint64_t templates = 0;
+
+  friend bool operator==(const CollectorStats&, const CollectorStats&) = default;
 };
 
 /// A collector that parses datagrams of one protocol and hands records to a
@@ -48,15 +50,29 @@ struct CollectorStats {
 class Collector {
  public:
   using Sink = std::function<void(const FlowRecord&)>;
+  /// Batch delivery: one call per decoded datagram instead of one
+  /// type-erased call per record. The span is only valid for the duration
+  /// of the call. This is the hot-path interface the sharded runtime
+  /// workers use; the per-record `Sink` remains for existing callers and
+  /// is adapted onto it.
+  using BatchSink = std::function<void(std::span<const FlowRecord>)>;
 
   /// `rescale_sampled`: multiply counters by the exporter-announced
   /// sampling interval (NetFlow v9 options templates, v5 header sampling
   /// field) so downstream volume estimates are unbiased. Off by default --
   /// some pipelines prefer to keep raw sampled counters and scale late.
-  Collector(ExportProtocol protocol, Sink sink,
+  Collector(ExportProtocol protocol, BatchSink sink,
             const Anonymizer* anonymizer = nullptr, bool rescale_sampled = false)
       : protocol_(protocol), sink_(std::move(sink)), anonymizer_(anonymizer),
         rescale_sampled_(rescale_sampled) {}
+
+  Collector(ExportProtocol protocol, Sink sink,
+            const Anonymizer* anonymizer = nullptr, bool rescale_sampled = false)
+      : Collector(protocol,
+                  BatchSink([s = std::move(sink)](std::span<const FlowRecord> batch) {
+                    for (const FlowRecord& r : batch) s(r);
+                  }),
+                  anonymizer, rescale_sampled) {}
 
   /// Parse one datagram; malformed input increments a counter, never throws.
   void ingest(std::span<const std::uint8_t> datagram);
@@ -65,7 +81,7 @@ class Collector {
 
  private:
   ExportProtocol protocol_;
-  Sink sink_;
+  BatchSink sink_;
   const Anonymizer* anonymizer_;
   bool rescale_sampled_;
   NetflowV9Decoder v9_;

@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "flow/flow_record.hpp"
+#include "util/arith.hpp"
 #include "util/rng.hpp"
 
 namespace lockdown::flow {
@@ -24,13 +25,15 @@ class SystematicSampler {
   explicit SystematicSampler(std::uint32_t interval) noexcept
       : interval_(interval == 0 ? 1 : interval) {}
 
-  /// Returns the (scaled) record if sampled, nullopt otherwise.
+  /// Returns the (scaled) record if sampled, nullopt otherwise. Scaling
+  /// saturates at UINT64_MAX: jumbo synthetic flows at high intervals must
+  /// not wrap the counters.
   [[nodiscard]] std::optional<FlowRecord> offer(const FlowRecord& r) noexcept {
     const bool keep = (counter_++ % interval_) == 0;
     if (!keep) return std::nullopt;
     FlowRecord scaled = r;
-    scaled.bytes *= interval_;
-    scaled.packets *= interval_;
+    scaled.bytes = util::saturating_mul(r.bytes, interval_);
+    scaled.packets = util::saturating_mul(r.packets, interval_);
     return scaled;
   }
 

@@ -17,18 +17,23 @@ UdpSocket::~UdpSocket() {
 }
 
 UdpSocket::UdpSocket(UdpSocket&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)) {}
+    : fd_(std::exchange(other.fd_, -1)), port_(std::exchange(other.port_, 0)),
+      rcvbuf_(std::exchange(other.rcvbuf_, 0)),
+      kernel_drops_(std::exchange(other.kernel_drops_, 0)) {}
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     port_ = std::exchange(other.port_, 0);
+    rcvbuf_ = std::exchange(other.rcvbuf_, 0);
+    kernel_drops_ = std::exchange(other.kernel_drops_, 0);
   }
   return *this;
 }
 
-std::optional<UdpSocket> UdpSocket::bind_loopback(std::uint16_t port) {
+std::optional<UdpSocket> UdpSocket::bind_loopback(std::uint16_t port,
+                                                  int rcvbuf_bytes) {
   UdpSocket s;
   s.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (s.fd_ < 0) return std::nullopt;
@@ -38,6 +43,21 @@ std::optional<UdpSocket> UdpSocket::bind_loopback(std::uint16_t port) {
   if (flags < 0 || ::fcntl(s.fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
     return std::nullopt;
   }
+
+  if (rcvbuf_bytes > 0 &&
+      ::setsockopt(s.fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                   sizeof(rcvbuf_bytes)) < 0) {
+    return std::nullopt;
+  }
+  socklen_t rcvbuf_len = sizeof(s.rcvbuf_);
+  (void)::getsockopt(s.fd_, SOL_SOCKET, SO_RCVBUF, &s.rcvbuf_, &rcvbuf_len);
+
+#ifdef SO_RXQ_OVFL
+  // Ask the kernel to report receive-queue overflows as ancillary data so
+  // collector-side losses are observable, not silent.
+  const int one = 1;
+  (void)::setsockopt(s.fd_, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof(one));
+#endif
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -74,8 +94,24 @@ std::optional<std::vector<std::uint8_t>> UdpSocket::receive() const {
   // NetFlow/IPFIX datagrams fit in one MTU-ish read; 64 KiB covers any UDP
   // payload.
   std::vector<std::uint8_t> buf(65536);
-  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0, nullptr, nullptr);
+  iovec iov{buf.data(), buf.size()};
+  alignas(cmsghdr) std::uint8_t control[CMSG_SPACE(sizeof(std::uint32_t))];
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  const ssize_t n = ::recvmsg(fd_, &msg, 0);
   if (n < 0) return std::nullopt;  // EAGAIN: queue empty
+#ifdef SO_RXQ_OVFL
+  for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr; c = CMSG_NXTHDR(&msg, c)) {
+    if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SO_RXQ_OVFL) {
+      std::uint32_t dropped = 0;
+      std::memcpy(&dropped, CMSG_DATA(c), sizeof(dropped));
+      kernel_drops_ = dropped;  // cumulative since the socket was created
+    }
+  }
+#endif
   buf.resize(static_cast<std::size_t>(n));
   return buf;
 }
@@ -96,8 +132,8 @@ void UdpExporterTransport::send(std::span<const std::uint8_t> packet) {
 }
 
 std::optional<UdpCollectorTransport> UdpCollectorTransport::create(
-    std::uint16_t port) {
-  auto socket = UdpSocket::bind_loopback(port);
+    std::uint16_t port, int rcvbuf_bytes) {
+  auto socket = UdpSocket::bind_loopback(port, rcvbuf_bytes);
   if (!socket) return std::nullopt;
   return UdpCollectorTransport(std::move(*socket));
 }

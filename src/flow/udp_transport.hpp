@@ -33,11 +33,29 @@ class UdpSocket {
 
   /// Bind a non-blocking UDP socket on 127.0.0.1. Port 0 lets the kernel
   /// choose; the chosen port is then available via port(). nullopt on error.
-  [[nodiscard]] static std::optional<UdpSocket> bind_loopback(std::uint16_t port = 0);
+  ///
+  /// `rcvbuf_bytes` requests an explicit SO_RCVBUF (0 = kernel default); a
+  /// flow collector that cannot keep up first loses datagrams in this
+  /// buffer, so sizing it -- and watching the drop counter below -- is part
+  /// of deploying one. The kernel may round the request (Linux doubles it);
+  /// the granted size is available via rcvbuf_bytes().
+  [[nodiscard]] static std::optional<UdpSocket> bind_loopback(std::uint16_t port = 0,
+                                                              int rcvbuf_bytes = 0);
 
   /// The locally bound port (0 if not bound).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// The receive buffer size the kernel actually granted at bind time.
+  [[nodiscard]] int rcvbuf_bytes() const noexcept { return rcvbuf_; }
+
+  /// Datagrams the kernel dropped on this socket's receive queue (buffer
+  /// full), as reported by SO_RXQ_OVFL ancillary data: the receive-side
+  /// counterpart of UdpExporterTransport::dropped(). The counter is
+  /// cumulative and updates as queued datagrams are received, so it can lag
+  /// a burst until the next successfully delivered datagram. Always 0 on
+  /// platforms without SO_RXQ_OVFL.
+  [[nodiscard]] std::uint64_t kernel_drops() const noexcept { return kernel_drops_; }
 
   /// Send one datagram to 127.0.0.1:dest_port. Returns false on any
   /// failure (caller counts it as a drop).
@@ -51,6 +69,10 @@ class UdpSocket {
  private:
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  int rcvbuf_ = 0;
+  // Updated from SO_RXQ_OVFL ancillary data inside receive(), which stays
+  // const for callers polling an otherwise-unchanged socket.
+  mutable std::uint64_t kernel_drops_ = 0;
 };
 
 /// Counted best-effort sender for export packets.
@@ -80,10 +102,18 @@ class UdpCollectorTransport {
  public:
   using Handler = std::function<void(std::span<const std::uint8_t>)>;
 
+  /// `rcvbuf_bytes` as in UdpSocket::bind_loopback (0 = kernel default).
   [[nodiscard]] static std::optional<UdpCollectorTransport> create(
-      std::uint16_t port = 0);
+      std::uint16_t port = 0, int rcvbuf_bytes = 0);
 
   [[nodiscard]] std::uint16_t port() const noexcept { return socket_.port(); }
+  [[nodiscard]] int rcvbuf_bytes() const noexcept { return socket_.rcvbuf_bytes(); }
+
+  /// Datagrams the kernel dropped before we could drain them (see
+  /// UdpSocket::kernel_drops).
+  [[nodiscard]] std::uint64_t kernel_drops() const noexcept {
+    return socket_.kernel_drops();
+  }
 
   /// Process every currently queued datagram; returns how many were seen.
   std::size_t drain(const Handler& handler);

@@ -1,0 +1,110 @@
+// Shared counters of the sharded ingestion engine. Shard workers and the
+// wire thread publish through relaxed atomics (each counter has exactly
+// one writer); readers fold them into plain snapshot structs, so engine
+// health -- queue depth high-water marks, ring-full drops, per-shard
+// record throughput -- is observable from any thread while the engine
+// runs. Each shard's counters sit on their own cache line to keep the
+// workers from false-sharing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lockdown::runtime {
+
+/// Live counters of one shard. Writers: the shard's worker thread
+/// (datagrams/malformed/records/templates) and the wire thread
+/// (dropped/queue high-water).
+struct alignas(64) ShardCounters {
+  std::atomic<std::uint64_t> datagrams{0};   ///< processed by the worker
+  std::atomic<std::uint64_t> malformed{0};
+  std::atomic<std::uint64_t> records{0};
+  std::atomic<std::uint64_t> templates{0};
+  std::atomic<std::uint64_t> dropped{0};     ///< ring full, datagram discarded
+  std::atomic<std::uint64_t> queue_high_water{0};
+};
+
+/// Plain-value copy of one shard's counters.
+struct ShardSnapshot {
+  std::uint64_t datagrams = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t records = 0;
+  std::uint64_t templates = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t queue_high_water = 0;
+};
+
+/// Whole-engine snapshot: totals plus the per-shard breakdown.
+struct EngineSnapshot {
+  std::uint64_t wire_datagrams = 0;  ///< seen by the wire thread (incl. drops)
+  std::uint64_t datagrams = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t records = 0;
+  std::uint64_t templates = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t queue_high_water = 0;  ///< max over shards
+  std::vector<ShardSnapshot> shards;
+};
+
+class EngineStats {
+ public:
+  explicit EngineStats(std::size_t shards)
+      : shards_(shards), counters_(std::make_unique<ShardCounters[]>(shards)) {}
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_; }
+  [[nodiscard]] ShardCounters& shard(std::size_t i) noexcept {
+    return counters_[i];
+  }
+  [[nodiscard]] const ShardCounters& shard(std::size_t i) const noexcept {
+    return counters_[i];
+  }
+
+  /// Wire thread: record the queue depth observed after an enqueue.
+  void note_queue_depth(std::size_t shard, std::size_t depth) noexcept {
+    auto& hw = counters_[shard].queue_high_water;
+    std::uint64_t seen = hw.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !hw.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
+    }
+  }
+
+  void note_wire_datagram() noexcept {
+    wire_datagrams_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] EngineSnapshot snapshot() const {
+    EngineSnapshot s;
+    s.wire_datagrams = wire_datagrams_.load(std::memory_order_relaxed);
+    s.shards.reserve(shards_);
+    for (std::size_t i = 0; i < shards_; ++i) {
+      const ShardCounters& c = counters_[i];
+      ShardSnapshot sh;
+      sh.datagrams = c.datagrams.load(std::memory_order_relaxed);
+      sh.malformed = c.malformed.load(std::memory_order_relaxed);
+      sh.records = c.records.load(std::memory_order_relaxed);
+      sh.templates = c.templates.load(std::memory_order_relaxed);
+      sh.dropped = c.dropped.load(std::memory_order_relaxed);
+      sh.queue_high_water = c.queue_high_water.load(std::memory_order_relaxed);
+      s.datagrams += sh.datagrams;
+      s.malformed += sh.malformed;
+      s.records += sh.records;
+      s.templates += sh.templates;
+      s.dropped += sh.dropped;
+      if (sh.queue_high_water > s.queue_high_water) {
+        s.queue_high_water = sh.queue_high_water;
+      }
+      s.shards.push_back(sh);
+    }
+    return s;
+  }
+
+ private:
+  std::size_t shards_;
+  std::unique_ptr<ShardCounters[]> counters_;
+  alignas(64) std::atomic<std::uint64_t> wire_datagrams_{0};
+};
+
+}  // namespace lockdown::runtime

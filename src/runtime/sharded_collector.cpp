@@ -1,0 +1,131 @@
+#include "runtime/sharded_collector.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace lockdown::runtime {
+
+namespace {
+
+[[nodiscard]] std::uint32_t read_be16(std::span<const std::uint8_t> d,
+                                      std::size_t at) noexcept {
+  return (static_cast<std::uint32_t>(d[at]) << 8) | d[at + 1];
+}
+
+[[nodiscard]] std::uint32_t read_be32(std::span<const std::uint8_t> d,
+                                      std::size_t at) noexcept {
+  return (static_cast<std::uint32_t>(d[at]) << 24) |
+         (static_cast<std::uint32_t>(d[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(d[at + 2]) << 8) | d[at + 3];
+}
+
+}  // namespace
+
+std::uint64_t export_source_key(std::span<const std::uint8_t> datagram) noexcept {
+  if (datagram.size() < 2) return 0;
+  const std::uint32_t version = read_be16(datagram, 0);
+  std::uint32_t source = 0;
+  switch (version) {
+    case 5:  // engine type/id live at header bytes 20-21
+      if (datagram.size() < 22) return 0;
+      source = read_be16(datagram, 20);
+      break;
+    case 9:  // source id at bytes 16-19
+      if (datagram.size() < 20) return 0;
+      source = read_be32(datagram, 16);
+      break;
+    case 10:  // IPFIX observation domain at bytes 12-15
+      if (datagram.size() < 16) return 0;
+      source = read_be32(datagram, 12);
+      break;
+    default:
+      return 0;
+  }
+  return (static_cast<std::uint64_t>(version) << 32) | source;
+}
+
+ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
+                                   ShardBatchSink sink)
+    : config_(config), stats_(config.shards == 0 ? 1 : config.shards),
+      collected_(sink ? 0 : stats_.shard_count()),
+      pool_(stats_.shard_count(),
+            WorkerConfig{.protocol = config.protocol,
+                         .anonymizer = config.anonymizer,
+                         .rescale_sampled = config.rescale_sampled,
+                         .ring_capacity = config.ring_capacity},
+            sink ? std::move(sink)
+                 : ShardBatchSink([this](std::size_t shard,
+                                         std::span<const flow::FlowRecord> batch) {
+                     auto& out = collected_[shard];
+                     out.insert(out.end(), batch.begin(), batch.end());
+                   }),
+            stats_) {}
+
+std::size_t ShardedCollector::shard_of(
+    std::span<const std::uint8_t> datagram) const noexcept {
+  if (pool_.shards() == 1) return 0;
+  return util::siphash24_value(config_.shard_key, export_source_key(datagram)) %
+         pool_.shards();
+}
+
+bool ShardedCollector::ingest(std::span<const std::uint8_t> datagram) {
+  stats_.note_wire_datagram();
+  const std::size_t shard = shard_of(datagram);
+  std::vector<std::uint8_t> copy(datagram.begin(), datagram.end());
+  if (!pool_.submit(shard, std::move(copy))) {
+    stats_.shard(shard).dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void ShardedCollector::ingest_wait(std::span<const std::uint8_t> datagram) {
+  stats_.note_wire_datagram();
+  const std::size_t shard = shard_of(datagram);
+  std::vector<std::uint8_t> copy(datagram.begin(), datagram.end());
+  unsigned idle = 0;
+  while (!pool_.submit(shard, std::move(copy))) {
+    // submit() leaves `copy` intact on failure.
+    if (++idle < 64) continue;
+    if (idle < 256) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void ShardedCollector::finish() {
+  pool_.finish();
+  finished_ = true;
+}
+
+flow::CollectorStats ShardedCollector::merged_stats() const {
+  const EngineSnapshot s = stats_.snapshot();
+  flow::CollectorStats merged;
+  merged.packets = s.datagrams;
+  merged.malformed_packets = s.malformed;
+  merged.records = s.records;
+  merged.templates = s.templates;
+  return merged;
+}
+
+std::uint64_t ShardedCollector::dropped() const {
+  return stats_.snapshot().dropped;
+}
+
+std::vector<flow::FlowRecord> ShardedCollector::take_merged_records() {
+  if (!finished_) finish();
+  std::vector<flow::FlowRecord> merged;
+  std::size_t total = 0;
+  for (const auto& shard : collected_) total += shard.size();
+  merged.reserve(total);
+  for (auto& shard : collected_) {
+    merged.insert(merged.end(), shard.begin(), shard.end());
+    shard.clear();
+    shard.shrink_to_fit();
+  }
+  return merged;
+}
+
+}  // namespace lockdown::runtime

@@ -1,0 +1,108 @@
+// The sharded ingestion engine's facade: one wire thread fanning datagrams
+// out to N shard workers over lock-free rings, and a deterministic merge
+// of the per-shard results.
+//
+// Routing is by export source (IPFIX observation domain, NetFlow v9 source
+// id, v5 engine id), hashed with SipHash under a fixed key so shard
+// placement is stable across runs and hostile exporters cannot trivially
+// pile every source onto one shard. Because a source never changes shards,
+// each worker's template cache sees the same template/data sequence the
+// single-threaded Collector would -- which is why merge() can promise the
+// exact same record multiset and statistics (the determinism contract the
+// runtime tests pin down).
+//
+// Backpressure is explicit: ingest() never blocks the wire thread; a full
+// shard ring counts a drop, exactly like a kernel receive-queue overflow.
+// Replay-style callers that prefer losslessness over liveness use
+// ingest_wait(), which spins the producer instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flow/anonymizer.hpp"
+#include "flow/pipeline.hpp"
+#include "runtime/engine_stats.hpp"
+#include "runtime/worker_pool.hpp"
+#include "util/siphash.hpp"
+
+namespace lockdown::runtime {
+
+/// Peek the export-source identity out of a datagram without decoding it:
+/// (version << 32) | source, where source is the IPFIX observation domain,
+/// the v9 source id, or the v5 engine type/id pair. Datagrams too short to
+/// carry their header field map to 0 (they will be counted malformed by
+/// whichever shard receives them).
+[[nodiscard]] std::uint64_t export_source_key(
+    std::span<const std::uint8_t> datagram) noexcept;
+
+struct ShardedCollectorConfig {
+  flow::ExportProtocol protocol = flow::ExportProtocol::kIpfix;
+  std::size_t shards = 1;
+  /// Datagrams buffered per shard before backpressure (rounded up to a
+  /// power of two).
+  std::size_t ring_capacity = 4096;
+  const flow::Anonymizer* anonymizer = nullptr;
+  bool rescale_sampled = false;
+  /// Key for the source -> shard SipHash. The default is arbitrary but
+  /// fixed so shard placement (and thus per-shard output order) is
+  /// reproducible.
+  util::SipHashKey shard_key{0x10cdd0e45ULL, 0x5a4d3e27ULL};
+};
+
+class ShardedCollector {
+ public:
+  /// `sink` receives per-shard record batches on worker threads (see
+  /// ShardBatchSink). Pass an empty sink to run in collect mode: each
+  /// shard buffers its records internally and take_merged_records() hands
+  /// back the deterministic merge after finish().
+  explicit ShardedCollector(const ShardedCollectorConfig& config,
+                            ShardBatchSink sink = {});
+
+  /// Route one datagram from the wire. Never blocks; returns false (and
+  /// counts a drop against the target shard) when that shard's ring is
+  /// full.
+  bool ingest(std::span<const std::uint8_t> datagram);
+
+  /// Lossless variant for replay/bench callers: spins until the shard ring
+  /// accepts the datagram. Never counts a drop.
+  void ingest_wait(std::span<const std::uint8_t> datagram);
+
+  /// Drain every ring and join the workers. Idempotent. No ingest calls
+  /// may follow.
+  void finish();
+
+  /// Which shard a datagram would be routed to.
+  [[nodiscard]] std::size_t shard_of(
+      std::span<const std::uint8_t> datagram) const noexcept;
+
+  /// Fold the per-shard statistics into the single-threaded Collector's
+  /// shape. Safe to call while the engine runs (reads the live atomic
+  /// counters); exact once finish() has returned. Dropped datagrams are
+  /// not part of `packets` -- they were never decoded.
+  [[nodiscard]] flow::CollectorStats merged_stats() const;
+
+  /// Total ring-full drops across shards.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  [[nodiscard]] EngineSnapshot engine_snapshot() const { return stats_.snapshot(); }
+  [[nodiscard]] std::size_t shards() const noexcept { return pool_.shards(); }
+
+  /// Collect mode only, after finish(): the per-shard record streams
+  /// concatenated in shard order. Deterministic for a given datagram
+  /// sequence and shard count (each shard preserves wire order). Clears
+  /// the internal buffers.
+  [[nodiscard]] std::vector<flow::FlowRecord> take_merged_records();
+
+ private:
+  ShardedCollectorConfig config_;
+  EngineStats stats_;
+  /// Collect-mode buffers; collected_[i] is touched only by shard i's
+  /// worker thread until finish() joins it.
+  std::vector<std::vector<flow::FlowRecord>> collected_;
+  WorkerPool pool_;
+  bool finished_ = false;
+};
+
+}  // namespace lockdown::runtime

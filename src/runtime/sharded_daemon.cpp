@@ -1,0 +1,61 @@
+#include "runtime/sharded_daemon.hpp"
+
+namespace lockdown::runtime {
+
+namespace {
+
+ShardedCollectorConfig runtime_config(const ShardedDaemonConfig& config) {
+  ShardedCollectorConfig rc;
+  rc.protocol = config.protocol;
+  rc.shards = config.shards == 0 ? 1 : config.shards;
+  rc.ring_capacity = config.ring_capacity;
+  rc.anonymizer = config.anonymizer;
+  return rc;
+}
+
+}  // namespace
+
+ShardedCollectorDaemon::ShardedCollectorDaemon(const ShardedDaemonConfig& config,
+                                               flow::SliceSink sink)
+    : spooler_(config.rotation_seconds, std::move(sink)),
+      runtime_(runtime_config(config),
+               ShardBatchSink([this](std::size_t shard,
+                                     std::span<const flow::FlowRecord> batch) {
+                 ShardSpool& spool = *spools_[shard];
+                 const std::lock_guard<std::mutex> lock(spool.mu);
+                 spool.records.insert(spool.records.end(), batch.begin(),
+                                      batch.end());
+               })) {
+  const std::size_t shards = config.shards == 0 ? 1 : config.shards;
+  spools_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    spools_.push_back(std::make_unique<ShardSpool>());
+  }
+}
+
+void ShardedCollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
+  (void)runtime_.ingest(datagram);
+  // Opportunistic drain keeps spool buffers bounded without a dedicated
+  // writer thread; every 64 datagrams is far below the rotation cadence.
+  if ((++ingests_ & 63) == 0) poll();
+}
+
+void ShardedCollectorDaemon::poll() {
+  for (auto& spool_ptr : spools_) {
+    ShardSpool& spool = *spool_ptr;
+    {
+      const std::lock_guard<std::mutex> lock(spool.mu);
+      scratch_.swap(spool.records);
+    }
+    for (const flow::FlowRecord& r : scratch_) spooler_.append(r);
+    scratch_.clear();
+  }
+}
+
+void ShardedCollectorDaemon::flush() {
+  runtime_.finish();
+  poll();
+  spooler_.flush();
+}
+
+}  // namespace lockdown::runtime

@@ -1,0 +1,79 @@
+// Multi-threaded deployment shape of flow::CollectorDaemon: shard workers
+// decode and anonymize in parallel, while rotation and trace spooling stay
+// on the caller's thread (a TraceWriter is inherently serial). Decoded
+// records come back from the workers through small per-shard spool
+// buffers; poll() moves them into the SliceSpooler. This mirrors nfcapd's
+// split between packet threads and the file writer.
+//
+// Ordering: records of one export source keep their wire order (same
+// shard, FIFO ring, FIFO spool); records of different sources may
+// interleave differently than a single-threaded daemon would see them.
+// The rotation policy already tolerates that -- late records ride in the
+// current slice -- so slice contents remain a function of the input, not
+// the thread schedule, for single-source streams, and byte/record totals
+// always are.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "flow/collector_daemon.hpp"
+#include "runtime/sharded_collector.hpp"
+
+namespace lockdown::runtime {
+
+struct ShardedDaemonConfig {
+  flow::ExportProtocol protocol = flow::ExportProtocol::kIpfix;
+  std::size_t shards = 2;
+  std::size_t ring_capacity = 4096;
+  std::int64_t rotation_seconds = 300;
+  const flow::Anonymizer* anonymizer = nullptr;
+};
+
+class ShardedCollectorDaemon {
+ public:
+  ShardedCollectorDaemon(const ShardedDaemonConfig& config, flow::SliceSink sink);
+
+  /// Ingest one datagram from the wire. Never blocks; a full shard ring
+  /// counts a drop (visible via engine_snapshot().dropped). Periodically
+  /// polls so spool buffers stay bounded.
+  void ingest(std::span<const std::uint8_t> datagram);
+
+  /// Move decoded records from the shard spools into the rotation engine.
+  /// Call from the wire/owner thread.
+  void poll();
+
+  /// Stop the workers, drain everything, and flush the partial slice. No
+  /// ingest may follow.
+  void flush();
+
+  [[nodiscard]] flow::CollectorStats wire_stats() const {
+    return runtime_.merged_stats();
+  }
+  [[nodiscard]] EngineSnapshot engine_snapshot() const {
+    return runtime_.engine_snapshot();
+  }
+  [[nodiscard]] std::size_t slices_emitted() const noexcept {
+    return spooler_.slices_emitted();
+  }
+  [[nodiscard]] std::size_t records_spooled() const noexcept {
+    return spooler_.records_spooled();
+  }
+
+ private:
+  struct ShardSpool {
+    std::mutex mu;
+    std::vector<flow::FlowRecord> records;
+  };
+
+  flow::SliceSpooler spooler_;
+  std::vector<std::unique_ptr<ShardSpool>> spools_;
+  ShardedCollector runtime_;
+  std::uint64_t ingests_ = 0;
+  std::vector<flow::FlowRecord> scratch_;  ///< reused swap target in poll()
+};
+
+}  // namespace lockdown::runtime

@@ -1,0 +1,82 @@
+// Bounded lock-free single-producer/single-consumer ring: the hand-off
+// between the wire thread (one producer per shard) and a shard worker (the
+// only consumer). The contract mirrors a NIC receive ring: a full ring is
+// explicit backpressure -- try_push fails immediately so the wire thread
+// can count a drop and move on, exactly as the kernel drops datagrams when
+// a socket's receive queue overflows. Nothing here ever blocks or
+// allocates after construction (slots are recycled in place).
+//
+// Classic Lamport queue with acquire/release indices plus cached
+// counterpart indices so the common case touches only one cache line per
+// side (the producer re-reads the consumer index only when the ring looks
+// full, and vice versa).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace lockdown::runtime {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. Returns false when the ring is full; `value` is left
+  /// untouched in that case so the caller can retry or count a drop.
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. nullopt when the ring is empty.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    std::optional<T> value(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return value;
+  }
+
+  /// Approximate occupancy; exact only from the producer or consumer
+  /// thread while the other side is quiescent.
+  [[nodiscard]] std::size_t size() const noexcept {
+    return tail_.load(std::memory_order_relaxed) -
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer's cache line: its own index plus a stale copy of the
+  // consumer's.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+  // Consumer's cache line, symmetric.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+};
+
+}  // namespace lockdown::runtime

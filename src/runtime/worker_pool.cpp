@@ -1,0 +1,109 @@
+#include "runtime/worker_pool.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace lockdown::runtime {
+
+struct WorkerPool::Shard {
+  Shard(const WorkerConfig& config, flow::Collector::BatchSink batch_sink)
+      : ring(config.ring_capacity),
+        collector(config.protocol, std::move(batch_sink), config.anonymizer,
+                  config.rescale_sampled) {}
+
+  SpscRing<std::vector<std::uint8_t>> ring;
+  flow::Collector collector;
+  std::thread thread;
+};
+
+namespace {
+
+// Idle backoff for a worker whose ring ran empty: spin briefly (a datagram
+// is usually microseconds away at line rate), then yield, then sleep so an
+// idle engine costs nothing.
+void backoff(unsigned idle_rounds) {
+  if (idle_rounds < 64) {
+    // busy-spin
+  } else if (idle_rounds < 256) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
+                       ShardBatchSink sink, EngineStats& stats)
+    : sink_(std::move(sink)), stats_(&stats) {
+  if (shards == 0) throw std::invalid_argument("WorkerPool: zero shards");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto batch_sink = flow::Collector::BatchSink(
+        [this, i](std::span<const flow::FlowRecord> batch) {
+          if (sink_) sink_(i, batch);
+        });
+    shards_.push_back(std::make_unique<Shard>(config, std::move(batch_sink)));
+  }
+  for (std::size_t i = 0; i < shards; ++i) {
+    Shard& s = *shards_[i];
+    s.thread = std::thread([this, &s, i] { run(s, i); });
+  }
+}
+
+WorkerPool::~WorkerPool() { finish(); }
+
+bool WorkerPool::submit(std::size_t shard, std::vector<std::uint8_t>&& datagram) {
+  Shard& s = *shards_[shard];
+  if (!s.ring.try_push(std::move(datagram))) return false;
+  stats_->note_queue_depth(shard, s.ring.size());
+  return true;
+}
+
+void WorkerPool::finish() {
+  if (finished_) return;
+  finished_ = true;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& s : shards_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+}
+
+const flow::CollectorStats& WorkerPool::collector_stats(std::size_t shard) const {
+  return shards_[shard]->collector.stats();
+}
+
+void WorkerPool::run(Shard& shard, std::size_t index) {
+  ShardCounters& counters = stats_->shard(index);
+  auto process = [&](std::span<const std::uint8_t> datagram) {
+    const flow::CollectorStats before = shard.collector.stats();
+    shard.collector.ingest(datagram);
+    const flow::CollectorStats& after = shard.collector.stats();
+    counters.datagrams.fetch_add(1, std::memory_order_relaxed);
+    counters.malformed.fetch_add(after.malformed_packets - before.malformed_packets,
+                                 std::memory_order_relaxed);
+    counters.records.fetch_add(after.records - before.records,
+                               std::memory_order_relaxed);
+    counters.templates.fetch_add(after.templates - before.templates,
+                                 std::memory_order_relaxed);
+  };
+
+  unsigned idle = 0;
+  for (;;) {
+    if (auto datagram = shard.ring.try_pop()) {
+      idle = 0;
+      process(*datagram);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      // finish() is only called once every submit has happened, so the
+      // acquire above makes any datagram still in flight visible: drain to
+      // empty, then exit.
+      while (auto datagram = shard.ring.try_pop()) process(*datagram);
+      return;
+    }
+    backoff(idle++);
+  }
+}
+
+}  // namespace lockdown::runtime

@@ -1,0 +1,77 @@
+// Shard workers of the ingestion engine. Each shard owns a full collector
+// stack -- ring, decoder with its per-source template cache, anonymizer
+// binding, CollectorStats -- so no decode state is ever shared between
+// threads. The facade (ShardedCollector) routes every datagram of one
+// export source to the same shard, which is what keeps template scoping
+// correct per RFC 7011 section 8: a template set and the data sets that
+// reference it always meet in the same cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "flow/anonymizer.hpp"
+#include "flow/pipeline.hpp"
+#include "runtime/engine_stats.hpp"
+#include "runtime/spsc_ring.hpp"
+
+namespace lockdown::runtime {
+
+/// Batch record delivery, invoked on the owning shard's worker thread: one
+/// call per decoded datagram. Implementations only see concurrent calls
+/// for *different* shard indices.
+using ShardBatchSink =
+    std::function<void(std::size_t shard, std::span<const flow::FlowRecord>)>;
+
+struct WorkerConfig {
+  flow::ExportProtocol protocol = flow::ExportProtocol::kIpfix;
+  const flow::Anonymizer* anonymizer = nullptr;
+  bool rescale_sampled = false;
+  /// Datagrams buffered per shard before submit() reports backpressure.
+  std::size_t ring_capacity = 4096;
+};
+
+class WorkerPool {
+ public:
+  /// Starts `shards` worker threads. `sink` may be empty (decode-and-drop;
+  /// stats still accumulate). `stats` must outlive the pool.
+  WorkerPool(std::size_t shards, const WorkerConfig& config,
+             ShardBatchSink sink, EngineStats& stats);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+
+  /// Hand one datagram to a shard. Wire-thread only; never blocks. Returns
+  /// false when the shard's ring is full, leaving `datagram` intact so the
+  /// caller decides between dropping (counted by the caller) and retrying.
+  [[nodiscard]] bool submit(std::size_t shard,
+                            std::vector<std::uint8_t>&& datagram);
+
+  /// No more submits will follow: drain every ring, stop the workers, and
+  /// join them. Idempotent; called by the destructor if needed.
+  void finish();
+
+  /// Exact per-shard collector statistics. Only valid after finish() --
+  /// while workers run, read the live EngineStats instead.
+  [[nodiscard]] const flow::CollectorStats& collector_stats(std::size_t shard) const;
+
+ private:
+  struct Shard;
+  void run(Shard& shard, std::size_t index);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardBatchSink sink_;
+  EngineStats* stats_;
+  std::atomic<bool> stopping_{false};
+  bool finished_ = false;
+};
+
+}  // namespace lockdown::runtime

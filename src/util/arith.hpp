@@ -1,0 +1,24 @@
+// Small overflow-aware integer helpers shared by the flow path. Counter
+// rescaling (sampling intervals, exporter-announced scaling) multiplies
+// 64-bit byte/packet counts by intervals that can reach 2^14 and beyond;
+// jumbo synthetic flows can push the product past 2^64, and a wrapped
+// counter silently corrupts every volume aggregate downstream. Saturating
+// at UINT64_MAX keeps the estimate pinned to "at least this much" instead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lockdown::util {
+
+/// a * b, saturating at UINT64_MAX instead of wrapping.
+[[nodiscard]] constexpr std::uint64_t saturating_mul(std::uint64_t a,
+                                                     std::uint64_t b) noexcept {
+  std::uint64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return out;
+}
+
+}  // namespace lockdown::util

@@ -95,6 +95,58 @@ TEST(CollectorDaemon, MalformedInputCountedNotSpooled) {
   EXPECT_EQ(daemon.records_spooled(), 0u);
 }
 
+TEST(CollectorDaemon, FlushWithEmptyPartialSliceEmitsNothing) {
+  std::vector<flow::TraceSlice> slices;
+  flow::CollectorDaemon daemon(
+      {.protocol = flow::ExportProtocol::kNetflowV5, .rotation_seconds = 300},
+      [&](flow::TraceSlice&& s) { slices.push_back(std::move(s)); });
+
+  // Nothing ingested at all: flush must be a no-op, repeatedly.
+  daemon.flush();
+  daemon.flush();
+  EXPECT_EQ(slices.size(), 0u);
+  EXPECT_EQ(daemon.slices_emitted(), 0u);
+
+  // One full window then flush; a second flush after the slice shipped
+  // finds an empty partial and must not emit a ghost slice.
+  flow::NetflowV5Encoder enc;
+  const std::vector<flow::FlowRecord> batch = {record_at(Timestamp(100200))};
+  for (const auto& pkt : enc.encode(batch, Timestamp(100201))) daemon.ingest(pkt);
+  daemon.flush();
+  ASSERT_EQ(slices.size(), 1u);
+  daemon.flush();
+  EXPECT_EQ(slices.size(), 1u);
+  EXPECT_EQ(daemon.slices_emitted(), 1u);
+}
+
+TEST(CollectorDaemon, RecordExactlyOnRotationBoundaryOpensNewWindow) {
+  std::vector<flow::TraceSlice> slices;
+  flow::CollectorDaemon daemon(
+      {.protocol = flow::ExportProtocol::kNetflowV5, .rotation_seconds = 300},
+      [&](flow::TraceSlice&& s) { slices.push_back(std::move(s)); });
+
+  // First record on an aligned boundary, second exactly one window later:
+  // the boundary record belongs to the *new* window (half-open windows),
+  // so the first slice must contain exactly the first record.
+  flow::NetflowV5Encoder enc;
+  for (const std::int64_t t : {100200L, 100200L + 300L}) {
+    const std::vector<flow::FlowRecord> batch = {record_at(Timestamp(t))};
+    for (const auto& pkt : enc.encode(batch, Timestamp(t + 1))) daemon.ingest(pkt);
+  }
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].begin, Timestamp(100200));
+  EXPECT_EQ(slices[0].records, 1u);
+
+  daemon.flush();
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[1].begin, Timestamp(100200 + 300));
+  EXPECT_EQ(slices[1].records, 1u);
+  const auto trace = flow::read_trace(slices[1].image);
+  ASSERT_TRUE(trace);
+  ASSERT_EQ(trace->records.size(), 1u);
+  EXPECT_EQ(trace->records[0].first, Timestamp(100200 + 300));
+}
+
 TEST(CollectorDaemon, RejectsBadRotationWindow) {
   EXPECT_THROW(flow::CollectorDaemon({.rotation_seconds = 0},
                                      [](flow::TraceSlice&&) {}),

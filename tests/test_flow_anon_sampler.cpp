@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "flow/anonymizer.hpp"
@@ -122,6 +123,25 @@ TEST(SystematicSampler, IntervalOneKeepsAll) {
 TEST(SystematicSampler, ZeroIntervalIsSanitized) {
   SystematicSampler sampler(0);
   EXPECT_EQ(sampler.interval(), 1u);
+}
+
+TEST(SystematicSampler, ScalingSaturatesInsteadOfWrapping) {
+  // A jumbo synthetic flow at a high sampling interval: the scaled counter
+  // must pin at UINT64_MAX, not wrap to a tiny value and corrupt volume
+  // aggregates downstream.
+  SystematicSampler sampler(1 << 14);
+  auto r = record_with_bytes(std::numeric_limits<std::uint64_t>::max() / 2, 0);
+  r.packets = std::numeric_limits<std::uint64_t>::max() / 2;
+  const auto kept = sampler.offer(r);
+  ASSERT_TRUE(kept.has_value());
+  EXPECT_EQ(kept->bytes, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(kept->packets, std::numeric_limits<std::uint64_t>::max());
+
+  // Far below the overflow edge, scaling stays exact.
+  SystematicSampler small(1000);
+  const auto exact = small.offer(record_with_bytes(1500, 1));
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->bytes, 1'500'000u);
 }
 
 TEST(ProbabilisticSampler, ApproximatelyUnbiased) {

@@ -2,6 +2,8 @@
 // the binary trace-file format, and the loopback UDP transport.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>  // SO_RXQ_OVFL availability for the kernel-drop test
+
 #include <cstdio>
 #include <filesystem>
 
@@ -265,6 +267,42 @@ TEST(UdpTransport, DrainOnEmptyQueueReturnsZero) {
   ASSERT_TRUE(collector);
   EXPECT_EQ(collector->drain([](std::span<const std::uint8_t>) {}), 0u);
 }
+
+TEST(UdpTransport, ExplicitRcvbufIsGranted) {
+  constexpr int kRequested = 1 << 18;
+  auto collector = UdpCollectorTransport::create(0, kRequested);
+  ASSERT_TRUE(collector);
+  // Linux doubles the request for bookkeeping overhead; any platform must
+  // grant at least what was asked for.
+  EXPECT_GE(collector->rcvbuf_bytes(), kRequested);
+  EXPECT_EQ(collector->kernel_drops(), 0u);
+}
+
+#ifdef SO_RXQ_OVFL
+TEST(UdpTransport, KernelReceiveQueueDropsAreCounted) {
+  // Tiny receive buffer + bursts larger than it: the kernel must shed
+  // datagrams, and the collector must be able to see that it did (the
+  // receive-side analogue of the exporter's dropped() counter).
+  auto collector = UdpCollectorTransport::create(0, 4096);
+  ASSERT_TRUE(collector);
+  auto exporter = UdpExporterTransport::create(collector->port());
+  ASSERT_TRUE(exporter);
+
+  const std::vector<std::uint8_t> payload(1200, 0xab);
+  std::size_t received = 0;
+  // Interleave overflow bursts with drains: the cumulative drop counter
+  // rides on successfully delivered datagrams, so only datagrams enqueued
+  // *after* a drop report it.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 64; ++i) exporter->send(payload);
+    received += collector->drain([](std::span<const std::uint8_t>) {});
+  }
+  ASSERT_EQ(exporter->dropped(), 0u);
+  ASSERT_LT(received, exporter->sent());
+  EXPECT_GT(collector->kernel_drops(), 0u);
+  EXPECT_LE(collector->kernel_drops(), exporter->sent() - received);
+}
+#endif
 
 }  // namespace
 }  // namespace lockdown::flow
