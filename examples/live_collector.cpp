@@ -13,7 +13,11 @@
 // anonymization fan out to N worker shards keyed by export source, and
 // the engine's backpressure/drop counters are reported at the end.
 //
-//   $ ./live_collector [output-dir] [--shards N]
+// With --metrics the collector binds its counters into an obs::Registry:
+// a snapshot line is printed periodically while the stream runs, and the
+// full Prometheus text exposition is dumped at the end of the run.
+//
+//   $ ./live_collector [output-dir] [--shards N] [--metrics]
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -25,6 +29,7 @@
 #include "flow/ipfix.hpp"
 #include "flow/trace_file.hpp"
 #include "flow/udp_transport.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/sharded_daemon.hpp"
 #include "synth/synthesizer.hpp"
 #include "synth/vantage.hpp"
@@ -36,15 +41,20 @@ int main(int argc, char** argv) {
   std::filesystem::path out_dir =
       std::filesystem::temp_directory_path() / "lockdown_slices";
   std::size_t shards = 0;  // 0 = classic single-threaded daemon
+  bool metrics_enabled = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--metrics") {
+      metrics_enabled = true;
     } else {
       out_dir = arg;
     }
   }
   std::filesystem::create_directories(out_dir);
+  obs::Registry obs_registry;
+  obs::Registry* metrics = metrics_enabled ? &obs_registry : nullptr;
 
   // --- Collector side ------------------------------------------------------
   // 1 MiB socket buffer: the wire thread shares a core with the exporter
@@ -79,13 +89,15 @@ int main(int argc, char** argv) {
         runtime::ShardedDaemonConfig{.protocol = flow::ExportProtocol::kIpfix,
                                      .shards = shards,
                                      .rotation_seconds = 15 * 60,
-                                     .anonymizer = &anonymizer},
+                                     .anonymizer = &anonymizer,
+                                     .metrics = metrics},
         slice_sink);
   } else {
     daemon.emplace(
         flow::CollectorDaemonConfig{.protocol = flow::ExportProtocol::kIpfix,
                                     .rotation_seconds = 15 * 60,
-                                    .anonymizer = &anonymizer},
+                                    .anonymizer = &anonymizer,
+                                    .metrics = metrics},
         slice_sink);
   }
   const auto ingest = [&](std::span<const std::uint8_t> d) {
@@ -111,6 +123,21 @@ int main(int argc, char** argv) {
   std::cout << "streaming two hours of lockdown-evening IXP traffic...\n";
   flow::IpfixEncoder encoder(/*observation_domain=*/900);
   std::vector<flow::FlowRecord> batch;
+  std::size_t ships = 0;
+  const auto metrics_line = [&]() {
+    const obs::RegistrySnapshot snap = obs_registry.snapshot();
+    const std::string l = "protocol=\"ipfix\"";
+    std::cout << "  [metrics] packets="
+              << snap.counter_value("collector_packets_total", l)
+              << " records=" << snap.counter_value("collector_records_total", l)
+              << " seq_lost=" << snap.counter_value("collector_sequence_lost_total", l)
+              << " decode_errors="
+              << snap.counter_value("collector_decode_errors_total",
+                                    "error=\"truncated_header\"," + l) +
+                     snap.counter_value("collector_decode_errors_total",
+                                        "error=\"bad_length\"," + l)
+              << "\n";
+  };
   auto ship = [&]() {
     if (batch.empty()) return;
     for (const auto& msg : encoder.encode(batch, flow::batch_export_time(batch))) {
@@ -119,6 +146,8 @@ int main(int argc, char** argv) {
     batch.clear();
     // Drain the wire as we go (single-threaded poll loop on this side).
     (void)transport->drain(ingest);
+    // Periodic observability heartbeat, the live analogue of a scrape.
+    if (metrics != nullptr && (++ships & 1023) == 0) metrics_line();
   };
   synth.synthesize(
       net::TimeRange{net::Timestamp::from_date(net::Date(2020, 3, 25), 19),
@@ -151,6 +180,10 @@ int main(int argc, char** argv) {
   std::cout << "  records spooled: " << spooled << " into " << slices
             << " slices\n";
   std::cout << "  malformed packets: " << wire_stats.malformed_packets << "\n";
+  std::cout << "  export loss: " << wire_stats.sequence_lost
+            << " records across " << wire_stats.sequence_gaps
+            << " sequence gaps (" << wire_stats.sequence_resets
+            << " exporter resets)\n";
   if (sharded) {
     const auto engine = sharded->engine_snapshot();
     std::cout << "  engine: " << engine.dropped << " ring drops, queue high-water "
@@ -159,6 +192,15 @@ int main(int argc, char** argv) {
       std::cout << " [" << i << "] " << engine.shards[i].records << " records";
     }
     std::cout << "\n";
+    if (metrics != nullptr) {
+      runtime::publish_engine_snapshot(obs_registry, engine);
+    }
+  }
+  if (metrics != nullptr) {
+    metrics_line();
+    std::cout << "\n--- end-of-run metrics dump (Prometheus text format) ---\n"
+              << obs_registry.expose_text()
+              << "--- end dump ---\n";
   }
   std::cout << "\n";
 

@@ -1,6 +1,7 @@
 #include "flow/collector_daemon.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace lockdown::flow {
 
@@ -54,11 +55,18 @@ void SliceSpooler::flush() {
 
 CollectorDaemon::CollectorDaemon(CollectorDaemonConfig config, SliceSink sink)
     : spooler_(config.rotation_seconds, std::move(sink)),
+      metrics_(config.metrics != nullptr
+                   ? CollectorMetrics::bind(
+                         *config.metrics,
+                         std::string("protocol=\"") +
+                             protocol_label(config.protocol) + "\"")
+                   : CollectorMetrics{}),
       collector_(config.protocol,
                  Collector::BatchSink([this](std::span<const FlowRecord> batch) {
                    for (const FlowRecord& r : batch) spooler_.append(r);
                  }),
-                 config.anonymizer) {}
+                 config.anonymizer, /*rescale_sampled=*/false,
+                 config.metrics != nullptr ? &metrics_ : nullptr) {}
 
 void CollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
   collector_.ingest(datagram);

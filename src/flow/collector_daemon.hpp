@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "flow/anonymizer.hpp"
+#include "flow/collector_metrics.hpp"
 #include "flow/pipeline.hpp"
 #include "flow/trace_file.hpp"
 
@@ -29,6 +30,9 @@ struct CollectorDaemonConfig {
   std::int64_t rotation_seconds = 300;
   /// Anonymize before spooling (nullptr = store raw).
   const Anonymizer* anonymizer = nullptr;
+  /// When set, the daemon binds collector counters (labeled by protocol)
+  /// into this registry. Must outlive the daemon.
+  obs::Registry* metrics = nullptr;
 };
 
 /// A completed trace slice.
@@ -94,6 +98,9 @@ class CollectorDaemon {
 
  private:
   SliceSpooler spooler_;
+  /// Bound against config.metrics (empty handles otherwise). Must precede
+  /// collector_, which keeps a pointer to it.
+  CollectorMetrics metrics_;
   Collector collector_;
 };
 

@@ -1,0 +1,58 @@
+#include "flow/collector_metrics.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace lockdown::flow {
+
+namespace {
+
+std::string join_labels(std::string_view base, std::string_view extra) {
+  if (base.empty()) return std::string(extra);
+  if (extra.empty()) return std::string(base);
+  std::string out(base);
+  out += ',';
+  out += extra;
+  return out;
+}
+
+}  // namespace
+
+CollectorMetrics CollectorMetrics::bind(obs::Registry& registry,
+                                        std::string_view extra_labels) {
+  CollectorMetrics m;
+  m.packets = &registry.counter("collector_packets_total", extra_labels,
+                                "Export datagrams received");
+  m.records = &registry.counter("collector_records_total", extra_labels,
+                                "Flow records delivered to the sink");
+  m.templates = &registry.counter("collector_templates_total", extra_labels,
+                                  "Template records parsed");
+  m.template_withdrawals =
+      &registry.counter("collector_template_withdrawals_total", extra_labels,
+                        "RFC 7011 template withdrawals applied");
+  m.oversize_fields =
+      &registry.counter("collector_oversize_fields_total", extra_labels,
+                        "Option fields longer than 8 bytes (clamped)");
+  m.sequence_lost =
+      &registry.counter("collector_sequence_lost_total", extra_labels,
+                        "Export units lost per sequence gaps (packets for "
+                        "NetFlow v9, records for v5/IPFIX)");
+  m.sequence_gaps =
+      &registry.counter("collector_sequence_gaps_total", extra_labels,
+                        "Forward sequence-gap events");
+  m.sequence_reordered =
+      &registry.counter("collector_sequence_reordered_total", extra_labels,
+                        "Exports that arrived late within the reorder window");
+  m.sequence_resets =
+      &registry.counter("collector_sequence_resets_total", extra_labels,
+                        "Apparent exporter restarts (sequence far behind)");
+  for (std::size_t i = 0; i < kDecodeErrorCauses; ++i) {
+    std::string labels = join_labels(
+        std::string("error=\"") + to_string(kAllDecodeErrors[i]) + "\"",
+        extra_labels);
+    m.errors[i] = &registry.counter("collector_decode_errors_total", labels,
+                                    "Rejected datagrams by cause");
+  }
+  return m;
+}
+
+}  // namespace lockdown::flow

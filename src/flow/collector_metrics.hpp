@@ -1,0 +1,48 @@
+// Binding between the collector stack and the obs metrics registry: a
+// bundle of pre-resolved counter handles so the Collector hot path pays
+// one relaxed fetch_add per event instead of a registry lookup. All
+// handles are atomic, so one CollectorMetrics instance can be shared by
+// every shard of a sharded collector.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "flow/decode_error.hpp"
+
+namespace lockdown::obs {
+class Registry;
+class Counter;
+}  // namespace lockdown::obs
+
+namespace lockdown::flow {
+
+struct CollectorMetrics {
+  obs::Counter* packets = nullptr;
+  obs::Counter* records = nullptr;
+  obs::Counter* templates = nullptr;
+  obs::Counter* template_withdrawals = nullptr;
+  obs::Counter* oversize_fields = nullptr;
+  obs::Counter* sequence_lost = nullptr;
+  obs::Counter* sequence_gaps = nullptr;
+  obs::Counter* sequence_reordered = nullptr;
+  obs::Counter* sequence_resets = nullptr;
+  /// One counter per DecodeError cause (index = enum value - 1; kNone has
+  /// no counter). `collector_decode_errors_total{error="..."}`.
+  std::array<obs::Counter*, kDecodeErrorCauses> errors{};
+
+  /// Counter for a specific decode error; nullptr for kNone or unbound.
+  [[nodiscard]] obs::Counter* error_counter(DecodeError e) const noexcept {
+    const auto i = static_cast<std::size_t>(e);
+    return i == 0 || i > errors.size() ? nullptr : errors[i - 1];
+  }
+
+  /// Resolve every handle against `registry`. `extra_labels` (e.g.
+  /// `protocol="ipfix"` or `shard="3"`) is appended to each series' label
+  /// set; pass "" for unlabeled series.
+  static CollectorMetrics bind(obs::Registry& registry,
+                               std::string_view extra_labels = {});
+};
+
+}  // namespace lockdown::flow

@@ -1,0 +1,87 @@
+// Decode-error taxonomy for the wire decoders. A single "malformed"
+// counter hides *why* a vantage point's feed is degrading -- a mis-sized
+// flowset (an exporter bug) needs a different response than truncated
+// datagrams (an MTU/path problem) or unknown-template churn (a collector
+// restart). Each decoder classifies every rejected datagram; the Collector
+// folds the classification into its stats and the metrics registry.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lockdown::flow {
+
+enum class DecodeError : std::uint8_t {
+  kNone = 0,
+  kTruncatedHeader,   ///< datagram shorter than the fixed header
+  kBadVersion,        ///< version field does not match the protocol
+  kBadLength,         ///< message/set/flowset length field lies about size
+  kBadTemplate,       ///< template record malformed (huge field count, id < 256, zero-length records)
+  kTruncatedRecord,   ///< data ran out mid-record
+  kOther,             ///< consistency checks (e.g. advisory count disagreement)
+};
+
+/// Number of distinct error causes (every enumerator except kNone).
+inline constexpr std::size_t kDecodeErrorCauses = 6;
+
+/// Every non-kNone cause, for iteration (metrics binding, tests).
+inline constexpr DecodeError kAllDecodeErrors[kDecodeErrorCauses] = {
+    DecodeError::kTruncatedHeader, DecodeError::kBadVersion,
+    DecodeError::kBadLength,       DecodeError::kBadTemplate,
+    DecodeError::kTruncatedRecord, DecodeError::kOther,
+};
+
+[[nodiscard]] constexpr const char* to_string(DecodeError e) noexcept {
+  switch (e) {
+    case DecodeError::kNone: return "none";
+    case DecodeError::kTruncatedHeader: return "truncated_header";
+    case DecodeError::kBadVersion: return "bad_version";
+    case DecodeError::kBadLength: return "bad_length";
+    case DecodeError::kBadTemplate: return "bad_template";
+    case DecodeError::kTruncatedRecord: return "truncated_record";
+    case DecodeError::kOther: return "other";
+  }
+  return "?";
+}
+
+/// Per-kind rejection counters (one per DecodeError value except kNone).
+struct DecodeErrorCounts {
+  std::uint64_t truncated_header = 0;
+  std::uint64_t bad_version = 0;
+  std::uint64_t bad_length = 0;
+  std::uint64_t bad_template = 0;
+  std::uint64_t truncated_record = 0;
+  std::uint64_t other = 0;
+
+  constexpr void count(DecodeError e) noexcept {
+    switch (e) {
+      case DecodeError::kNone: break;
+      case DecodeError::kTruncatedHeader: ++truncated_header; break;
+      case DecodeError::kBadVersion: ++bad_version; break;
+      case DecodeError::kBadLength: ++bad_length; break;
+      case DecodeError::kBadTemplate: ++bad_template; break;
+      case DecodeError::kTruncatedRecord: ++truncated_record; break;
+      case DecodeError::kOther: ++other; break;
+    }
+  }
+
+  [[nodiscard]] constexpr std::uint64_t total() const noexcept {
+    return truncated_header + bad_version + bad_length + bad_template +
+           truncated_record + other;
+  }
+
+  constexpr DecodeErrorCounts& operator+=(const DecodeErrorCounts& o) noexcept {
+    truncated_header += o.truncated_header;
+    bad_version += o.bad_version;
+    bad_length += o.bad_length;
+    bad_template += o.bad_template;
+    truncated_record += o.truncated_record;
+    other += o.other;
+    return *this;
+  }
+
+  friend bool operator==(const DecodeErrorCounts&,
+                         const DecodeErrorCounts&) = default;
+};
+
+}  // namespace lockdown::flow

@@ -79,25 +79,50 @@ std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(
   return messages;
 }
 
+std::vector<std::uint8_t> IpfixEncoder::encode_template_withdrawal(
+    net::Timestamp export_time, std::uint16_t template_id) {
+  WireWriter w;
+  w.u16(kIpfixVersion);
+  w.u16(0);  // total length placeholder
+  w.u32(static_cast<std::uint32_t>(export_time.seconds()));
+  w.u32(sequence_);  // withdrawals carry no data records
+  w.u32(domain_);
+  w.u16(kIpfixTemplateSetId);
+  w.u16(8);  // set header + one withdrawal record
+  w.u16(template_id);
+  w.u16(0);  // field count 0 == withdrawal (RFC 7011 section 8.1)
+  w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
+  return w.take();
+}
+
 std::optional<IpfixMessage> IpfixDecoder::decode(
     std::span<const std::uint8_t> message) {
+  const auto fail = [this](DecodeError e) {
+    last_error_ = e;
+    return std::nullopt;
+  };
+  last_error_ = DecodeError::kNone;
+
+  if (message.size() < kIpfixHeaderSize) return fail(DecodeError::kTruncatedHeader);
   WireReader r(message);
-  if (r.u16() != kIpfixVersion) return std::nullopt;
+  if (r.u16() != kIpfixVersion) return fail(DecodeError::kBadVersion);
   const std::uint16_t total_len = r.u16();
   if (total_len != message.size() || total_len < kIpfixHeaderSize) {
-    return std::nullopt;
+    return fail(DecodeError::kBadLength);
   }
 
   IpfixMessage out;
   out.export_time = r.u32();
   out.sequence = r.u32();
   out.observation_domain = r.u32();
-  if (r.failed()) return std::nullopt;
+  if (r.failed()) return fail(DecodeError::kTruncatedHeader);
 
   while (r.remaining() >= 4) {
     const std::uint16_t set_id = r.u16();
     const std::uint16_t set_len = r.u16();
-    if (set_len < 4 || static_cast<std::size_t>(set_len - 4) > r.remaining()) return std::nullopt;
+    if (set_len < 4 || static_cast<std::size_t>(set_len - 4) > r.remaining()) {
+      return fail(DecodeError::kBadLength);
+    }
     WireReader set = r.sub(set_len - 4);
 
     if (set_id == kIpfixTemplateSetId) {
@@ -106,12 +131,34 @@ std::optional<IpfixMessage> IpfixDecoder::decode(
         TemplateRecord tmpl;
         tmpl.template_id = set.u16();
         const std::uint16_t field_count = set.u16();
-        if (tmpl.template_id < 256) return std::nullopt;
+        if (field_count == 0) {
+          // RFC 7011 section 8.1: a template record with a field count of
+          // zero withdraws the template; template id == the set id (2)
+          // withdraws every template of the domain. Never store it -- a
+          // zero-field template would make every referencing data set
+          // unparseable.
+          if (tmpl.template_id == kIpfixTemplateSetId) {
+            for (auto it = templates_.begin(); it != templates_.end();) {
+              if (it->first.first == out.observation_domain) {
+                it = templates_.erase(it);
+              } else {
+                ++it;
+              }
+            }
+          } else if (tmpl.template_id >= 256) {
+            templates_.erase({out.observation_domain, tmpl.template_id});
+          } else {
+            return fail(DecodeError::kBadTemplate);
+          }
+          ++out.template_withdrawals;
+          continue;
+        }
+        if (tmpl.template_id < 256) return fail(DecodeError::kBadTemplate);
         for (std::uint16_t i = 0; i < field_count; ++i) {
           FieldSpec f{static_cast<FieldId>(set.u16()), set.u16()};
           tmpl.fields.push_back(f);
         }
-        if (set.failed()) return std::nullopt;
+        if (set.failed()) return fail(DecodeError::kBadTemplate);
         templates_[{out.observation_domain, tmpl.template_id}] = tmpl;
         ++out.templates_seen;
       }
@@ -123,12 +170,12 @@ std::optional<IpfixMessage> IpfixDecoder::decode(
       }
       const TemplateRecord& tmpl = it->second;
       const std::size_t rec_len = tmpl.record_length();
-      if (rec_len == 0) return std::nullopt;
+      if (rec_len == 0) return fail(DecodeError::kBadTemplate);
       const TimeContext tc{};
       while (set.remaining() >= rec_len) {
         FlowRecord rec;
         for (const FieldSpec& f : tmpl.fields) decode_field(set, f, rec, tc);
-        if (set.failed()) return std::nullopt;
+        if (set.failed()) return fail(DecodeError::kTruncatedRecord);
         out.records.push_back(rec);
       }
       // Anything left is padding (< one record); RFC 7011 allows it.
@@ -137,7 +184,18 @@ std::optional<IpfixMessage> IpfixDecoder::decode(
       continue;
     }
   }
-  if (r.failed()) return std::nullopt;
+  if (r.failed()) return fail(DecodeError::kTruncatedHeader);
+
+  // IPFIX sequence numbers count data records; the header stamps the
+  // sequence of this message's first record. Records we skipped for want
+  // of a template surface as loss at the next message -- they never made
+  // it into the record stream, which is what the metric measures.
+  auto [seq_it, inserted] = sequences_.try_emplace(
+      out.observation_domain, SequenceTracker(reorder_window_));
+  out.sequence_event = seq_it->second.observe(
+      out.sequence, static_cast<std::uint32_t>(out.records.size()));
+  accounting_.apply(out.sequence_event,
+                    static_cast<std::uint32_t>(out.records.size()));
   return out;
 }
 

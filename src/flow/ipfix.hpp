@@ -11,7 +11,9 @@
 #include <span>
 #include <vector>
 
+#include "flow/decode_error.hpp"
 #include "flow/flow_record.hpp"
+#include "flow/sequence_tracker.hpp"
 #include "flow/template_fields.hpp"
 
 namespace lockdown::flow {
@@ -35,6 +37,16 @@ class IpfixEncoder {
 
   [[nodiscard]] std::uint32_t sequence() const noexcept { return sequence_; }
 
+  /// Reposition the data-record sequence counter (exporter restarts; tests
+  /// use it to exercise uint32 wraparound accounting).
+  void set_sequence(std::uint32_t sequence) noexcept { sequence_ = sequence; }
+
+  /// A message withdrawing a template (RFC 7011 §8.1): a template record
+  /// with a field count of zero. `template_id` 2 (the template-set id)
+  /// withdraws *all* templates of the domain.
+  [[nodiscard]] std::vector<std::uint8_t> encode_template_withdrawal(
+      net::Timestamp export_time, std::uint16_t template_id);
+
  private:
   std::uint32_t domain_;
   std::uint32_t sequence_ = 0;  // data records sent (per RFC 7011 §3.1)
@@ -47,7 +59,13 @@ struct IpfixMessage {
   std::uint32_t observation_domain = 0;
   std::vector<FlowRecord> records;
   std::size_t templates_seen = 0;
+  std::size_t template_withdrawals = 0;  ///< RFC 7011 §8.1 withdrawals applied
   std::size_t skipped_data_sets = 0;  ///< data sets with unknown template
+  /// Sequence accounting of this message. IPFIX sequences count data
+  /// records, so `lost` is the exact number of records that never reached
+  /// the record stream -- dropped in transit or skipped for want of a
+  /// template.
+  SequenceTracker::Event sequence_event;
 };
 
 /// Stateful IPFIX decoder: caches templates per observation domain so data
@@ -56,6 +74,10 @@ struct IpfixMessage {
 /// set aborts only that message. Never throws, never reads out of bounds.
 class IpfixDecoder {
  public:
+  explicit IpfixDecoder(
+      std::uint32_t reorder_window = SequenceTracker::kDefaultReorderWindow) noexcept
+      : reorder_window_(reorder_window) {}
+
   [[nodiscard]] std::optional<IpfixMessage> decode(
       std::span<const std::uint8_t> message);
 
@@ -63,9 +85,22 @@ class IpfixDecoder {
     return templates_.size();
   }
 
+  /// Why the most recent decode() returned nullopt (kNone after a success).
+  [[nodiscard]] DecodeError last_error() const noexcept { return last_error_; }
+
+  /// Aggregate over all observation domains; `lost` counts data records
+  /// (the RFC 7011 §3.1 sequence unit).
+  [[nodiscard]] const SequenceAccounting& sequence_accounting() const noexcept {
+    return accounting_;
+  }
+
  private:
+  std::uint32_t reorder_window_;
   // key: (observation domain, template id)
   std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateRecord> templates_;
+  std::map<std::uint32_t, SequenceTracker> sequences_;
+  SequenceAccounting accounting_;
+  DecodeError last_error_ = DecodeError::kNone;
 };
 
 }  // namespace lockdown::flow

@@ -85,9 +85,16 @@ std::vector<std::vector<std::uint8_t>> NetflowV5Encoder::encode(
 }
 
 std::optional<NetflowV5Packet> decode_netflow_v5(
-    std::span<const std::uint8_t> packet) noexcept {
+    std::span<const std::uint8_t> packet, DecodeError* error) noexcept {
+  const auto fail = [error](DecodeError e) {
+    if (error != nullptr) *error = e;
+    return std::nullopt;
+  };
+  if (error != nullptr) *error = DecodeError::kNone;
+
+  if (packet.size() < 2) return fail(DecodeError::kTruncatedHeader);
   WireReader r(packet);
-  if (r.u16() != 5) return std::nullopt;
+  if (r.u16() != 5) return fail(DecodeError::kBadVersion);
 
   NetflowV5Packet out;
   out.header.count = r.u16();
@@ -98,9 +105,11 @@ std::optional<NetflowV5Packet> decode_netflow_v5(
   out.header.engine_type = r.u8();
   out.header.engine_id = r.u8();
   out.header.sampling = r.u16();
-  if (r.failed()) return std::nullopt;
-  if (out.header.count > kNetflowV5MaxRecords) return std::nullopt;
-  if (r.remaining() != out.header.count * kNetflowV5RecordSize) return std::nullopt;
+  if (r.failed()) return fail(DecodeError::kTruncatedHeader);
+  if (out.header.count > kNetflowV5MaxRecords) return fail(DecodeError::kBadLength);
+  if (r.remaining() != out.header.count * kNetflowV5RecordSize) {
+    return fail(DecodeError::kBadLength);
+  }
 
   out.records.reserve(out.header.count);
   for (unsigned i = 0; i < out.header.count; ++i) {
@@ -127,9 +136,26 @@ std::optional<NetflowV5Packet> decode_netflow_v5(
     (void)r.u8();   // src_mask
     (void)r.u8();   // dst_mask
     (void)r.u16();  // pad2
-    if (r.failed()) return std::nullopt;
+    if (r.failed()) return fail(DecodeError::kTruncatedRecord);
     out.records.push_back(rec);
   }
+  return out;
+}
+
+std::optional<NetflowV5Packet> NetflowV5Decoder::decode(
+    std::span<const std::uint8_t> packet) noexcept {
+  auto out = decode_netflow_v5(packet, &last_error_);
+  if (!out) return out;
+  const std::uint16_t engine =
+      static_cast<std::uint16_t>((out->header.engine_type << 8) |
+                                 out->header.engine_id);
+  auto [it, inserted] =
+      sequences_.try_emplace(engine, SequenceTracker(reorder_window_));
+  // v5 stamps the sequence of the packet's first flow; the packet carries
+  // `count` sequence units (flows).
+  out->sequence_event = it->second.observe(out->header.flow_sequence,
+                                           out->header.count);
+  accounting_.apply(out->sequence_event, out->header.count);
   return out;
 }
 

@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "flow/decode_error.hpp"
 #include "flow/flow_record.hpp"
+#include "flow/sequence_tracker.hpp"
 
 namespace lockdown::flow {
 
@@ -50,6 +53,10 @@ class NetflowV5Encoder {
 
   [[nodiscard]] std::uint32_t flow_sequence() const noexcept { return sequence_; }
 
+  /// Reposition the flow-sequence counter (exporter restarts; tests use it
+  /// to exercise the collector's uint32 wraparound accounting).
+  void set_flow_sequence(std::uint32_t sequence) noexcept { sequence_ = sequence; }
+
  private:
   std::uint8_t engine_id_;
   std::uint16_t sampling_;
@@ -60,11 +67,44 @@ class NetflowV5Encoder {
 struct NetflowV5Packet {
   NetflowV5Header header;
   std::vector<FlowRecord> records;
+  /// Sequence accounting of this packet (filled by NetflowV5Decoder; the
+  /// stateless decode_netflow_v5 leaves it default).
+  SequenceTracker::Event sequence_event;
 };
 
 /// Decode a v5 packet; nullopt on malformed/truncated input (never throws,
-/// never reads out of bounds).
+/// never reads out of bounds). When `error` is non-null it receives the
+/// rejection classification (kNone on success).
 [[nodiscard]] std::optional<NetflowV5Packet> decode_netflow_v5(
-    std::span<const std::uint8_t> packet) noexcept;
+    std::span<const std::uint8_t> packet, DecodeError* error = nullptr) noexcept;
+
+/// Stateful v5 decoder: tracks the per-engine flow-sequence counter (v5
+/// sequence numbers count *flows*, stamped with the first flow of each
+/// packet) so export loss between router and collector is measurable, and
+/// classifies every rejected packet.
+class NetflowV5Decoder {
+ public:
+  explicit NetflowV5Decoder(
+      std::uint32_t reorder_window = SequenceTracker::kDefaultReorderWindow) noexcept
+      : reorder_window_(reorder_window) {}
+
+  [[nodiscard]] std::optional<NetflowV5Packet> decode(
+      std::span<const std::uint8_t> packet) noexcept;
+
+  /// Why the most recent decode() returned nullopt (kNone after a success).
+  [[nodiscard]] DecodeError last_error() const noexcept { return last_error_; }
+
+  /// Aggregate over all engines; `lost` counts flow records.
+  [[nodiscard]] const SequenceAccounting& sequence_accounting() const noexcept {
+    return accounting_;
+  }
+
+ private:
+  std::uint32_t reorder_window_;
+  // key: engine_type << 8 | engine_id
+  std::map<std::uint16_t, SequenceTracker> sequences_;
+  SequenceAccounting accounting_;
+  DecodeError last_error_ = DecodeError::kNone;
+};
 
 }  // namespace lockdown::flow

@@ -120,8 +120,15 @@ std::vector<std::uint8_t> NetflowV9Encoder::encode_sampling_options(
 
 std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
     std::span<const std::uint8_t> packet) {
+  const auto fail = [this](DecodeError e) {
+    last_error_ = e;
+    return std::nullopt;
+  };
+  last_error_ = DecodeError::kNone;
+
+  if (packet.size() < 2) return fail(DecodeError::kTruncatedHeader);
   WireReader r(packet);
-  if (r.u16() != kNetflowV9Version) return std::nullopt;
+  if (r.u16() != kNetflowV9Version) return fail(DecodeError::kBadVersion);
   const std::uint16_t count = r.u16();
 
   NetflowV9Packet out;
@@ -129,7 +136,7 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
   out.unix_secs = r.u32();
   out.sequence = r.u32();
   out.source_id = r.u32();
-  if (r.failed()) return std::nullopt;
+  if (r.failed()) return fail(DecodeError::kTruncatedHeader);
 
   const TimeContext tc{out.sys_uptime_ms, out.unix_secs};
   std::size_t parsed_records = 0;
@@ -137,7 +144,9 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
   while (r.remaining() >= 4) {
     const std::uint16_t flowset_id = r.u16();
     const std::uint16_t flowset_len = r.u16();
-    if (flowset_len < 4 || static_cast<std::size_t>(flowset_len - 4) > r.remaining()) return std::nullopt;
+    if (flowset_len < 4 || static_cast<std::size_t>(flowset_len - 4) > r.remaining()) {
+      return fail(DecodeError::kBadLength);
+    }
     WireReader fs = r.sub(flowset_len - 4);
 
     if (flowset_id == kNetflowV9TemplateFlowsetId) {
@@ -145,11 +154,11 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
         TemplateRecord tmpl;
         tmpl.template_id = fs.u16();
         const std::uint16_t field_count = fs.u16();
-        if (tmpl.template_id < 256) return std::nullopt;
+        if (tmpl.template_id < 256) return fail(DecodeError::kBadTemplate);
         for (std::uint16_t i = 0; i < field_count; ++i) {
           tmpl.fields.push_back(FieldSpec{static_cast<FieldId>(fs.u16()), fs.u16()});
         }
-        if (fs.failed()) return std::nullopt;
+        if (fs.failed()) return fail(DecodeError::kBadTemplate);
         templates_[{out.source_id, tmpl.template_id}] = tmpl;
         ++out.templates_seen;
         ++parsed_records;
@@ -161,7 +170,7 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
         const std::uint16_t template_id = fs.u16();
         const std::uint16_t scope_spec_bytes = fs.u16();
         const std::uint16_t option_spec_bytes = fs.u16();
-        if (template_id < 256) return std::nullopt;
+        if (template_id < 256) return fail(DecodeError::kBadTemplate);
         OptionsTemplate tmpl;
         for (std::uint16_t consumed = 0; consumed + 4 <= scope_spec_bytes;
              consumed += 4) {
@@ -172,7 +181,7 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
              consumed += 4) {
           tmpl.fields.push_back(FieldSpec{static_cast<FieldId>(fs.u16()), fs.u16()});
         }
-        if (fs.failed()) return std::nullopt;
+        if (fs.failed()) return fail(DecodeError::kBadTemplate);
         options_[{out.source_id, template_id}] = tmpl;
         ++out.options_templates_seen;
         ++parsed_records;
@@ -186,20 +195,30 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
         const OptionsTemplate& tmpl = opt->second;
         std::size_t rec_len = tmpl.scope_bytes;
         for (const FieldSpec& f : tmpl.fields) rec_len += f.length;
-        if (rec_len == 0) return std::nullopt;
+        if (rec_len == 0) return fail(DecodeError::kBadTemplate);
         while (fs.remaining() >= rec_len) {
-          if (!fs.skip(tmpl.scope_bytes)) return std::nullopt;
+          if (!fs.skip(tmpl.scope_bytes)) return fail(DecodeError::kTruncatedRecord);
           for (const FieldSpec& f : tmpl.fields) {
             const std::uint16_t raw_id = static_cast<std::uint16_t>(f.id);
+            // An attacker-declared f.length > 8 would shift the high bytes
+            // of `value` out silently; clamp the numeric fold to the final
+            // (least-significant, big-endian) 8 bytes and count the field.
+            std::uint16_t fold_len = f.length;
+            if (fold_len > 8) {
+              if (!fs.skip(fold_len - 8u)) return fail(DecodeError::kTruncatedRecord);
+              fold_len = 8;
+              ++out.oversize_fields;
+              ++oversize_fields_;
+            }
             std::uint64_t value = 0;
-            for (std::uint16_t b = 0; b < f.length; ++b) {
+            for (std::uint16_t b = 0; b < fold_len; ++b) {
               value = (value << 8) | fs.u8();
             }
             if (raw_id == kFieldSamplingInterval && value > 0) {
               sampling_[out.source_id] = static_cast<std::uint32_t>(value);
             }
           }
-          if (fs.failed()) return std::nullopt;
+          if (fs.failed()) return fail(DecodeError::kTruncatedRecord);
           ++parsed_records;
         }
         continue;
@@ -210,11 +229,11 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
         continue;
       }
       const std::size_t rec_len = it->second.record_length();
-      if (rec_len == 0) return std::nullopt;
+      if (rec_len == 0) return fail(DecodeError::kBadTemplate);
       while (fs.remaining() >= rec_len) {
         FlowRecord rec;
         for (const FieldSpec& f : it->second.fields) decode_field(fs, f, rec, tc);
-        if (fs.failed()) return std::nullopt;
+        if (fs.failed()) return fail(DecodeError::kTruncatedRecord);
         out.records.push_back(rec);
         ++parsed_records;
       }
@@ -222,10 +241,16 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
       continue;  // reserved flowset ids
     }
   }
-  if (r.failed()) return std::nullopt;
+  if (r.failed()) return fail(DecodeError::kTruncatedHeader);
   // Header count is advisory (padding can skew it); only reject wild
   // disagreement, which indicates corruption.
-  if (parsed_records > 0 && count == 0) return std::nullopt;
+  if (parsed_records > 0 && count == 0) return fail(DecodeError::kOther);
+
+  // v9 sequence numbers count export packets: one unit per datagram.
+  auto [seq_it, inserted] =
+      sequences_.try_emplace(out.source_id, SequenceTracker(reorder_window_));
+  out.sequence_event = seq_it->second.observe(out.sequence, 1);
+  accounting_.apply(out.sequence_event, 1);
   return out;
 }
 

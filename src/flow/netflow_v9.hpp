@@ -10,7 +10,9 @@
 #include <span>
 #include <vector>
 
+#include "flow/decode_error.hpp"
 #include "flow/flow_record.hpp"
+#include "flow/sequence_tracker.hpp"
 #include "flow/template_fields.hpp"
 
 namespace lockdown::flow {
@@ -47,6 +49,10 @@ class NetflowV9Encoder {
       std::span<const FlowRecord> records, net::Timestamp export_time,
       std::size_t max_records_per_packet = 24);
 
+  /// Reposition the packet-sequence counter (exporter restarts; tests use
+  /// it to exercise uint32 wraparound accounting).
+  void set_sequence(std::uint32_t sequence) noexcept { sequence_ = sequence; }
+
  private:
   std::uint32_t source_id_;
   std::uint32_t sequence_ = 0;  // packets sent (v9 counts packets, not records)
@@ -61,6 +67,11 @@ struct NetflowV9Packet {
   std::size_t templates_seen = 0;
   std::size_t options_templates_seen = 0;
   std::size_t skipped_flowsets = 0;
+  /// Option fields longer than 8 bytes, clamped during the numeric fold.
+  std::size_t oversize_fields = 0;
+  /// Sequence accounting of this packet (v9 sequences count export
+  /// packets, so a gap of k means k datagrams were lost in transit).
+  SequenceTracker::Event sequence_event;
 };
 
 /// Stateful v9 decoder with a per-source template cache, including options
@@ -68,6 +79,10 @@ struct NetflowV9Packet {
 /// decoder exposes it so collectors can rescale counters.
 class NetflowV9Decoder {
  public:
+  explicit NetflowV9Decoder(
+      std::uint32_t reorder_window = SequenceTracker::kDefaultReorderWindow) noexcept
+      : reorder_window_(reorder_window) {}
+
   [[nodiscard]] std::optional<NetflowV9Packet> decode(
       std::span<const std::uint8_t> packet);
 
@@ -81,15 +96,35 @@ class NetflowV9Decoder {
     return it == sampling_.end() ? 1 : it->second;
   }
 
+  /// Why the most recent decode() returned nullopt (kNone after a success).
+  [[nodiscard]] DecodeError last_error() const noexcept { return last_error_; }
+
+  /// Aggregate over all sources; `lost` counts export *packets* (the v9
+  /// sequence unit). Multiply by the source's typical records-per-packet
+  /// for a lost-record estimate.
+  [[nodiscard]] const SequenceAccounting& sequence_accounting() const noexcept {
+    return accounting_;
+  }
+
+  /// Option fields longer than 8 bytes seen across all packets.
+  [[nodiscard]] std::uint64_t oversize_fields() const noexcept {
+    return oversize_fields_;
+  }
+
  private:
   struct OptionsTemplate {
     std::uint16_t scope_bytes = 0;
     std::vector<FieldSpec> fields;  // option (non-scope) fields
   };
 
+  std::uint32_t reorder_window_;
   std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateRecord> templates_;
   std::map<std::pair<std::uint32_t, std::uint16_t>, OptionsTemplate> options_;
   std::map<std::uint32_t, std::uint32_t> sampling_;
+  std::map<std::uint32_t, SequenceTracker> sequences_;
+  SequenceAccounting accounting_;
+  std::uint64_t oversize_fields_ = 0;
+  DecodeError last_error_ = DecodeError::kNone;
 };
 
 }  // namespace lockdown::flow

@@ -1,11 +1,43 @@
 #include "flow/pipeline.hpp"
 
+#include "flow/collector_metrics.hpp"
+#include "obs/metrics.hpp"
 #include "util/arith.hpp"
 
 namespace lockdown::flow {
 
+void Collector::note_malformed(DecodeError error) {
+  ++stats_.malformed_packets;
+  stats_.errors.count(error);
+  if (metrics_ != nullptr) {
+    if (obs::Counter* c = metrics_->error_counter(error)) c->add();
+  }
+}
+
+void Collector::note_sequence(const SequenceTracker::Event& ev,
+                              std::uint32_t units) {
+  (void)units;
+  stats_.sequence_lost += ev.lost;
+  stats_.sequence_lost -= std::min(stats_.sequence_lost, ev.recovered);
+  if (ev.lost > 0) ++stats_.sequence_gaps;
+  if (ev.reordered) ++stats_.sequence_reordered;
+  if (ev.reset) ++stats_.sequence_resets;
+  if (metrics_ != nullptr) {
+    // Counters are monotonic; late arrivals cannot subtract, so the
+    // registry view of `lost` is an upper bound while `reordered` tells
+    // the reader how loose it is. The exact value lives in stats().
+    if (ev.lost > 0) {
+      metrics_->sequence_lost->add(ev.lost);
+      metrics_->sequence_gaps->add();
+    }
+    if (ev.reordered) metrics_->sequence_reordered->add();
+    if (ev.reset) metrics_->sequence_resets->add();
+  }
+}
+
 void Collector::ingest(std::span<const std::uint8_t> datagram) {
   ++stats_.packets;
+  if (metrics_ != nullptr) metrics_->packets->add();
 
   auto deliver = [&](std::vector<FlowRecord>&& records, std::uint64_t scale = 1) {
     for (FlowRecord& r : records) {
@@ -16,16 +48,30 @@ void Collector::ingest(std::span<const std::uint8_t> datagram) {
       if (anonymizer_ != nullptr) anonymizer_->anonymize(r);
     }
     stats_.records += records.size();
+    if (metrics_ != nullptr) metrics_->records->add(records.size());
     if (!records.empty()) sink_(records);
+  };
+
+  auto note_templates = [&](std::size_t seen, std::size_t withdrawn,
+                            std::size_t oversize) {
+    stats_.templates += seen;
+    stats_.template_withdrawals += withdrawn;
+    stats_.oversize_fields += oversize;
+    if (metrics_ != nullptr) {
+      if (seen > 0) metrics_->templates->add(seen);
+      if (withdrawn > 0) metrics_->template_withdrawals->add(withdrawn);
+      if (oversize > 0) metrics_->oversize_fields->add(oversize);
+    }
   };
 
   switch (protocol_) {
     case ExportProtocol::kNetflowV5: {
-      auto pkt = decode_netflow_v5(datagram);
+      auto pkt = v5_.decode(datagram);
       if (!pkt) {
-        ++stats_.malformed_packets;
+        note_malformed(v5_.last_error());
         return;
       }
+      note_sequence(pkt->sequence_event, pkt->header.count);
       // v5 carries the sampling mode/interval in the header (2-bit mode in
       // the top bits, 14-bit interval below).
       const std::uint64_t interval = pkt->header.sampling & 0x3fff;
@@ -36,10 +82,12 @@ void Collector::ingest(std::span<const std::uint8_t> datagram) {
     case ExportProtocol::kNetflowV9: {
       auto pkt = v9_.decode(datagram);
       if (!pkt) {
-        ++stats_.malformed_packets;
+        note_malformed(v9_.last_error());
         return;
       }
-      stats_.templates += pkt->templates_seen;
+      note_templates(pkt->templates_seen + pkt->options_templates_seen, 0,
+                     pkt->oversize_fields);
+      note_sequence(pkt->sequence_event, 1);
       const std::uint64_t interval = v9_.sampling_interval(pkt->source_id);
       deliver(std::move(pkt->records), rescale_sampled_ ? interval : 1);
       return;
@@ -47,10 +95,12 @@ void Collector::ingest(std::span<const std::uint8_t> datagram) {
     case ExportProtocol::kIpfix: {
       auto msg = ipfix_.decode(datagram);
       if (!msg) {
-        ++stats_.malformed_packets;
+        note_malformed(ipfix_.last_error());
         return;
       }
-      stats_.templates += msg->templates_seen;
+      note_templates(msg->templates_seen, msg->template_withdrawals, 0);
+      note_sequence(msg->sequence_event,
+                    static_cast<std::uint32_t>(msg->records.size()));
       deliver(std::move(msg->records));
       return;
     }
@@ -105,10 +155,7 @@ void ExportPump::flush() {
            protocol_, batch_, batch_export_time(batch_), anonymizer_, &stats)) {
     sink_(r);
   }
-  stats_.packets += stats.packets;
-  stats_.malformed_packets += stats.malformed_packets;
-  stats_.records += stats.records;
-  stats_.templates += stats.templates;
+  stats_ += stats;
   batch_.clear();
 }
 

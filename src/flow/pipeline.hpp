@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "flow/anonymizer.hpp"
+#include "flow/decode_error.hpp"
 #include "flow/flow_record.hpp"
 #include "flow/ipfix.hpp"
 #include "flow/netflow_v5.hpp"
@@ -34,15 +35,54 @@ enum class ExportProtocol : std::uint8_t {
   return "?";
 }
 
-/// Collector-side statistics.
+/// Metric-label-safe spelling of the protocol name.
+[[nodiscard]] constexpr const char* protocol_label(ExportProtocol p) noexcept {
+  switch (p) {
+    case ExportProtocol::kNetflowV5: return "netflow_v5";
+    case ExportProtocol::kNetflowV9: return "netflow_v9";
+    case ExportProtocol::kIpfix: return "ipfix";
+  }
+  return "unknown";
+}
+
+/// Collector-side statistics. `malformed_packets` stays the total across
+/// the error taxonomy (== errors.total()) so existing dashboards keep
+/// working; `errors` breaks it down by cause. Sequence fields measure
+/// export loss between router and collector: `sequence_lost` is in the
+/// protocol's native unit -- export packets for NetFlow v9, flow records
+/// for v5 and IPFIX.
 struct CollectorStats {
   std::uint64_t packets = 0;
   std::uint64_t malformed_packets = 0;
   std::uint64_t records = 0;
   std::uint64_t templates = 0;
+  std::uint64_t template_withdrawals = 0;
+  std::uint64_t oversize_fields = 0;
+  std::uint64_t sequence_lost = 0;
+  std::uint64_t sequence_gaps = 0;
+  std::uint64_t sequence_reordered = 0;
+  std::uint64_t sequence_resets = 0;
+  DecodeErrorCounts errors;
+
+  CollectorStats& operator+=(const CollectorStats& o) noexcept {
+    packets += o.packets;
+    malformed_packets += o.malformed_packets;
+    records += o.records;
+    templates += o.templates;
+    template_withdrawals += o.template_withdrawals;
+    oversize_fields += o.oversize_fields;
+    sequence_lost += o.sequence_lost;
+    sequence_gaps += o.sequence_gaps;
+    sequence_reordered += o.sequence_reordered;
+    sequence_resets += o.sequence_resets;
+    errors += o.errors;
+    return *this;
+  }
 
   friend bool operator==(const CollectorStats&, const CollectorStats&) = default;
 };
+
+struct CollectorMetrics;  // registry binding, see collector_metrics.hpp
 
 /// A collector that parses datagrams of one protocol and hands records to a
 /// sink. Optionally anonymizes records before the sink sees them, like the
@@ -61,18 +101,26 @@ class Collector {
   /// sampling interval (NetFlow v9 options templates, v5 header sampling
   /// field) so downstream volume estimates are unbiased. Off by default --
   /// some pipelines prefer to keep raw sampled counters and scale late.
+  ///
+  /// `metrics`: optional handle bundle bound against an obs::Registry (see
+  /// collector_metrics.hpp). Every stat update is mirrored into it with
+  /// relaxed atomic adds; the bundle may be shared across collectors (the
+  /// sharded runtime passes one instance to every shard). Must outlive the
+  /// collector.
   Collector(ExportProtocol protocol, BatchSink sink,
-            const Anonymizer* anonymizer = nullptr, bool rescale_sampled = false)
+            const Anonymizer* anonymizer = nullptr, bool rescale_sampled = false,
+            const CollectorMetrics* metrics = nullptr)
       : protocol_(protocol), sink_(std::move(sink)), anonymizer_(anonymizer),
-        rescale_sampled_(rescale_sampled) {}
+        rescale_sampled_(rescale_sampled), metrics_(metrics) {}
 
   Collector(ExportProtocol protocol, Sink sink,
-            const Anonymizer* anonymizer = nullptr, bool rescale_sampled = false)
+            const Anonymizer* anonymizer = nullptr, bool rescale_sampled = false,
+            const CollectorMetrics* metrics = nullptr)
       : Collector(protocol,
                   BatchSink([s = std::move(sink)](std::span<const FlowRecord> batch) {
                     for (const FlowRecord& r : batch) s(r);
                   }),
-                  anonymizer, rescale_sampled) {}
+                  anonymizer, rescale_sampled, metrics) {}
 
   /// Parse one datagram; malformed input increments a counter, never throws.
   void ingest(std::span<const std::uint8_t> datagram);
@@ -80,10 +128,15 @@ class Collector {
   [[nodiscard]] const CollectorStats& stats() const noexcept { return stats_; }
 
  private:
+  void note_malformed(DecodeError error);
+  void note_sequence(const SequenceTracker::Event& ev, std::uint32_t units);
+
   ExportProtocol protocol_;
   BatchSink sink_;
   const Anonymizer* anonymizer_;
   bool rescale_sampled_;
+  const CollectorMetrics* metrics_;
+  NetflowV5Decoder v5_;
   NetflowV9Decoder v9_;
   IpfixDecoder ipfix_;
   CollectorStats stats_;

@@ -65,10 +65,12 @@ class ProbabilisticSampler {
     h = util::hash_combine(h, static_cast<std::uint64_t>(r.first.seconds()));
     const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
     if (unit >= probability_) return std::nullopt;
+    // saturating_from_double: at tiny probabilities the rescaled estimate
+    // exceeds 2^64 and the raw cast would be undefined behavior.
     FlowRecord scaled = r;
-    scaled.bytes = static_cast<std::uint64_t>(
+    scaled.bytes = util::saturating_from_double(
         static_cast<double>(r.bytes) / probability_ + 0.5);
-    scaled.packets = static_cast<std::uint64_t>(
+    scaled.packets = util::saturating_from_double(
         static_cast<double>(r.packets) / probability_ + 0.5);
     return scaled;
   }

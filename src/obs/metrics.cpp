@@ -1,0 +1,163 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lockdown::obs {
+
+namespace {
+
+// Prometheus renders integral values without a decimal point; %g handles
+// the rest (scientific only when warranted).
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void append_series(std::string& out, const std::string& name,
+                   const std::string& labels, const std::string& extra_label,
+                   const std::string& value) {
+  out += name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra_label.empty()) out += ',';
+    out += extra_label;
+    out += '}';
+  }
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+void append_header(std::string& out, std::string& last_name,
+                   const std::string& name, const std::string& help,
+                   const char* type) {
+  if (name == last_name) return;
+  last_name = name;
+  if (!help.empty()) out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " ";
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t n) {
+  std::vector<double> bounds;
+  bounds.reserve(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view labels,
+                           std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = counters_[Key(std::string(name), std::string(labels))];
+  if (!entry.metric) {
+    entry.help = std::string(help);
+    entry.metric = std::make_unique<Counter>();
+  }
+  return *entry.metric;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view labels,
+                       std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = gauges_[Key(std::string(name), std::string(labels))];
+  if (!entry.metric) {
+    entry.help = std::string(help);
+    entry.metric = std::make_unique<Gauge>();
+  }
+  return *entry.metric;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds,
+                               std::string_view labels, std::string_view help) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& entry = histograms_[Key(std::string(name), std::string(labels))];
+  if (!entry.metric) {
+    entry.help = std::string(help);
+    entry.metric = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *entry.metric;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [key, entry] : counters_) {
+    s.counters.push_back(
+        {key.first, key.second, entry.help, entry.metric->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [key, entry] : gauges_) {
+    s.gauges.push_back({key.first, key.second, entry.help, entry.metric->value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [key, entry] : histograms_) {
+    HistogramSnapshot h;
+    h.name = key.first;
+    h.labels = key.second;
+    h.help = entry.help;
+    h.bounds = entry.metric->bounds();
+    h.cumulative.reserve(h.bounds.size() + 1);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+      running += entry.metric->bucket(i);
+      h.cumulative.push_back(running);
+    }
+    h.count = entry.metric->count();
+    h.sum = entry.metric->sum();
+    s.histograms.push_back(std::move(h));
+  }
+  return s;
+}
+
+std::uint64_t RegistrySnapshot::counter_value(std::string_view name,
+                                              std::string_view labels) const {
+  for (const CounterSnapshot& c : counters) {
+    if (c.name == name && c.labels == labels) return c.value;
+  }
+  return 0;
+}
+
+std::string RegistrySnapshot::to_text() const {
+  std::string out;
+  std::string last_name;
+  for (const CounterSnapshot& c : counters) {
+    append_header(out, last_name, c.name, c.help, "counter");
+    append_series(out, c.name, c.labels, {}, std::to_string(c.value));
+  }
+  for (const GaugeSnapshot& g : gauges) {
+    append_header(out, last_name, g.name, g.help, "gauge");
+    append_series(out, g.name, g.labels, {}, format_value(g.value));
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    append_header(out, last_name, h.name, h.help, "histogram");
+    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+      const std::string le =
+          i < h.bounds.size() ? format_value(h.bounds[i]) : "+Inf";
+      append_series(out, h.name + "_bucket", h.labels, "le=\"" + le + "\"",
+                    std::to_string(h.cumulative[i]));
+    }
+    append_series(out, h.name + "_sum", h.labels, {}, format_value(h.sum));
+    append_series(out, h.name + "_count", h.labels, {}, std::to_string(h.count));
+  }
+  return out;
+}
+
+}  // namespace lockdown::obs

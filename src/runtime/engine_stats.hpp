@@ -13,11 +13,16 @@
 #include <memory>
 #include <vector>
 
+namespace lockdown::obs {
+class Histogram;
+class Registry;
+}  // namespace lockdown::obs
+
 namespace lockdown::runtime {
 
 /// Live counters of one shard. Writers: the shard's worker thread
-/// (datagrams/malformed/records/templates) and the wire thread
-/// (dropped/queue high-water).
+/// (datagrams/malformed/records/templates/sequence_lost) and the wire
+/// thread (dropped/queue high-water).
 struct alignas(64) ShardCounters {
   std::atomic<std::uint64_t> datagrams{0};   ///< processed by the worker
   std::atomic<std::uint64_t> malformed{0};
@@ -25,6 +30,10 @@ struct alignas(64) ShardCounters {
   std::atomic<std::uint64_t> templates{0};
   std::atomic<std::uint64_t> dropped{0};     ///< ring full, datagram discarded
   std::atomic<std::uint64_t> queue_high_water{0};
+  /// Export units lost to sequence gaps on this shard's sources (packets
+  /// for NetFlow v9, records for v5/IPFIX). May decrease transiently when
+  /// a "lost" export turns out to be reordered.
+  std::atomic<std::uint64_t> sequence_lost{0};
 };
 
 /// Plain-value copy of one shard's counters.
@@ -35,6 +44,7 @@ struct ShardSnapshot {
   std::uint64_t templates = 0;
   std::uint64_t dropped = 0;
   std::uint64_t queue_high_water = 0;
+  std::uint64_t sequence_lost = 0;
 };
 
 /// Whole-engine snapshot: totals plus the per-shard breakdown.
@@ -46,6 +56,7 @@ struct EngineSnapshot {
   std::uint64_t templates = 0;
   std::uint64_t dropped = 0;
   std::uint64_t queue_high_water = 0;  ///< max over shards
+  std::uint64_t sequence_lost = 0;
   std::vector<ShardSnapshot> shards;
 };
 
@@ -62,14 +73,23 @@ class EngineStats {
     return counters_[i];
   }
 
-  /// Wire thread: record the queue depth observed after an enqueue.
+  /// Wire thread: record the queue depth observed after an enqueue. When
+  /// bind_ring_histograms() has run, the depth also lands in that shard's
+  /// ring-occupancy histogram.
   void note_queue_depth(std::size_t shard, std::size_t depth) noexcept {
     auto& hw = counters_[shard].queue_high_water;
     std::uint64_t seen = hw.load(std::memory_order_relaxed);
     while (depth > seen &&
            !hw.compare_exchange_weak(seen, depth, std::memory_order_relaxed)) {
     }
+    if (!ring_histograms_.empty()) observe_ring_depth(shard, depth);
   }
+
+  /// Register one ring-occupancy histogram per shard
+  /// (`engine_ring_occupancy{shard="i"}`) in `registry` and route every
+  /// subsequent note_queue_depth() observation into them. Call before the
+  /// wire thread starts; the registry must outlive this object.
+  void bind_ring_histograms(obs::Registry& registry);
 
   void note_wire_datagram() noexcept {
     wire_datagrams_.fetch_add(1, std::memory_order_relaxed);
@@ -88,11 +108,13 @@ class EngineStats {
       sh.templates = c.templates.load(std::memory_order_relaxed);
       sh.dropped = c.dropped.load(std::memory_order_relaxed);
       sh.queue_high_water = c.queue_high_water.load(std::memory_order_relaxed);
+      sh.sequence_lost = c.sequence_lost.load(std::memory_order_relaxed);
       s.datagrams += sh.datagrams;
       s.malformed += sh.malformed;
       s.records += sh.records;
       s.templates += sh.templates;
       s.dropped += sh.dropped;
+      s.sequence_lost += sh.sequence_lost;
       if (sh.queue_high_water > s.queue_high_water) {
         s.queue_high_water = sh.queue_high_water;
       }
@@ -102,9 +124,19 @@ class EngineStats {
   }
 
  private:
+  void observe_ring_depth(std::size_t shard, std::size_t depth) noexcept;
+
   std::size_t shards_;
   std::unique_ptr<ShardCounters[]> counters_;
+  /// One histogram handle per shard once bound; handles live in the
+  /// registry. Written once (single-threaded wiring) before any reader.
+  std::vector<obs::Histogram*> ring_histograms_;
   alignas(64) std::atomic<std::uint64_t> wire_datagrams_{0};
 };
+
+/// Publish an engine snapshot as gauges (`engine_*` series, per-shard
+/// breakdown via `shard="i"` labels plus unlabeled totals). Call at dump
+/// or snapshot cadence; last write wins.
+void publish_engine_snapshot(obs::Registry& registry, const EngineSnapshot& s);
 
 }  // namespace lockdown::runtime

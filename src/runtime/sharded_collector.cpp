@@ -19,6 +19,14 @@ namespace {
          (static_cast<std::uint32_t>(d[at + 2]) << 8) | d[at + 3];
 }
 
+[[nodiscard]] flow::CollectorMetrics make_collector_metrics(
+    const ShardedCollectorConfig& config) {
+  if (config.metrics == nullptr) return {};
+  const std::string labels =
+      std::string("protocol=\"") + flow::protocol_label(config.protocol) + "\"";
+  return flow::CollectorMetrics::bind(*config.metrics, labels);
+}
+
 }  // namespace
 
 std::uint64_t export_source_key(std::span<const std::uint8_t> datagram) noexcept {
@@ -47,19 +55,27 @@ std::uint64_t export_source_key(std::span<const std::uint8_t> datagram) noexcept
 ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
                                    ShardBatchSink sink)
     : config_(config), stats_(config.shards == 0 ? 1 : config.shards),
+      collector_metrics_(make_collector_metrics(config)),
       collected_(sink ? 0 : stats_.shard_count()),
       pool_(stats_.shard_count(),
             WorkerConfig{.protocol = config.protocol,
                          .anonymizer = config.anonymizer,
                          .rescale_sampled = config.rescale_sampled,
-                         .ring_capacity = config.ring_capacity},
+                         .ring_capacity = config.ring_capacity,
+                         .metrics = config.metrics != nullptr
+                                        ? &collector_metrics_
+                                        : nullptr},
             sink ? std::move(sink)
                  : ShardBatchSink([this](std::size_t shard,
                                          std::span<const flow::FlowRecord> batch) {
                      auto& out = collected_[shard];
                      out.insert(out.end(), batch.begin(), batch.end());
                    }),
-            stats_) {}
+            stats_) {
+  // Safe after pool_ is up: the wire thread (the only note_queue_depth
+  // caller) cannot run until ingest() is reachable, i.e. after this ctor.
+  if (config_.metrics != nullptr) stats_.bind_ring_histograms(*config_.metrics);
+}
 
 std::size_t ShardedCollector::shard_of(
     std::span<const std::uint8_t> datagram) const noexcept {
@@ -101,12 +117,23 @@ void ShardedCollector::finish() {
 }
 
 flow::CollectorStats ShardedCollector::merged_stats() const {
+  if (finished_) {
+    // Workers are joined: each shard's CollectorStats is quiescent, so the
+    // fold is exact and carries the full error taxonomy and sequence
+    // accounting (the live EngineStats only mirrors the headline counters).
+    flow::CollectorStats merged;
+    for (std::size_t i = 0; i < pool_.shards(); ++i) {
+      merged += pool_.collector_stats(i);
+    }
+    return merged;
+  }
   const EngineSnapshot s = stats_.snapshot();
   flow::CollectorStats merged;
   merged.packets = s.datagrams;
   merged.malformed_packets = s.malformed;
   merged.records = s.records;
   merged.templates = s.templates;
+  merged.sequence_lost = s.sequence_lost;
   return merged;
 }
 

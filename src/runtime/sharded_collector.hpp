@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "flow/anonymizer.hpp"
+#include "flow/collector_metrics.hpp"
 #include "flow/pipeline.hpp"
 #include "runtime/engine_stats.hpp"
 #include "runtime/worker_pool.hpp"
@@ -49,6 +50,10 @@ struct ShardedCollectorConfig {
   /// fixed so shard placement (and thus per-shard output order) is
   /// reproducible.
   util::SipHashKey shard_key{0x10cdd0e45ULL, 0x5a4d3e27ULL};
+  /// When set, the engine wires itself into this registry: collector
+  /// counters (shared across shards, labeled by protocol) and per-shard
+  /// ring-occupancy histograms. Must outlive the collector.
+  obs::Registry* metrics = nullptr;
 };
 
 class ShardedCollector {
@@ -79,8 +84,10 @@ class ShardedCollector {
 
   /// Fold the per-shard statistics into the single-threaded Collector's
   /// shape. Safe to call while the engine runs (reads the live atomic
-  /// counters); exact once finish() has returned. Dropped datagrams are
-  /// not part of `packets` -- they were never decoded.
+  /// counters; error/withdrawal breakdowns lag until workers idle); exact
+  /// -- full taxonomy and sequence accounting included -- once finish()
+  /// has returned. Dropped datagrams are not part of `packets` -- they
+  /// were never decoded.
   [[nodiscard]] flow::CollectorStats merged_stats() const;
 
   /// Total ring-full drops across shards.
@@ -98,6 +105,9 @@ class ShardedCollector {
  private:
   ShardedCollectorConfig config_;
   EngineStats stats_;
+  /// Bound against config.metrics (empty handles otherwise); shared by
+  /// every shard's Collector. Must precede pool_ (workers capture it).
+  flow::CollectorMetrics collector_metrics_;
   /// Collect-mode buffers; collected_[i] is touched only by shard i's
   /// worker thread until finish() joins it.
   std::vector<std::vector<flow::FlowRecord>> collected_;

@@ -31,6 +31,9 @@ struct ShardedDaemonConfig {
   std::size_t ring_capacity = 4096;
   std::int64_t rotation_seconds = 300;
   const flow::Anonymizer* anonymizer = nullptr;
+  /// Optional metrics registry, forwarded to the ingestion engine (see
+  /// ShardedCollectorConfig::metrics). Must outlive the daemon.
+  obs::Registry* metrics = nullptr;
 };
 
 class ShardedCollectorDaemon {

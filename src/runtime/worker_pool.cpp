@@ -9,7 +9,7 @@ struct WorkerPool::Shard {
   Shard(const WorkerConfig& config, flow::Collector::BatchSink batch_sink)
       : ring(config.ring_capacity),
         collector(config.protocol, std::move(batch_sink), config.anonymizer,
-                  config.rescale_sampled) {}
+                  config.rescale_sampled, config.metrics) {}
 
   SpscRing<std::vector<std::uint8_t>> ring;
   flow::Collector collector;
@@ -86,6 +86,16 @@ void WorkerPool::run(Shard& shard, std::size_t index) {
                                std::memory_order_relaxed);
     counters.templates.fetch_add(after.templates - before.templates,
                                  std::memory_order_relaxed);
+    // sequence_lost can move either way: a reordered arrival credits back
+    // loss charged earlier. The shard counter has a single writer (this
+    // thread), so a matching sub keeps it exact.
+    if (after.sequence_lost >= before.sequence_lost) {
+      counters.sequence_lost.fetch_add(after.sequence_lost - before.sequence_lost,
+                                       std::memory_order_relaxed);
+    } else {
+      counters.sequence_lost.fetch_sub(before.sequence_lost - after.sequence_lost,
+                                       std::memory_order_relaxed);
+    }
   };
 
   unsigned idle = 0;

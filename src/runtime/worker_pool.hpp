@@ -34,6 +34,9 @@ struct WorkerConfig {
   bool rescale_sampled = false;
   /// Datagrams buffered per shard before submit() reports backpressure.
   std::size_t ring_capacity = 4096;
+  /// Optional registry binding shared by every shard's Collector (handles
+  /// are atomic). Must outlive the pool.
+  const flow::CollectorMetrics* metrics = nullptr;
 };
 
 class WorkerPool {

@@ -21,4 +21,16 @@ namespace lockdown::util {
   return out;
 }
 
+/// Convert a double to uint64, clamping instead of invoking the
+/// implementation-defined (and UBSan-flagged) out-of-range cast: negatives
+/// and NaN map to 0, anything at or above 2^64 maps to UINT64_MAX.
+/// Rescaling sampled counters divides by a probability, which overshoots
+/// the representable range long before the double itself overflows.
+[[nodiscard]] constexpr std::uint64_t saturating_from_double(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // negatives and NaN
+  // 2^64 is exactly representable; anything >= it cannot be cast safely.
+  if (v >= 0x1.0p64) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(v);
+}
+
 }  // namespace lockdown::util

@@ -179,5 +179,21 @@ TEST(ProbabilisticSampler, ExtremesClamp) {
   EXPECT_FALSE(none.offer(record_with_bytes(1, 0)).has_value());
 }
 
+TEST(ProbabilisticSampler, RescalingSaturatesInsteadOfOverflowing) {
+  // A jumbo flow at a small probability rescales past 2^64: the cast from
+  // double must clamp to UINT64_MAX, not hit the out-of-range UB path
+  // (this is what -fsanitize=float-cast-overflow guards in CI).
+  const ProbabilisticSampler sampler(0.001, 12345);
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::size_t kept = 0;
+  for (std::uint64_t salt = 0; salt < 20000 && kept == 0; ++salt) {
+    if (const auto k = sampler.offer(record_with_bytes(kMax, salt))) {
+      ++kept;
+      EXPECT_EQ(k->bytes, kMax);  // kMax / 0.001 >> 2^64: saturated
+    }
+  }
+  ASSERT_GT(kept, 0u) << "no record kept; keep probability is 1e-3 over 2e4 tries";
+}
+
 }  // namespace
 }  // namespace lockdown::flow

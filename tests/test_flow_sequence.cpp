@@ -1,0 +1,504 @@
+// Export-loss accounting and decode-error taxonomy: the invariant under
+// test is "drop k datagrams, read exactly k (or their record count) back
+// out of the sequence accounting" -- for all three protocols, including
+// across the uint32 sequence wrap -- plus the RFC 7011 withdrawal path
+// and the hostile-template defenses.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "flow/collector_metrics.hpp"
+#include "flow/ipfix.hpp"
+#include "flow/netflow_v5.hpp"
+#include "flow/netflow_v9.hpp"
+#include "flow/pipeline.hpp"
+#include "flow/sequence_tracker.hpp"
+#include "flow/template_fields.hpp"
+#include "flow/wire.hpp"
+#include "obs/metrics.hpp"
+
+namespace lockdown::flow {
+namespace {
+
+using net::Date;
+using net::Ipv4Address;
+using net::Timestamp;
+
+FlowRecord sample_record(std::uint64_t i) {
+  FlowRecord r;
+  r.src_addr = Ipv4Address(static_cast<std::uint32_t>(0x0a000000 + i));
+  r.dst_addr = Ipv4Address(static_cast<std::uint32_t>(0x65000000 + i * 3));
+  r.src_port = static_cast<std::uint16_t>(40000 + i);
+  r.dst_port = 443;
+  r.protocol = IpProtocol::kTcp;
+  r.bytes = 1000 + i * 7;
+  r.packets = 3 + i;
+  r.first = Timestamp::from_date(Date(2020, 3, 25), 10, 0,
+                                 static_cast<unsigned>(i % 60));
+  r.last = r.first.plus(30);
+  return r;
+}
+
+std::vector<FlowRecord> sample_records(std::size_t n) {
+  std::vector<FlowRecord> out;
+  for (std::size_t i = 0; i < n; ++i) out.push_back(sample_record(i));
+  return out;
+}
+
+// --- SequenceTracker ---------------------------------------------------------
+
+TEST(SequenceTracker, InOrderStreamReportsNoLoss) {
+  SequenceTracker t;
+  for (std::uint32_t seq = 100; seq < 100 + 50 * 3; seq += 3) {
+    const auto ev = t.observe(seq, 3);
+    EXPECT_TRUE(ev.in_order());
+  }
+  EXPECT_EQ(t.lost(), 0u);
+  EXPECT_EQ(t.gap_events(), 0u);
+  EXPECT_EQ(t.observed_units(), 150u);
+}
+
+TEST(SequenceTracker, ForwardGapIsChargedExactly) {
+  SequenceTracker t;
+  (void)t.observe(0, 10);
+  const auto ev = t.observe(17, 10);  // 7 units vanished
+  EXPECT_EQ(ev.lost, 7u);
+  EXPECT_EQ(t.lost(), 7u);
+  EXPECT_EQ(t.gap_events(), 1u);
+  EXPECT_TRUE(t.observe(27, 10).in_order());
+}
+
+TEST(SequenceTracker, WrapAroundIsNotAGap) {
+  SequenceTracker t;
+  (void)t.observe(0xfffffffe, 1);
+  EXPECT_TRUE(t.observe(0xffffffff, 1).in_order());
+  EXPECT_TRUE(t.observe(0, 1).in_order());
+  EXPECT_TRUE(t.observe(1, 1).in_order());
+  EXPECT_EQ(t.lost(), 0u);
+}
+
+TEST(SequenceTracker, GapStraddlingTheWrapIsExact) {
+  SequenceTracker t;
+  (void)t.observe(0xfffffffd, 1);
+  const auto ev = t.observe(2, 1);  // 0xfffffffe..1 never arrived: 4 units
+  EXPECT_EQ(ev.lost, 4u);
+  EXPECT_EQ(t.lost(), 4u);
+}
+
+TEST(SequenceTracker, ReorderedArrivalCreditsBackTheCharge) {
+  SequenceTracker t;
+  (void)t.observe(0, 1);
+  EXPECT_EQ(t.observe(2, 1).lost, 1u);  // 1 skipped -> charged
+  const auto late = t.observe(1, 1);    // ...then it arrives late
+  EXPECT_TRUE(late.reordered);
+  EXPECT_EQ(late.recovered, 1u);
+  EXPECT_EQ(t.lost(), 0u);
+  EXPECT_EQ(t.reordered(), 1u);
+}
+
+TEST(SequenceTracker, FarBackwardJumpIsAResetNotALoss) {
+  SequenceTracker t(/*reorder_window=*/64);
+  (void)t.observe(5'000'000, 1);
+  const auto ev = t.observe(3, 1);  // exporter rebooted
+  EXPECT_TRUE(ev.reset);
+  EXPECT_EQ(ev.lost, 0u);
+  EXPECT_EQ(t.resets(), 1u);
+  EXPECT_TRUE(t.observe(4, 1).in_order());  // resynced
+}
+
+// --- drop-k accounting, per protocol ----------------------------------------
+//
+// The acceptance criterion: drop k datagrams from a synthetic stream and
+// the decoder reports exactly the dropped export units.
+
+TEST(NetflowV5Sequence, DroppedPacketsYieldExactRecordLoss) {
+  const auto records = sample_records(95);  // 30+30+30+5 -> 4 packets
+  NetflowV5Encoder enc;
+  const auto packets = enc.encode(records, Timestamp::from_date(Date(2020, 3, 25), 11));
+  ASSERT_EQ(packets.size(), 4u);
+
+  NetflowV5Decoder dec;
+  std::uint64_t dropped_records = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (i == 1 || i == 2) {  // drop k=2 datagrams (60 flows)
+      dropped_records += 30;
+      continue;
+    }
+    ASSERT_TRUE(dec.decode(packets[i]));
+  }
+  EXPECT_EQ(dec.sequence_accounting().lost, dropped_records);
+  EXPECT_EQ(dec.sequence_accounting().gap_events, 1u);  // one contiguous gap
+}
+
+TEST(NetflowV5Sequence, LossAcrossUint32WrapIsExact) {
+  NetflowV5Encoder enc;
+  enc.set_flow_sequence(0xffffffff - 40);  // wraps inside the stream
+  const auto packets = enc.encode(sample_records(95),
+                                  Timestamp::from_date(Date(2020, 3, 25), 11));
+  ASSERT_EQ(packets.size(), 4u);
+
+  NetflowV5Decoder dec;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (i == 1) continue;  // 30 flows dropped while the counter wraps
+    ASSERT_TRUE(dec.decode(packets[i]));
+  }
+  EXPECT_EQ(dec.sequence_accounting().lost, 30u);
+}
+
+TEST(NetflowV9Sequence, DroppedDatagramsCountAsPackets) {
+  NetflowV9Encoder enc(/*source_id=*/7);
+  const auto packets = enc.encode(sample_records(96),
+                                  Timestamp::from_date(Date(2020, 3, 25), 11),
+                                  /*max_records_per_packet=*/24);
+  ASSERT_EQ(packets.size(), 4u);
+
+  NetflowV9Decoder dec;
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    if (i == 2) {  // v9 sequences count export packets, so k=1
+      ++dropped;
+      continue;
+    }
+    ASSERT_TRUE(dec.decode(packets[i]));
+  }
+  EXPECT_EQ(dec.sequence_accounting().lost, dropped);
+  EXPECT_EQ(dec.sequence_accounting().gap_events, 1u);
+}
+
+TEST(NetflowV9Sequence, LossAcrossUint32WrapIsExact) {
+  NetflowV9Encoder enc(/*source_id=*/7);
+  enc.set_sequence(0xfffffffe);  // 4 packets: fffffffe ffffffff 0 1
+  const auto packets = enc.encode(sample_records(96),
+                                  Timestamp::from_date(Date(2020, 3, 25), 11),
+                                  /*max_records_per_packet=*/24);
+  ASSERT_EQ(packets.size(), 4u);
+
+  NetflowV9Decoder dec;
+  ASSERT_TRUE(dec.decode(packets[0]));
+  // drop packets[1] (seq 0xffffffff) and packets[2] (seq 0, post-wrap)
+  ASSERT_TRUE(dec.decode(packets[3]));
+  EXPECT_EQ(dec.sequence_accounting().lost, 2u);
+}
+
+TEST(IpfixSequence, DroppedMessagesYieldExactRecordLoss) {
+  IpfixEncoder enc(/*observation_domain=*/42);
+  const auto messages = enc.encode(sample_records(90),
+                                   Timestamp::from_date(Date(2020, 3, 25), 11),
+                                   /*max_records_per_message=*/24);
+  ASSERT_EQ(messages.size(), 4u);  // 24+24+24+18 data records
+
+  IpfixDecoder dec;
+  std::uint64_t dropped_records = 0;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (i == 1) {
+      dropped_records += 24;  // IPFIX sequences count data records
+      continue;
+    }
+    ASSERT_TRUE(dec.decode(messages[i]));
+  }
+  EXPECT_EQ(dec.sequence_accounting().lost, dropped_records);
+}
+
+TEST(IpfixSequence, LossAcrossUint32WrapIsExact) {
+  IpfixEncoder enc(/*observation_domain=*/42);
+  enc.set_sequence(0xffffffff - 30);  // wraps inside the 90-record stream
+  const auto messages = enc.encode(sample_records(90),
+                                   Timestamp::from_date(Date(2020, 3, 25), 11),
+                                   /*max_records_per_message=*/24);
+  ASSERT_EQ(messages.size(), 4u);
+
+  IpfixDecoder dec;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    if (i == 2) continue;  // 24 records dropped while the counter wraps
+    ASSERT_TRUE(dec.decode(messages[i]));
+  }
+  EXPECT_EQ(dec.sequence_accounting().lost, 24u);
+}
+
+TEST(IpfixSequence, PerDomainTrackersAreIndependent) {
+  IpfixEncoder a(/*observation_domain=*/1), b(/*observation_domain=*/2);
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 25), 11);
+  const auto ma = a.encode(sample_records(48), t, 24);
+  const auto mb = b.encode(sample_records(48), t, 24);
+  ASSERT_EQ(ma.size(), 2u);
+  ASSERT_EQ(mb.size(), 2u);
+
+  IpfixDecoder dec;
+  ASSERT_TRUE(dec.decode(ma[0]));
+  ASSERT_TRUE(dec.decode(mb[0]));
+  // domain 1 loses nothing; domain 2 loses its second message
+  ASSERT_TRUE(dec.decode(ma[1]));
+  EXPECT_EQ(dec.sequence_accounting().lost, 0u);
+}
+
+// --- RFC 7011 section 8.1: template withdrawal -------------------------------
+
+TEST(IpfixWithdrawal, WithdrawalErasesTheTemplate) {
+  IpfixEncoder enc(/*observation_domain=*/9);
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 25), 11);
+  IpfixDecoder dec;
+  ASSERT_TRUE(dec.decode(enc.encode(sample_records(4), t)[0]));
+  EXPECT_EQ(dec.cached_templates(), 2u);  // v4 + v6
+
+  const auto msg = dec.decode(enc.encode_template_withdrawal(t, kTemplateIdV4));
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(msg->template_withdrawals, 1u);
+  EXPECT_EQ(dec.cached_templates(), 1u);
+}
+
+TEST(IpfixWithdrawal, WithdrawAllClearsTheDomain) {
+  IpfixEncoder enc(/*observation_domain=*/9);
+  IpfixEncoder other(/*observation_domain=*/10);
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 25), 11);
+  IpfixDecoder dec;
+  ASSERT_TRUE(dec.decode(enc.encode(sample_records(4), t)[0]));
+  ASSERT_TRUE(dec.decode(other.encode(sample_records(4), t)[0]));
+  EXPECT_EQ(dec.cached_templates(), 4u);
+
+  // template id 2 (the set id itself) withdraws every template of the
+  // sending domain -- and only that domain.
+  const auto msg =
+      dec.decode(enc.encode_template_withdrawal(t, kIpfixTemplateSetId));
+  ASSERT_TRUE(msg);
+  EXPECT_EQ(msg->template_withdrawals, 1u);
+  EXPECT_EQ(dec.cached_templates(), 2u);
+}
+
+TEST(IpfixWithdrawal, DataAfterWithdrawalIsSkippedNotFatal) {
+  IpfixEncoder enc(/*observation_domain=*/9);
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 25), 11);
+  IpfixDecoder dec;
+  ASSERT_TRUE(dec.decode(enc.encode(sample_records(4), t)[0]));
+  ASSERT_TRUE(dec.decode(enc.encode_template_withdrawal(t, kTemplateIdV4)));
+
+  // Hand-craft a message with a data set for the withdrawn template and
+  // NO template set (the encoder would helpfully re-announce it).
+  WireWriter w;
+  w.u16(kIpfixVersion);
+  w.u16(0);  // total length placeholder
+  w.u32(static_cast<std::uint32_t>(t.seconds()));
+  w.u32(/*sequence=*/4);
+  w.u32(/*domain=*/9);
+  w.u16(kTemplateIdV4);
+  w.u16(4 + 8);  // set header + 8 opaque bytes (less than one record)
+  w.u64(0);
+  w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
+  const auto msg = dec.decode(w.take());
+  ASSERT_TRUE(msg) << "withdrawn template must skip, not abort";
+  EXPECT_EQ(msg->skipped_data_sets, 1u);
+  EXPECT_TRUE(msg->records.empty());
+}
+
+TEST(IpfixWithdrawal, WithdrawingAReservedIdIsRejected) {
+  IpfixEncoder enc(/*observation_domain=*/9);
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 25), 11);
+  IpfixDecoder dec;
+  // field_count == 0 with a template id that is neither >= 256 nor the
+  // withdraw-all sentinel is nonsense.
+  ASSERT_FALSE(dec.decode(enc.encode_template_withdrawal(t, 17)));
+  EXPECT_EQ(dec.last_error(), DecodeError::kBadTemplate);
+}
+
+// --- hostile templates -------------------------------------------------------
+
+TEST(IpfixHostile, HugeFieldCountIsRejectedAsBadTemplate) {
+  WireWriter w;
+  w.u16(kIpfixVersion);
+  w.u16(0);
+  w.u32(1000);
+  w.u32(0);
+  w.u32(1);
+  const std::size_t set_start = w.size();
+  w.u16(kIpfixTemplateSetId);
+  w.u16(0);
+  w.u16(300);      // template id
+  w.u16(0xffff);   // claims 65535 fields; the set holds none of them
+  w.patch_u16(set_start + 2, static_cast<std::uint16_t>(w.size() - set_start));
+  w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
+
+  IpfixDecoder dec;
+  EXPECT_FALSE(dec.decode(w.take()));
+  EXPECT_EQ(dec.last_error(), DecodeError::kBadTemplate);
+  EXPECT_EQ(dec.cached_templates(), 0u);
+}
+
+TEST(IpfixHostile, LyingSetLengthIsRejectedAsBadLength) {
+  WireWriter w;
+  w.u16(kIpfixVersion);
+  w.u16(0);
+  w.u32(1000);
+  w.u32(0);
+  w.u32(1);
+  w.u16(300);   // data set id
+  w.u16(2000);  // claims 2000 bytes; the message ends here
+  w.patch_u16(2, static_cast<std::uint16_t>(w.size()));
+
+  IpfixDecoder dec;
+  EXPECT_FALSE(dec.decode(w.take()));
+  EXPECT_EQ(dec.last_error(), DecodeError::kBadLength);
+}
+
+TEST(IpfixHostile, TotalLengthMismatchIsRejected) {
+  IpfixEncoder enc(1);
+  auto msg = enc.encode(sample_records(2),
+                        Timestamp::from_date(Date(2020, 3, 25), 11))[0];
+  msg[2] = 0x7f;  // total length field now disagrees with the datagram
+  msg[3] = 0xff;
+  IpfixDecoder dec;
+  EXPECT_FALSE(dec.decode(msg));
+  EXPECT_EQ(dec.last_error(), DecodeError::kBadLength);
+}
+
+TEST(NetflowV9Hostile, HugeFieldCountIsRejectedAsBadTemplate) {
+  WireWriter w;
+  w.u16(kNetflowV9Version);
+  w.u16(1);
+  w.u32(0);      // sysUptime
+  w.u32(1000);   // unix secs
+  w.u32(0);      // sequence
+  w.u32(7);      // source id
+  const std::size_t fs = w.size();
+  w.u16(kNetflowV9TemplateFlowsetId);
+  w.u16(0);
+  w.u16(300);
+  w.u16(0xffff);  // huge field count, no field specs follow
+  w.patch_u16(fs + 2, static_cast<std::uint16_t>(w.size() - fs));
+
+  NetflowV9Decoder dec;
+  EXPECT_FALSE(dec.decode(w.take()));
+  EXPECT_EQ(dec.last_error(), DecodeError::kBadTemplate);
+}
+
+TEST(NetflowV9Hostile, OversizeOptionFieldIsClampedAndCounted) {
+  // Options template declaring a 12-byte samplingInterval: the numeric
+  // fold must clamp to the trailing 8 bytes instead of silently shifting
+  // the high bytes out (and must not mis-track the record length).
+  WireWriter w;
+  w.u16(kNetflowV9Version);
+  w.u16(2);
+  w.u32(0);
+  w.u32(1000);
+  w.u32(0);
+  w.u32(7);
+  {
+    const std::size_t fs = w.size();
+    w.u16(kNetflowV9OptionsTemplateFlowsetId);
+    w.u16(0);
+    w.u16(700);  // options template id
+    w.u16(0);    // no scope specs
+    w.u16(4);    // one option spec
+    w.u16(kFieldSamplingInterval);
+    w.u16(12);   // oversize: 12-byte "u32"
+    w.patch_u16(fs + 2, static_cast<std::uint16_t>(w.size() - fs));
+  }
+  {
+    const std::size_t fs = w.size();
+    w.u16(700);
+    w.u16(0);
+    w.zeros(8);     // high 8 bytes of the oversize value
+    w.u32(1024);    // the actual interval lives in the trailing bytes
+    w.patch_u16(fs + 2, static_cast<std::uint16_t>(w.size() - fs));
+  }
+
+  NetflowV9Decoder dec;
+  const auto pkt = dec.decode(w.take());
+  ASSERT_TRUE(pkt);
+  EXPECT_EQ(pkt->oversize_fields, 1u);
+  EXPECT_EQ(dec.oversize_fields(), 1u);
+  EXPECT_EQ(dec.sampling_interval(7), 1024u);
+}
+
+// --- Collector integration ---------------------------------------------------
+
+TEST(CollectorTaxonomy, MalformedTotalMatchesBreakdown) {
+  Collector c(ExportProtocol::kIpfix, Collector::Sink([](const FlowRecord&) {}));
+
+  const std::vector<std::uint8_t> truncated{0x00};
+  c.ingest(truncated);
+  std::vector<std::uint8_t> bad_version(16, 0);
+  bad_version[1] = 99;
+  c.ingest(bad_version);  // version != 10
+
+  const CollectorStats& stats = c.stats();
+  EXPECT_EQ(stats.malformed_packets, 2u);
+  EXPECT_EQ(stats.errors.truncated_header, 1u);
+  EXPECT_EQ(stats.errors.bad_version, 1u);
+  EXPECT_EQ(stats.errors.total(), stats.malformed_packets);
+}
+
+TEST(CollectorTaxonomy, DropKDatagramsSurfacesInStats) {
+  IpfixEncoder enc(/*observation_domain=*/3);
+  const auto messages = enc.encode(sample_records(72),
+                                   Timestamp::from_date(Date(2020, 3, 25), 11),
+                                   /*max_records_per_message=*/24);
+  ASSERT_EQ(messages.size(), 3u);
+
+  std::size_t delivered = 0;
+  Collector c(ExportProtocol::kIpfix,
+              Collector::Sink([&](const FlowRecord&) { ++delivered; }));
+  c.ingest(messages[0]);
+  c.ingest(messages[2]);  // messages[1] lost in transit
+
+  EXPECT_EQ(delivered, 48u);
+  EXPECT_EQ(c.stats().sequence_lost, 24u);
+  EXPECT_EQ(c.stats().sequence_gaps, 1u);
+  EXPECT_EQ(c.stats().records, 48u);
+}
+
+TEST(CollectorTaxonomy, WithdrawalsAndTemplatesAreCounted) {
+  IpfixEncoder enc(/*observation_domain=*/3);
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 25), 11);
+  Collector c(ExportProtocol::kIpfix, Collector::Sink([](const FlowRecord&) {}));
+  c.ingest(enc.encode(sample_records(4), t)[0]);
+  c.ingest(enc.encode_template_withdrawal(t, kTemplateIdV4));
+  EXPECT_EQ(c.stats().templates, 2u);
+  EXPECT_EQ(c.stats().template_withdrawals, 1u);
+}
+
+TEST(CollectorMetricsBinding, RegistryMirrorsStats) {
+  obs::Registry registry;
+  const CollectorMetrics metrics =
+      CollectorMetrics::bind(registry, "protocol=\"ipfix\"");
+
+  IpfixEncoder enc(/*observation_domain=*/3);
+  const auto messages = enc.encode(sample_records(72),
+                                   Timestamp::from_date(Date(2020, 3, 25), 11),
+                                   /*max_records_per_message=*/24);
+  ASSERT_EQ(messages.size(), 3u);
+
+  Collector c(ExportProtocol::kIpfix, Collector::Sink([](const FlowRecord&) {}),
+              nullptr, false, &metrics);
+  c.ingest(messages[0]);
+  c.ingest(messages[2]);  // one dropped in transit
+  const std::vector<std::uint8_t> truncated{0x00};
+  c.ingest(truncated);    // and one truncated
+
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_value("collector_packets_total", "protocol=\"ipfix\""), 3u);
+  EXPECT_EQ(snap.counter_value("collector_records_total", "protocol=\"ipfix\""), 48u);
+  EXPECT_EQ(snap.counter_value("collector_sequence_lost_total", "protocol=\"ipfix\""),
+            24u);
+  EXPECT_EQ(snap.counter_value("collector_decode_errors_total",
+                               "error=\"truncated_header\",protocol=\"ipfix\""),
+            1u);
+  // The same metric names render in the exposition dump.
+  EXPECT_NE(registry.expose_text().find("collector_sequence_lost_total"),
+            std::string::npos);
+}
+
+TEST(CollectorMetricsBinding, SharedAcrossCollectorsByDesign) {
+  obs::Registry registry;
+  const CollectorMetrics metrics = CollectorMetrics::bind(registry);
+  Collector a(ExportProtocol::kNetflowV5, Collector::Sink([](const FlowRecord&) {}),
+              nullptr, false, &metrics);
+  Collector b(ExportProtocol::kNetflowV5, Collector::Sink([](const FlowRecord&) {}),
+              nullptr, false, &metrics);
+  NetflowV5Encoder enc;
+  const auto packets = enc.encode(sample_records(5), Timestamp(5000));
+  a.ingest(packets[0]);
+  b.ingest(packets[0]);
+  EXPECT_EQ(registry.snapshot().counter_value("collector_packets_total"), 2u);
+}
+
+}  // namespace
+}  // namespace lockdown::flow

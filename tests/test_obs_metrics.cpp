@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace lockdown::obs {
+namespace {
+
+TEST(ObsRegistry, CounterStartsAtZeroAndAccumulates) {
+  Registry reg;
+  Counter& c = reg.counter("test_total");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsRegistry, RegistrationIsIdempotentPerNameAndLabels) {
+  Registry reg;
+  Counter& a = reg.counter("dups_total", "shard=\"0\"");
+  Counter& b = reg.counter("dups_total", "shard=\"0\"");
+  Counter& other = reg.counter("dups_total", "shard=\"1\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &other);
+  a.add(7);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(other.value(), 0u);
+}
+
+TEST(ObsRegistry, GaugeSetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(4.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 5.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+}
+
+TEST(ObsRegistry, HistogramBucketsFollowLeSemantics) {
+  Registry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);   // <= 1
+  h.observe(1.0);   // <= 1 (le is inclusive)
+  h.observe(5.0);   // <= 10
+  h.observe(1000);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 1u);  // +Inf
+}
+
+TEST(ObsRegistry, ExponentialBuckets) {
+  const auto b = exponential_buckets(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+TEST(ObsRegistry, SnapshotIsConsistentCopy) {
+  Registry reg;
+  reg.counter("a_total", "k=\"v\"").add(3);
+  reg.gauge("g").set(2.5);
+  reg.histogram("h", {1.0}).observe(0.5);
+
+  const RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("a_total", "k=\"v\""), 3u);
+  EXPECT_EQ(snap.counter_value("a_total"), 0u);  // different label set
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  ASSERT_EQ(snap.histograms[0].cumulative.size(), 2u);  // le=1 and +Inf
+  EXPECT_EQ(snap.histograms[0].cumulative[0], 1u);
+  EXPECT_EQ(snap.histograms[0].cumulative[1], 1u);  // cumulative includes all
+
+  // Mutations after the snapshot must not show up in it.
+  reg.counter("a_total", "k=\"v\"").add(100);
+  EXPECT_EQ(snap.counter_value("a_total", "k=\"v\""), 3u);
+}
+
+TEST(ObsRegistry, TextExpositionIsPrometheusShaped) {
+  Registry reg;
+  reg.counter("pkts_total", "proto=\"v9\"", "Packets seen").add(12);
+  reg.gauge("depth", {}, "Ring depth").set(3);
+  reg.histogram("occ", {2.0, 8.0}, {}, "Occupancy").observe(5.0);
+
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("# HELP pkts_total Packets seen"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pkts_total counter"), std::string::npos);
+  EXPECT_NE(text.find("pkts_total{proto=\"v9\"} 12"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE occ histogram"), std::string::npos);
+  EXPECT_NE(text.find("occ_bucket{le=\"2\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("occ_bucket{le=\"8\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("occ_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("occ_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("occ_count 1"), std::string::npos);
+}
+
+TEST(ObsRegistry, HistogramBucketRowsCarrySeriesLabels) {
+  Registry reg;
+  reg.histogram("ring", {1.0}, "shard=\"2\"").observe(0.5);
+  const std::string text = reg.expose_text();
+  EXPECT_NE(text.find("ring_bucket{shard=\"2\",le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("ring_sum{shard=\"2\"}"), std::string::npos);
+}
+
+// The registry's whole reason to exist: concurrent increments from many
+// threads land exactly, with registration racing alongside.
+TEST(ObsRegistry, ConcurrentAddsAreExact) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& c = reg.counter("contended_total");
+      Histogram& h = reg.histogram("contended_hist", {10.0, 100.0});
+      for (int i = 0; i < kAdds; ++i) {
+        c.add();
+        h.observe(static_cast<double>(i % 128));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("contended_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+  EXPECT_EQ(reg.histogram("contended_hist", {10.0, 100.0}).count(),
+            static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+}  // namespace
+}  // namespace lockdown::obs

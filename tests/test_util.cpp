@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <set>
 
+#include "util/arith.hpp"
 #include "util/rng.hpp"
 #include "util/siphash.hpp"
 #include "util/strings.hpp"
@@ -220,6 +223,47 @@ TEST(Table, CsvQuoting) {
   const std::string csv = t.to_csv();
   EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
   EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+// --- arith -----------------------------------------------------------------
+
+TEST(Arith, SaturatingMul) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(saturating_mul(1500, 1000), 1'500'000u);
+  EXPECT_EQ(saturating_mul(kMax, 1), kMax);
+  EXPECT_EQ(saturating_mul(kMax, 2), kMax);
+  EXPECT_EQ(saturating_mul(1ULL << 33, 1ULL << 33), kMax);
+  EXPECT_EQ(saturating_mul(0, kMax), 0u);
+}
+
+TEST(Arith, SaturatingFromDoubleNormalRange) {
+  EXPECT_EQ(saturating_from_double(0.0), 0u);
+  EXPECT_EQ(saturating_from_double(0.4), 0u);
+  EXPECT_EQ(saturating_from_double(1.0), 1u);
+  EXPECT_EQ(saturating_from_double(1500.7), 1500u);
+  EXPECT_EQ(saturating_from_double(0x1.0p53), 1ULL << 53);
+}
+
+TEST(Arith, SaturatingFromDoubleClampsOutOfRange) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  // At and above 2^64 the raw cast would be UB; we pin to the max.
+  EXPECT_EQ(saturating_from_double(0x1.0p64), kMax);
+  EXPECT_EQ(saturating_from_double(1e300), kMax);
+  EXPECT_EQ(saturating_from_double(std::numeric_limits<double>::infinity()), kMax);
+  // Negatives and NaN map to zero (a counter can't go backwards).
+  EXPECT_EQ(saturating_from_double(-1.0), 0u);
+  EXPECT_EQ(saturating_from_double(-1e300), 0u);
+  EXPECT_EQ(saturating_from_double(std::numeric_limits<double>::quiet_NaN()), 0u);
+}
+
+// Just below 2^64 the nearest representable double is 2^64 - 2048, which
+// must convert exactly (the clamp boundary is tight, not approximate).
+TEST(Arith, SaturatingFromDoubleBoundaryIsTight) {
+  const double below = std::nextafter(0x1.0p64, 0.0);
+  EXPECT_EQ(saturating_from_double(below),
+            static_cast<std::uint64_t>(below));
+  EXPECT_LT(saturating_from_double(below),
+            std::numeric_limits<std::uint64_t>::max());
 }
 
 }  // namespace
