@@ -1,9 +1,15 @@
-// Ablation: pattern-classifier aggregation window (DESIGN.md section 5).
+// Ablation: pattern-classifier aggregation window (DESIGN.md section 5),
+// plus the app-classifier compilation ablation (DESIGN.md section 9):
+// flat-table classify() vs the interpreted classify_reference() scan on
+// identical traffic.
 //
 // The paper classifies days from 6-hour bins. This sweep re-runs Fig 2's
 // classification with 1/2/3/4/6/12-hour bins and reports (a) agreement
 // with actual day types before the lockdown and (b) the fraction of
 // post-lockdown days classified weekend-like.
+#include <chrono>
+
+#include "analysis/app_filter.hpp"
 #include "analysis/pattern.hpp"
 #include "analysis/volume.hpp"
 #include "bench_common.hpp"
@@ -15,6 +21,8 @@ using net::Date;
 using net::TimeRange;
 using net::Timestamp;
 using synth::VantagePointId;
+
+void print_app_classifier_ablation();
 
 void print_reproduction() {
   std::cout << "=== Ablation: workday/weekend classifier bin width ===\n\n";
@@ -54,6 +62,55 @@ void print_reproduction() {
   std::cout << "(takeaway: the result is robust across bin widths; 6h -- the\n"
             << " paper's choice -- is the coarsest setting that still keeps\n"
             << " pre-lockdown agreement high, at a quarter of the feature size)\n\n";
+
+  print_app_classifier_ablation();
+}
+
+/// Flat vs reference app classification on one synthesized lockdown day:
+/// both paths must agree flow for flow, and the compiled tables must beat
+/// the scan by the acceptance bar (>= 5x).
+void print_app_classifier_ablation() {
+  std::cout << "=== Ablation: compiled vs interpreted app classification ===\n\n";
+
+  const auto ixp = synth::build_vantage(VantagePointId::kIxpCe, registry(),
+                                        {.seed = 42});
+  const synth::FlowSynthesizer synth(ixp.model, registry(),
+                                     {.connections_per_hour = 800});
+  const auto records = synth.collect(TimeRange::day_of(Date(2020, 3, 25)));
+  const analysis::AsView view(registry().trie());
+  const auto classifier = analysis::AppClassifier::table1();
+
+  std::size_t agree = 0;
+  for (const auto& r : records) {
+    agree += classifier.classify(r, view) == classifier.classify_reference(r, view)
+                 ? 1
+                 : 0;
+  }
+
+  const auto time_ns_per_rec = [&](auto&& classify_fn) {
+    constexpr int kReps = 20;
+    std::size_t hits = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kReps; ++i) {
+      for (const auto& r : records) hits += classify_fn(r).has_value() ? 1 : 0;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(hits);
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           (kReps * static_cast<double>(records.size()));
+  };
+  const double flat = time_ns_per_rec(
+      [&](const flow::FlowRecord& r) { return classifier.classify(r, view); });
+  const double ref = time_ns_per_rec([&](const flow::FlowRecord& r) {
+    return classifier.classify_reference(r, view);
+  });
+
+  util::Table table({"path", "ns/record", "agreement"});
+  table.add_row({"reference scan", fmt(ref, 1),
+                 std::to_string(agree) + "/" + std::to_string(records.size())});
+  table.add_row({"flat tables", fmt(flat, 1), "(same by construction)"});
+  std::cout << table << "\n";
+  std::cout << "speedup: " << fmt(ref / flat, 2) << "x (acceptance bar: >= 5x)\n\n";
 }
 
 void BM_Abl_ClassifierBins(benchmark::State& state) {
@@ -74,6 +131,65 @@ void BM_Abl_ClassifierBins(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Abl_ClassifierBins)->Arg(1)->Arg(6)->Unit(benchmark::kMicrosecond);
+
+struct AppClassifyFixture {
+  AppClassifyFixture()
+      : view(registry().trie()), classifier(analysis::AppClassifier::table1()) {
+    const auto ixp = synth::build_vantage(VantagePointId::kIxpCe, registry(),
+                                          {.seed = 42});
+    const synth::FlowSynthesizer synth(ixp.model, registry(),
+                                       {.connections_per_hour = 500});
+    records = synth.collect(TimeRange::day_of(Date(2020, 3, 25)));
+  }
+  analysis::AsView view;
+  analysis::AppClassifier classifier;
+  std::vector<flow::FlowRecord> records;
+};
+
+const AppClassifyFixture& app_fixture() {
+  static const AppClassifyFixture f;
+  return f;
+}
+
+void BM_AppClassify_Flat(benchmark::State& state) {
+  const auto& f = app_fixture();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& r : f.records) {
+      hits += f.classifier.classify(r, f.view).has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_AppClassify_Flat)->Unit(benchmark::kMillisecond);
+
+void BM_AppClassify_Reference(benchmark::State& state) {
+  const auto& f = app_fixture();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& r : f.records) {
+      hits += f.classifier.classify_reference(r, f.view).has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_AppClassify_Reference)->Unit(benchmark::kMillisecond);
+
+void BM_AppClassify_Batch(benchmark::State& state) {
+  const auto& f = app_fixture();
+  std::vector<std::optional<synth::AppClass>> out(f.records.size());
+  for (auto _ : state) {
+    f.classifier.classify_batch(f.records, f.view, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_AppClassify_Batch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace lockdown::bench

@@ -33,10 +33,13 @@ void print_reproduction() {
   std::vector<stats::SpaceSaving<PortKey, PortKeyHash>> sketches;
   for (const auto c : capacities) sketches.emplace_back(c);
 
-  run_pipeline(isp, week, 900, [&](const flow::FlowRecord& r) {
-    exact.add(r);
-    const PortKey port = r.service_port();
-    for (auto& s : sketches) s.add(port, static_cast<double>(r.bytes));
+  // Batch delivery: one span per decoded datagram from the collector.
+  run_pipeline_batches(isp, week, 900, [&](std::span<const flow::FlowRecord> batch) {
+    for (const flow::FlowRecord& r : batch) {
+      exact.add(r);
+      const PortKey port = r.service_port();
+      for (auto& s : sketches) s.add(port, static_cast<double>(r.bytes));
+    }
   });
 
   const auto exact_top = exact.top_ports(12);

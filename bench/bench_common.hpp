@@ -5,7 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/as_view.hpp"
 #include "flow/pipeline.hpp"
@@ -30,6 +34,20 @@ void run_pipeline(const synth::VantagePoint& vp, net::TimeRange range,
   const synth::FlowSynthesizer synth(vp.model, registry(),
                                      {.connections_per_hour = connections_per_hour});
   flow::ExportPump pump(vp.protocol, std::forward<Sink>(sink));
+  synth.synthesize(range, pump.as_sink());
+  pump.flush();
+}
+
+/// Like run_pipeline, but the sink is span-shaped (one call per decoded
+/// datagram, flow::Collector::BatchSink) -- the compiled hot path the
+/// classification benches measure.
+template <typename BatchSink>
+void run_pipeline_batches(const synth::VantagePoint& vp, net::TimeRange range,
+                          double connections_per_hour, BatchSink&& sink) {
+  const synth::FlowSynthesizer synth(vp.model, registry(),
+                                     {.connections_per_hour = connections_per_hour});
+  flow::ExportPump pump(vp.protocol,
+                        flow::ExportPump::BatchSink(std::forward<BatchSink>(sink)));
   synth.synthesize(range, pump.as_sink());
   pump.flush();
 }
@@ -62,14 +80,96 @@ inline void bench_pipeline_day(benchmark::State& state, synth::VantagePointId id
   }
 }
 
+/// One finished benchmark run, in the shape the perf-smoke CI job consumes.
+struct BenchJsonEntry {
+  std::string name;
+  double ns_per_op = 0.0;
+  double records_per_s = 0.0;  ///< 0 when the bench reports no item rate
+};
+
+/// Console output plus machine-readable collection: every iteration run
+/// that finishes without error is kept for write_bench_json().
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      BenchJsonEntry e;
+      e.name = run.benchmark_name();
+      if (run.iterations > 0) {
+        e.ns_per_op = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e9;
+      }
+      if (const auto it = run.counters.find("items_per_second");
+          it != run.counters.end()) {
+        e.records_per_s = it->second;
+      }
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  [[nodiscard]] const std::vector<BenchJsonEntry>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::vector<BenchJsonEntry> entries_;
+};
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // names never need them
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Write `BENCH_<binary-name>.json` into $LOCKDOWN_BENCH_JSON_DIR (cwd if
+/// unset). No file is written when no benchmark ran (e.g. a
+/// --benchmark_filter that matches nothing), so CI artifacts only contain
+/// real measurements.
+inline void write_bench_json(const char* argv0,
+                             const std::vector<BenchJsonEntry>& entries) {
+  if (entries.empty()) return;
+  std::string base = argv0 != nullptr ? argv0 : "bench";
+  if (const auto slash = base.find_last_of('/'); slash != std::string::npos) {
+    base = base.substr(slash + 1);
+  }
+  std::string dir = ".";
+  if (const char* env = std::getenv("LOCKDOWN_BENCH_JSON_DIR");
+      env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_" + base + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  out << "{\n  \"binary\": \"" << json_escape(base) << "\",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const BenchJsonEntry& e = entries[i];
+    out << "    {\"name\": \"" << json_escape(e.name) << "\", \"ns_per_op\": "
+        << e.ns_per_op << ", \"records_per_s\": " << e.records_per_s << "}"
+        << (i + 1 < entries.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 /// Print-then-benchmark main. Define `print_reproduction()` in the binary
-/// and call LOCKDOWN_BENCH_MAIN(print_reproduction).
+/// and call LOCKDOWN_BENCH_MAIN(print_reproduction). Timings additionally
+/// land in BENCH_<binary>.json (see write_bench_json).
 #define LOCKDOWN_BENCH_MAIN(print_fn)                       \
   int main(int argc, char** argv) {                         \
     print_fn();                                             \
     ::benchmark::Initialize(&argc, argv);                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                  \
+    ::lockdown::bench::JsonCollectingReporter reporter;     \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);         \
+    ::lockdown::bench::write_bench_json(argv[0], reporter.entries()); \
     ::benchmark::Shutdown();                                \
     return 0;                                               \
   }

@@ -29,7 +29,10 @@ void analyze_vantage(VantagePointId id, const std::vector<Date>& week_starts) {
   std::vector<TimeRange> weeks;
   for (const Date d : week_starts) weeks.push_back(TimeRange::week_of(d));
   analysis::ClassHeatmap heatmap(classifier, view, weeks);
-  for (const TimeRange& w : weeks) run_pipeline(vp, w, 600, heatmap.sink());
+  // Batch path end to end: collector batches -> classify_batch -> deposit.
+  for (const TimeRange& w : weeks) {
+    run_pipeline_batches(vp, w, 600, heatmap.batch_sink());
+  }
 
   std::cout << "--- " << to_string(id) << " ---\n";
   util::Table table({"class", "stage1 working-hours diff", "stage2 working-hours diff"});
@@ -66,25 +69,64 @@ void print_reproduction() {
       << " then flattens; educational declines in the US, grows at the ISP)\n\n";
 }
 
+struct ClassifyFixture {
+  ClassifyFixture()
+      : view(registry().trie()), classifier(analysis::AppClassifier::table1()) {
+    const auto ixp = synth::build_vantage(VantagePointId::kIxpCe, registry(),
+                                          {.seed = 42});
+    const synth::FlowSynthesizer synth(ixp.model, registry(),
+                                       {.connections_per_hour = 500});
+    records = synth.collect(TimeRange::day_of(Date(2020, 3, 20)));
+  }
+  analysis::AsView view;
+  analysis::AppClassifier classifier;
+  std::vector<flow::FlowRecord> records;
+};
+
+const ClassifyFixture& classify_fixture() {
+  static const ClassifyFixture f;
+  return f;
+}
+
 void BM_Fig9_Classification(benchmark::State& state) {
-  const auto ixp = synth::build_vantage(VantagePointId::kIxpCe, registry(),
-                                        {.seed = 42});
-  const synth::FlowSynthesizer synth(ixp.model, registry(),
-                                     {.connections_per_hour = 500});
-  const auto records = synth.collect(TimeRange::day_of(Date(2020, 3, 20)));
-  const analysis::AsView view(registry().trie());
-  const auto classifier = analysis::AppClassifier::table1();
+  const auto& f = classify_fixture();
   for (auto _ : state) {
     std::size_t classified = 0;
-    for (const auto& r : records) {
-      classified += classifier.classify(r, view).has_value() ? 1 : 0;
+    for (const auto& r : f.records) {
+      classified += f.classifier.classify(r, f.view).has_value() ? 1 : 0;
     }
     benchmark::DoNotOptimize(classified);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(records.size()));
+                          static_cast<std::int64_t>(f.records.size()));
 }
 BENCHMARK(BM_Fig9_Classification)->Unit(benchmark::kMillisecond);
+
+void BM_Fig9_ClassificationReference(benchmark::State& state) {
+  const auto& f = classify_fixture();
+  for (auto _ : state) {
+    std::size_t classified = 0;
+    for (const auto& r : f.records) {
+      classified += f.classifier.classify_reference(r, f.view).has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(classified);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_Fig9_ClassificationReference)->Unit(benchmark::kMillisecond);
+
+void BM_Fig9_ClassificationBatch(benchmark::State& state) {
+  const auto& f = classify_fixture();
+  std::vector<std::optional<synth::AppClass>> out(f.records.size());
+  for (auto _ : state) {
+    f.classifier.classify_batch(f.records, f.view, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.records.size()));
+}
+BENCHMARK(BM_Fig9_ClassificationBatch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace lockdown::bench

@@ -68,6 +68,36 @@ void BM_Tab1_TableStats(benchmark::State& state) {
 }
 BENCHMARK(BM_Tab1_TableStats)->Unit(benchmark::kMicrosecond);
 
+// Flat-table vs interpreted classification over one synthesized day:
+// state.range(0) selects the path (0 = compiled tables, 1 = reference
+// scan), so both series land in the same JSON artifact.
+void BM_Tab1_Classify(benchmark::State& state) {
+  const auto ixp = synth::build_vantage(VantagePointId::kIxpCe, registry(),
+                                        {.seed = 42});
+  const synth::FlowSynthesizer synth(ixp.model, registry(),
+                                     {.connections_per_hour = 500});
+  const auto records = synth.collect(TimeRange::day_of(Date(2020, 3, 25)));
+  const analysis::AsView view(registry().trie());
+  const auto classifier = analysis::AppClassifier::table1();
+  const bool reference = state.range(0) != 0;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& r : records) {
+      const auto cls = reference ? classifier.classify_reference(r, view)
+                                 : classifier.classify(r, view);
+      hits += cls.has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_Tab1_Classify)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("reference")
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace lockdown::bench
 

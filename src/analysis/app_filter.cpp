@@ -21,15 +21,165 @@ namespace {
   return out;
 }
 
+/// -1 for protocols without a port table (GRE/ESP/ICMP).
+[[nodiscard]] constexpr int port_table_of(IpProtocol proto) noexcept {
+  if (proto == IpProtocol::kTcp) return 0;
+  if (proto == IpProtocol::kUdp) return 1;
+  return -1;
+}
+
+[[nodiscard]] bool port_matches(const AppFilter& f, PortKey port) {
+  return std::find(f.ports.begin(), f.ports.end(), port) != f.ports.end();
+}
+
 }  // namespace
 
 AppClassifier::AppClassifier(std::vector<AppFilter> filters)
     : filters_(std::move(filters)) {
+  if (filters_.size() >= kNoFilter) {
+    throw std::invalid_argument("AppClassifier: too many filters");
+  }
+  std::set<std::string_view> names;
   for (const AppFilter& f : filters_) {
     if (!f.valid()) {
       throw std::invalid_argument("AppFilter '" + f.name + "' constrains nothing");
     }
+    if (!names.insert(f.name).second) {
+      // A duplicate name silently shadows under first-match priority and
+      // makes registry bugs undiagnosable; reject it outright.
+      throw std::invalid_argument("AppFilter '" + f.name + "' registered twice");
+    }
   }
+  compile_tables();
+}
+
+void AppClassifier::compile_tables() {
+  port_first_[0].assign(65536, kNoFilter);
+  port_first_[1].assign(65536, kNoFilter);
+
+  std::map<std::uint32_t, std::uint16_t> asn_min;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    const auto index = static_cast<std::uint16_t>(i);
+    const AppFilter& f = filters_[i];
+    const bool has_as = !f.asns.empty();
+    const bool has_port = !f.ports.empty();
+
+    if (has_port && !has_as) {
+      bool has_other_proto = false;
+      for (const PortKey k : f.ports) {
+        const int t = port_table_of(k.proto);
+        if (t < 0) {
+          has_other_proto = true;
+          continue;
+        }
+        std::uint16_t& slot = port_first_[static_cast<std::size_t>(t)][k.port];
+        if (slot == kNoFilter) slot = index;  // ascending i => first match
+      }
+      if (has_other_proto) other_port_filters_.push_back(index);
+    } else if (has_as && !has_port) {
+      for (const Asn a : f.asns) {
+        const auto [it, inserted] = asn_min.try_emplace(a.value(), index);
+        (void)it;
+        (void)inserted;  // earlier (lower) index wins; try_emplace keeps it
+      }
+    } else {
+      // Combined AS + port criterion: indexed by ASN, port list checked at
+      // lookup (combined filters are few and their port lists tiny).
+      for (const Asn a : f.asns) combined_.push_back({a.value(), index});
+    }
+  }
+
+  asn_first_.assign(asn_min.begin(), asn_min.end());
+  std::sort(combined_.begin(), combined_.end(),
+            [](const CombinedEntry& a, const CombinedEntry& b) {
+              return a.asn != b.asn ? a.asn < b.asn : a.index < b.index;
+            });
+}
+
+std::uint16_t AppClassifier::match_index(Asn src, Asn dst, PortKey port) const {
+  std::uint16_t best = kNoFilter;
+
+  // Port-only filters: one table load (TCP/UDP) or a scan of the rare
+  // filters naming port-less protocols.
+  const int t = port_table_of(port.proto);
+  if (t >= 0) {
+    best = port_first_[static_cast<std::size_t>(t)][port.port];
+  } else {
+    for (const std::uint16_t index : other_port_filters_) {
+      if (port_matches(filters_[index], port)) {
+        best = index;
+        break;
+      }
+    }
+  }
+
+  // ASN-only filters: binary search for src and dst.
+  const auto asn_lookup = [&](std::uint32_t a) {
+    const auto it = std::lower_bound(
+        asn_first_.begin(), asn_first_.end(), a,
+        [](const auto& e, std::uint32_t v) { return e.first < v; });
+    if (it != asn_first_.end() && it->first == a && it->second < best) {
+      best = it->second;
+    }
+  };
+  asn_lookup(src.value());
+  asn_lookup(dst.value());
+
+  // Combined filters: both criteria must hold.
+  const auto combined_lookup = [&](std::uint32_t a) {
+    auto it = std::lower_bound(
+        combined_.begin(), combined_.end(), a,
+        [](const CombinedEntry& e, std::uint32_t v) { return e.asn < v; });
+    for (; it != combined_.end() && it->asn == a; ++it) {
+      if (it->index < best && port_matches(filters_[it->index], port)) {
+        best = it->index;
+        break;  // entries per asn are index-sorted; first hit is minimal
+      }
+    }
+  };
+  combined_lookup(src.value());
+  combined_lookup(dst.value());
+
+  return best;
+}
+
+std::optional<AppClass> AppClassifier::classify(const flow::FlowRecord& r,
+                                                const AsView& view) const {
+  const std::uint16_t index =
+      match_index(view.src_as(r), view.dst_as(r), r.service_port());
+  if (index == kNoFilter) return std::nullopt;
+  return filters_[index].target;
+}
+
+void AppClassifier::classify_batch(std::span<const flow::FlowRecord> records,
+                                   const AsView& view,
+                                   std::span<std::optional<AppClass>> out) const {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out[i] = classify(records[i], view);
+  }
+}
+
+std::optional<AppClass> AppClassifier::classify_reference(
+    const flow::FlowRecord& r, const AsView& view) const {
+  const net::Asn src = view.src_as(r);
+  const net::Asn dst = view.dst_as(r);
+  const PortKey port = r.service_port();
+
+  for (const AppFilter& f : filters_) {
+    if (!f.asns.empty()) {
+      const bool as_match =
+          std::find(f.asns.begin(), f.asns.end(), src) != f.asns.end() ||
+          std::find(f.asns.begin(), f.asns.end(), dst) != f.asns.end();
+      if (!as_match) continue;
+    }
+    if (!f.ports.empty()) {
+      if (std::find(f.ports.begin(), f.ports.end(), port) == f.ports.end()) {
+        continue;
+      }
+    }
+    return f.target;
+  }
+  return std::nullopt;
 }
 
 AppClassifier AppClassifier::table1() {
@@ -119,29 +269,6 @@ AppClassifier AppClassifier::table1() {
   return AppClassifier(std::move(f));
 }
 
-std::optional<AppClass> AppClassifier::classify(const flow::FlowRecord& r,
-                                                const AsView& view) const {
-  const net::Asn src = view.src_as(r);
-  const net::Asn dst = view.dst_as(r);
-  const PortKey port = r.service_port();
-
-  for (const AppFilter& f : filters_) {
-    if (!f.asns.empty()) {
-      const bool as_match =
-          std::find(f.asns.begin(), f.asns.end(), src) != f.asns.end() ||
-          std::find(f.asns.begin(), f.asns.end(), dst) != f.asns.end();
-      if (!as_match) continue;
-    }
-    if (!f.ports.empty()) {
-      if (std::find(f.ports.begin(), f.ports.end(), port) == f.ports.end()) {
-        continue;
-      }
-    }
-    return f.target;
-  }
-  return std::nullopt;
-}
-
 std::vector<AppClassifier::ClassStats> AppClassifier::table_stats() const {
   std::map<AppClass, ClassStats> by_class;
   std::map<AppClass, std::set<std::uint32_t>> asns;
@@ -179,26 +306,61 @@ ClassHeatmap::ClassHeatmap(const AppClassifier& classifier, const AsView& view,
       throw std::invalid_argument("ClassHeatmap: weeks must be 7 days");
     }
   }
+  week_starts_.reserve(weeks_.size());
+  for (std::size_t i = 0; i < weeks_.size(); ++i) {
+    week_starts_.emplace_back(weeks_[i].begin.seconds(), i);
+  }
+  std::sort(week_starts_.begin(), week_starts_.end());
+  for (unsigned day = 0; day < 7; ++day) {
+    // Weeks start on Thursday in the paper's panels; days 2,3 are Sat/Sun.
+    base_day_weekend_[day] = net::is_weekend(
+        weeks_[0].begin.plus(static_cast<std::int64_t>(day) * net::kSecondsPerDay)
+            .date()
+            .weekday());
+  }
+}
+
+std::size_t ClassHeatmap::week_of(net::Timestamp t) const noexcept {
+  // Candidate weeks are those with begin in (t - 7d, t]; with every week
+  // exactly 7 days they form a contiguous run ending at upper_bound. Ties
+  // from overlapping weeks resolve to the lowest original index, matching
+  // the first-match linear scan this replaces.
+  const std::int64_t s = t.seconds();
+  auto it = std::upper_bound(
+      week_starts_.begin(), week_starts_.end(), s,
+      [](std::int64_t v, const auto& e) { return v < e.first; });
+  std::size_t best = weeks_.size();
+  while (it != week_starts_.begin()) {
+    --it;
+    if (it->first <= s - net::kSecondsPerWeek) break;
+    if (it->second < best) best = it->second;
+  }
+  return best;
+}
+
+void ClassHeatmap::deposit(const flow::FlowRecord& r, AppClass cls) {
+  const std::size_t week = week_of(r.first);
+  if (week == weeks_.size()) return;
+  const auto slot = static_cast<std::size_t>(
+      (r.first.seconds() - weeks_[week].begin.seconds()) / net::kSecondsPerHour);
+  auto& per_week = volume_[cls];
+  if (per_week.empty()) per_week.assign(weeks_.size(), {});
+  per_week[week][slot] += static_cast<double>(r.bytes);
 }
 
 void ClassHeatmap::add(const flow::FlowRecord& r) {
-  std::size_t week = weeks_.size();
-  for (std::size_t i = 0; i < weeks_.size(); ++i) {
-    if (weeks_[i].contains(r.first)) {
-      week = i;
-      break;
-    }
-  }
-  if (week == weeks_.size()) return;
-
+  if (week_of(r.first) == weeks_.size()) return;
   const auto cls = classifier_.classify(r, view_);
   if (!cls) return;
+  deposit(r, *cls);
+}
 
-  const auto slot = static_cast<std::size_t>(
-      (r.first.seconds() - weeks_[week].begin.seconds()) / net::kSecondsPerHour);
-  auto& per_week = volume_[*cls];
-  if (per_week.empty()) per_week.assign(weeks_.size(), {});
-  per_week[week][slot] += static_cast<double>(r.bytes);
+void ClassHeatmap::add_batch(std::span<const flow::FlowRecord> batch) {
+  batch_scratch_.resize(batch.size());
+  classifier_.classify_batch(batch, view_, batch_scratch_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch_scratch_[i]) deposit(batch[i], *batch_scratch_[i]);
+  }
 }
 
 std::vector<AppClass> ClassHeatmap::observed_classes() const {
@@ -262,11 +424,7 @@ double ClassHeatmap::working_hours_growth(AppClass cls,
   for (std::size_t slot = 0; slot < 168; ++slot) {
     const unsigned hour = static_cast<unsigned>(slot % 24);
     const unsigned day = static_cast<unsigned>(slot / 24);
-    // Weeks start on Thursday in the paper's panels; days 2,3 are Sat/Sun.
-    const net::Date date = weeks_[0].begin.plus(static_cast<std::int64_t>(day) *
-                                                net::kSecondsPerDay)
-                               .date();
-    if (net::is_weekend(date.weekday())) continue;
+    if (base_day_weekend_[day]) continue;
     if (hour < 9 || hour >= 17) continue;
     if (diffs[slot] == kMaskedHour) continue;
     sum += diffs[slot];

@@ -7,11 +7,21 @@
 // filter (in registry order: most specific first) assigns the class.
 // The table1() registry reproduces Table 1's per-class filter/ASN/port
 // counts exactly.
+//
+// classify() runs on a compiled form of the registry (DESIGN.md §9): a
+// per-protocol port -> first-matching-filter table, a sorted ASN -> filter
+// vector and a small combined (AS + port) index, all carrying the *lowest*
+// matching filter index so first-match priority is preserved exactly. The
+// interpreted scan is retained as classify_reference() and pinned against
+// the compiled path by a differential fuzz test.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,14 +48,41 @@ struct AppFilter {
 
 class AppClassifier {
  public:
+  /// Validates (every filter constrains something, names are unique,
+  /// registry fits the compiled index) and compiles the flat tables.
   explicit AppClassifier(std::vector<AppFilter> filters);
 
   /// The paper's filter registry (Table 1's nine classes).
   [[nodiscard]] static AppClassifier table1();
 
-  /// First matching filter's class; nullopt if nothing matches.
+  /// First matching filter's class; nullopt if nothing matches. Flat-table
+  /// lookup -- O(1) on the port axis plus two binary searches on the AS
+  /// axis -- with exactly the first-match semantics of
+  /// classify_reference().
   [[nodiscard]] std::optional<AppClass> classify(const flow::FlowRecord& r,
                                                  const AsView& view) const;
+
+  /// The original interpreted scan over the filter registry, retained as
+  /// the semantic reference for differential tests and the flat-vs-
+  /// reference bench series. Same results as classify(), filters x scan
+  /// cost.
+  [[nodiscard]] std::optional<AppClass> classify_reference(
+      const flow::FlowRecord& r, const AsView& view) const;
+
+  /// Batch classification for the BatchSink collector path: one call per
+  /// decoded datagram, no per-record std::function hop. Writes
+  /// `records.size()` results into `out` (which must be at least that
+  /// large).
+  void classify_batch(std::span<const flow::FlowRecord> records,
+                      const AsView& view,
+                      std::span<std::optional<AppClass>> out) const;
+
+  [[nodiscard]] std::vector<std::optional<AppClass>> classify_batch(
+      std::span<const flow::FlowRecord> records, const AsView& view) const {
+    std::vector<std::optional<AppClass>> out(records.size());
+    classify_batch(records, view, out);
+    return out;
+  }
 
   [[nodiscard]] const std::vector<AppFilter>& filters() const noexcept {
     return filters_;
@@ -62,7 +99,33 @@ class AppClassifier {
   [[nodiscard]] std::vector<ClassStats> table_stats() const;
 
  private:
+  /// Sentinel for "no filter matches" in the compiled tables. Filter
+  /// indices are uint16; the constructor rejects registries that large.
+  static constexpr std::uint16_t kNoFilter = 0xffff;
+
+  void compile_tables();
+  /// Lowest-index matching filter, or kNoFilter.
+  [[nodiscard]] std::uint16_t match_index(net::Asn src, net::Asn dst,
+                                          flow::PortKey port) const;
+
   std::vector<AppFilter> filters_;
+
+  // --- compiled form (built once by the constructor) ----------------------
+  // port_first_[proto][port]: lowest index of a *port-only* filter matching
+  // (proto, port); proto 0 = TCP, 1 = UDP. Port-only filters naming other
+  // protocols (GRE/ESP/ICMP carry no port) land in other_port_filters_ and
+  // are scanned only for such records.
+  std::array<std::vector<std::uint16_t>, 2> port_first_;
+  std::vector<std::uint16_t> other_port_filters_;
+  // Sorted (asn, lowest index of an *asn-only* filter naming it).
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> asn_first_;
+  // Combined (AS + port) filters, one entry per (asn, filter), sorted by
+  // asn; the port criterion is checked against the filter's own port list.
+  struct CombinedEntry {
+    std::uint32_t asn;
+    std::uint16_t index;
+  };
+  std::vector<CombinedEntry> combined_;
 };
 
 /// Fig 9 heatmaps: per application class, hourly volume over a base week
@@ -76,8 +139,19 @@ class ClassHeatmap {
 
   void add(const flow::FlowRecord& r);
 
+  /// Batch ingestion for the BatchSink collector path: classifies the span
+  /// through AppClassifier::classify_batch, then deposits. Same final
+  /// aggregate as per-record add().
+  void add_batch(std::span<const flow::FlowRecord> batch);
+
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
     return [this](const flow::FlowRecord& r) { add(r); };
+  }
+
+  /// Span-shaped sink matching flow::Collector::BatchSink.
+  [[nodiscard]] std::function<void(std::span<const flow::FlowRecord>)>
+  batch_sink() {
+    return [this](std::span<const flow::FlowRecord> batch) { add_batch(batch); };
   }
 
   [[nodiscard]] std::vector<AppClass> observed_classes() const;
@@ -105,9 +179,24 @@ class ClassHeatmap {
     return hour_of_day >= 2 && hour_of_day < 7;
   }
 
+  /// Index into weeks_ of the (first-in-constructor-order) week containing
+  /// `t`, or weeks_.size(). Binary search over begin-sorted ranges instead
+  /// of the per-record linear scan.
+  [[nodiscard]] std::size_t week_of(net::Timestamp t) const noexcept;
+
+  void deposit(const flow::FlowRecord& r, AppClass cls);
+
   const AppClassifier& classifier_;
   const AsView& view_;
   std::vector<net::TimeRange> weeks_;
+  /// (begin seconds, original week index), sorted by begin.
+  std::vector<std::pair<std::int64_t, std::size_t>> week_starts_;
+  /// Weekend flags of the base week's 7 days, so working_hours_growth does
+  /// not rebuild a net::Date per hour slot.
+  std::array<bool, 7> base_day_weekend_{};
+  /// Scratch for add_batch (ClassHeatmap is single-threaded, like every
+  /// analysis aggregator; the sharded runtime merges before analysis).
+  std::vector<std::optional<AppClass>> batch_scratch_;
   // volume[class][week][hour-slot 0..167]
   std::map<AppClass, std::vector<std::array<double, 168>>> volume_;
 };

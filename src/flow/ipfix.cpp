@@ -159,7 +159,10 @@ std::optional<IpfixMessage> IpfixDecoder::decode(
           tmpl.fields.push_back(f);
         }
         if (set.failed()) return fail(DecodeError::kBadTemplate);
-        templates_[{out.observation_domain, tmpl.template_id}] = tmpl;
+        // Refresh recompiles the plan; a changed field layout can never be
+        // decoded by a stale plan.
+        templates_[{out.observation_domain, tmpl.template_id}] =
+            CachedTemplate::make(std::move(tmpl));
         ++out.templates_seen;
       }
     } else if (set_id >= 256) {
@@ -168,15 +171,16 @@ std::optional<IpfixMessage> IpfixDecoder::decode(
         ++out.skipped_data_sets;
         continue;  // RFC 7011: a collector MUST skip unknown data sets
       }
-      const TemplateRecord& tmpl = it->second;
-      const std::size_t rec_len = tmpl.record_length();
+      const DecodePlan& plan = it->second.plan;
+      const std::size_t rec_len = plan.stride();
       if (rec_len == 0) return fail(DecodeError::kBadTemplate);
       const TimeContext tc{};
-      while (set.remaining() >= rec_len) {
-        FlowRecord rec;
-        for (const FieldSpec& f : tmpl.fields) decode_field(set, f, rec, tc);
-        if (set.failed()) return fail(DecodeError::kTruncatedRecord);
-        out.records.push_back(rec);
+      // One bounds check per set: every whole record left in the set is
+      // decoded in one columnar pass over the contiguous wire bytes.
+      const std::size_t n = set.remaining() / rec_len;
+      if (n > 0) {
+        const auto raw = set.take(n * rec_len);
+        plan.decode_batch(raw.data(), n, out.records, tc);
       }
       // Anything left is padding (< one record); RFC 7011 allows it.
     } else {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "flow/decode_error.hpp"
+#include "flow/decode_plan.hpp"
 #include "flow/flow_record.hpp"
 #include "flow/sequence_tracker.hpp"
 #include "flow/template_fields.hpp"
@@ -85,6 +86,15 @@ class IpfixDecoder {
     return templates_.size();
   }
 
+  /// The compiled plan of a cached template, or nullptr if the template is
+  /// unknown (never announced, or withdrawn). Exposed for tests and
+  /// diagnostics; decode() uses it internally.
+  [[nodiscard]] const DecodePlan* decode_plan(
+      std::uint32_t observation_domain, std::uint16_t template_id) const {
+    const auto it = templates_.find({observation_domain, template_id});
+    return it == templates_.end() ? nullptr : &it->second.plan;
+  }
+
   /// Why the most recent decode() returned nullopt (kNone after a success).
   [[nodiscard]] DecodeError last_error() const noexcept { return last_error_; }
 
@@ -96,8 +106,9 @@ class IpfixDecoder {
 
  private:
   std::uint32_t reorder_window_;
-  // key: (observation domain, template id)
-  std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateRecord> templates_;
+  // key: (observation domain, template id); value carries the compiled
+  // decode plan so refresh/withdrawal invalidate template and plan as one.
+  std::map<std::pair<std::uint32_t, std::uint16_t>, CachedTemplate> templates_;
   std::map<std::uint32_t, SequenceTracker> sequences_;
   SequenceAccounting accounting_;
   DecodeError last_error_ = DecodeError::kNone;

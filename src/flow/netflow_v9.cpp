@@ -159,7 +159,8 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
           tmpl.fields.push_back(FieldSpec{static_cast<FieldId>(fs.u16()), fs.u16()});
         }
         if (fs.failed()) return fail(DecodeError::kBadTemplate);
-        templates_[{out.source_id, tmpl.template_id}] = tmpl;
+        templates_[{out.source_id, tmpl.template_id}] =
+            CachedTemplate::make(std::move(tmpl));
         ++out.templates_seen;
         ++parsed_records;
       }
@@ -228,14 +229,16 @@ std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
         ++out.skipped_flowsets;
         continue;
       }
-      const std::size_t rec_len = it->second.record_length();
+      const DecodePlan& plan = it->second.plan;
+      const std::size_t rec_len = plan.stride();
       if (rec_len == 0) return fail(DecodeError::kBadTemplate);
-      while (fs.remaining() >= rec_len) {
-        FlowRecord rec;
-        for (const FieldSpec& f : it->second.fields) decode_field(fs, f, rec, tc);
-        if (fs.failed()) return fail(DecodeError::kTruncatedRecord);
-        out.records.push_back(rec);
-        ++parsed_records;
+      // One bounds check per flowset; columnar decode of every whole
+      // record, trailing padding (< one record) left to the flowset skip.
+      const std::size_t n = fs.remaining() / rec_len;
+      if (n > 0) {
+        const auto raw = fs.take(n * rec_len);
+        plan.decode_batch(raw.data(), n, out.records, tc);
+        parsed_records += n;
       }
     } else {
       continue;  // reserved flowset ids

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "flow/decode_error.hpp"
+#include "flow/decode_plan.hpp"
 #include "flow/flow_record.hpp"
 #include "flow/sequence_tracker.hpp"
 #include "flow/template_fields.hpp"
@@ -90,6 +91,14 @@ class NetflowV9Decoder {
     return templates_.size();
   }
 
+  /// The compiled plan of a cached template, or nullptr if unknown.
+  /// Exposed for tests and diagnostics; decode() uses it internally.
+  [[nodiscard]] const DecodePlan* decode_plan(std::uint32_t source_id,
+                                              std::uint16_t template_id) const {
+    const auto it = templates_.find({source_id, template_id});
+    return it == templates_.end() ? nullptr : &it->second.plan;
+  }
+
   /// Last announced sampling interval of a source (1 = unsampled/unknown).
   [[nodiscard]] std::uint32_t sampling_interval(std::uint32_t source_id) const {
     const auto it = sampling_.find(source_id);
@@ -118,7 +127,8 @@ class NetflowV9Decoder {
   };
 
   std::uint32_t reorder_window_;
-  std::map<std::pair<std::uint32_t, std::uint16_t>, TemplateRecord> templates_;
+  // Value carries the compiled decode plan; template refresh recompiles it.
+  std::map<std::pair<std::uint32_t, std::uint16_t>, CachedTemplate> templates_;
   std::map<std::pair<std::uint32_t, std::uint16_t>, OptionsTemplate> options_;
   std::map<std::uint32_t, std::uint32_t> sampling_;
   std::map<std::uint32_t, SequenceTracker> sequences_;

@@ -107,6 +107,30 @@ void Collector::ingest(std::span<const std::uint8_t> datagram) {
   }
 }
 
+namespace {
+
+[[nodiscard]] std::vector<std::vector<std::uint8_t>> encode_datagrams(
+    ExportProtocol protocol, std::span<const FlowRecord> records,
+    net::Timestamp export_time) {
+  switch (protocol) {
+    case ExportProtocol::kNetflowV5: {
+      NetflowV5Encoder enc;
+      return enc.encode(records, export_time);
+    }
+    case ExportProtocol::kNetflowV9: {
+      NetflowV9Encoder enc(/*source_id=*/1);
+      return enc.encode(records, export_time);
+    }
+    case ExportProtocol::kIpfix: {
+      IpfixEncoder enc(/*observation_domain=*/1);
+      return enc.encode(records, export_time);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
 std::vector<FlowRecord> export_and_collect(ExportProtocol protocol,
                                            std::span<const FlowRecord> records,
                                            net::Timestamp export_time,
@@ -115,27 +139,14 @@ std::vector<FlowRecord> export_and_collect(ExportProtocol protocol,
   std::vector<FlowRecord> out;
   out.reserve(records.size());
   Collector collector(
-      protocol, [&out](const FlowRecord& r) { out.push_back(r); }, anonymizer);
-
-  std::vector<std::vector<std::uint8_t>> datagrams;
-  switch (protocol) {
-    case ExportProtocol::kNetflowV5: {
-      NetflowV5Encoder enc;
-      datagrams = enc.encode(records, export_time);
-      break;
-    }
-    case ExportProtocol::kNetflowV9: {
-      NetflowV9Encoder enc(/*source_id=*/1);
-      datagrams = enc.encode(records, export_time);
-      break;
-    }
-    case ExportProtocol::kIpfix: {
-      IpfixEncoder enc(/*observation_domain=*/1);
-      datagrams = enc.encode(records, export_time);
-      break;
-    }
+      protocol,
+      Collector::BatchSink([&out](std::span<const FlowRecord> batch) {
+        out.insert(out.end(), batch.begin(), batch.end());
+      }),
+      anonymizer);
+  for (const auto& d : encode_datagrams(protocol, records, export_time)) {
+    collector.ingest(d);
   }
-  for (const auto& d : datagrams) collector.ingest(d);
   if (stats_out != nullptr) *stats_out = collector.stats();
   return out;
 }
@@ -150,12 +161,14 @@ net::Timestamp batch_export_time(std::span<const FlowRecord> records) {
 
 void ExportPump::flush() {
   if (batch_.empty()) return;
-  CollectorStats stats;
-  for (const FlowRecord& r : export_and_collect(
-           protocol_, batch_, batch_export_time(batch_), anonymizer_, &stats)) {
-    sink_(r);
+  // Collected batches go straight to the sink, span-at-a-time -- no
+  // intermediate vector, no per-record indirection.
+  Collector collector(protocol_, sink_, anonymizer_);
+  for (const auto& d :
+       encode_datagrams(protocol_, batch_, batch_export_time(batch_))) {
+    collector.ingest(d);
   }
-  stats_ += stats;
+  stats_ += collector.stats();
   batch_.clear();
 }
 

@@ -162,14 +162,27 @@ class Collector {
 class ExportPump {
  public:
   using Sink = std::function<void(const FlowRecord&)>;
+  using BatchSink = Collector::BatchSink;
 
-  ExportPump(ExportProtocol protocol, Sink sink,
+  /// Batch form: collected records reach `sink` one span per decoded
+  /// datagram, so span-shaped consumers (ClassHeatmap::batch_sink(), the
+  /// sharded runtime) avoid a type-erased call per record.
+  ExportPump(ExportProtocol protocol, BatchSink sink,
              const Anonymizer* anonymizer = nullptr,
              std::size_t batch_size = 4096)
       : protocol_(protocol), sink_(std::move(sink)), anonymizer_(anonymizer),
         batch_size_(batch_size == 0 ? 1 : batch_size) {
     batch_.reserve(batch_size_);
   }
+
+  ExportPump(ExportProtocol protocol, Sink sink,
+             const Anonymizer* anonymizer = nullptr,
+             std::size_t batch_size = 4096)
+      : ExportPump(protocol,
+                   BatchSink([s = std::move(sink)](std::span<const FlowRecord> batch) {
+                     for (const FlowRecord& r : batch) s(r);
+                   }),
+                   anonymizer, batch_size) {}
 
   /// Feed one synthesized record; exports when the batch fills.
   void push(const FlowRecord& r) {
@@ -188,7 +201,7 @@ class ExportPump {
 
  private:
   ExportProtocol protocol_;
-  Sink sink_;
+  BatchSink sink_;
   const Anonymizer* anonymizer_;
   std::size_t batch_size_;
   std::vector<FlowRecord> batch_;

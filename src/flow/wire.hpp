@@ -80,6 +80,16 @@ class WireReader {
     return true;
   }
 
+  /// Consume `n` bytes and return them as a span (empty on shortage, with
+  /// the sticky error flag set). Lets record-oriented callers bounds-check
+  /// once per record and hand raw bytes to a compiled decode plan.
+  [[nodiscard]] std::span<const std::uint8_t> take(std::size_t n) noexcept {
+    if (!require(n)) return {};
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
   bool skip(std::size_t n) noexcept {
     if (!require(n)) return false;
     pos_ += n;
