@@ -26,13 +26,49 @@ inline const synth::AsRegistry& registry() {
   return reg;
 }
 
+/// Generator threads for every FlowSynthesizer the bench scaffolding
+/// builds. Defaults to 1 (inline); set by `--gen-threads N` on any bench
+/// binary or the LOCKDOWN_GEN_THREADS environment variable. The record
+/// stream is identical for any value (SynthesisConfig::gen_threads
+/// determinism contract), so this only changes synthesis wall-clock.
+inline std::size_t& gen_threads() {
+  static std::size_t value = [] {
+    if (const char* env = std::getenv("LOCKDOWN_GEN_THREADS");
+        env != nullptr && *env != '\0') {
+      return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+    return std::size_t{1};
+  }();
+  return value;
+}
+
+/// Strip `--gen-threads N` / `--gen-threads=N` from argv before
+/// benchmark::Initialize sees (and rejects) it.
+inline void parse_gen_threads(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gen-threads" && i + 1 < argc) {
+      gen_threads() = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--gen-threads=", 0) == 0) {
+      gen_threads() = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + std::string("--gen-threads=").size(),
+                       nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+}
+
 /// Synthesize `range` at a vantage point and deliver every record through
 /// the full wire pipeline (encode -> datagrams -> decode) into `sink`.
 template <typename Sink>
 void run_pipeline(const synth::VantagePoint& vp, net::TimeRange range,
                   double connections_per_hour, Sink&& sink) {
-  const synth::FlowSynthesizer synth(vp.model, registry(),
-                                     {.connections_per_hour = connections_per_hour});
+  const synth::FlowSynthesizer synth(
+      vp.model, registry(),
+      {.connections_per_hour = connections_per_hour, .gen_threads = gen_threads()});
   flow::ExportPump pump(vp.protocol, std::forward<Sink>(sink));
   synth.synthesize(range, pump.as_sink());
   pump.flush();
@@ -44,8 +80,9 @@ void run_pipeline(const synth::VantagePoint& vp, net::TimeRange range,
 template <typename BatchSink>
 void run_pipeline_batches(const synth::VantagePoint& vp, net::TimeRange range,
                           double connections_per_hour, BatchSink&& sink) {
-  const synth::FlowSynthesizer synth(vp.model, registry(),
-                                     {.connections_per_hour = connections_per_hour});
+  const synth::FlowSynthesizer synth(
+      vp.model, registry(),
+      {.connections_per_hour = connections_per_hour, .gen_threads = gen_threads()});
   flow::ExportPump pump(vp.protocol,
                         flow::ExportPump::BatchSink(std::forward<BatchSink>(sink)));
   synth.synthesize(range, pump.as_sink());
@@ -164,6 +201,7 @@ inline void write_bench_json(const char* argv0,
 /// land in BENCH_<binary>.json (see write_bench_json).
 #define LOCKDOWN_BENCH_MAIN(print_fn)                       \
   int main(int argc, char** argv) {                         \
+    ::lockdown::bench::parse_gen_threads(argc, argv);       \
     print_fn();                                             \
     ::benchmark::Initialize(&argc, argv);                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

@@ -1,0 +1,265 @@
+// Micro-benchmark for the compiled export side (DESIGN.md section 10):
+// the per-field encode() walk that allocates one std::vector per datagram
+// vs the EncodePlan-driven encode_batch() packing a reused PacketBatch, on
+// the same records. Prints the measured speedup (the acceptance bar is
+// >= 4x on the encode path) and registers benchmark series for both paths
+// per protocol plus the PacketBatch/PacketArena substrate they run on.
+//
+// Both paths are compared under EncodeLimits::unbudgeted(), where
+// encode_batch is byte-identical to encode() (the differential tests pin
+// this; the table re-checks it before timing). The MTU-budgeted series is
+// registered separately -- it does strictly more work (exact splitting).
+#include <chrono>
+#include <random>
+
+#include "bench_common.hpp"
+#include "flow/ipfix.hpp"
+#include "flow/netflow_v5.hpp"
+#include "flow/netflow_v9.hpp"
+#include "flow/packet_arena.hpp"
+
+namespace lockdown::bench {
+namespace {
+
+using flow::EncodeLimits;
+using flow::FlowRecord;
+using flow::PacketArena;
+using flow::PacketBatch;
+
+constexpr std::size_t kRecords = 4096;
+
+[[nodiscard]] std::vector<FlowRecord> make_records(bool allow_v6) {
+  std::mt19937_64 rng(11);
+  std::vector<FlowRecord> out(kRecords);
+  for (FlowRecord& r : out) {
+    r.bytes = rng() % (1u << 20);
+    r.packets = 1 + rng() % 1000;
+    r.protocol = (rng() & 1) ? flow::IpProtocol::kTcp : flow::IpProtocol::kUdp;
+    r.tcp_flags = static_cast<std::uint8_t>(rng());
+    r.src_port = static_cast<std::uint16_t>(rng());
+    r.dst_port = static_cast<std::uint16_t>(rng());
+    r.input_if = static_cast<std::uint16_t>(rng());
+    r.output_if = static_cast<std::uint16_t>(rng());
+    r.src_as = net::Asn(static_cast<std::uint32_t>(rng() % 70000));
+    r.dst_as = net::Asn(static_cast<std::uint32_t>(rng() % 70000));
+    if (allow_v6 && rng() % 4 == 0) {
+      net::Ipv6Address::Bytes b;
+      for (auto& byte : b) byte = static_cast<std::uint8_t>(rng());
+      r.src_addr = net::Ipv6Address(b);
+      for (auto& byte : b) byte = static_cast<std::uint8_t>(rng());
+      r.dst_addr = net::Ipv6Address(b);
+    } else {
+      r.src_addr = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+      r.dst_addr = net::Ipv4Address(static_cast<std::uint32_t>(rng()));
+    }
+    const std::int64_t start = 1584000000 + static_cast<std::int64_t>(rng() % 86400);
+    r.first = net::Timestamp(start);
+    r.last = net::Timestamp(start + static_cast<std::int64_t>(rng() % 600));
+  }
+  return out;
+}
+
+const net::Timestamp kExportTime(1'585'180'800);
+
+/// One protocol's two paths, type-erased for the table loop. Fresh encoder
+/// per call so sequence numbers (and therefore bytes) are reproducible.
+struct Protocol {
+  const char* name;
+  bool allow_v6;
+  std::vector<std::vector<std::uint8_t>> (*reference)(
+      std::span<const FlowRecord>);
+  std::size_t (*batch)(std::span<const FlowRecord>, PacketBatch&);
+};
+
+const Protocol kProtocols[] = {
+    {"NetFlow v5", false,
+     [](std::span<const FlowRecord> r) {
+       return flow::NetflowV5Encoder().encode(r, kExportTime);
+     },
+     [](std::span<const FlowRecord> r, PacketBatch& out) {
+       flow::NetflowV5Encoder enc;
+       return enc.encode_batch(r, kExportTime, out, EncodeLimits::unbudgeted());
+     }},
+    {"NetFlow v9", false,
+     [](std::span<const FlowRecord> r) {
+       return flow::NetflowV9Encoder(1).encode(r, kExportTime);
+     },
+     [](std::span<const FlowRecord> r, PacketBatch& out) {
+       flow::NetflowV9Encoder enc(1);
+       return enc.encode_batch(r, kExportTime, out, EncodeLimits::unbudgeted());
+     }},
+    {"IPFIX (mixed v4/v6)", true,
+     [](std::span<const FlowRecord> r) {
+       return flow::IpfixEncoder(1).encode(r, kExportTime);
+     },
+     [](std::span<const FlowRecord> r, PacketBatch& out) {
+       flow::IpfixEncoder enc(1);
+       return enc.encode_batch(r, kExportTime, out, EncodeLimits::unbudgeted());
+     }},
+};
+
+void print_reproduction() {
+  std::cout << "=== Compiled encode plans: per-field encode() vs "
+               "encode_batch() ===\n\n";
+
+  util::Table table({"protocol", "encode() ns/rec", "encode_batch ns/rec",
+                     "speedup"});
+  for (const Protocol& p : kProtocols) {
+    const auto records = make_records(p.allow_v6);
+
+    // Sanity pass: under unbudgeted limits the batch path must reproduce
+    // the per-field packets byte for byte.
+    const auto ref = p.reference(records);
+    PacketBatch check;
+    p.batch(records, check);
+    if (check.size() != ref.size()) {
+      std::cout << "ERROR: " << p.name << " packet counts diverge\n";
+      return;
+    }
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const auto got = check.packet(i);
+      if (!std::equal(got.begin(), got.end(), ref[i].begin(), ref[i].end())) {
+        std::cout << "ERROR: " << p.name << " packet " << i << " diverges\n";
+        return;
+      }
+    }
+
+    const auto time_ns = [&](auto&& fn) {
+      constexpr int kReps = 50;
+      fn();  // warm-up
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < kReps; ++i) fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+             (kReps * static_cast<double>(kRecords));
+    };
+    const double reference = time_ns([&] {
+      const auto out = p.reference(records);
+      benchmark::DoNotOptimize(out.data());
+    });
+    PacketBatch out;
+    const double batch = time_ns([&] {
+      out.clear();
+      p.batch(records, out);
+      benchmark::DoNotOptimize(out.total_bytes());
+    });
+    table.add_row({p.name, fmt(reference, 1), fmt(batch, 1),
+                   fmt(reference / batch, 2) + "x"});
+  }
+  std::cout << table << "\n";
+  std::cout << "(acceptance: encode_batch must pack records at >= 4x the\n"
+            << " per-field rate; the batch path reuses one PacketBatch,\n"
+            << " the reference path allocates a vector per datagram)\n\n";
+}
+
+// --- registered series: one reference/batch pair per protocol ---------------
+// The perf-smoke CI job compares the within-file ratio of each pair, which
+// is stable across machine speeds.
+
+void encode_reference(benchmark::State& state, const Protocol& p) {
+  const auto records = make_records(p.allow_v6);
+  for (auto _ : state) {
+    const auto out = p.reference(records);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRecords));
+}
+
+void encode_batch(benchmark::State& state, const Protocol& p) {
+  const auto records = make_records(p.allow_v6);
+  PacketBatch out;
+  for (auto _ : state) {
+    out.clear();
+    p.batch(records, out);
+    benchmark::DoNotOptimize(out.total_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRecords));
+}
+
+void BM_EncodeReferenceV5(benchmark::State& state) {
+  encode_reference(state, kProtocols[0]);
+}
+BENCHMARK(BM_EncodeReferenceV5)->Unit(benchmark::kMicrosecond);
+void BM_EncodeBatchV5(benchmark::State& state) {
+  encode_batch(state, kProtocols[0]);
+}
+BENCHMARK(BM_EncodeBatchV5)->Unit(benchmark::kMicrosecond);
+
+void BM_EncodeReferenceV9(benchmark::State& state) {
+  encode_reference(state, kProtocols[1]);
+}
+BENCHMARK(BM_EncodeReferenceV9)->Unit(benchmark::kMicrosecond);
+void BM_EncodeBatchV9(benchmark::State& state) {
+  encode_batch(state, kProtocols[1]);
+}
+BENCHMARK(BM_EncodeBatchV9)->Unit(benchmark::kMicrosecond);
+
+void BM_EncodeReferenceIpfix(benchmark::State& state) {
+  encode_reference(state, kProtocols[2]);
+}
+BENCHMARK(BM_EncodeReferenceIpfix)->Unit(benchmark::kMicrosecond);
+void BM_EncodeBatchIpfix(benchmark::State& state) {
+  encode_batch(state, kProtocols[2]);
+}
+BENCHMARK(BM_EncodeBatchIpfix)->Unit(benchmark::kMicrosecond);
+
+// The MTU-budgeted IPFIX path: exact splitting under the 1500-byte budget
+// (the default ExportPump now runs). Strictly more boundary work than
+// unbudgeted chunking; timed so the budget's cost stays visible.
+void BM_EncodeBatchIpfixMtu(benchmark::State& state) {
+  const auto records = make_records(true);
+  PacketBatch out;
+  for (auto _ : state) {
+    flow::IpfixEncoder enc(1);
+    out.clear();
+    enc.encode_batch(records, kExportTime, out);
+    benchmark::DoNotOptimize(out.total_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRecords));
+}
+BENCHMARK(BM_EncodeBatchIpfixMtu)->Unit(benchmark::kMicrosecond);
+
+// --- substrate: the two allocations-recycling layers ------------------------
+
+void BM_PacketBatchReuse(benchmark::State& state) {
+  // Steady-state flush loop: after the first iteration the batch never
+  // allocates again (clear() keeps capacity).
+  const auto records = make_records(false);
+  flow::NetflowV5Encoder enc;
+  PacketBatch out;
+  for (auto _ : state) {
+    out.clear();
+    enc.encode_batch(records, kExportTime, out);
+    benchmark::DoNotOptimize(out.total_bytes());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kRecords));
+}
+BENCHMARK(BM_PacketBatchReuse)->Unit(benchmark::kMicrosecond);
+
+void BM_PacketArenaCycle(benchmark::State& state) {
+  // The sharded collector's wire-thread pattern: acquire a datagram
+  // buffer, fill it, hand it off, release it back. Past warm-up every
+  // acquire is a pool hit.
+  PacketArena arena;
+  std::uint64_t reused = 0;
+  constexpr std::size_t kBuf = 1400;
+  for (auto _ : state) {
+    auto buf = arena.acquire(kBuf);
+    buf.resize(kBuf);
+    benchmark::DoNotOptimize(buf.data());
+    arena.release(std::move(buf));
+  }
+  reused = arena.stats().reused;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["reused"] = benchmark::Counter(static_cast<double>(reused));
+}
+BENCHMARK(BM_PacketArenaCycle);
+
+}  // namespace
+}  // namespace lockdown::bench
+
+LOCKDOWN_BENCH_MAIN(lockdown::bench::print_reproduction)

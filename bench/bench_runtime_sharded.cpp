@@ -1,19 +1,26 @@
-// Scaling of the sharded ingestion runtime: records/sec through
-// ShardedCollector at 1, 2, 4, 8 shards over a multi-exporter IPFIX
-// corpus, against the single-threaded Collector as the reference point.
-// The printed table is the reproduction-style summary; the registered
-// benchmarks time the same path under google-benchmark. Ingestion uses
+// Scaling of the sharded runtimes on both sides of the wire:
+//  - ingestion: records/sec through ShardedCollector at 1, 2, 4, 8 shards
+//    over a multi-exporter IPFIX corpus, against the single-threaded
+//    Collector as the reference point, with the PacketArena's
+//    buffer-recycling rate alongside;
+//  - synthesis: records/sec through the FlowSynthesizer worker pool
+//    (SynthesisConfig::gen_threads) at 1, 2, 4, 8 threads, asserting the
+//    record stream is identical at every thread count.
+// The printed tables are the reproduction-style summary; the registered
+// benchmarks time the same paths under google-benchmark. Ingestion uses
 // the lossless ingest_wait() producer, so steady-state drops are 0 by
 // construction and the table asserts it.
 //
-// Parallel speedup needs cores: on a single-core host every shard count
-// collapses to the same throughput (the table still validates
-// correctness/drops). CI hardware has >= 4 vCPUs.
+// Parallel speedup needs cores: on a single-core host every shard/thread
+// count collapses to the same throughput (the tables still validate
+// correctness, drops, and determinism). CI hardware has >= 4 vCPUs.
 #include "bench_common.hpp"
 
 #include <chrono>
 
+#include "flow/packet_arena.hpp"
 #include "runtime/sharded_collector.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -67,6 +74,7 @@ struct RunResult {
   std::uint64_t records = 0;
   std::uint64_t dropped = 0;
   double seconds = 0;
+  flow::PacketArena::Stats arena;
 };
 
 RunResult run_sharded(std::size_t shards) {
@@ -80,7 +88,8 @@ RunResult run_sharded(std::size_t shards) {
   engine.finish();
   const auto t1 = std::chrono::steady_clock::now();
   return {engine.merged_stats().records, engine.dropped(),
-          std::chrono::duration<double>(t1 - t0).count()};
+          std::chrono::duration<double>(t1 - t0).count(),
+          engine.arena_stats()};
 }
 
 RunResult run_single() {
@@ -94,27 +103,92 @@ RunResult run_single() {
           std::chrono::duration<double>(t1 - t0).count()};
 }
 
+// --- the synthesis worker pool ----------------------------------------------
+
+struct SynthResult {
+  std::size_t records = 0;
+  std::uint64_t checksum = 0;  ///< order-sensitive digest of the stream
+  double seconds = 0;
+};
+
+/// One fixed synthesis workload (the ingestion corpus's vantage point, a
+/// heavier hour budget) produced with `gen_threads` workers. The checksum
+/// folds every record's bytes in delivery order, so any reordering or
+/// divergence across thread counts shows up as a different digest.
+SynthResult run_synthesis(std::size_t gen_threads) {
+  const auto vp = synth::build_vantage(synth::VantagePointId::kIxpCe,
+                                       bench::registry(), {.seed = 42});
+  const synth::FlowSynthesizer synth(
+      vp.model, bench::registry(),
+      {.connections_per_hour = 4000, .gen_threads = gen_threads});
+  SynthResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  synth.synthesize(
+      net::TimeRange{net::Timestamp::from_date(net::Date(2020, 3, 25), 16),
+                     net::Timestamp::from_date(net::Date(2020, 3, 25), 22)},
+      [&](const flow::FlowRecord& rec) {
+        ++r.records;
+        r.checksum = util::hash_combine(r.checksum, rec.bytes);
+        r.checksum = util::hash_combine(
+            r.checksum, static_cast<std::uint64_t>(rec.first.seconds()));
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+void print_synthesis_scaling() {
+  std::cout << "Deterministic synthesis pool (SynthesisConfig::gen_threads)\n\n";
+  util::Table table({"gen threads", "records/s", "speedup vs 1 thread",
+                     "stream digest"});
+  SynthResult one;
+  bool identical = true;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const SynthResult r = run_synthesis(threads);
+    if (threads == 1) one = r;
+    identical = identical && r.checksum == one.checksum && r.records == one.records;
+    table.add_row({std::to_string(threads),
+                   bench::fmt(r.records / r.seconds, 0),
+                   bench::fmt((r.records / r.seconds) /
+                                  (one.records / one.seconds), 2) + "x",
+                   (r.checksum == one.checksum ? "== 1-thread" : "DIVERGED")});
+  }
+  std::cout << table;
+  std::cout << (identical
+                    ? "\n(every thread count delivered the identical record "
+                      "stream; speedup needs cores)\n\n"
+                    : "\nERROR: parallel synthesis diverged from the "
+                      "single-threaded stream\n\n");
+}
+
 void print_scaling() {
   std::cout << "Sharded ingestion runtime: " << corpus().size()
             << " datagrams from " << kSources << " exporters\n\n";
   util::Table table({"configuration", "records/s", "speedup vs 1 shard",
-                     "drops"});
+                     "drops", "arena reuse"});
   const RunResult single = run_single();
   table.add_row({"single-threaded Collector",
-                 bench::fmt(single.records / single.seconds, 0), "-", "0"});
+                 bench::fmt(single.records / single.seconds, 0), "-", "0",
+                 "-"});
   double one_shard_rate = 0;
   for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
     const RunResult r = run_sharded(shards);
     const double rate = r.records / r.seconds;
     if (shards == 1) one_shard_rate = rate;
+    const double reuse = r.arena.acquired > 0
+                             ? 100.0 * static_cast<double>(r.arena.reused) /
+                                   static_cast<double>(r.arena.acquired)
+                             : 0.0;
     table.add_row({std::to_string(shards) + " shard" + (shards > 1 ? "s" : ""),
                    bench::fmt(rate, 0),
                    bench::fmt(rate / one_shard_rate, 2) + "x",
-                   std::to_string(r.dropped)});
+                   std::to_string(r.dropped), bench::fmt(reuse, 1) + "%"});
   }
   std::cout << table;
   std::cout << "\n(ingest_wait backpressure: drops must be 0 at steady "
-               "state; speedup needs cores)\n\n";
+               "state; speedup needs cores;\n arena reuse is the share of "
+               "ingest buffers recycled from shard workers)\n\n";
+  print_synthesis_scaling();
 }
 
 void BM_ShardedIngest(benchmark::State& state) {
@@ -131,6 +205,24 @@ void BM_ShardedIngest(benchmark::State& state) {
   state.counters["drops"] = benchmark::Counter(static_cast<double>(dropped));
 }
 BENCHMARK(BM_ShardedIngest)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSynthesis(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const SynthResult reference = run_synthesis(1);
+  std::size_t records = 0;
+  for (auto _ : state) {
+    const SynthResult r = run_synthesis(threads);
+    records += r.records;
+    if (r.checksum != reference.checksum) {
+      state.SkipWithError("parallel synthesis diverged from 1-thread stream");
+      return;
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_ParallelSynthesis)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
 void BM_SingleThreadedCollector(benchmark::State& state) {

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json bench output against committed baselines.
+
+The perf-smoke CI job runs the compiled-hot-path benches and writes one
+BENCH_<binary>.json per binary (see bench/bench_common.hpp). This script
+compares those runs against the JSON committed under bench/baselines/.
+
+Absolute ns/op is useless across machines, so the comparison is built on
+WITHIN-FILE SPEEDUP RATIOS: each tracked pair divides a reference series
+(the interpreted/per-field path) by its compiled counterpart from the same
+binary's run. Machine speed cancels out of the ratio; what remains is how
+much faster the compiled path is than the code it replaced -- exactly the
+quantity a perf regression erodes.
+
+A pair FAILS when its current speedup falls below baseline/ (1 + slack),
+i.e. more than --slack (default 25%) of the baselined advantage is gone.
+Pairs may also carry an absolute floor (the DESIGN.md acceptance bars);
+falling below the floor fails regardless of the baseline.
+
+Usage:
+  scripts/bench_compare.py --current bench-json [--baseline bench/baselines]
+                           [--slack 0.25]
+
+Exit status: 0 all pairs pass, 1 any regression, 2 usage/missing files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# (file, reference series, compiled series, absolute floor, label)
+# Floors are the acceptance bars: decode plans >= 3x, encode plans >= 4x.
+# CI noise on shared runners can graze an exact bar, so the enforced floor
+# keeps a small margin under the documented target.
+PAIRS = [
+    ("BENCH_bench_flow_decode_plan.json", "BM_DecodeInterpreted",
+     "BM_DecodePlan", 2.5, "decode plan (IPFIX v4)"),
+    ("BENCH_bench_flow_encode_plan.json", "BM_EncodeReferenceV5",
+     "BM_EncodeBatchV5", 3.5, "encode plan (NetFlow v5)"),
+    ("BENCH_bench_flow_encode_plan.json", "BM_EncodeReferenceV9",
+     "BM_EncodeBatchV9", 3.5, "encode plan (NetFlow v9)"),
+    ("BENCH_bench_flow_encode_plan.json", "BM_EncodeReferenceIpfix",
+     "BM_EncodeBatchIpfix", 3.5, "encode plan (IPFIX mixed)"),
+]
+
+
+def load_ns_per_op(path: Path) -> dict[str, float]:
+    with path.open() as f:
+        doc = json.load(f)
+    out: dict[str, float] = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("name")
+        ns = entry.get("ns_per_op")
+        # Keep the first run of a series (benchmark repetitions append
+        # aggregate rows whose names differ, so plain names stay unique).
+        if isinstance(name, str) and isinstance(ns, (int, float)) and ns > 0:
+            out.setdefault(name, float(ns))
+    return out
+
+
+def speedup(series: dict[str, float], ref: str, fast: str) -> float | None:
+    if ref not in series or fast not in series:
+        return None
+    return series[ref] / series[fast]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True, type=Path,
+                    help="directory with the run's BENCH_*.json files")
+    ap.add_argument("--baseline", type=Path,
+                    default=Path(__file__).resolve().parent.parent
+                    / "bench" / "baselines",
+                    help="directory with committed baseline JSON")
+    ap.add_argument("--slack", type=float, default=0.25,
+                    help="tolerated fractional loss of baselined speedup")
+    args = ap.parse_args()
+
+    failures = 0
+    checked = 0
+    header = f"{'pair':34} {'baseline':>9} {'current':>9} {'floor':>6}  verdict"
+    print(header)
+    print("-" * len(header))
+    for fname, ref, fast, floor, label in PAIRS:
+        cur_path = args.current / fname
+        base_path = args.baseline / fname
+        if not cur_path.exists():
+            print(f"{label:34} {'-':>9} {'-':>9} {floor:>6.1f}  SKIP "
+                  f"(no current run: {cur_path})")
+            continue
+        current = speedup(load_ns_per_op(cur_path), ref, fast)
+        if current is None:
+            print(f"{label:34} {'-':>9} {'-':>9} {floor:>6.1f}  FAIL "
+                  f"(series missing from {fname})")
+            failures += 1
+            continue
+        baseline = None
+        if base_path.exists():
+            baseline = speedup(load_ns_per_op(base_path), ref, fast)
+        checked += 1
+        threshold = floor
+        if baseline is not None:
+            threshold = max(threshold, baseline / (1.0 + args.slack))
+        ok = current >= threshold
+        failures += 0 if ok else 1
+        base_col = f"{baseline:>8.2f}x" if baseline is not None else f"{'-':>9}"
+        verdict = "ok" if ok else f"FAIL (min {threshold:.2f}x)"
+        print(f"{label:34} {base_col} {current:>8.2f}x {floor:>6.1f}  {verdict}")
+
+    if checked == 0:
+        print("error: no tracked pair had a current run", file=sys.stderr)
+        return 2
+    print()
+    if failures:
+        print(f"{failures} regression(s): the compiled paths lost more than "
+              f"{args.slack:.0%} of their baselined speedup (or fell below "
+              "an acceptance floor)")
+        return 1
+    print("all tracked speedup ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,338 @@
+#include "flow/encode_plan.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lockdown::flow {
+
+namespace {
+
+/// Big-endian store of the widths encode_field() accepts for numeric
+/// fields. Storing the low `width` bytes of `v` replicates write_uint's
+/// cast-to-sized-type truncation exactly.
+inline void store_be(std::uint8_t* p, std::uint16_t width,
+                     std::uint64_t v) noexcept {
+  switch (width) {
+    case 1:
+      p[0] = static_cast<std::uint8_t>(v);
+      break;
+    case 2:
+      p[0] = static_cast<std::uint8_t>(v >> 8);
+      p[1] = static_cast<std::uint8_t>(v);
+      break;
+    case 4:
+      p[0] = static_cast<std::uint8_t>(v >> 24);
+      p[1] = static_cast<std::uint8_t>(v >> 16);
+      p[2] = static_cast<std::uint8_t>(v >> 8);
+      p[3] = static_cast<std::uint8_t>(v);
+      break;
+    case 8:
+      p[0] = static_cast<std::uint8_t>(v >> 56);
+      p[1] = static_cast<std::uint8_t>(v >> 48);
+      p[2] = static_cast<std::uint8_t>(v >> 40);
+      p[3] = static_cast<std::uint8_t>(v >> 32);
+      p[4] = static_cast<std::uint8_t>(v >> 24);
+      p[5] = static_cast<std::uint8_t>(v >> 16);
+      p[6] = static_cast<std::uint8_t>(v >> 8);
+      p[7] = static_cast<std::uint8_t>(v);
+      break;
+    default:
+      break;  // never compiled into a step
+  }
+}
+
+[[nodiscard]] constexpr bool numeric_width(std::uint16_t w) noexcept {
+  return w == 1 || w == 2 || w == 4 || w == 8;
+}
+
+/// Columnar inner loop for one numeric step: the width switch is hoisted
+/// out of the record loop, so each case body is a run of fixed-width
+/// big-endian stores at a constant stride -- the form the optimizer turns
+/// into a byte swap plus a single store.
+template <typename Load>
+inline void numeric_column(std::uint8_t* p, std::size_t stride, std::size_t n,
+                           std::uint16_t width, const FlowRecord* recs,
+                           Load load) noexcept {
+  switch (width) {
+    case 1:
+      for (std::size_t i = 0; i < n; ++i, p += stride) {
+        p[0] = static_cast<std::uint8_t>(load(recs[i]));
+      }
+      break;
+    case 2:
+      for (std::size_t i = 0; i < n; ++i, p += stride) {
+        const std::uint64_t v = load(recs[i]);
+        p[0] = static_cast<std::uint8_t>(v >> 8);
+        p[1] = static_cast<std::uint8_t>(v);
+      }
+      break;
+    case 4:
+      for (std::size_t i = 0; i < n; ++i, p += stride) {
+        const std::uint64_t v = load(recs[i]);
+        p[0] = static_cast<std::uint8_t>(v >> 24);
+        p[1] = static_cast<std::uint8_t>(v >> 16);
+        p[2] = static_cast<std::uint8_t>(v >> 8);
+        p[3] = static_cast<std::uint8_t>(v);
+      }
+      break;
+    case 8:
+      for (std::size_t i = 0; i < n; ++i, p += stride) {
+        const std::uint64_t v = load(recs[i]);
+        p[0] = static_cast<std::uint8_t>(v >> 56);
+        p[1] = static_cast<std::uint8_t>(v >> 48);
+        p[2] = static_cast<std::uint8_t>(v >> 40);
+        p[3] = static_cast<std::uint8_t>(v >> 32);
+        p[4] = static_cast<std::uint8_t>(v >> 24);
+        p[5] = static_cast<std::uint8_t>(v >> 16);
+        p[6] = static_cast<std::uint8_t>(v >> 8);
+        p[7] = static_cast<std::uint8_t>(v);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+EncodePlan EncodePlan::compile(const TemplateRecord& tmpl) {
+  EncodePlan plan;
+  plan.steps_.reserve(tmpl.fields.size());
+  std::size_t offset = 0;
+
+  for (const FieldSpec& f : tmpl.fields) {
+    const auto emit_numeric = [&](Op op) {
+      // Non-loadable widths encode as zeros in write_uint's default case;
+      // the pre-zeroed region covers them, so no step is compiled.
+      if (numeric_width(f.length)) {
+        plan.steps_.push_back(
+            Step{static_cast<std::uint32_t>(offset), f.length, op});
+      }
+    };
+    switch (f.id) {
+      case FieldId::kOctetDeltaCount: emit_numeric(Op::kBytes); break;
+      case FieldId::kPacketDeltaCount: emit_numeric(Op::kPackets); break;
+      case FieldId::kProtocolIdentifier: emit_numeric(Op::kProtocol); break;
+      case FieldId::kTcpControlBits: emit_numeric(Op::kTcpFlags); break;
+      case FieldId::kSourceTransportPort: emit_numeric(Op::kSrcPort); break;
+      case FieldId::kDestinationTransportPort: emit_numeric(Op::kDstPort); break;
+      case FieldId::kIngressInterface: emit_numeric(Op::kInputIf); break;
+      case FieldId::kEgressInterface: emit_numeric(Op::kOutputIf); break;
+      case FieldId::kBgpSourceAsNumber: emit_numeric(Op::kSrcAs); break;
+      case FieldId::kBgpDestinationAsNumber: emit_numeric(Op::kDstAs); break;
+      case FieldId::kSourceIpv4Address: emit_numeric(Op::kSrcV4); break;
+      case FieldId::kDestinationIpv4Address: emit_numeric(Op::kDstV4); break;
+      case FieldId::kSourceIpv6Address:
+        // A 16-byte copy, or -- any other width -- zeros with no step.
+        if (f.length == 16) {
+          plan.steps_.push_back(
+              Step{static_cast<std::uint32_t>(offset), 16, Op::kSrcV6});
+        }
+        break;
+      case FieldId::kDestinationIpv6Address:
+        if (f.length == 16) {
+          plan.steps_.push_back(
+              Step{static_cast<std::uint32_t>(offset), 16, Op::kDstV6});
+        }
+        break;
+      case FieldId::kFirstSwitched: emit_numeric(Op::kFirstUptime); break;
+      case FieldId::kLastSwitched: emit_numeric(Op::kLastUptime); break;
+      case FieldId::kFlowStartSeconds: emit_numeric(Op::kFirstAbsolute); break;
+      case FieldId::kFlowEndSeconds: emit_numeric(Op::kLastAbsolute); break;
+      default:
+        break;  // unknown IE: zeros, covered by the zeroed region
+    }
+    offset += f.length;
+  }
+  plan.stride_ = offset;
+  return plan;
+}
+
+void EncodePlan::encode(const FlowRecord& r, std::uint8_t* dst,
+                        const TimeContext& tc) const noexcept {
+  std::memset(dst, 0, stride_);
+  for (const Step& s : steps_) {
+    std::uint8_t* p = dst + s.dst_offset;
+    switch (s.op) {
+      case Op::kBytes: store_be(p, s.width, r.bytes); break;
+      case Op::kPackets: store_be(p, s.width, r.packets); break;
+      case Op::kProtocol:
+        store_be(p, s.width, static_cast<std::uint8_t>(r.protocol));
+        break;
+      case Op::kTcpFlags: store_be(p, s.width, r.tcp_flags); break;
+      case Op::kSrcPort: store_be(p, s.width, r.src_port); break;
+      case Op::kDstPort: store_be(p, s.width, r.dst_port); break;
+      case Op::kInputIf: store_be(p, s.width, r.input_if); break;
+      case Op::kOutputIf: store_be(p, s.width, r.output_if); break;
+      case Op::kSrcAs: store_be(p, s.width, r.src_as.value()); break;
+      case Op::kDstAs: store_be(p, s.width, r.dst_as.value()); break;
+      case Op::kSrcV4:
+        store_be(p, s.width,
+                 r.src_addr.is_v4() ? r.src_addr.v4().value() : 0);
+        break;
+      case Op::kDstV4:
+        store_be(p, s.width,
+                 r.dst_addr.is_v4() ? r.dst_addr.v4().value() : 0);
+        break;
+      case Op::kSrcV6:
+        if (r.src_addr.is_v6()) {
+          std::memcpy(p, r.src_addr.v6().bytes().data(), 16);
+        }
+        break;
+      case Op::kDstV6:
+        if (r.dst_addr.is_v6()) {
+          std::memcpy(p, r.dst_addr.v6().bytes().data(), 16);
+        }
+        break;
+      case Op::kFirstUptime:
+        store_be(p, s.width, tc.to_uptime(r.first));
+        break;
+      case Op::kLastUptime:
+        store_be(p, s.width, tc.to_uptime(r.last));
+        break;
+      case Op::kFirstAbsolute:
+        store_be(p, s.width, static_cast<std::uint32_t>(r.first.seconds()));
+        break;
+      case Op::kLastAbsolute:
+        store_be(p, s.width, static_cast<std::uint32_t>(r.last.seconds()));
+        break;
+    }
+  }
+}
+
+void EncodePlan::encode_batch(const FlowRecord* records, std::size_t n,
+                              std::uint8_t* dst,
+                              const TimeContext& tc) const noexcept {
+  for (std::size_t done = 0; done < n; done += kTileRecords) {
+    const std::size_t m = std::min(kTileRecords, n - done);
+    encode_tile(records + done, m, dst + done * stride_, tc);
+  }
+}
+
+void EncodePlan::encode_tile(const FlowRecord* records, std::size_t n,
+                             std::uint8_t* dst,
+                             const TimeContext& tc) const noexcept {
+  const std::size_t stride = stride_;
+  // One memset covers every zero-encoded byte (unknown IEs, odd-width
+  // numerics, the empty family of an address pair) while the tile is
+  // L1-resident; the steps then overwrite only the live fields.
+  std::memset(dst, 0, n * stride);
+  for (const Step& s : steps_) {
+    std::uint8_t* p = dst + s.dst_offset;
+    switch (s.op) {
+      case Op::kBytes:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept { return r.bytes; });
+        break;
+      case Op::kPackets:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept { return r.packets; });
+        break;
+      case Op::kProtocol:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(
+                             static_cast<std::uint8_t>(r.protocol));
+                       });
+        break;
+      case Op::kTcpFlags:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(r.tcp_flags);
+                       });
+        break;
+      case Op::kSrcPort:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(r.src_port);
+                       });
+        break;
+      case Op::kDstPort:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(r.dst_port);
+                       });
+        break;
+      case Op::kInputIf:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(r.input_if);
+                       });
+        break;
+      case Op::kOutputIf:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(r.output_if);
+                       });
+        break;
+      case Op::kSrcAs:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(r.src_as.value());
+                       });
+        break;
+      case Op::kDstAs:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(r.dst_as.value());
+                       });
+        break;
+      case Op::kSrcV4:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(
+                             r.src_addr.is_v4() ? r.src_addr.v4().value() : 0);
+                       });
+        break;
+      case Op::kDstV4:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(
+                             r.dst_addr.is_v4() ? r.dst_addr.v4().value() : 0);
+                       });
+        break;
+      case Op::kSrcV6:
+        for (std::size_t i = 0; i < n; ++i, p += stride) {
+          if (records[i].src_addr.is_v6()) {
+            std::memcpy(p, records[i].src_addr.v6().bytes().data(), 16);
+          }
+        }
+        break;
+      case Op::kDstV6:
+        for (std::size_t i = 0; i < n; ++i, p += stride) {
+          if (records[i].dst_addr.is_v6()) {
+            std::memcpy(p, records[i].dst_addr.v6().bytes().data(), 16);
+          }
+        }
+        break;
+      case Op::kFirstUptime:
+        numeric_column(p, stride, n, s.width, records,
+                       [&tc](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(tc.to_uptime(r.first));
+                       });
+        break;
+      case Op::kLastUptime:
+        numeric_column(p, stride, n, s.width, records,
+                       [&tc](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(tc.to_uptime(r.last));
+                       });
+        break;
+      case Op::kFirstAbsolute:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(r.first.seconds()));
+                       });
+        break;
+      case Op::kLastAbsolute:
+        numeric_column(p, stride, n, s.width, records,
+                       [](const FlowRecord& r) noexcept {
+                         return static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(r.last.seconds()));
+                       });
+        break;
+    }
+  }
+}
+
+}  // namespace lockdown::flow

@@ -1,0 +1,107 @@
+// Compiled per-template encode plans: the encode-side mirror of
+// DecodePlan. The interpreted export path walks `tmpl.fields` for every
+// record and re-dispatches encode_field()'s double switch (field id, then
+// width) per field, pushing bytes one at a time through a WireWriter. An
+// EncodePlan is compiled once per template: a flat array of {dst_offset,
+// width, op} steps with the record stride precomputed, so a whole data set
+// is packed by zeroing the destination region and running each step as a
+// tight loop of big-endian stores at fixed offsets across all records.
+//
+// Semantics are byte-identical to running encode_field() over the template
+// (pinned by the differential tests in test_flow_encode_plan.cpp),
+// including the corners: numeric fields with widths outside {1,2,4,8} and
+// unknown information elements encode as zeros (covered by the pre-zeroed
+// region -- they compile to no step at all), IPv6 address fields with a
+// width other than 16 encode as zeros, IPv4 address fields carry 0 for v6
+// records, and IPv6 address fields stay zero for v4 records. Duplicate
+// fields are no hazard on the encode side: each field owns its own wire
+// offset, so steps never alias.
+//
+// Lifecycle: our exporters use fixed templates, so a plan is compiled per
+// encode_batch() call (compile cost is one small vector; data sets are
+// thousands of records) and lives on the stack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/field_codec.hpp"
+#include "flow/flow_record.hpp"
+#include "flow/template_fields.hpp"
+
+namespace lockdown::flow {
+
+class EncodePlan {
+ public:
+  EncodePlan() = default;
+
+  /// Compile `tmpl` into a plan. Always succeeds; a template that carries
+  /// no bytes compiles to stride() == 0 and encodes nothing.
+  [[nodiscard]] static EncodePlan compile(const TemplateRecord& tmpl);
+
+  /// Wire bytes of one data record (== the template's record_length(),
+  /// including zero-encoded fields).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+
+  /// Compiled steps (zero-encoded fields compile to none).
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_.size(); }
+
+  /// Encode one record into `dst` (stride() writable bytes). Writes every
+  /// byte of the record: the region is zeroed first, then the steps store
+  /// the live fields.
+  void encode(const FlowRecord& r, std::uint8_t* dst,
+              const TimeContext& tc) const noexcept;
+
+  /// Encode `n` records back-to-back into `dst` (n * stride() writable
+  /// bytes). Byte-identical to calling encode() n times, but columnar:
+  /// each step dispatches once and runs a tight fixed-width store loop
+  /// across every record of an L1-resident tile, so the op and width
+  /// dispatch amortizes over the whole data set.
+  void encode_batch(const FlowRecord* records, std::size_t n, std::uint8_t* dst,
+                    const TimeContext& tc) const noexcept;
+
+ private:
+  /// Tile size for the columnar passes (matches DecodePlan: ~128 records x
+  /// (sizeof(FlowRecord) + stride) stays well inside a 32 KiB L1D).
+  static constexpr std::size_t kTileRecords = 128;
+
+  void encode_tile(const FlowRecord* records, std::size_t n, std::uint8_t* dst,
+                   const TimeContext& tc) const noexcept;
+
+  /// Source of one step's value. Mirrors the encode_field() switch cases
+  /// that store anything other than zeros.
+  enum class Op : std::uint8_t {
+    kBytes,
+    kPackets,
+    kProtocol,
+    kTcpFlags,
+    kSrcPort,
+    kDstPort,
+    kInputIf,
+    kOutputIf,
+    kSrcAs,
+    kDstAs,
+    kSrcV4,
+    kDstV4,
+    kSrcV6,
+    kDstV6,
+    kFirstUptime,
+    kLastUptime,
+    kFirstAbsolute,
+    kLastAbsolute,
+  };
+
+  struct Step {
+    // Max template is 65535 fields x 65535 bytes < 2^32, so offsets fit.
+    std::uint32_t dst_offset = 0;
+    // 1/2/4/8 (numeric store) or 16 (IPv6 copy). Widths encode_field()
+    // writes as zeros never become steps -- the zeroed region covers them.
+    std::uint16_t width = 0;
+    Op op = Op::kBytes;
+  };
+
+  std::vector<Step> steps_;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace lockdown::flow

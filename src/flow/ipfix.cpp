@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "flow/encode_plan.hpp"
 #include "flow/field_codec.hpp"
 #include "flow/wire.hpp"
 
@@ -77,6 +78,99 @@ std::vector<std::vector<std::uint8_t>> IpfixEncoder::encode(
     if (records.empty()) break;
   }
   return messages;
+}
+
+std::size_t IpfixEncoder::encode_batch(std::span<const FlowRecord> records,
+                                       net::Timestamp export_time,
+                                       PacketBatch& out,
+                                       const EncodeLimits& limits) {
+  const TemplateRecord t4 = ipfix_v4_template();
+  const TemplateRecord t6 = ipfix_v6_template();
+  const EncodePlan p4 = EncodePlan::compile(t4);
+  const EncodePlan p6 = EncodePlan::compile(t6);
+  const TimeContext tc{};  // IPFIX uses absolute timestamps
+
+  // Fixed per-message overhead: header + the template set carrying both
+  // templates (written by every message, like encode()).
+  const std::size_t template_set =
+      4 + (4 + 4 * t4.fields.size()) + (4 + 4 * t6.fields.size());
+  const std::size_t fixed = kIpfixHeaderSize + template_set;
+
+  // The message's total length is a u16, so even "unlimited" is bounded.
+  const std::size_t budget =
+      limits.max_packet_bytes == 0
+          ? 65535
+          : std::min<std::size_t>(limits.max_packet_bytes, 65535);
+  const std::size_t cap =
+      limits.max_records_per_packet == 0 ? 24 : limits.max_records_per_packet;
+
+  const auto export_secs = static_cast<std::uint32_t>(export_time.seconds());
+  std::size_t made = 0;
+  for (std::size_t off = 0; off < records.size() || made == 0;) {
+    // Greedy chunk: admit records in order while the exact message size
+    // (data-set headers materialize with their family's first record)
+    // stays within budget. At least one record guarantees progress.
+    std::size_t n = 0;
+    std::size_t c4 = 0;
+    std::size_t c6 = 0;
+    std::size_t size = fixed;
+    while (off + n < records.size() && n < cap) {
+      const bool v6 = records[off + n].src_addr.is_v6();
+      const std::size_t grow =
+          (v6 ? p6.stride() : p4.stride()) + ((v6 ? c6 : c4) == 0 ? 4 : 0);
+      if (n > 0 && size + grow > budget) break;
+      size += grow;
+      (v6 ? c6 : c4) += 1;
+      ++n;
+    }
+
+    out.begin_packet();
+    out.put_u16(kIpfixVersion);
+    out.put_u16(static_cast<std::uint16_t>(size));  // exact, no patching
+    out.put_u32(export_secs);
+    out.put_u32(sequence_);
+    out.put_u32(domain_);
+
+    out.put_u16(kIpfixTemplateSetId);
+    out.put_u16(static_cast<std::uint16_t>(template_set));
+    for (const TemplateRecord* t : {&t4, &t6}) {
+      out.put_u16(t->template_id);
+      out.put_u16(static_cast<std::uint16_t>(t->fields.size()));
+      for (const FieldSpec& f : t->fields) {
+        out.put_u16(static_cast<std::uint16_t>(f.id));
+        out.put_u16(f.length);
+      }
+    }
+
+    // One v4 data set, then one v6 data set (homogeneous per template,
+    // order preserved within each family -- encode()'s partitioning).
+    for (const bool v6_pass : {false, true}) {
+      const std::size_t count = v6_pass ? c6 : c4;
+      if (count == 0) continue;
+      const EncodePlan& plan = v6_pass ? p6 : p4;
+      const TemplateRecord& tmpl = v6_pass ? t6 : t4;
+      out.put_u16(tmpl.template_id);
+      out.put_u16(static_cast<std::uint16_t>(4 + count * plan.stride()));
+      std::uint8_t* dst = out.extend(count * plan.stride());
+      if (count == n) {
+        // Homogeneous chunk: pack straight from the input span.
+        plan.encode_batch(records.data() + off, n, dst, tc);
+      } else {
+        scratch_.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+          const FlowRecord& r = records[off + i];
+          if (r.src_addr.is_v6() == v6_pass) scratch_.push_back(r);
+        }
+        plan.encode_batch(scratch_.data(), scratch_.size(), dst, tc);
+      }
+      sequence_ += static_cast<std::uint32_t>(count);
+    }
+    out.end_packet();
+    ++made;
+    off += n;
+    if (records.empty()) break;
+  }
+  return made;
 }
 
 std::vector<std::uint8_t> IpfixEncoder::encode_template_withdrawal(

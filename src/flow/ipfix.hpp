@@ -14,6 +14,7 @@
 #include "flow/decode_error.hpp"
 #include "flow/decode_plan.hpp"
 #include "flow/flow_record.hpp"
+#include "flow/packet_arena.hpp"
 #include "flow/sequence_tracker.hpp"
 #include "flow/template_fields.hpp"
 
@@ -36,6 +37,20 @@ class IpfixEncoder {
       std::span<const FlowRecord> records, net::Timestamp export_time,
       std::size_t max_records_per_message = 24);
 
+  /// Batch form of encode(): appends messages to `out` (caller clears
+  /// between flushes) and returns how many were appended. Both templates
+  /// compile into EncodePlans once; homogeneous chunks pack straight from
+  /// the input span by tiled columnar stores, mixed chunks gather each
+  /// family into a reused scratch buffer first. Byte-identical to encode()
+  /// under EncodeLimits::unbudgeted(). With a byte budget, messages split
+  /// exactly at the boundary -- this is the fix for the historical
+  /// overshoot, where a 24-record IPv6 chunk produced a 1920-byte message
+  /// over the 1500-byte MTU. Record order is preserved per family, like
+  /// encode()'s v4-then-v6 set partitioning.
+  std::size_t encode_batch(std::span<const FlowRecord> records,
+                           net::Timestamp export_time, PacketBatch& out,
+                           const EncodeLimits& limits = {});
+
   [[nodiscard]] std::uint32_t sequence() const noexcept { return sequence_; }
 
   /// Reposition the data-record sequence counter (exporter restarts; tests
@@ -51,6 +66,9 @@ class IpfixEncoder {
  private:
   std::uint32_t domain_;
   std::uint32_t sequence_ = 0;  // data records sent (per RFC 7011 §3.1)
+  /// encode_batch gather buffer for mixed-family chunks; member so a
+  /// long-lived encoder reuses its allocation across flushes.
+  std::vector<FlowRecord> scratch_;
 };
 
 /// Decoded IPFIX message.

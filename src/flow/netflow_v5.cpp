@@ -31,6 +31,43 @@ net::Timestamp from_uptime_ms(std::uint32_t uptime_ms, std::uint32_t sys_uptime,
   return net::Timestamp(static_cast<std::int64_t>(unix_secs) - delta_s);
 }
 
+inline void store_be16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+/// One fixed-layout v5 record by direct stores. `dst` arrives zeroed
+/// (PacketBatch::extend), so the pad/reserved bytes (nexthop, tos, masks)
+/// need no writes -- field order and values match encode() exactly.
+inline void store_v5_record(std::uint8_t* dst, const FlowRecord& r,
+                            net::Timestamp export_time) noexcept {
+  store_be32(dst + 0, r.src_addr.v4().value());
+  store_be32(dst + 4, r.dst_addr.v4().value());
+  // dst + 8: nexthop, zero
+  store_be16(dst + 12, r.input_if);
+  store_be16(dst + 14, r.output_if);
+  store_be32(dst + 16, static_cast<std::uint32_t>(r.packets));
+  store_be32(dst + 20, static_cast<std::uint32_t>(r.bytes));
+  store_be32(dst + 24, to_uptime_ms(r.first, export_time));
+  store_be32(dst + 28, to_uptime_ms(r.last, export_time));
+  store_be16(dst + 32, r.src_port);
+  store_be16(dst + 34, r.dst_port);
+  // dst + 36: pad1, zero
+  dst[37] = r.tcp_flags;
+  dst[38] = static_cast<std::uint8_t>(r.protocol);
+  // dst + 39: tos, zero
+  store_be16(dst + 40, static_cast<std::uint16_t>(r.src_as.value()));
+  store_be16(dst + 42, static_cast<std::uint16_t>(r.dst_as.value()));
+  // dst + 44..47: masks + pad2, zero
+}
+
 }  // namespace
 
 std::vector<std::vector<std::uint8_t>> NetflowV5Encoder::encode(
@@ -82,6 +119,59 @@ std::vector<std::vector<std::uint8_t>> NetflowV5Encoder::encode(
     packets.push_back(w.take());
   }
   return packets;
+}
+
+std::size_t NetflowV5Encoder::encode_batch(std::span<const FlowRecord> records,
+                                           net::Timestamp export_time,
+                                           PacketBatch& out,
+                                           const EncodeLimits& limits) {
+  for (const FlowRecord& r : records) {
+    if (!r.src_addr.is_v4() || !r.dst_addr.is_v4()) {
+      throw std::invalid_argument("NetFlow v5 cannot carry IPv6 flows");
+    }
+  }
+
+  // The format's 30-record ceiling always applies; a byte budget can only
+  // lower the chunk size, never raise it, and at least one record per
+  // packet guarantees progress.
+  std::size_t cap = limits.max_records_per_packet == 0
+                        ? kNetflowV5MaxRecords
+                        : std::min(limits.max_records_per_packet,
+                                   kNetflowV5MaxRecords);
+  if (limits.max_packet_bytes > 0 &&
+      limits.max_packet_bytes <
+          kNetflowV5HeaderSize + cap * kNetflowV5RecordSize) {
+    const std::size_t fit =
+        limits.max_packet_bytes > kNetflowV5HeaderSize + kNetflowV5RecordSize
+            ? (limits.max_packet_bytes - kNetflowV5HeaderSize) /
+                  kNetflowV5RecordSize
+            : 1;
+    cap = std::min(cap, fit);
+  }
+
+  const auto export_secs = static_cast<std::uint32_t>(export_time.seconds());
+  std::size_t made = 0;
+  for (std::size_t off = 0; off < records.size(); off += cap) {
+    const std::size_t n = std::min(cap, records.size() - off);
+    out.begin_packet();
+    out.put_u16(5);  // version
+    out.put_u16(static_cast<std::uint16_t>(n));
+    out.put_u32(kSysUptimeAtExportMs);
+    out.put_u32(export_secs);
+    out.put_u32(0);  // unix_nsecs
+    out.put_u32(sequence_);
+    out.put_u8(0);  // engine_type
+    out.put_u8(engine_id_);
+    out.put_u16(sampling_);
+    std::uint8_t* dst = out.extend(n * kNetflowV5RecordSize);
+    for (std::size_t i = 0; i < n; ++i, dst += kNetflowV5RecordSize) {
+      store_v5_record(dst, records[off + i], export_time);
+    }
+    sequence_ += static_cast<std::uint32_t>(n);
+    out.end_packet();
+    ++made;
+  }
+  return made;
 }
 
 std::optional<NetflowV5Packet> decode_netflow_v5(

@@ -18,6 +18,7 @@
 
 #include "flow/decode_error.hpp"
 #include "flow/flow_record.hpp"
+#include "flow/packet_arena.hpp"
 #include "flow/sequence_tracker.hpp"
 
 namespace lockdown::flow {
@@ -50,6 +51,19 @@ class NetflowV5Encoder {
   /// std::invalid_argument on IPv6 records (not representable in v5).
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
       std::span<const FlowRecord> records, net::Timestamp export_time);
+
+  /// Batch form of encode(): appends packets to `out` (which the caller
+  /// clears between flushes, so a reused batch stops allocating) and
+  /// returns how many were appended. Records are packed by direct
+  /// big-endian stores into the batch's flat buffer instead of per-field
+  /// WireWriter pushes. Byte-identical to encode() under
+  /// EncodeLimits::unbudgeted(); with a byte budget, chunks split exactly
+  /// at the boundary (a v5 packet of 30 records is 1464 bytes, so the
+  /// default MTU budget never binds). Throws std::invalid_argument on IPv6
+  /// records, like encode().
+  std::size_t encode_batch(std::span<const FlowRecord> records,
+                           net::Timestamp export_time, PacketBatch& out,
+                           const EncodeLimits& limits = {});
 
   [[nodiscard]] std::uint32_t flow_sequence() const noexcept { return sequence_; }
 

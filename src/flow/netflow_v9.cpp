@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "flow/encode_plan.hpp"
 #include "flow/field_codec.hpp"
 #include "flow/wire.hpp"
 
@@ -10,6 +11,22 @@ namespace lockdown::flow {
 
 namespace {
 constexpr std::uint32_t kSysUptimeAtExportMs = 48u * 3600u * 1000u;
+
+/// Wire size of a v9 packet carrying the template flowset plus `n` data
+/// records of `stride` bytes (spec-recommended 32-bit padding included).
+/// Matches what encode() emits byte for byte.
+[[nodiscard]] constexpr std::size_t v9_packet_size(std::size_t n,
+                                                   std::size_t stride,
+                                                   std::size_t fields) noexcept {
+  const std::size_t template_flowset = 4 + 4 + 4 * fields;
+  std::size_t size = kNetflowV9HeaderSize + template_flowset;
+  if (n > 0) {
+    std::size_t data = 4 + n * stride;
+    while (data % 4 != 0) ++data;  // pad to 32 bits
+    size += data;
+  }
+  return size;
+}
 }
 
 std::vector<std::vector<std::uint8_t>> NetflowV9Encoder::encode(
@@ -72,6 +89,77 @@ std::vector<std::vector<std::uint8_t>> NetflowV9Encoder::encode(
     if (records.empty()) break;
   }
   return packets;
+}
+
+std::size_t NetflowV9Encoder::encode_batch(std::span<const FlowRecord> records,
+                                           net::Timestamp export_time,
+                                           PacketBatch& out,
+                                           const EncodeLimits& limits) {
+  for (const FlowRecord& r : records) {
+    if (r.src_addr.is_v6() || r.dst_addr.is_v6()) {
+      throw std::invalid_argument(
+          "NetflowV9Encoder: IPv6 not supported by this exporter");
+    }
+  }
+
+  const TemplateRecord tmpl = netflow_v9_v4_template();
+  const EncodePlan plan = EncodePlan::compile(tmpl);
+  const std::size_t stride = plan.stride();
+  const std::size_t fields = tmpl.fields.size();
+  const TimeContext tc{kSysUptimeAtExportMs,
+                       static_cast<std::uint32_t>(export_time.seconds())};
+
+  // Budget: the largest n whose exact packet size (header + template
+  // flowset + padded data flowset) fits. A UDP datagram bounds even the
+  // "unlimited" case; at least one record per packet guarantees progress.
+  constexpr std::size_t kMaxDatagram = 65507;
+  const std::size_t budget =
+      limits.max_packet_bytes == 0 ? kMaxDatagram
+                                   : std::min(limits.max_packet_bytes,
+                                              kMaxDatagram);
+  std::size_t cap =
+      limits.max_records_per_packet == 0 ? 24 : limits.max_records_per_packet;
+  while (cap > 1 && v9_packet_size(cap, stride, fields) > budget) --cap;
+
+  const auto export_secs = static_cast<std::uint32_t>(export_time.seconds());
+  std::size_t made = 0;
+  for (std::size_t off = 0; off < records.size() || made == 0;) {
+    const std::size_t n = std::min(cap, records.size() - off);
+    out.begin_packet();
+    out.put_u16(kNetflowV9Version);
+    out.put_u16(static_cast<std::uint16_t>(n + 1));  // records + 1 template
+    out.put_u32(kSysUptimeAtExportMs);
+    out.put_u32(export_secs);
+    out.put_u32(sequence_++);
+    out.put_u32(source_id_);
+
+    // Template flowset; the length is fixed by the field count, so no
+    // patching is needed.
+    out.put_u16(kNetflowV9TemplateFlowsetId);
+    out.put_u16(static_cast<std::uint16_t>(4 + 4 + 4 * fields));
+    out.put_u16(tmpl.template_id);
+    out.put_u16(static_cast<std::uint16_t>(fields));
+    for (const FieldSpec& f : tmpl.fields) {
+      out.put_u16(static_cast<std::uint16_t>(f.id));
+      out.put_u16(f.length);
+    }
+
+    // Data flowset, packed by the compiled plan in one columnar pass.
+    if (n > 0) {
+      std::size_t data_len = 4 + n * stride;
+      std::size_t pad = 0;
+      while ((data_len + pad) % 4 != 0) ++pad;
+      out.put_u16(tmpl.template_id);
+      out.put_u16(static_cast<std::uint16_t>(data_len + pad));
+      plan.encode_batch(records.data() + off, n, out.extend(n * stride), tc);
+      out.put_zeros(pad);
+    }
+    out.end_packet();
+    ++made;
+    off += n;
+    if (records.empty()) break;
+  }
+  return made;
 }
 
 std::vector<std::uint8_t> NetflowV9Encoder::encode_sampling_options(

@@ -13,6 +13,7 @@
 #include "flow/decode_error.hpp"
 #include "flow/decode_plan.hpp"
 #include "flow/flow_record.hpp"
+#include "flow/packet_arena.hpp"
 #include "flow/sequence_tracker.hpp"
 #include "flow/template_fields.hpp"
 
@@ -49,6 +50,18 @@ class NetflowV9Encoder {
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
       std::span<const FlowRecord> records, net::Timestamp export_time,
       std::size_t max_records_per_packet = 24);
+
+  /// Batch form of encode(): appends packets to `out` (caller clears
+  /// between flushes) and returns how many were appended. The template's
+  /// field list is compiled into an EncodePlan once, then each data
+  /// flowset is packed by tiled columnar stores. Byte-identical to
+  /// encode() under EncodeLimits::unbudgeted(); with a byte budget,
+  /// flowsets split exactly at the boundary (a 24-record v9 packet is
+  /// 1096 bytes, so the default MTU budget never binds). Throws
+  /// std::invalid_argument on IPv6 records, like encode().
+  std::size_t encode_batch(std::span<const FlowRecord> records,
+                           net::Timestamp export_time, PacketBatch& out,
+                           const EncodeLimits& limits = {});
 
   /// Reposition the packet-sequence counter (exporter restarts; tests use
   /// it to exercise uint32 wraparound accounting).

@@ -1,0 +1,50 @@
+#include "flow/packet_arena.hpp"
+
+#include <bit>
+
+namespace lockdown::flow {
+
+std::size_t PacketArena::class_of(std::size_t size) noexcept {
+  if (size <= (std::size_t{1} << kMinClassBits)) return 0;
+  const std::size_t bits = std::bit_width(size - 1);  // ceil log2
+  if (bits > kMaxClassBits) return kClasses;          // oversize: unpooled
+  return bits - kMinClassBits;
+}
+
+std::vector<std::uint8_t> PacketArena::acquire(std::size_t size_hint) {
+  const std::size_t cls = class_of(size_hint);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.acquired;
+    if (cls < kClasses && !free_[cls].empty()) {
+      ++stats_.reused;
+      std::vector<std::uint8_t> buf = std::move(free_[cls].back());
+      free_[cls].pop_back();
+      return buf;
+    }
+  }
+  std::vector<std::uint8_t> buf;
+  buf.reserve(size_hint);
+  return buf;
+}
+
+void PacketArena::release(std::vector<std::uint8_t>&& buf) {
+  // A released buffer is classed by its capacity: whatever it grew to is
+  // what the next acquire of that class gets without reallocating.
+  const std::size_t cls = class_of(buf.capacity());
+  buf.clear();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.released;
+  if (cls >= kClasses || free_[cls].size() >= per_class_cap_) {
+    ++stats_.discarded;
+    return;  // buf frees on scope exit
+  }
+  free_[cls].push_back(std::move(buf));
+}
+
+PacketArena::Stats PacketArena::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lockdown::flow

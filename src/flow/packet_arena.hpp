@@ -1,0 +1,173 @@
+// Pooled packet buffers for the export and replay hot paths.
+//
+// The per-field encoders returned std::vector<std::vector<uint8_t>> -- one
+// heap allocation per datagram, re-made on every ExportPump flush and every
+// synthesized batch. A PacketBatch stores a whole datagram train in one
+// contiguous byte vector plus an end-offset list, so a steady-state
+// exporter reuses the same two allocations forever; encoders append into
+// it through a small builder interface (open packet at the tail, patchable
+// length fields, sealed by end_packet()).
+//
+// A PacketArena recycles the individual datagram buffers the replay side
+// still needs (the sharded collector hands each datagram to a worker by
+// value): size-classed free lists under a mutex, bounded per class so a
+// burst cannot pin memory forever. Workers release consumed buffers back;
+// the wire thread's next ingest reuses them instead of allocating.
+//
+// EncodeLimits is the per-packet budget the batch encoders honor: a record
+// cap (the protocols' historical chunk size) and a byte budget, split
+// *exactly* at the boundary -- a packet never exceeds max_packet_bytes
+// unless even a single record cannot fit, in which case one record is
+// emitted anyway so encoding always makes progress.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace lockdown::flow {
+
+/// Conventional Ethernet-path datagram budget. The IPFIX exporter's
+/// historical 24-record chunks overflow this with IPv6-heavy data sets
+/// (1920 bytes); the batch encoders split exactly under it instead.
+inline constexpr std::size_t kDefaultMtu = 1500;
+
+struct EncodeLimits {
+  /// Records per packet, at most; 0 = the protocol's default chunk size
+  /// (v5: 30, v9/IPFIX: 24).
+  std::size_t max_records_per_packet = 0;
+  /// Datagram byte budget; 0 = unlimited. Never exceeded except when a
+  /// single record alone cannot fit (progress guarantee).
+  std::size_t max_packet_bytes = kDefaultMtu;
+
+  /// The limits that reproduce the per-field encode() chunking exactly:
+  /// record cap only, no byte budget. The differential tests pin
+  /// encode_batch against encode() under these.
+  [[nodiscard]] static constexpr EncodeLimits unbudgeted() noexcept {
+    return EncodeLimits{0, 0};
+  }
+};
+
+/// A train of wire packets in two flat allocations: one byte buffer, one
+/// end-offset list. clear() keeps both capacities, so a reused batch stops
+/// allocating once it has seen its largest flush.
+class PacketBatch {
+ public:
+  void clear() noexcept {
+    bytes_.clear();
+    ends_.clear();
+    open_ = false;
+  }
+
+  void reserve(std::size_t bytes, std::size_t packets) {
+    bytes_.reserve(bytes);
+    ends_.reserve(packets);
+  }
+
+  /// Sealed packets.
+  [[nodiscard]] std::size_t size() const noexcept { return ends_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ends_.empty(); }
+
+  [[nodiscard]] std::span<const std::uint8_t> packet(std::size_t i) const noexcept {
+    const std::size_t begin = i == 0 ? 0 : ends_[i - 1];
+    return {bytes_.data() + begin, ends_[i] - begin};
+  }
+
+  /// Bytes across all sealed packets (excludes an open packet).
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return ends_.empty() ? 0 : ends_.back();
+  }
+
+  // --- builder interface (the batch encoders) -----------------------------
+  // One packet may be open at a time; all appends go to the byte buffer's
+  // tail. Offsets passed to patch_u16 are relative to the open packet's
+  // first byte, mirroring how the encoders patch length/count fields.
+
+  void begin_packet() {
+    open_start_ = bytes_.size();
+    open_ = true;
+  }
+
+  [[nodiscard]] std::size_t open_bytes() const noexcept {
+    return bytes_.size() - open_start_;
+  }
+
+  /// Append `n` zeroed bytes to the open packet and return a pointer to
+  /// them -- the bulk-store destination for a compiled encode plan (which
+  /// relies on skipped fields staying zero).
+  [[nodiscard]] std::uint8_t* extend(std::size_t n) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + n);
+    return bytes_.data() + at;
+  }
+
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+  void put_u16(std::uint16_t v) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void put_u32(std::uint32_t v) {
+    put_u16(static_cast<std::uint16_t>(v >> 16));
+    put_u16(static_cast<std::uint16_t>(v));
+  }
+  void put_zeros(std::size_t n) { bytes_.insert(bytes_.end(), n, 0); }
+
+  void patch_u16(std::size_t offset_in_packet, std::uint16_t v) noexcept {
+    std::uint8_t* p = bytes_.data() + open_start_ + offset_in_packet;
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+  }
+
+  void end_packet() {
+    ends_.push_back(bytes_.size());
+    open_ = false;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::vector<std::size_t> ends_;
+  std::size_t open_start_ = 0;
+  bool open_ = false;
+};
+
+/// Thread-safe recycler of datagram buffers, size-classed by capacity.
+/// acquire() hands back a cleared buffer with at least `size_hint` bytes
+/// reserved when one is pooled, a fresh one otherwise; release() returns a
+/// consumed buffer to its class unless the class is full (then the buffer
+/// is simply freed, bounding pooled memory).
+class PacketArena {
+ public:
+  struct Stats {
+    std::uint64_t acquired = 0;   ///< total acquire() calls
+    std::uint64_t reused = 0;     ///< acquires served from the pool
+    std::uint64_t released = 0;   ///< total release() calls
+    std::uint64_t discarded = 0;  ///< releases dropped by the class cap
+  };
+
+  explicit PacketArena(std::size_t per_class_cap = 1024) noexcept
+      : per_class_cap_(per_class_cap) {}
+
+  [[nodiscard]] std::vector<std::uint8_t> acquire(std::size_t size_hint);
+  void release(std::vector<std::uint8_t>&& buf);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  /// Capacity classes: powers of two from 2^6 (64 B, tiny control
+  /// datagrams) through 2^16 (the UDP maximum). class_of() maps a size to
+  /// the smallest class that holds it.
+  static constexpr std::size_t kMinClassBits = 6;
+  static constexpr std::size_t kMaxClassBits = 16;
+  static constexpr std::size_t kClasses = kMaxClassBits - kMinClassBits + 1;
+
+  [[nodiscard]] static std::size_t class_of(std::size_t size) noexcept;
+
+  mutable std::mutex mu_;
+  std::array<std::vector<std::vector<std::uint8_t>>, kClasses> free_;
+  std::size_t per_class_cap_;
+  Stats stats_;
+};
+
+}  // namespace lockdown::flow

@@ -131,6 +131,28 @@ namespace {
 
 }  // namespace
 
+std::size_t encode_batch_datagrams(ExportProtocol protocol,
+                                   std::span<const FlowRecord> records,
+                                   net::Timestamp export_time, PacketBatch& out,
+                                   const EncodeLimits& limits) {
+  out.clear();
+  switch (protocol) {
+    case ExportProtocol::kNetflowV5: {
+      NetflowV5Encoder enc;
+      return enc.encode_batch(records, export_time, out, limits);
+    }
+    case ExportProtocol::kNetflowV9: {
+      NetflowV9Encoder enc(/*source_id=*/1);
+      return enc.encode_batch(records, export_time, out, limits);
+    }
+    case ExportProtocol::kIpfix: {
+      IpfixEncoder enc(/*observation_domain=*/1);
+      return enc.encode_batch(records, export_time, out, limits);
+    }
+  }
+  return 0;
+}
+
 std::vector<FlowRecord> export_and_collect(ExportProtocol protocol,
                                            std::span<const FlowRecord> records,
                                            net::Timestamp export_time,
@@ -162,12 +184,14 @@ net::Timestamp batch_export_time(std::span<const FlowRecord> records) {
 void ExportPump::flush() {
   if (batch_.empty()) return;
   // Collected batches go straight to the sink, span-at-a-time -- no
-  // intermediate vector, no per-record indirection.
+  // intermediate vector, no per-record indirection. The encode side packs
+  // the whole flush into one reused contiguous buffer (compiled
+  // EncodePlans, MTU-budgeted packets) instead of a vector per datagram.
   Collector collector(protocol_, sink_, anonymizer_);
-  for (const auto& d :
-       encode_datagrams(protocol_, batch_, batch_export_time(batch_))) {
-    collector.ingest(d);
-  }
+  const std::size_t n =
+      encode_batch_datagrams(protocol_, batch_, batch_export_time(batch_),
+                             packets_);
+  for (std::size_t i = 0; i < n; ++i) collector.ingest(packets_.packet(i));
   stats_ += collector.stats();
   batch_.clear();
 }

@@ -17,6 +17,7 @@
 #include "flow/ipfix.hpp"
 #include "flow/netflow_v5.hpp"
 #include "flow/netflow_v9.hpp"
+#include "flow/packet_arena.hpp"
 
 namespace lockdown::flow {
 
@@ -150,6 +151,17 @@ class Collector {
     net::Timestamp export_time, const Anonymizer* anonymizer = nullptr,
     CollectorStats* stats_out = nullptr);
 
+/// Encode `records` into `out` (cleared first) with a fresh encoder of the
+/// protocol -- the compiled encode_batch path, one contiguous buffer for
+/// the whole flush instead of a vector<vector> per datagram. Default
+/// EncodeLimits budget every packet to the 1500-byte MTU; pass
+/// EncodeLimits::unbudgeted() for the legacy protocol-default chunking.
+/// Returns the number of datagrams written.
+std::size_t encode_batch_datagrams(ExportProtocol protocol,
+                                   std::span<const FlowRecord> records,
+                                   net::Timestamp export_time, PacketBatch& out,
+                                   const EncodeLimits& limits = {});
+
 /// The natural export timestamp of a batch: just after its newest flow
 /// start (sysUptime-relative encodings lose flows stamped later than the
 /// export instant, so export after everything in the batch).
@@ -205,6 +217,7 @@ class ExportPump {
   const Anonymizer* anonymizer_;
   std::size_t batch_size_;
   std::vector<FlowRecord> batch_;
+  PacketBatch packets_;  // reused across flushes; capacity persists
   CollectorStats stats_;
 };
 

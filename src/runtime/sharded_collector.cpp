@@ -64,7 +64,8 @@ ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
                          .ring_capacity = config.ring_capacity,
                          .metrics = config.metrics != nullptr
                                         ? &collector_metrics_
-                                        : nullptr},
+                                        : nullptr,
+                         .recycle = &arena_},
             sink ? std::move(sink)
                  : ShardBatchSink([this](std::size_t shard,
                                          std::span<const flow::FlowRecord> batch) {
@@ -87,9 +88,12 @@ std::size_t ShardedCollector::shard_of(
 bool ShardedCollector::ingest(std::span<const std::uint8_t> datagram) {
   stats_.note_wire_datagram();
   const std::size_t shard = shard_of(datagram);
-  std::vector<std::uint8_t> copy(datagram.begin(), datagram.end());
+  std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());
+  copy.assign(datagram.begin(), datagram.end());
   if (!pool_.submit(shard, std::move(copy))) {
     stats_.shard(shard).dropped.fetch_add(1, std::memory_order_relaxed);
+    // A dropped datagram's buffer is still reusable -- pool it again.
+    arena_.release(std::move(copy));
     return false;
   }
   return true;
@@ -98,7 +102,8 @@ bool ShardedCollector::ingest(std::span<const std::uint8_t> datagram) {
 void ShardedCollector::ingest_wait(std::span<const std::uint8_t> datagram) {
   stats_.note_wire_datagram();
   const std::size_t shard = shard_of(datagram);
-  std::vector<std::uint8_t> copy(datagram.begin(), datagram.end());
+  std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());
+  copy.assign(datagram.begin(), datagram.end());
   unsigned idle = 0;
   while (!pool_.submit(shard, std::move(copy))) {
     // submit() leaves `copy` intact on failure.

@@ -96,6 +96,12 @@ class ShardedCollector {
   [[nodiscard]] EngineSnapshot engine_snapshot() const { return stats_.snapshot(); }
   [[nodiscard]] std::size_t shards() const noexcept { return pool_.shards(); }
 
+  /// Datagram-buffer pool accounting: in steady state `reused` tracks
+  /// `acquired` and the wire thread stops allocating per datagram.
+  [[nodiscard]] flow::PacketArena::Stats arena_stats() const {
+    return arena_.stats();
+  }
+
   /// Collect mode only, after finish(): the per-shard record streams
   /// concatenated in shard order. Deterministic for a given datagram
   /// sequence and shard count (each shard preserves wire order). Clears
@@ -105,6 +111,10 @@ class ShardedCollector {
  private:
   ShardedCollectorConfig config_;
   EngineStats stats_;
+  /// Recycles datagram buffers between the wire thread (acquire on ingest)
+  /// and the shard workers (release after decode). Must precede pool_ --
+  /// workers release into it until they join.
+  flow::PacketArena arena_;
   /// Bound against config.metrics (empty handles otherwise); shared by
   /// every shard's Collector. Must precede pool_ (workers capture it).
   flow::CollectorMetrics collector_metrics_;

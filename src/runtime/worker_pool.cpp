@@ -35,7 +35,7 @@ void backoff(unsigned idle_rounds) {
 
 WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
                        ShardBatchSink sink, EngineStats& stats)
-    : sink_(std::move(sink)), stats_(&stats) {
+    : sink_(std::move(sink)), stats_(&stats), recycle_(config.recycle) {
   if (shards == 0) throw std::invalid_argument("WorkerPool: zero shards");
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
@@ -98,18 +98,25 @@ void WorkerPool::run(Shard& shard, std::size_t index) {
     }
   };
 
+  // Consumed buffers go back to the producer's arena (when configured) so
+  // the steady state stops allocating per datagram.
+  auto consume = [&](std::vector<std::uint8_t>&& datagram) {
+    process(datagram);
+    if (recycle_ != nullptr) recycle_->release(std::move(datagram));
+  };
+
   unsigned idle = 0;
   for (;;) {
     if (auto datagram = shard.ring.try_pop()) {
       idle = 0;
-      process(*datagram);
+      consume(std::move(*datagram));
       continue;
     }
     if (stopping_.load(std::memory_order_acquire)) {
       // finish() is only called once every submit has happened, so the
       // acquire above makes any datagram still in flight visible: drain to
       // empty, then exit.
-      while (auto datagram = shard.ring.try_pop()) process(*datagram);
+      while (auto datagram = shard.ring.try_pop()) consume(std::move(*datagram));
       return;
     }
     backoff(idle++);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "flow/anonymizer.hpp"
+#include "flow/packet_arena.hpp"
 #include "flow/pipeline.hpp"
 #include "runtime/engine_stats.hpp"
 #include "runtime/spsc_ring.hpp"
@@ -37,6 +38,10 @@ struct WorkerConfig {
   /// Optional registry binding shared by every shard's Collector (handles
   /// are atomic). Must outlive the pool.
   const flow::CollectorMetrics* metrics = nullptr;
+  /// When set, workers return each consumed datagram buffer here instead
+  /// of freeing it, so the producer's next acquire() reuses the
+  /// allocation. Must outlive the pool.
+  flow::PacketArena* recycle = nullptr;
 };
 
 class WorkerPool {
@@ -73,6 +78,7 @@ class WorkerPool {
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardBatchSink sink_;
   EngineStats* stats_;
+  flow::PacketArena* recycle_;
   std::atomic<bool> stopping_{false};
   bool finished_ = false;
 };

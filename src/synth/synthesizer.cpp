@@ -1,9 +1,14 @@
 #include "synth/synthesizer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
 
+#include "util/counter_rng.hpp"
 #include "util/rng.hpp"
 
 namespace lockdown::synth {
@@ -27,11 +32,93 @@ void FlowSynthesizer::synthesize(net::TimeRange range, const Sink& sink) const {
       range.end.seconds() % net::kSecondsPerHour != 0) {
     throw std::invalid_argument("FlowSynthesizer: range must be hour-aligned");
   }
+
+  // The unit of work is one (component, hour) cell, listed in the
+  // sequential visit order (hour outer, component inner). A cell's record
+  // stream depends only on (seed, salt, component, hour) -- see
+  // emit_component_hour -- so cells can be produced on any thread as long
+  // as delivery keeps this order.
+  struct Cell {
+    const TrafficComponent* component;
+    Timestamp hour;
+  };
+  std::vector<Cell> cells;
   for (Timestamp h = range.begin; h < range.end; h = h.plus(net::kSecondsPerHour)) {
     for (const TrafficComponent& c : model_.components()) {
-      emit_component_hour(c, h, sink);
+      cells.push_back({&c, h});
     }
   }
+
+  const std::size_t threads = std::min<std::size_t>(
+      config_.gen_threads == 0 ? 1 : config_.gen_threads, cells.size());
+  if (threads <= 1) {
+    for (const Cell& cell : cells) {
+      emit_component_hour(*cell.component, cell.hour, sink);
+    }
+    return;
+  }
+
+  // One slot per cell; the window bounds how far production may run ahead
+  // of delivery, so a fast pool never buffers the whole range.
+  struct Slot {
+    std::vector<FlowRecord> records;
+    std::atomic<bool> done{false};
+  };
+  std::vector<Slot> slots(cells.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> consumed{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const std::size_t window = threads * 4;
+
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      unsigned idle = 0;
+      while (i >= consumed.load(std::memory_order_acquire) + window) {
+        if (failed.load(std::memory_order_acquire)) return;
+        if (++idle >= 64) std::this_thread::yield();
+      }
+      Slot& slot = slots[i];
+      try {
+        emit_component_hour(
+            *cells[i].component, cells[i].hour,
+            [&slot](const FlowRecord& r) { slot.records.push_back(r); });
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+      }
+      slot.done.store(true, std::memory_order_release);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+
+  for (std::size_t i = 0; i < cells.size() && !failed.load(std::memory_order_acquire);
+       ++i) {
+    Slot& slot = slots[i];
+    unsigned idle = 0;
+    while (!slot.done.load(std::memory_order_acquire)) {
+      if (failed.load(std::memory_order_acquire)) break;
+      if (++idle >= 64) std::this_thread::yield();
+    }
+    // A worker that saw `failed` at the window gate exits without filling
+    // its claimed slot -- never read such a slot.
+    if (!slot.done.load(std::memory_order_acquire)) break;
+    for (const FlowRecord& r : slot.records) sink(r);
+    slot.records = {};  // release the cell's memory as delivery advances
+    consumed.store(i + 1, std::memory_order_release);
+  }
+  // On failure, unclaimed cells may still be waited on by workers at the
+  // window gate; `failed` releases them.
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
 }
 
 std::vector<FlowRecord> FlowSynthesizer::collect(net::TimeRange range) const {
@@ -66,11 +153,11 @@ void FlowSynthesizer::emit_component_hour(const TrafficComponent& c,
   const auto n_conn = static_cast<std::size_t>(std::lround(n_conn_f));
   if (n_conn == 0) return;
 
-  // Deterministic stream per (model seed, salt, component, hour).
+  // Deterministic stream per (model seed, salt, component, hour) -- the
+  // independence that lets synthesize() fill cells on any thread.
   const std::uint64_t cid = util::splitmix64(std::hash<std::string>{}(c.id));
-  util::Rng rng(util::hash_combine(
-      util::hash_combine(util::hash_combine(model_.seed(), config_.seed_salt), cid),
-      static_cast<std::uint64_t>(hour_start.seconds())));
+  util::Rng rng(util::stream_seed(model_.seed(), config_.seed_salt, cid,
+                                  static_cast<std::uint64_t>(hour_start.seconds())));
 
   // Draw relative connection sizes, then scale so totals match exactly.
   std::vector<double> weights(n_conn);

@@ -34,6 +34,12 @@ struct SynthesisConfig {
   /// Extra seed folded into the model seed (lets tests draw independent
   /// replicas of the same scenario).
   std::uint64_t seed_salt = 0;
+  /// Generator threads for synthesize()/collect(); 0 or 1 = generate
+  /// inline on the calling thread. The record stream is byte-identical
+  /// for any value: each (component, hour) cell seeds its own RNG stream
+  /// from (seed, salt, component, hour) alone, workers fill cells out of
+  /// order, and delivery to the sink follows the sequential visit order.
+  std::size_t gen_threads = 1;
 };
 
 class FlowSynthesizer {
@@ -44,7 +50,9 @@ class FlowSynthesizer {
                   SynthesisConfig config = {});
 
   /// Synthesize all flows with first-timestamps in [range.begin, range.end).
-  /// The range must be hour-aligned.
+  /// The range must be hour-aligned. With config.gen_threads > 1 the
+  /// (component, hour) cells are generated on a worker pool and delivered
+  /// in order; `sink` always runs on the calling thread.
   void synthesize(net::TimeRange range, const Sink& sink) const;
 
   /// Convenience: collect into a vector.

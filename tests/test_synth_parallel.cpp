@@ -1,0 +1,189 @@
+// Parallel deterministic synthesis (SynthesisConfig::gen_threads) and the
+// counter-based RNG substrate it seeds from: the record stream -- and the
+// export byte stream built from it -- must be identical for any thread
+// count, and stream_seed() must reproduce the hash_combine chains it
+// replaced bit for bit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "flow/ipfix.hpp"
+#include "flow/packet_arena.hpp"
+#include "flow/pipeline.hpp"
+#include "synth/synthesizer.hpp"
+#include "synth/vantage.hpp"
+#include "util/counter_rng.hpp"
+#include "util/rng.hpp"
+
+namespace lockdown::synth {
+namespace {
+
+using net::Date;
+using net::TimeRange;
+using net::Timestamp;
+
+std::vector<flow::FlowRecord> collect_with_threads(const AsRegistry& registry,
+                                                   std::size_t gen_threads) {
+  const auto ixp = build_vantage(VantagePointId::kIxpCe, registry, {.seed = 42});
+  const FlowSynthesizer synth(
+      ixp.model, registry,
+      {.connections_per_hour = 300, .gen_threads = gen_threads});
+  const TimeRange range{Timestamp::from_date(Date(2020, 3, 25), 17),
+                        Timestamp::from_date(Date(2020, 3, 25), 23)};
+  return synth.collect(range);
+}
+
+TEST(SynthParallel, AnyThreadCountProducesTheSingleThreadedStream) {
+  const auto registry = AsRegistry::create_default();
+  const auto reference = collect_with_threads(registry, 1);
+  ASSERT_FALSE(reference.empty());
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{3}, std::size_t{4},
+                                    std::size_t{7}}) {
+    const auto parallel = collect_with_threads(registry, threads);
+    // Record-for-record equality in delivery order -- the determinism
+    // contract: cells are seeded by coordinates, delivered sequentially.
+    EXPECT_EQ(parallel, reference) << "gen_threads=" << threads;
+  }
+}
+
+TEST(SynthParallel, ExportByteStreamIsIdenticalAcrossThreadCounts) {
+  // The end-to-end claim behind --gen-threads: batch the synthesized
+  // stream through the wire encoder and the resulting datagram bytes --
+  // not just the records -- match the single-threaded run exactly.
+  const auto registry = AsRegistry::create_default();
+  const auto wire_bytes = [&](std::size_t gen_threads) {
+    const auto ixp = build_vantage(VantagePointId::kIxpCe, registry, {.seed = 7});
+    const FlowSynthesizer synth(
+        ixp.model, registry,
+        {.connections_per_hour = 200, .gen_threads = gen_threads});
+    flow::IpfixEncoder encoder(900);
+    flow::PacketBatch packets;
+    std::vector<std::uint8_t> wire;
+    std::vector<flow::FlowRecord> batch;
+    const auto ship = [&] {
+      if (batch.empty()) return;
+      packets.clear();
+      encoder.encode_batch(batch, flow::batch_export_time(batch), packets);
+      for (std::size_t i = 0; i < packets.size(); ++i) {
+        const auto p = packets.packet(i);
+        wire.insert(wire.end(), p.begin(), p.end());
+      }
+      batch.clear();
+    };
+    synth.synthesize(TimeRange{Timestamp::from_date(Date(2020, 3, 25), 19),
+                               Timestamp::from_date(Date(2020, 3, 25), 21)},
+                     [&](const flow::FlowRecord& r) {
+                       batch.push_back(r);
+                       if (batch.size() == 48) ship();
+                     });
+    ship();
+    return wire;
+  };
+  const auto reference = wire_bytes(1);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(wire_bytes(4), reference);
+}
+
+TEST(SynthParallel, SinkAlwaysRunsOnTheCallingThread) {
+  // The pool produces; delivery stays on the caller. Sinks may touch
+  // caller-thread state (encoders, batch buffers) without locks.
+  const auto registry = AsRegistry::create_default();
+  const auto ixp = build_vantage(VantagePointId::kIxpCe, registry, {.seed = 9});
+  const FlowSynthesizer synth(ixp.model, registry,
+                              {.connections_per_hour = 100, .gen_threads = 4});
+  const auto caller = std::this_thread::get_id();
+  std::size_t records = 0;
+  bool foreign_thread = false;
+  synth.synthesize(TimeRange{Timestamp::from_date(Date(2020, 3, 25), 19),
+                             Timestamp::from_date(Date(2020, 3, 25), 20)},
+                   [&](const flow::FlowRecord&) {
+                     ++records;
+                     if (std::this_thread::get_id() != caller) foreign_thread = true;
+                   });
+  EXPECT_GT(records, 0u);
+  EXPECT_FALSE(foreign_thread);
+}
+
+TEST(SynthParallel, ThreadCountExceedingCellsIsHarmless) {
+  // One hour, small component set: more workers than cells must neither
+  // deadlock nor duplicate cells.
+  const auto registry = AsRegistry::create_default();
+  const auto ixp = build_vantage(VantagePointId::kIxpCe, registry, {.seed = 11});
+  const TimeRange range{Timestamp::from_date(Date(2020, 3, 25), 12),
+                        Timestamp::from_date(Date(2020, 3, 25), 13)};
+  const FlowSynthesizer one(ixp.model, registry,
+                            {.connections_per_hour = 50, .gen_threads = 1});
+  const FlowSynthesizer many(ixp.model, registry,
+                             {.connections_per_hour = 50, .gen_threads = 64});
+  EXPECT_EQ(many.collect(range), one.collect(range));
+}
+
+// --- the seed-derivation substrate -------------------------------------------
+
+TEST(CounterRng, StreamSeedReproducesTheHashCombineChain) {
+  // stream_seed() replaced spelled-out hash_combine chains at the synth
+  // call sites; scenario output stays unchanged only if the fold is
+  // bit-identical for every arity.
+  const std::uint64_t seed = 0x5eed;
+  const std::uint64_t a = 17, b = 0xdeadbeef, c = 1'585'000'000;
+  EXPECT_EQ(util::stream_seed(seed), seed);
+  EXPECT_EQ(util::stream_seed(seed, a), util::hash_combine(seed, a));
+  EXPECT_EQ(util::stream_seed(seed, a, b),
+            util::hash_combine(util::hash_combine(seed, a), b));
+  EXPECT_EQ(util::stream_seed(seed, a, b, c),
+            util::hash_combine(util::hash_combine(util::hash_combine(seed, a), b), c));
+}
+
+TEST(CounterRng, RandomAccessMatchesSequentialDraws) {
+  util::CounterRng sequential(0xabcdef);
+  const util::CounterRng indexed(0xabcdef);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(sequential(), indexed.at(i)) << i;
+  }
+  util::CounterRng skipped(0xabcdef);
+  skipped.discard(57);
+  EXPECT_EQ(skipped(), indexed.at(57));
+  EXPECT_EQ(skipped.counter(), 58u);
+}
+
+TEST(CounterRng, NearbyStreamsAreDecorrelated) {
+  // Streams whose seeds differ in one low bit (the common case when seeds
+  // are small coordinates) must not echo each other at equal counters.
+  const util::CounterRng a(2), b(3);
+  int equal = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a.at(i) == b.at(i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(CounterRng, UniformCoversTheUnitInterval) {
+  util::CounterRng rng(99);
+  double sum = 0.0;
+  double lo = 1.0, hi = 0.0;
+  constexpr int kDraws = 10'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(CounterRng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<util::CounterRng>);
+  EXPECT_EQ(util::CounterRng::min(), 0u);
+  EXPECT_EQ(util::CounterRng::max(), ~0ull);
+}
+
+}  // namespace
+}  // namespace lockdown::synth
