@@ -21,19 +21,37 @@
 // worker threads; the delivered stream (and thus every datagram) is
 // byte-identical to the single-threaded one.
 //
+// With --listen PORT the process becomes an inspectable service: an HTTP
+// exposer serves GET /metrics (live Prometheus text), GET /healthz (shard
+// liveness, ring occupancy, sequence loss as JSON), and GET /trace?ms=N
+// (capture N ms of pipeline spans as Chrome Trace Event JSON). --listen
+// implies --metrics. --trace-out FILE writes the whole run's span trace to
+// FILE at exit (load it in Perfetto / chrome://tracing); --linger-ms N
+// keeps the exposer serving for N ms after the run so external scrapers
+// can catch a short-lived process.
+//
 //   $ ./live_collector [output-dir] [--shards N] [--gen-threads N] [--metrics]
+//                      [--listen PORT] [--trace-out FILE] [--linger-ms N]
+#include <array>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 
+#include "analysis/app_filter.hpp"
+#include "analysis/as_view.hpp"
 #include "analysis/volume.hpp"
 #include "flow/collector_daemon.hpp"
 #include "flow/ipfix.hpp"
 #include "flow/trace_file.hpp"
 #include "flow/udp_transport.hpp"
+#include "obs/http_exposer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "runtime/sharded_daemon.hpp"
 #include "synth/synthesizer.hpp"
 #include "synth/vantage.hpp"
@@ -47,6 +65,9 @@ int main(int argc, char** argv) {
   std::size_t shards = 0;  // 0 = classic single-threaded daemon
   std::size_t gen_threads = 1;
   bool metrics_enabled = false;
+  int listen_port = -1;  // -1 = no exposer
+  std::string trace_out;
+  long linger_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--shards" && i + 1 < argc) {
@@ -55,6 +76,13 @@ int main(int argc, char** argv) {
       gen_threads = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (arg == "--metrics") {
       metrics_enabled = true;
+    } else if (arg == "--listen" && i + 1 < argc) {
+      listen_port = std::atoi(argv[++i]);
+      metrics_enabled = true;  // a scrape endpoint without metrics is empty
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--linger-ms" && i + 1 < argc) {
+      linger_ms = std::atol(argv[++i]);
     } else {
       out_dir = arg;
     }
@@ -62,6 +90,7 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out_dir);
   obs::Registry obs_registry;
   obs::Registry* metrics = metrics_enabled ? &obs_registry : nullptr;
+  obs::Tracer::instance().set_this_thread_name("wire");
 
   // --- Collector side ------------------------------------------------------
   // 1 MiB socket buffer: the wire thread shares a core with the exporter
@@ -115,6 +144,62 @@ int main(int argc, char** argv) {
     }
   };
 
+  // --- Observability endpoint ----------------------------------------------
+  // The health and scrape callbacks run on the exposer's listener thread
+  // while the pipeline runs, so they only touch thread-safe state: the
+  // registry (mutex), EngineStats snapshots (atomics), arena stats (mutex),
+  // and the tracer (lock-free rings + mutex).
+  std::unique_ptr<obs::HttpExposer> exposer;
+  if (listen_port >= 0) {
+    obs::HttpExposerConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(listen_port);
+    cfg.registry = &obs_registry;
+    cfg.health = [&]() {
+      std::string j = "{\"status\":\"ok\",\"mode\":\"";
+      j += sharded ? "sharded" : "single";
+      j += '"';
+      if (sharded) {
+        const runtime::EngineSnapshot e = sharded->engine_snapshot();
+        j += ",\"wire_datagrams\":" + std::to_string(e.wire_datagrams);
+        j += ",\"records\":" + std::to_string(e.records);
+        j += ",\"sequence_lost\":" + std::to_string(e.sequence_lost);
+        j += ",\"ring_dropped\":" + std::to_string(e.dropped);
+        j += ",\"queue_high_water\":" + std::to_string(e.queue_high_water);
+        j += ",\"shards\":[";
+        for (std::size_t i = 0; i < e.shards.size(); ++i) {
+          if (i > 0) j += ',';
+          j += "{\"datagrams\":" + std::to_string(e.shards[i].datagrams);
+          j += ",\"records\":" + std::to_string(e.shards[i].records);
+          j += ",\"queue_high_water\":" +
+               std::to_string(e.shards[i].queue_high_water);
+          j += '}';
+        }
+        j += ']';
+      }
+      j += ",\"trace_threads\":" +
+           std::to_string(obs::Tracer::instance().threads());
+      j += ",\"trace_dropped_spans\":" +
+           std::to_string(obs::Tracer::instance().dropped());
+      j += "}\n";
+      return j;
+    };
+    cfg.before_scrape = [&]() {
+      if (sharded) {
+        runtime::publish_engine_snapshot(obs_registry,
+                                         sharded->engine_snapshot());
+        flow::publish_arena_stats(obs_registry, sharded->arena_stats());
+      }
+    };
+    exposer = obs::HttpExposer::create(std::move(cfg));
+    if (!exposer) {
+      std::cerr << "error: cannot bind 127.0.0.1:" << listen_port
+                << " for the observability endpoint\n";
+      return 1;
+    }
+    std::cout << "observability endpoint on http://127.0.0.1:"
+              << exposer->port() << " (/metrics /healthz /trace?ms=N)\n";
+  }
+
   // --- Exporter side ---------------------------------------------------------
   auto exporter = flow::UdpExporterTransport::create(transport->port());
   if (!exporter) {
@@ -132,7 +217,14 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "streaming two hours of lockdown-evening IXP traffic...\n";
-  flow::IpfixEncoder encoder(/*observation_domain=*/900);
+  // Four observation domains, round-robin per batch: the sharded runtime
+  // keys its shard routing on the export source, so a single domain would
+  // funnel every datagram into one shard. Four domains behave like four
+  // routers behind one collector and actually exercise the fan-out.
+  std::array<flow::IpfixEncoder, 4> encoders{
+      flow::IpfixEncoder(900), flow::IpfixEncoder(901), flow::IpfixEncoder(902),
+      flow::IpfixEncoder(903)};
+  std::size_t next_encoder = 0;
   flow::PacketBatch packets;  // reused across ships; capacity persists
   std::vector<flow::FlowRecord> batch;
   std::size_t ships = 0;
@@ -156,6 +248,8 @@ int main(int argc, char** argv) {
     // keep every datagram under the 1500-byte MTU (the per-field encode()
     // could emit 1920-byte messages for IPv6-heavy chunks).
     packets.clear();
+    flow::IpfixEncoder& encoder = encoders[next_encoder];
+    next_encoder = (next_encoder + 1) % encoders.size();
     encoder.encode_batch(batch, flow::batch_export_time(batch), packets);
     for (std::size_t i = 0; i < packets.size(); ++i) {
       exporter->send(packets.packet(i));
@@ -163,8 +257,13 @@ int main(int argc, char** argv) {
     batch.clear();
     // Drain the wire as we go (single-threaded poll loop on this side).
     (void)transport->drain(ingest);
-    // Periodic observability heartbeat, the live analogue of a scrape.
-    if (metrics != nullptr && (++ships & 1023) == 0) metrics_line();
+    // Periodic observability heartbeat, the live analogue of a scrape. The
+    // kernel-drop gauge is published here because kernel_drops() is
+    // maintained by this (the draining) thread, not by scrape handlers.
+    if (metrics != nullptr && (++ships & 1023) == 0) {
+      flow::publish_udp_stats(obs_registry, *transport);
+      metrics_line();
+    }
   };
   synth.synthesize(
       net::TimeRange{net::Timestamp::from_date(net::Date(2020, 3, 25), 19),
@@ -211,9 +310,11 @@ int main(int argc, char** argv) {
     std::cout << "\n";
     if (metrics != nullptr) {
       runtime::publish_engine_snapshot(obs_registry, engine);
+      flow::publish_arena_stats(obs_registry, sharded->arena_stats());
     }
   }
   if (metrics != nullptr) {
+    flow::publish_udp_stats(obs_registry, *transport);
     metrics_line();
     std::cout << "\n--- end-of-run metrics dump (Prometheus text format) ---\n"
               << obs_registry.expose_text()
@@ -223,17 +324,51 @@ int main(int argc, char** argv) {
 
   // --- Analyst side -----------------------------------------------------------
   std::cout << "analyzing spooled slices from " << out_dir << ":\n";
+  const analysis::AppClassifier classifier = analysis::AppClassifier::table1();
+  const analysis::AsView as_view(registry.trie());
   analysis::VolumeAggregator volume(stats::Bucket::kHour);
+  std::size_t classified = 0, records_seen = 0;
   for (const auto& path : slice_paths) {
     const auto trace = flow::read_trace_file(path.string());
     if (!trace) continue;
     for (const auto& r : trace->records) volume.add(r);
+    records_seen += trace->records.size();
+    for (const auto& cls :
+         classifier.classify_batch(trace->records, as_view)) {
+      if (cls) ++classified;
+    }
   }
   for (const auto& [hour, bytes] : volume.series().points()) {
     std::cout << "  " << hour.to_string() << "  "
               << util::format_bytes(bytes) << "\n";
   }
+  std::cout << "  app-classified " << classified << " of " << records_seen
+            << " records (Table 1 filters)\n";
   std::cout << "\n(the analyst never saw a raw address: slices were\n"
             << " prefix-preservingly anonymized at the collector)\n";
+
+  // --- Span trace export ------------------------------------------------------
+  // Written after the analyst pass so the trace covers every stage: wire
+  // ingest, shard decode, classification, and the encode side.
+  if (!trace_out.empty()) {
+    const std::string json = obs::Tracer::instance().chrome_json();
+    std::FILE* f = std::fopen(trace_out.c_str(), "wb");
+    if (f == nullptr) {
+      std::cerr << "error: cannot write trace to " << trace_out << "\n";
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::cout << "span trace written to " << trace_out
+              << " (load in Perfetto or chrome://tracing)\n";
+  }
+
+  if (exposer && linger_ms > 0) {
+    std::cout << "lingering " << linger_ms
+              << " ms for external scrapers (port " << exposer->port()
+              << ")...\n"
+              << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(linger_ms));
+  }
   return 0;
 }

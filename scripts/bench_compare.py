@@ -44,6 +44,13 @@ PAIRS = [
      "BM_EncodeBatchV9", 3.5, "encode plan (NetFlow v9)"),
     ("BENCH_bench_flow_encode_plan.json", "BM_EncodeReferenceIpfix",
      "BM_EncodeBatchIpfix", 3.5, "encode plan (IPFIX mixed)"),
+    # Tracer overhead gate: a disabled TRACE_SPAN must stay dramatically
+    # cheaper than an enabled one (~32x on the baseline machine; enabled is
+    # dominated by two steady_clock reads). If this ratio collapses, the
+    # disabled path grew real work and the always-on instrumentation in the
+    # per-datagram hot loops is no longer free.
+    ("BENCH_bench_obs_trace.json", "BM_SpanEnabled",
+     "BM_SpanDisabled", 2.5, "trace span (disabled vs enabled)"),
 ]
 
 

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace lockdown::analysis {
 
 using flow::IpProtocol;
@@ -154,6 +156,7 @@ std::optional<AppClass> AppClassifier::classify(const flow::FlowRecord& r,
 void AppClassifier::classify_batch(std::span<const flow::FlowRecord> records,
                                    const AsView& view,
                                    std::span<std::optional<AppClass>> out) const {
+  TRACE_SPAN_ARG("classify", "classify.batch", records.size());
   for (std::size_t i = 0; i < records.size(); ++i) {
     out[i] = classify(records[i], view);
   }

@@ -6,6 +6,7 @@
 #include "flow/encode_plan.hpp"
 #include "flow/field_codec.hpp"
 #include "flow/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace lockdown::flow {
 
@@ -84,6 +85,7 @@ std::size_t IpfixEncoder::encode_batch(std::span<const FlowRecord> records,
                                        net::Timestamp export_time,
                                        PacketBatch& out,
                                        const EncodeLimits& limits) {
+  TRACE_SPAN_ARG("encode", "ipfix.encode_batch", records.size());
   const TemplateRecord t4 = ipfix_v4_template();
   const TemplateRecord t6 = ipfix_v6_template();
   const EncodePlan p4 = EncodePlan::compile(t4);
@@ -191,6 +193,7 @@ std::vector<std::uint8_t> IpfixEncoder::encode_template_withdrawal(
 
 std::optional<IpfixMessage> IpfixDecoder::decode(
     std::span<const std::uint8_t> message) {
+  TRACE_SPAN_ARG("decode", "ipfix.decode", message.size());
   const auto fail = [this](DecodeError e) {
     last_error_ = e;
     return std::nullopt;

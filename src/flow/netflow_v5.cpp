@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "flow/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace lockdown::flow {
 
@@ -125,6 +126,7 @@ std::size_t NetflowV5Encoder::encode_batch(std::span<const FlowRecord> records,
                                            net::Timestamp export_time,
                                            PacketBatch& out,
                                            const EncodeLimits& limits) {
+  TRACE_SPAN_ARG("encode", "v5.encode_batch", records.size());
   for (const FlowRecord& r : records) {
     if (!r.src_addr.is_v4() || !r.dst_addr.is_v4()) {
       throw std::invalid_argument("NetFlow v5 cannot carry IPv6 flows");
@@ -234,6 +236,7 @@ std::optional<NetflowV5Packet> decode_netflow_v5(
 
 std::optional<NetflowV5Packet> NetflowV5Decoder::decode(
     std::span<const std::uint8_t> packet) noexcept {
+  TRACE_SPAN_ARG("decode", "v5.decode", packet.size());
   auto out = decode_netflow_v5(packet, &last_error_);
   if (!out) return out;
   const std::uint16_t engine =

@@ -6,6 +6,7 @@
 #include "flow/encode_plan.hpp"
 #include "flow/field_codec.hpp"
 #include "flow/wire.hpp"
+#include "obs/trace.hpp"
 
 namespace lockdown::flow {
 
@@ -95,6 +96,7 @@ std::size_t NetflowV9Encoder::encode_batch(std::span<const FlowRecord> records,
                                            net::Timestamp export_time,
                                            PacketBatch& out,
                                            const EncodeLimits& limits) {
+  TRACE_SPAN_ARG("encode", "v9.encode_batch", records.size());
   for (const FlowRecord& r : records) {
     if (r.src_addr.is_v6() || r.dst_addr.is_v6()) {
       throw std::invalid_argument(
@@ -208,6 +210,7 @@ std::vector<std::uint8_t> NetflowV9Encoder::encode_sampling_options(
 
 std::optional<NetflowV9Packet> NetflowV9Decoder::decode(
     std::span<const std::uint8_t> packet) {
+  TRACE_SPAN_ARG("decode", "v9.decode", packet.size());
   const auto fail = [this](DecodeError e) {
     last_error_ = e;
     return std::nullopt;

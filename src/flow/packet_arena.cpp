@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/metrics.hpp"
+
 namespace lockdown::flow {
 
 std::size_t PacketArena::class_of(std::size_t size) noexcept {
@@ -45,6 +47,28 @@ void PacketArena::release(std::vector<std::uint8_t>&& buf) {
 PacketArena::Stats PacketArena::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+void publish_arena_stats(obs::Registry& registry,
+                         const PacketArena::Stats& s) {
+  registry
+      .gauge("packet_arena_acquired", {}, "Total PacketArena acquire() calls")
+      .set(static_cast<double>(s.acquired));
+  registry
+      .gauge("packet_arena_reused", {},
+             "Acquires served from the pool instead of allocating")
+      .set(static_cast<double>(s.reused));
+  registry
+      .gauge("packet_arena_released", {}, "Total PacketArena release() calls")
+      .set(static_cast<double>(s.released));
+  registry
+      .gauge("packet_arena_discarded", {},
+             "Releases dropped because the size class was full")
+      .set(static_cast<double>(s.discarded));
+}
+
+void publish_arena_stats(obs::Registry& registry, const PacketArena& arena) {
+  publish_arena_stats(registry, arena.stats());
 }
 
 }  // namespace lockdown::flow

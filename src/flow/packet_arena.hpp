@@ -27,6 +27,10 @@
 #include <span>
 #include <vector>
 
+namespace lockdown::obs {
+class Registry;
+}
+
 namespace lockdown::flow {
 
 /// Conventional Ethernet-path datagram budget. The IPFIX exporter's
@@ -169,5 +173,15 @@ class PacketArena {
   std::size_t per_class_cap_;
   Stats stats_;
 };
+
+/// Publish arena reuse/miss stats as registry gauges
+/// (`packet_arena_{acquired,reused,released,discarded}`), making buffer
+/// recycling effectiveness scrapeable. The Stats overload serves callers
+/// that only see a snapshot (e.g. through a daemon facade); the arena
+/// overload snapshots under the arena mutex, so both are safe from any
+/// thread (a scrape hook included).
+void publish_arena_stats(obs::Registry& registry,
+                         const PacketArena::Stats& stats);
+void publish_arena_stats(obs::Registry& registry, const PacketArena& arena);
 
 }  // namespace lockdown::flow

@@ -2,6 +2,7 @@
 
 #include "flow/collector_metrics.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/arith.hpp"
 
 namespace lockdown::flow {
@@ -16,6 +17,7 @@ void Collector::note_malformed(DecodeError error) {
 
 void Collector::note_sequence(const SequenceTracker::Event& ev,
                               std::uint32_t units) {
+  TRACE_SPAN_ARG("shard", "seq.track", ev.lost);
   (void)units;
   stats_.sequence_lost += ev.lost;
   stats_.sequence_lost -= std::min(stats_.sequence_lost, ev.recovered);
@@ -183,6 +185,7 @@ net::Timestamp batch_export_time(std::span<const FlowRecord> records) {
 
 void ExportPump::flush() {
   if (batch_.empty()) return;
+  TRACE_SPAN_ARG("encode", "export.flush", batch_.size());
   // Collected batches go straight to the sink, span-at-a-time -- no
   // intermediate vector, no per-record indirection. The encode side packs
   // the whole flush into one reused contiguous buffer (compiled

@@ -10,6 +10,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace lockdown::flow {
 
 UdpSocket::~UdpSocket() {
@@ -139,12 +142,32 @@ std::optional<UdpCollectorTransport> UdpCollectorTransport::create(
 }
 
 std::size_t UdpCollectorTransport::drain(const Handler& handler) {
+  static const std::uint32_t span_id =
+      obs::Tracer::instance().intern("wire", "wire.drain");
+  const std::uint64_t t0 = obs::trace_now_ns();
   std::size_t count = 0;
   while (auto datagram = socket_.receive()) {
     handler(*datagram);
     ++count;
   }
+  // An empty drain is an idle poll; spamming those would wrap the ring and
+  // bury real work, so only batches that moved datagrams get a span.
+  if (count > 0) {
+    obs::Tracer::instance().emit(span_id, t0, obs::trace_now_ns(), count);
+  }
   return count;
+}
+
+void publish_udp_stats(obs::Registry& registry,
+                       const UdpCollectorTransport& transport) {
+  registry
+      .gauge("collector_udp_kernel_drops", {},
+             "Datagrams dropped by the kernel receive queue (SO_RXQ_OVFL)")
+      .set(static_cast<double>(transport.kernel_drops()));
+  registry
+      .gauge("collector_udp_rcvbuf_bytes", {},
+             "Granted SO_RCVBUF size of the collector socket")
+      .set(static_cast<double>(transport.rcvbuf_bytes()));
 }
 
 }  // namespace lockdown::flow

@@ -19,6 +19,10 @@
 #include <span>
 #include <string>
 
+namespace lockdown::obs {
+class Registry;
+}
+
 namespace lockdown::flow {
 
 /// RAII wrapper around a bound UDP socket.
@@ -122,5 +126,13 @@ class UdpCollectorTransport {
   explicit UdpCollectorTransport(UdpSocket socket) : socket_(std::move(socket)) {}
   UdpSocket socket_;
 };
+
+/// Publish the transport's socket-level stats as registry gauges
+/// (`collector_udp_kernel_drops`, `collector_udp_rcvbuf_bytes`) so
+/// kernel-side losses show up in /metrics, not just in the stats struct.
+/// kernel_drops() is maintained by the draining thread, so call this from
+/// that thread (e.g. at heartbeat cadence), not from a scrape handler.
+void publish_udp_stats(obs::Registry& registry,
+                       const UdpCollectorTransport& transport);
 
 }  // namespace lockdown::flow

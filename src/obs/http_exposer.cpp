@@ -1,0 +1,209 @@
+#include "obs/http_exposer.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lockdown::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+constexpr int kAcceptPollMs = 100;   ///< stop() latency bound
+constexpr int kClientPollMs = 2000;  ///< per-read patience with a slow client
+
+struct Response {
+  int status = 200;
+  std::string_view content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+void send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to salvage
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+/// Read until the end of the request head ("\r\n\r\n"), a size cap, a
+/// timeout, or EOF. Request bodies are ignored (every route is GET).
+bool read_request_head(int fd, std::string& out) {
+  char buf[2048];
+  while (out.size() < kMaxRequestBytes) {
+    if (out.find("\r\n\r\n") != std::string::npos) return true;
+    pollfd p{fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, kClientPollMs);
+    if (ready <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return false;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out.find("\r\n\r\n") != std::string::npos;
+}
+
+/// The `ms` query parameter of a /trace target; `fallback` when absent or
+/// unparsable.
+std::uint64_t parse_ms_param(std::string_view target, std::uint64_t fallback) {
+  const auto q = target.find('?');
+  if (q == std::string_view::npos) return fallback;
+  std::string_view query = target.substr(q + 1);
+  while (!query.empty()) {
+    const auto amp = query.find('&');
+    const std::string_view pair =
+        amp == std::string_view::npos ? query : query.substr(0, amp);
+    query = amp == std::string_view::npos ? std::string_view{}
+                                          : query.substr(amp + 1);
+    if (pair.rfind("ms=", 0) != 0) continue;
+    const std::string_view value = pair.substr(3);
+    if (value.empty()) return fallback;
+    std::uint64_t ms = 0;
+    for (const char c : value) {
+      if (c < '0' || c > '9') return fallback;
+      ms = ms * 10 + static_cast<std::uint64_t>(c - '0');
+      if (ms > 1000000) return 1000000;
+    }
+    return ms;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+std::unique_ptr<HttpExposer> HttpExposer::create(HttpExposerConfig config) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config.port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<HttpExposer>(
+      new HttpExposer(std::move(config), fd, ntohs(bound.sin_port)));
+}
+
+HttpExposer::HttpExposer(HttpExposerConfig config, int listen_fd,
+                         std::uint16_t port)
+    : config_(std::move(config)), listen_fd_(listen_fd), port_(port) {
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpExposer::~HttpExposer() { stop(); }
+
+void HttpExposer::stop() {
+  if (stopping_.exchange(true)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExposer::serve() {
+  Tracer::instance().set_this_thread_name("http");
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, kAcceptPollMs);
+    if (ready <= 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void HttpExposer::handle_connection(int fd) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  std::string head;
+  Response resp;
+  if (!read_request_head(fd, head)) {
+    resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+  } else {
+    // Request line: METHOD SP TARGET SP VERSION.
+    const auto line_end = head.find("\r\n");
+    const std::string_view line = std::string_view(head).substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                   : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        line.substr(sp2 + 1).rfind("HTTP/1.", 0) != 0) {
+      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (line.substr(0, sp1) != "GET") {
+      resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string_view path = target.substr(0, target.find('?'));
+      if (path == "/metrics" && config_.registry != nullptr) {
+        if (config_.before_scrape) config_.before_scrape();
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = config_.registry->expose_text();
+      } else if (path == "/healthz") {
+        if (config_.before_scrape) config_.before_scrape();
+        resp.content_type = "application/json";
+        resp.body = config_.health ? config_.health() : "{\"status\":\"ok\"}\n";
+      } else if (path == "/trace") {
+        Tracer& tracer = config_.tracer != nullptr ? *config_.tracer
+                                                   : Tracer::instance();
+        auto window = std::chrono::milliseconds(parse_ms_param(target, 100));
+        if (window < std::chrono::milliseconds(1)) {
+          window = std::chrono::milliseconds(1);
+        }
+        if (window > config_.max_trace_window) window = config_.max_trace_window;
+        resp.content_type = "application/json";
+        resp.body = tracer.capture_chrome_json(window);
+      } else {
+        resp = {404, "text/plain; charset=utf-8", "not found\n"};
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(128 + resp.body.size());
+  out += "HTTP/1.1 ";
+  out += std::to_string(resp.status);
+  out += ' ';
+  out += reason_phrase(resp.status);
+  out += "\r\nContent-Type: ";
+  out += resp.content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(resp.body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += resp.body;
+  send_all(fd, out);
+}
+
+}  // namespace lockdown::obs

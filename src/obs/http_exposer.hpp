@@ -1,0 +1,89 @@
+// Minimal blocking HTTP/1.1 endpoint for live observability: a collector
+// process becomes scrapeable instead of only dumping metrics at exit.
+//
+// One listener thread accepts loopback connections and serves three
+// routes, one request per connection (Connection: close):
+//
+//   GET /metrics     Prometheus text exposition of the bound Registry
+//   GET /healthz     liveness JSON from a caller-supplied callback
+//   GET /trace?ms=N  capture N milliseconds of pipeline spans and return
+//                    them as Chrome Trace Event JSON (see obs/trace.hpp)
+//
+// No external dependencies, no worker pool: a metrics endpoint is scraped
+// every few seconds by one Prometheus, not hammered, so a single blocking
+// thread with a poll()-based accept loop is the whole server. A /trace
+// capture blocks that thread for its window -- scrapes queue behind it in
+// the kernel's accept backlog, which is the honest behavior for a
+// single-threaded exposer.
+//
+// Handlers run on the listener thread while the pipeline runs, so callback
+// implementations must only touch thread-safe state (the Registry and
+// Tracer are; EngineStats snapshots are -- see examples/live_collector).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace lockdown::obs {
+
+class Registry;
+class Tracer;
+
+struct HttpExposerConfig {
+  /// Port to bind on 127.0.0.1; 0 lets the kernel choose (see port()).
+  std::uint16_t port = 0;
+  /// Source of GET /metrics; when null the route answers 404.
+  Registry* registry = nullptr;
+  /// Source of GET /trace; defaults to Tracer::instance() when null.
+  Tracer* tracer = nullptr;
+  /// Body of GET /healthz (application/json). Default: {"status":"ok"}.
+  std::function<std::string()> health;
+  /// Invoked before rendering /metrics or /healthz, on the listener
+  /// thread: a hook for refreshing gauges at scrape time.
+  std::function<void()> before_scrape;
+  /// Upper clamp for /trace?ms=N capture windows.
+  std::chrono::milliseconds max_trace_window{10000};
+};
+
+class HttpExposer {
+ public:
+  /// Bind 127.0.0.1:port and start the listener thread. Null on bind
+  /// failure (port taken, no sockets).
+  [[nodiscard]] static std::unique_ptr<HttpExposer> create(
+      HttpExposerConfig config);
+
+  ~HttpExposer();
+  HttpExposer(const HttpExposer&) = delete;
+  HttpExposer& operator=(const HttpExposer&) = delete;
+
+  /// The bound port (the kernel's choice when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Requests served so far (any status), for tests and heartbeat lines.
+  [[nodiscard]] std::uint64_t requests() const noexcept {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stop accepting and join the listener thread. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+ private:
+  HttpExposer(HttpExposerConfig config, int listen_fd, std::uint16_t port);
+  void serve();
+  void handle_connection(int fd);
+
+  HttpExposerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace lockdown::obs

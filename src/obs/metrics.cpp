@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -114,13 +115,21 @@ RegistrySnapshot Registry::snapshot() const {
     h.labels = key.second;
     h.help = entry.help;
     h.bounds = entry.metric->bounds();
+    // Snapshot the count BEFORE the buckets. observe() bumps its bucket
+    // first and the count last (release); count() loads with acquire, so
+    // every one of these `count` observations has its bucket increment
+    // visible below. Buckets may additionally contain increments from
+    // observations newer than `count` -- capping the cumulative sums at
+    // `count` trims exactly those, keeping the series monotone and the
+    // +Inf bucket equal to _count, which concurrent-observe scrapes would
+    // otherwise violate.
+    h.count = entry.metric->count();
     h.cumulative.reserve(h.bounds.size() + 1);
     std::uint64_t running = 0;
     for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
       running += entry.metric->bucket(i);
-      h.cumulative.push_back(running);
+      h.cumulative.push_back(std::min(running, h.count));
     }
-    h.count = entry.metric->count();
     h.sum = entry.metric->sum();
     s.histograms.push_back(std::move(h));
   }

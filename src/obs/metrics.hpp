@@ -69,17 +69,21 @@ class Histogram {
     std::size_t i = 0;
     while (i < bounds_.size() && v > bounds_[i]) ++i;
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
     double cur = sum_.load(std::memory_order_relaxed);
     while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
     }
+    // The count is bumped last, with release: a snapshot that reads the
+    // count first (acquire) is then guaranteed to see at least that many
+    // bucket increments, so `+Inf bucket == _count` can be restored
+    // exactly (see Registry::snapshot).
+    count_.fetch_add(1, std::memory_order_release);
   }
 
   [[nodiscard]] const std::vector<double>& bounds() const noexcept {
     return bounds_;
   }
   [[nodiscard]] std::uint64_t count() const noexcept {
-    return count_.load(std::memory_order_relaxed);
+    return count_.load(std::memory_order_acquire);
   }
   [[nodiscard]] double sum() const noexcept {
     return sum_.load(std::memory_order_relaxed);

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.hpp"
+
 namespace lockdown::runtime {
 
 namespace {
@@ -53,7 +55,8 @@ std::uint64_t export_source_key(std::span<const std::uint8_t> datagram) noexcept
 }
 
 ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
-                                   ShardBatchSink sink)
+                                   ShardBatchSink sink,
+                                   ShardDatagramSink datagram_sink)
     : config_(config), stats_(config.shards == 0 ? 1 : config.shards),
       collector_metrics_(make_collector_metrics(config)),
       collected_(sink ? 0 : stats_.shard_count()),
@@ -72,7 +75,7 @@ ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
                      auto& out = collected_[shard];
                      out.insert(out.end(), batch.begin(), batch.end());
                    }),
-            stats_) {
+            stats_, std::move(datagram_sink)) {
   // Safe after pool_ is up: the wire thread (the only note_queue_depth
   // caller) cannot run until ingest() is reachable, i.e. after this ctor.
   if (config_.metrics != nullptr) stats_.bind_ring_histograms(*config_.metrics);
@@ -86,6 +89,7 @@ std::size_t ShardedCollector::shard_of(
 }
 
 bool ShardedCollector::ingest(std::span<const std::uint8_t> datagram) {
+  TRACE_SPAN_ARG("wire", "wire.ingest", datagram.size());
   stats_.note_wire_datagram();
   const std::size_t shard = shard_of(datagram);
   std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());
@@ -100,6 +104,7 @@ bool ShardedCollector::ingest(std::span<const std::uint8_t> datagram) {
 }
 
 void ShardedCollector::ingest_wait(std::span<const std::uint8_t> datagram) {
+  TRACE_SPAN_ARG("wire", "wire.ingest", datagram.size());
   stats_.note_wire_datagram();
   const std::size_t shard = shard_of(datagram);
   std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());

@@ -61,9 +61,12 @@ class ShardedCollector {
   /// `sink` receives per-shard record batches on worker threads (see
   /// ShardBatchSink). Pass an empty sink to run in collect mode: each
   /// shard buffers its records internally and take_merged_records() hands
-  /// back the deterministic merge after finish().
+  /// back the deterministic merge after finish(). `datagram_sink`, when
+  /// set, fires once per consumed datagram on its shard's worker thread
+  /// (ShardDatagramSink) -- the boundary signal ordered consumers need.
   explicit ShardedCollector(const ShardedCollectorConfig& config,
-                            ShardBatchSink sink = {});
+                            ShardBatchSink sink = {},
+                            ShardDatagramSink datagram_sink = {});
 
   /// Route one datagram from the wire. Never blocks; returns false (and
   /// counts a drop against the target shard) when that shard's ring is

@@ -22,10 +22,24 @@ ShardedCollectorDaemon::ShardedCollectorDaemon(const ShardedDaemonConfig& config
       runtime_(runtime_config(config),
                ShardBatchSink([this](std::size_t shard,
                                      std::span<const flow::FlowRecord> batch) {
+                 // Worker-thread-private until the boundary below.
+                 ShardSpool& spool = *spools_[shard];
+                 spool.pending.insert(spool.pending.end(), batch.begin(),
+                                      batch.end());
+               }),
+               ShardDatagramSink([this](std::size_t shard) {
+                 // Datagram boundary: seal this datagram's records (possibly
+                 // none) as one batch in the shard's FIFO, grabbing a
+                 // recycled vector for the next datagram when one is free.
                  ShardSpool& spool = *spools_[shard];
                  const std::lock_guard<std::mutex> lock(spool.mu);
-                 spool.records.insert(spool.records.end(), batch.begin(),
-                                      batch.end());
+                 spool.done.push_back(std::move(spool.pending));
+                 if (!spool.free.empty()) {
+                   spool.pending = std::move(spool.free.back());
+                   spool.free.pop_back();
+                 } else {
+                   spool.pending = {};
+                 }
                })) {
   const std::size_t shards = config.shards == 0 ? 1 : config.shards;
   spools_.reserve(shards);
@@ -35,21 +49,33 @@ ShardedCollectorDaemon::ShardedCollectorDaemon(const ShardedDaemonConfig& config
 }
 
 void ShardedCollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
-  (void)runtime_.ingest(datagram);
+  const std::size_t shard = runtime_.shard_of(datagram);
+  if (runtime_.ingest(datagram)) order_.push_back(shard);
   // Opportunistic drain keeps spool buffers bounded without a dedicated
   // writer thread; every 64 datagrams is far below the rotation cadence.
   if ((++ingests_ & 63) == 0) poll();
 }
 
 void ShardedCollectorDaemon::poll() {
-  for (auto& spool_ptr : spools_) {
-    ShardSpool& spool = *spool_ptr;
+  // Release completed batches strictly in wire order; stop at the first
+  // datagram whose shard has not finished it yet (its successors must
+  // wait regardless of which shard they landed on).
+  while (!order_.empty()) {
+    ShardSpool& spool = *spools_[order_.front()];
+    std::vector<flow::FlowRecord> batch;
     {
       const std::lock_guard<std::mutex> lock(spool.mu);
-      scratch_.swap(spool.records);
+      if (spool.done.empty()) return;
+      batch = std::move(spool.done.front());
+      spool.done.pop_front();
     }
-    for (const flow::FlowRecord& r : scratch_) spooler_.append(r);
-    scratch_.clear();
+    order_.pop_front();
+    for (const flow::FlowRecord& r : batch) spooler_.append(r);
+    batch.clear();
+    {
+      const std::lock_guard<std::mutex> lock(spool.mu);
+      spool.free.push_back(std::move(batch));
+    }
   }
 }
 

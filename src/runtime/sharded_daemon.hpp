@@ -5,16 +5,21 @@
 // buffers; poll() moves them into the SliceSpooler. This mirrors nfcapd's
 // split between packet threads and the file writer.
 //
-// Ordering: records of one export source keep their wire order (same
-// shard, FIFO ring, FIFO spool); records of different sources may
-// interleave differently than a single-threaded daemon would see them.
-// The rotation policy already tolerates that -- late records ride in the
-// current slice -- so slice contents remain a function of the input, not
-// the thread schedule, for single-source streams, and byte/record totals
-// always are.
+// Ordering: wire order, reconstructed. The wire thread remembers the
+// target shard of every accepted datagram (a deque of shard indices);
+// workers cut their output into per-datagram batches (the pool's
+// ShardDatagramSink fires even for datagrams that decode to nothing);
+// poll() releases batches strictly in the remembered wire order, stopping
+// at the first datagram still being decoded. Slices are therefore
+// byte-identical to the single-threaded CollectorDaemon's for ANY input
+// mix -- multi-source streams included -- independent of shard count and
+// thread schedule. The price is head-of-line buffering: records decoded
+// behind a still-busy earlier datagram wait in their shard's spool (the
+// same bounded backlog the ring already implies).
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -59,6 +64,9 @@ class ShardedCollectorDaemon {
   [[nodiscard]] EngineSnapshot engine_snapshot() const {
     return runtime_.engine_snapshot();
   }
+  [[nodiscard]] flow::PacketArena::Stats arena_stats() const {
+    return runtime_.arena_stats();
+  }
   [[nodiscard]] std::size_t slices_emitted() const noexcept {
     return spooler_.slices_emitted();
   }
@@ -68,15 +76,26 @@ class ShardedCollectorDaemon {
 
  private:
   struct ShardSpool {
-    std::mutex mu;
-    std::vector<flow::FlowRecord> records;
+    /// Records of the datagram currently being decoded. Worker-thread
+    /// only -- no lock needed until the datagram boundary moves it into
+    /// `done`.
+    std::vector<flow::FlowRecord> pending;
+    std::mutex mu;  ///< guards `done` and `free`
+    /// Completed per-datagram batches in this shard's FIFO order; empty
+    /// batches mark datagrams that decoded to no records.
+    std::deque<std::vector<flow::FlowRecord>> done;
+    /// Drained batch vectors handed back by poll() for reuse, so the
+    /// steady state does not allocate per datagram.
+    std::vector<std::vector<flow::FlowRecord>> free;
   };
 
   flow::SliceSpooler spooler_;
   std::vector<std::unique_ptr<ShardSpool>> spools_;
+  /// Target shard of every accepted datagram, in wire order. Wire/owner
+  /// thread only; poll() pops the front as it releases batches.
+  std::deque<std::size_t> order_;
   ShardedCollector runtime_;
   std::uint64_t ingests_ = 0;
-  std::vector<flow::FlowRecord> scratch_;  ///< reused swap target in poll()
 };
 
 }  // namespace lockdown::runtime

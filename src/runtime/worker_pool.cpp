@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace lockdown::runtime {
 
 struct WorkerPool::Shard {
@@ -34,8 +36,10 @@ void backoff(unsigned idle_rounds) {
 }  // namespace
 
 WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
-                       ShardBatchSink sink, EngineStats& stats)
-    : sink_(std::move(sink)), stats_(&stats), recycle_(config.recycle) {
+                       ShardBatchSink sink, EngineStats& stats,
+                       ShardDatagramSink done)
+    : sink_(std::move(sink)), done_(std::move(done)), stats_(&stats),
+      recycle_(config.recycle) {
   if (shards == 0) throw std::invalid_argument("WorkerPool: zero shards");
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
@@ -54,6 +58,7 @@ WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
 WorkerPool::~WorkerPool() { finish(); }
 
 bool WorkerPool::submit(std::size_t shard, std::vector<std::uint8_t>&& datagram) {
+  TRACE_SPAN_ARG("ring", "ring.push", shard);
   Shard& s = *shards_[shard];
   if (!s.ring.try_push(std::move(datagram))) return false;
   stats_->note_queue_depth(shard, s.ring.size());
@@ -74,11 +79,14 @@ const flow::CollectorStats& WorkerPool::collector_stats(std::size_t shard) const
 }
 
 void WorkerPool::run(Shard& shard, std::size_t index) {
+  obs::Tracer::instance().set_this_thread_name("shard-" + std::to_string(index));
   ShardCounters& counters = stats_->shard(index);
   auto process = [&](std::span<const std::uint8_t> datagram) {
+    TRACE_SPAN_NAMED(span, "shard", "shard.datagram");
     const flow::CollectorStats before = shard.collector.stats();
     shard.collector.ingest(datagram);
     const flow::CollectorStats& after = shard.collector.stats();
+    span.set_arg(after.records - before.records);
     counters.datagrams.fetch_add(1, std::memory_order_relaxed);
     counters.malformed.fetch_add(after.malformed_packets - before.malformed_packets,
                                  std::memory_order_relaxed);
@@ -102,6 +110,7 @@ void WorkerPool::run(Shard& shard, std::size_t index) {
   // the steady state stops allocating per datagram.
   auto consume = [&](std::vector<std::uint8_t>&& datagram) {
     process(datagram);
+    if (done_) done_(index);
     if (recycle_ != nullptr) recycle_->release(std::move(datagram));
   };
 

@@ -29,6 +29,14 @@ namespace lockdown::runtime {
 using ShardBatchSink =
     std::function<void(std::size_t shard, std::span<const flow::FlowRecord>)>;
 
+/// Per-datagram completion, invoked on the owning shard's worker thread
+/// after the datagram's records (if any) went through the ShardBatchSink.
+/// Fires for *every* consumed datagram -- template sets, option data and
+/// malformed input included, which produce no batch call -- so a consumer
+/// can cut exact per-datagram boundaries (the ordered wire-order merge in
+/// ShardedCollectorDaemon depends on this).
+using ShardDatagramSink = std::function<void(std::size_t shard)>;
+
 struct WorkerConfig {
   flow::ExportProtocol protocol = flow::ExportProtocol::kIpfix;
   const flow::Anonymizer* anonymizer = nullptr;
@@ -47,9 +55,11 @@ struct WorkerConfig {
 class WorkerPool {
  public:
   /// Starts `shards` worker threads. `sink` may be empty (decode-and-drop;
-  /// stats still accumulate). `stats` must outlive the pool.
+  /// stats still accumulate), as may `done` (no per-datagram completion
+  /// callbacks). `stats` must outlive the pool.
   WorkerPool(std::size_t shards, const WorkerConfig& config,
-             ShardBatchSink sink, EngineStats& stats);
+             ShardBatchSink sink, EngineStats& stats,
+             ShardDatagramSink done = {});
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -77,6 +87,7 @@ class WorkerPool {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   ShardBatchSink sink_;
+  ShardDatagramSink done_;
   EngineStats* stats_;
   flow::PacketArena* recycle_;
   std::atomic<bool> stopping_{false};

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/counter_rng.hpp"
 #include "util/rng.hpp"
 
@@ -83,9 +84,11 @@ void FlowSynthesizer::synthesize(net::TimeRange range, const Sink& sink) const {
       }
       Slot& slot = slots[i];
       try {
+        TRACE_SPAN_NAMED(span, "synth", "synth.cell");
         emit_component_hour(
             *cells[i].component, cells[i].hour,
             [&slot](const FlowRecord& r) { slot.records.push_back(r); });
+        span.set_arg(slot.records.size());
       } catch (...) {
         {
           const std::lock_guard<std::mutex> lock(error_mu);
@@ -98,7 +101,13 @@ void FlowSynthesizer::synthesize(net::TimeRange range, const Sink& sink) const {
   };
   std::vector<std::thread> pool;
   pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&worker, t] {
+      obs::Tracer::instance().set_this_thread_name("synth-" +
+                                                   std::to_string(t));
+      worker();
+    });
+  }
 
   for (std::size_t i = 0; i < cells.size() && !failed.load(std::memory_order_acquire);
        ++i) {

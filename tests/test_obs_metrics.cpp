@@ -136,5 +136,36 @@ TEST(ObsRegistry, ConcurrentAddsAreExact) {
             static_cast<std::uint64_t>(kThreads) * kAdds);
 }
 
+// A scrape racing live observes must still produce an internally
+// consistent histogram: cumulative buckets monotone and the +Inf bucket
+// exactly equal to _count. observe() commits the count last (release) and
+// snapshot() reads it first (acquire), capping buckets at that count.
+TEST(ObsRegistry, HistogramSnapshotConsistentUnderConcurrentObserves) {
+  Registry reg;
+  Histogram& h = reg.histogram("racing_hist", {1.0, 2.0, 4.0});
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.observe(static_cast<double>(i++ % 6));
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    const RegistrySnapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    const HistogramSnapshot& hs = snap.histograms[0];
+    ASSERT_EQ(hs.cumulative.size(), 4u);
+    for (std::size_t i = 1; i < hs.cumulative.size(); ++i) {
+      EXPECT_GE(hs.cumulative[i], hs.cumulative[i - 1]);
+    }
+    EXPECT_EQ(hs.cumulative.back(), hs.count);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : writers) th.join();
+}
+
 }  // namespace
 }  // namespace lockdown::obs

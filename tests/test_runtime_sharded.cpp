@@ -390,4 +390,39 @@ TEST(ShardedDaemon, MultiSourceStreamSpoolsEveryRecord) {
   EXPECT_EQ(daemon.engine_snapshot().dropped, 0u);
 }
 
+// The wire-order merge contract: even when sources interleave across
+// shards, poll() releases per-datagram batches in the order the wire
+// thread accepted them, so the sharded daemon's slices are byte-identical
+// to the single-threaded daemon's -- not just the same multiset.
+TEST(ShardedDaemon, MatchesSingleThreadedDaemonOnMultiSourceStream) {
+  const auto records = synthesize_records(2);
+  const auto corpus = multi_source_corpus(records, 7);
+
+  std::vector<flow::TraceSlice> reference_slices;
+  flow::CollectorDaemon reference(
+      {.protocol = flow::ExportProtocol::kIpfix, .rotation_seconds = 900},
+      [&](flow::TraceSlice&& s) { reference_slices.push_back(std::move(s)); });
+  for (const auto& datagram : corpus) reference.ingest(datagram);
+  reference.flush();
+
+  std::vector<flow::TraceSlice> sharded_slices;
+  runtime::ShardedCollectorDaemon daemon(
+      {.protocol = flow::ExportProtocol::kIpfix,
+       .shards = 4,
+       .ring_capacity = corpus.size() + 1,
+       .rotation_seconds = 900},
+      [&](flow::TraceSlice&& s) { sharded_slices.push_back(std::move(s)); });
+  for (const auto& datagram : corpus) daemon.ingest(datagram);
+  daemon.flush();
+
+  EXPECT_EQ(daemon.records_spooled(), reference.records_spooled());
+  ASSERT_EQ(sharded_slices.size(), reference_slices.size());
+  for (std::size_t i = 0; i < reference_slices.size(); ++i) {
+    EXPECT_EQ(sharded_slices[i].begin, reference_slices[i].begin);
+    EXPECT_EQ(sharded_slices[i].records, reference_slices[i].records);
+    EXPECT_EQ(sharded_slices[i].image, reference_slices[i].image);
+  }
+  EXPECT_EQ(daemon.engine_snapshot().dropped, 0u);
+}
+
 }  // namespace
