@@ -30,8 +30,17 @@
 // keeps the exposer serving for N ms after the run so external scrapers
 // can catch a short-lived process.
 //
+// With --monitor 'name=expr' (repeatable) the collector routes every
+// decoded batch through compiled monitoring objects (src/filter/): each
+// object owns one filter-DSL expression and counts the flows, bytes and
+// packets that match it. Counters appear on /metrics and /healthz while
+// the stream runs and are printed (then cleanly unregistered) at the end.
+// --monitor-file FILE loads 'name = expression' lines from a file.
+//
 //   $ ./live_collector [output-dir] [--shards N] [--gen-threads N] [--metrics]
 //                      [--listen PORT] [--trace-out FILE] [--linger-ms N]
+//                      [--monitor 'vpn=dst port 1194,443 and proto udp']...
+//                      [--monitor-file FILE]
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -45,6 +54,7 @@
 #include "analysis/app_filter.hpp"
 #include "analysis/as_view.hpp"
 #include "analysis/volume.hpp"
+#include "filter/monitor.hpp"
 #include "flow/collector_daemon.hpp"
 #include "flow/ipfix.hpp"
 #include "flow/trace_file.hpp"
@@ -68,6 +78,8 @@ int main(int argc, char** argv) {
   int listen_port = -1;  // -1 = no exposer
   std::string trace_out;
   long linger_ms = 0;
+  std::vector<std::string> monitor_args;
+  std::vector<std::string> monitor_files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--shards" && i + 1 < argc) {
@@ -83,6 +95,10 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg == "--linger-ms" && i + 1 < argc) {
       linger_ms = std::atol(argv[++i]);
+    } else if (arg == "--monitor" && i + 1 < argc) {
+      monitor_args.emplace_back(argv[++i]);
+    } else if (arg == "--monitor-file" && i + 1 < argc) {
+      monitor_files.emplace_back(argv[++i]);
     } else {
       out_dir = arg;
     }
@@ -91,6 +107,53 @@ int main(int argc, char** argv) {
   obs::Registry obs_registry;
   obs::Registry* metrics = metrics_enabled ? &obs_registry : nullptr;
   obs::Tracer::instance().set_this_thread_name("wire");
+
+  // The AS registry backs both the synthesizer (exporter side) and the
+  // monitoring objects' ASN lookups (collector side), so it comes first.
+  const auto registry = synth::AsRegistry::create_default();
+
+  // --- Monitoring objects --------------------------------------------------
+  // Compiled once at startup; route_batch then runs inside the collector's
+  // ingest path (on the worker shards when --shards is active, which is
+  // safe: the counters are commutative atomic sums).
+  filter::MonitorSet monitors(&registry.trie());
+  try {
+    for (const std::string& def : monitor_args) {
+      const auto eq = def.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "error: --monitor expects name=expression, got '" << def
+                  << "'\n";
+        return 1;
+      }
+      monitors.add(def.substr(0, eq), def.substr(eq + 1));
+    }
+    for (const std::string& file : monitor_files) {
+      std::FILE* f = std::fopen(file.c_str(), "rb");
+      if (f == nullptr) {
+        std::cerr << "error: cannot read monitor file " << file << "\n";
+        return 1;
+      }
+      std::string text;
+      std::array<char, 4096> chunk;
+      std::size_t n = 0;
+      while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
+        text.append(chunk.data(), n);
+      }
+      std::fclose(f);
+      monitors.add_definitions(text, file);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (!monitors.empty()) {
+    std::cout << monitors.size() << " monitoring object(s):\n";
+    for (const auto& object : monitors) {
+      std::cout << "  " << object->name() << " = " << object->filter().source()
+                << "\n";
+    }
+    if (metrics != nullptr) monitors.bind_metrics(obs_registry);
+  }
 
   // --- Collector side ------------------------------------------------------
   // 1 MiB socket buffer: the wire thread shares a core with the exporter
@@ -117,6 +180,11 @@ int main(int argc, char** argv) {
     }
   };
 
+  // Monitoring objects observe every decoded (and already anonymized)
+  // batch; an empty set wires no observer at all.
+  flow::Collector::BatchSink monitor_sink;
+  if (!monitors.empty()) monitor_sink = monitors.batch_sink();
+
   std::optional<flow::CollectorDaemon> daemon;
   std::optional<runtime::ShardedCollectorDaemon> sharded;
   if (shards > 0) {
@@ -126,14 +194,16 @@ int main(int argc, char** argv) {
                                      .shards = shards,
                                      .rotation_seconds = 15 * 60,
                                      .anonymizer = &anonymizer,
-                                     .metrics = metrics},
+                                     .metrics = metrics,
+                                     .batch_observer = monitor_sink},
         slice_sink);
   } else {
     daemon.emplace(
         flow::CollectorDaemonConfig{.protocol = flow::ExportProtocol::kIpfix,
                                     .rotation_seconds = 15 * 60,
                                     .anonymizer = &anonymizer,
-                                    .metrics = metrics},
+                                    .metrics = metrics,
+                                    .batch_observer = monitor_sink},
         slice_sink);
   }
   const auto ingest = [&](std::span<const std::uint8_t> d) {
@@ -176,6 +246,20 @@ int main(int argc, char** argv) {
         }
         j += ']';
       }
+      if (!monitors.empty()) {
+        j += ",\"monitors\":[";
+        bool first = true;
+        for (const auto& object : monitors) {
+          if (!first) j += ',';
+          first = false;
+          j += "{\"name\":\"" + object->name() + "\"";
+          j += ",\"flows\":" + std::to_string(object->flows());
+          j += ",\"bytes\":" + std::to_string(object->bytes());
+          j += ",\"packets\":" + std::to_string(object->packets());
+          j += '}';
+        }
+        j += ']';
+      }
       j += ",\"trace_threads\":" +
            std::to_string(obs::Tracer::instance().threads());
       j += ",\"trace_dropped_spans\":" +
@@ -206,7 +290,6 @@ int main(int argc, char** argv) {
     std::cerr << "error: cannot create the exporter socket\n";
     return 1;
   }
-  const auto registry = synth::AsRegistry::create_default();
   const auto ixp = synth::build_vantage(synth::VantagePointId::kIxpCe, registry,
                                         {.seed = 42});
   const synth::FlowSynthesizer synth(
@@ -313,12 +396,32 @@ int main(int argc, char** argv) {
       flow::publish_arena_stats(obs_registry, sharded->arena_stats());
     }
   }
+  if (!monitors.empty()) {
+    std::cout << "  monitoring objects (flows / bytes / packets):\n";
+    for (const auto& object : monitors) {
+      std::cout << "    " << object->name() << ": " << object->flows() << " / "
+                << util::format_bytes(object->bytes()) << " / "
+                << object->packets() << "\n";
+    }
+  }
   if (metrics != nullptr) {
     flow::publish_udp_stats(obs_registry, *transport);
     metrics_line();
     std::cout << "\n--- end-of-run metrics dump (Prometheus text format) ---\n"
               << obs_registry.expose_text()
               << "--- end dump ---\n";
+    if (!monitors.empty()) {
+      // Clean shutdown of the monitoring layer: the daemon is flushed (no
+      // route_batch can race), so the per-object counters unregister and a
+      // later scrape no longer mentions them.
+      monitors.unbind_metrics();
+      std::cout << "monitor counters unregistered from /metrics ("
+                << (obs_registry.expose_text().find("monitor_matched_") ==
+                            std::string::npos
+                        ? "verified absent"
+                        : "STILL PRESENT -- bug")
+                << ")\n";
+    }
   }
   std::cout << "\n";
 

@@ -32,10 +32,15 @@ import sys
 from pathlib import Path
 
 # (file, reference series, compiled series, absolute floor, label)
-# Floors are the acceptance bars: decode plans >= 3x, encode plans >= 4x.
-# CI noise on shared runners can graze an exact bar, so the enforced floor
-# keeps a small margin under the documented target.
+# Floors are the acceptance bars: decode plans >= 3x, encode plans >= 4x,
+# filter plans >= 5x. CI noise on shared runners can graze an exact bar, so
+# every enforced floor keeps a small margin under the documented target;
+# the documented bar itself is verified by the baselining run (the
+# committed baseline ratio must meet it) rather than re-proved on every
+# noisy CI box.
 PAIRS = [
+    ("BENCH_bench_filter_match.json", "BM_MatchReference",
+     "BM_MatchPlan", 4.5, "filter plan (Table-1 DSL objects)"),
     ("BENCH_bench_flow_decode_plan.json", "BM_DecodeInterpreted",
      "BM_DecodePlan", 2.5, "decode plan (IPFIX v4)"),
     ("BENCH_bench_flow_encode_plan.json", "BM_EncodeReferenceV5",

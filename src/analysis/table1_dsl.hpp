@@ -1,0 +1,41 @@
+// Table 1 re-expressed in the filter DSL: generates one monitoring-object
+// definition per application class from an AppClassifier registry, so the
+// generic filter/monitor layer reproduces the paper's §5 classification
+// without any hardcoded class logic (DESIGN.md §12).
+//
+// The classifier resolves overlap by first-match priority over a
+// class-contiguous registry; monitoring objects route every batch to every
+// matching object. The generator bridges the two semantics with precedence
+// guards: class k's expression is (union of class-k filters) and not
+// (union of all earlier classes' filters). A synthesized-slice test pins
+// the per-class flow/byte totals to AppClassifier::classify_batch exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/app_filter.hpp"
+#include "filter/monitor.hpp"
+
+namespace lockdown::analysis {
+
+struct MonitorDefinition {
+  std::string name;  ///< class-name slug ("web_conf", "vod", ...)
+  AppClass app_class = AppClass::kOther;
+  std::string expression;
+};
+
+/// One guarded DSL definition per class of `classifier`, in registry
+/// order. Requires a class-contiguous registry (each class's filters form
+/// one run, as table1() is laid out); throws std::invalid_argument
+/// otherwise, because first-match priority then has no per-class guard
+/// expression.
+[[nodiscard]] std::vector<MonitorDefinition> dsl_monitor_definitions(
+    const AppClassifier& classifier);
+
+/// Register the definitions into `set` (typically built over the same
+/// prefix trie the classifier's AsView resolves against).
+void add_monitor_definitions(filter::MonitorSet& set,
+                             const std::vector<MonitorDefinition>& defs);
+
+}  // namespace lockdown::analysis

@@ -1,0 +1,172 @@
+// Filter DSL syntax tree: boolean expressions over flow-record fields
+// (protocol, ports, CIDR prefixes, origin ASes, TCP flags, volume/rate
+// thresholds). The parser (parser.hpp) produces this tree; the compiler
+// (plan.hpp) lowers it to a flat step array and also keeps it around as
+// the tree-walking reference interpreter pinned by differential fuzz.
+//
+// Every node carries the source location of its first token so compile-time
+// diagnostics (parse errors, always-false conjunctions) can point at the
+// offending characters -- DESIGN.md §12.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace lockdown::filter {
+
+/// 1-based position inside a filter expression (multi-line sources come
+/// from --monitor-file).
+struct SourceLoc {
+  std::uint32_t line = 1;
+  std::uint32_t column = 1;
+
+  friend constexpr auto operator<=>(const SourceLoc&, const SourceLoc&) noexcept = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+/// Any lexing/parsing/compilation failure. what() is "<line>:<col>: detail"
+/// (prefixed with an origin such as a monitor-file name when one is known);
+/// loc() and detail() let tests assert exact positions.
+class FilterError : public std::runtime_error {
+ public:
+  FilterError(SourceLoc loc, std::string detail, std::string_view origin = {})
+      : std::runtime_error((origin.empty() ? std::string()
+                                           : std::string(origin) + ":") +
+                           loc.to_string() + ": " + detail),
+        loc_(loc),
+        detail_(std::move(detail)) {}
+
+  [[nodiscard]] SourceLoc loc() const noexcept { return loc_; }
+  [[nodiscard]] const std::string& detail() const noexcept { return detail_; }
+
+ private:
+  SourceLoc loc_;
+  std::string detail_;
+};
+
+/// Which endpoint a port/net/asn term constrains. kEither means "src or
+/// dst" for net/asn terms; for port terms it means the flow's *service*
+/// port (FlowRecord::service_port -- the numerically smaller non-zero
+/// port), matching how the paper's §4/§5 port aggregations and the
+/// AppClassifier treat bidirectional traffic.
+enum class Direction : std::uint8_t { kSrc, kDst, kEither };
+
+[[nodiscard]] constexpr const char* to_string(Direction d) noexcept {
+  switch (d) {
+    case Direction::kSrc: return "src";
+    case Direction::kDst: return "dst";
+    case Direction::kEither: return "";
+  }
+  return "?";
+}
+
+enum class CmpOp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+[[nodiscard]] constexpr const char* to_string(CmpOp op) noexcept {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+/// Threshold axis of a rate term. kBps/kPps divide by the flow's active
+/// duration (max(1s, last - first)); kBytes/kPackets compare the raw
+/// counters.
+enum class RateField : std::uint8_t { kBytes, kPackets, kBps, kPps };
+
+[[nodiscard]] constexpr const char* to_string(RateField f) noexcept {
+  switch (f) {
+    case RateField::kBytes: return "bytes";
+    case RateField::kPackets: return "packets";
+    case RateField::kBps: return "bps";
+    case RateField::kPps: return "pps";
+  }
+  return "?";
+}
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// `proto tcp,udp` / `proto 47`. Values are raw IANA protocol numbers so
+/// filters can name protocols beyond the IpProtocol enum.
+struct ProtoPred {
+  std::vector<std::uint8_t> protos;
+};
+
+/// `port 443` / `src port 1024-65535` / `dst port 443,8443`. Inclusive
+/// ranges; single ports are degenerate ranges.
+struct PortPred {
+  Direction dir = Direction::kEither;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> ranges;
+};
+
+/// `net 198.51.100.0/24` / `src net 10.0.0.0/8,2001:db8::/32`.
+struct NetPred {
+  Direction dir = Direction::kEither;
+  std::vector<net::Ipv4Prefix> v4;
+  std::vector<net::Ipv6Prefix> v6;
+};
+
+/// `asn 3320` / `dst asn 15169,AS32934`. Endpoint ASes resolve like
+/// analysis::AsView: exporter annotation first, prefix-trie fallback.
+struct AsnPred {
+  Direction dir = Direction::kEither;
+  std::vector<std::uint32_t> asns;
+};
+
+/// `tcp-flags syn,ack` (all named bits set) / `tcp-flags any rst,fin`
+/// (at least one set) / `tcp-flags 0x12`. Implies proto == TCP.
+struct TcpFlagsPred {
+  std::uint8_t mask = 0;
+  bool any = false;
+};
+
+/// `bytes > 1m` / `pps <= 100`. k/m/g suffixes scale by 1e3/1e6/1e9.
+struct RatePred {
+  RateField field = RateField::kBytes;
+  CmpOp op = CmpOp::kGt;
+  double value = 0.0;
+};
+
+struct NotExpr {
+  ExprPtr operand;
+};
+
+struct AndExpr {
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct OrExpr {
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+
+struct Expr {
+  SourceLoc loc;
+  std::variant<ProtoPred, PortPred, NetPred, AsnPred, TcpFlagsPred, RatePred,
+               NotExpr, AndExpr, OrExpr>
+      node;
+};
+
+[[nodiscard]] inline ExprPtr make_expr(SourceLoc loc, auto&& node) {
+  return std::make_unique<Expr>(
+      Expr{loc, std::forward<decltype(node)>(node)});
+}
+
+}  // namespace lockdown::filter

@@ -1,0 +1,85 @@
+#include "filter/lexer.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace lockdown::filter {
+
+namespace {
+
+[[nodiscard]] bool is_atom_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '.' || c == ':' || c == '-';
+}
+
+[[nodiscard]] std::string printable(char c) {
+  if (std::isprint(static_cast<unsigned char>(c)) != 0) {
+    return std::string("'") + c + "'";
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%02x", static_cast<unsigned char>(c));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  SourceLoc loc;
+  std::size_t i = 0;
+  const auto advance = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (source[i + k] == '\n') {
+        ++loc.line;
+        loc.column = 1;
+      } else {
+        ++loc.column;
+      }
+    }
+    i += n;
+  };
+  while (i < source.size()) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      std::size_t n = 1;
+      while (i + n < source.size() && source[i + n] != '\n') ++n;
+      advance(n);
+      continue;
+    }
+    const SourceLoc at = loc;
+    if (c == '(' || c == ')' || c == ',' || c == '/') {
+      const TokKind kind = c == '(' ? TokKind::kLParen
+                           : c == ')' ? TokKind::kRParen
+                           : c == ',' ? TokKind::kComma
+                                      : TokKind::kSlash;
+      out.push_back({kind, source.substr(i, 1), at});
+      advance(1);
+      continue;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      const bool two = i + 1 < source.size() && source[i + 1] == '=';
+      if (c == '!' && !two) {
+        throw FilterError(at, "unexpected character '!' (did you mean '!='?)");
+      }
+      out.push_back({TokKind::kCmp, source.substr(i, two ? 2 : 1), at});
+      advance(two ? 2 : 1);
+      continue;
+    }
+    if (is_atom_char(c)) {
+      std::size_t n = 1;
+      while (i + n < source.size() && is_atom_char(source[i + n])) ++n;
+      out.push_back({TokKind::kAtom, source.substr(i, n), at});
+      advance(n);
+      continue;
+    }
+    throw FilterError(at, "unexpected character " + printable(c));
+  }
+  out.push_back({TokKind::kEnd, std::string_view{}, loc});
+  return out;
+}
+
+}  // namespace lockdown::filter

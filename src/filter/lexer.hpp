@@ -1,0 +1,37 @@
+// Filter DSL tokenizer. Atoms are maximal runs of [A-Za-z0-9_.:-] so port
+// ranges ("27000-27031"), dotted quads, IPv6 literals ("2001:db8::") and
+// hyphenated keywords ("tcp-flags") each arrive as one token; punctuation
+// is limited to parentheses, the list comma, the CIDR slash and comparison
+// operators. '#' starts a comment running to end of line (monitor files).
+// Every token carries its 1-based line/column for source-located errors.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "filter/ast.hpp"
+
+namespace lockdown::filter {
+
+enum class TokKind : std::uint8_t {
+  kAtom,    // keyword, number, address, range, ...
+  kLParen,  // (
+  kRParen,  // )
+  kComma,   // ,
+  kSlash,   // /
+  kCmp,     // < <= > >= = == !=
+  kEnd,     // end of input (loc = one past the last character)
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string_view text;  ///< view into the lexed source
+  SourceLoc loc;
+};
+
+/// Tokenize `source`. Always ends with a kEnd token. Throws FilterError on
+/// characters outside the language.
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+}  // namespace lockdown::filter

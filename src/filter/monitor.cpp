@@ -1,0 +1,175 @@
+#include "filter/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lockdown::filter {
+
+namespace {
+
+constexpr std::string_view kFlowsMetric = "monitor_matched_flows_total";
+constexpr std::string_view kBytesMetric = "monitor_matched_bytes_total";
+constexpr std::string_view kPacketsMetric = "monitor_matched_packets_total";
+
+[[nodiscard]] std::string object_label(std::string_view name) {
+  return "object=\"" + std::string(name) + "\"";
+}
+
+[[nodiscard]] bool valid_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+MonitoringObject& MonitorSet::add(std::string_view name,
+                                  std::string_view expression) {
+  if (name.empty() ||
+      !std::all_of(name.begin(), name.end(), valid_name_char)) {
+    throw std::invalid_argument(
+        "monitoring object name '" + std::string(name) +
+        "' is empty or contains characters outside [A-Za-z0-9_.-]");
+  }
+  if (find(name) != nullptr) {
+    // Same contract as AppClassifier's duplicate AppFilter rejection.
+    throw std::invalid_argument("monitoring object '" + std::string(name) +
+                                "' registered twice");
+  }
+  CompiledFilter filter = CompiledFilter::compile(expression, trie_);
+  objects_.push_back(std::unique_ptr<MonitoringObject>(
+      new MonitoringObject(std::string(name), std::move(filter))));
+  MonitoringObject& obj = *objects_.back();
+  if (registry_ != nullptr) {
+    obj.flow_counter_ = &registry_->counter(
+        kFlowsMetric, object_label(obj.name_),
+        "Flows matched per monitoring object (sampler-rescaled)");
+    obj.byte_counter_ = &registry_->counter(
+        kBytesMetric, object_label(obj.name_),
+        "Bytes matched per monitoring object (sampler-rescaled)");
+    obj.packet_counter_ = &registry_->counter(
+        kPacketsMetric, object_label(obj.name_),
+        "Packets matched per monitoring object (sampler-rescaled)");
+  }
+  return obj;
+}
+
+void MonitorSet::add_definitions(std::string_view text,
+                                 std::string_view origin) {
+  std::uint32_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    const std::string_view raw = text.substr(pos, eol - pos);
+    ++line_no;
+    const std::string_view line = trim(raw);
+    if (!line.empty() && line.front() != '#') {
+      const std::size_t eq = raw.find('=');
+      if (eq == std::string_view::npos) {
+        throw FilterError({line_no, 1},
+                          "expected a 'name = expression' definition", origin);
+      }
+      const std::string_view name = trim(raw.substr(0, eq));
+      const std::string_view expr = raw.substr(eq + 1);
+      try {
+        add(name, expr);
+      } catch (const FilterError& e) {
+        // Re-anchor the expression-relative position (always line 1: the
+        // definition format is one line per object) into the file.
+        SourceLoc loc{line_no, static_cast<std::uint32_t>(eq + 1) +
+                                   e.loc().column};
+        throw FilterError(loc, e.detail(), origin);
+      }
+    }
+    pos = eol + 1;
+  }
+}
+
+void MonitorSet::route_batch(std::span<const flow::FlowRecord> records) {
+  if (records.empty() || objects_.empty()) return;
+  thread_local std::vector<std::uint8_t> hits;
+  thread_local FlowColumns cols;
+  hits.resize(records.size());
+  // Service keys and resolved endpoint ASes are filter-independent; derive
+  // them once per batch and share them with every object's plan.
+  cols.build(records, trie_);
+  for (const auto& obj : objects_) {
+    obj->filter_.match_batch(records, hits, cols);
+    std::uint64_t flows = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t packets = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (hits[i] == 0) continue;
+      ++flows;
+      bytes += records[i].bytes;
+      packets += records[i].packets;
+    }
+    if (flows == 0) continue;
+    if (flow_scale_ != 1.0) {
+      flows = static_cast<std::uint64_t>(
+          std::llround(static_cast<double>(flows) * flow_scale_));
+    }
+    obj->flows_.fetch_add(flows, std::memory_order_relaxed);
+    obj->bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    obj->packets_.fetch_add(packets, std::memory_order_relaxed);
+    if (obj->flow_counter_ != nullptr) {
+      obj->flow_counter_->add(flows);
+      obj->byte_counter_->add(bytes);
+      obj->packet_counter_->add(packets);
+    }
+  }
+}
+
+void MonitorSet::bind_metrics(obs::Registry& registry) {
+  if (registry_ != nullptr) unbind_metrics();
+  registry_ = &registry;
+  for (const auto& obj : objects_) {
+    obj->flow_counter_ = &registry.counter(
+        kFlowsMetric, object_label(obj->name_),
+        "Flows matched per monitoring object (sampler-rescaled)");
+    obj->byte_counter_ = &registry.counter(
+        kBytesMetric, object_label(obj->name_),
+        "Bytes matched per monitoring object (sampler-rescaled)");
+    obj->packet_counter_ = &registry.counter(
+        kPacketsMetric, object_label(obj->name_),
+        "Packets matched per monitoring object (sampler-rescaled)");
+    // Catch up on anything routed before binding so the exposed counter
+    // equals the object's lifetime total.
+    obj->flow_counter_->add(obj->flows());
+    obj->byte_counter_->add(obj->bytes());
+    obj->packet_counter_->add(obj->packets());
+  }
+}
+
+void MonitorSet::unbind_metrics() {
+  if (registry_ == nullptr) return;
+  for (const auto& obj : objects_) {
+    obj->flow_counter_ = nullptr;
+    obj->byte_counter_ = nullptr;
+    obj->packet_counter_ = nullptr;
+    registry_->remove_counter(kFlowsMetric, object_label(obj->name_));
+    registry_->remove_counter(kBytesMetric, object_label(obj->name_));
+    registry_->remove_counter(kPacketsMetric, object_label(obj->name_));
+  }
+  registry_ = nullptr;
+}
+
+const MonitoringObject* MonitorSet::find(std::string_view name) const {
+  for (const auto& obj : objects_) {
+    if (obj->name_ == name) return obj.get();
+  }
+  return nullptr;
+}
+
+}  // namespace lockdown::filter

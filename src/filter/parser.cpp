@@ -1,0 +1,382 @@
+#include "filter/parser.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "filter/lexer.hpp"
+
+namespace lockdown::filter {
+
+namespace {
+
+[[nodiscard]] std::string quoted(const Token& t) {
+  if (t.kind == TokKind::kEnd) return "end of expression";
+  std::string out;
+  out.reserve(t.text.size() + 2);
+  out += '\'';
+  out += t.text;
+  out += '\'';
+  return out;
+}
+
+[[nodiscard]] bool all_digits(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// Case-insensitive ASCII comparison (keywords are lowercase; values like
+/// "AS3320" or "0X12" are accepted in either case).
+[[nodiscard]] bool ieq(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Parser {
+  std::vector<Token> toks;
+  std::size_t pos = 0;
+
+  [[nodiscard]] const Token& peek() const { return toks[pos]; }
+  const Token& take() { return toks[pos == toks.size() - 1 ? pos : pos++]; }
+
+  [[nodiscard]] bool at_keyword(std::string_view kw) const {
+    return peek().kind == TokKind::kAtom && peek().text == kw;
+  }
+
+  [[noreturn]] void fail(const Token& t, std::string detail) const {
+    throw FilterError(t.loc, std::move(detail));
+  }
+
+  // ---- value parsing -----------------------------------------------------
+
+  [[nodiscard]] std::uint64_t parse_uint(const Token& t, std::string_view what,
+                                         std::uint64_t max) {
+    if (!all_digits(t.text)) {
+      fail(t, "expected " + std::string(what) + ", got " + quoted(t));
+    }
+    std::uint64_t v = 0;
+    const auto [p, ec] =
+        std::from_chars(t.text.data(), t.text.data() + t.text.size(), v);
+    if (ec != std::errc{} || p != t.text.data() + t.text.size() || v > max) {
+      fail(t, std::string(what) + " " + std::string(t.text) +
+                  " out of range (max " + std::to_string(max) + ")");
+    }
+    return v;
+  }
+
+  [[nodiscard]] std::uint8_t parse_proto_item(const Token& t) {
+    if (ieq(t.text, "tcp")) return 6;
+    if (ieq(t.text, "udp")) return 17;
+    if (ieq(t.text, "icmp")) return 1;
+    if (ieq(t.text, "gre")) return 47;
+    if (ieq(t.text, "esp")) return 50;
+    if (all_digits(t.text)) {
+      return static_cast<std::uint8_t>(parse_uint(t, "protocol number", 255));
+    }
+    fail(t, "unknown protocol " + quoted(t) +
+                " (expected tcp, udp, icmp, gre, esp or a number)");
+  }
+
+  void parse_port_item(PortPred& pred) {
+    const Token& t = take();
+    if (t.kind != TokKind::kAtom) {
+      fail(t, "expected a port number or range, got " + quoted(t));
+    }
+    const std::size_t dash = t.text.find('-');
+    if (dash == std::string_view::npos) {
+      const auto v = parse_uint(t, "port", 65535);
+      pred.ranges.emplace_back(static_cast<std::uint16_t>(v),
+                               static_cast<std::uint16_t>(v));
+      return;
+    }
+    Token lo = t, hi = t;
+    lo.text = t.text.substr(0, dash);
+    hi.text = t.text.substr(dash + 1);
+    hi.loc.column += static_cast<std::uint32_t>(dash + 1);
+    const auto l = parse_uint(lo, "port", 65535);
+    const auto h = parse_uint(hi, "port", 65535);
+    if (l > h) {
+      fail(t, "empty port range " + std::string(t.text) + " (low > high)");
+    }
+    pred.ranges.emplace_back(static_cast<std::uint16_t>(l),
+                             static_cast<std::uint16_t>(h));
+  }
+
+  void parse_cidr_item(NetPred& pred) {
+    const Token& addr = take();
+    if (addr.kind != TokKind::kAtom) {
+      fail(addr, "expected an IPv4/IPv6 address or prefix, got " + quoted(addr));
+    }
+    const bool v6 = addr.text.find(':') != std::string_view::npos;
+    std::uint64_t length = v6 ? 128 : 32;
+    if (peek().kind == TokKind::kSlash) {
+      take();
+      const Token& len = take();
+      length = parse_uint(len, "prefix length", v6 ? 128 : 32);
+    }
+    if (v6) {
+      const auto parsed = net::Ipv6Address::parse(addr.text);
+      if (!parsed) fail(addr, "malformed IPv6 address " + quoted(addr));
+      const auto norm =
+          net::Ipv6Prefix::containing(*parsed, static_cast<std::uint8_t>(length));
+      if (!(norm.network() == *parsed)) {
+        fail(addr, "host bits set in " + std::string(addr.text) + "/" +
+                       std::to_string(length) + " (the enclosing network is " +
+                       norm.to_string() + ")");
+      }
+      pred.v6.push_back(norm);
+    } else {
+      const auto parsed = net::Ipv4Address::parse(addr.text);
+      if (!parsed) fail(addr, "malformed IPv4 address " + quoted(addr));
+      const auto norm =
+          net::Ipv4Prefix::containing(*parsed, static_cast<std::uint8_t>(length));
+      if (!(norm.network() == *parsed)) {
+        fail(addr, "host bits set in " + std::string(addr.text) + "/" +
+                       std::to_string(length) + " (the enclosing network is " +
+                       norm.to_string() + ")");
+      }
+      pred.v4.push_back(norm);
+    }
+  }
+
+  void parse_asn_item(AsnPred& pred) {
+    Token t = take();
+    if (t.kind != TokKind::kAtom) {
+      fail(t, "expected an AS number, got " + quoted(t));
+    }
+    if (t.text.size() > 2 && ieq(t.text.substr(0, 2), "as")) {
+      t.text = t.text.substr(2);
+      t.loc.column += 2;
+    }
+    pred.asns.push_back(
+        static_cast<std::uint32_t>(parse_uint(t, "AS number", 0xffffffffULL)));
+  }
+
+  [[nodiscard]] std::uint8_t parse_flag_item(const Token& t) {
+    if (ieq(t.text, "fin")) return 0x01;
+    if (ieq(t.text, "syn")) return 0x02;
+    if (ieq(t.text, "rst")) return 0x04;
+    if (ieq(t.text, "psh")) return 0x08;
+    if (ieq(t.text, "ack")) return 0x10;
+    if (ieq(t.text, "urg")) return 0x20;
+    if (ieq(t.text, "ece")) return 0x40;
+    if (ieq(t.text, "cwr")) return 0x80;
+    fail(t, "unknown TCP flag " + quoted(t) +
+                " (expected fin, syn, rst, psh, ack, urg, ece or cwr)");
+  }
+
+  [[nodiscard]] double parse_number(const Token& t) {
+    std::string_view s = t.text;
+    double scale = 1.0;
+    if (!s.empty()) {
+      const char last = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(s.back())));
+      if (last == 'k') scale = 1e3;
+      if (last == 'm') scale = 1e6;
+      if (last == 'g') scale = 1e9;
+      if (scale != 1.0) s.remove_suffix(1);
+    }
+    double v = 0.0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    if (s.empty() || ec != std::errc{} || p != s.data() + s.size() || v < 0) {
+      fail(t, "expected a number, got " + quoted(t));
+    }
+    return v * scale;
+  }
+
+  // ---- terms -------------------------------------------------------------
+
+  /// Comma-separated list of `item(...)` calls. The leading keyword has
+  /// been consumed; the first item is mandatory.
+  template <typename Fn>
+  void parse_list(Fn&& item) {
+    item();
+    while (peek().kind == TokKind::kComma) {
+      take();
+      item();
+    }
+  }
+
+  [[nodiscard]] ExprPtr parse_directed_term(SourceLoc loc, Direction dir) {
+    const Token& kw = take();
+    if (kw.kind == TokKind::kAtom && kw.text == "port") {
+      PortPred pred{dir, {}};
+      parse_list([&] { parse_port_item(pred); });
+      return make_expr(loc, std::move(pred));
+    }
+    if (kw.kind == TokKind::kAtom && kw.text == "net") {
+      NetPred pred{dir, {}, {}};
+      parse_list([&] { parse_cidr_item(pred); });
+      return make_expr(loc, std::move(pred));
+    }
+    if (kw.kind == TokKind::kAtom && kw.text == "asn") {
+      AsnPred pred{dir, {}};
+      parse_list([&] { parse_asn_item(pred); });
+      return make_expr(loc, std::move(pred));
+    }
+    if (dir != Direction::kEither) {
+      fail(kw, "expected 'port', 'net' or 'asn' after '" +
+                   std::string(to_string(dir)) + "', got " + quoted(kw));
+    }
+    fail(kw, "expected a filter term, got " + quoted(kw));
+  }
+
+  [[nodiscard]] ExprPtr parse_term() {
+    const Token& t = peek();
+    const SourceLoc loc = t.loc;
+    if (t.kind != TokKind::kAtom) {
+      fail(t, "expected a filter term, got " + quoted(t));
+    }
+    if (t.text == "src" || t.text == "dst") {
+      const Direction dir = t.text == "src" ? Direction::kSrc : Direction::kDst;
+      take();
+      return parse_directed_term(loc, dir);
+    }
+    if (t.text == "port" || t.text == "net" || t.text == "asn") {
+      return parse_directed_term(loc, Direction::kEither);
+    }
+    if (t.text == "proto") {
+      take();
+      ProtoPred pred;
+      parse_list([&] {
+        const Token& item = take();
+        if (item.kind != TokKind::kAtom) {
+          fail(item, "expected a protocol name, got " + quoted(item));
+        }
+        pred.protos.push_back(parse_proto_item(item));
+      });
+      return make_expr(loc, std::move(pred));
+    }
+    if (t.text == "tcp-flags") {
+      take();
+      TcpFlagsPred pred;
+      if (at_keyword("any")) {
+        take();
+        pred.any = true;
+      }
+      const Token& first = peek();
+      if (first.kind == TokKind::kAtom &&
+          (all_digits(first.text) ||
+           (first.text.size() > 2 && ieq(first.text.substr(0, 2), "0x")))) {
+        const Token num = take();
+        std::uint64_t v = 0;
+        std::string_view s = num.text;
+        const int base = all_digits(s) ? 10 : 16;
+        if (base == 16) s = s.substr(2);
+        const auto [p, ec] =
+            std::from_chars(s.data(), s.data() + s.size(), v, base);
+        if (ec != std::errc{} || p != s.data() + s.size() || v > 0xff) {
+          fail(num, "TCP flag mask " + std::string(num.text) +
+                        " out of range (max 0xff)");
+        }
+        pred.mask = static_cast<std::uint8_t>(v);
+      } else {
+        parse_list([&] {
+          const Token& item = take();
+          if (item.kind != TokKind::kAtom) {
+            fail(item, "expected a TCP flag name, got " + quoted(item));
+          }
+          pred.mask |= parse_flag_item(item);
+        });
+      }
+      if (pred.mask == 0) {
+        fail(t, "tcp-flags mask is empty (matches nothing)");
+      }
+      return make_expr(loc, pred);
+    }
+    if (t.text == "bytes" || t.text == "packets" || t.text == "bps" ||
+        t.text == "pps") {
+      RatePred pred;
+      pred.field = t.text == "bytes"     ? RateField::kBytes
+                   : t.text == "packets" ? RateField::kPackets
+                   : t.text == "bps"     ? RateField::kBps
+                                         : RateField::kPps;
+      take();
+      const Token& op = take();
+      if (op.kind != TokKind::kCmp) {
+        fail(op, "expected a comparison operator after '" + std::string(t.text) +
+                     "', got " + quoted(op));
+      }
+      pred.op = op.text == "<"    ? CmpOp::kLt
+                : op.text == "<=" ? CmpOp::kLe
+                : op.text == ">"  ? CmpOp::kGt
+                : op.text == ">=" ? CmpOp::kGe
+                : op.text == "!=" ? CmpOp::kNe
+                                  : CmpOp::kEq;  // "=" and "=="
+      const Token& num = take();
+      if (num.kind != TokKind::kAtom) {
+        fail(num, "expected a number, got " + quoted(num));
+      }
+      pred.value = parse_number(num);
+      return make_expr(loc, pred);
+    }
+    fail(t, "expected a filter term, got " + quoted(t));
+  }
+
+  // ---- expression structure ----------------------------------------------
+
+  [[nodiscard]] ExprPtr parse_unary() {
+    const Token& t = peek();
+    if (at_keyword("not")) {
+      const SourceLoc loc = take().loc;
+      return make_expr(loc, NotExpr{parse_unary()});
+    }
+    if (t.kind == TokKind::kLParen) {
+      take();
+      ExprPtr inner = parse_or();
+      const Token& close = take();
+      if (close.kind != TokKind::kRParen) {
+        fail(close, "expected ')' to close '(' at " + t.loc.to_string() +
+                        ", got " + quoted(close));
+      }
+      return inner;
+    }
+    return parse_term();
+  }
+
+  [[nodiscard]] ExprPtr parse_and() {
+    ExprPtr lhs = parse_unary();
+    while (at_keyword("and")) {
+      const SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_unary();
+      lhs = make_expr(loc, AndExpr{std::move(lhs), std::move(rhs)});
+    }
+    return lhs;
+  }
+
+  [[nodiscard]] ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at_keyword("or")) {
+      const SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_and();
+      lhs = make_expr(loc, OrExpr{std::move(lhs), std::move(rhs)});
+    }
+    return lhs;
+  }
+};
+
+}  // namespace
+
+ExprPtr parse_filter(std::string_view source) {
+  Parser p{lex(source)};
+  if (p.peek().kind == TokKind::kEnd) {
+    throw FilterError(p.peek().loc, "empty filter expression");
+  }
+  ExprPtr root = p.parse_or();
+  const Token& rest = p.peek();
+  if (rest.kind != TokKind::kEnd) {
+    throw FilterError(rest.loc, "expected 'and', 'or' or end of expression, got " +
+                                    quoted(rest));
+  }
+  return root;
+}
+
+}  // namespace lockdown::filter

@@ -1,0 +1,29 @@
+// Recursive-descent parser for the filter DSL (grammar in DESIGN.md §12):
+//
+//   expr    := or
+//   or      := and ("or" and)*
+//   and     := unary ("and" unary)*
+//   unary   := "not" unary | "(" expr ")" | term
+//   term    := ["src"|"dst"] "port" port-list
+//            | ["src"|"dst"] "net" cidr-list
+//            | ["src"|"dst"] "asn" asn-list
+//            | "proto" proto-list
+//            | "tcp-flags" ["any"] flag-list
+//            | ("bytes"|"packets"|"bps"|"pps") cmp-op number
+//
+// Lists are comma-separated; port items may be inclusive ranges
+// ("27000-27031"); numbers accept k/m/g suffixes. All diagnostics are
+// FilterErrors carrying the exact 1-based source position.
+#pragma once
+
+#include <string_view>
+
+#include "filter/ast.hpp"
+
+namespace lockdown::filter {
+
+/// Parse a complete filter expression. Throws FilterError on syntax errors,
+/// out-of-range values, malformed addresses, and empty input.
+[[nodiscard]] ExprPtr parse_filter(std::string_view source);
+
+}  // namespace lockdown::filter

@@ -61,8 +61,10 @@ CollectorDaemon::CollectorDaemon(CollectorDaemonConfig config, SliceSink sink)
                          std::string("protocol=\"") +
                              protocol_label(config.protocol) + "\"")
                    : CollectorMetrics{}),
+      observer_(std::move(config.batch_observer)),
       collector_(config.protocol,
                  Collector::BatchSink([this](std::span<const FlowRecord> batch) {
+                   if (observer_) observer_(batch);
                    for (const FlowRecord& r : batch) spooler_.append(r);
                  }),
                  config.anonymizer, /*rescale_sampled=*/false,

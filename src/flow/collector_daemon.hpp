@@ -33,6 +33,10 @@ struct CollectorDaemonConfig {
   /// When set, the daemon binds collector counters (labeled by protocol)
   /// into this registry. Must outlive the daemon.
   obs::Registry* metrics = nullptr;
+  /// Observes every decoded (and, when configured, anonymized) record
+  /// batch before it is spooled -- the monitoring-object routing hook
+  /// (filter::MonitorSet::batch_sink). Called on the ingest thread.
+  Collector::BatchSink batch_observer;
 };
 
 /// A completed trace slice.
@@ -101,6 +105,7 @@ class CollectorDaemon {
   /// Bound against config.metrics (empty handles otherwise). Must precede
   /// collector_, which keeps a pointer to it.
   CollectorMetrics metrics_;
+  Collector::BatchSink observer_;
   Collector collector_;
 };
 

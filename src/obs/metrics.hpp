@@ -161,6 +161,13 @@ class Registry {
   Histogram& histogram(std::string_view name, std::vector<double> upper_bounds,
                        std::string_view labels = {}, std::string_view help = {});
 
+  /// Unregister the counter under (name, labels); later snapshots no
+  /// longer show the series. Returns false when absent. The handle
+  /// previously returned by counter() for this entry is destroyed --
+  /// callers own the ordering and must guarantee no thread still uses it
+  /// (the monitoring-object layer unbinds only after routing stopped).
+  bool remove_counter(std::string_view name, std::string_view labels = {});
+
   [[nodiscard]] RegistrySnapshot snapshot() const;
   [[nodiscard]] std::string expose_text() const { return snapshot().to_text(); }
 

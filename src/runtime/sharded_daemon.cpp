@@ -19,9 +19,14 @@ ShardedCollectorConfig runtime_config(const ShardedDaemonConfig& config) {
 ShardedCollectorDaemon::ShardedCollectorDaemon(const ShardedDaemonConfig& config,
                                                flow::SliceSink sink)
     : spooler_(config.rotation_seconds, std::move(sink)),
+      observer_(config.batch_observer),
       runtime_(runtime_config(config),
                ShardBatchSink([this](std::size_t shard,
                                      std::span<const flow::FlowRecord> batch) {
+                 // Monitoring observers run on the worker, before the
+                 // spool: counters are commutative sums, so totals match
+                 // the single-threaded daemon for any source mix.
+                 if (observer_) observer_(batch);
                  // Worker-thread-private until the boundary below.
                  ShardSpool& spool = *spools_[shard];
                  spool.pending.insert(spool.pending.end(), batch.begin(),

@@ -39,6 +39,11 @@ struct ShardedDaemonConfig {
   /// Optional metrics registry, forwarded to the ingestion engine (see
   /// ShardedCollectorConfig::metrics). Must outlive the daemon.
   obs::Registry* metrics = nullptr;
+  /// Observes every decoded (and, when configured, anonymized) record
+  /// batch -- the monitoring-object routing hook
+  /// (filter::MonitorSet::batch_sink). Invoked on shard worker threads,
+  /// concurrently across shards: the observer must be thread-safe.
+  flow::Collector::BatchSink batch_observer;
 };
 
 class ShardedCollectorDaemon {
@@ -91,6 +96,9 @@ class ShardedCollectorDaemon {
 
   flow::SliceSpooler spooler_;
   std::vector<std::unique_ptr<ShardSpool>> spools_;
+  /// Must precede runtime_: workers may fire the batch sink (which reads
+  /// the observer) as soon as the pool starts.
+  flow::Collector::BatchSink observer_;
   /// Target shard of every accepted datagram, in wire order. Wire/owner
   /// thread only; poll() pops the front as it releases batches.
   std::deque<std::size_t> order_;

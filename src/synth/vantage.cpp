@@ -804,4 +804,80 @@ std::vector<VantagePoint> build_all_vantages(const AsRegistry& registry,
   return out;
 }
 
+TrafficModel build_mixed_scenario(const AsRegistry& registry,
+                                  const ScenarioConfig& config) {
+  Ctx ctx(registry, config, Region::kCentralEurope, "mixed-campus-vpn");
+  const std::vector<Asn> unis = role_asns(registry, AsRole::kUniversity);
+  const std::vector<Asn> enterprises = role_asns(registry, AsRole::kEnterprise);
+  const std::vector<Asn> homes = asns({64710, 64711, 64712});
+
+  // Every component owns a signature no other component can produce:
+  // TCP/443+80, UDP/443, UDP/1194+4500+500, TCP/3389 + 5938 (both protos).
+  // The monitoring integration test recomputes per-component totals from
+  // raw record fields and pins object counters against them.
+  {
+    TrafficComponent c;
+    c.id = "mix-campus-web";
+    c.app_class = AppClass::kWeb;
+    c.server_ases = hypergiant_web_mix();
+    c.client_ases = unis;
+    c.ports = {{tcp(443), 0.8}, {tcp(80), 0.2}};
+    c.base_bytes_per_hour = 6 * kGB;
+    c.workday = DiurnalProfile::campus();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.2;
+    c.response = ctx.staged(1.0, 0.45, 0.47, 0.52, -0.2);
+    c.client_pool_base = 3000;
+    ctx.model.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "mix-campus-quic";
+    c.app_class = AppClass::kQuic;
+    c.server_ases = asns({15169, 15169, 20940});
+    c.client_ases = unis;
+    c.ports = {{udp(443), 1.0}};
+    c.base_bytes_per_hour = 2 * kGB;
+    c.workday = DiurnalProfile::campus();
+    c.weekend = DiurnalProfile::flat();
+    c.weekend_level = 0.2;
+    c.ipv6_share = 0.15;  // exercises the v6 record paths end to end
+    c.response = ctx.staged(1.0, 0.40, 0.42, 0.46, -0.1);
+    ctx.model.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "mix-vpn-surge";
+    c.app_class = AppClass::kVpnPort;
+    c.server_ases = enterprises;
+    c.client_ases = homes;
+    c.ports = {{udp(1194), 0.5}, {udp(4500), 0.35}, {udp(500), 0.15}};
+    c.base_bytes_per_hour = 0.4 * kGB;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::residential_weekend();
+    c.weekend_level = 0.45;
+    c.response = ctx.staged(1.0, 3.1, 2.8, 2.3, 0.4);
+    c.mean_connection_bytes = 4e5;
+    c.connection_boost = 12.0;
+    ctx.model.add(std::move(c));
+  }
+  {
+    TrafficComponent c;
+    c.id = "mix-remote-desktop";
+    c.app_class = AppClass::kRemoteDesktop;
+    c.server_ases = enterprises;
+    c.client_ases = homes;
+    c.ports = {{tcp(3389), 0.6}, {tcp(5938), 0.25}, {udp(5938), 0.15}};
+    c.base_bytes_per_hour = 0.12 * kGB;
+    c.workday = DiurnalProfile::business_hours();
+    c.weekend = DiurnalProfile::residential_weekend();
+    c.weekend_level = 0.45;
+    c.response = ctx.staged(1.0, 4.5, 4.0, 3.2, 0.4);
+    c.mean_connection_bytes = 2e5;
+    c.connection_boost = 16.0;
+    ctx.model.add(std::move(c));
+  }
+  return std::move(ctx.model);
+}
+
 }  // namespace lockdown::synth

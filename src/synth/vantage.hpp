@@ -79,4 +79,15 @@ struct VantagePoint {
 [[nodiscard]] std::vector<VantagePoint> build_all_vantages(
     const AsRegistry& registry, const ScenarioConfig& config);
 
+/// A small campus + VPN-surge mixed scenario (not one of the paper's
+/// vantage points): four components with clean, disjoint filter signatures
+/// -- campus web (TCP 443/80 toward universities), campus QUIC (UDP 443,
+/// partly IPv6), an enterprise VPN surge (UDP 1194/4500/500) and remote
+/// desktop (TCP 3389 / TCP+UDP 5938). Built for the monitoring-object
+/// integration tests: each component's flows are exactly identifiable from
+/// record fields, so per-object counters can be asserted against ground
+/// truth computed directly from the synthesized stream.
+[[nodiscard]] TrafficModel build_mixed_scenario(const AsRegistry& registry,
+                                                const ScenarioConfig& config);
+
 }  // namespace lockdown::synth
