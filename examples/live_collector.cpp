@@ -37,10 +37,31 @@
 // the stream runs and are printed (then cleanly unregistered) at the end.
 // --monitor-file FILE loads 'name = expression' lines from a file.
 //
+// With --window SECONDS the monitoring objects stream: every object gets a
+// double-banked window aggregator (src/stream/), rotated on flow time, and
+// completed windows are drained in the ship loop. --window-key picks the
+// aggregation tuple (e.g. 'dst_as,service'; default scalar totals);
+// --window-csv FILE exports every completed window as CSV. --mavg K arms a
+// moving-average watch over the last K windows: --mavg-over F /
+// --mavg-under F fire when a window's value crosses F times the average of
+// the windows before it (counters + log lines), --mavg-metric picks
+// flows|bytes|packets, --mavg-ewma ALPHA switches to an EWMA. Window state
+// is served on /healthz next to the monitor totals.
+//
+// With --flow-sampling N the exporter keeps every Nth flow (systematic
+// 1-in-N, bytes/packets rescaled inside the surviving records) and the
+// collector-side monitor + stream layers rescale flow *counts* by N --
+// the sampler contract documented in filter/monitor.hpp.
+//
 //   $ ./live_collector [output-dir] [--shards N] [--gen-threads N] [--metrics]
 //                      [--listen PORT] [--trace-out FILE] [--linger-ms N]
 //                      [--monitor 'vpn=dst port 1194,443 and proto udp']...
-//                      [--monitor-file FILE]
+//                      [--monitor-file FILE] [--flow-sampling N]
+//                      [--window SECONDS] [--window-key dst_as,service]
+//                      [--window-csv FILE] [--mavg K] [--mavg-over F]
+//                      [--mavg-under F] [--mavg-metric flows|bytes|packets]
+//                      [--mavg-ewma ALPHA]
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -57,15 +78,18 @@
 #include "filter/monitor.hpp"
 #include "flow/collector_daemon.hpp"
 #include "flow/ipfix.hpp"
+#include "flow/sampler.hpp"
 #include "flow/trace_file.hpp"
 #include "flow/udp_transport.hpp"
 #include "obs/http_exposer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/sharded_daemon.hpp"
+#include "stream/engine.hpp"
 #include "synth/synthesizer.hpp"
 #include "synth/vantage.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 using namespace lockdown;
 
@@ -80,6 +104,15 @@ int main(int argc, char** argv) {
   long linger_ms = 0;
   std::vector<std::string> monitor_args;
   std::vector<std::string> monitor_files;
+  long window_seconds = 0;  // 0 = no streaming layer
+  std::string window_key_csv;
+  std::string window_csv_path;
+  long mavg_k = 0;  // 0 = no moving-average watch
+  double mavg_over = 0.0;
+  double mavg_under = 0.0;
+  std::string mavg_metric_name = "flows";
+  double mavg_ewma_alpha = 0.0;  // > 0 switches to EWMA
+  long flow_sampling = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--shards" && i + 1 < argc) {
@@ -99,6 +132,24 @@ int main(int argc, char** argv) {
       monitor_args.emplace_back(argv[++i]);
     } else if (arg == "--monitor-file" && i + 1 < argc) {
       monitor_files.emplace_back(argv[++i]);
+    } else if (arg == "--window" && i + 1 < argc) {
+      window_seconds = std::atol(argv[++i]);
+    } else if (arg == "--window-key" && i + 1 < argc) {
+      window_key_csv = argv[++i];
+    } else if (arg == "--window-csv" && i + 1 < argc) {
+      window_csv_path = argv[++i];
+    } else if (arg == "--mavg" && i + 1 < argc) {
+      mavg_k = std::atol(argv[++i]);
+    } else if (arg == "--mavg-over" && i + 1 < argc) {
+      mavg_over = std::atof(argv[++i]);
+    } else if (arg == "--mavg-under" && i + 1 < argc) {
+      mavg_under = std::atof(argv[++i]);
+    } else if (arg == "--mavg-metric" && i + 1 < argc) {
+      mavg_metric_name = argv[++i];
+    } else if (arg == "--mavg-ewma" && i + 1 < argc) {
+      mavg_ewma_alpha = std::atof(argv[++i]);
+    } else if (arg == "--flow-sampling" && i + 1 < argc) {
+      flow_sampling = std::atol(argv[++i]);
     } else {
       out_dir = arg;
     }
@@ -153,6 +204,88 @@ int main(int argc, char** argv) {
                 << "\n";
     }
     if (metrics != nullptr) monitors.bind_metrics(obs_registry);
+  }
+  if (flow_sampling > 1) {
+    // Exporter-side 1-in-N sampling rescales bytes/packets per record; the
+    // collector-side layers only need the flow-count side of the contract.
+    monitors.set_flow_scale(static_cast<double>(flow_sampling));
+  }
+
+  // --- Streaming windows -----------------------------------------------------
+  // Declared after `monitors` (and before the daemons): the destructor
+  // detaches the per-object hooks, so it must run before MonitorSet's.
+  std::optional<stream::StreamMonitor> streamer;
+  std::optional<util::Table> window_table;
+  if (window_seconds > 0) {
+    if (monitors.empty()) {
+      std::cerr << "error: --window needs at least one --monitor object\n";
+      return 1;
+    }
+    stream::StreamConfig scfg;
+    scfg.window.window_seconds = window_seconds;
+    const auto key = stream::parse_key_tuple(window_key_csv);
+    if (!key) {
+      std::cerr << "error: bad --window-key '" << window_key_csv << "'\n";
+      return 1;
+    }
+    scfg.window.key = *key;
+    if (mavg_k > 0) {
+      const auto metric = stream::parse_mavg_metric(mavg_metric_name);
+      if (!metric) {
+        std::cerr << "error: bad --mavg-metric '" << mavg_metric_name << "'\n";
+        return 1;
+      }
+      scfg.mavg = stream::MavgConfig{
+          .k = static_cast<std::size_t>(mavg_k),
+          .metric = *metric,
+          .ewma = mavg_ewma_alpha > 0.0,
+          .alpha = mavg_ewma_alpha > 0.0 ? mavg_ewma_alpha : 0.25,
+          .overlimit = mavg_over,
+          .underlimit = mavg_under};
+    }
+    try {
+      streamer.emplace(monitors, scfg);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    if (flow_sampling > 1) {
+      streamer->set_flow_scale(static_cast<double>(flow_sampling));
+    }
+    if (metrics != nullptr) streamer->bind_metrics(obs_registry);
+    if (!window_csv_path.empty()) {
+      window_table.emplace(std::vector<std::string>{
+          "object", "window", "seq", "key", "flows", "bytes", "packets"});
+      streamer->set_window_sink([&](const stream::ObjectStream& os,
+                                    const stream::WindowResult& r) {
+        const auto& tuple = streamer->config().window.key;
+        window_table->add_row({os.name(), r.begin.to_string(),
+                               std::to_string(r.seq), "*",
+                               std::to_string(r.total.flows),
+                               std::to_string(r.total.bytes),
+                               std::to_string(r.total.packets)});
+        auto rows = r.rows;
+        std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+          return a.first < b.first;
+        });
+        for (const auto& [k, acc] : rows) {
+          window_table->add_row({os.name(), r.begin.to_string(),
+                                 std::to_string(r.seq),
+                                 stream::key_to_string(tuple, k),
+                                 std::to_string(acc.flows),
+                                 std::to_string(acc.bytes),
+                                 std::to_string(acc.packets)});
+        }
+      });
+    }
+    std::cout << "streaming windows: " << window_seconds << "s"
+              << (scfg.window.key.empty() ? "" : ", key=" + window_key_csv);
+    if (scfg.mavg) {
+      std::cout << ", mavg k=" << scfg.mavg->k << " metric="
+                << stream::to_string(scfg.mavg->metric)
+                << (scfg.mavg->ewma ? " (ewma)" : "");
+    }
+    std::cout << "\n";
   }
 
   // --- Collector side ------------------------------------------------------
@@ -260,6 +393,27 @@ int main(int argc, char** argv) {
         }
         j += ']';
       }
+      if (streamer) {
+        j += ",\"stream\":{\"window_seconds\":" +
+             std::to_string(streamer->config().window.window_seconds);
+        j += ",\"objects\":[";
+        bool first = true;
+        for (const auto& os : *streamer) {
+          if (!first) j += ',';
+          first = false;
+          j += "{\"name\":\"" + os->name() + "\"";
+          j += ",\"windows\":" + std::to_string(os->windows());
+          j += ",\"pending\":" + std::to_string(os->aggregator().pending());
+          if (os->has_mavg()) {
+            j += ",\"overlimit\":" + std::to_string(os->overlimit_events());
+            j += ",\"underlimit\":" + std::to_string(os->underlimit_events());
+            j += ",\"value\":" + std::to_string(os->last_value());
+            j += ",\"mavg\":" + std::to_string(os->last_mavg());
+          }
+          j += '}';
+        }
+        j += "]}";
+      }
       j += ",\"trace_threads\":" +
            std::to_string(obs::Tracer::instance().threads());
       j += ",\"trace_dropped_spans\":" +
@@ -340,6 +494,9 @@ int main(int argc, char** argv) {
     batch.clear();
     // Drain the wire as we go (single-threaded poll loop on this side).
     (void)transport->drain(ingest);
+    // Completed windows are consumed here, on the owner thread; rotation
+    // happened inside the ingest path without blocking it.
+    if (streamer) (void)streamer->poll();
     // Periodic observability heartbeat, the live analogue of a scrape. The
     // kernel-drop gauge is published here because kernel_drops() is
     // maintained by this (the draining) thread, not by scrape handlers.
@@ -348,11 +505,21 @@ int main(int argc, char** argv) {
       metrics_line();
     }
   };
+  // Exporter-side systematic sampling: bytes/packets of survivors are
+  // scaled inside the record, exactly like a sampling router announces.
+  flow::SystematicSampler sampler(
+      flow_sampling > 1 ? static_cast<std::uint32_t>(flow_sampling) : 1);
+  if (flow_sampling > 1) {
+    std::cout << "exporter samples 1-in-" << flow_sampling
+              << " flows (collector rescales flow counts)\n";
+  }
   synth.synthesize(
       net::TimeRange{net::Timestamp::from_date(net::Date(2020, 3, 25), 19),
                      net::Timestamp::from_date(net::Date(2020, 3, 25), 21)},
       [&](const flow::FlowRecord& r) {
-        batch.push_back(r);
+        const auto sampled = sampler.offer(r);
+        if (!sampled) return;
+        batch.push_back(*sampled);
         if (batch.size() == 48) ship();
       });
   ship();
@@ -404,6 +571,34 @@ int main(int argc, char** argv) {
                 << object->packets() << "\n";
     }
   }
+  if (streamer) {
+    // The daemon is flushed; close the partial windows and drain the rest.
+    streamer->flush();
+    (void)streamer->poll();
+    std::cout << "  streaming windows (" << window_seconds << "s):\n";
+    for (const auto& os : *streamer) {
+      std::cout << "    " << os->name() << ": " << os->windows()
+                << " windows";
+      if (os->has_mavg()) {
+        std::cout << ", " << os->overlimit_events() << " overlimit / "
+                  << os->underlimit_events() << " underlimit events";
+      }
+      std::cout << "\n";
+    }
+    if (window_table) {
+      std::FILE* f = std::fopen(window_csv_path.c_str(), "wb");
+      if (f == nullptr) {
+        std::cerr << "error: cannot write window CSV to " << window_csv_path
+                  << "\n";
+        return 1;
+      }
+      const std::string csv = window_table->to_csv();
+      std::fwrite(csv.data(), 1, csv.size(), f);
+      std::fclose(f);
+      std::cout << "  window CSV (" << window_table->rows() << " rows) -> "
+                << window_csv_path << "\n";
+    }
+  }
   if (metrics != nullptr) {
     flow::publish_udp_stats(obs_registry, *transport);
     metrics_line();
@@ -414,12 +609,13 @@ int main(int argc, char** argv) {
       // Clean shutdown of the monitoring layer: the daemon is flushed (no
       // route_batch can race), so the per-object counters unregister and a
       // later scrape no longer mentions them.
+      if (streamer) streamer->unbind_metrics();
       monitors.unbind_metrics();
-      std::cout << "monitor counters unregistered from /metrics ("
-                << (obs_registry.expose_text().find("monitor_matched_") ==
-                            std::string::npos
-                        ? "verified absent"
-                        : "STILL PRESENT -- bug")
+      const std::string after = obs_registry.expose_text();
+      const bool clean = after.find("monitor_matched_") == std::string::npos &&
+                         after.find("stream_") == std::string::npos;
+      std::cout << "monitor + stream metrics unregistered from /metrics ("
+                << (clean ? "verified absent" : "STILL PRESENT -- bug")
                 << ")\n";
     }
   }

@@ -56,6 +56,14 @@ PAIRS = [
     # per-datagram hot loops is no longer free.
     ("BENCH_bench_obs_trace.json", "BM_SpanEnabled",
      "BM_SpanDisabled", 2.5, "trace span (disabled vs enabled)"),
+    # Non-blocking flush gate: with the double-banked window state, ingest
+    # under a continuously rotating flusher must cost about the same as
+    # ingest with a quiescent clock (ratio ~1.0). If window retirement
+    # starts holding the ingest path, under-flush time grows and the ratio
+    # falls through the floor.
+    ("BENCH_bench_stream_window.json", "BM_WindowAccumulateQuiescent",
+     "BM_WindowAccumulateUnderFlush", 0.75,
+     "window ingest (quiescent vs flush)"),
 ]
 
 

@@ -28,13 +28,14 @@ std::vector<ClassActivityTracker::HourPoint> ClassActivityTracker::hourly() cons
 
 std::vector<ClassActivityTracker::DayEnvelope> ClassActivityTracker::envelope(
     const std::function<double(const HourAcc&)>& metric) const {
-  // Global minimum hourly value for normalization (Fig 8's y-axis).
+  // Smallest *positive* hourly value for normalization (Fig 8's y-axis is
+  // "x minimum"): an idle zero hour must not collapse the divisor to the
+  // 1.0 fallback and silently turn the envelope into raw values. Only a
+  // series with no positive hour at all falls back to 1.0.
   double global_min = 0.0;
-  bool first = true;
   for (const auto& [hour, acc] : hours_) {
     const double v = metric(acc);
-    if (first || v < global_min) global_min = v;
-    first = false;
+    if (v > 0.0 && (global_min <= 0.0 || v < global_min)) global_min = v;
   }
   if (global_min <= 0.0) global_min = 1.0;
 

@@ -90,6 +90,16 @@ void MonitorSet::add_definitions(std::string_view text,
         SourceLoc loc{line_no, static_cast<std::uint32_t>(eq + 1) +
                                    e.loc().column};
         throw FilterError(loc, e.detail(), origin);
+      } catch (const std::invalid_argument& e) {
+        // Name problems (duplicate registration, invalid characters) throw
+        // invalid_argument from add(); anchor them to the name's first
+        // character so a --monitor-file load reports file and line too.
+        const std::size_t name_start = raw.find_first_not_of(" \t");
+        SourceLoc loc{line_no,
+                      name_start == std::string_view::npos
+                          ? 1
+                          : static_cast<std::uint32_t>(name_start + 1)};
+        throw FilterError(loc, e.what(), origin);
       }
     }
     pos = eol + 1;
@@ -114,6 +124,14 @@ void MonitorSet::route_batch(std::span<const flow::FlowRecord> records) {
       ++flows;
       bytes += records[i].bytes;
       packets += records[i].packets;
+    }
+    if (obj->batch_hook_) {
+      // Even a zero-hit batch goes through: the hook may drive time-based
+      // state (window rotation) off record timestamps.
+      obj->batch_hook_(records,
+                       std::span<const std::uint8_t>(hits.data(),
+                                                     records.size()),
+                       cols);
     }
     if (flows == 0) continue;
     if (flow_scale_ != 1.0) {

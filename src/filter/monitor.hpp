@@ -10,10 +10,12 @@
 // Counters are relaxed atomics, so sharded totals equal the single-threaded
 // daemon's for any source mix -- sums are commutative.
 //
-// Sampler rescaling: the flow::sampler stages rescale bytes/packets inside
-// each surviving record, so those counters are rescaled by construction.
-// Flow *counts* under 1-in-N flow sampling are undercounted by N; set
-// set_flow_scale(N) to rescale them the same way.
+// Sampler rescaling contract: the flow::sampler stages rescale
+// bytes/packets inside each surviving record (and the collector daemons
+// can do the same for header-announced intervals via rescale_sampled), so
+// those counters are rescaled by construction. Flow *counts* under 1-in-N
+// flow sampling are undercounted by N; set set_flow_scale(N) to rescale
+// them the same way -- live_collector wires this from --flow-sampling.
 #pragma once
 
 #include <atomic>
@@ -35,8 +37,25 @@ class MonitorSet;
 
 class MonitoringObject {
  public:
+  /// Per-batch observer: the records just routed, this object's hit mask
+  /// (aligned with `records`, 1 = matched), and the batch's shared derived
+  /// columns. Called from route_batch on every batch -- possibly with zero
+  /// hits -- on whichever thread routed it, so hooks must be thread-safe
+  /// (the streaming window aggregator is). The spans/columns are only
+  /// valid for the duration of the call.
+  using BatchHook = std::function<void(std::span<const flow::FlowRecord>,
+                                       std::span<const std::uint8_t>,
+                                       const FlowColumns&)>;
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const CompiledFilter& filter() const noexcept { return filter_; }
+
+  /// Wiring-time only (must not race route_batch). One hook per object;
+  /// pass an empty function to detach.
+  void set_batch_hook(BatchHook hook) { batch_hook_ = std::move(hook); }
+  [[nodiscard]] bool has_batch_hook() const noexcept {
+    return static_cast<bool>(batch_hook_);
+  }
 
   [[nodiscard]] std::uint64_t flows() const noexcept {
     return flows_.load(std::memory_order_relaxed);
@@ -55,6 +74,7 @@ class MonitoringObject {
 
   std::string name_;
   CompiledFilter filter_;
+  BatchHook batch_hook_;
   std::atomic<std::uint64_t> flows_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> packets_{0};
@@ -77,8 +97,10 @@ class MonitorSet {
   MonitoringObject& add(std::string_view name, std::string_view expression);
 
   /// Parse `name = expression` definition lines (one per line; blank lines
-  /// and '#' comments ignored) -- the --monitor-file format. `origin` is
-  /// prefixed to error positions ("monitors.conf:3:14: ...").
+  /// and '#' comments ignored) -- the --monitor-file format. Every failure
+  /// -- expression errors and name problems (duplicate, invalid
+  /// characters) alike -- throws FilterError anchored to the offending
+  /// file line; `origin` is prefixed to positions ("monitors.conf:3:14:").
   void add_definitions(std::string_view text, std::string_view origin);
 
   /// Match `records` against every object and accumulate per-object

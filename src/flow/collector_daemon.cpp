@@ -67,7 +67,7 @@ CollectorDaemon::CollectorDaemon(CollectorDaemonConfig config, SliceSink sink)
                    if (observer_) observer_(batch);
                    for (const FlowRecord& r : batch) spooler_.append(r);
                  }),
-                 config.anonymizer, /*rescale_sampled=*/false,
+                 config.anonymizer, config.rescale_sampled,
                  config.metrics != nullptr ? &metrics_ : nullptr) {}
 
 void CollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {

@@ -30,6 +30,11 @@ struct CollectorDaemonConfig {
   std::int64_t rotation_seconds = 300;
   /// Anonymize before spooling (nullptr = store raw).
   const Anonymizer* anonymizer = nullptr;
+  /// Multiply per-record bytes/packets by the exporter-announced sampling
+  /// interval (v5 header / v9 options templates) on decode. Flow *counts*
+  /// stay unscaled -- rescale those with MonitorSet::set_flow_scale (the
+  /// sampler-rescaling contract in filter/monitor.hpp).
+  bool rescale_sampled = false;
   /// When set, the daemon binds collector counters (labeled by protocol)
   /// into this registry. Must outlive the daemon.
   obs::Registry* metrics = nullptr;

@@ -78,6 +78,11 @@ bool Registry::remove_counter(std::string_view name, std::string_view labels) {
   return counters_.erase(Key(std::string(name), std::string(labels))) > 0;
 }
 
+bool Registry::remove_gauge(std::string_view name, std::string_view labels) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.erase(Key(std::string(name), std::string(labels))) > 0;
+}
+
 Gauge& Registry::gauge(std::string_view name, std::string_view labels,
                        std::string_view help) {
   const std::lock_guard<std::mutex> lock(mu_);

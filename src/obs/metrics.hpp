@@ -167,6 +167,9 @@ class Registry {
   /// callers own the ordering and must guarantee no thread still uses it
   /// (the monitoring-object layer unbinds only after routing stopped).
   bool remove_counter(std::string_view name, std::string_view labels = {});
+  /// Same contract for gauges (the stream layer unbinds per-object window
+  /// gauges on shutdown).
+  bool remove_gauge(std::string_view name, std::string_view labels = {});
 
   [[nodiscard]] RegistrySnapshot snapshot() const;
   [[nodiscard]] std::string expose_text() const { return snapshot().to_text(); }

@@ -10,6 +10,7 @@ ShardedCollectorConfig runtime_config(const ShardedDaemonConfig& config) {
   rc.shards = config.shards == 0 ? 1 : config.shards;
   rc.ring_capacity = config.ring_capacity;
   rc.anonymizer = config.anonymizer;
+  rc.rescale_sampled = config.rescale_sampled;
   rc.metrics = config.metrics;
   return rc;
 }

@@ -36,6 +36,11 @@ struct ShardedDaemonConfig {
   std::size_t ring_capacity = 4096;
   std::int64_t rotation_seconds = 300;
   const flow::Anonymizer* anonymizer = nullptr;
+  /// Multiply per-record bytes/packets by the exporter-announced sampling
+  /// interval (v5 header / v9 options templates) on decode. Flow *counts*
+  /// stay unscaled -- rescale those with MonitorSet::set_flow_scale (the
+  /// sampler-rescaling contract in filter/monitor.hpp).
+  bool rescale_sampled = false;
   /// Optional metrics registry, forwarded to the ingestion engine (see
   /// ShardedCollectorConfig::metrics). Must outlive the daemon.
   obs::Registry* metrics = nullptr;

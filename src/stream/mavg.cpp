@@ -1,0 +1,71 @@
+#include "stream/mavg.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace lockdown::stream {
+
+std::optional<MavgMetric> parse_mavg_metric(std::string_view name) {
+  for (const MavgMetric m :
+       {MavgMetric::kFlows, MavgMetric::kBytes, MavgMetric::kPackets}) {
+    if (name == to_string(m)) return m;
+  }
+  return std::nullopt;
+}
+
+MovingAverage::MovingAverage(MavgConfig config) : config_(config) {
+  if (config_.k == 0) {
+    throw std::invalid_argument("MovingAverage: k must be >= 1");
+  }
+  if (config_.ewma && !(config_.alpha > 0.0 && config_.alpha <= 1.0)) {
+    throw std::invalid_argument("MovingAverage: alpha must be in (0, 1]");
+  }
+  if (config_.overlimit < 0.0 || config_.underlimit < 0.0) {
+    throw std::invalid_argument("MovingAverage: limit factors must be >= 0");
+  }
+}
+
+double MovingAverage::value_of(const WindowResult& r) const noexcept {
+  switch (config_.metric) {
+    case MavgMetric::kFlows:
+      return static_cast<double>(r.total.flows);
+    case MavgMetric::kBytes:
+      return static_cast<double>(r.total.bytes);
+    case MavgMetric::kPackets:
+      return static_cast<double>(r.total.packets);
+  }
+  return 0.0;
+}
+
+double MovingAverage::average() const noexcept {
+  if (seen_ == 0) return 0.0;
+  if (config_.ewma) return ewma_;
+  return sum_ / static_cast<double>(ring_.size());
+}
+
+std::optional<MavgEvent> MovingAverage::observe(const WindowResult& r) {
+  const double v = value_of(r);
+  std::optional<MavgEvent> event;
+  if (warmed_up()) {
+    const double m = average();  // over the preceding windows only
+    if (config_.overlimit > 0.0 && v > m * config_.overlimit) {
+      event = MavgEvent{r.begin, r.seq, v, m, /*over=*/true};
+    } else if (config_.underlimit > 0.0 && v < m * config_.underlimit) {
+      event = MavgEvent{r.begin, r.seq, v, m, /*over=*/false};
+    }
+  }
+  if (config_.ewma) {
+    ewma_ = seen_ == 0 ? v : config_.alpha * v + (1.0 - config_.alpha) * ewma_;
+  } else {
+    ring_.push_back(v);
+    sum_ += v;
+    if (ring_.size() > config_.k) {
+      sum_ -= ring_.front();
+      ring_.pop_front();
+    }
+  }
+  ++seen_;
+  return event;
+}
+
+}  // namespace lockdown::stream

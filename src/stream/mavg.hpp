@@ -1,0 +1,92 @@
+// Moving-average threshold layer over completed windows (xenoeye's mavg
+// monitoring-object section, DESIGN.md §13). One MovingAverage consumes
+// one object's WindowResult sequence in order and compares each window's
+// value against the average of the windows *before* it -- either a plain
+// mean over the last K windows or an EWMA -- firing an overlimit or
+// underlimit event when the ratio crosses the configured factor.
+//
+// Warm-up: the first K windows only feed the average and can never fire,
+// so a monitor starting mid-day does not alarm on its first sample. Empty
+// windows count as zeros (a gap in traffic moves the average down, which
+// is exactly what an underlimit watch is for).
+//
+// Thread model: single consumer -- observe() is called from whatever
+// thread drains the aggregator (StreamMonitor::poll()). Not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string_view>
+
+#include "net/civil_time.hpp"
+#include "stream/window.hpp"
+
+namespace lockdown::stream {
+
+enum class MavgMetric : std::uint8_t { kFlows, kBytes, kPackets };
+
+[[nodiscard]] constexpr const char* to_string(MavgMetric m) noexcept {
+  switch (m) {
+    case MavgMetric::kFlows: return "flows";
+    case MavgMetric::kBytes: return "bytes";
+    case MavgMetric::kPackets: return "packets";
+  }
+  return "?";
+}
+
+/// "flows" -> kFlows; nullopt for unknown names.
+[[nodiscard]] std::optional<MavgMetric> parse_mavg_metric(
+    std::string_view name);
+
+struct MavgConfig {
+  /// Averaging depth: windows in the mean, and the warm-up length (for
+  /// EWMA only the warm-up meaning applies).
+  std::size_t k = 8;
+  MavgMetric metric = MavgMetric::kFlows;
+  bool ewma = false;    ///< EWMA instead of a windowed mean
+  double alpha = 0.25;  ///< EWMA smoothing weight of the newest window
+  /// Fire when value > mavg * overlimit (0 disables). xenoeye spells this
+  /// "overlimit" on fwm sections; 1.5 means "50% above the running mean".
+  double overlimit = 0.0;
+  /// Fire when value < mavg * underlimit (0 disables).
+  double underlimit = 0.0;
+};
+
+struct MavgEvent {
+  net::Timestamp window_begin;
+  std::int64_t seq = 0;
+  double value = 0.0;
+  double mavg = 0.0;
+  bool over = false;  ///< true = overlimit fired, false = underlimit
+};
+
+class MovingAverage {
+ public:
+  /// Throws std::invalid_argument on k == 0, alpha outside (0, 1], or a
+  /// negative limit factor.
+  explicit MovingAverage(MavgConfig config);
+
+  /// Feed the next completed window (callers must preserve window order).
+  /// Returns the fired event, if any: the window's value compared against
+  /// the average over the preceding windows, then folded in.
+  std::optional<MavgEvent> observe(const WindowResult& r);
+
+  /// The configured metric's value for a window (scalar total).
+  [[nodiscard]] double value_of(const WindowResult& r) const noexcept;
+
+  [[nodiscard]] const MavgConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t windows_seen() const noexcept { return seen_; }
+  [[nodiscard]] bool warmed_up() const noexcept { return seen_ >= config_.k; }
+  /// Current average over the windows observed so far (0 before any).
+  [[nodiscard]] double average() const noexcept;
+
+ private:
+  MavgConfig config_;
+  std::deque<double> ring_;  ///< last <= k values (windowed-mean mode)
+  double sum_ = 0.0;
+  double ewma_ = 0.0;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace lockdown::stream

@@ -268,6 +268,39 @@ TEST(ClassActivity, EnvelopesNormalizedToMinimum) {
   EXPECT_GT(env[1].avg, env[0].avg);
 }
 
+TEST(ClassActivity, EnvelopeNormalizesBySmallestPositiveHour) {
+  // Regression: an idle hour (zero bytes) used to collapse the global
+  // minimum to zero, hit the 1.0 fallback, and silently turn the envelope
+  // into raw byte values instead of Fig 8's "x minimum" units.
+  const auto reg = synth::AsRegistry::create_default();
+  const AsView view(reg.trie());
+  const auto classifier = AppClassifier::table1();
+  ClassActivityTracker tracker(classifier, view, AppClass::kGaming);
+
+  const Date day(2020, 2, 20);
+  tracker.add(flow_at(Timestamp::from_date(day, 0), 0, Asn(64710), Asn(32590),
+                      IpProtocol::kUdp, 27001));  // idle hour: zero bytes
+  tracker.add(flow_at(Timestamp::from_date(day, 1), 50, Asn(64710),
+                      Asn(32590), IpProtocol::kUdp, 27001));
+  tracker.add(flow_at(Timestamp::from_date(day, 2), 100, Asn(64710),
+                      Asn(32590), IpProtocol::kUdp, 27001));
+
+  const auto env = tracker.daily_volume_envelope();
+  ASSERT_EQ(env.size(), 1u);
+  // Normalized by the smallest *positive* hour (50), not the zero hour.
+  EXPECT_DOUBLE_EQ(env[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(env[0].max, 2.0);
+  EXPECT_DOUBLE_EQ(env[0].avg, 1.0);
+
+  // A series with no positive hour at all still avoids dividing by zero.
+  ClassActivityTracker idle(classifier, view, AppClass::kGaming);
+  idle.add(flow_at(Timestamp::from_date(day, 3), 0, Asn(64710), Asn(32590),
+                   IpProtocol::kUdp, 27001));
+  const auto flat = idle.daily_volume_envelope();
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_DOUBLE_EQ(flat[0].max, 0.0);
+}
+
 // --- VpnAnalyzer --------------------------------------------------------------
 
 TEST(VpnAnalyzer, PortClassification) {

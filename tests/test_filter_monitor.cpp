@@ -123,6 +123,72 @@ TEST(MonitorSet, DefinitionFileParsesCommentsAndReanchorsErrors) {
   }
 }
 
+TEST(MonitorSet, DefinitionFileAnchorsNameErrorsToFileCoordinates) {
+  // Name problems throw std::invalid_argument from add(); a definition-file
+  // load must wrap them into a line-anchored FilterError like any parse
+  // error, not let the bare invalid_argument escape without coordinates.
+  filter::MonitorSet dup;
+  try {
+    dup.add_definitions(
+        "web = port 443\n"
+        "# comment between definitions\n"
+        "web = port 80\n",
+        "mon.conf");
+    FAIL() << "expected FilterError";
+  } catch (const filter::FilterError& e) {
+    EXPECT_EQ(e.loc().line, 3u);
+    EXPECT_EQ(e.loc().column, 1u);
+    EXPECT_EQ(std::string(e.what()),
+              "mon.conf:3:1: monitoring object 'web' registered twice");
+  }
+
+  filter::MonitorSet bad_name;
+  try {
+    bad_name.add_definitions("  bad! = port 443\n", "mon.conf");
+    FAIL() << "expected FilterError";
+  } catch (const filter::FilterError& e) {
+    EXPECT_EQ(e.loc().line, 1u);
+    // Anchored to the name's first character, past the indentation.
+    EXPECT_EQ(e.loc().column, 3u);
+    EXPECT_NE(std::string(e.detail()).find("'bad!'"), std::string::npos);
+  }
+  // The failed load leaves no partial state behind.
+  EXPECT_EQ(bad_name.size(), 0u);
+}
+
+TEST(MonitorSet, DefinitionFileHandlesCrlfAndCommentsWithEquals) {
+  // CRLF files (Windows editors, curl'd configs) must parse cleanly: the
+  // trailing \r may reach neither the object name nor the expression lexer.
+  filter::MonitorSet crlf;
+  crlf.add_definitions(
+      "vpn = proto udp and dst port 1194\r\n"
+      "web = proto tcp and port 443\r\n",
+      "mon.conf");
+  EXPECT_EQ(crlf.size(), 2u);
+  EXPECT_NE(crlf.find("vpn"), nullptr);
+  EXPECT_NE(crlf.find("web"), nullptr);
+
+  // And errors in a CRLF file still anchor to the right line.
+  filter::MonitorSet crlf_dup;
+  try {
+    crlf_dup.add_definitions("a = port 80\r\na = port 81\r\n", "mon.conf");
+    FAIL() << "expected FilterError";
+  } catch (const filter::FilterError& e) {
+    EXPECT_EQ(e.loc().line, 2u);
+    EXPECT_EQ(e.loc().column, 1u);
+  }
+
+  // Comment lines containing '=' are comments, not definitions.
+  filter::MonitorSet comments;
+  comments.add_definitions(
+      "# rate = 5 would be a definition without the hash\n"
+      "web = port 80\n"
+      "   # indented comment with spare = sign\n",
+      "mon.conf");
+  EXPECT_EQ(comments.size(), 1u);
+  EXPECT_NE(comments.find("web"), nullptr);
+}
+
 // --- /metrics lifecycle ----------------------------------------------------
 
 TEST(MonitorSet, MetricsBindSeedsAdvancesAndUnbindsCleanly) {
