@@ -21,6 +21,15 @@
 // worker threads; the delivered stream (and thus every datagram) is
 // byte-identical to the single-threaded one.
 //
+// With --wire-threads N the collector ingests through the async network
+// plane (src/net/eventloop/ + runtime::WirePlane): N SO_REUSEPORT sockets,
+// each drained by its own epoll wire thread with recvmmsg batches straight
+// into pooled arena buffers, merged back into deterministic slices by the
+// daemon's arrival-ticket order. Implies the sharded runtime (defaults to
+// N worker shards when --shards is absent). The exporter side opens one
+// sender socket per observation domain so the kernel's 4-tuple hash
+// actually spreads the stream across the lanes.
+//
 // With --listen PORT the process becomes an inspectable service: an HTTP
 // exposer serves GET /metrics (live Prometheus text), GET /healthz (shard
 // liveness, ring occupancy, sequence loss as JSON), and GET /trace?ms=N
@@ -53,7 +62,8 @@
 // collector-side monitor + stream layers rescale flow *counts* by N --
 // the sampler contract documented in filter/monitor.hpp.
 //
-//   $ ./live_collector [output-dir] [--shards N] [--gen-threads N] [--metrics]
+//   $ ./live_collector [output-dir] [--shards N] [--wire-threads N]
+//                      [--gen-threads N] [--metrics]
 //                      [--listen PORT] [--trace-out FILE] [--linger-ms N]
 //                      [--monitor 'vpn=dst port 1194,443 and proto udp']...
 //                      [--monitor-file FILE] [--flow-sampling N]
@@ -81,10 +91,12 @@
 #include "flow/sampler.hpp"
 #include "flow/trace_file.hpp"
 #include "flow/udp_transport.hpp"
+#include "net/eventloop/udp_batch_socket.hpp"
 #include "obs/http_exposer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "runtime/sharded_daemon.hpp"
+#include "runtime/wire_plane.hpp"
 #include "stream/engine.hpp"
 #include "synth/synthesizer.hpp"
 #include "synth/vantage.hpp"
@@ -97,6 +109,7 @@ int main(int argc, char** argv) {
   std::filesystem::path out_dir =
       std::filesystem::temp_directory_path() / "lockdown_slices";
   std::size_t shards = 0;  // 0 = classic single-threaded daemon
+  std::size_t wire_threads = 0;  // 0 = inline drain on the ship loop
   std::size_t gen_threads = 1;
   bool metrics_enabled = false;
   int listen_port = -1;  // -1 = no exposer
@@ -117,6 +130,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--shards" && i + 1 < argc) {
       shards = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (arg == "--wire-threads" && i + 1 < argc) {
+      wire_threads = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (arg == "--gen-threads" && i + 1 < argc) {
       gen_threads = static_cast<std::size_t>(std::atol(argv[++i]));
     } else if (arg == "--metrics") {
@@ -289,15 +304,23 @@ int main(int argc, char** argv) {
   }
 
   // --- Collector side ------------------------------------------------------
+  // --wire-threads runs on the async plane, which needs the sharded
+  // runtime's lane-ticket merge; default to one worker shard per lane.
+  if (wire_threads > 0 && shards == 0) shards = wire_threads;
+
   // 1 MiB socket buffer: the wire thread shares a core with the exporter
-  // in this self-contained setup, so give the kernel room to queue.
-  auto transport = flow::UdpCollectorTransport::create(0, 1 << 20);
-  if (!transport) {
-    std::cerr << "error: cannot bind a loopback UDP socket\n";
-    return 1;
+  // in this self-contained setup, so give the kernel room to queue. The
+  // async plane (--wire-threads) binds its own sockets instead.
+  std::optional<flow::UdpCollectorTransport> transport;
+  if (wire_threads == 0) {
+    transport = flow::UdpCollectorTransport::create(0, 1 << 20);
+    if (!transport) {
+      std::cerr << "error: cannot bind a loopback UDP socket\n";
+      return 1;
+    }
+    std::cout << "collector listening on 127.0.0.1:" << transport->port()
+              << " (rcvbuf " << transport->rcvbuf_bytes() << " bytes)\n";
   }
-  std::cout << "collector listening on 127.0.0.1:" << transport->port()
-            << " (rcvbuf " << transport->rcvbuf_bytes() << " bytes)\n";
 
   const flow::Anonymizer anonymizer({0x10cd0ULL, 0xeffec7ULL},
                                     flow::AnonymizationMode::kPrefixPreserving);
@@ -320,6 +343,7 @@ int main(int argc, char** argv) {
 
   std::optional<flow::CollectorDaemon> daemon;
   std::optional<runtime::ShardedCollectorDaemon> sharded;
+  std::unique_ptr<runtime::WirePlane> plane;
   if (shards > 0) {
     std::cout << "sharded runtime: " << shards << " worker shards\n";
     sharded.emplace(
@@ -327,6 +351,8 @@ int main(int argc, char** argv) {
                                      .shards = shards,
                                      .rotation_seconds = 15 * 60,
                                      .anonymizer = &anonymizer,
+                                     .wire_lanes =
+                                         wire_threads > 0 ? wire_threads : 1,
                                      .metrics = metrics,
                                      .batch_observer = monitor_sink},
         slice_sink);
@@ -346,6 +372,26 @@ int main(int argc, char** argv) {
       daemon->ingest(d);
     }
   };
+
+  if (wire_threads > 0) {
+    runtime::WirePlaneConfig pcfg;
+    pcfg.lanes = wire_threads;
+    pcfg.metrics = metrics;
+    plane = runtime::WirePlane::create(pcfg, *sharded);
+    if (!plane) {
+      std::cerr << "error: cannot bind the wire-plane sockets\n";
+      return 1;
+    }
+    std::cout << "async wire plane on 127.0.0.1:" << plane->port() << " ("
+              << plane->lanes() << " epoll lane(s), "
+              << (plane->reuseport_active() ? "SO_REUSEPORT"
+                                            : "single socket fallback")
+              << ", "
+              << (net::UdpBatchSocket::batch_receive_supported()
+                      ? "recvmmsg"
+                      : "recvmsg fallback")
+              << ")\n";
+  }
 
   // --- Observability endpoint ----------------------------------------------
   // The health and scrape callbacks run on the exposer's listener thread
@@ -368,6 +414,15 @@ int main(int argc, char** argv) {
         j += ",\"sequence_lost\":" + std::to_string(e.sequence_lost);
         j += ",\"ring_dropped\":" + std::to_string(e.dropped);
         j += ",\"queue_high_water\":" + std::to_string(e.queue_high_water);
+        if (plane) {
+          j += ",\"wire_plane\":{\"lanes\":" + std::to_string(plane->lanes());
+          j += ",\"reuseport\":";
+          j += plane->reuseport_active() ? "true" : "false";
+          j += ",\"datagrams\":" + std::to_string(plane->datagrams());
+          j += ",\"kernel_drops\":" + std::to_string(plane->kernel_drops());
+          j += ",\"truncated\":" + std::to_string(plane->truncated());
+          j += '}';
+        }
         j += ",\"shards\":[";
         for (std::size_t i = 0; i < e.shards.size(); ++i) {
           if (i > 0) j += ',';
@@ -427,6 +482,7 @@ int main(int argc, char** argv) {
                                          sharded->engine_snapshot());
         flow::publish_arena_stats(obs_registry, sharded->arena_stats());
       }
+      if (plane) runtime::publish_wire_plane_stats(obs_registry, *plane);
     };
     exposer = obs::HttpExposer::create(std::move(cfg));
     if (!exposer) {
@@ -439,10 +495,20 @@ int main(int argc, char** argv) {
   }
 
   // --- Exporter side ---------------------------------------------------------
-  auto exporter = flow::UdpExporterTransport::create(transport->port());
-  if (!exporter) {
-    std::cerr << "error: cannot create the exporter socket\n";
-    return 1;
+  // One sender socket per observation domain when the wire plane is up:
+  // SO_REUSEPORT distributes by 4-tuple hash, so distinct source ports are
+  // what actually spread the domains across the lanes. The classic path
+  // keeps its single socket (one FIFO queue either way).
+  const std::uint16_t collector_port =
+      plane ? plane->port() : transport->port();
+  std::vector<flow::UdpExporterTransport> exporters;
+  for (std::size_t i = 0; i < (plane ? std::size_t{4} : std::size_t{1}); ++i) {
+    auto exporter = flow::UdpExporterTransport::create(collector_port);
+    if (!exporter) {
+      std::cerr << "error: cannot create the exporter socket\n";
+      return 1;
+    }
+    exporters.push_back(std::move(*exporter));
   }
   const auto ixp = synth::build_vantage(synth::VantagePointId::kIxpCe, registry,
                                         {.seed = 42});
@@ -486,22 +552,44 @@ int main(int argc, char** argv) {
     // could emit 1920-byte messages for IPv6-heavy chunks).
     packets.clear();
     flow::IpfixEncoder& encoder = encoders[next_encoder];
+    flow::UdpExporterTransport& exporter =
+        exporters[next_encoder % exporters.size()];
     next_encoder = (next_encoder + 1) % encoders.size();
     encoder.encode_batch(batch, flow::batch_export_time(batch), packets);
     for (std::size_t i = 0; i < packets.size(); ++i) {
-      exporter->send(packets.packet(i));
+      exporter.send(packets.packet(i));
     }
     batch.clear();
-    // Drain the wire as we go (single-threaded poll loop on this side).
-    (void)transport->drain(ingest);
+    // Drain the wire as we go (single-threaded poll loop on this side);
+    // with --wire-threads the plane's lane threads ingest on their own.
+    if (transport) (void)transport->drain(ingest);
+    if (plane) {
+      // Delivery pacing keeps the demo deterministic: each ship targets
+      // one domain (one lane), and waiting for its tickets before the
+      // next ship makes the global arrival order equal the send order --
+      // so slices stay byte-identical to the classic daemon. Free-running
+      // deployments skip this and accept scheduler-dependent cross-source
+      // interleaving (per-source order is still kernel-guaranteed).
+      std::uint64_t on_wire = 0;
+      for (const auto& e : exporters) on_wire += e.sent() - e.dropped();
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      while (sharded->engine_snapshot().wire_datagrams + plane->kernel_drops() <
+                 on_wire &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    }
     // Completed windows are consumed here, on the owner thread; rotation
     // happened inside the ingest path without blocking it.
     if (streamer) (void)streamer->poll();
     // Periodic observability heartbeat, the live analogue of a scrape. The
-    // kernel-drop gauge is published here because kernel_drops() is
-    // maintained by this (the draining) thread, not by scrape handlers.
+    // classic kernel-drop gauge is published here because UdpSocket's
+    // kernel_drops() is maintained by this (the draining) thread; the
+    // plane's counters are relaxed atomics, safe to publish live.
     if (metrics != nullptr && (++ships & 1023) == 0) {
-      flow::publish_udp_stats(obs_registry, *transport);
+      if (transport) flow::publish_udp_stats(obs_registry, *transport);
+      if (plane) runtime::publish_wire_plane_stats(obs_registry, *plane);
       metrics_line();
     }
   };
@@ -523,8 +611,29 @@ int main(int argc, char** argv) {
         if (batch.size() == 48) ship();
       });
   ship();
-  for (int i = 0; i < 50; ++i) {  // drain any stragglers
-    (void)transport->drain(ingest);
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t exporter_dropped = 0;
+  for (const auto& exporter : exporters) {
+    datagrams_sent += exporter.sent();
+    exporter_dropped += exporter.dropped();
+  }
+  if (transport) {
+    for (int i = 0; i < 50; ++i) {  // drain any stragglers
+      (void)transport->drain(ingest);
+    }
+  }
+  if (plane) {
+    // The lane threads ingest asynchronously: wait until everything the
+    // exporter put on the wire is either delivered or accounted as a
+    // kernel drop before tearing the plane down.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (sharded->engine_snapshot().wire_datagrams + plane->kernel_drops() <
+               datagrams_sent - exporter_dropped &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    plane->stop();
   }
 
   flow::CollectorStats wire_stats;
@@ -541,8 +650,22 @@ int main(int argc, char** argv) {
     slices = daemon->slices_emitted();
   }
 
-  std::cout << "  datagrams sent: " << exporter->sent() << " (" << exporter->dropped()
-            << " dropped, " << transport->kernel_drops() << " shed by the kernel)\n";
+  const std::uint64_t kernel_drops =
+      plane ? plane->kernel_drops() : transport->kernel_drops();
+  std::cout << "  datagrams sent: " << datagrams_sent << " ("
+            << exporter_dropped << " dropped, " << kernel_drops
+            << " shed by the kernel)\n";
+  if (plane) {
+    const std::uint64_t syscalls = plane->syscalls();
+    std::cout << "  wire plane: " << plane->datagrams() << " datagrams over "
+              << plane->lanes() << " lane(s) in " << syscalls
+              << " receive syscalls";
+    if (syscalls > 0) {
+      std::cout << " (" << plane->datagrams() / syscalls
+                << " datagrams/syscall)";
+    }
+    std::cout << "\n";
+  }
   std::cout << "  records spooled: " << spooled << " into " << slices
             << " slices\n";
   std::cout << "  malformed packets: " << wire_stats.malformed_packets << "\n";
@@ -600,7 +723,8 @@ int main(int argc, char** argv) {
     }
   }
   if (metrics != nullptr) {
-    flow::publish_udp_stats(obs_registry, *transport);
+    if (transport) flow::publish_udp_stats(obs_registry, *transport);
+    if (plane) runtime::publish_wire_plane_stats(obs_registry, *plane);
     metrics_line();
     std::cout << "\n--- end-of-run metrics dump (Prometheus text format) ---\n"
               << obs_registry.expose_text()

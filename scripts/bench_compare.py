@@ -56,6 +56,20 @@ PAIRS = [
     # per-datagram hot loops is no longer free.
     ("BENCH_bench_obs_trace.json", "BM_SpanEnabled",
      "BM_SpanDisabled", 2.5, "trace span (disabled vs enabled)"),
+    # Async network plane gates (DESIGN.md section 14). The acceptance bar
+    # is >= 2x ingest throughput for the 4-lane SO_REUSEPORT event plane
+    # over the seed's blocking drain (one recvmsg + one 64 KiB allocation
+    # per datagram) at equal (zero) kernel-drop rate; the bench skips with
+    # an error instead of reporting a ratio whenever a burst drops. The
+    # single-socket recvmmsg pair gates the syscall-batching win on its
+    # own, with no dependence on thread scheduling, so it stays meaningful
+    # on single-core runners.
+    ("BENCH_bench_net_eventloop.json", "BM_BlockingDrainReference/real_time",
+     "BM_BatchDrainReuseport4/real_time", 2.0,
+     "wire ingest (blocking vs 4-lane plane)"),
+    ("BENCH_bench_net_eventloop.json", "BM_BlockingDrainReference/real_time",
+     "BM_BatchDrainSingleSocket/real_time", 2.0,
+     "wire ingest (blocking vs recvmmsg)"),
     # Non-blocking flush gate: with the double-banked window state, ingest
     # under a continuously rotating flusher must cost about the same as
     # ingest with a quiescent clock (ratio ~1.0). If window retirement

@@ -92,12 +92,10 @@ bool UdpSocket::send_to(std::uint16_t dest_port,
   return sent == static_cast<ssize_t>(datagram.size());
 }
 
-std::optional<std::vector<std::uint8_t>> UdpSocket::receive() const {
-  if (fd_ < 0) return std::nullopt;
-  // NetFlow/IPFIX datagrams fit in one MTU-ish read; 64 KiB covers any UDP
-  // payload.
-  std::vector<std::uint8_t> buf(65536);
-  iovec iov{buf.data(), buf.size()};
+std::optional<std::size_t> UdpSocket::receive_into(
+    std::span<std::uint8_t> buffer) const {
+  if (fd_ < 0 || buffer.empty()) return std::nullopt;
+  iovec iov{buffer.data(), buffer.size()};
   alignas(cmsghdr) std::uint8_t control[CMSG_SPACE(sizeof(std::uint32_t))];
   msghdr msg{};
   msg.msg_iov = &iov;
@@ -115,7 +113,16 @@ std::optional<std::vector<std::uint8_t>> UdpSocket::receive() const {
     }
   }
 #endif
-  buf.resize(static_cast<std::size_t>(n));
+  return static_cast<std::size_t>(n);
+}
+
+std::optional<std::vector<std::uint8_t>> UdpSocket::receive() const {
+  // NetFlow/IPFIX datagrams fit in one MTU-ish read; 64 KiB covers any UDP
+  // payload.
+  std::vector<std::uint8_t> buf(65536);
+  const std::optional<std::size_t> n = receive_into(buf);
+  if (!n) return std::nullopt;
+  buf.resize(*n);
   return buf;
 }
 
@@ -146,8 +153,9 @@ std::size_t UdpCollectorTransport::drain(const Handler& handler) {
       obs::Tracer::instance().intern("wire", "wire.drain");
   const std::uint64_t t0 = obs::trace_now_ns();
   std::size_t count = 0;
-  while (auto datagram = socket_.receive()) {
-    handler(*datagram);
+  if (scratch_.empty()) scratch_.resize(65536);
+  while (const auto n = socket_.receive_into(scratch_)) {
+    handler(std::span<const std::uint8_t>(scratch_.data(), *n));
     ++count;
   }
   // An empty drain is an idle poll; spamming those would wrap the ring and

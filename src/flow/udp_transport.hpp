@@ -18,6 +18,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace lockdown::obs {
 class Registry;
@@ -66,8 +67,17 @@ class UdpSocket {
   [[nodiscard]] bool send_to(std::uint16_t dest_port,
                              std::span<const std::uint8_t> datagram) const;
 
-  /// Receive one datagram if available (non-blocking); nullopt when the
+  /// Receive one datagram into a caller-provided buffer (non-blocking):
+  /// the allocation-free receive path. Returns the datagram's length
+  /// (clamped to buffer.size(); longer datagrams are truncated, so size
+  /// the buffer at 64 KiB to cover any UDP payload); nullopt when the
   /// queue is empty.
+  [[nodiscard]] std::optional<std::size_t> receive_into(
+      std::span<std::uint8_t> buffer) const;
+
+  /// Receive one datagram if available (non-blocking); nullopt when the
+  /// queue is empty. Allocates per datagram -- hot paths use
+  /// receive_into() with a reused buffer instead.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> receive() const;
 
  private:
@@ -125,6 +135,9 @@ class UdpCollectorTransport {
  private:
   explicit UdpCollectorTransport(UdpSocket socket) : socket_(std::move(socket)) {}
   UdpSocket socket_;
+  /// Reused across drain() calls so the steady state receives without
+  /// touching the allocator (sized lazily to 64 KiB on first drain).
+  std::vector<std::uint8_t> scratch_;
 };
 
 /// Publish the transport's socket-level stats as registry gauges

@@ -1,0 +1,182 @@
+#include "net/eventloop/event_loop.hpp"
+
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <array>
+#include <utility>
+
+namespace lockdown::net {
+
+namespace {
+
+/// Upper bound on one epoll_wait harvest. 64 matches the recvmmsg batch
+/// geometry downstream: a wire loop rarely watches more fds than that.
+constexpr int kMaxEvents = 64;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return;
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+    return;
+  }
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  if (!set_nonblocking(wake_read_) || !set_nonblocking(wake_write_)) {
+    ::close(wake_read_);
+    ::close(wake_write_);
+    ::close(epoll_fd_);
+    epoll_fd_ = wake_read_ = wake_write_ = -1;
+    return;
+  }
+  // Level-triggered on purpose: a wakeup byte left undrained keeps the
+  // loop returning until it is consumed, so stop() can never be missed.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_read_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_, &ev) != 0) {
+    ::close(wake_read_);
+    ::close(wake_write_);
+    ::close(epoll_fd_);
+    epoll_fd_ = wake_read_ = wake_write_ = -1;
+  }
+}
+
+EventLoop::~EventLoop() {
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+bool EventLoop::add(int fd, std::uint32_t events, Handler handler) {
+  if (!valid() || fd < 0 || !handler) return false;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  Entry& entry = fds_[fd];
+  entry.handler = std::move(handler);
+  entry.last_events = events;
+  entry.queued = false;
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t events) {
+  if (!valid() || fds_.find(fd) == fds_.end()) return false;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void EventLoop::remove(int fd) {
+  if (!valid()) return;
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  if (fd == dispatching_fd_) {
+    // Mid-dispatch self-removal: erasing now would destroy the
+    // std::function currently executing. Detach from epoll (done above)
+    // and let dispatch() erase after the handler returns.
+    deferred_remove_ = true;
+    return;
+  }
+  fds_.erase(it);
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  if (wake_write_ >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  }
+}
+
+void EventLoop::dispatch(int fd, std::uint32_t events) {
+  const auto it = fds_.find(fd);
+  if (it == fds_.end()) return;  // removed by an earlier handler this round
+  it->second.last_events = events;
+  dispatching_fd_ = fd;
+  deferred_remove_ = false;
+  const DrainResult result = it->second.handler(events);
+  dispatching_fd_ = -1;
+  if (deferred_remove_) {
+    fds_.erase(fd);
+    return;
+  }
+  // Look the entry up again: the handler may have rehashed the map by
+  // add()ing new fds (the accept path does).
+  const auto again = fds_.find(fd);
+  if (again == fds_.end()) return;
+  if (result == DrainResult::kMoreWork) {
+    if (!again->second.queued) {
+      again->second.queued = true;
+      ready_.push_back(fd);
+    }
+  } else {
+    again->second.queued = false;
+  }
+}
+
+void EventLoop::run() {
+  if (!valid()) return;
+  std::array<epoll_event, kMaxEvents> events;
+  std::chrono::milliseconds tick_budget{-1};  // block indefinitely
+  if (tick_) tick_budget = tick_();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Never block while budget-exhausted fds wait on the ready list; poll
+    // for new events and go straight back to them.
+    int timeout_ms = -1;
+    if (!ready_.empty()) {
+      timeout_ms = 0;
+    } else if (tick_) {
+      timeout_ms = tick_budget.count() < 0
+                       ? -1
+                       : static_cast<int>(tick_budget.count());
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const int n = ::epoll_wait(epoll_fd_, events.data(), kMaxEvents, timeout_ms);
+    if (on_wait_ && !(timeout_ms == 0 && n <= 0)) {
+      on_wait_(n > 0 ? static_cast<std::size_t>(n) : 0,
+               std::chrono::steady_clock::now() - t0);
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == wake_read_) {
+        char drain[64];
+        while (::read(wake_read_, drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      dispatch(fd, events[static_cast<std::size_t>(i)].events);
+    }
+    if (!ready_.empty()) {
+      // Re-dispatch the budget-exhausted fds in arrival order; each gets
+      // one more budget's worth before the next harvest of fresh events,
+      // which is the round-robin that keeps one hot fd from starving the
+      // rest.
+      std::vector<int> round;
+      round.swap(ready_);
+      for (const int fd : round) {
+        const auto it = fds_.find(fd);
+        if (it == fds_.end()) continue;
+        it->second.queued = false;
+        dispatch(fd, it->second.last_events);
+      }
+    }
+    if (tick_) tick_budget = tick_();
+  }
+}
+
+}  // namespace lockdown::net

@@ -1,0 +1,119 @@
+// Single-threaded epoll event loop: the dispatch core of the async network
+// plane (DESIGN.md §14). One loop per wire thread owns a set of fds and
+// drives their handlers from edge-triggered readiness.
+//
+// Edge-triggered with drain budgets. Every fd is armed EPOLLET, so the
+// kernel reports a readiness *transition* once; the handler must consume
+// until EAGAIN or it will never hear about that data again. A handler that
+// stops early (to bound latency for its siblings) returns
+// DrainResult::kMoreWork and the loop keeps it on an internal ready list,
+// re-dispatching it every iteration -- without another epoll_ctl and
+// without waiting for a new kernel event -- until it reports kDrained.
+// That is how one hot exporter socket shares the thread with idle ones: a
+// per-fd drain budget plus ready-list round-robin instead of starvation.
+//
+// Threading contract: add()/modify()/remove()/run() and every handler run
+// on the loop thread (the thread calling run()). stop() is the only
+// cross-thread entry point; it wakes the loop via a self-pipe. Handlers
+// may remove (and close) their own fd mid-dispatch: removal is deferred
+// until the handler returns, so the std::function being executed is never
+// destroyed under itself.
+//
+// No dependency on the observability layer (le_obs links le_net, not the
+// reverse): instrumentation hooks are plain std::functions -- set_on_wait
+// reports every epoll_wait batch (ready-fd count + time blocked) and the
+// integration layers (runtime::WirePlane, obs::HttpExposer) turn those
+// into histograms and trace spans.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace lockdown::net {
+
+class EventLoop {
+ public:
+  /// What a readiness dispatch accomplished: the fd was drained to EAGAIN
+  /// (the edge-triggered contract is satisfied) or the handler stopped on
+  /// its budget and must be re-dispatched before the loop may block again.
+  enum class DrainResult { kDrained, kMoreWork };
+
+  /// Invoked with the epoll event mask that made the fd ready (EPOLLIN and
+  /// friends); re-dispatches off the ready list replay the last mask.
+  using Handler = std::function<DrainResult(std::uint32_t events)>;
+
+  /// Called after each epoll_wait: how many fds came back ready and how
+  /// long the call blocked. Ready-list re-polls (timeout 0, nothing new)
+  /// are not reported -- the series is "work per wakeup", not spin noise.
+  using WaitObserver =
+      std::function<void(std::size_t ready, std::chrono::nanoseconds waited)>;
+
+  /// Runs once per loop iteration (after dispatch) and whenever the wait
+  /// times out; returns how long the next epoll_wait may block. This is
+  /// how owners schedule periodic work (spool polls, idle sweeps, trace
+  /// deadlines) with their own precision.
+  using TickFn = std::function<std::chrono::milliseconds()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// False when epoll/pipe creation failed at construction; a dead loop
+  /// refuses add() and run() returns immediately.
+  [[nodiscard]] bool valid() const noexcept { return epoll_fd_ >= 0; }
+
+  /// Register `fd` with the given epoll event mask (caller includes
+  /// EPOLLET; every user of this loop wants edges). The fd stays owned by
+  /// the caller -- remove() detaches but never closes.
+  bool add(int fd, std::uint32_t events, Handler handler);
+
+  /// Re-arm an fd with a new mask (EPOLLIN <-> EPOLLOUT transitions of a
+  /// connection state machine).
+  bool modify(int fd, std::uint32_t events);
+
+  /// Detach an fd. Safe from inside its own handler (deferred until the
+  /// handler returns). The caller closes the fd itself.
+  void remove(int fd);
+
+  /// Dispatch until stop(). Returns immediately on a dead loop.
+  void run();
+
+  /// Thread-safe: request run() to return. Idempotent.
+  void stop();
+
+  void set_on_wait(WaitObserver observer) { on_wait_ = std::move(observer); }
+  void set_tick(TickFn tick) { tick_ = std::move(tick); }
+
+  /// Registered fds (excluding the internal wakeup pipe).
+  [[nodiscard]] std::size_t watched() const noexcept { return fds_.size(); }
+
+ private:
+  struct Entry {
+    Handler handler;
+    std::uint32_t last_events = 0;  ///< mask replayed on ready-list dispatch
+    bool queued = false;            ///< on ready_ (needs re-dispatch)
+  };
+
+  void dispatch(int fd, std::uint32_t events);
+
+  int epoll_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::unordered_map<int, Entry> fds_;
+  /// Budget-exhausted fds awaiting re-dispatch, round-robin order.
+  std::vector<int> ready_;
+  WaitObserver on_wait_;
+  TickFn tick_;
+  /// Written by stop() from any thread; checked each iteration.
+  std::atomic<bool> stopping_{false};
+  /// Set while a handler runs so remove() can defer destroying it.
+  int dispatching_fd_ = -1;
+  bool deferred_remove_ = false;
+};
+
+}  // namespace lockdown::net

@@ -1,0 +1,240 @@
+#include "net/eventloop/udp_batch_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <utility>
+
+// recvmmsg is a Linux syscall (glibc exposes it under _GNU_SOURCE, which
+// libstdc++ builds define). Other POSIX platforms take the per-datagram
+// fallback below; the rest of the plane is agnostic.
+#if defined(__linux__)
+#define LOCKDOWN_HAVE_RECVMMSG 1
+#else
+#define LOCKDOWN_HAVE_RECVMMSG 0
+#endif
+
+namespace lockdown::net {
+
+namespace {
+
+constexpr std::size_t kMaxBatch = 64;
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) >= 0;
+}
+
+#ifdef SO_RXQ_OVFL
+/// Fold one message's SO_RXQ_OVFL ancillary datum into the cumulative drop
+/// counter. The kernel stamps each delivered skb with the socket's drop
+/// count at enqueue time, so the running maximum is the honest cumulative
+/// figure even when batches deliver out of stamp order. Single-writer:
+/// relaxed load/store is a plain read-modify-write, not a CAS loop.
+void note_rxq_ovfl(msghdr& msg, std::atomic<std::uint64_t>& drops) {
+  for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
+       c = CMSG_NXTHDR(&msg, c)) {
+    if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SO_RXQ_OVFL) {
+      std::uint32_t dropped = 0;
+      std::memcpy(&dropped, CMSG_DATA(c), sizeof(dropped));
+      if (dropped > drops.load(std::memory_order_relaxed)) {
+        drops.store(dropped, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+#endif
+
+}  // namespace
+
+UdpBatchSocket::~UdpBatchSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpBatchSocket::UdpBatchSocket(UdpBatchSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      rcvbuf_(std::exchange(other.rcvbuf_, 0)),
+      prefer_recvmmsg_(other.prefer_recvmmsg_),
+      kernel_drops_(other.kernel_drops_.exchange(0)),
+      syscalls_(other.syscalls_.exchange(0)),
+      datagrams_(other.datagrams_.exchange(0)),
+      truncated_(other.truncated_.exchange(0)) {}
+
+UdpBatchSocket& UdpBatchSocket::operator=(UdpBatchSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    port_ = std::exchange(other.port_, 0);
+    rcvbuf_ = std::exchange(other.rcvbuf_, 0);
+    prefer_recvmmsg_ = other.prefer_recvmmsg_;
+    kernel_drops_ = other.kernel_drops_.exchange(0);
+    syscalls_ = other.syscalls_.exchange(0);
+    datagrams_ = other.datagrams_.exchange(0);
+    truncated_ = other.truncated_.exchange(0);
+  }
+  return *this;
+}
+
+bool UdpBatchSocket::reuseport_supported() {
+#ifndef SO_REUSEPORT
+  return false;
+#else
+  static const bool supported = [] {
+    const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+    if (fd < 0) return false;
+    const int one = 1;
+    const bool ok =
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) == 0;
+    ::close(fd);
+    return ok;
+  }();
+  return supported;
+#endif
+}
+
+bool UdpBatchSocket::batch_receive_supported() {
+  return LOCKDOWN_HAVE_RECVMMSG != 0;
+}
+
+std::optional<UdpBatchSocket> UdpBatchSocket::bind_loopback(
+    const UdpBatchSocketConfig& config) {
+  UdpBatchSocket s;
+  s.prefer_recvmmsg_ = config.prefer_recvmmsg;
+  s.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (s.fd_ < 0) return std::nullopt;
+  if (!set_nonblocking(s.fd_)) return std::nullopt;
+
+  if (config.reuseport) {
+#ifdef SO_REUSEPORT
+    const int one = 1;
+    if (::setsockopt(s.fd_, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      return std::nullopt;
+    }
+#else
+    return std::nullopt;
+#endif
+  }
+
+  if (config.rcvbuf_bytes > 0 &&
+      ::setsockopt(s.fd_, SOL_SOCKET, SO_RCVBUF, &config.rcvbuf_bytes,
+                   sizeof(config.rcvbuf_bytes)) < 0) {
+    return std::nullopt;
+  }
+  socklen_t rcvbuf_len = sizeof(s.rcvbuf_);
+  (void)::getsockopt(s.fd_, SOL_SOCKET, SO_RCVBUF, &s.rcvbuf_, &rcvbuf_len);
+
+#ifdef SO_RXQ_OVFL
+  const int one = 1;
+  (void)::setsockopt(s.fd_, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof(one));
+#endif
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config.port);
+  if (::bind(s.fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return std::nullopt;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(s.fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    return std::nullopt;
+  }
+  s.port_ = ntohs(bound.sin_port);
+  return s;
+}
+
+std::size_t UdpBatchSocket::receive_batch(
+    std::span<std::vector<std::uint8_t>> buffers,
+    std::span<std::uint32_t> lengths) {
+  if (fd_ < 0) return 0;
+  const std::size_t want =
+      std::min({buffers.size(), lengths.size(), kMaxBatch});
+  if (want == 0) return 0;
+#if LOCKDOWN_HAVE_RECVMMSG
+  if (prefer_recvmmsg_) return receive_batch_mmsg(buffers, lengths, want);
+#endif
+  return receive_batch_fallback(buffers, lengths, want);
+}
+
+#if LOCKDOWN_HAVE_RECVMMSG
+std::size_t UdpBatchSocket::receive_batch_mmsg(
+    std::span<std::vector<std::uint8_t>> buffers,
+    std::span<std::uint32_t> lengths, std::size_t want) {
+  std::array<mmsghdr, kMaxBatch> msgs{};
+  std::array<iovec, kMaxBatch> iovs{};
+  // Per-message ancillary space for the SO_RXQ_OVFL drop counter.
+  std::array<std::array<std::uint8_t, CMSG_SPACE(sizeof(std::uint32_t))>,
+             kMaxBatch>
+      controls;
+  for (std::size_t i = 0; i < want; ++i) {
+    iovs[i].iov_base = buffers[i].data();
+    iovs[i].iov_len = buffers[i].size();
+    msgs[i].msg_hdr.msg_iov = &iovs[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+    msgs[i].msg_hdr.msg_control = controls[i].data();
+    msgs[i].msg_hdr.msg_controllen = controls[i].size();
+  }
+  const int n =
+      ::recvmmsg(fd_, msgs.data(), static_cast<unsigned>(want), 0, nullptr);
+  syscalls_.fetch_add(1, std::memory_order_relaxed);
+  if (n <= 0) return 0;  // EAGAIN: empty queue
+  for (int i = 0; i < n; ++i) {
+    auto& m = msgs[static_cast<std::size_t>(i)];
+    lengths[static_cast<std::size_t>(i)] = m.msg_len;
+    if ((m.msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+      truncated_.fetch_add(1, std::memory_order_relaxed);
+    }
+#ifdef SO_RXQ_OVFL
+    note_rxq_ovfl(m.msg_hdr, kernel_drops_);
+#endif
+  }
+  datagrams_.fetch_add(static_cast<std::uint64_t>(n),
+                       std::memory_order_relaxed);
+  return static_cast<std::size_t>(n);
+}
+#else
+std::size_t UdpBatchSocket::receive_batch_mmsg(
+    std::span<std::vector<std::uint8_t>>, std::span<std::uint32_t>,
+    std::size_t) {
+  return 0;
+}
+#endif
+
+std::size_t UdpBatchSocket::receive_batch_fallback(
+    std::span<std::vector<std::uint8_t>> buffers,
+    std::span<std::uint32_t> lengths, std::size_t want) {
+  std::size_t got = 0;
+  while (got < want) {
+    iovec iov{buffers[got].data(), buffers[got].size()};
+    alignas(cmsghdr) std::uint8_t control[CMSG_SPACE(sizeof(std::uint32_t))];
+    msghdr msg{};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof(control);
+    const ssize_t n = ::recvmsg(fd_, &msg, 0);
+    syscalls_.fetch_add(1, std::memory_order_relaxed);
+    if (n < 0) break;  // EAGAIN: queue empty
+    lengths[got] = static_cast<std::uint32_t>(n);
+    if ((msg.msg_flags & MSG_TRUNC) != 0) {
+      truncated_.fetch_add(1, std::memory_order_relaxed);
+    }
+#ifdef SO_RXQ_OVFL
+    note_rxq_ovfl(msg, kernel_drops_);
+#endif
+    datagrams_.fetch_add(1, std::memory_order_relaxed);
+    ++got;
+  }
+  return got;
+}
+
+}  // namespace lockdown::net

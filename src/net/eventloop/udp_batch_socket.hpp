@@ -1,0 +1,120 @@
+// Batch UDP receive socket for the async network plane (DESIGN.md §14).
+//
+// Two kernel features carry the ingest scaling story:
+//
+//  * recvmmsg(2): up to 64 datagrams per syscall, received directly into
+//    caller-provided (pooled) buffers -- no per-datagram allocation and a
+//    ~64x cut in syscall count on a busy queue;
+//  * SO_REUSEPORT: N sockets bound to the same port each own a kernel
+//    receive queue; the kernel hashes the 4-tuple so one exporter's stream
+//    lands on one queue, which is what lets N wire threads drain in
+//    parallel without sharing a socket lock (and why per-socket arrival
+//    order is a meaningful replay key: each source's datagrams stay in
+//    order on its queue).
+//
+// Both are gated at compile time and probed at runtime;
+// batch_receive_supported()/reuseport_supported() let callers degrade to a
+// single classic socket (and tests mark themselves skipped) where the
+// kernel lacks them. SO_RXQ_OVFL ancillary data is requested on every
+// socket so receive-queue overflow is counted, matching flow::UdpSocket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace lockdown::net {
+
+struct UdpBatchSocketConfig {
+  /// Port on 127.0.0.1; 0 lets the kernel pick (see port()).
+  std::uint16_t port = 0;
+  /// Requested SO_RCVBUF (0 = kernel default); the grant is rcvbuf_bytes().
+  int rcvbuf_bytes = 0;
+  /// Bind with SO_REUSEPORT so sibling sockets can share the port. Binding
+  /// fails (nullopt) when requested on a platform without it.
+  bool reuseport = false;
+  /// When false, receive_batch() uses the one-recvmsg-per-datagram
+  /// fallback even where recvmmsg exists -- the knob the equivalence tests
+  /// and benches use to isolate the batching win.
+  bool prefer_recvmmsg = true;
+};
+
+/// A bound, non-blocking UDP socket with batch receive. One owner thread
+/// calls receive_batch(); the counters are single-writer relaxed atomics,
+/// so any thread may read them live (a heartbeat publishing
+/// wire-plane gauges while the lane threads drain) and see a recent,
+/// internally consistent-enough value without a data race.
+class UdpBatchSocket {
+ public:
+  UdpBatchSocket() = default;
+  ~UdpBatchSocket();
+  UdpBatchSocket(UdpBatchSocket&& other) noexcept;
+  UdpBatchSocket& operator=(UdpBatchSocket&& other) noexcept;
+  UdpBatchSocket(const UdpBatchSocket&) = delete;
+  UdpBatchSocket& operator=(const UdpBatchSocket&) = delete;
+
+  [[nodiscard]] static std::optional<UdpBatchSocket> bind_loopback(
+      const UdpBatchSocketConfig& config);
+
+  /// Whether this platform can bind SO_REUSEPORT siblings (probed once).
+  [[nodiscard]] static bool reuseport_supported();
+  /// Whether receive_batch() can use recvmmsg here (compile-time gate).
+  [[nodiscard]] static bool batch_receive_supported();
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] int rcvbuf_bytes() const noexcept { return rcvbuf_; }
+
+  /// Receive up to min(buffers.size(), lengths.size(), 64) datagrams in
+  /// one syscall (recvmmsg where available). buffers[i] must be non-empty;
+  /// datagram i lands in buffers[i].data() and lengths[i] gets its byte
+  /// count. A datagram longer than its buffer is truncated (and counted).
+  /// Returns the number received; 0 means the queue is empty.
+  std::size_t receive_batch(std::span<std::vector<std::uint8_t>> buffers,
+                            std::span<std::uint32_t> lengths);
+
+  /// Cumulative kernel receive-queue overflow count (SO_RXQ_OVFL). Updates
+  /// as queued datagrams are delivered, so it can lag a burst until the
+  /// next successful receive (send a sentinel datagram to observe the
+  /// final figure -- the overflow tests do).
+  [[nodiscard]] std::uint64_t kernel_drops() const noexcept {
+    return kernel_drops_.load(std::memory_order_relaxed);
+  }
+  /// Receive syscalls issued and datagrams delivered: the batching win is
+  /// their ratio.
+  [[nodiscard]] std::uint64_t syscalls() const noexcept {
+    return syscalls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t datagrams() const noexcept {
+    return datagrams_.load(std::memory_order_relaxed);
+  }
+  /// Datagrams that arrived longer than their receive buffer.
+  [[nodiscard]] std::uint64_t truncated() const noexcept {
+    return truncated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t receive_batch_mmsg(std::span<std::vector<std::uint8_t>> buffers,
+                                 std::span<std::uint32_t> lengths,
+                                 std::size_t want);
+  std::size_t receive_batch_fallback(
+      std::span<std::vector<std::uint8_t>> buffers,
+      std::span<std::uint32_t> lengths, std::size_t want);
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  int rcvbuf_ = 0;
+  bool prefer_recvmmsg_ = true;
+  // Single-writer (the receive_batch caller); relaxed atomics so live
+  // readers on other threads stay race-free. Move leaves the source
+  // zeroed, matching the fd transfer.
+  std::atomic<std::uint64_t> kernel_drops_{0};
+  std::atomic<std::uint64_t> syscalls_{0};
+  std::atomic<std::uint64_t> datagrams_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+};
+
+}  // namespace lockdown::net

@@ -1,14 +1,18 @@
 #include "obs/http_exposer.hpp"
 
 #include <netinet/in.h>
-#include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <cstring>
+#include <algorithm>
+#include <cerrno>
 #include <string_view>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
+#include "net/eventloop/event_loop.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -16,9 +20,14 @@ namespace lockdown::obs {
 
 namespace {
 
-constexpr std::size_t kMaxRequestBytes = 8192;
-constexpr int kAcceptPollMs = 100;   ///< stop() latency bound
-constexpr int kClientPollMs = 2000;  ///< per-read patience with a slow client
+using Clock = std::chrono::steady_clock;
+
+/// Connections accepted per listener dispatch before yielding the loop to
+/// already-open connections (the listener's drain budget).
+constexpr std::size_t kAcceptBudget = 16;
+
+/// Idle-sweep / trace-deadline granularity of the loop tick.
+constexpr std::chrono::milliseconds kTickInterval{100};
 
 struct Response {
   int status = 200;
@@ -32,32 +41,10 @@ const char* reason_phrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 503: return "Service Unavailable";
     default: return "Error";
   }
-}
-
-void send_all(int fd, std::string_view data) {
-  while (!data.empty()) {
-    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer went away; nothing to salvage
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-}
-
-/// Read until the end of the request head ("\r\n\r\n"), a size cap, a
-/// timeout, or EOF. Request bodies are ignored (every route is GET).
-bool read_request_head(int fd, std::string& out) {
-  char buf[2048];
-  while (out.size() < kMaxRequestBytes) {
-    if (out.find("\r\n\r\n") != std::string::npos) return true;
-    pollfd p{fd, POLLIN, 0};
-    const int ready = ::poll(&p, 1, kClientPollMs);
-    if (ready <= 0) return false;
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) return false;
-    out.append(buf, static_cast<std::size_t>(n));
-  }
-  return out.find("\r\n\r\n") != std::string::npos;
 }
 
 /// The `ms` query parameter of a /trace target; `fallback` when absent or
@@ -86,10 +73,308 @@ std::uint64_t parse_ms_param(std::string_view target, std::uint64_t fallback) {
   return fallback;
 }
 
+/// One open connection's state machine: buffering the request head, then
+/// draining the response (or parked on the trace capture session).
+struct Conn {
+  std::string in;            ///< request head, capped by max_request_bytes
+  std::string out;           ///< rendered response
+  std::size_t out_off = 0;   ///< bytes of `out` already sent
+  bool responded = false;    ///< head parsed, response chosen
+  bool waiting_trace = false;  ///< parked on the capture session
+  Clock::time_point last_activity;
+};
+
 }  // namespace
 
+struct HttpExposer::Impl {
+  HttpExposer& owner;
+  net::EventLoop loop;
+  std::unordered_map<int, Conn> conns;
+  Gauge* open_conns = nullptr;
+  Histogram* wait_hist = nullptr;
+  /// The shared /trace capture session: concurrent requests coalesce onto
+  /// one window; the deadline stretches to the latest request's.
+  bool trace_active = false;
+  Clock::time_point trace_deadline{};
+  std::vector<int> trace_waiters;
+  bool ok = false;
+
+  explicit Impl(HttpExposer& exposer) : owner(exposer) {
+    if (!loop.valid()) return;
+    if (owner.config_.registry != nullptr) {
+      open_conns = &owner.config_.registry->gauge(
+          "exposer_open_connections", {},
+          "HTTP connections currently open on the exposer loop");
+      wait_hist = &owner.config_.registry->histogram(
+          "eventloop_wait_batch", exponential_buckets(1, 2, 7), "lane=\"http\"",
+          "Ready fds returned per epoll_wait on the exposer loop");
+    }
+    loop.set_on_wait(
+        [this](std::size_t ready, std::chrono::nanoseconds waited) {
+          static const std::uint32_t wait_span =
+              Tracer::instance().intern("eventloop", "loop.wait");
+          if (wait_hist != nullptr) {
+            wait_hist->observe(static_cast<double>(ready));
+          }
+          if (ready > 0) {
+            const std::uint64_t t1 = trace_now_ns();
+            const std::uint64_t dur = static_cast<std::uint64_t>(
+                waited.count() < 0 ? 0 : waited.count());
+            Tracer::instance().emit(wait_span, t1 - dur, t1, ready);
+          }
+        });
+    loop.set_tick([this] { return tick(); });
+    ok = loop.add(owner.listen_fd_, EPOLLIN | EPOLLET,
+                  [this](std::uint32_t) { return on_accept(); });
+  }
+
+  [[nodiscard]] Tracer& tracer() const {
+    return owner.config_.tracer != nullptr ? *owner.config_.tracer
+                                           : Tracer::instance();
+  }
+
+  void publish_open_conns() {
+    if (open_conns != nullptr) {
+      open_conns->set(static_cast<double>(conns.size()));
+    }
+  }
+
+  net::EventLoop::DrainResult on_accept() {
+    for (std::size_t i = 0; i < kAcceptBudget; ++i) {
+      const int fd = ::accept4(owner.listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) return net::EventLoop::DrainResult::kDrained;
+      owner.requests_.fetch_add(1, std::memory_order_relaxed);
+      if (conns.size() >= owner.config_.max_connections) {
+        // The cap bounds loop state against floods; the refusal is best
+        // effort (a full send buffer just means the peer sees a reset).
+        static constexpr std::string_view k503 =
+            "HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n"
+            "Connection: close\r\n\r\n";
+        (void)::send(fd, k503.data(), k503.size(), MSG_NOSIGNAL);
+        ::close(fd);
+        continue;
+      }
+      if (!loop.add(fd, EPOLLIN | EPOLLET, [this, fd](std::uint32_t events) {
+            return on_conn(fd, events);
+          })) {
+        ::close(fd);
+        continue;
+      }
+      conns[fd].last_activity = Clock::now();
+      publish_open_conns();
+    }
+    return net::EventLoop::DrainResult::kMoreWork;
+  }
+
+  net::EventLoop::DrainResult on_conn(int fd, std::uint32_t events) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return net::EventLoop::DrainResult::kDrained;
+    Conn& conn = it->second;
+    conn.last_activity = Clock::now();
+    if ((events & (EPOLLHUP | EPOLLERR)) != 0 &&
+        (events & (EPOLLIN | EPOLLOUT)) == 0) {
+      close_conn(fd);
+      return net::EventLoop::DrainResult::kDrained;
+    }
+    if (!conn.out.empty()) {
+      if (flush_out(fd, conn)) close_conn(fd);
+      return net::EventLoop::DrainResult::kDrained;
+    }
+    char buf[2048];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        // Post-request bytes (pipelining, trace waiters typing away) are
+        // drained and ignored: one request per connection.
+        if (conn.responded) continue;
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        if (conn.in.find("\r\n\r\n") != std::string::npos) {
+          route(fd, conn);
+          return net::EventLoop::DrainResult::kDrained;
+        }
+        if (conn.in.size() >= owner.config_.max_request_bytes) {
+          respond(fd, conn,
+                  {400, "text/plain; charset=utf-8", "bad request\n"});
+          return net::EventLoop::DrainResult::kDrained;
+        }
+        continue;
+      }
+      if (n == 0) {
+        // EOF. A half-closed client that never finished its head still
+        // gets the 400 (it may be reading); a parked trace waiter that
+        // hung up is dropped from the session.
+        if (conn.waiting_trace || conn.responded) {
+          close_conn(fd);
+        } else {
+          respond(fd, conn, {400, "text/plain; charset=utf-8", "bad request\n"});
+        }
+        return net::EventLoop::DrainResult::kDrained;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return net::EventLoop::DrainResult::kDrained;
+      }
+      close_conn(fd);
+      return net::EventLoop::DrainResult::kDrained;
+    }
+  }
+
+  /// Parse the buffered head and choose the response (or park the
+  /// connection on the trace session). May close `fd`; the caller must
+  /// not touch the Conn afterwards.
+  void route(int fd, Conn& conn) {
+    TRACE_SPAN("http", "http.request");
+    const auto line_end = conn.in.find("\r\n");
+    const std::string_view line =
+        std::string_view(conn.in).substr(0, line_end);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                                   : line.find(' ', sp1 + 1);
+    Response resp;
+    if (sp2 == std::string_view::npos ||
+        line.substr(sp2 + 1).rfind("HTTP/1.", 0) != 0) {
+      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
+    } else if (line.substr(0, sp1) != "GET") {
+      resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
+    } else {
+      const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string_view path = target.substr(0, target.find('?'));
+      if (path == "/metrics" && owner.config_.registry != nullptr) {
+        if (owner.config_.before_scrape) owner.config_.before_scrape();
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = owner.config_.registry->expose_text();
+      } else if (path == "/healthz") {
+        if (owner.config_.before_scrape) owner.config_.before_scrape();
+        resp.content_type = "application/json";
+        resp.body = owner.config_.health ? owner.config_.health()
+                                         : "{\"status\":\"ok\"}\n";
+      } else if (path == "/trace") {
+        auto window = std::chrono::milliseconds(parse_ms_param(target, 100));
+        if (window < std::chrono::milliseconds(1)) {
+          window = std::chrono::milliseconds(1);
+        }
+        if (window > owner.config_.max_trace_window) {
+          window = owner.config_.max_trace_window;
+        }
+        const Clock::time_point deadline = Clock::now() + window;
+        if (!trace_active) {
+          // Starting gun: drop the backlog so the capture holds only
+          // spans from the window.
+          tracer().discard();
+          trace_active = true;
+          trace_deadline = deadline;
+        } else if (deadline > trace_deadline) {
+          trace_deadline = deadline;
+        }
+        conn.responded = true;
+        conn.waiting_trace = true;
+        trace_waiters.push_back(fd);
+        return;
+      } else {
+        resp = {404, "text/plain; charset=utf-8", "not found\n"};
+      }
+    }
+    respond(fd, conn, resp);
+  }
+
+  /// Render the response and start draining it; closes the connection
+  /// when it fits in the socket buffer (the common case), otherwise
+  /// re-arms for EPOLLOUT.
+  void respond(int fd, Conn& conn, const Response& resp) {
+    conn.responded = true;
+    conn.waiting_trace = false;
+    conn.out.reserve(128 + resp.body.size());
+    conn.out += "HTTP/1.1 ";
+    conn.out += std::to_string(resp.status);
+    conn.out += ' ';
+    conn.out += reason_phrase(resp.status);
+    conn.out += "\r\nContent-Type: ";
+    conn.out += resp.content_type;
+    conn.out += "\r\nContent-Length: ";
+    conn.out += std::to_string(resp.body.size());
+    conn.out += "\r\nConnection: close\r\n\r\n";
+    conn.out += resp.body;
+    conn.out_off = 0;
+    if (flush_out(fd, conn)) {
+      close_conn(fd);
+      return;
+    }
+    loop.modify(fd, EPOLLOUT | EPOLLET);
+  }
+
+  /// Drain `out` until EAGAIN; true when the connection is finished (all
+  /// sent, or the peer went away and there is nothing to salvage).
+  bool flush_out(int fd, Conn& conn) {
+    while (conn.out_off < conn.out.size()) {
+      const ssize_t n = ::send(fd, conn.out.data() + conn.out_off,
+                               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out_off += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return false;
+      return true;
+    }
+    return true;
+  }
+
+  void close_conn(int fd) {
+    loop.remove(fd);
+    ::close(fd);
+    conns.erase(fd);
+    if (!trace_waiters.empty()) {
+      trace_waiters.erase(
+          std::remove(trace_waiters.begin(), trace_waiters.end(), fd),
+          trace_waiters.end());
+    }
+    publish_open_conns();
+  }
+
+  /// Periodic work: complete the trace session at its deadline, sweep
+  /// idle connections, and pick the next epoll_wait budget.
+  std::chrono::milliseconds tick() {
+    const Clock::time_point now = Clock::now();
+    if (trace_active && now >= trace_deadline) {
+      trace_active = false;
+      const std::string body = tracer().chrome_json();
+      std::vector<int> waiters;
+      waiters.swap(trace_waiters);
+      for (const int fd : waiters) {
+        const auto it = conns.find(fd);
+        if (it == conns.end()) continue;
+        respond(fd, it->second, {200, "application/json", body});
+      }
+    }
+    std::vector<int> expired;
+    for (const auto& [fd, conn] : conns) {
+      if (conn.waiting_trace) continue;  // bounded by the trace deadline
+      if (now - conn.last_activity > owner.config_.idle_timeout) {
+        expired.push_back(fd);
+      }
+    }
+    for (const int fd : expired) {
+      if (!conns[fd].responded) {
+        // Half-sent request: tell the slow client why, best effort.
+        static constexpr std::string_view k408 =
+            "HTTP/1.1 408 Request Timeout\r\nContent-Length: 0\r\n"
+            "Connection: close\r\n\r\n";
+        (void)::send(fd, k408.data(), k408.size(), MSG_NOSIGNAL);
+      }
+      close_conn(fd);
+    }
+    std::chrono::milliseconds next = kTickInterval;
+    if (trace_active) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          trace_deadline - now);
+      next = std::clamp(left, std::chrono::milliseconds(1), kTickInterval);
+    }
+    return next;
+  }
+};
+
 std::unique_ptr<HttpExposer> HttpExposer::create(HttpExposerConfig config) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) return nullptr;
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -98,7 +383,7 @@ std::unique_ptr<HttpExposer> HttpExposer::create(HttpExposerConfig config) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(config.port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 16) != 0) {
+      ::listen(fd, 64) != 0) {
     ::close(fd);
     return nullptr;
   }
@@ -108,102 +393,40 @@ std::unique_ptr<HttpExposer> HttpExposer::create(HttpExposerConfig config) {
     ::close(fd);
     return nullptr;
   }
-  return std::unique_ptr<HttpExposer>(
+  auto exposer = std::unique_ptr<HttpExposer>(
       new HttpExposer(std::move(config), fd, ntohs(bound.sin_port)));
+  if (!exposer->impl_->ok) return nullptr;
+  return exposer;
 }
 
 HttpExposer::HttpExposer(HttpExposerConfig config, int listen_fd,
                          std::uint16_t port)
-    : config_(std::move(config)), listen_fd_(listen_fd), port_(port) {
-  thread_ = std::thread([this] { serve(); });
+    : config_(std::move(config)),
+      listen_fd_(listen_fd),
+      port_(port),
+      impl_(std::make_unique<Impl>(*this)) {
+  if (!impl_->ok) return;
+  thread_ = std::thread([this] {
+    Tracer::instance().set_this_thread_name("http");
+    impl_->loop.run();
+  });
 }
 
 HttpExposer::~HttpExposer() { stop(); }
 
 void HttpExposer::stop() {
-  if (stopping_.exchange(true)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
+  stopping_.store(true, std::memory_order_release);
+  impl_->loop.stop();
   if (thread_.joinable()) thread_.join();
+  // The loop thread is gone: tear down whatever connections remained.
+  for (const auto& [fd, conn] : impl_->conns) ::close(fd);
+  impl_->conns.clear();
+  impl_->trace_waiters.clear();
+  impl_->publish_open_conns();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-}
-
-void HttpExposer::serve() {
-  Tracer::instance().set_this_thread_name("http");
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd p{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&p, 1, kAcceptPollMs);
-    if (ready <= 0) continue;
-    const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;
-    handle_connection(conn);
-    ::close(conn);
-  }
-}
-
-void HttpExposer::handle_connection(int fd) {
-  requests_.fetch_add(1, std::memory_order_relaxed);
-
-  std::string head;
-  Response resp;
-  if (!read_request_head(fd, head)) {
-    resp = {400, "text/plain; charset=utf-8", "bad request\n"};
-  } else {
-    // Request line: METHOD SP TARGET SP VERSION.
-    const auto line_end = head.find("\r\n");
-    const std::string_view line = std::string_view(head).substr(0, line_end);
-    const auto sp1 = line.find(' ');
-    const auto sp2 = sp1 == std::string_view::npos ? std::string_view::npos
-                                                   : line.find(' ', sp1 + 1);
-    if (sp2 == std::string_view::npos ||
-        line.substr(sp2 + 1).rfind("HTTP/1.", 0) != 0) {
-      resp = {400, "text/plain; charset=utf-8", "bad request\n"};
-    } else if (line.substr(0, sp1) != "GET") {
-      resp = {405, "text/plain; charset=utf-8", "method not allowed\n"};
-    } else {
-      const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-      const std::string_view path = target.substr(0, target.find('?'));
-      if (path == "/metrics" && config_.registry != nullptr) {
-        if (config_.before_scrape) config_.before_scrape();
-        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
-        resp.body = config_.registry->expose_text();
-      } else if (path == "/healthz") {
-        if (config_.before_scrape) config_.before_scrape();
-        resp.content_type = "application/json";
-        resp.body = config_.health ? config_.health() : "{\"status\":\"ok\"}\n";
-      } else if (path == "/trace") {
-        Tracer& tracer = config_.tracer != nullptr ? *config_.tracer
-                                                   : Tracer::instance();
-        auto window = std::chrono::milliseconds(parse_ms_param(target, 100));
-        if (window < std::chrono::milliseconds(1)) {
-          window = std::chrono::milliseconds(1);
-        }
-        if (window > config_.max_trace_window) window = config_.max_trace_window;
-        resp.content_type = "application/json";
-        resp.body = tracer.capture_chrome_json(window);
-      } else {
-        resp = {404, "text/plain; charset=utf-8", "not found\n"};
-      }
-    }
-  }
-
-  std::string out;
-  out.reserve(128 + resp.body.size());
-  out += "HTTP/1.1 ";
-  out += std::to_string(resp.status);
-  out += ' ';
-  out += reason_phrase(resp.status);
-  out += "\r\nContent-Type: ";
-  out += resp.content_type;
-  out += "\r\nContent-Length: ";
-  out += std::to_string(resp.body.size());
-  out += "\r\nConnection: close\r\n\r\n";
-  out += resp.body;
-  send_all(fd, out);
 }
 
 }  // namespace lockdown::obs

@@ -1,22 +1,25 @@
-// Minimal blocking HTTP/1.1 endpoint for live observability: a collector
+// Non-blocking HTTP/1.1 endpoint for live observability: a collector
 // process becomes scrapeable instead of only dumping metrics at exit.
 //
-// One listener thread accepts loopback connections and serves three
-// routes, one request per connection (Connection: close):
+// One thread runs a net::EventLoop (DESIGN.md §14) over the listener and
+// every open connection, serving three routes, one request per connection
+// (Connection: close):
 //
 //   GET /metrics     Prometheus text exposition of the bound Registry
 //   GET /healthz     liveness JSON from a caller-supplied callback
 //   GET /trace?ms=N  capture N milliseconds of pipeline spans and return
 //                    them as Chrome Trace Event JSON (see obs/trace.hpp)
 //
-// No external dependencies, no worker pool: a metrics endpoint is scraped
-// every few seconds by one Prometheus, not hammered, so a single blocking
-// thread with a poll()-based accept loop is the whole server. A /trace
-// capture blocks that thread for its window -- scrapes queue behind it in
-// the kernel's accept backlog, which is the honest behavior for a
-// single-threaded exposer.
+// Connections are per-fd state machines on edge-triggered readiness: a
+// read phase buffers the request head (bounded by max_request_bytes), a
+// write phase drains the response through EPOLLOUT, and a periodic idle
+// sweep answers half-sent or stalled clients with 408 and closes them. A
+// /trace capture no longer blocks the server: waiters park on a shared
+// capture session (concurrent requests coalesce onto one window, deadline
+// = the latest requested) while /metrics and /healthz keep being served,
+// and the loop's tick answers every waiter when the deadline passes.
 //
-// Handlers run on the listener thread while the pipeline runs, so callback
+// Handlers run on the loop thread while the pipeline runs, so callback
 // implementations must only touch thread-safe state (the Registry and
 // Tracer are; EngineStats snapshots are -- see examples/live_collector).
 #pragma once
@@ -37,23 +40,34 @@ class Tracer;
 struct HttpExposerConfig {
   /// Port to bind on 127.0.0.1; 0 lets the kernel choose (see port()).
   std::uint16_t port = 0;
-  /// Source of GET /metrics; when null the route answers 404.
+  /// Source of GET /metrics; when null the route answers 404. Also hosts
+  /// the exposer's own loop metrics (open-connection gauge, epoll batch
+  /// histogram) when non-null.
   Registry* registry = nullptr;
   /// Source of GET /trace; defaults to Tracer::instance() when null.
   Tracer* tracer = nullptr;
   /// Body of GET /healthz (application/json). Default: {"status":"ok"}.
   std::function<std::string()> health;
-  /// Invoked before rendering /metrics or /healthz, on the listener
-  /// thread: a hook for refreshing gauges at scrape time.
+  /// Invoked before rendering /metrics or /healthz, on the loop thread: a
+  /// hook for refreshing gauges at scrape time.
   std::function<void()> before_scrape;
   /// Upper clamp for /trace?ms=N capture windows.
   std::chrono::milliseconds max_trace_window{10000};
+  /// Cap on buffered request-head bytes per connection; a head that grows
+  /// past this without terminating is answered 400 and closed.
+  std::size_t max_request_bytes = 8192;
+  /// A connection that makes no progress for this long (half-sent
+  /// request, unread response) is answered 408 (best effort) and closed.
+  std::chrono::milliseconds idle_timeout{5000};
+  /// Cap on concurrently open connections; excess accepts are answered
+  /// 503 and closed immediately, bounding loop state against floods.
+  std::size_t max_connections = 64;
 };
 
 class HttpExposer {
  public:
-  /// Bind 127.0.0.1:port and start the listener thread. Null on bind
-  /// failure (port taken, no sockets).
+  /// Bind 127.0.0.1:port and start the loop thread. Null on bind failure
+  /// (port taken, no sockets).
   [[nodiscard]] static std::unique_ptr<HttpExposer> create(
       HttpExposerConfig config);
 
@@ -64,25 +78,28 @@ class HttpExposer {
   /// The bound port (the kernel's choice when config.port was 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
-  /// Requests served so far (any status), for tests and heartbeat lines.
+  /// Connections accepted so far (any outcome), for tests and heartbeat
+  /// lines.
   [[nodiscard]] std::uint64_t requests() const noexcept {
     return requests_.load(std::memory_order_relaxed);
   }
 
-  /// Stop accepting and join the listener thread. Idempotent; the
-  /// destructor calls it.
+  /// Stop the loop, close every connection, and join the thread.
+  /// Idempotent; the destructor calls it.
   void stop();
 
  private:
+  /// Event loop + per-connection state machines (http_exposer.cpp).
+  struct Impl;
+
   HttpExposer(HttpExposerConfig config, int listen_fd, std::uint16_t port);
-  void serve();
-  void handle_connection(int fd);
 
   HttpExposerConfig config_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
+  std::unique_ptr<Impl> impl_;
   std::thread thread_;
 };
 

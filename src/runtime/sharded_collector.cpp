@@ -65,6 +65,7 @@ ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
                          .anonymizer = config.anonymizer,
                          .rescale_sampled = config.rescale_sampled,
                          .ring_capacity = config.ring_capacity,
+                         .lanes = config.wire_lanes == 0 ? 1 : config.wire_lanes,
                          .metrics = config.metrics != nullptr
                                         ? &collector_metrics_
                                         : nullptr,
@@ -89,18 +90,33 @@ std::size_t ShardedCollector::shard_of(
 }
 
 bool ShardedCollector::ingest(std::span<const std::uint8_t> datagram) {
-  TRACE_SPAN_ARG("wire", "wire.ingest", datagram.size());
-  stats_.note_wire_datagram();
-  const std::size_t shard = shard_of(datagram);
+  return ingest_ticketed(0, datagram).accepted;
+}
+
+ShardedCollector::IngestResult ShardedCollector::ingest_ticketed(
+    std::size_t lane, std::span<const std::uint8_t> datagram) {
   std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());
   copy.assign(datagram.begin(), datagram.end());
-  if (!pool_.submit(shard, std::move(copy))) {
+  return ingest_owned(lane, std::move(copy),
+                      static_cast<std::uint32_t>(datagram.size()));
+}
+
+ShardedCollector::IngestResult ShardedCollector::ingest_owned(
+    std::size_t lane, std::vector<std::uint8_t>&& buf, std::uint32_t used) {
+  TRACE_SPAN_ARG("wire", "wire.ingest", used);
+  stats_.note_wire_datagram();
+  const std::span<const std::uint8_t> datagram(buf.data(), used);
+  const std::size_t shard = shard_of(datagram);
+  WireItem item{next_ticket_.fetch_add(1, std::memory_order_relaxed), used,
+                std::move(buf)};
+  const std::uint64_t ticket = item.ticket;
+  if (!pool_.submit(lane, shard, std::move(item))) {
     stats_.shard(shard).dropped.fetch_add(1, std::memory_order_relaxed);
     // A dropped datagram's buffer is still reusable -- pool it again.
-    arena_.release(std::move(copy));
-    return false;
+    arena_.release(std::move(item.buf));
+    return {ticket, false};
   }
-  return true;
+  return {ticket, true};
 }
 
 void ShardedCollector::ingest_wait(std::span<const std::uint8_t> datagram) {
@@ -109,9 +125,11 @@ void ShardedCollector::ingest_wait(std::span<const std::uint8_t> datagram) {
   const std::size_t shard = shard_of(datagram);
   std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());
   copy.assign(datagram.begin(), datagram.end());
+  WireItem item{next_ticket_.fetch_add(1, std::memory_order_relaxed),
+                static_cast<std::uint32_t>(datagram.size()), std::move(copy)};
   unsigned idle = 0;
-  while (!pool_.submit(shard, std::move(copy))) {
-    // submit() leaves `copy` intact on failure.
+  while (!pool_.submit(0, shard, std::move(item))) {
+    // submit() leaves `item` intact on failure.
     if (++idle < 64) continue;
     if (idle < 256) {
       std::this_thread::yield();

@@ -1,6 +1,6 @@
-// The sharded ingestion engine's facade: one wire thread fanning datagrams
-// out to N shard workers over lock-free rings, and a deterministic merge
-// of the per-shard results.
+// The sharded ingestion engine's facade: wire threads (lanes) fanning
+// datagrams out to N shard workers over lock-free rings, and a
+// deterministic merge of the per-shard results.
 //
 // Routing is by export source (IPFIX observation domain, NetFlow v9 source
 // id, v5 engine id), hashed with SipHash under a fixed key so shard
@@ -15,8 +15,19 @@
 // shard ring counts a drop, exactly like a kernel receive-queue overflow.
 // Replay-style callers that prefer losslessness over liveness use
 // ingest_wait(), which spins the producer instead.
+//
+// Arrival tickets. Every ingest draws a dense ticket from one atomic
+// counter -- the engine's linearized arrival order. With one lane the
+// ticket sequence IS the wire order; with N lanes it is the order the
+// lanes' ingest calls interleaved at the counter, which preserves every
+// lane's own arrival order as a subsequence (and therefore every export
+// source's order, since a source sticks to one lane under SO_REUSEPORT).
+// Consumers that need ordered release (ShardedCollectorDaemon) reorder
+// per-datagram completions on the ticket; drops still burn their ticket so
+// the sequence never gaps.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -41,9 +52,13 @@ namespace lockdown::runtime {
 struct ShardedCollectorConfig {
   flow::ExportProtocol protocol = flow::ExportProtocol::kIpfix;
   std::size_t shards = 1;
-  /// Datagrams buffered per shard before backpressure (rounded up to a
-  /// power of two).
+  /// Datagrams buffered per (lane, shard) ring before backpressure
+  /// (rounded up to a power of two).
   std::size_t ring_capacity = 4096;
+  /// Concurrent wire threads. Each lane is a single-producer channel: at
+  /// most one thread may ingest on a given lane at a time (distinct lanes
+  /// are safe concurrently). Lane-less entry points use lane 0.
+  std::size_t wire_lanes = 1;
   const flow::Anonymizer* anonymizer = nullptr;
   bool rescale_sampled = false;
   /// Key for the source -> shard SipHash. The default is arbitrary but
@@ -68,14 +83,43 @@ class ShardedCollector {
                             ShardBatchSink sink = {},
                             ShardDatagramSink datagram_sink = {});
 
-  /// Route one datagram from the wire. Never blocks; returns false (and
-  /// counts a drop against the target shard) when that shard's ring is
-  /// full.
+  /// Route one datagram from the wire (lane 0). Never blocks; returns
+  /// false (and counts a drop against the target shard) when that shard's
+  /// ring is full.
   bool ingest(std::span<const std::uint8_t> datagram);
 
   /// Lossless variant for replay/bench callers: spins until the shard ring
-  /// accepts the datagram. Never counts a drop.
+  /// accepts the datagram. Never counts a drop. Lane 0.
   void ingest_wait(std::span<const std::uint8_t> datagram);
+
+  /// Ticketed ingest outcome: the arrival ticket is drawn whether or not
+  /// the ring accepted the datagram (a drop burns its ticket, keeping the
+  /// sequence dense for ordered consumers).
+  struct IngestResult {
+    std::uint64_t ticket = 0;
+    bool accepted = false;
+  };
+
+  /// Route one datagram on `lane`, copying it into an arena buffer. One
+  /// producer thread per lane at a time; distinct lanes may call
+  /// concurrently.
+  IngestResult ingest_ticketed(std::size_t lane,
+                               std::span<const std::uint8_t> datagram);
+
+  /// Zero-copy variant for the batch-receive wire path: `buf` (holding
+  /// `used` valid bytes; ideally from acquire_buffer()) moves straight
+  /// into the shard ring. On rejection the buffer is released back to the
+  /// arena -- either way the caller no longer owns it.
+  IngestResult ingest_owned(std::size_t lane, std::vector<std::uint8_t>&& buf,
+                            std::uint32_t used);
+
+  /// A pooled buffer from the engine's arena (the recycling loop the shard
+  /// workers feed). Thread-safe.
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer(std::size_t size_hint) {
+    return arena_.acquire(size_hint);
+  }
+
+  [[nodiscard]] std::size_t wire_lanes() const noexcept { return pool_.lanes(); }
 
   /// Drain every ring and join the workers. Idempotent. No ingest calls
   /// may follow.
@@ -125,6 +169,8 @@ class ShardedCollector {
   /// worker thread until finish() joins it.
   std::vector<std::vector<flow::FlowRecord>> collected_;
   WorkerPool pool_;
+  /// Arrival-ticket source; one fetch_add per ingest linearizes the lanes.
+  std::atomic<std::uint64_t> next_ticket_{0};
   bool finished_ = false;
 };
 

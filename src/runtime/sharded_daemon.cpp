@@ -1,14 +1,21 @@
 #include "runtime/sharded_daemon.hpp"
 
+#include <utility>
+
 namespace lockdown::runtime {
 
 namespace {
+
+/// Cap on recycled batch vectors parked on the board; beyond this they
+/// free normally (a burst should not pin memory forever).
+constexpr std::size_t kMaxFreeBatches = 1024;
 
 ShardedCollectorConfig runtime_config(const ShardedDaemonConfig& config) {
   ShardedCollectorConfig rc;
   rc.protocol = config.protocol;
   rc.shards = config.shards == 0 ? 1 : config.shards;
   rc.ring_capacity = config.ring_capacity;
+  rc.wire_lanes = config.wire_lanes == 0 ? 1 : config.wire_lanes;
   rc.anonymizer = config.anonymizer;
   rc.rescale_sampled = config.rescale_sampled;
   rc.metrics = config.metrics;
@@ -29,66 +36,121 @@ ShardedCollectorDaemon::ShardedCollectorDaemon(const ShardedDaemonConfig& config
                  // the single-threaded daemon for any source mix.
                  if (observer_) observer_(batch);
                  // Worker-thread-private until the boundary below.
-                 ShardSpool& spool = *spools_[shard];
-                 spool.pending.insert(spool.pending.end(), batch.begin(),
-                                      batch.end());
+                 std::vector<flow::FlowRecord>& pending = *pending_[shard];
+                 pending.insert(pending.end(), batch.begin(), batch.end());
                }),
-               ShardDatagramSink([this](std::size_t shard) {
-                 // Datagram boundary: seal this datagram's records (possibly
-                 // none) as one batch in the shard's FIFO, grabbing a
-                 // recycled vector for the next datagram when one is free.
-                 ShardSpool& spool = *spools_[shard];
-                 const std::lock_guard<std::mutex> lock(spool.mu);
-                 spool.done.push_back(std::move(spool.pending));
-                 if (!spool.free.empty()) {
-                   spool.pending = std::move(spool.free.back());
-                   spool.free.pop_back();
-                 } else {
-                   spool.pending = {};
-                 }
+               ShardDatagramSink([this](std::size_t shard,
+                                        std::uint64_t ticket) {
+                 // Datagram boundary: seal this datagram's records
+                 // (possibly none) under its arrival ticket, taking a
+                 // recycled vector back for the next datagram.
+                 std::vector<flow::FlowRecord>& pending = *pending_[shard];
+                 complete(ticket, std::move(pending), &pending);
                })) {
   const std::size_t shards = config.shards == 0 ? 1 : config.shards;
-  spools_.reserve(shards);
+  pending_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    spools_.push_back(std::make_unique<ShardSpool>());
+    pending_.push_back(std::make_unique<std::vector<flow::FlowRecord>>());
+  }
+}
+
+void ShardedCollectorDaemon::complete(std::uint64_t ticket,
+                                      std::vector<flow::FlowRecord>&& records,
+                                      std::vector<flow::FlowRecord>* refill) {
+  const std::lock_guard<std::mutex> lock(board_.mu);
+  if (ticket >= board_.base) {
+    const std::size_t idx = static_cast<std::size_t>(ticket - board_.base);
+    while (board_.slots.size() <= idx) board_.slots.emplace_back();
+    board_.slots[idx].records = std::move(records);
+    board_.slots[idx].ready = true;
+  }
+  // A shard's pending vector gets a recycled vector back so the next
+  // datagram appends into warmed capacity (drops pass no refill target).
+  if (refill != nullptr) {
+    if (!board_.free.empty()) {
+      *refill = std::move(board_.free.back());
+      board_.free.pop_back();
+    } else {
+      refill->clear();  // moved-from: make it definitely empty again
+    }
   }
 }
 
 void ShardedCollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
-  const std::size_t shard = runtime_.shard_of(datagram);
-  if (runtime_.ingest(datagram)) order_.push_back(shard);
-  // Opportunistic drain keeps spool buffers bounded without a dedicated
+  (void)ingest_lane(0, datagram);
+}
+
+std::uint64_t ShardedCollectorDaemon::ingest_lane(
+    std::size_t lane, std::span<const std::uint8_t> datagram) {
+  const ShardedCollector::IngestResult r =
+      runtime_.ingest_ticketed(lane, datagram);
+  // A rejected datagram still owns a ticket: complete it empty so the
+  // ordered release never stalls on a gap.
+  if (!r.accepted) complete(r.ticket, {}, nullptr);
+  maybe_poll();
+  return r.ticket;
+}
+
+std::uint64_t ShardedCollectorDaemon::ingest_owned(
+    std::size_t lane, std::vector<std::uint8_t>&& buf, std::uint32_t used) {
+  const ShardedCollector::IngestResult r =
+      runtime_.ingest_owned(lane, std::move(buf), used);
+  if (!r.accepted) complete(r.ticket, {}, nullptr);
+  maybe_poll();
+  return r.ticket;
+}
+
+void ShardedCollectorDaemon::maybe_poll() {
+  // Opportunistic drain keeps the board bounded without a dedicated
   // writer thread; every 64 datagrams is far below the rotation cadence.
-  if ((++ingests_ & 63) == 0) poll();
+  if ((ingests_.fetch_add(1, std::memory_order_relaxed) & 63) == 63) poll();
 }
 
 void ShardedCollectorDaemon::poll() {
-  // Release completed batches strictly in wire order; stop at the first
-  // datagram whose shard has not finished it yet (its successors must
-  // wait regardless of which shard they landed on).
-  while (!order_.empty()) {
-    ShardSpool& spool = *spools_[order_.front()];
-    std::vector<flow::FlowRecord> batch;
+  // The spooler is serial; whoever holds the merge lock is already
+  // releasing the ready prefix, so a contended poll has nothing to add.
+  if (!merge_mu_.try_lock()) return;
+  const std::lock_guard<std::mutex> merge(merge_mu_, std::adopt_lock);
+  poll_locked();
+}
+
+void ShardedCollectorDaemon::poll_locked() {
+  // Release the ready prefix in ticket order. Batches are moved out under
+  // the board lock but appended to the spooler outside it, so workers
+  // completing tickets never wait on slice rotation.
+  std::vector<std::vector<flow::FlowRecord>> run;
+  for (;;) {
+    run.clear();
     {
-      const std::lock_guard<std::mutex> lock(spool.mu);
-      if (spool.done.empty()) return;
-      batch = std::move(spool.done.front());
-      spool.done.pop_front();
+      const std::lock_guard<std::mutex> lock(board_.mu);
+      while (!board_.slots.empty() && board_.slots.front().ready) {
+        run.push_back(std::move(board_.slots.front().records));
+        board_.slots.pop_front();
+        ++board_.base;
+      }
     }
-    order_.pop_front();
-    for (const flow::FlowRecord& r : batch) spooler_.append(r);
-    batch.clear();
+    if (run.empty()) return;
+    for (auto& batch : run) {
+      for (const flow::FlowRecord& r : batch) spooler_.append(r);
+      batch.clear();
+    }
     {
-      const std::lock_guard<std::mutex> lock(spool.mu);
-      spool.free.push_back(std::move(batch));
+      const std::lock_guard<std::mutex> lock(board_.mu);
+      for (auto& batch : run) {
+        if (board_.free.size() >= kMaxFreeBatches) break;
+        board_.free.push_back(std::move(batch));
+      }
     }
   }
 }
 
 void ShardedCollectorDaemon::flush() {
   runtime_.finish();
-  poll();
-  spooler_.flush();
+  {
+    const std::lock_guard<std::mutex> merge(merge_mu_);
+    poll_locked();
+    spooler_.flush();
+  }
 }
 
 }  // namespace lockdown::runtime

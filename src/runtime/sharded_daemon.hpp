@@ -1,23 +1,36 @@
 // Multi-threaded deployment shape of flow::CollectorDaemon: shard workers
 // decode and anonymize in parallel, while rotation and trace spooling stay
-// on the caller's thread (a TraceWriter is inherently serial). Decoded
-// records come back from the workers through small per-shard spool
-// buffers; poll() moves them into the SliceSpooler. This mirrors nfcapd's
-// split between packet threads and the file writer.
+// serial (a TraceWriter is inherently serial). Decoded records come back
+// from the workers as per-datagram batches; poll() moves them into the
+// SliceSpooler. This mirrors nfcapd's split between packet threads and the
+// file writer.
 //
-// Ordering: wire order, reconstructed. The wire thread remembers the
-// target shard of every accepted datagram (a deque of shard indices);
-// workers cut their output into per-datagram batches (the pool's
+// Ordering: arrival-ticket replay. Every accepted datagram draws a dense
+// global ticket at ingest (ShardedCollector linearizes the wire lanes
+// through one atomic counter); workers cut their output into per-datagram
+// batches and complete them under their ticket (the pool's
 // ShardDatagramSink fires even for datagrams that decode to nothing);
-// poll() releases batches strictly in the remembered wire order, stopping
-// at the first datagram still being decoded. Slices are therefore
-// byte-identical to the single-threaded CollectorDaemon's for ANY input
-// mix -- multi-source streams included -- independent of shard count and
-// thread schedule. The price is head-of-line buffering: records decoded
-// behind a still-busy earlier datagram wait in their shard's spool (the
-// same bounded backlog the ring already implies).
+// dropped datagrams complete an empty batch immediately so the sequence
+// never gaps. poll() releases batches strictly in ticket order from a
+// reorder board, stopping at the first ticket still being decoded.
+//
+// With one wire lane the ticket sequence is exactly the wire order, so
+// slices are byte-identical to the single-threaded CollectorDaemon for ANY
+// input mix -- the PR-5 contract, unchanged. With N lanes the ticket order
+// is the linearized arrival order across the lanes' sockets: each lane's
+// own order (and therefore each export source's order, a source being
+// pinned to one SO_REUSEPORT queue) is preserved as a subsequence, and the
+// emitted slices equal what the classic daemon produces when fed the
+// datagrams in ticket order -- the determinism suite replays exactly that.
+//
+// The price is head-of-line buffering: records decoded behind a
+// still-busy earlier ticket wait on the board (the same bounded backlog
+// the rings already imply). poll() is safe from any thread -- it takes the
+// merge lock opportunistically and walks away when another thread already
+// holds it -- so every wire lane's periodic poll keeps the board drained.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -41,6 +54,9 @@ struct ShardedDaemonConfig {
   /// stay unscaled -- rescale those with MonitorSet::set_flow_scale (the
   /// sampler-rescaling contract in filter/monitor.hpp).
   bool rescale_sampled = false;
+  /// Concurrent wire threads (see ShardedCollectorConfig::wire_lanes): at
+  /// most one thread may ingest on a given lane at a time.
+  std::size_t wire_lanes = 1;
   /// Optional metrics registry, forwarded to the ingestion engine (see
   /// ShardedCollectorConfig::metrics). Must outlive the daemon.
   obs::Registry* metrics = nullptr;
@@ -55,17 +71,37 @@ class ShardedCollectorDaemon {
  public:
   ShardedCollectorDaemon(const ShardedDaemonConfig& config, flow::SliceSink sink);
 
-  /// Ingest one datagram from the wire. Never blocks; a full shard ring
-  /// counts a drop (visible via engine_snapshot().dropped). Periodically
-  /// polls so spool buffers stay bounded.
+  /// Ingest one datagram from the wire on lane 0. Never blocks; a full
+  /// shard ring counts a drop (visible via engine_snapshot().dropped).
+  /// Periodically polls so the reorder board stays bounded.
   void ingest(std::span<const std::uint8_t> datagram);
 
-  /// Move decoded records from the shard spools into the rotation engine.
-  /// Call from the wire/owner thread.
+  /// Lane-aware ingest for the multi-socket wire plane: one producer
+  /// thread per lane at a time, distinct lanes concurrently. Returns the
+  /// datagram's arrival ticket (the replay key), drawn even when the ring
+  /// rejects it.
+  std::uint64_t ingest_lane(std::size_t lane,
+                            std::span<const std::uint8_t> datagram);
+
+  /// Zero-copy lane ingest: `buf` holds `used` valid bytes (ideally from
+  /// acquire_buffer()) and moves into the engine whether or not it is
+  /// accepted. The batch-receive path hands kernel-filled arena buffers
+  /// straight here.
+  std::uint64_t ingest_owned(std::size_t lane, std::vector<std::uint8_t>&& buf,
+                             std::uint32_t used);
+
+  /// Pooled datagram buffer from the engine's recycle arena. Thread-safe.
+  [[nodiscard]] std::vector<std::uint8_t> acquire_buffer(std::size_t size_hint) {
+    return runtime_.acquire_buffer(size_hint);
+  }
+
+  /// Move completed batches, in ticket order, into the rotation engine.
+  /// Callable from any thread: contended calls return immediately (the
+  /// holder is already releasing).
   void poll();
 
   /// Stop the workers, drain everything, and flush the partial slice. No
-  /// ingest may follow.
+  /// ingest may follow (stop the wire threads first).
   void flush();
 
   [[nodiscard]] flow::CollectorStats wire_stats() const {
@@ -77,6 +113,9 @@ class ShardedCollectorDaemon {
   [[nodiscard]] flow::PacketArena::Stats arena_stats() const {
     return runtime_.arena_stats();
   }
+  [[nodiscard]] std::size_t wire_lanes() const noexcept {
+    return runtime_.wire_lanes();
+  }
   [[nodiscard]] std::size_t slices_emitted() const noexcept {
     return spooler_.slices_emitted();
   }
@@ -85,30 +124,43 @@ class ShardedCollectorDaemon {
   }
 
  private:
-  struct ShardSpool {
-    /// Records of the datagram currently being decoded. Worker-thread
-    /// only -- no lock needed until the datagram boundary moves it into
-    /// `done`.
-    std::vector<flow::FlowRecord> pending;
-    std::mutex mu;  ///< guards `done` and `free`
-    /// Completed per-datagram batches in this shard's FIFO order; empty
-    /// batches mark datagrams that decoded to no records.
-    std::deque<std::vector<flow::FlowRecord>> done;
-    /// Drained batch vectors handed back by poll() for reuse, so the
-    /// steady state does not allocate per datagram.
+  /// One completed per-datagram batch awaiting ordered release.
+  struct Slot {
+    std::vector<flow::FlowRecord> records;
+    bool ready = false;
+  };
+
+  /// The reorder board: completions keyed by arrival ticket. slots[i]
+  /// holds ticket base + i; the ready prefix is released by poll().
+  struct TicketBoard {
+    std::mutex mu;
+    std::uint64_t base = 0;
+    std::deque<Slot> slots;
+    /// Drained batch vectors handed back for reuse, so the steady state
+    /// does not allocate per datagram.
     std::vector<std::vector<flow::FlowRecord>> free;
   };
 
+  /// File `records` under `ticket` on the board. When `refill` is set (the
+  /// worker completion path), it receives a recycled batch vector.
+  void complete(std::uint64_t ticket, std::vector<flow::FlowRecord>&& records,
+                std::vector<flow::FlowRecord>* refill);
+  void maybe_poll();
+  void poll_locked();
+
   flow::SliceSpooler spooler_;
-  std::vector<std::unique_ptr<ShardSpool>> spools_;
+  /// Records of the datagram currently being decoded, per shard.
+  /// Worker-thread only -- no lock needed until the datagram boundary
+  /// moves it onto the board.
+  std::vector<std::unique_ptr<std::vector<flow::FlowRecord>>> pending_;
   /// Must precede runtime_: workers may fire the batch sink (which reads
   /// the observer) as soon as the pool starts.
   flow::Collector::BatchSink observer_;
-  /// Target shard of every accepted datagram, in wire order. Wire/owner
-  /// thread only; poll() pops the front as it releases batches.
-  std::deque<std::size_t> order_;
+  TicketBoard board_;
+  /// Serializes the spooler: poll() try-locks, flush() blocks.
+  std::mutex merge_mu_;
   ShardedCollector runtime_;
-  std::uint64_t ingests_ = 0;
+  std::atomic<std::uint64_t> ingests_{0};
 };
 
 }  // namespace lockdown::runtime

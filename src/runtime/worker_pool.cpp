@@ -9,18 +9,25 @@ namespace lockdown::runtime {
 
 struct WorkerPool::Shard {
   Shard(const WorkerConfig& config, flow::Collector::BatchSink batch_sink)
-      : ring(config.ring_capacity),
-        collector(config.protocol, std::move(batch_sink), config.anonymizer,
-                  config.rescale_sampled, config.metrics) {}
+      : collector(config.protocol, std::move(batch_sink), config.anonymizer,
+                  config.rescale_sampled, config.metrics) {
+    rings.reserve(config.lanes);
+    for (std::size_t i = 0; i < config.lanes; ++i) {
+      rings.push_back(
+          std::make_unique<SpscRing<WireItem>>(config.ring_capacity));
+    }
+  }
 
-  SpscRing<std::vector<std::uint8_t>> ring;
+  /// One SPSC ring per lane (wire thread): rings[lane] has exactly one
+  /// producer (that lane) and one consumer (this shard's worker).
+  std::vector<std::unique_ptr<SpscRing<WireItem>>> rings;
   flow::Collector collector;
   std::thread thread;
 };
 
 namespace {
 
-// Idle backoff for a worker whose ring ran empty: spin briefly (a datagram
+// Idle backoff for a worker whose rings ran empty: spin briefly (a datagram
 // is usually microseconds away at line rate), then yield, then sleep so an
 // idle engine costs nothing.
 void backoff(unsigned idle_rounds) {
@@ -38,16 +45,18 @@ void backoff(unsigned idle_rounds) {
 WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
                        ShardBatchSink sink, EngineStats& stats,
                        ShardDatagramSink done)
-    : sink_(std::move(sink)), done_(std::move(done)), stats_(&stats),
-      recycle_(config.recycle) {
+    : lanes_(config.lanes == 0 ? 1 : config.lanes), sink_(std::move(sink)),
+      done_(std::move(done)), stats_(&stats), recycle_(config.recycle) {
   if (shards == 0) throw std::invalid_argument("WorkerPool: zero shards");
+  WorkerConfig effective = config;
+  effective.lanes = lanes_;
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     auto batch_sink = flow::Collector::BatchSink(
         [this, i](std::span<const flow::FlowRecord> batch) {
           if (sink_) sink_(i, batch);
         });
-    shards_.push_back(std::make_unique<Shard>(config, std::move(batch_sink)));
+    shards_.push_back(std::make_unique<Shard>(effective, std::move(batch_sink)));
   }
   for (std::size_t i = 0; i < shards; ++i) {
     Shard& s = *shards_[i];
@@ -57,11 +66,12 @@ WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
 
 WorkerPool::~WorkerPool() { finish(); }
 
-bool WorkerPool::submit(std::size_t shard, std::vector<std::uint8_t>&& datagram) {
+bool WorkerPool::submit(std::size_t lane, std::size_t shard, WireItem&& item) {
   TRACE_SPAN_ARG("ring", "ring.push", shard);
   Shard& s = *shards_[shard];
-  if (!s.ring.try_push(std::move(datagram))) return false;
-  stats_->note_queue_depth(shard, s.ring.size());
+  SpscRing<WireItem>& ring = *s.rings[lane];
+  if (!ring.try_push(std::move(item))) return false;
+  stats_->note_queue_depth(shard, ring.size());
   return true;
 }
 
@@ -108,24 +118,38 @@ void WorkerPool::run(Shard& shard, std::size_t index) {
 
   // Consumed buffers go back to the producer's arena (when configured) so
   // the steady state stops allocating per datagram.
-  auto consume = [&](std::vector<std::uint8_t>&& datagram) {
-    process(datagram);
-    if (done_) done_(index);
-    if (recycle_ != nullptr) recycle_->release(std::move(datagram));
+  auto consume = [&](WireItem&& item) {
+    process(std::span<const std::uint8_t>(item.buf.data(), item.used));
+    if (done_) done_(index, item.ticket);
+    if (recycle_ != nullptr) recycle_->release(std::move(item.buf));
   };
 
+  // Round-robin across lane rings, resuming where the last sweep left off
+  // so a busy lane cannot starve its siblings.
+  const std::size_t lanes = shard.rings.size();
+  std::size_t cursor = 0;
   unsigned idle = 0;
   for (;;) {
-    if (auto datagram = shard.ring.try_pop()) {
+    bool any = false;
+    for (std::size_t k = 0; k < lanes; ++k) {
+      SpscRing<WireItem>& ring = *shard.rings[cursor];
+      cursor = (cursor + 1) % lanes;
+      if (auto item = ring.try_pop()) {
+        any = true;
+        consume(std::move(*item));
+      }
+    }
+    if (any) {
       idle = 0;
-      consume(std::move(*datagram));
       continue;
     }
     if (stopping_.load(std::memory_order_acquire)) {
       // finish() is only called once every submit has happened, so the
       // acquire above makes any datagram still in flight visible: drain to
       // empty, then exit.
-      while (auto datagram = shard.ring.try_pop()) consume(std::move(*datagram));
+      for (auto& ring : shard.rings) {
+        while (auto item = ring->try_pop()) consume(std::move(*item));
+      }
       return;
     }
     backoff(idle++);

@@ -5,6 +5,16 @@
 // export source to the same shard, which is what keeps template scoping
 // correct per RFC 7011 section 8: a template set and the data sets that
 // reference it always meet in the same cache.
+//
+// Lanes. With the async network plane, more than one wire thread produces
+// datagrams. The SPSC rings stay single-producer by giving every wire
+// thread (lane) its own ring per shard -- a lanes x shards grid -- and
+// having each shard's worker scan its lane rings round-robin. A given
+// export source must stay on one lane (true by construction under
+// SO_REUSEPORT: the kernel pins a source socket's 4-tuple to one receive
+// queue), so per-source datagram order survives: source order within a
+// lane ring is FIFO, and cross-source decode order never affects decode
+// results (all collector state is per-source).
 #pragma once
 
 #include <atomic>
@@ -23,6 +33,17 @@
 
 namespace lockdown::runtime {
 
+/// One wire datagram in flight between a wire thread and a shard worker.
+/// `ticket` is the global arrival ticket -- the replay key the ordered
+/// merge in ShardedCollectorDaemon reorders on. `used` is the datagram's
+/// byte count; `buf` may be longer (receive buffers keep their capacity
+/// forever so the batch-receive path never reallocates or zero-fills).
+struct WireItem {
+  std::uint64_t ticket = 0;
+  std::uint32_t used = 0;
+  std::vector<std::uint8_t> buf;
+};
+
 /// Batch record delivery, invoked on the owning shard's worker thread: one
 /// call per decoded datagram. Implementations only see concurrent calls
 /// for *different* shard indices.
@@ -32,17 +53,23 @@ using ShardBatchSink =
 /// Per-datagram completion, invoked on the owning shard's worker thread
 /// after the datagram's records (if any) went through the ShardBatchSink.
 /// Fires for *every* consumed datagram -- template sets, option data and
-/// malformed input included, which produce no batch call -- so a consumer
-/// can cut exact per-datagram boundaries (the ordered wire-order merge in
-/// ShardedCollectorDaemon depends on this).
-using ShardDatagramSink = std::function<void(std::size_t shard)>;
+/// malformed input included, which produce no batch call -- carrying the
+/// datagram's arrival ticket so a consumer can release batches in exact
+/// arrival order (the ticket merge in ShardedCollectorDaemon depends on
+/// this).
+using ShardDatagramSink =
+    std::function<void(std::size_t shard, std::uint64_t ticket)>;
 
 struct WorkerConfig {
   flow::ExportProtocol protocol = flow::ExportProtocol::kIpfix;
   const flow::Anonymizer* anonymizer = nullptr;
   bool rescale_sampled = false;
-  /// Datagrams buffered per shard before submit() reports backpressure.
+  /// Datagrams buffered per (lane, shard) ring before submit() reports
+  /// backpressure.
   std::size_t ring_capacity = 4096;
+  /// Wire threads producing into this pool; each gets its own ring per
+  /// shard (SPSC stays single-producer).
+  std::size_t lanes = 1;
   /// Optional registry binding shared by every shard's Collector (handles
   /// are atomic). Must outlive the pool.
   const flow::CollectorMetrics* metrics = nullptr;
@@ -66,12 +93,14 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
 
-  /// Hand one datagram to a shard. Wire-thread only; never blocks. Returns
-  /// false when the shard's ring is full, leaving `datagram` intact so the
-  /// caller decides between dropping (counted by the caller) and retrying.
-  [[nodiscard]] bool submit(std::size_t shard,
-                            std::vector<std::uint8_t>&& datagram);
+  /// Hand one datagram to a shard over lane `lane`'s ring. One producer
+  /// thread per lane; never blocks. Returns false when that ring is full,
+  /// leaving `item` intact so the caller decides between dropping (counted
+  /// by the caller) and retrying.
+  [[nodiscard]] bool submit(std::size_t lane, std::size_t shard,
+                            WireItem&& item);
 
   /// No more submits will follow: drain every ring, stop the workers, and
   /// join them. Idempotent; called by the destructor if needed.
@@ -86,6 +115,7 @@ class WorkerPool {
   void run(Shard& shard, std::size_t index);
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t lanes_ = 1;
   ShardBatchSink sink_;
   ShardDatagramSink done_;
   EngineStats* stats_;

@@ -1,0 +1,231 @@
+// Hardening tests for the non-blocking HTTP exposer: bounded request
+// reads, idle/slow-client timeouts (the half-sent request case), the
+// connection cap, concurrent scrapers, and the coalesced /trace capture
+// session -- all properties of the event-loop rewrite that the original
+// blocking exposer could not provide.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/http_exposer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lockdown::obs {
+namespace {
+
+/// Connect to 127.0.0.1:port; -1 on failure. Caller closes.
+int tcp_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One blocking request; returns the full response, empty on failure.
+std::string http_get(std::uint16_t port, const std::string& raw_request) {
+  const int fd = tcp_connect(port);
+  if (fd < 0) return {};
+  (void)::send(fd, raw_request.data(), raw_request.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpExposerHardening, HalfSentRequestTimesOutWhileScrapesProceed) {
+  Registry registry;
+  registry.counter("hardening_test_total", {}, "help").add(1);
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  cfg.idle_timeout = std::chrono::milliseconds(300);
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  // A client that sends half a request line and stalls.
+  const int slow = tcp_connect(exposer->port());
+  ASSERT_GE(slow, 0);
+  ASSERT_GT(::send(slow, "GET /metr", 9, 0), 0);
+
+  // The stalled connection must not block other scrapers (the old
+  // blocking exposer would hang here for its whole client timeout).
+  const std::string metrics =
+      http_get(exposer->port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("hardening_test_total 1"), std::string::npos);
+
+  // The idle sweep answers the half-sent request with 408 and closes it.
+  std::string slow_response;
+  char buf[1024];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::recv(slow, buf, sizeof(buf), 0);
+    if (n > 0) {
+      slow_response.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    break;  // 0 = orderly close after the 408; <0 = reset, also closed
+  }
+  ::close(slow);
+  EXPECT_NE(slow_response.find("HTTP/1.1 408"), std::string::npos);
+  EXPECT_EQ(exposer->requests(), 2u);
+}
+
+TEST(HttpExposerHardening, OversizedRequestHeadIsRejected) {
+  Registry registry;
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  cfg.max_request_bytes = 512;
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  // 600 bytes with no head terminator: past the cap, never parseable.
+  const std::string garbage(600, 'A');
+  const std::string response = http_get(exposer->port(), garbage);
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST(HttpExposerHardening, ConnectionCapAnswers503) {
+  Registry registry;
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  cfg.max_connections = 2;
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  // Two parked connections occupy the cap...
+  const int a = tcp_connect(exposer->port());
+  const int b = tcp_connect(exposer->port());
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  // ...give the loop a moment to accept both...
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (exposer->requests() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(exposer->requests(), 2u);
+  // ...so the third is refused with 503, not left hanging.
+  const std::string refused =
+      http_get(exposer->port(), "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(refused.find("HTTP/1.1 503"), std::string::npos);
+  ::close(a);
+  ::close(b);
+
+  // Freed capacity serves again (the loop notices the EOFs).
+  const auto retry_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  std::string ok;
+  while (std::chrono::steady_clock::now() < retry_deadline) {
+    ok = http_get(exposer->port(), "GET /healthz HTTP/1.1\r\n\r\n");
+    if (ok.find("HTTP/1.1 200 OK") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(ok.find("HTTP/1.1 200 OK"), std::string::npos);
+}
+
+TEST(HttpExposerHardening, ConcurrentScrapersAllServed) {
+  Registry registry;
+  registry.counter("concurrent_total", {}, "help").add(7);
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  constexpr std::size_t kScrapers = 8;
+  std::atomic<std::size_t> ok{0};
+  std::vector<std::thread> scrapers;
+  for (std::size_t i = 0; i < kScrapers; ++i) {
+    scrapers.emplace_back([&] {
+      const std::string resp =
+          http_get(exposer->port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+      if (resp.find("HTTP/1.1 200 OK") != std::string::npos &&
+          resp.find("concurrent_total 7") != std::string::npos) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(ok.load(), kScrapers);
+  EXPECT_EQ(exposer->requests(), kScrapers);
+}
+
+TEST(HttpExposerHardening, TraceCaptureDoesNotBlockScrapes) {
+  Tracer tracer(256);
+  Registry registry;
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  cfg.tracer = &tracer;
+  cfg.max_trace_window = std::chrono::milliseconds(400);
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  const std::uint32_t id = tracer.intern("t", "busy");
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t now = trace_now_ns();
+      tracer.emit(id, now, now + 5, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Two concurrent captures coalesce onto one session; a /metrics scrape
+  // issued mid-capture must complete long before the capture window does.
+  std::string trace_a;
+  std::string trace_b;
+  std::thread ta([&] {
+    trace_a = http_get(exposer->port(),
+                       "GET /trace?ms=400 HTTP/1.1\r\nHost: x\r\n\r\n");
+  });
+  std::thread tb([&] {
+    trace_b = http_get(exposer->port(),
+                       "GET /trace?ms=300 HTTP/1.1\r\nHost: x\r\n\r\n");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string metrics =
+      http_get(exposer->port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  const auto scrape_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  ta.join();
+  tb.join();
+  stop.store(true, std::memory_order_release);
+  producer.join();
+
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  // The capture window still has >200 ms to run when the scrape lands;
+  // a blocking exposer would stall it that long.
+  EXPECT_LT(scrape_ms.count(), 200);
+  for (const std::string* trace : {&trace_a, &trace_b}) {
+    EXPECT_NE(trace->find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(trace->find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace->find("\"name\":\"busy\""), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace lockdown::obs
