@@ -4,6 +4,7 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <cstdlib>
 #include <fstream>
@@ -42,23 +43,47 @@ inline std::size_t& gen_threads() {
   return value;
 }
 
-/// Strip `--gen-threads N` / `--gen-threads=N` from argv before
-/// benchmark::Initialize sees (and rejects) it.
-inline void parse_gen_threads(int& argc, char** argv) {
+/// Analysis scan lanes (analysis::ScanEngine worker threads) used by
+/// benches that scan a record stream outside of a BENCHMARK Arg sweep.
+/// Defaults to 1; set by `--scan-threads N` or LOCKDOWN_SCAN_THREADS. The
+/// scan output is bit-identical for any value (ScanEngine determinism
+/// contract), so this only changes wall-clock.
+inline std::size_t& scan_threads() {
+  static std::size_t value = [] {
+    if (const char* env = std::getenv("LOCKDOWN_SCAN_THREADS");
+        env != nullptr && *env != '\0') {
+      return static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+    return std::size_t{1};
+  }();
+  return value;
+}
+
+/// Strip one `--<name> N` / `--<name>=N` size flag from argv into `value`.
+/// Returns the new argc.
+inline int parse_size_flag(int argc, char** argv, const std::string& flag,
+                           std::size_t& value) {
+  const std::string eq_prefix = flag + "=";
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--gen-threads" && i + 1 < argc) {
-      gen_threads() = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
-    } else if (arg.rfind("--gen-threads=", 0) == 0) {
-      gen_threads() = static_cast<std::size_t>(
-          std::strtoul(arg.c_str() + std::string("--gen-threads=").size(),
-                       nullptr, 10));
+    if (arg == flag && i + 1 < argc) {
+      value = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg.rfind(eq_prefix, 0) == 0) {
+      value = static_cast<std::size_t>(
+          std::strtoul(arg.c_str() + eq_prefix.size(), nullptr, 10));
     } else {
       argv[out++] = argv[i];
     }
   }
-  argc = out;
+  return out;
+}
+
+/// Strip the thread flags (`--gen-threads N`, `--scan-threads N`) from argv
+/// before benchmark::Initialize sees (and rejects) them.
+inline void parse_thread_flags(int& argc, char** argv) {
+  argc = parse_size_flag(argc, argv, "--gen-threads", gen_threads());
+  argc = parse_size_flag(argc, argv, "--scan-threads", scan_threads());
 }
 
 /// Synthesize `range` at a vantage point and deliver every record through
@@ -164,6 +189,16 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// Peak resident set size of this process so far, in bytes (0 if the query
+/// fails). Recorded into every BENCH json so memory regressions of the
+/// bench workloads travel with the timing artifacts.
+[[nodiscard]] inline std::uint64_t max_rss_bytes() {
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
 /// Write `BENCH_<binary-name>.json` into $LOCKDOWN_BENCH_JSON_DIR (cwd if
 /// unset). No file is written when no benchmark ran (e.g. a
 /// --benchmark_filter that matches nothing), so CI artifacts only contain
@@ -186,7 +221,8 @@ inline void write_bench_json(const char* argv0,
     std::cerr << "warning: cannot write " << path << "\n";
     return;
   }
-  out << "{\n  \"binary\": \"" << json_escape(base) << "\",\n  \"benchmarks\": [\n";
+  out << "{\n  \"binary\": \"" << json_escape(base) << "\",\n  \"max_rss_bytes\": "
+      << max_rss_bytes() << ",\n  \"benchmarks\": [\n";
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const BenchJsonEntry& e = entries[i];
     out << "    {\"name\": \"" << json_escape(e.name) << "\", \"ns_per_op\": "
@@ -201,7 +237,7 @@ inline void write_bench_json(const char* argv0,
 /// land in BENCH_<binary>.json (see write_bench_json).
 #define LOCKDOWN_BENCH_MAIN(print_fn)                       \
   int main(int argc, char** argv) {                         \
-    ::lockdown::bench::parse_gen_threads(argc, argv);       \
+    ::lockdown::bench::parse_thread_flags(argc, argv);      \
     print_fn();                                             \
     ::benchmark::Initialize(&argc, argv);                   \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \

@@ -2,17 +2,24 @@
 // as CSV files, ready for any plotting stack (gnuplot, matplotlib, R).
 // This is the hand-off point between the C++ pipeline and figure rendering.
 //
-//   $ ./figure_export [output-dir]
+//   $ ./figure_export [output-dir] [--scan-threads N]
+//
+// `--scan-threads N` shards the analysis scans over N ScanEngine worker
+// lanes; the emitted CSVs are byte-identical for every N (the engine's
+// determinism contract).
 //
 // Emits:
 //   fig01_<vantage>.csv      weekly normalized series (Fig 1)
 //   fig09_<class>.csv        IXP-CE heatmap base + stage diffs (Fig 9)
 //   fig10_vpn_profiles.csv   VPN port/domain hourly profiles (Fig 10)
 //   isp_hourly.csv           raw hourly ISP series Jan-May (Figs 2/3)
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <iostream>
 
 #include "analysis/export.hpp"
+#include "analysis/scan.hpp"
 #include "analysis/volume.hpp"
 #include "analysis/vpn.hpp"
 #include "dns/corpus.hpp"
@@ -25,11 +32,18 @@ using namespace lockdown;
 
 namespace {
 
-void run(const synth::VantagePoint& vp, const synth::AsRegistry& reg,
-         net::TimeRange range, double budget,
-         const std::function<void(const flow::FlowRecord&)>& sink) {
+/// Synthesize `range` through the wire pipeline into a ScanEngine: decoded
+/// datagram batches feed the engine's worker lanes directly.
+template <typename Bundle>
+void run_scan(const synth::VantagePoint& vp, const synth::AsRegistry& reg,
+              net::TimeRange range, double budget,
+              analysis::ScanEngine<Bundle>& engine) {
   const synth::FlowSynthesizer synth(vp.model, reg, {.connections_per_hour = budget});
-  flow::ExportPump pump(vp.protocol, sink);
+  flow::ExportPump pump(vp.protocol,
+                        flow::ExportPump::BatchSink(
+                            [&engine](std::span<const flow::FlowRecord> batch) {
+                              engine.feed(batch);
+                            }));
   synth.synthesize(range, pump.as_sink());
   pump.flush();
 }
@@ -37,8 +51,15 @@ void run(const synth::VantagePoint& vp, const synth::AsRegistry& reg,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::filesystem::path out =
-      argc > 1 ? argv[1] : std::filesystem::path("figure-data");
+  std::filesystem::path out = "figure-data";
+  unsigned scan_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scan-threads") == 0 && i + 1 < argc) {
+      scan_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      out = argv[i];
+    }
+  }
   std::filesystem::create_directories(out);
   const auto registry = synth::AsRegistry::create_default();
   std::size_t files = 0;
@@ -59,8 +80,11 @@ int main(int argc, char** argv) {
         synth::VantagePointId::kMobileCe, synth::VantagePointId::kIpxCe}) {
     const auto vp = synth::build_vantage(id, registry,
                                          {.seed = 42, .enterprise_transit = false});
-    analysis::VolumeAggregator agg(stats::Bucket::kDay);
-    run(vp, registry, full, 150, agg.sink());
+    analysis::ScanEngine<analysis::VolumeAggregator> engine(
+        scan_threads, [] { return analysis::VolumeAggregator(stats::Bucket::kDay); },
+        &registry.trie());
+    run_scan(vp, registry, full, 150, engine);
+    analysis::VolumeAggregator& agg = engine.finish();
     std::string name = to_string(id);
     for (char& c : name) c = c == '-' ? '_' : static_cast<char>(std::tolower(c));
     emit(analysis::weekly_table(analysis::weekly_normalized(agg.series(), 3)),
@@ -71,9 +95,12 @@ int main(int argc, char** argv) {
   {
     const auto isp = synth::build_vantage(synth::VantagePointId::kIspCe, registry,
                                           {.seed = 42, .enterprise_transit = false});
-    analysis::VolumeAggregator agg(stats::Bucket::kHour);
-    run(isp, registry, full, 150, agg.sink());
-    emit(analysis::timeseries_table(agg.series(), "bytes"), "isp_hourly.csv");
+    analysis::ScanEngine<analysis::VolumeAggregator> engine(
+        scan_threads, [] { return analysis::VolumeAggregator(stats::Bucket::kHour); },
+        &registry.trie());
+    run_scan(isp, registry, full, 150, engine);
+    emit(analysis::timeseries_table(engine.finish().series(), "bytes"),
+         "isp_hourly.csv");
   }
 
   // --- Fig 9 heatmaps (IXP-CE) --------------------------------------------------
@@ -87,8 +114,12 @@ int main(int argc, char** argv) {
         net::TimeRange::week_of(net::Date(2020, 2, 20)),
         net::TimeRange::week_of(net::Date(2020, 3, 12)),
         net::TimeRange::week_of(net::Date(2020, 4, 23))};
-    analysis::ClassHeatmap heatmap(classifier, view, weeks);
-    for (const auto& w : weeks) run(ixp, registry, w, 400, heatmap.sink());
+    analysis::ScanEngine<analysis::ClassHeatmap> engine(
+        scan_threads,
+        [&] { return analysis::ClassHeatmap(classifier, view, weeks); },
+        &registry.trie());
+    for (const auto& w : weeks) run_scan(ixp, registry, w, 400, engine);
+    analysis::ClassHeatmap& heatmap = engine.finish();
     for (const auto cls : heatmap.observed_classes()) {
       std::string name = synth::to_string(cls);
       for (char& c : name) c = (c == ' ' || c == '.') ? '_' : static_cast<char>(std::tolower(c));
@@ -110,9 +141,13 @@ int main(int argc, char** argv) {
         net::TimeRange::week_of(net::Date(2020, 2, 20)),
         net::TimeRange::week_of(net::Date(2020, 3, 19)),
         net::TimeRange::week_of(net::Date(2020, 4, 23))};
-    analysis::VpnAnalyzer vpn(weeks, funnel.candidate_ips);
-    for (const auto& w : weeks) run(ixp, registry, w, 500, vpn.sink());
-    emit(analysis::vpn_profile_table(vpn.profiles()), "fig10_vpn_profiles.csv");
+    analysis::ScanEngine<analysis::VpnAnalyzer> engine(
+        scan_threads,
+        [&] { return analysis::VpnAnalyzer(weeks, funnel.candidate_ips); },
+        &registry.trie());
+    for (const auto& w : weeks) run_scan(ixp, registry, w, 500, engine);
+    emit(analysis::vpn_profile_table(engine.finish().profiles()),
+         "fig10_vpn_profiles.csv");
   }
 
   std::cout << "\nwrote " << files << " CSV files to " << out << "\n";

@@ -4,12 +4,17 @@
 // point, the usage-pattern shift, and the application classes that need
 // provisioning attention.
 //
-//   $ ./lockdown_report [seed]
+//   $ ./lockdown_report [seed] [--scan-threads N]
+//
+// `--scan-threads N` shards the aggregation scans (sections 2 and 3) over
+// N ScanEngine worker lanes; the report is byte-identical for every N.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "analysis/app_filter.hpp"
 #include "analysis/pattern.hpp"
+#include "analysis/scan.hpp"
 #include "analysis/volume.hpp"
 #include "flow/pipeline.hpp"
 #include "synth/synthesizer.hpp"
@@ -30,10 +35,33 @@ void run(const synth::VantagePoint& vp, const synth::AsRegistry& reg,
   pump.flush();
 }
 
+/// Like run(), but decoded datagram batches feed a ScanEngine's lanes.
+template <typename Bundle>
+void run_scan(const synth::VantagePoint& vp, const synth::AsRegistry& reg,
+              net::TimeRange range, double budget,
+              analysis::ScanEngine<Bundle>& engine) {
+  const synth::FlowSynthesizer synth(vp.model, reg, {.connections_per_hour = budget});
+  flow::ExportPump pump(vp.protocol,
+                        flow::ExportPump::BatchSink(
+                            [&engine](std::span<const flow::FlowRecord> batch) {
+                              engine.feed(batch);
+                            }));
+  synth.synthesize(range, pump.as_sink());
+  pump.flush();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  std::uint64_t seed = 42;
+  unsigned scan_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scan-threads") == 0 && i + 1 < argc) {
+      scan_threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
   const auto registry = synth::AsRegistry::create_default();
   const synth::ScenarioConfig cfg{.seed = seed, .enterprise_transit = false};
 
@@ -66,11 +94,14 @@ int main(int argc, char** argv) {
   // --- 2. The usage-pattern shift -----------------------------------------
   std::cout << "2. Day-pattern classification at the ISP (Fig 2 method)\n\n";
   const auto isp = synth::build_vantage(synth::VantagePointId::kIspCe, registry, cfg);
-  analysis::VolumeAggregator hourly(stats::Bucket::kHour);
-  run(isp, registry,
-      net::TimeRange{net::Timestamp::from_date(net::Date(2020, 2, 1)),
-                     net::Timestamp::from_date(net::Date(2020, 4, 30))},
-      250, hourly.sink());
+  analysis::ScanEngine<analysis::VolumeAggregator> hourly_engine(
+      scan_threads, [] { return analysis::VolumeAggregator(stats::Bucket::kHour); },
+      &registry.trie());
+  run_scan(isp, registry,
+           net::TimeRange{net::Timestamp::from_date(net::Date(2020, 2, 1)),
+                          net::Timestamp::from_date(net::Date(2020, 4, 30))},
+           250, hourly_engine);
+  analysis::VolumeAggregator& hourly = hourly_engine.finish();
   analysis::PatternClassifier classifier(6);
   classifier.train(hourly.series(),
                    net::TimeRange{net::Timestamp::from_date(net::Date(2020, 2, 1)),
@@ -95,8 +126,12 @@ int main(int argc, char** argv) {
   const std::vector<net::TimeRange> weeks = {
       net::TimeRange::week_of(net::Date(2020, 2, 20)),
       net::TimeRange::week_of(net::Date(2020, 3, 19))};
-  analysis::ClassHeatmap heatmap(app_classifier, view, weeks);
-  for (const auto& w : weeks) run(ixp, registry, w, 400, heatmap.sink());
+  analysis::ScanEngine<analysis::ClassHeatmap> heatmap_engine(
+      scan_threads,
+      [&] { return analysis::ClassHeatmap(app_classifier, view, weeks); },
+      &registry.trie());
+  for (const auto& w : weeks) run_scan(ixp, registry, w, 400, heatmap_engine);
+  analysis::ClassHeatmap& heatmap = heatmap_engine.finish();
 
   util::Table apps({"class", "working-hours growth", "action"});
   for (const auto cls : heatmap.observed_classes()) {

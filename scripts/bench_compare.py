@@ -78,6 +78,24 @@ PAIRS = [
     ("BENCH_bench_stream_window.json", "BM_WindowAccumulateQuiescent",
      "BM_WindowAccumulateUnderFlush", 0.75,
      "window ingest (quiescent vs flush)"),
+    # Columnar analysis kernels (DESIGN.md section 15). The acceptance bar
+    # is >= 3x for the full figure-aggregator bundle consuming shared
+    # FlowColumns batches vs the seed's per-record std::function sinks
+    # (interpreted monitor filters included); the committed baseline ratio
+    # meets it, the enforced floor keeps the usual noise margin.
+    ("BENCH_bench_analysis_scan.json", "BM_AnalysisPerRecord",
+     "BM_AnalysisBatchColumns", 2.2,
+     "analysis kernels (per-record vs columnar)"),
+    # Scan-engine lane scaling. The committed baseline comes from a 1-core
+    # container where extra lanes can only add overhead (ratio < 1), so this
+    # pair is tracked baseline-relative: it gates the ratio from collapsing
+    # (sharding overhead growing), not a parallel speedup the baseline box
+    # cannot measure. On multi-core runners the ratio rises above 1 and
+    # passes with margin; the >= 2.5x scaling target of DESIGN.md section 15
+    # is an 8-core acceptance bar, not a floor enforceable here.
+    ("BENCH_bench_analysis_scan.json", "BM_AnalysisScan/1/real_time",
+     "BM_AnalysisScan/8/real_time", 0.6,
+     "analysis scan (1 vs 8 lanes)"),
 ]
 
 

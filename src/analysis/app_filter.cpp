@@ -4,7 +4,9 @@
 #include <set>
 #include <stdexcept>
 
+#include "filter/plan.hpp"
 #include "obs/trace.hpp"
+#include "util/arith.hpp"
 
 namespace lockdown::analysis {
 
@@ -162,6 +164,50 @@ void AppClassifier::classify_batch(std::span<const flow::FlowRecord> records,
   }
 }
 
+void AppClassifier::classify_columns(std::size_t n, const std::uint32_t* service,
+                                     const std::uint32_t* src_as,
+                                     const std::uint32_t* dst_as,
+                                     std::span<std::optional<AppClass>> out) const {
+  TRACE_SPAN_ARG("classify", "classify.columns", n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t s = service[i];
+    const PortKey port{static_cast<IpProtocol>(s >> 16),
+                       static_cast<std::uint16_t>(s & 0xffff)};
+    const std::uint16_t index =
+        match_index(Asn(src_as[i]), Asn(dst_as[i]), port);
+    out[i] = index == kNoFilter ? std::nullopt
+                                : std::optional(filters_[index].target);
+  }
+}
+
+void AppClassifier::classify_columns(std::size_t n, const std::uint32_t* service,
+                                     const std::uint32_t* src_as,
+                                     const std::uint32_t* dst_as,
+                                     std::span<std::optional<AppClass>> out,
+                                     ClassifyCache& cache) const {
+  TRACE_SPAN_ARG("classify", "classify.columns", n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t s = service[i];
+    const std::uint32_t src = src_as[i];
+    const std::uint32_t dst = dst_as[i];
+    const std::size_t h = (s * 0x9e3779b1u ^ src * 0x85ebca6bu ^
+                           dst * 0xc2b2ae35u) &
+                          (ClassifyCache::kSlots - 1);
+    ClassifyCache::Slot& slot = cache.slots_[h];
+    std::uint16_t index;
+    if (slot.valid && slot.service == s && slot.src == src && slot.dst == dst) {
+      index = slot.index;
+    } else {
+      const PortKey port{static_cast<IpProtocol>(s >> 16),
+                         static_cast<std::uint16_t>(s & 0xffff)};
+      index = match_index(Asn(src_as[i]), Asn(dst_as[i]), port);
+      slot = ClassifyCache::Slot{s, src, dst, index, true};
+    }
+    out[i] = index == kNoFilter ? std::nullopt
+                                : std::optional(filters_[index].target);
+  }
+}
+
 std::optional<AppClass> AppClassifier::classify_reference(
     const flow::FlowRecord& r, const AsView& view) const {
   const net::Asn src = view.src_as(r);
@@ -309,11 +355,7 @@ ClassHeatmap::ClassHeatmap(const AppClassifier& classifier, const AsView& view,
       throw std::invalid_argument("ClassHeatmap: weeks must be 7 days");
     }
   }
-  week_starts_.reserve(weeks_.size());
-  for (std::size_t i = 0; i < weeks_.size(); ++i) {
-    week_starts_.emplace_back(weeks_[i].begin.seconds(), i);
-  }
-  std::sort(week_starts_.begin(), week_starts_.end());
+  week_index_ = WeekIndex(weeks_);
   for (unsigned day = 0; day < 7; ++day) {
     // Weeks start on Thursday in the paper's panels; days 2,3 are Sat/Sun.
     base_day_weekend_[day] = net::is_weekend(
@@ -323,24 +365,6 @@ ClassHeatmap::ClassHeatmap(const AppClassifier& classifier, const AsView& view,
   }
 }
 
-std::size_t ClassHeatmap::week_of(net::Timestamp t) const noexcept {
-  // Candidate weeks are those with begin in (t - 7d, t]; with every week
-  // exactly 7 days they form a contiguous run ending at upper_bound. Ties
-  // from overlapping weeks resolve to the lowest original index, matching
-  // the first-match linear scan this replaces.
-  const std::int64_t s = t.seconds();
-  auto it = std::upper_bound(
-      week_starts_.begin(), week_starts_.end(), s,
-      [](std::int64_t v, const auto& e) { return v < e.first; });
-  std::size_t best = weeks_.size();
-  while (it != week_starts_.begin()) {
-    --it;
-    if (it->first <= s - net::kSecondsPerWeek) break;
-    if (it->second < best) best = it->second;
-  }
-  return best;
-}
-
 void ClassHeatmap::deposit(const flow::FlowRecord& r, AppClass cls) {
   const std::size_t week = week_of(r.first);
   if (week == weeks_.size()) return;
@@ -348,7 +372,7 @@ void ClassHeatmap::deposit(const flow::FlowRecord& r, AppClass cls) {
       (r.first.seconds() - weeks_[week].begin.seconds()) / net::kSecondsPerHour);
   auto& per_week = volume_[cls];
   if (per_week.empty()) per_week.assign(weeks_.size(), {});
-  per_week[week][slot] += static_cast<double>(r.bytes);
+  per_week[week][slot] += util::counter_to_double(r.bytes);
 }
 
 void ClassHeatmap::add(const flow::FlowRecord& r) {
@@ -363,6 +387,46 @@ void ClassHeatmap::add_batch(std::span<const flow::FlowRecord> batch) {
   classifier_.classify_batch(batch, view_, batch_scratch_);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (batch_scratch_[i]) deposit(batch[i], *batch_scratch_[i]);
+  }
+}
+
+void ClassHeatmap::add_batch(std::span<const flow::FlowRecord> batch,
+                             const filter::FlowColumns& cols) {
+  batch_scratch_.resize(batch.size());
+  classifier_.classify_columns(batch.size(), cols.service.data(),
+                               cols.src_as.data(), cols.dst_as.data(),
+                               batch_scratch_, classify_cache_);
+  // Inline deposit with the per-class week vectors resolved once per batch
+  // (volume_ is a node-based map, so the pointers are stable).
+  std::array<std::vector<std::array<double, 168>>*, synth::kAppClassCount>
+      per_cls{};
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!batch_scratch_[i]) continue;
+    const flow::FlowRecord& r = batch[i];
+    const std::size_t week = week_of(r.first);
+    if (week == weeks_.size()) continue;
+    const auto cls_index = static_cast<std::size_t>(*batch_scratch_[i]);
+    if (per_cls[cls_index] == nullptr) {
+      auto& per_week = volume_[*batch_scratch_[i]];
+      if (per_week.empty()) per_week.assign(weeks_.size(), {});
+      per_cls[cls_index] = &per_week;
+    }
+    const auto slot = static_cast<std::size_t>(
+        (r.first.seconds() - weeks_[week].begin.seconds()) /
+        net::kSecondsPerHour);
+    (*per_cls[cls_index])[week][slot] += util::counter_to_double(r.bytes);
+  }
+}
+
+void ClassHeatmap::merge(const ClassHeatmap& other) {
+  for (const auto& [cls, weeks] : other.volume_) {
+    auto& mine = volume_[cls];
+    if (mine.empty()) mine.assign(weeks_.size(), {});
+    for (std::size_t w = 0; w < weeks.size() && w < mine.size(); ++w) {
+      for (std::size_t slot = 0; slot < 168; ++slot) {
+        mine[w][slot] += weeks[w][slot];
+      }
+    }
   }
 }
 

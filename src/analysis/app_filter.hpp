@@ -26,13 +26,41 @@
 #include <vector>
 
 #include "analysis/as_view.hpp"
+#include "analysis/day_cache.hpp"
 #include "flow/flow_record.hpp"
 #include "net/civil_time.hpp"
 #include "synth/app_class.hpp"
 
+namespace lockdown::filter {
+struct FlowColumns;
+}  // namespace lockdown::filter
+
 namespace lockdown::analysis {
 
 using synth::AppClass;
+
+/// Caller-owned memo table for AppClassifier::classify_columns: record
+/// streams repeat a small set of (service, src AS, dst AS) triples, so the
+/// compiled lookup (port table + four binary searches) runs once per
+/// distinct triple instead of once per record. Direct-mapped: a colliding
+/// triple simply recomputes and overwrites. Owned by the aggregator (one
+/// per scan lane), never by the shared immutable classifier.
+class ClassifyCache {
+ public:
+  ClassifyCache() : slots_(kSlots) {}
+
+ private:
+  friend class AppClassifier;
+  static constexpr std::size_t kSlots = 4096;  // power of two
+  struct Slot {
+    std::uint32_t service = 0;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint16_t index = 0;
+    bool valid = false;
+  };
+  std::vector<Slot> slots_;
+};
 
 struct AppFilter {
   std::string name;
@@ -83,6 +111,25 @@ class AppClassifier {
     classify_batch(records, view, out);
     return out;
   }
+
+  /// Columnar batch classification over pre-resolved per-batch columns
+  /// (filter::FlowColumns layout): `service` is the (proto << 16 | port)
+  /// key column, `src_as`/`dst_as` the resolved endpoint AS columns, each
+  /// `n` elements. Skips the per-record service_port()/trie work entirely;
+  /// same results as classify() over the same records.
+  void classify_columns(std::size_t n, const std::uint32_t* service,
+                        const std::uint32_t* src_as,
+                        const std::uint32_t* dst_as,
+                        std::span<std::optional<AppClass>> out) const;
+
+  /// classify_columns with a caller-owned memo cache: identical results,
+  /// but repeated (service, src AS, dst AS) triples hit the cache instead
+  /// of re-running the compiled lookup.
+  void classify_columns(std::size_t n, const std::uint32_t* service,
+                        const std::uint32_t* src_as,
+                        const std::uint32_t* dst_as,
+                        std::span<std::optional<AppClass>> out,
+                        ClassifyCache& cache) const;
 
   [[nodiscard]] const std::vector<AppFilter>& filters() const noexcept {
     return filters_;
@@ -144,6 +191,16 @@ class ClassHeatmap {
   /// aggregate as per-record add().
   void add_batch(std::span<const flow::FlowRecord> batch);
 
+  /// Columnar batch ingestion for the scan engine: classification reads the
+  /// batch's pre-resolved service/AS columns instead of re-running the trie
+  /// per record. Same final aggregate as per-record add().
+  void add_batch(std::span<const flow::FlowRecord> batch,
+                 const filter::FlowColumns& cols);
+
+  /// Fold a sibling heatmap (same classifier/weeks) into this one; hourly
+  /// bins are exact-integer byte sums, so the merge is order-independent.
+  void merge(const ClassHeatmap& other);
+
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
     return [this](const flow::FlowRecord& r) { add(r); };
   }
@@ -180,23 +237,27 @@ class ClassHeatmap {
   }
 
   /// Index into weeks_ of the (first-in-constructor-order) week containing
-  /// `t`, or weeks_.size(). Binary search over begin-sorted ranges instead
-  /// of the per-record linear scan.
-  [[nodiscard]] std::size_t week_of(net::Timestamp t) const noexcept;
+  /// `t`, or weeks_.size(). Disjoint-segment index with a cached-segment
+  /// fast path (WeekIndex) instead of the per-record linear scan; streams
+  /// are near-sorted, so the cache hits almost always.
+  [[nodiscard]] std::size_t week_of(net::Timestamp t) noexcept {
+    return week_index_.lookup(t);
+  }
 
   void deposit(const flow::FlowRecord& r, AppClass cls);
 
   const AppClassifier& classifier_;
   const AsView& view_;
   std::vector<net::TimeRange> weeks_;
-  /// (begin seconds, original week index), sorted by begin.
-  std::vector<std::pair<std::int64_t, std::size_t>> week_starts_;
+  WeekIndex week_index_;
   /// Weekend flags of the base week's 7 days, so working_hours_growth does
   /// not rebuild a net::Date per hour slot.
   std::array<bool, 7> base_day_weekend_{};
   /// Scratch for add_batch (ClassHeatmap is single-threaded, like every
   /// analysis aggregator; the sharded runtime merges before analysis).
   std::vector<std::optional<AppClass>> batch_scratch_;
+  /// Memo for the columnar add_batch's classification.
+  ClassifyCache classify_cache_;
   // volume[class][week][hour-slot 0..167]
   std::map<AppClass, std::vector<std::array<double, 168>>> volume_;
 };

@@ -4,7 +4,9 @@
 // present, else the registry's prefix trie.
 #pragma once
 
-#include <set>
+#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "flow/flow_record.hpp"
 #include "net/asn.hpp"
@@ -37,19 +39,40 @@ class AsView {
 };
 
 /// Ordered ASN set with membership test; used for hypergiant lists, eyeball
-/// lists, local-network lists.
+/// lists, local-network lists. Backed by a sorted vector: these sets are
+/// built once and probed per record, so binary search over contiguous
+/// storage beats a node-based std::set on the batch hot paths. The raw
+/// uint32 overload serves the columnar add_batch paths, which carry
+/// resolved ASes as plain integers (filter::FlowColumns).
 class AsnSet {
  public:
   AsnSet() = default;
-  explicit AsnSet(const std::vector<net::Asn>& asns)
-      : set_(asns.begin(), asns.end()) {}
+  explicit AsnSet(const std::vector<net::Asn>& asns) {
+    sorted_.reserve(asns.size());
+    for (const net::Asn a : asns) sorted_.push_back(a.value());
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_.erase(std::unique(sorted_.begin(), sorted_.end()), sorted_.end());
+  }
 
-  void insert(net::Asn a) { set_.insert(a); }
-  [[nodiscard]] bool contains(net::Asn a) const { return set_.contains(a); }
-  [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+  void insert(net::Asn a) {
+    const auto it = std::lower_bound(sorted_.begin(), sorted_.end(), a.value());
+    if (it == sorted_.end() || *it != a.value()) sorted_.insert(it, a.value());
+  }
+  [[nodiscard]] bool contains(net::Asn a) const noexcept {
+    return contains(a.value());
+  }
+  [[nodiscard]] bool contains(std::uint32_t a) const noexcept {
+    return std::binary_search(sorted_.begin(), sorted_.end(), a);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+
+  /// Member ASNs, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& values() const noexcept {
+    return sorted_;
+  }
 
  private:
-  std::set<net::Asn> set_;
+  std::vector<std::uint32_t> sorted_;
 };
 
 }  // namespace lockdown::analysis

@@ -1,7 +1,9 @@
 #include "analysis/class_activity.hpp"
 
+#include "filter/plan.hpp"
 #include "net/ip.hpp"
 #include "stats/timeseries.hpp"
+#include "util/arith.hpp"
 
 namespace lockdown::analysis {
 
@@ -11,10 +13,43 @@ void ClassActivityTracker::add(const flow::FlowRecord& r) {
 
   const std::int64_t hour = r.first.floor_hour().seconds();
   HourAcc& acc = hours_[hour];
-  acc.bytes += static_cast<double>(r.bytes);
+  acc.bytes += util::counter_to_double(r.bytes);
   const net::IpAddressHash hash;
   acc.ips.insert(hash(r.src_addr));
   acc.ips.insert(hash(r.dst_addr));
+}
+
+void ClassActivityTracker::add_batch(std::span<const flow::FlowRecord> records,
+                                     const filter::FlowColumns& cols) {
+  batch_scratch_.resize(records.size());
+  classifier_.classify_columns(records.size(), cols.service.data(),
+                               cols.src_as.data(), cols.dst_as.data(),
+                               batch_scratch_, classify_cache_);
+  const net::IpAddressHash hash;
+  // Cache the current hour's accumulator locally: near-sorted streams keep
+  // hitting the same std::map node, and map nodes are pointer-stable.
+  std::int64_t cached_hour = 0;
+  HourAcc* cached_acc = nullptr;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!batch_scratch_[i] || *batch_scratch_[i] != cls_) continue;
+    const flow::FlowRecord& r = records[i];
+    const std::int64_t hour = r.first.floor_hour().seconds();
+    if (cached_acc == nullptr || hour != cached_hour) {
+      cached_acc = &hours_[hour];
+      cached_hour = hour;
+    }
+    cached_acc->bytes += util::counter_to_double(r.bytes);
+    cached_acc->ips.insert(hash(r.src_addr));
+    cached_acc->ips.insert(hash(r.dst_addr));
+  }
+}
+
+void ClassActivityTracker::merge(const ClassActivityTracker& other) {
+  for (const auto& [hour, acc] : other.hours_) {
+    HourAcc& mine = hours_[hour];
+    mine.bytes += acc.bytes;
+    mine.ips.insert(acc.ips.begin(), acc.ips.end());
+  }
 }
 
 std::vector<ClassActivityTracker::HourPoint> ClassActivityTracker::hourly() const {

@@ -5,6 +5,8 @@
 
 #include <functional>
 #include <map>
+#include <optional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -12,6 +14,10 @@
 #include "flow/flow_record.hpp"
 #include "net/civil_time.hpp"
 #include "stats/timeseries.hpp"
+
+namespace lockdown::filter {
+struct FlowColumns;
+}  // namespace lockdown::filter
 
 namespace lockdown::analysis {
 
@@ -22,6 +28,16 @@ class ClassActivityTracker {
       : classifier_(classifier), view_(view), cls_(cls) {}
 
   void add(const flow::FlowRecord& r);
+
+  /// Columnar batch path: classification reads the batch's pre-resolved
+  /// service/AS columns. Same final state as per-record add().
+  void add_batch(std::span<const flow::FlowRecord> records,
+                 const filter::FlowColumns& cols);
+
+  /// Fold a sibling tracker (same classifier/class) into this one. Byte
+  /// bins are exact-integer sums and IP sets union, so the result is
+  /// independent of how records were partitioned.
+  void merge(const ClassActivityTracker& other);
 
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
     return [this](const flow::FlowRecord& r) { add(r); };
@@ -57,6 +73,9 @@ class ClassActivityTracker {
   const AsView& view_;
   AppClass cls_;
   std::map<std::int64_t, HourAcc> hours_;
+  std::vector<std::optional<AppClass>> batch_scratch_;
+  /// Memo for the columnar add_batch's classification.
+  ClassifyCache classify_cache_;
 };
 
 }  // namespace lockdown::analysis

@@ -1,0 +1,136 @@
+// Per-batch civil-time cache for the columnar aggregator loops. The
+// per-record add() paths pay the full Date decomposition (year/month/day,
+// weekday, holiday table) for every record; flow streams are near-sorted in
+// time, so consecutive records overwhelmingly share a calendar day and the
+// batch paths resolve those facts once per distinct day instead.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "net/civil_time.hpp"
+#include "synth/timeline.hpp"
+
+namespace lockdown::analysis {
+
+/// Calendar facts of the day containing the last timestamp seen, refreshed
+/// when a timestamp falls outside it. Purely a lookup accelerator: at(t)
+/// returns exactly what recomputing from t would.
+class DayFlagsCache {
+ public:
+  struct Flags {
+    std::int64_t day_begin = 0;  ///< floor_day(t) in Unix seconds
+    net::Date date;
+    unsigned paper_week = 0;
+    bool weekend = false;          ///< Saturday or Sunday
+    bool weekend_or_holiday = false;  ///< weekend or a 2020 public holiday
+  };
+
+  [[nodiscard]] const Flags& at(net::Timestamp t) {
+    const std::int64_t s = t.seconds();
+    if (s < day_begin_ || s >= day_end_) refresh(t);
+    return flags_;
+  }
+
+  /// Hour-of-day via the cached day base; valid for the `t` (or any
+  /// same-day timestamp) passed to the preceding at() call.
+  [[nodiscard]] static unsigned hour_of(const Flags& f,
+                                        net::Timestamp t) noexcept {
+    return static_cast<unsigned>((t.seconds() - f.day_begin) /
+                                 net::kSecondsPerHour);
+  }
+
+ private:
+  void refresh(net::Timestamp t) {
+    const net::Timestamp day = t.floor_day();
+    flags_.day_begin = day.seconds();
+    flags_.date = day.date();
+    flags_.paper_week = flags_.date.paper_week();
+    flags_.weekend = flags_.date.is_weekend_day();
+    flags_.weekend_or_holiday =
+        flags_.weekend || synth::is_holiday_2020(flags_.date);
+    day_begin_ = flags_.day_begin;
+    day_end_ = flags_.day_begin + net::kSecondsPerDay;
+  }
+
+  // Empty range so the first at() refreshes.
+  std::int64_t day_begin_ = 1;
+  std::int64_t day_end_ = 0;
+  Flags flags_;
+};
+
+/// First-match lookup over a fixed list of (possibly overlapping)
+/// TimeRanges -- the "which analysis week is this record in" question
+/// PortAnalyzer and VpnAnalyzer answer per record with a linear scan. The
+/// ranges are compiled to disjoint segments at construction (each segment
+/// carries the index the linear scan would return anywhere inside it), so
+/// the hot lookup is a cached range check on near-sorted streams and one
+/// binary search otherwise. Semantics are identical to the linear scan,
+/// including overlap resolution (lowest index wins).
+class WeekIndex {
+ public:
+  WeekIndex() = default;
+  explicit WeekIndex(const std::vector<net::TimeRange>& weeks)
+      : count_(weeks.size()) {
+    std::vector<std::int64_t> bounds;
+    bounds.reserve(weeks.size() * 2);
+    for (const net::TimeRange& w : weeks) {
+      if (w.begin < w.end) {
+        bounds.push_back(w.begin.seconds());
+        bounds.push_back(w.end.seconds());
+      }
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      const std::int64_t b = bounds[k];
+      std::size_t idx = count_;
+      for (std::size_t i = 0; i < weeks.size(); ++i) {
+        if (weeks[i].begin.seconds() <= b && b < weeks[i].end.seconds()) {
+          idx = i;
+          break;
+        }
+      }
+      if (idx == count_) continue;
+      if (!segments_.empty() && segments_.back().end == b &&
+          segments_.back().idx == idx) {
+        segments_.back().end = bounds[k + 1];
+      } else {
+        segments_.push_back({b, bounds[k + 1], idx});
+      }
+    }
+  }
+
+  /// Index of the first range containing `t`, or size() if none.
+  [[nodiscard]] std::size_t lookup(net::Timestamp t) noexcept {
+    const std::int64_t s = t.seconds();
+    if (s >= cached_begin_ && s < cached_end_) return cached_idx_;
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), s,
+        [](std::int64_t v, const Segment& seg) { return v < seg.begin; });
+    if (it == segments_.begin()) return count_;
+    --it;
+    if (s >= it->end) return count_;
+    cached_begin_ = it->begin;
+    cached_end_ = it->end;
+    cached_idx_ = it->idx;
+    return it->idx;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+ private:
+  struct Segment {
+    std::int64_t begin;
+    std::int64_t end;
+    std::size_t idx;
+  };
+  std::vector<Segment> segments_;
+  std::size_t count_ = 0;
+  std::int64_t cached_begin_ = 1;
+  std::int64_t cached_end_ = 0;
+  std::size_t cached_idx_ = 0;
+};
+
+}  // namespace lockdown::analysis

@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "filter/plan.hpp"
 #include "stats/ecdf.hpp"
+#include "util/arith.hpp"
 
 namespace lockdown::analysis {
 
@@ -10,24 +12,34 @@ using flow::IpProtocol;
 
 std::optional<EduClass> EduAnalyzer::classify_port(
     const flow::FlowRecord& r) const noexcept {
+  const flow::PortKey p = r.service_port();
+  const std::uint32_t service =
+      (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p.proto)) << 16) |
+      p.port;
+  return classify_cols(service, view_.src_as(r).value(), view_.dst_as(r).value());
+}
+
+std::optional<EduClass> EduAnalyzer::classify_cols(
+    std::uint32_t service, std::uint32_t src, std::uint32_t dst) const noexcept {
+  const auto proto = static_cast<IpProtocol>(service >> 16);
   // VPN protocols first (no ports).
-  if (r.protocol == IpProtocol::kGre || r.protocol == IpProtocol::kEsp) {
+  if (proto == IpProtocol::kGre || proto == IpProtocol::kEsp) {
     return EduClass::kVpn;
   }
-  if (r.protocol != IpProtocol::kTcp && r.protocol != IpProtocol::kUdp) {
+  if (proto != IpProtocol::kTcp && proto != IpProtocol::kUdp) {
     return std::nullopt;
   }
 
   // Spotify is also identified by AS 8403 (Appendix B).
-  if (view_.src_as(r) == net::Asn(8403) || view_.dst_as(r) == net::Asn(8403)) {
+  if (src == 8403 || dst == 8403) {
     return EduClass::kSpotify;
   }
 
-  const flow::PortKey p = r.service_port();
-  const bool tcp = p.proto == IpProtocol::kTcp;
-  const bool udp = p.proto == IpProtocol::kUdp;
+  const auto port = static_cast<std::uint16_t>(service & 0xffff);
+  const bool tcp = proto == IpProtocol::kTcp;
+  const bool udp = proto == IpProtocol::kUdp;
 
-  switch (p.port) {
+  switch (port) {
     case 443:
       if (udp) return EduClass::kQuic;
       [[fallthrough]];
@@ -35,8 +47,8 @@ std::optional<EduClass> EduAnalyzer::classify_port(
     case 8000:
     case 8080:
       if (tcp) {
-        const bool hg = hypergiants_.contains(view_.src_as(r)) ||
-                        hypergiants_.contains(view_.dst_as(r));
+        const bool hg =
+            hypergiants_.contains(src) || hypergiants_.contains(dst);
         return hg ? EduClass::kHypergiantWeb : EduClass::kWeb;
       }
       return std::nullopt;
@@ -86,7 +98,7 @@ Direction EduAnalyzer::direction_of(const flow::FlowRecord& r,
 void EduAnalyzer::add(const flow::FlowRecord& r) {
   const bool dst_inside = universities_.contains(view_.dst_as(r));
   const bool src_inside = universities_.contains(view_.src_as(r));
-  const auto bytes = static_cast<double>(r.bytes);
+  const double bytes = util::counter_to_double(r.bytes);
 
   // Byte-level directionality (Fig 11): every flow crossing the border is
   // either entering or leaving.
@@ -122,6 +134,72 @@ void EduAnalyzer::add(const flow::FlowRecord& r) {
       connections_[{EduClass::kWeb, dir}][day] += 1.0;
     }
   }
+}
+
+void EduAnalyzer::add_batch(std::span<const flow::FlowRecord> records,
+                            const filter::FlowColumns& cols) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const flow::FlowRecord& r = records[i];
+    const std::uint32_t src = cols.src_as[i];
+    const std::uint32_t dst = cols.dst_as[i];
+    const bool dst_inside = universities_.contains(dst);
+    const bool src_inside = universities_.contains(src);
+    const double bytes = util::counter_to_double(r.bytes);
+
+    if (dst_inside && !src_inside) {
+      volume_in_.add(r.first, bytes);
+    } else if (src_inside && !dst_inside) {
+      volume_out_.add(r.first, bytes);
+    }
+
+    const bool portless =
+        r.protocol == IpProtocol::kGre || r.protocol == IpProtocol::kEsp;
+    const bool is_request = portless || r.dst_port < r.src_port;
+    if (!is_request) continue;
+
+    const auto cls = classify_cols(cols.service[i], src, dst);
+    Direction dir = Direction::kUndetermined;
+    if (cls.has_value()) {
+      if (dst_inside && !src_inside) {
+        dir = Direction::kIncoming;
+      } else if (src_inside && !dst_inside) {
+        dir = Direction::kOutgoing;
+      }
+    }
+    const std::int64_t day = day_cache_.at(r.first).day_begin;
+
+    connections_total_[day] += 1.0;
+    connections_by_dir_[dir][day] += 1.0;
+    if (dir == Direction::kUndetermined) {
+      undetermined_ += 1.0;
+    } else {
+      determined_ += 1.0;
+    }
+    if (cls) {
+      connections_[{*cls, dir}][day] += 1.0;
+      if (*cls == EduClass::kHypergiantWeb) {
+        connections_[{EduClass::kWeb, dir}][day] += 1.0;
+      }
+    }
+  }
+}
+
+void EduAnalyzer::merge(const EduAnalyzer& other) {
+  volume_in_.merge(other.volume_in_);
+  volume_out_.merge(other.volume_out_);
+  for (const auto& [key, daily] : other.connections_) {
+    auto& mine = connections_[key];
+    for (const auto& [day, count] : daily) mine[day] += count;
+  }
+  for (const auto& [dir, daily] : other.connections_by_dir_) {
+    auto& mine = connections_by_dir_[dir];
+    for (const auto& [day, count] : daily) mine[day] += count;
+  }
+  for (const auto& [day, count] : other.connections_total_) {
+    connections_total_[day] += count;
+  }
+  undetermined_ += other.undetermined_;
+  determined_ += other.determined_;
 }
 
 double EduAnalyzer::daily_volume(net::Date d) const {

@@ -19,13 +19,19 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "analysis/as_view.hpp"
+#include "analysis/day_cache.hpp"
 #include "flow/flow_record.hpp"
 #include "net/civil_time.hpp"
 #include "stats/timeseries.hpp"
+
+namespace lockdown::filter {
+struct FlowColumns;
+}  // namespace lockdown::filter
 
 namespace lockdown::analysis {
 
@@ -83,6 +89,17 @@ class EduAnalyzer {
 
   void add(const flow::FlowRecord& r);
 
+  /// Columnar batch path. The per-record add() resolves endpoint ASes up
+  /// to six times per record (direction twice, Spotify AS, hypergiant-web
+  /// checks); here every AS consultation reads the batch's pre-resolved
+  /// columns. Same final state as per-record add().
+  void add_batch(std::span<const flow::FlowRecord> records,
+                 const filter::FlowColumns& cols);
+
+  /// Fold a sibling analyzer (same university/hypergiant lists) into this
+  /// one; counts and exact-integer byte bins merge order-independently.
+  void merge(const EduAnalyzer& other);
+
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
     return [this](const flow::FlowRecord& r) { add(r); };
   }
@@ -133,12 +150,18 @@ class EduAnalyzer {
  private:
   [[nodiscard]] Direction direction_of(const flow::FlowRecord& r,
                                        bool classified) const noexcept;
+  /// classify_port over pre-resolved columns: `service` is the FlowColumns
+  /// (proto << 16 | port) key, `src`/`dst` the resolved endpoint ASes.
+  [[nodiscard]] std::optional<EduClass> classify_cols(
+      std::uint32_t service, std::uint32_t src,
+      std::uint32_t dst) const noexcept;
   [[nodiscard]] static double median_of_range(
       const std::map<std::int64_t, double>& daily, net::TimeRange range);
 
   const AsView& view_;
   AsnSet universities_;
   AsnSet hypergiants_;
+  DayFlagsCache day_cache_;
   stats::TimeSeries volume_in_;
   stats::TimeSeries volume_out_;
   std::map<ClassKey, std::map<std::int64_t, double>> connections_;

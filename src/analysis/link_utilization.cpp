@@ -4,12 +4,22 @@ namespace lockdown::analysis {
 
 UtilizationEcdfs LinkUtilizationAnalyzer::analyze(
     std::span<const synth::PortDayUtilization> day) {
-  UtilizationEcdfs out;
+  // Columnar: gather each statistic into a contiguous column, then bulk-
+  // append via Ecdf::add_batch (one dirty-flag flip per column instead of
+  // one per sample).
+  std::vector<double> mins, avgs, maxs;
+  mins.reserve(day.size());
+  avgs.reserve(day.size());
+  maxs.reserve(day.size());
   for (const synth::PortDayUtilization& p : day) {
-    out.min_util.add(p.min_util);
-    out.avg_util.add(p.avg_util);
-    out.max_util.add(p.max_util);
+    mins.push_back(p.min_util);
+    avgs.push_back(p.avg_util);
+    maxs.push_back(p.max_util);
   }
+  UtilizationEcdfs out;
+  out.min_util.add_batch(mins);
+  out.avg_util.add_batch(avgs);
+  out.max_util.add_batch(maxs);
   return out;
 }
 

@@ -16,6 +16,14 @@ struct UtilizationEcdfs {
   stats::Ecdf min_util;
   stats::Ecdf avg_util;
   stats::Ecdf max_util;
+
+  /// Fold another day-shard's ECDFs into this one; sample multisets union,
+  /// so the result is independent of how ports were partitioned.
+  void merge(const UtilizationEcdfs& other) {
+    min_util.merge(other.min_util);
+    avg_util.merge(other.avg_util);
+    max_util.merge(other.max_util);
+  }
 };
 
 class LinkUtilizationAnalyzer {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "filter/plan.hpp"
 #include "synth/timeline.hpp"
+#include "util/arith.hpp"
 
 namespace lockdown::analysis {
 
@@ -10,7 +12,8 @@ using flow::PortKey;
 
 PortAnalyzer::PortAnalyzer(std::vector<net::TimeRange> weeks,
                            bool holidays_as_weekend)
-    : weeks_(std::move(weeks)), holidays_as_weekend_(holidays_as_weekend) {}
+    : weeks_(std::move(weeks)), holidays_as_weekend_(holidays_as_weekend),
+      week_index_(weeks_) {}
 
 void PortAnalyzer::add(const flow::FlowRecord& r) {
   std::size_t week_index = weeks_.size();
@@ -27,7 +30,7 @@ void PortAnalyzer::add(const flow::FlowRecord& r) {
       date.is_weekend_day() ||
       (holidays_as_weekend_ && synth::is_holiday_2020(date));
   const PortKey port = r.service_port();
-  const auto bytes = static_cast<double>(r.bytes);
+  const double bytes = util::counter_to_double(r.bytes);
 
   bytes_[{week_index, port, weekend, r.first.hour_of_day()}] += bytes;
   totals_[port] += bytes;
@@ -35,6 +38,60 @@ void PortAnalyzer::add(const flow::FlowRecord& r) {
   if (port.proto == flow::IpProtocol::kTcp && (port.port == 80 || port.port == 443)) {
     web_bytes_ += bytes;
   }
+}
+
+void PortAnalyzer::add_batch(std::span<const flow::FlowRecord> records,
+                             const filter::FlowColumns& cols) {
+  // Streams are time-sorted, so (week, weekend, hour) is constant over long
+  // runs. Per-service byte sums are gathered per run in a small scratch
+  // table and flushed into the ordered maps once per (run, service) instead
+  // of twice per record. All sums are exact integers (counter_to_double),
+  // so the grouped flush is bit-identical to per-record add().
+  const std::size_t n = records.size();
+  std::size_t i = 0;
+  while (i < n) {
+    const std::size_t week_index = week_index_.lookup(records[i].first);
+    if (week_index == weeks_.size()) {
+      ++i;
+      continue;
+    }
+    const DayFlagsCache::Flags& day = day_cache_.at(records[i].first);
+    const bool weekend =
+        holidays_as_weekend_ ? day.weekend_or_holiday : day.weekend;
+    const unsigned hour = DayFlagsCache::hour_of(day, records[i].first);
+    const std::int64_t hour_begin =
+        day.day_begin + static_cast<std::int64_t>(hour) * net::kSecondsPerHour;
+    const std::int64_t hour_end = hour_begin + net::kSecondsPerHour;
+
+    run_accum_.clear();
+    for (; i < n; ++i) {
+      const std::int64_t s = records[i].first.seconds();
+      if (s < hour_begin || s >= hour_end) break;
+      // Analysis weeks need not be hour-aligned, so re-check membership;
+      // the WeekIndex cached-segment fast path makes this two comparisons.
+      if (week_index_.lookup(records[i].first) != week_index) break;
+      run_accum_.add(cols.service[i], util::counter_to_double(records[i].bytes));
+    }
+
+    for (const KeyAccumulator::Entry& e : run_accum_.entries()) {
+      const PortKey port{static_cast<flow::IpProtocol>(e.key >> 16),
+                         static_cast<std::uint16_t>(e.key & 0xffff)};
+      bytes_[{week_index, port, weekend, hour}] += e.sum;
+      totals_[port] += e.sum;
+      all_bytes_ += e.sum;
+      if (port.proto == flow::IpProtocol::kTcp &&
+          (port.port == 80 || port.port == 443)) {
+        web_bytes_ += e.sum;
+      }
+    }
+  }
+}
+
+void PortAnalyzer::merge(const PortAnalyzer& other) {
+  for (const auto& [key, v] : other.bytes_) bytes_[key] += v;
+  for (const auto& [port, v] : other.totals_) totals_[port] += v;
+  all_bytes_ += other.all_bytes_;
+  web_bytes_ += other.web_bytes_;
 }
 
 std::vector<PortKey> PortAnalyzer::top_ports(std::size_t top_n,

@@ -6,10 +6,17 @@
 
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
+#include "analysis/day_cache.hpp"
+#include "analysis/run_accum.hpp"
 #include "flow/flow_record.hpp"
 #include "net/civil_time.hpp"
+
+namespace lockdown::filter {
+struct FlowColumns;
+}  // namespace lockdown::filter
 
 namespace lockdown::analysis {
 
@@ -22,6 +29,16 @@ class PortAnalyzer {
                         bool holidays_as_weekend = true);
 
   void add(const flow::FlowRecord& r);
+
+  /// Columnar batch path: service keys come from `cols` (built once per
+  /// batch for all consumers) and the calendar facts from the cached
+  /// per-day/week lookups. Same final state as per-record add().
+  void add_batch(std::span<const flow::FlowRecord> records,
+                 const filter::FlowColumns& cols);
+
+  /// Fold a sibling analyzer (same weeks + holiday configuration) into
+  /// this one; exact-integer bins make the merge order-independent.
+  void merge(const PortAnalyzer& other);
 
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
     return [this](const flow::FlowRecord& r) { add(r); };
@@ -57,6 +74,10 @@ class PortAnalyzer {
 
   std::vector<net::TimeRange> weeks_;
   bool holidays_as_weekend_;
+  WeekIndex week_index_;
+  DayFlagsCache day_cache_;
+  /// Scratch for add_batch's run-grouped per-service sums.
+  KeyAccumulator run_accum_;
   // key: (week index, port, weekend?, hour)
   std::map<std::tuple<std::size_t, flow::PortKey, bool, unsigned>, double> bytes_;
   std::map<flow::PortKey, double> totals_;

@@ -1,6 +1,8 @@
 #include "analysis/remote_work.hpp"
 
+#include "filter/plan.hpp"
 #include "stats/ecdf.hpp"
+#include "util/arith.hpp"
 
 namespace lockdown::analysis {
 
@@ -11,7 +13,7 @@ void RemoteWorkAnalyzer::add(const flow::FlowRecord& r) {
 
   const net::Asn src = view_.src_as(r);
   const net::Asn dst = view_.dst_as(r);
-  const auto bytes = static_cast<double>(r.bytes);
+  const double bytes = util::counter_to_double(r.bytes);
   const bool touches_eyeball = eyeballs_.contains(src) || eyeballs_.contains(dst);
   const bool weekend = net::is_weekend(r.first.weekday());
 
@@ -32,6 +34,52 @@ void RemoteWorkAnalyzer::add(const flow::FlowRecord& r) {
     } else {
       acc.workday += bytes;
     }
+  }
+}
+
+void RemoteWorkAnalyzer::add_batch(std::span<const flow::FlowRecord> records,
+                                   const filter::FlowColumns& cols) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const flow::FlowRecord& r = records[i];
+    const bool in_feb = feb_.contains(r.first);
+    const bool in_mar = mar_.contains(r.first);
+    if (!in_feb && !in_mar) continue;
+
+    const std::uint32_t src = cols.src_as[i];
+    const std::uint32_t dst = cols.dst_as[i];
+    const double bytes = util::counter_to_double(r.bytes);
+    const bool touches_eyeball =
+        eyeballs_.contains(src) || eyeballs_.contains(dst);
+    const bool weekend = day_cache_.at(r.first).weekend;
+
+    for (const std::uint32_t as : {src, dst}) {
+      if (as == 0 || eyeballs_.contains(as) || local_.contains(as)) continue;
+      Acc& acc = per_as_[net::Asn(as)];
+      if (in_feb) {
+        acc.feb_total += bytes;
+        if (touches_eyeball) acc.feb_res += bytes;
+      } else {
+        acc.mar_total += bytes;
+        if (touches_eyeball) acc.mar_res += bytes;
+      }
+      if (weekend) {
+        acc.weekend += bytes;
+      } else {
+        acc.workday += bytes;
+      }
+    }
+  }
+}
+
+void RemoteWorkAnalyzer::merge(const RemoteWorkAnalyzer& other) {
+  for (const auto& [asn, acc] : other.per_as_) {
+    Acc& mine = per_as_[asn];
+    mine.feb_total += acc.feb_total;
+    mine.feb_res += acc.feb_res;
+    mine.mar_total += acc.mar_total;
+    mine.mar_res += acc.mar_res;
+    mine.workday += acc.workday;
+    mine.weekend += acc.weekend;
   }
 }
 

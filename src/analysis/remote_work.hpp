@@ -11,11 +11,17 @@
 
 #include <functional>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "analysis/as_view.hpp"
+#include "analysis/day_cache.hpp"
 #include "flow/flow_record.hpp"
 #include "net/civil_time.hpp"
+
+namespace lockdown::filter {
+struct FlowColumns;
+}  // namespace lockdown::filter
 
 namespace lockdown::analysis {
 
@@ -58,6 +64,15 @@ class RemoteWorkAnalyzer {
 
   void add(const flow::FlowRecord& r);
 
+  /// Columnar batch path: endpoint ASes come pre-resolved from `cols`, the
+  /// weekend flag from the shared day cache. Same final state as add().
+  void add_batch(std::span<const flow::FlowRecord> records,
+                 const filter::FlowColumns& cols);
+
+  /// Fold a sibling analyzer (same eyeball/local sets and weeks) into this
+  /// one; exact-integer byte accumulators merge order-independently.
+  void merge(const RemoteWorkAnalyzer& other);
+
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
     return [this](const flow::FlowRecord& r) { add(r); };
   }
@@ -91,6 +106,7 @@ class RemoteWorkAnalyzer {
   AsnSet local_;
   net::TimeRange feb_;
   net::TimeRange mar_;
+  DayFlagsCache day_cache_;
   std::map<net::Asn, Acc> per_as_;
 };
 

@@ -1,0 +1,86 @@
+// Chunk-local uint32-key -> byte-sum accumulator for the columnar batch
+// kernels (ports, hypergiants). Records inside one batch repeat a handful
+// of keys (service ports, server ASes), so sums are gathered in a small
+// open-address table and flushed into the ordered result maps once per
+// run/batch instead of once per record. Every value is an exact-integer
+// double (util::counter_to_double), so grouped addition yields the same
+// bits as per-record addition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lockdown::analysis {
+
+class KeyAccumulator {
+ public:
+  struct Entry {
+    std::uint32_t key = 0;
+    double sum = 0.0;
+    std::uint32_t slot = 0;  ///< occupied slot, for selective clear()
+  };
+
+  KeyAccumulator() : slots_(kInitialSlots, kEmpty) {}
+
+  void add(std::uint32_t key, double bytes) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t slot = hash(key) & mask;
+    while (true) {
+      const std::uint32_t idx = slots_[slot];
+      if (idx == kEmpty) {
+        if (entries_.size() * 2 >= slots_.size()) {
+          grow();
+          add(key, bytes);
+          return;
+        }
+        slots_[slot] = static_cast<std::uint32_t>(entries_.size());
+        entries_.push_back(
+            Entry{key, bytes, static_cast<std::uint32_t>(slot)});
+        return;
+      }
+      if (entries_[idx].key == key) {
+        entries_[idx].sum += bytes;
+        return;
+      }
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  /// Entries in first-seen order (deterministic for a given record order).
+  [[nodiscard]] const std::vector<Entry>& entries() const noexcept {
+    return entries_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+
+  /// O(occupied) reset: only the slots actually taken are emptied.
+  void clear() noexcept {
+    for (const Entry& e : entries_) slots_[e.slot] = kEmpty;
+    entries_.clear();
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::size_t kInitialSlots = 256;  // power of two
+
+  [[nodiscard]] static std::size_t hash(std::uint32_t key) noexcept {
+    return static_cast<std::size_t>(key * 0x9e3779b1u);
+  }
+
+  void grow() {
+    std::vector<std::uint32_t> slots(slots_.size() * 2, kEmpty);
+    const std::size_t mask = slots.size() - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::size_t slot = hash(entries_[i].key) & mask;
+      while (slots[slot] != kEmpty) slot = (slot + 1) & mask;
+      slots[slot] = static_cast<std::uint32_t>(i);
+      entries_[i].slot = static_cast<std::uint32_t>(slot);
+    }
+    slots_ = std::move(slots);
+  }
+
+  std::vector<std::uint32_t> slots_;  ///< slot -> entry index or kEmpty
+  std::vector<Entry> entries_;
+};
+
+}  // namespace lockdown::analysis

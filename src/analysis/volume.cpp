@@ -3,7 +3,48 @@
 #include <map>
 #include <stdexcept>
 
+#include "filter/plan.hpp"
+#include "util/arith.hpp"
+
 namespace lockdown::analysis {
+
+void VolumeAggregator::add(const flow::FlowRecord& r) {
+  if (filter_ && !filter_(r)) return;
+  if (plan_ != nullptr && !plan_->match(r)) return;
+  series_.add(r.first, util::counter_to_double(r.bytes));
+  ++records_;
+}
+
+void VolumeAggregator::add_batch(std::span<const flow::FlowRecord> records,
+                                 const filter::FlowColumns& cols) {
+  if (plan_ != nullptr) {
+    mask_.resize(records.size());
+    plan_->match_batch(records, mask_, cols);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      if (mask_[i] == 0) continue;
+      series_.add(records[i].first, util::counter_to_double(records[i].bytes));
+      ++records_;
+    }
+    return;
+  }
+  if (filter_) {
+    for (const flow::FlowRecord& r : records) {
+      if (!filter_(r)) continue;
+      series_.add(r.first, util::counter_to_double(r.bytes));
+      ++records_;
+    }
+    return;
+  }
+  for (const flow::FlowRecord& r : records) {
+    series_.add(r.first, util::counter_to_double(r.bytes));
+  }
+  records_ += records.size();
+}
+
+void VolumeAggregator::merge(const VolumeAggregator& other) {
+  series_.merge(other.series_);
+  records_ += other.records_;
+}
 
 std::vector<std::pair<unsigned, double>> weekly_normalized(
     const stats::TimeSeries& series, unsigned baseline_week) {

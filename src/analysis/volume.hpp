@@ -1,14 +1,24 @@
 // Volume aggregation: flows -> calendar time series, the reduction behind
 // Figs 1, 2a, 3, 11a. A VolumeAggregator is a flow sink (plugs directly
 // into a flow::Collector or a synth::FlowSynthesizer) with an optional
-// record filter.
+// record filter: either an interpreted std::function or a compiled
+// filter::CompiledFilter, whose FilterPlan mask drives the columnar
+// add_batch path without a per-record function hop.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
+#include <vector>
 
 #include "flow/flow_record.hpp"
 #include "stats/timeseries.hpp"
+
+namespace lockdown::filter {
+class CompiledFilter;
+struct FlowColumns;
+}  // namespace lockdown::filter
 
 namespace lockdown::analysis {
 
@@ -19,11 +29,25 @@ class VolumeAggregator {
   explicit VolumeAggregator(stats::Bucket bucket, Filter filter = {})
       : series_(bucket), filter_(std::move(filter)) {}
 
-  void add(const flow::FlowRecord& r) {
-    if (filter_ && !filter_(r)) return;
-    series_.add(r.first, static_cast<double>(r.bytes));
-    ++records_;
-  }
+  /// Compiled-filter variant: `plan` gates records on both the per-record
+  /// and the batch path (as a FilterPlan mask there). The filter must
+  /// outlive the aggregator; null means unfiltered.
+  VolumeAggregator(stats::Bucket bucket, const filter::CompiledFilter* plan)
+      : series_(bucket), plan_(plan) {}
+
+  void add(const flow::FlowRecord& r);
+
+  /// Columnar batch path: one FilterPlan mask pass over the batch, then a
+  /// straight accumulation loop. `cols` must have been built over exactly
+  /// `records` (and, when a compiled filter is set, with the trie it was
+  /// compiled against). Same final state as per-record add().
+  void add_batch(std::span<const flow::FlowRecord> records,
+                 const filter::FlowColumns& cols);
+
+  /// Fold a sibling aggregator (same bucket + filter configuration) into
+  /// this one. Bin values are sums of exact integers, so merging
+  /// per-thread instances reproduces single-threaded results bit-exactly.
+  void merge(const VolumeAggregator& other);
 
   /// Sink adapter.
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
@@ -36,6 +60,8 @@ class VolumeAggregator {
  private:
   stats::TimeSeries series_;
   Filter filter_;
+  const filter::CompiledFilter* plan_ = nullptr;
+  std::vector<std::uint8_t> mask_;  ///< add_batch scratch
   std::uint64_t records_ = 0;
 };
 

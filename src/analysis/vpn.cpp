@@ -2,13 +2,17 @@
 
 #include <algorithm>
 
+#include "filter/plan.hpp"
+#include "util/arith.hpp"
+
 namespace lockdown::analysis {
 
 using flow::IpProtocol;
 
 VpnAnalyzer::VpnAnalyzer(std::vector<net::TimeRange> weeks,
                          std::set<net::IpAddress> domain_candidates)
-    : weeks_(std::move(weeks)), candidates_(std::move(domain_candidates)) {
+    : weeks_(std::move(weeks)), candidates_(std::move(domain_candidates)),
+      week_index_(weeks_) {
   bytes_.assign(weeks_.size(), {});
 }
 
@@ -56,7 +60,48 @@ void VpnAnalyzer::add(const flow::FlowRecord& r) {
   const std::size_t method = port_vpn ? 0 : 1;
   const std::size_t weekend = net::is_weekend(r.first.weekday()) ? 1 : 0;
   bytes_[week][method][weekend][r.first.hour_of_day()] +=
-      static_cast<double>(r.bytes);
+      util::counter_to_double(r.bytes);
+}
+
+void VpnAnalyzer::add_batch(std::span<const flow::FlowRecord> records,
+                            const filter::FlowColumns& cols) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const flow::FlowRecord& r = records[i];
+    const std::size_t week = week_index_.lookup(r.first);
+    if (week == weeks_.size()) continue;
+
+    // Port classification off the pre-computed service key (proto << 16 |
+    // service port) -- identical decision to is_port_vpn()/is_domain_vpn().
+    const std::uint32_t service = cols.service[i];
+    const auto proto = static_cast<IpProtocol>(service >> 16);
+    const auto port = static_cast<std::uint16_t>(service & 0xffff);
+    bool port_vpn = proto == IpProtocol::kGre || proto == IpProtocol::kEsp;
+    if (!port_vpn && (proto == IpProtocol::kTcp || proto == IpProtocol::kUdp)) {
+      port_vpn = port == 500 || port == 4500 || port == 1194 || port == 1701 ||
+                 port == 1723;
+    }
+    const bool domain_vpn =
+        !port_vpn && proto == IpProtocol::kTcp && port == 443 &&
+        (candidates_.contains(r.src_addr) || candidates_.contains(r.dst_addr));
+    if (!port_vpn && !domain_vpn) continue;
+
+    const std::size_t method = port_vpn ? 0 : 1;
+    const DayFlagsCache::Flags& day = day_cache_.at(r.first);
+    bytes_[week][method][day.weekend ? 1 : 0][DayFlagsCache::hour_of(day, r.first)] +=
+        util::counter_to_double(r.bytes);
+  }
+}
+
+void VpnAnalyzer::merge(const VpnAnalyzer& other) {
+  for (std::size_t w = 0; w < bytes_.size() && w < other.bytes_.size(); ++w) {
+    for (std::size_t m = 0; m < 2; ++m) {
+      for (std::size_t we = 0; we < 2; ++we) {
+        for (std::size_t h = 0; h < 24; ++h) {
+          bytes_[w][m][we][h] += other.bytes_[w][m][we][h];
+        }
+      }
+    }
+  }
 }
 
 std::vector<VpnAnalyzer::Profile> VpnAnalyzer::profiles() const {

@@ -13,11 +13,17 @@
 
 #include <functional>
 #include <set>
+#include <span>
 #include <vector>
 
+#include "analysis/day_cache.hpp"
 #include "flow/flow_record.hpp"
 #include "net/civil_time.hpp"
 #include "net/ip.hpp"
+
+namespace lockdown::filter {
+struct FlowColumns;
+}  // namespace lockdown::filter
 
 namespace lockdown::analysis {
 
@@ -35,6 +41,16 @@ class VpnAnalyzer {
   [[nodiscard]] bool is_domain_vpn(const flow::FlowRecord& r) const noexcept;
 
   void add(const flow::FlowRecord& r);
+
+  /// Columnar batch path: week lookup through the compiled WeekIndex, port
+  /// classification off the batch's service-key column, weekend/hour from
+  /// the shared day cache. Same final state as per-record add().
+  void add_batch(std::span<const flow::FlowRecord> records,
+                 const filter::FlowColumns& cols);
+
+  /// Fold a sibling analyzer (same weeks/candidates) into this one;
+  /// exact-integer hourly bins merge order-independently.
+  void merge(const VpnAnalyzer& other);
 
   [[nodiscard]] std::function<void(const flow::FlowRecord&)> sink() {
     return [this](const flow::FlowRecord& r) { add(r); };
@@ -57,6 +73,8 @@ class VpnAnalyzer {
  private:
   std::vector<net::TimeRange> weeks_;
   std::set<net::IpAddress> candidates_;
+  WeekIndex week_index_;
+  DayFlagsCache day_cache_;
   // bytes_[week][method][weekend][hour]
   std::vector<std::array<std::array<std::array<double, 24>, 2>, 2>> bytes_;
 };

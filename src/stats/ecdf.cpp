@@ -14,6 +14,21 @@ void Ecdf::add(double v) {
   dirty_ = true;
 }
 
+void Ecdf::add_batch(std::span<const double> vs) {
+  if (vs.empty()) return;
+  sorted_.insert(sorted_.end(), vs.begin(), vs.end());
+  dirty_ = true;
+}
+
+void Ecdf::merge(const Ecdf& other) {
+  if (&other == this) {  // self-merge: snapshot first, the span must not
+    const std::vector<double> copy = sorted_;  // alias the growing vector
+    add_batch(copy);
+    return;
+  }
+  add_batch(other.sorted_);
+}
+
 void Ecdf::ensure_sorted() const {
   if (dirty_) {
     std::sort(sorted_.begin(), sorted_.end());

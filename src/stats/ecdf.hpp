@@ -14,6 +14,14 @@ class Ecdf {
 
   void add(double v);
 
+  /// Batched append; one reserve + bulk copy instead of n push_backs.
+  void add_batch(std::span<const double> vs);
+
+  /// Fold another ECDF's samples into this one. The sample multiset (and
+  /// therefore every query) is insertion-order independent, so merging
+  /// per-thread ECDFs reproduces the single-threaded ECDF exactly.
+  void merge(const Ecdf& other);
+
   [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
   [[nodiscard]] bool empty() const noexcept { return sorted_.empty(); }
 

@@ -28,6 +28,54 @@ Timestamp bucket_start(Timestamp t, Bucket b) noexcept {
   return t;
 }
 
+void TimeSeries::add_slow(Timestamp t, double value) {
+  const Timestamp start = bucket_start(t, bucket_);
+  double& bin = bins_[start.seconds()];
+  bin += value;
+
+  // Refresh the fast-path cache with the bucket's exact half-open range.
+  // Fixed-length buckets end start+length; paper-week buckets re-anchor at
+  // Jan 1 of each year, so a 7-day block straddling New Year is cut short
+  // at the next year's anchor (a cached end of start+7d would swallow
+  // early-January samples into the old year's last week).
+  std::int64_t end = 0;
+  switch (bucket_) {
+    case Bucket::kHour:
+      end = start.seconds() + net::kSecondsPerHour;
+      break;
+    case Bucket::kSixHours:
+      end = start.seconds() + 6 * net::kSecondsPerHour;
+      break;
+    case Bucket::kDay:
+      end = start.seconds() + net::kSecondsPerDay;
+      break;
+    case Bucket::kWeek: {
+      const net::Date next_jan1(start.date().year() + 1, 1, 1);
+      end = std::min(start.seconds() + net::kSecondsPerWeek,
+                     Timestamp::from_date(next_jan1).seconds());
+      break;
+    }
+  }
+  cached_begin_ = start.seconds();
+  cached_end_ = end;
+  cached_bin_ = &bin;
+}
+
+void TimeSeries::add_batch(std::span<const Timestamp> times,
+                           std::span<const double> values) {
+  if (times.size() != values.size()) {
+    throw std::invalid_argument("TimeSeries::add_batch: size mismatch");
+  }
+  for (std::size_t i = 0; i < times.size(); ++i) add(times[i], values[i]);
+}
+
+void TimeSeries::merge(const TimeSeries& other) {
+  if (other.bucket_ != bucket_) {
+    throw std::invalid_argument("TimeSeries::merge: bucket mismatch");
+  }
+  for (const auto& [ts, v] : other.bins_) bins_[ts] += v;
+}
+
 double TimeSeries::sum_in(net::TimeRange range) const noexcept {
   double sum = 0.0;
   for (auto it = bins_.lower_bound(range.begin.seconds());

@@ -7,6 +7,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "net/civil_time.hpp"
@@ -34,13 +35,56 @@ enum class Bucket : std::uint8_t {
 [[nodiscard]] net::Timestamp bucket_start(net::Timestamp t, Bucket b) noexcept;
 
 /// Accumulates double-valued samples into calendar buckets (sum semantics).
+///
+/// add() keeps a cached pointer to the last bucket hit: flow streams are
+/// near-sorted in time, so almost every add lands in the same bucket as its
+/// predecessor and costs one range check plus one addition instead of the
+/// civil-time bucket math and a map search. std::map node pointers are
+/// stable across inserts, so the cache survives bin growth; copies/moves
+/// reset it (a copied pointer would alias the source's map).
 class TimeSeries {
  public:
   explicit TimeSeries(Bucket bucket) noexcept : bucket_(bucket) {}
 
-  void add(net::Timestamp t, double value) {
-    bins_[bucket_start(t, bucket_).seconds()] += value;
+  TimeSeries(const TimeSeries& o) : bucket_(o.bucket_), bins_(o.bins_) {}
+  TimeSeries(TimeSeries&& o) noexcept
+      : bucket_(o.bucket_), bins_(std::move(o.bins_)) {
+    o.invalidate_cache();
   }
+  TimeSeries& operator=(const TimeSeries& o) {
+    bucket_ = o.bucket_;
+    bins_ = o.bins_;
+    invalidate_cache();
+    return *this;
+  }
+  TimeSeries& operator=(TimeSeries&& o) noexcept {
+    bucket_ = o.bucket_;
+    bins_ = std::move(o.bins_);
+    invalidate_cache();
+    o.invalidate_cache();
+    return *this;
+  }
+
+  void add(net::Timestamp t, double value) {
+    const std::int64_t s = t.seconds();
+    if (s >= cached_begin_ && s < cached_end_) {
+      *cached_bin_ += value;
+      return;
+    }
+    add_slow(t, value);
+  }
+
+  /// Batched append: element-wise add(times[i], values[i]). Sizes must
+  /// match. Same result as the per-record loop (double addition over the
+  /// same bins in the same order).
+  void add_batch(std::span<const net::Timestamp> times,
+                 std::span<const double> values);
+
+  /// Fold another series of the SAME bucket granularity into this one
+  /// (bin-wise sum). Throws std::invalid_argument on bucket mismatch.
+  /// Exact-integer-valued series merge order-independently (the scan
+  /// engine's determinism contract).
+  void merge(const TimeSeries& other);
 
   [[nodiscard]] Bucket bucket() const noexcept { return bucket_; }
   [[nodiscard]] std::size_t size() const noexcept { return bins_.size(); }
@@ -84,8 +128,20 @@ class TimeSeries {
   void transform(const std::function<double(double)>& fn);
 
  private:
+  void add_slow(net::Timestamp t, double value);
+  void invalidate_cache() noexcept {
+    cached_begin_ = 1;
+    cached_end_ = 0;
+    cached_bin_ = nullptr;
+  }
+
   Bucket bucket_;
   std::map<std::int64_t, double> bins_;
+  // Last-bucket fast path: [cached_begin_, cached_end_) is the time range
+  // of *cached_bin_. Initialized empty so the first add takes the slow path.
+  std::int64_t cached_begin_ = 1;
+  std::int64_t cached_end_ = 0;
+  double* cached_bin_ = nullptr;
 };
 
 /// Min/mean/max/count accumulator (used for per-day link-utilization stats

@@ -21,6 +21,24 @@ namespace lockdown::util {
   return out;
 }
 
+/// Largest integer a double represents exactly (2^53). Sampler-rescaled
+/// counters saturate at UINT64_MAX, which a plain static_cast would round
+/// to 2^64 -- and any aggregator bin fed values above 2^53 loses the
+/// "every addend is an exact integer" property that makes double sums
+/// order-independent (the determinism contract of the scan engine's
+/// N-thread merge and of add_batch == add).
+inline constexpr std::uint64_t kMaxExactDoubleCounter = std::uint64_t{1} << 53;
+
+/// Checked counter -> double conversion for analysis aggregators: exact for
+/// every value a real exporter produces, clamped to 2^53 for the saturated
+/// jumbo-rescale tail so the result is always an exactly-representable
+/// integer. All per-record byte/packet narrowing in src/analysis/ routes
+/// through here.
+[[nodiscard]] constexpr double counter_to_double(std::uint64_t v) noexcept {
+  return static_cast<double>(v < kMaxExactDoubleCounter ? v
+                                                        : kMaxExactDoubleCounter);
+}
+
 /// Convert a double to uint64, clamping instead of invoking the
 /// implementation-defined (and UBSan-flagged) out-of-range cast: negatives
 /// and NaN map to 0, anything at or above 2^64 maps to UINT64_MAX.

@@ -2,6 +2,7 @@
 
 #include "stats/ecdf.hpp"
 #include "stats/timeseries.hpp"
+#include "util/arith.hpp"
 #include "util/rng.hpp"
 
 namespace lockdown::stats {
@@ -135,6 +136,128 @@ TEST(Ecdf, EmptyIsSafe) {
   EXPECT_DOUBLE_EQ(e.at(1.0), 0.0);
   EXPECT_DOUBLE_EQ(e.quantile(0.5), 0.0);
   EXPECT_TRUE(e.empty());
+}
+
+TEST(Ecdf, AddBatchEqualsLoop) {
+  util::Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.uniform());
+  Ecdf loop, batch;
+  for (const double v : samples) loop.add(v);
+  batch.add_batch(samples);
+  for (const double q : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_EQ(loop.quantile(q), batch.quantile(q));
+  }
+  EXPECT_EQ(loop.at(0.5), batch.at(0.5));
+}
+
+TEST(Ecdf, MergeUnionsSampleSets) {
+  Ecdf a, b, whole;
+  for (const double v : {1.0, 3.0, 5.0}) { a.add(v); whole.add(v); }
+  for (const double v : {2.0, 4.0}) { b.add(v); whole.add(v); }
+  a.merge(b);
+  for (const double x : {0.5, 1.0, 2.5, 4.0, 6.0}) {
+    EXPECT_EQ(a.at(x), whole.at(x));
+  }
+}
+
+TEST(Ecdf, SelfMergeDoublesMultiset) {
+  Ecdf e;
+  e.add(1.0);
+  e.add(2.0);
+  e.merge(e);
+  EXPECT_EQ(e.size(), 4u);
+  EXPECT_DOUBLE_EQ(e.at(1.5), 0.5);
+}
+
+// --- counter_to_double / TimeSeries batch paths -----------------------------
+
+TEST(CounterToDouble, ExactBelowClampSaturatedAbove) {
+  EXPECT_EQ(util::counter_to_double(0), 0.0);
+  EXPECT_EQ(util::counter_to_double(1234567), 1234567.0);
+  const std::uint64_t max_exact = util::kMaxExactDoubleCounter;
+  EXPECT_EQ(util::counter_to_double(max_exact - 1),
+            static_cast<double>(max_exact - 1));
+  // At and above the clamp (including the sampler's UINT64_MAX saturation
+  // sentinel) the result is pinned to 2^53: still exactly representable.
+  EXPECT_EQ(util::counter_to_double(max_exact), 9007199254740992.0);
+  EXPECT_EQ(util::counter_to_double(UINT64_MAX), 9007199254740992.0);
+}
+
+TEST(TimeSeries, FastPathWeekBucketRespectsYearBoundary) {
+  // Paper weeks re-anchor at Jan 1: the last 2020 "week" block holds Dec
+  // 30-31 only. A cached end of start+7d would swallow the Jan 1 2021
+  // sample into that block.
+  TimeSeries ts(Bucket::kWeek);
+  ts.add(Timestamp::from_date(Date(2020, 12, 30), 12), 1.0);
+  ts.add(Timestamp::from_date(Date(2020, 12, 31), 23), 2.0);  // cached-bin hit
+  ts.add(Timestamp::from_date(Date(2021, 1, 1), 1), 4.0);     // must miss
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_DOUBLE_EQ(ts.at(Timestamp::from_date(Date(2020, 12, 30))), 3.0);
+  EXPECT_DOUBLE_EQ(ts.at(Timestamp::from_date(Date(2021, 1, 1))), 4.0);
+}
+
+TEST(TimeSeries, FastPathMatchesSlowOnUnsortedStream) {
+  util::Rng rng(7);
+  TimeSeries fast(Bucket::kHour);
+  std::map<std::int64_t, double> reference;
+  const Timestamp base = Timestamp::from_date(Date(2020, 3, 1));
+  for (int i = 0; i < 5000; ++i) {
+    const Timestamp t = base.plus(static_cast<std::int64_t>(
+        rng.uniform_u64(14 * net::kSecondsPerDay)));
+    const double v = static_cast<double>(1 + rng.uniform_u64(1000));
+    fast.add(t, v);
+    reference[t.floor_hour().seconds()] += v;
+  }
+  ASSERT_EQ(fast.size(), reference.size());
+  for (const auto& [sec, v] : reference) {
+    EXPECT_EQ(fast.at(Timestamp(sec)), v);
+  }
+}
+
+TEST(TimeSeries, AddBatchEqualsLoopAndValidatesSizes) {
+  const Timestamp base = Timestamp::from_date(Date(2020, 2, 1));
+  std::vector<Timestamp> times;
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    times.push_back(base.plus(i * 1800));
+    values.push_back(static_cast<double>(i));
+  }
+  TimeSeries loop(Bucket::kHour), batch(Bucket::kHour);
+  for (std::size_t i = 0; i < times.size(); ++i) loop.add(times[i], values[i]);
+  batch.add_batch(times, values);
+  EXPECT_EQ(loop.points(), batch.points());
+  EXPECT_THROW(batch.add_batch(times, std::span<const double>(values).first(3)),
+               std::invalid_argument);
+}
+
+TEST(TimeSeries, MergeAddsBinsAndRejectsBucketMismatch) {
+  TimeSeries a(Bucket::kDay), b(Bucket::kDay);
+  a.add(Timestamp::from_date(Date(2020, 3, 1)), 1.0);
+  b.add(Timestamp::from_date(Date(2020, 3, 1)), 2.0);
+  b.add(Timestamp::from_date(Date(2020, 3, 2)), 5.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.at(Timestamp::from_date(Date(2020, 3, 1))), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(Timestamp::from_date(Date(2020, 3, 2))), 5.0);
+  TimeSeries hourly(Bucket::kHour);
+  EXPECT_THROW(a.merge(hourly), std::invalid_argument);
+}
+
+TEST(TimeSeries, CopyAndMoveDropTheBinCache) {
+  // The fast-path cache points into the source's map; a copied/moved-from
+  // series must not alias it.
+  TimeSeries a(Bucket::kHour);
+  const Timestamp t = Timestamp::from_date(Date(2020, 3, 1), 10);
+  a.add(t, 1.0);  // caches the bin
+  TimeSeries b = a;
+  b.add(t, 10.0);  // must land in b's own bin
+  a.add(t, 100.0);
+  EXPECT_DOUBLE_EQ(a.at(t), 101.0);
+  EXPECT_DOUBLE_EQ(b.at(t), 11.0);
+
+  TimeSeries c = std::move(a);
+  c.add(t, 1000.0);
+  EXPECT_DOUBLE_EQ(c.at(t), 1101.0);
 }
 
 TEST(Pearson, PerfectCorrelations) {
