@@ -32,12 +32,21 @@
 //
 // With --listen PORT the process becomes an inspectable service: an HTTP
 // exposer serves GET /metrics (live Prometheus text), GET /healthz (shard
-// liveness, ring occupancy, sequence loss as JSON), and GET /trace?ms=N
-// (capture N ms of pipeline spans as Chrome Trace Event JSON). --listen
-// implies --metrics. --trace-out FILE writes the whole run's span trace to
-// FILE at exit (load it in Perfetto / chrome://tracing); --linger-ms N
-// keeps the exposer serving for N ms after the run so external scrapers
-// can catch a short-lived process.
+// liveness, ring occupancy, sequence loss as JSON), GET /trace?ms=N
+// (capture N ms of pipeline spans as Chrome Trace Event JSON),
+// GET /history?series=G&window=S (recorded metrics history, when --history
+// is on), and GET /profile?seconds=N&hz=H (folded CPU stacks from the
+// sampling profiler). --listen implies --metrics. --trace-out FILE writes
+// the whole run's span trace to FILE at exit (load it in Perfetto /
+// chrome://tracing); --linger-ms N keeps the exposer serving for N ms
+// after the run so external scrapers can catch a short-lived process.
+//
+// With --history MS the flight recorder samples every metric series into
+// fixed-size history rings every MS milliseconds (obs/recorder.hpp);
+// --history-out FILE additionally journals rotated CSVs to FILE.<stamp>.csv
+// while running and dumps the full retained history to FILE on clean
+// shutdown. --profile-hz H arms the sampling CPU profiler for the whole
+// run and prints where the time went at the end.
 //
 // With --monitor 'name=expr' (repeatable) the collector routes every
 // decoded batch through compiled monitoring objects (src/filter/): each
@@ -65,6 +74,7 @@
 //   $ ./live_collector [output-dir] [--shards N] [--wire-threads N]
 //                      [--gen-threads N] [--metrics]
 //                      [--listen PORT] [--trace-out FILE] [--linger-ms N]
+//                      [--history MS] [--history-out FILE] [--profile-hz H]
 //                      [--monitor 'vpn=dst port 1194,443 and proto udp']...
 //                      [--monitor-file FILE] [--flow-sampling N]
 //                      [--window SECONDS] [--window-key dst_as,service]
@@ -92,9 +102,13 @@
 #include "flow/trace_file.hpp"
 #include "flow/udp_transport.hpp"
 #include "net/eventloop/udp_batch_socket.hpp"
+#include "obs/build_info.hpp"
 #include "obs/http_exposer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
+#include "obs/watermark.hpp"
 #include "runtime/sharded_daemon.hpp"
 #include "runtime/wire_plane.hpp"
 #include "stream/engine.hpp"
@@ -115,6 +129,9 @@ int main(int argc, char** argv) {
   int listen_port = -1;  // -1 = no exposer
   std::string trace_out;
   long linger_ms = 0;
+  long history_ms = 0;  // 0 = no flight recorder
+  std::string history_out;
+  long profile_hz = 0;  // 0 = profiler off
   std::vector<std::string> monitor_args;
   std::vector<std::string> monitor_files;
   long window_seconds = 0;  // 0 = no streaming layer
@@ -143,6 +160,13 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (arg == "--linger-ms" && i + 1 < argc) {
       linger_ms = std::atol(argv[++i]);
+    } else if (arg == "--history" && i + 1 < argc) {
+      history_ms = std::atol(argv[++i]);
+      metrics_enabled = true;  // the recorder samples the registry
+    } else if (arg == "--history-out" && i + 1 < argc) {
+      history_out = argv[++i];
+    } else if (arg == "--profile-hz" && i + 1 < argc) {
+      profile_hz = std::atol(argv[++i]);
     } else if (arg == "--monitor" && i + 1 < argc) {
       monitor_args.emplace_back(argv[++i]);
     } else if (arg == "--monitor-file" && i + 1 < argc) {
@@ -172,7 +196,26 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(out_dir);
   obs::Registry obs_registry;
   obs::Registry* metrics = metrics_enabled ? &obs_registry : nullptr;
+  if (metrics != nullptr) obs::register_build_info(obs_registry);
   obs::Tracer::instance().set_this_thread_name("wire");
+
+  // --- Flight recorder -------------------------------------------------------
+  // Declared right after the registry (and before everything that binds
+  // metrics into it) so its sampling sees the whole lifecycle and it is
+  // destroyed last. The exposer's tick drives the sampling clock when
+  // --listen is active; otherwise the recorder runs its own thread.
+  std::optional<obs::MetricsRecorder> recorder;
+  if (history_ms > 0) {
+    obs::RecorderConfig rcfg;
+    rcfg.interval = std::chrono::milliseconds(history_ms);
+    rcfg.journal_path = history_out;
+    recorder.emplace(obs_registry, rcfg);
+    std::cout << "flight recorder sampling every " << history_ms << " ms ("
+              << rcfg.capacity << "-sample rings"
+              << (history_out.empty() ? std::string{}
+                                      : ", journal -> " + history_out)
+              << ")\n";
+  }
 
   // The AS registry backs both the synthesizer (exporter side) and the
   // monitoring objects' ASN lookups (collector side), so it comes first.
@@ -477,6 +520,7 @@ int main(int argc, char** argv) {
       return j;
     };
     cfg.before_scrape = [&]() {
+      obs::refresh_process_gauges(obs_registry);
       if (sharded) {
         runtime::publish_engine_snapshot(obs_registry,
                                          sharded->engine_snapshot());
@@ -484,6 +528,8 @@ int main(int argc, char** argv) {
       }
       if (plane) runtime::publish_wire_plane_stats(obs_registry, *plane);
     };
+    if (recorder) cfg.recorder = &*recorder;
+    cfg.profiler = &obs::CpuProfiler::instance();
     exposer = obs::HttpExposer::create(std::move(cfg));
     if (!exposer) {
       std::cerr << "error: cannot bind 127.0.0.1:" << listen_port
@@ -491,7 +537,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "observability endpoint on http://127.0.0.1:"
-              << exposer->port() << " (/metrics /healthz /trace?ms=N)\n";
+              << exposer->port()
+              << " (/metrics /healthz /trace?ms=N /history /profile)\n";
+  } else if (recorder) {
+    recorder->start();  // no exposer tick to ride: own sampling thread
   }
 
   // --- Exporter side ---------------------------------------------------------
@@ -519,6 +568,17 @@ int main(int argc, char** argv) {
     std::cout << "synthesizing on " << gen_threads << " generator threads\n";
   }
 
+  if (profile_hz > 0) {
+    if (obs::CpuProfiler::instance().start(static_cast<int>(profile_hz))) {
+      std::cout << "cpu profiler sampling at " << profile_hz << " Hz\n";
+    } else {
+      std::cerr << "warning: cpu profiler unavailable "
+                << (obs::CpuProfiler::supported() ? "(already running)"
+                                                  : "(unsupported platform)")
+                << "\n";
+    }
+  }
+
   std::cout << "streaming two hours of lockdown-evening IXP traffic...\n";
   // Four observation domains, round-robin per batch: the sharded runtime
   // keys its shard routing on the export source, so a single domain would
@@ -542,8 +602,25 @@ int main(int argc, char** argv) {
               << snap.counter_value("collector_decode_errors_total",
                                     "error=\"truncated_header\"," + l) +
                      snap.counter_value("collector_decode_errors_total",
-                                        "error=\"bad_length\"," + l)
-              << "\n";
+                                        "error=\"bad_length\"," + l);
+    // Pipeline freshness: wall-clock lag behind the newest wire arrival
+    // whose batch fully left the pipeline (runtime/sharded_daemon.hpp).
+    if (sharded) {
+      const std::uint64_t mark = sharded->released_watermark_ns();
+      if (mark != 0) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      static_cast<double>(obs::trace_now_ns() - mark) / 1e6);
+        std::cout << " wm_lag_ms=" << buf;
+      }
+    }
+    if (recorder) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2f", recorder->ring_occupancy());
+      std::cout << " rec_samples=" << recorder->samples() << " rec_ring="
+                << buf;
+    }
+    std::cout << "\n";
   };
   auto ship = [&]() {
     if (batch.empty()) return;
@@ -725,6 +802,7 @@ int main(int argc, char** argv) {
   if (metrics != nullptr) {
     if (transport) flow::publish_udp_stats(obs_registry, *transport);
     if (plane) runtime::publish_wire_plane_stats(obs_registry, *plane);
+    obs::refresh_process_gauges(obs_registry);
     metrics_line();
     std::cout << "\n--- end-of-run metrics dump (Prometheus text format) ---\n"
               << obs_registry.expose_text()
@@ -741,6 +819,55 @@ int main(int argc, char** argv) {
       std::cout << "monitor + stream metrics unregistered from /metrics ("
                 << (clean ? "verified absent" : "STILL PRESENT -- bug")
                 << ")\n";
+    }
+  }
+  if (recorder) {
+    if (!exposer) recorder->stop();
+    recorder->sample();  // one final tick so the dump holds closing values
+    std::cout << "flight recorder: " << recorder->samples() << " samples over "
+              << recorder->series() << " series\n";
+    if (!history_out.empty()) {
+      const std::string csv = recorder->to_csv("*", 0);
+      std::FILE* f = std::fopen(history_out.c_str(), "wb");
+      if (f == nullptr) {
+        std::cerr << "error: cannot write history CSV to " << history_out
+                  << "\n";
+        return 1;
+      }
+      std::fwrite(csv.data(), 1, csv.size(), f);
+      std::fclose(f);
+      std::cout << "history CSV -> " << history_out << "\n";
+    }
+  }
+  if (profile_hz > 0 && obs::CpuProfiler::instance().running()) {
+    obs::CpuProfiler& prof = obs::CpuProfiler::instance();
+    prof.stop();
+    // Top stacks by sample count: where the run's CPU time actually went.
+    std::vector<std::pair<std::uint64_t, std::string>> stacks;
+    const std::string folded = prof.folded();
+    std::size_t pos = 0;
+    while (pos < folded.size()) {
+      const std::size_t eol = std::min(folded.find('\n', pos), folded.size());
+      const std::string_view line =
+          std::string_view(folded).substr(pos, eol - pos);
+      pos = eol + 1;
+      const std::size_t sp = line.rfind(' ');
+      if (sp == std::string_view::npos) continue;
+      const std::string_view stack = line.substr(0, sp);
+      const std::uint64_t count =
+          std::strtoull(std::string(line.substr(sp + 1)).c_str(), nullptr, 10);
+      const std::size_t leaf = stack.rfind(';');
+      stacks.emplace_back(count, std::string(leaf == std::string_view::npos
+                                                 ? stack
+                                                 : stack.substr(leaf + 1)));
+    }
+    std::sort(stacks.begin(), stacks.end(), std::greater<>());
+    std::cout << "cpu profiler: " << prof.samples() << " samples at "
+              << profile_hz << " Hz (" << prof.dropped()
+              << " lost to ring wrap)\n";
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, stacks.size()); ++i) {
+      std::cout << "    " << stacks[i].first << "  " << stacks[i].second
+                << "\n";
     }
   }
   std::cout << "\n";

@@ -70,6 +70,13 @@ PAIRS = [
     ("BENCH_bench_net_eventloop.json", "BM_BlockingDrainReference/real_time",
      "BM_BatchDrainSingleSocket/real_time", 2.0,
      "wire ingest (blocking vs recvmmsg)"),
+    # Sampling-profiler overhead gate (DESIGN.md section 16): ingest
+    # throughput with the 97 Hz SIGPROF sampler armed must stay >= 0.97x of
+    # profiler-off. The ratio is off/on ns-per-op, ~1.0 when the handler is
+    # as cheap as budgeted; it falls through the floor if the signal path
+    # (or anything the handler touches) grows real work.
+    ("BENCH_bench_obs_recorder.json", "BM_IngestProfilerOff",
+     "BM_IngestProfilerOn", 0.97, "ingest (profiler off vs 97 Hz on)"),
     # Non-blocking flush gate: with the double-banked window state, ingest
     # under a continuously rotating flusher must cost about the same as
     # ingest with a quiescent clock (ratio ~1.0). If window retirement

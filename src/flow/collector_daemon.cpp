@@ -61,17 +61,35 @@ CollectorDaemon::CollectorDaemon(CollectorDaemonConfig config, SliceSink sink)
                          std::string("protocol=\"") +
                              protocol_label(config.protocol) + "\"")
                    : CollectorMetrics{}),
+      stage_latency_(config.metrics != nullptr
+                         ? obs::StageLatency::bind(*config.metrics)
+                         : obs::StageLatency{}),
       observer_(std::move(config.batch_observer)),
       collector_(config.protocol,
                  Collector::BatchSink([this](std::span<const FlowRecord> batch) {
+                   // Same watermark stages as the sharded runtime (decode
+                   // done at sink entry, route after the observer, spool
+                   // after the spooler took the batch), measured from the
+                   // ingest() stamp -- the single-threaded path has no
+                   // ticket reorder, so all three close back to back.
+                   const std::uint64_t arrival = obs::arrival_ns();
+                   obs::StageLatency::observe_since(stage_latency_.decode,
+                                                    arrival);
                    if (observer_) observer_(batch);
+                   obs::StageLatency::observe_since(stage_latency_.route,
+                                                    arrival);
                    for (const FlowRecord& r : batch) spooler_.append(r);
+                   obs::StageLatency::observe_since(stage_latency_.spool,
+                                                    arrival);
                  }),
                  config.anonymizer, config.rescale_sampled,
                  config.metrics != nullptr ? &metrics_ : nullptr) {}
 
-void CollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
+void CollectorDaemon::ingest(std::span<const std::uint8_t> datagram,
+                             std::uint64_t arrival_ns) {
+  obs::set_arrival_ns(arrival_ns != 0 ? arrival_ns : obs::trace_now_ns());
   collector_.ingest(datagram);
+  obs::set_arrival_ns(0);
 }
 
 void CollectorDaemon::flush() { spooler_.flush(); }

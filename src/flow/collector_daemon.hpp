@@ -19,6 +19,7 @@
 #include "flow/collector_metrics.hpp"
 #include "flow/pipeline.hpp"
 #include "flow/trace_file.hpp"
+#include "obs/watermark.hpp"
 
 namespace lockdown::flow {
 
@@ -89,8 +90,11 @@ class CollectorDaemon {
 
   CollectorDaemon(CollectorDaemonConfig config, SliceSink sink);
 
-  /// Ingest one datagram from the wire.
-  void ingest(std::span<const std::uint8_t> datagram);
+  /// Ingest one datagram from the wire. `arrival_ns` is the monotonic
+  /// (trace_now_ns) wire-arrival stamp for the pipeline latency
+  /// watermarks; 0 (the default) stamps "now".
+  void ingest(std::span<const std::uint8_t> datagram,
+              std::uint64_t arrival_ns = 0);
 
   /// Flush the current partial slice (end of capture / shutdown).
   void flush();
@@ -110,6 +114,9 @@ class CollectorDaemon {
   /// Bound against config.metrics (empty handles otherwise). Must precede
   /// collector_, which keeps a pointer to it.
   CollectorMetrics metrics_;
+  /// Per-stage latency histograms (null handles unless config.metrics is
+  /// set); observed from the batch sink, so must precede collector_.
+  obs::StageLatency stage_latency_;
   Collector::BatchSink observer_;
   Collector collector_;
 };

@@ -1,0 +1,123 @@
+#include "obs/build_info.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#if defined(__unix__)
+#include <unistd.h>
+#endif
+
+namespace lockdown::obs {
+
+namespace {
+
+#ifndef LOCKDOWN_VERSION
+#define LOCKDOWN_VERSION "0.0.0"
+#endif
+#ifndef LOCKDOWN_GIT_SHA
+#define LOCKDOWN_GIT_SHA "unknown"
+#endif
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return "clang-" + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return "gcc-" + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string detect_sanitizer() {
+  std::string s;
+#if defined(__SANITIZE_ADDRESS__)
+  s += "asan";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  s += "asan";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  if (!s.empty()) s += ',';
+  s += "tsan";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  if (!s.empty()) s += ',';
+  s += "tsan";
+#endif
+#endif
+  return s.empty() ? "none" : s;
+}
+
+double unix_now_seconds() {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+// Process start, captured at first use (static init order makes "first
+// metric registration" close enough to exec for uptime purposes).
+const double g_start_unix_s = unix_now_seconds();
+const std::chrono::steady_clock::time_point g_start_steady =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const BuildInfo& build_info() {
+  static const BuildInfo info{
+      LOCKDOWN_VERSION,
+      LOCKDOWN_GIT_SHA,
+      detect_compiler(),
+      detect_sanitizer(),
+  };
+  return info;
+}
+
+std::uint64_t process_rss_bytes() {
+#if defined(__unix__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long size_pages = 0, rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return rss_pages * static_cast<std::uint64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+void register_build_info(Registry& registry) {
+  const BuildInfo& info = build_info();
+  std::string labels = "version=\"" + info.version + "\",git_sha=\"" +
+                       info.git_sha + "\",compiler=\"" + info.compiler +
+                       "\",sanitizer=\"" + info.sanitizer + "\"";
+  registry
+      .gauge("lockdown_build_info", labels,
+             "Build identity; the payload is in the labels, value is 1")
+      .set(1.0);
+  registry
+      .gauge("process_start_time_seconds", {},
+             "Unix time the process started")
+      .set(g_start_unix_s);
+  refresh_process_gauges(registry);
+}
+
+void refresh_process_gauges(Registry& registry) {
+  const double up = std::chrono::duration_cast<std::chrono::duration<double>>(
+                        std::chrono::steady_clock::now() - g_start_steady)
+                        .count();
+  registry.gauge("process_uptime_seconds", {}, "Seconds since process start")
+      .set(up);
+  registry
+      .gauge("process_resident_memory_bytes", {},
+             "Resident set size in bytes")
+      .set(static_cast<double>(process_rss_bytes()));
+}
+
+}  // namespace lockdown::obs

@@ -1,0 +1,44 @@
+// Identity gauges: which binary produced a series. /history makes metrics
+// durable across time, so the registry must say what produced them --
+// `lockdown_build_info{version,git_sha,compiler,sanitizer} 1` (the usual
+// info-metric idiom: the payload lives in the labels), plus process
+// start-time, uptime, and RSS gauges for correlating a series with
+// restarts and memory pressure.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace lockdown::obs {
+
+struct BuildInfo {
+  std::string version;    ///< project version (CMake)
+  std::string git_sha;    ///< short commit hash, "unknown" outside a checkout
+  std::string compiler;   ///< e.g. "gcc-13.2.0"
+  std::string sanitizer;  ///< "asan,ubsan", "tsan", or "none"
+};
+
+/// The values this binary was built with (compile definitions from
+/// src/obs/CMakeLists.txt plus compiler/sanitizer detection).
+[[nodiscard]] const BuildInfo& build_info();
+
+/// Resident set size of the calling process in bytes (0 when the platform
+/// offers no /proc/self/statm).
+[[nodiscard]] std::uint64_t process_rss_bytes();
+
+/// Register the identity series on `registry`:
+///   lockdown_build_info{version=..,git_sha=..,compiler=..,sanitizer=..} 1
+///   process_start_time_seconds  (unix epoch, set once)
+///   process_uptime_seconds      (refreshed by refresh_process_gauges)
+///   process_resident_memory_bytes
+/// Returns after setting initial values; call refresh_process_gauges()
+/// periodically (the recorder tick or a scrape hook) to keep uptime/RSS
+/// current.
+void register_build_info(Registry& registry);
+
+/// Update process_uptime_seconds and process_resident_memory_bytes on
+/// `registry` (no-op unless register_build_info ran on it first).
+void refresh_process_gauges(Registry& registry);
+
+}  // namespace lockdown::obs

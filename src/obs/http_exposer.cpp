@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <initializer_list>
+#include <optional>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
@@ -14,6 +16,8 @@
 
 #include "net/eventloop/event_loop.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace lockdown::obs {
@@ -42,16 +46,19 @@ const char* reason_phrase(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 409: return "Conflict";
+    case 501: return "Not Implemented";
     case 503: return "Service Unavailable";
     default: return "Error";
   }
 }
 
-/// The `ms` query parameter of a /trace target; `fallback` when absent or
-/// unparsable.
-std::uint64_t parse_ms_param(std::string_view target, std::uint64_t fallback) {
+/// The raw (still percent-encoded) value of `key` in the target's query
+/// string; nullopt when absent.
+std::optional<std::string_view> query_param(std::string_view target,
+                                            std::string_view key) {
   const auto q = target.find('?');
-  if (q == std::string_view::npos) return fallback;
+  if (q == std::string_view::npos) return std::nullopt;
   std::string_view query = target.substr(q + 1);
   while (!query.empty()) {
     const auto amp = query.find('&');
@@ -59,18 +66,78 @@ std::uint64_t parse_ms_param(std::string_view target, std::uint64_t fallback) {
         amp == std::string_view::npos ? query : query.substr(0, amp);
     query = amp == std::string_view::npos ? std::string_view{}
                                           : query.substr(amp + 1);
-    if (pair.rfind("ms=", 0) != 0) continue;
-    const std::string_view value = pair.substr(3);
-    if (value.empty()) return fallback;
-    std::uint64_t ms = 0;
-    for (const char c : value) {
-      if (c < '0' || c > '9') return fallback;
-      ms = ms * 10 + static_cast<std::uint64_t>(c - '0');
-      if (ms > 1000000) return 1000000;
+    if (pair.size() <= key.size() || pair.substr(0, key.size()) != key ||
+        pair[key.size()] != '=') {
+      continue;
     }
-    return ms;
+    return pair.substr(key.size() + 1);
   }
-  return fallback;
+  return std::nullopt;
+}
+
+/// %XX percent-decoding (plus '+' -> space) for query-param values, so a
+/// /history series glob can carry braces, quotes, and commas.
+std::string url_decode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  const auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out += ' ';
+    } else if (in[i] == '%' && i + 2 < in.size() && hex(in[i + 1]) >= 0 &&
+               hex(in[i + 2]) >= 0) {
+      out += static_cast<char>(hex(in[i + 1]) * 16 + hex(in[i + 2]));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+/// Decimal query-param value clamped to [0, 1000000]; `fallback` when the
+/// key is absent, empty, or non-numeric.
+std::uint64_t parse_u64_param(std::string_view target, std::string_view key,
+                              std::uint64_t fallback) {
+  const auto raw = query_param(target, key);
+  if (!raw || raw->empty()) return fallback;
+  std::uint64_t v = 0;
+  for (const char c : *raw) {
+    if (c < '0' || c > '9') return fallback;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    if (v > 1000000) return 1000000;
+  }
+  return v;
+}
+
+/// The `ms` query parameter of a /trace target; `fallback` when absent or
+/// unparsable.
+std::uint64_t parse_ms_param(std::string_view target, std::uint64_t fallback) {
+  return parse_u64_param(target, "ms", fallback);
+}
+
+/// {"error":"...","active_x":A,"requested_x":B} -- the 409 body for a
+/// conflicting capture request (x = the session's parameter names).
+std::string conflict_body(std::string_view error,
+                          std::initializer_list<
+                              std::pair<std::string_view, std::uint64_t>>
+                              fields) {
+  std::string body = "{\"error\":\"";
+  body += error;
+  body += '"';
+  for (const auto& [k, v] : fields) {
+    body += ",\"";
+    body += k;
+    body += "\":";
+    body += std::to_string(v);
+  }
+  body += "}\n";
+  return body;
 }
 
 /// One open connection's state machine: buffering the request head, then
@@ -80,7 +147,8 @@ struct Conn {
   std::string out;           ///< rendered response
   std::size_t out_off = 0;   ///< bytes of `out` already sent
   bool responded = false;    ///< head parsed, response chosen
-  bool waiting_trace = false;  ///< parked on the capture session
+  bool waiting_trace = false;    ///< parked on the trace capture session
+  bool waiting_profile = false;  ///< parked on the profile capture session
   Clock::time_point last_activity;
 };
 
@@ -92,11 +160,22 @@ struct HttpExposer::Impl {
   std::unordered_map<int, Conn> conns;
   Gauge* open_conns = nullptr;
   Histogram* wait_hist = nullptr;
-  /// The shared /trace capture session: concurrent requests coalesce onto
-  /// one window; the deadline stretches to the latest request's.
+  /// The shared /trace capture session. The first requester fixes the
+  /// window; equal ms joins, different ms is answered 409 (the coalescing
+  /// rule in the header comment). Deadlines never stretch.
   bool trace_active = false;
+  std::uint64_t trace_window_ms = 0;
   Clock::time_point trace_deadline{};
   std::vector<int> trace_waiters;
+  /// The shared /profile capture session, same coalescing rule keyed on
+  /// (seconds, hz). `profile_since` is the profiler's sample count at the
+  /// starting gun, so the response holds only this window's samples.
+  bool profile_active = false;
+  std::uint64_t profile_seconds = 0;
+  std::uint64_t profile_hz = 0;
+  std::uint64_t profile_since = 0;
+  Clock::time_point profile_deadline{};
+  std::vector<int> profile_waiters;
   bool ok = false;
 
   explicit Impl(HttpExposer& exposer) : owner(exposer) {
@@ -202,9 +281,9 @@ struct HttpExposer::Impl {
       }
       if (n == 0) {
         // EOF. A half-closed client that never finished its head still
-        // gets the 400 (it may be reading); a parked trace waiter that
-        // hung up is dropped from the session.
-        if (conn.waiting_trace || conn.responded) {
+        // gets the 400 (it may be reading); a parked capture waiter that
+        // hung up is dropped from its session.
+        if (conn.waiting_trace || conn.waiting_profile || conn.responded) {
           close_conn(fd);
         } else {
           respond(fd, conn, {400, "text/plain; charset=utf-8", "bad request\n"});
@@ -250,25 +329,47 @@ struct HttpExposer::Impl {
                                          : "{\"status\":\"ok\"}\n";
       } else if (path == "/trace") {
         auto window = std::chrono::milliseconds(parse_ms_param(target, 100));
-        if (window < std::chrono::milliseconds(1)) {
-          window = std::chrono::milliseconds(1);
+        window = std::clamp(window, std::chrono::milliseconds(1),
+                            owner.config_.max_trace_window);
+        const auto ms = static_cast<std::uint64_t>(window.count());
+        if (trace_active && ms != trace_window_ms) {
+          // Conflicting parameters: the first requester fixed the window;
+          // joining would silently hand this client the wrong capture.
+          respond(fd, conn,
+                  {409, "application/json",
+                   conflict_body("trace capture already active",
+                                 {{"active_ms", trace_window_ms},
+                                  {"requested_ms", ms}})});
+          return;
         }
-        if (window > owner.config_.max_trace_window) {
-          window = owner.config_.max_trace_window;
-        }
-        const Clock::time_point deadline = Clock::now() + window;
         if (!trace_active) {
           // Starting gun: drop the backlog so the capture holds only
           // spans from the window.
           tracer().discard();
           trace_active = true;
-          trace_deadline = deadline;
-        } else if (deadline > trace_deadline) {
-          trace_deadline = deadline;
+          trace_window_ms = ms;
+          trace_deadline = Clock::now() + window;
         }
         conn.responded = true;
         conn.waiting_trace = true;
         trace_waiters.push_back(fd);
+        return;
+      } else if (path == "/history" && owner.config_.recorder != nullptr) {
+        const auto series = query_param(target, "series");
+        const std::string glob =
+            series ? url_decode(*series) : std::string("*");
+        const auto window_sec = static_cast<std::int64_t>(
+            parse_u64_param(target, "window", 0));
+        const auto format = query_param(target, "format");
+        if (format && *format == "csv") {
+          resp.content_type = "text/csv; charset=utf-8";
+          resp.body = owner.config_.recorder->to_csv(glob, window_sec);
+        } else {
+          resp.content_type = "application/json";
+          resp.body = owner.config_.recorder->to_json(glob, window_sec);
+        }
+      } else if (path == "/profile" && owner.config_.profiler != nullptr) {
+        route_profile(fd, conn, target);
         return;
       } else {
         resp = {404, "text/plain; charset=utf-8", "not found\n"};
@@ -277,12 +378,65 @@ struct HttpExposer::Impl {
     respond(fd, conn, resp);
   }
 
+  /// GET /profile?seconds=N&hz=H: arm the sampling profiler for one
+  /// window and park the connection on the session. Same coalescing rule
+  /// as /trace, keyed on (seconds, hz).
+  void route_profile(int fd, Conn& conn, std::string_view target) {
+    CpuProfiler& prof = *owner.config_.profiler;
+    if (!CpuProfiler::supported()) {
+      respond(fd, conn,
+              {501, "application/json",
+               "{\"error\":\"profiler not supported on this platform\"}\n"});
+      return;
+    }
+    std::uint64_t seconds = parse_u64_param(target, "seconds", 1);
+    seconds = std::clamp<std::uint64_t>(
+        seconds, 1,
+        static_cast<std::uint64_t>(owner.config_.max_profile_window.count()));
+    std::uint64_t hz = parse_u64_param(target, "hz", 97);
+    hz = std::clamp<std::uint64_t>(hz, 1, 1000);
+    if (profile_active) {
+      if (seconds != profile_seconds || hz != profile_hz) {
+        respond(fd, conn,
+                {409, "application/json",
+                 conflict_body("profile capture already active",
+                               {{"active_seconds", profile_seconds},
+                                {"active_hz", profile_hz},
+                                {"requested_seconds", seconds},
+                                {"requested_hz", hz}})});
+        return;
+      }
+    } else {
+      if (!prof.start(static_cast<int>(hz))) {
+        // Armed outside the exposer (e.g. a --profile-hz always-on run):
+        // a timed session cannot own the stop, so refuse rather than
+        // disarm someone else's profiler mid-flight.
+        respond(fd, conn,
+                {409, "application/json",
+                 conflict_body("profiler already running outside /profile",
+                               {{"running_hz",
+                                 static_cast<std::uint64_t>(prof.hz())}})});
+        return;
+      }
+      profile_active = true;
+      profile_seconds = seconds;
+      profile_hz = hz;
+      profile_since = prof.samples();
+      profile_deadline =
+          Clock::now() + std::chrono::seconds(static_cast<long>(seconds));
+    }
+    conn.responded = true;
+    conn.waiting_profile = true;
+    profile_waiters.push_back(fd);
+  }
+
   /// Render the response and start draining it; closes the connection
   /// when it fits in the socket buffer (the common case), otherwise
   /// re-arms for EPOLLOUT.
   void respond(int fd, Conn& conn, const Response& resp) {
     conn.responded = true;
     conn.waiting_trace = false;
+    conn.waiting_profile = false;
     conn.out.reserve(128 + resp.body.size());
     conn.out += "HTTP/1.1 ";
     conn.out += std::to_string(resp.status);
@@ -327,11 +481,17 @@ struct HttpExposer::Impl {
           std::remove(trace_waiters.begin(), trace_waiters.end(), fd),
           trace_waiters.end());
     }
+    if (!profile_waiters.empty()) {
+      profile_waiters.erase(
+          std::remove(profile_waiters.begin(), profile_waiters.end(), fd),
+          profile_waiters.end());
+    }
     publish_open_conns();
   }
 
-  /// Periodic work: complete the trace session at its deadline, sweep
-  /// idle connections, and pick the next epoll_wait budget.
+  /// Periodic work: complete capture sessions at their deadlines, drive
+  /// the recorder's sampling clock, sweep idle connections, and pick the
+  /// next epoll_wait budget.
   std::chrono::milliseconds tick() {
     const Clock::time_point now = Clock::now();
     if (trace_active && now >= trace_deadline) {
@@ -345,9 +505,28 @@ struct HttpExposer::Impl {
         respond(fd, it->second, {200, "application/json", body});
       }
     }
+    if (profile_active && now >= profile_deadline) {
+      profile_active = false;
+      CpuProfiler& prof = *owner.config_.profiler;
+      prof.stop();
+      const std::string body = prof.folded(profile_since);
+      std::vector<int> waiters;
+      waiters.swap(profile_waiters);
+      for (const int fd : waiters) {
+        const auto it = conns.find(fd);
+        if (it == conns.end()) continue;
+        respond(fd, it->second,
+                {200, "text/plain; charset=utf-8", body});
+      }
+    }
+    std::chrono::milliseconds next = kTickInterval;
+    if (owner.config_.recorder != nullptr) {
+      next = std::min(next, owner.config_.recorder->maybe_sample());
+    }
     std::vector<int> expired;
     for (const auto& [fd, conn] : conns) {
-      if (conn.waiting_trace) continue;  // bounded by the trace deadline
+      // Capture waiters are bounded by their session deadlines.
+      if (conn.waiting_trace || conn.waiting_profile) continue;
       if (now - conn.last_activity > owner.config_.idle_timeout) {
         expired.push_back(fd);
       }
@@ -362,13 +541,19 @@ struct HttpExposer::Impl {
       }
       close_conn(fd);
     }
-    std::chrono::milliseconds next = kTickInterval;
     if (trace_active) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           trace_deadline - now);
-      next = std::clamp(left, std::chrono::milliseconds(1), kTickInterval);
+      next = std::min(
+          next, std::clamp(left, std::chrono::milliseconds(1), kTickInterval));
     }
-    return next;
+    if (profile_active) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          profile_deadline - now);
+      next = std::min(
+          next, std::clamp(left, std::chrono::milliseconds(1), kTickInterval));
+    }
+    return std::max(next, std::chrono::milliseconds(1));
   }
 };
 
@@ -422,6 +607,12 @@ void HttpExposer::stop() {
   for (const auto& [fd, conn] : impl_->conns) ::close(fd);
   impl_->conns.clear();
   impl_->trace_waiters.clear();
+  impl_->profile_waiters.clear();
+  if (impl_->profile_active) {
+    // An exposer-owned capture session must not leave SIGPROF armed.
+    impl_->profile_active = false;
+    if (config_.profiler != nullptr) config_.profiler->stop();
+  }
   impl_->publish_open_conns();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);

@@ -2,22 +2,38 @@
 // process becomes scrapeable instead of only dumping metrics at exit.
 //
 // One thread runs a net::EventLoop (DESIGN.md §14) over the listener and
-// every open connection, serving three routes, one request per connection
+// every open connection, serving five routes, one request per connection
 // (Connection: close):
 //
 //   GET /metrics     Prometheus text exposition of the bound Registry
 //   GET /healthz     liveness JSON from a caller-supplied callback
 //   GET /trace?ms=N  capture N milliseconds of pipeline spans and return
 //                    them as Chrome Trace Event JSON (see obs/trace.hpp)
+//   GET /history     recorded metrics history from the bound
+//                    MetricsRecorder (obs/recorder.hpp); ?series=<glob>
+//                    filters by series id, &window=<sec> trims to the
+//                    trailing seconds, &format=csv switches to CSV
+//   GET /profile     capture ?seconds=N (default 1) of CPU samples at
+//                    &hz=H (default 97) via the sampling profiler
+//                    (obs/profiler.hpp) and return folded stacks
 //
 // Connections are per-fd state machines on edge-triggered readiness: a
 // read phase buffers the request head (bounded by max_request_bytes), a
 // write phase drains the response through EPOLLOUT, and a periodic idle
-// sweep answers half-sent or stalled clients with 408 and closes them. A
-// /trace capture no longer blocks the server: waiters park on a shared
-// capture session (concurrent requests coalesce onto one window, deadline
-// = the latest requested) while /metrics and /healthz keep being served,
-// and the loop's tick answers every waiter when the deadline passes.
+// sweep answers half-sent or stalled clients with 408 and closes them.
+//
+// Capture sessions (/trace, /profile) do not block the server: waiters
+// park on a shared session while /metrics and /healthz keep being served,
+// and the loop's tick answers every waiter when the deadline passes. The
+// coalescing rule: the FIRST requester fixes the session's parameters and
+// deadline; a concurrent request with the SAME parameters joins the
+// session (one window, many readers); a concurrent request with DIFFERENT
+// parameters is rejected with 409 + a JSON error body naming the active
+// session's parameters. Deadlines never stretch.
+//
+// When a MetricsRecorder is bound, the loop's tick also drives its
+// sampling clock (recorder.maybe_sample()), so a live collector needs no
+// extra thread for history recording.
 //
 // Handlers run on the loop thread while the pipeline runs, so callback
 // implementations must only touch thread-safe state (the Registry and
@@ -34,6 +50,8 @@
 
 namespace lockdown::obs {
 
+class CpuProfiler;
+class MetricsRecorder;
 class Registry;
 class Tracer;
 
@@ -46,6 +64,14 @@ struct HttpExposerConfig {
   Registry* registry = nullptr;
   /// Source of GET /trace; defaults to Tracer::instance() when null.
   Tracer* tracer = nullptr;
+  /// Source of GET /history; when null the route answers 404. The loop's
+  /// tick drives its sampling clock (maybe_sample). Must outlive the
+  /// exposer; do not also call MetricsRecorder::start() on it.
+  MetricsRecorder* recorder = nullptr;
+  /// Source of GET /profile; when null the route answers 404. Use
+  /// &CpuProfiler::instance(). A session started by /profile is stopped
+  /// by the loop at its deadline (or by stop()).
+  CpuProfiler* profiler = nullptr;
   /// Body of GET /healthz (application/json). Default: {"status":"ok"}.
   std::function<std::string()> health;
   /// Invoked before rendering /metrics or /healthz, on the loop thread: a
@@ -53,6 +79,8 @@ struct HttpExposerConfig {
   std::function<void()> before_scrape;
   /// Upper clamp for /trace?ms=N capture windows.
   std::chrono::milliseconds max_trace_window{10000};
+  /// Upper clamp for /profile?seconds=N capture windows.
+  std::chrono::seconds max_profile_window{30};
   /// Cap on buffered request-head bytes per connection; a head that grows
   /// past this without terminating is answered 400 and closed.
   std::size_t max_request_bytes = 8192;

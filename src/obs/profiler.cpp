@@ -1,0 +1,241 @@
+#include "obs/profiler.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#if defined(__linux__) && __has_include(<execinfo.h>)
+#define LOCKDOWN_PROFILER_SUPPORTED 1
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>
+#include <sys/time.h>
+
+#include <cstdlib>
+#include <cstring>
+#endif
+
+namespace lockdown::obs {
+
+#ifdef LOCKDOWN_PROFILER_SUPPORTED
+
+namespace {
+
+// One sample slot: seqlock generation + captured frames. Everything the
+// signal handler writes is a relaxed/release atomic into memory allocated
+// before the handler is installed -- no locks, no malloc, no TLS init.
+struct SampleSlot {
+  /// 0 while a write is in flight, else (claim index + 1).
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<std::uint32_t> depth{0};
+  std::atomic<std::uintptr_t> frames[CpuProfiler::kMaxFrames];
+};
+
+SampleSlot g_ring[CpuProfiler::kRingSlots];
+/// Next claim index; the handler's only cross-thread coordination.
+std::atomic<std::uint64_t> g_head{0};
+std::atomic<std::uint64_t> g_dropped{0};
+std::atomic<bool> g_active{false};
+
+/// Serializes start/stop/folded (cold control plane). The handler itself
+/// never takes it.
+std::mutex g_control_mu;
+bool g_running = false;
+int g_hz = 0;
+struct sigaction g_prev_action;
+
+void sigprof_handler(int, siginfo_t*, void*) {
+  // Save and restore errno: backtrace() and our stores may clobber it and
+  // the interrupted thread could be mid-syscall-error-check.
+  const int saved_errno = errno;
+  if (g_active.load(std::memory_order_relaxed)) {
+    void* frames[CpuProfiler::kMaxFrames + 2];
+    // backtrace() here is safe because start() already forced the lazy
+    // libgcc_s load on a normal thread (see header).
+    const int depth = backtrace(frames, CpuProfiler::kMaxFrames + 2);
+    // Frame 0 is this handler and frame 1 the signal trampoline; neither
+    // belongs to the interrupted code.
+    const int skip = depth > 2 ? 2 : 0;
+    const std::uint64_t i = g_head.fetch_add(1, std::memory_order_relaxed);
+    if (i >= CpuProfiler::kRingSlots) {
+      g_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+    SampleSlot& slot = g_ring[i % CpuProfiler::kRingSlots];
+    slot.seq.store(0, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    const std::uint32_t n = static_cast<std::uint32_t>(depth - skip);
+    for (std::uint32_t f = 0; f < n; ++f) {
+      slot.frames[f].store(reinterpret_cast<std::uintptr_t>(frames[skip + f]),
+                           std::memory_order_relaxed);
+    }
+    slot.depth.store(n, std::memory_order_relaxed);
+    slot.seq.store(i + 1, std::memory_order_release);
+  }
+  errno = saved_errno;
+}
+
+std::string symbolize(std::uintptr_t pc) {
+  Dl_info info{};
+  if (dladdr(reinterpret_cast<void*>(pc), &info) != 0 &&
+      info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);
+      return out;
+    }
+    if (demangled != nullptr) std::free(demangled);
+    return info.dli_sname;
+  }
+  // Static / stripped frames have no dynamic symbol; keep the address so
+  // the stack stays structurally intact in the flamegraph.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%zx", static_cast<std::size_t>(pc));
+  return buf;
+}
+
+}  // namespace
+
+CpuProfiler& CpuProfiler::instance() {
+  static CpuProfiler p;
+  return p;
+}
+
+bool CpuProfiler::supported() noexcept { return true; }
+
+bool CpuProfiler::start(int hz) {
+  if (hz <= 0) return false;
+  const std::lock_guard<std::mutex> lock(g_control_mu);
+  if (g_running) return false;
+
+  // Warm-up: force backtrace()'s lazy libgcc_s initialization (which
+  // allocates) on this ordinary thread, so the handler never triggers it.
+  void* warmup[4];
+  backtrace(warmup, 4);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = sigprof_handler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, &g_prev_action) != 0) return false;
+
+  g_active.store(true, std::memory_order_release);
+
+  struct itimerval timer;
+  timer.it_interval.tv_sec = hz == 1 ? 1 : 0;
+  timer.it_interval.tv_usec = hz == 1 ? 0 : 1000000 / hz;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    g_active.store(false, std::memory_order_release);
+    sigaction(SIGPROF, &g_prev_action, nullptr);
+    return false;
+  }
+  g_running = true;
+  g_hz = hz;
+  return true;
+}
+
+void CpuProfiler::stop() {
+  const std::lock_guard<std::mutex> lock(g_control_mu);
+  if (!g_running) return;
+  struct itimerval off;
+  std::memset(&off, 0, sizeof(off));
+  setitimer(ITIMER_PROF, &off, nullptr);
+  // Disarm the handler's work before restoring the disposition: a SIGPROF
+  // already in flight between the two calls then no-ops instead of racing
+  // the teardown.
+  g_active.store(false, std::memory_order_release);
+  sigaction(SIGPROF, &g_prev_action, nullptr);
+  g_running = false;
+  g_hz = 0;
+}
+
+bool CpuProfiler::running() const noexcept {
+  return g_active.load(std::memory_order_acquire);
+}
+
+int CpuProfiler::hz() const noexcept {
+  const std::lock_guard<std::mutex> lock(g_control_mu);
+  return g_hz;
+}
+
+std::uint64_t CpuProfiler::samples() const noexcept {
+  return g_head.load(std::memory_order_acquire);
+}
+
+std::uint64_t CpuProfiler::dropped() const noexcept {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+std::string CpuProfiler::folded(std::uint64_t since_sample) const {
+  const std::lock_guard<std::mutex> lock(g_control_mu);
+  const std::uint64_t head = g_head.load(std::memory_order_acquire);
+  std::uint64_t begin = since_sample;
+  if (head > kRingSlots && begin < head - kRingSlots) {
+    begin = head - kRingSlots;  // older samples were overwritten
+  }
+
+  std::map<std::string, std::uint64_t> stacks;
+  std::map<std::uintptr_t, std::string> symbols;
+  std::vector<std::uintptr_t> frames(kMaxFrames);
+  for (std::uint64_t i = begin; i < head; ++i) {
+    const SampleSlot& slot = g_ring[i % kRingSlots];
+    // Seqlock read: generation must match the claim index before AND
+    // after the payload copy, else the slot was overwritten mid-read.
+    if (slot.seq.load(std::memory_order_acquire) != i + 1) continue;
+    const std::uint32_t depth = slot.depth.load(std::memory_order_relaxed);
+    if (depth == 0 || depth > kMaxFrames) continue;
+    for (std::uint32_t f = 0; f < depth; ++f) {
+      frames[f] = slot.frames[f].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != i + 1) continue;
+
+    // backtrace() lists the leaf first; folded format wants root first.
+    std::string stack;
+    for (std::uint32_t f = depth; f-- > 0;) {
+      auto it = symbols.find(frames[f]);
+      if (it == symbols.end()) {
+        it = symbols.emplace(frames[f], symbolize(frames[f])).first;
+      }
+      if (!stack.empty()) stack += ';';
+      stack += it->second;
+    }
+    ++stacks[stack];
+  }
+
+  std::string out;
+  for (const auto& [stack, count] : stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+#else  // !LOCKDOWN_PROFILER_SUPPORTED
+
+CpuProfiler& CpuProfiler::instance() {
+  static CpuProfiler p;
+  return p;
+}
+bool CpuProfiler::supported() noexcept { return false; }
+bool CpuProfiler::start(int) { return false; }
+void CpuProfiler::stop() {}
+bool CpuProfiler::running() const noexcept { return false; }
+int CpuProfiler::hz() const noexcept { return 0; }
+std::uint64_t CpuProfiler::samples() const noexcept { return 0; }
+std::uint64_t CpuProfiler::dropped() const noexcept { return 0; }
+std::string CpuProfiler::folded(std::uint64_t) const { return {}; }
+
+#endif  // LOCKDOWN_PROFILER_SUPPORTED
+
+}  // namespace lockdown::obs

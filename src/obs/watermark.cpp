@@ -1,0 +1,33 @@
+#include "obs/watermark.hpp"
+
+namespace lockdown::obs {
+
+namespace {
+thread_local std::uint64_t t_arrival_ns = 0;
+}  // namespace
+
+void set_arrival_ns(std::uint64_t ns) noexcept { t_arrival_ns = ns; }
+
+std::uint64_t arrival_ns() noexcept { return t_arrival_ns; }
+
+std::vector<double> StageLatency::bucket_bounds() {
+  // 0.25, 1, 4, 16, 64, 256, 1024, 4096 ms: log-spaced so both a healthy
+  // sub-millisecond pipeline and a 250 ms injected stall resolve cleanly.
+  return exponential_buckets(0.25, 4.0, 8);
+}
+
+StageLatency StageLatency::bind(Registry& registry) {
+  constexpr std::string_view kName = "pipeline_stage_latency_ms";
+  constexpr std::string_view kHelp =
+      "Cumulative time since wire arrival when the stage finished, ms";
+  StageLatency s;
+  s.decode =
+      &registry.histogram(kName, bucket_bounds(), "stage=\"decode\"", kHelp);
+  s.route =
+      &registry.histogram(kName, bucket_bounds(), "stage=\"route\"", kHelp);
+  s.spool =
+      &registry.histogram(kName, bucket_bounds(), "stage=\"spool\"", kHelp);
+  return s;
+}
+
+}  // namespace lockdown::obs

@@ -1,0 +1,70 @@
+// Pipeline latency watermarks (DESIGN.md §16): every ingest ticket carries
+// the monotonic time its datagram arrived off the wire, and each pipeline
+// stage observes "now - arrival" into a log-bucketed histogram when it
+// finishes with the batch. Latency and backpressure become measured
+// series (`pipeline_stage_latency_ms{stage=...}`) instead of quantities
+// inferred from queue depths.
+//
+// Stage semantics -- every stage measures CUMULATIVE time since wire
+// arrival, so the stages nest (decode <= route <= spool) and a stall
+// anywhere shows up in every stage downstream of it:
+//   decode  arrival -> flow records decoded (shard worker, pre-sink)
+//   route   arrival -> monitoring objects + stream windows fed
+//   spool   arrival -> records released in ticket order to the spooler
+// Stream-window retirement is measured separately per object as
+// `stream_watermark_lag_ms{object=...}`: retirement wall-time minus the
+// newest arrival stamp merged into the retired window -- the flow-time vs
+// wall-time lag of the streaming plane.
+//
+// Plumbing: the wire plane stamps arrival when recvmmsg returns and the
+// stamp rides the WireItem/ticket through the shard grid. Batch sinks and
+// monitor hooks keep their signatures (they are user-extensible); instead
+// the shard worker publishes the stamp in a thread-local
+// (set_arrival_ns/arrival_ns) around the process() call, the way errno
+// scopes a syscall result. Tests inject stamps N ms in the past to make a
+// delayed lane move exactly these series.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lockdown::obs {
+
+/// Publish the wire-arrival stamp (trace_now_ns clock) of the batch the
+/// calling thread is about to process; 0 clears it.
+void set_arrival_ns(std::uint64_t ns) noexcept;
+
+/// The stamp published by set_arrival_ns on this thread (0 when outside a
+/// stamped batch).
+[[nodiscard]] std::uint64_t arrival_ns() noexcept;
+
+/// Pre-resolved per-stage latency histograms (CollectorMetrics idiom: bind
+/// once at wiring time, observe lock-free from any thread).
+struct StageLatency {
+  Histogram* decode = nullptr;
+  Histogram* route = nullptr;
+  Histogram* spool = nullptr;
+
+  /// Observe `now - arrival` (ms) on `h`; no-op when `h` is null or
+  /// `arrival` is 0 (unstamped batch).
+  static void observe_since(Histogram* h, std::uint64_t arrival) noexcept {
+    if (h == nullptr || arrival == 0) return;
+    const std::uint64_t now = trace_now_ns();
+    const double ms =
+        now > arrival ? static_cast<double>(now - arrival) / 1e6 : 0.0;
+    h->observe(ms);
+  }
+
+  /// Register the `pipeline_stage_latency_ms{stage=...}` histograms on
+  /// `registry`. Buckets are exponential from 0.25 ms to ~4 s, so an
+  /// induced 250 ms stall lands squarely in its own bucket.
+  static StageLatency bind(Registry& registry);
+
+  /// The bucket bounds bind() uses (exposed for tests and docs).
+  static std::vector<double> bucket_bounds();
+};
+
+}  // namespace lockdown::obs

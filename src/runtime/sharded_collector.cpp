@@ -59,6 +59,9 @@ ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
                                    ShardDatagramSink datagram_sink)
     : config_(config), stats_(config.shards == 0 ? 1 : config.shards),
       collector_metrics_(make_collector_metrics(config)),
+      stage_latency_(config.metrics != nullptr
+                         ? obs::StageLatency::bind(*config.metrics)
+                         : obs::StageLatency{}),
       collected_(sink ? 0 : stats_.shard_count()),
       pool_(stats_.shard_count(),
             WorkerConfig{.protocol = config.protocol,
@@ -69,7 +72,10 @@ ShardedCollector::ShardedCollector(const ShardedCollectorConfig& config,
                          .metrics = config.metrics != nullptr
                                         ? &collector_metrics_
                                         : nullptr,
-                         .recycle = &arena_},
+                         .recycle = &arena_,
+                         .stage_latency = config.metrics != nullptr
+                                              ? &stage_latency_
+                                              : nullptr},
             sink ? std::move(sink)
                  : ShardBatchSink([this](std::size_t shard,
                                          std::span<const flow::FlowRecord> batch) {
@@ -94,21 +100,24 @@ bool ShardedCollector::ingest(std::span<const std::uint8_t> datagram) {
 }
 
 ShardedCollector::IngestResult ShardedCollector::ingest_ticketed(
-    std::size_t lane, std::span<const std::uint8_t> datagram) {
+    std::size_t lane, std::span<const std::uint8_t> datagram,
+    std::uint64_t arrival_ns) {
   std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());
   copy.assign(datagram.begin(), datagram.end());
   return ingest_owned(lane, std::move(copy),
-                      static_cast<std::uint32_t>(datagram.size()));
+                      static_cast<std::uint32_t>(datagram.size()), arrival_ns);
 }
 
 ShardedCollector::IngestResult ShardedCollector::ingest_owned(
-    std::size_t lane, std::vector<std::uint8_t>&& buf, std::uint32_t used) {
+    std::size_t lane, std::vector<std::uint8_t>&& buf, std::uint32_t used,
+    std::uint64_t arrival_ns) {
   TRACE_SPAN_ARG("wire", "wire.ingest", used);
   stats_.note_wire_datagram();
+  if (arrival_ns == 0) arrival_ns = obs::trace_now_ns();
   const std::span<const std::uint8_t> datagram(buf.data(), used);
   const std::size_t shard = shard_of(datagram);
   WireItem item{next_ticket_.fetch_add(1, std::memory_order_relaxed), used,
-                std::move(buf)};
+                std::move(buf), arrival_ns};
   const std::uint64_t ticket = item.ticket;
   if (!pool_.submit(lane, shard, std::move(item))) {
     stats_.shard(shard).dropped.fetch_add(1, std::memory_order_relaxed);
@@ -126,7 +135,8 @@ void ShardedCollector::ingest_wait(std::span<const std::uint8_t> datagram) {
   std::vector<std::uint8_t> copy = arena_.acquire(datagram.size());
   copy.assign(datagram.begin(), datagram.end());
   WireItem item{next_ticket_.fetch_add(1, std::memory_order_relaxed),
-                static_cast<std::uint32_t>(datagram.size()), std::move(copy)};
+                static_cast<std::uint32_t>(datagram.size()), std::move(copy),
+                obs::trace_now_ns()};
   unsigned idle = 0;
   while (!pool_.submit(0, shard, std::move(item))) {
     // submit() leaves `item` intact on failure.

@@ -102,16 +102,21 @@ class ShardedCollector {
 
   /// Route one datagram on `lane`, copying it into an arena buffer. One
   /// producer thread per lane at a time; distinct lanes may call
-  /// concurrently.
+  /// concurrently. `arrival_ns` is the datagram's monotonic wire-arrival
+  /// stamp (trace_now_ns clock) for the pipeline latency watermarks; 0
+  /// (the default) stamps "now" -- callers that batch at the socket pass
+  /// the stamp taken when the batch syscall returned, and tests inject
+  /// stamps in the past to simulate a delayed lane.
   IngestResult ingest_ticketed(std::size_t lane,
-                               std::span<const std::uint8_t> datagram);
+                               std::span<const std::uint8_t> datagram,
+                               std::uint64_t arrival_ns = 0);
 
   /// Zero-copy variant for the batch-receive wire path: `buf` (holding
   /// `used` valid bytes; ideally from acquire_buffer()) moves straight
   /// into the shard ring. On rejection the buffer is released back to the
   /// arena -- either way the caller no longer owns it.
   IngestResult ingest_owned(std::size_t lane, std::vector<std::uint8_t>&& buf,
-                            std::uint32_t used);
+                            std::uint32_t used, std::uint64_t arrival_ns = 0);
 
   /// A pooled buffer from the engine's arena (the recycling loop the shard
   /// workers feed). Thread-safe.
@@ -165,6 +170,9 @@ class ShardedCollector {
   /// Bound against config.metrics (empty handles otherwise); shared by
   /// every shard's Collector. Must precede pool_ (workers capture it).
   flow::CollectorMetrics collector_metrics_;
+  /// Per-stage latency histograms (null handles unless config.metrics is
+  /// set). Must precede pool_ (workers capture a pointer to it).
+  obs::StageLatency stage_latency_;
   /// Collect-mode buffers; collected_[i] is touched only by shard i's
   /// worker thread until finish() joins it.
   std::vector<std::vector<flow::FlowRecord>> collected_;

@@ -43,25 +43,38 @@ ShardedCollectorDaemon::ShardedCollectorDaemon(const ShardedDaemonConfig& config
                                         std::uint64_t ticket) {
                  // Datagram boundary: seal this datagram's records
                  // (possibly none) under its arrival ticket, taking a
-                 // recycled vector back for the next datagram.
+                 // recycled vector back for the next datagram. The
+                 // wire-arrival stamp rides the worker's thread-local
+                 // (set around the decode, obs/watermark.hpp) onto the
+                 // board so poll() can observe the spool stage.
                  std::vector<flow::FlowRecord>& pending = *pending_[shard];
-                 complete(ticket, std::move(pending), &pending);
+                 complete(ticket, std::move(pending), &pending,
+                          obs::arrival_ns());
                })) {
   const std::size_t shards = config.shards == 0 ? 1 : config.shards;
   pending_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     pending_.push_back(std::make_unique<std::vector<flow::FlowRecord>>());
   }
+  if (config.metrics != nullptr) {
+    const obs::StageLatency stages = obs::StageLatency::bind(*config.metrics);
+    spool_hist_ = stages.spool;
+    watermark_lag_gauge_ = &config.metrics->gauge(
+        "pipeline_release_watermark_lag_ms", {},
+        "Now minus the newest arrival stamp released to the spooler, ms");
+  }
 }
 
 void ShardedCollectorDaemon::complete(std::uint64_t ticket,
                                       std::vector<flow::FlowRecord>&& records,
-                                      std::vector<flow::FlowRecord>* refill) {
+                                      std::vector<flow::FlowRecord>* refill,
+                                      std::uint64_t arrival_ns) {
   const std::lock_guard<std::mutex> lock(board_.mu);
   if (ticket >= board_.base) {
     const std::size_t idx = static_cast<std::size_t>(ticket - board_.base);
     while (board_.slots.size() <= idx) board_.slots.emplace_back();
     board_.slots[idx].records = std::move(records);
+    board_.slots[idx].arrival_ns = arrival_ns;
     board_.slots[idx].ready = true;
   }
   // A shard's pending vector gets a recycled vector back so the next
@@ -81,21 +94,25 @@ void ShardedCollectorDaemon::ingest(std::span<const std::uint8_t> datagram) {
 }
 
 std::uint64_t ShardedCollectorDaemon::ingest_lane(
-    std::size_t lane, std::span<const std::uint8_t> datagram) {
+    std::size_t lane, std::span<const std::uint8_t> datagram,
+    std::uint64_t arrival_ns) {
+  if (arrival_ns == 0) arrival_ns = obs::trace_now_ns();
   const ShardedCollector::IngestResult r =
-      runtime_.ingest_ticketed(lane, datagram);
+      runtime_.ingest_ticketed(lane, datagram, arrival_ns);
   // A rejected datagram still owns a ticket: complete it empty so the
   // ordered release never stalls on a gap.
-  if (!r.accepted) complete(r.ticket, {}, nullptr);
+  if (!r.accepted) complete(r.ticket, {}, nullptr, arrival_ns);
   maybe_poll();
   return r.ticket;
 }
 
 std::uint64_t ShardedCollectorDaemon::ingest_owned(
-    std::size_t lane, std::vector<std::uint8_t>&& buf, std::uint32_t used) {
+    std::size_t lane, std::vector<std::uint8_t>&& buf, std::uint32_t used,
+    std::uint64_t arrival_ns) {
+  if (arrival_ns == 0) arrival_ns = obs::trace_now_ns();
   const ShardedCollector::IngestResult r =
-      runtime_.ingest_owned(lane, std::move(buf), used);
-  if (!r.accepted) complete(r.ticket, {}, nullptr);
+      runtime_.ingest_owned(lane, std::move(buf), used, arrival_ns);
+  if (!r.accepted) complete(r.ticket, {}, nullptr, arrival_ns);
   maybe_poll();
   return r.ticket;
 }
@@ -119,20 +136,44 @@ void ShardedCollectorDaemon::poll_locked() {
   // the board lock but appended to the spooler outside it, so workers
   // completing tickets never wait on slice rotation.
   std::vector<std::vector<flow::FlowRecord>> run;
+  std::vector<std::uint64_t> arrivals;
   for (;;) {
     run.clear();
+    arrivals.clear();
     {
       const std::lock_guard<std::mutex> lock(board_.mu);
       while (!board_.slots.empty() && board_.slots.front().ready) {
         run.push_back(std::move(board_.slots.front().records));
+        arrivals.push_back(board_.slots.front().arrival_ns);
         board_.slots.pop_front();
         ++board_.base;
       }
     }
     if (run.empty()) return;
-    for (auto& batch : run) {
-      for (const flow::FlowRecord& r : batch) spooler_.append(r);
-      batch.clear();
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      for (const flow::FlowRecord& r : run[i]) spooler_.append(r);
+      run[i].clear();
+      // Spool stage closes when the datagram's batch reaches the spooler;
+      // the released watermark is the running max of released arrival
+      // stamps (monotone even though lanes interleave out of stamp order).
+      obs::StageLatency::observe_since(spool_hist_, arrivals[i]);
+      if (arrivals[i] != 0) {
+        std::uint64_t seen =
+            released_watermark_.load(std::memory_order_relaxed);
+        while (seen < arrivals[i] &&
+               !released_watermark_.compare_exchange_weak(
+                   seen, arrivals[i], std::memory_order_acq_rel)) {
+        }
+      }
+    }
+    if (watermark_lag_gauge_ != nullptr) {
+      const std::uint64_t mark =
+          released_watermark_.load(std::memory_order_acquire);
+      if (mark != 0) {
+        const std::uint64_t now = obs::trace_now_ns();
+        watermark_lag_gauge_->set(
+            now > mark ? static_cast<double>(now - mark) / 1e6 : 0.0);
+      }
     }
     {
       const std::lock_guard<std::mutex> lock(board_.mu);

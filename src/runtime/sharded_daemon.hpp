@@ -79,16 +79,18 @@ class ShardedCollectorDaemon {
   /// Lane-aware ingest for the multi-socket wire plane: one producer
   /// thread per lane at a time, distinct lanes concurrently. Returns the
   /// datagram's arrival ticket (the replay key), drawn even when the ring
-  /// rejects it.
+  /// rejects it. `arrival_ns` is the monotonic wire-arrival stamp for the
+  /// latency watermarks (0 = stamp now; see ShardedCollector).
   std::uint64_t ingest_lane(std::size_t lane,
-                            std::span<const std::uint8_t> datagram);
+                            std::span<const std::uint8_t> datagram,
+                            std::uint64_t arrival_ns = 0);
 
   /// Zero-copy lane ingest: `buf` holds `used` valid bytes (ideally from
   /// acquire_buffer()) and moves into the engine whether or not it is
   /// accepted. The batch-receive path hands kernel-filled arena buffers
   /// straight here.
   std::uint64_t ingest_owned(std::size_t lane, std::vector<std::uint8_t>&& buf,
-                             std::uint32_t used);
+                             std::uint32_t used, std::uint64_t arrival_ns = 0);
 
   /// Pooled datagram buffer from the engine's recycle arena. Thread-safe.
   [[nodiscard]] std::vector<std::uint8_t> acquire_buffer(std::size_t size_hint) {
@@ -123,10 +125,20 @@ class ShardedCollectorDaemon {
     return spooler_.records_spooled();
   }
 
+  /// The released watermark: the newest wire-arrival stamp (trace_now_ns
+  /// clock) among all datagrams whose batches the ordered merge has
+  /// released to the spooler. A running max, so it is monotone by
+  /// construction even though tickets complete out of arrival-stamp order
+  /// across lanes; 0 until the first release.
+  [[nodiscard]] std::uint64_t released_watermark_ns() const noexcept {
+    return released_watermark_.load(std::memory_order_acquire);
+  }
+
  private:
   /// One completed per-datagram batch awaiting ordered release.
   struct Slot {
     std::vector<flow::FlowRecord> records;
+    std::uint64_t arrival_ns = 0;
     bool ready = false;
   };
 
@@ -143,8 +155,11 @@ class ShardedCollectorDaemon {
 
   /// File `records` under `ticket` on the board. When `refill` is set (the
   /// worker completion path), it receives a recycled batch vector.
+  /// `arrival_ns` is the datagram's wire-arrival stamp (0 for unstamped
+  /// paths), carried to the spool-stage observation at release time.
   void complete(std::uint64_t ticket, std::vector<flow::FlowRecord>&& records,
-                std::vector<flow::FlowRecord>* refill);
+                std::vector<flow::FlowRecord>* refill,
+                std::uint64_t arrival_ns);
   void maybe_poll();
   void poll_locked();
 
@@ -159,6 +174,12 @@ class ShardedCollectorDaemon {
   TicketBoard board_;
   /// Serializes the spooler: poll() try-locks, flush() blocks.
   std::mutex merge_mu_;
+  /// Spool-stage latency histogram + release-watermark lag gauge (null
+  /// unless config.metrics was set). Must precede runtime_ only for
+  /// symmetry -- they are touched from poll(), never from workers.
+  obs::Histogram* spool_hist_ = nullptr;
+  obs::Gauge* watermark_lag_gauge_ = nullptr;
+  std::atomic<std::uint64_t> released_watermark_{0};
   ShardedCollector runtime_;
   std::atomic<std::uint64_t> ingests_{0};
 };

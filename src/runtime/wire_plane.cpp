@@ -143,6 +143,11 @@ std::unique_ptr<WirePlane> WirePlane::create(const WirePlaneConfig& config,
                 std::span<std::vector<std::uint8_t>>(lane.buffers.data(),
                                                      batch),
                 std::span<std::uint32_t>(lane.lengths.data(), batch));
+            // One arrival stamp per receive syscall: every datagram the
+            // batch delivered was already in the kernel queue at this
+            // instant, so the stamp is the wire-arrival time the latency
+            // watermarks measure from (obs/watermark.hpp).
+            const std::uint64_t arrival_ns = n > 0 ? obs::trace_now_ns() : 0;
             if (lane.batch_hist != nullptr && n > 0) {
               lane.batch_hist->observe(static_cast<double>(n));
             }
@@ -151,7 +156,7 @@ std::unique_ptr<WirePlane> WirePlane::create(const WirePlaneConfig& config,
               // ring to the shard worker; its replacement comes from the
               // arena those workers recycle into.
               d->ingest_owned(lane_index, std::move(lane.buffers[k]),
-                              lane.lengths[k]);
+                              lane.lengths[k], arrival_ns);
               lane.buffers[k] = d->acquire_buffer(capacity);
               lane.buffers[k].resize(capacity);
             }

@@ -46,7 +46,8 @@ WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
                        ShardBatchSink sink, EngineStats& stats,
                        ShardDatagramSink done)
     : lanes_(config.lanes == 0 ? 1 : config.lanes), sink_(std::move(sink)),
-      done_(std::move(done)), stats_(&stats), recycle_(config.recycle) {
+      done_(std::move(done)), stats_(&stats), recycle_(config.recycle),
+      stage_latency_(config.stage_latency) {
   if (shards == 0) throw std::invalid_argument("WorkerPool: zero shards");
   WorkerConfig effective = config;
   effective.lanes = lanes_;
@@ -54,7 +55,19 @@ WorkerPool::WorkerPool(std::size_t shards, const WorkerConfig& config,
   for (std::size_t i = 0; i < shards; ++i) {
     auto batch_sink = flow::Collector::BatchSink(
         [this, i](std::span<const flow::FlowRecord> batch) {
+          // Watermark stages, cumulative since wire arrival: entering the
+          // sink means decode finished; returning from the downstream sink
+          // (the daemon's monitor-routing observer) closes the route
+          // stage. The arrival stamp rides a thread-local set by run()'s
+          // consume loop, so the BatchSink signature stays unchanged.
+          const std::uint64_t arrival = obs::arrival_ns();
+          if (stage_latency_ != nullptr) {
+            obs::StageLatency::observe_since(stage_latency_->decode, arrival);
+          }
           if (sink_) sink_(i, batch);
+          if (stage_latency_ != nullptr) {
+            obs::StageLatency::observe_since(stage_latency_->route, arrival);
+          }
         });
     shards_.push_back(std::make_unique<Shard>(effective, std::move(batch_sink)));
   }
@@ -119,8 +132,10 @@ void WorkerPool::run(Shard& shard, std::size_t index) {
   // Consumed buffers go back to the producer's arena (when configured) so
   // the steady state stops allocating per datagram.
   auto consume = [&](WireItem&& item) {
+    obs::set_arrival_ns(item.arrival_ns);
     process(std::span<const std::uint8_t>(item.buf.data(), item.used));
     if (done_) done_(index, item.ticket);
+    obs::set_arrival_ns(0);
     if (recycle_ != nullptr) recycle_->release(std::move(item.buf));
   };
 

@@ -28,6 +28,7 @@
 #include "flow/anonymizer.hpp"
 #include "flow/packet_arena.hpp"
 #include "flow/pipeline.hpp"
+#include "obs/watermark.hpp"
 #include "runtime/engine_stats.hpp"
 #include "runtime/spsc_ring.hpp"
 
@@ -35,13 +36,16 @@ namespace lockdown::runtime {
 
 /// One wire datagram in flight between a wire thread and a shard worker.
 /// `ticket` is the global arrival ticket -- the replay key the ordered
-/// merge in ShardedCollectorDaemon reorders on. `used` is the datagram's
+/// merge in ShardedCollectorDaemon reorders on. `arrival_ns` is the
+/// monotonic (trace_now_ns) wire-arrival stamp the pipeline latency
+/// watermarks measure from (obs/watermark.hpp). `used` is the datagram's
 /// byte count; `buf` may be longer (receive buffers keep their capacity
 /// forever so the batch-receive path never reallocates or zero-fills).
 struct WireItem {
   std::uint64_t ticket = 0;
   std::uint32_t used = 0;
   std::vector<std::uint8_t> buf;
+  std::uint64_t arrival_ns = 0;
 };
 
 /// Batch record delivery, invoked on the owning shard's worker thread: one
@@ -77,6 +81,10 @@ struct WorkerConfig {
   /// of freeing it, so the producer's next acquire() reuses the
   /// allocation. Must outlive the pool.
   flow::PacketArena* recycle = nullptr;
+  /// When set, workers observe decode/route latency (time since the
+  /// item's arrival_ns stamp) into these histograms. Must outlive the
+  /// pool.
+  const obs::StageLatency* stage_latency = nullptr;
 };
 
 class WorkerPool {
@@ -120,6 +128,7 @@ class WorkerPool {
   ShardDatagramSink done_;
   EngineStats* stats_;
   flow::PacketArena* recycle_;
+  const obs::StageLatency* stage_latency_;
   std::atomic<bool> stopping_{false};
   bool finished_ = false;
 };

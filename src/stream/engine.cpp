@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "obs/trace.hpp"
+
 namespace lockdown::stream {
 
 namespace {
@@ -14,6 +16,7 @@ constexpr std::string_view kOverMetric = "stream_mavg_overlimit_total";
 constexpr std::string_view kUnderMetric = "stream_mavg_underlimit_total";
 constexpr std::string_view kValueMetric = "stream_window_value";
 constexpr std::string_view kMavgMetric = "stream_mavg";
+constexpr std::string_view kWatermarkMetric = "stream_watermark_lag_ms";
 
 [[nodiscard]] std::string object_label(std::string_view name) {
   return "object=\"" + std::string(name) + "\"";
@@ -82,6 +85,20 @@ void StreamMonitor::drain_one(ObjectStream& os, WindowResult&& r,
                               std::size_t& drained) {
   ++drained;
   if (os.windows_counter_ != nullptr) os.windows_counter_->add(1);
+  if (r.arrival_watermark_ns != 0) {
+    // Flow-time-vs-wall-time lag: how long after the newest wire arrival
+    // merged into this window the consumer actually drained it. Empty and
+    // unstamped windows keep the previous reading.
+    const std::uint64_t now = obs::trace_now_ns();
+    const double lag_ms =
+        now > r.arrival_watermark_ns
+            ? static_cast<double>(now - r.arrival_watermark_ns) / 1e6
+            : 0.0;
+    os.last_watermark_lag_ms_.store(lag_ms, std::memory_order_relaxed);
+    if (os.watermark_lag_gauge_ != nullptr) {
+      os.watermark_lag_gauge_->set(lag_ms);
+    }
+  }
   if (os.mavg_) {
     const double value = os.mavg_->value_of(r);
     const std::optional<MavgEvent> event = os.mavg_->observe(r);
@@ -137,6 +154,11 @@ void StreamMonitor::bind_metrics(obs::Registry& registry) {
     os->value_gauge_ = &registry.gauge(
         kValueMetric, label, "Last completed window's metric value");
     os->value_gauge_->set(os->last_value());
+    os->watermark_lag_gauge_ = &registry.gauge(
+        kWatermarkMetric, label,
+        "Drain-time lag behind the newest wire arrival in the last window "
+        "(ms)");
+    os->watermark_lag_gauge_->set(os->last_watermark_lag_ms());
   }
 }
 
@@ -149,11 +171,13 @@ void StreamMonitor::unbind_metrics() {
     os->underlimit_counter_ = nullptr;
     os->value_gauge_ = nullptr;
     os->mavg_gauge_ = nullptr;
+    os->watermark_lag_gauge_ = nullptr;
     registry_->remove_counter(kWindowsMetric, label);
     registry_->remove_counter(kOverMetric, label);
     registry_->remove_counter(kUnderMetric, label);
     registry_->remove_gauge(kValueMetric, label);
     registry_->remove_gauge(kMavgMetric, label);
+    registry_->remove_gauge(kWatermarkMetric, label);
   }
   registry_ = nullptr;
 }

@@ -68,6 +68,13 @@ class ObjectStream {
   [[nodiscard]] double last_mavg() const noexcept {
     return last_mavg_.load(std::memory_order_relaxed);
   }
+  /// Flow-time-vs-wall-time lag of the last drained non-empty window:
+  /// drain time minus the newest wire-arrival stamp merged into it, in
+  /// ms (0 until a stamped window drained). The `stream_watermark_lag_ms`
+  /// gauge mirrors this.
+  [[nodiscard]] double last_watermark_lag_ms() const noexcept {
+    return last_watermark_lag_ms_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class StreamMonitor;
@@ -83,12 +90,14 @@ class ObjectStream {
   std::atomic<std::uint64_t> underlimit_events_{0};
   std::atomic<double> last_value_{0.0};
   std::atomic<double> last_mavg_{0.0};
+  std::atomic<double> last_watermark_lag_ms_{0.0};
   // Bound /metrics mirrors (null when not bound).
   obs::Counter* windows_counter_ = nullptr;
   obs::Counter* overlimit_counter_ = nullptr;
   obs::Counter* underlimit_counter_ = nullptr;
   obs::Gauge* value_gauge_ = nullptr;
   obs::Gauge* mavg_gauge_ = nullptr;
+  obs::Gauge* watermark_lag_gauge_ = nullptr;
 };
 
 class StreamMonitor {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/watermark.hpp"
 #include "util/rng.hpp"
 
 namespace lockdown::stream {
@@ -116,6 +117,10 @@ void WindowAggregator::accumulate(std::span<const flow::FlowRecord> records,
   const bool keyed = !config_.key.empty();
   thread_local Segment seg;
   seg.clear();
+  // The routing thread's wire-arrival stamp (obs/watermark.hpp): merged
+  // into the bank as a running max, retired with the window as its
+  // arrival watermark. 0 (unstamped callers) contributes nothing.
+  seg.arrival_ns = obs::arrival_ns();
 
   const auto key_of = [&](std::size_t i) {
     WindowKey key;
@@ -230,6 +235,7 @@ void WindowAggregator::merge(const Segment& seg) {
       continue;  // bank retired while we waited for its lock; go again
     }
     b.total += seg.total;
+    b.arrival_watermark_ns = std::max(b.arrival_watermark_ns, seg.arrival_ns);
     for (const auto& [k, acc] : seg.map) b.map[k] += acc;
     return;
   }
@@ -291,6 +297,7 @@ void WindowAggregator::retire_active_locked(std::int64_t begin_seconds,
     std::lock_guard<std::mutex> bk(b.mu);
     res.total = b.total;
     res.total.flows = scale_flows(res.total.flows);
+    res.arrival_watermark_ns = b.arrival_watermark_ns;
     res.rows.reserve(b.map.size());
     for (const auto& [k, acc] : b.map) {
       WindowAcc scaled = acc;
@@ -298,6 +305,7 @@ void WindowAggregator::retire_active_locked(std::int64_t begin_seconds,
       res.rows.emplace_back(k, scaled);
     }
     b.total = WindowAcc{};
+    b.arrival_watermark_ns = 0;
     b.map.clear();  // keeps buckets: the steady state does not rehash
   }
   {

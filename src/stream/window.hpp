@@ -114,6 +114,11 @@ struct WindowResult {
   net::Timestamp begin;
   std::int64_t seq = 0;
   WindowAcc total;
+  /// Newest wire-arrival stamp (trace_now_ns clock, obs/watermark.hpp)
+  /// among the batches merged into this window; 0 when nothing stamped
+  /// reached it (empty windows, pre-watermark callers). Retirement time
+  /// minus this is the window's flow-time-vs-wall-time lag.
+  std::uint64_t arrival_watermark_ns = 0;
   /// Per-key rows (unsorted -- bank iteration order; sort for stable
   /// output). Empty in scalar mode and for empty windows.
   std::vector<std::pair<WindowKey, WindowAcc>> rows;
@@ -183,6 +188,7 @@ class WindowAggregator {
   struct Bank {
     std::mutex mu;
     WindowAcc total;
+    std::uint64_t arrival_watermark_ns = 0;  ///< max over merged segments
     std::unordered_map<WindowKey, WindowAcc, WindowKeyHash> map;
   };
 
@@ -190,9 +196,11 @@ class WindowAggregator {
   /// next rotation point, aggregated locally before one locked merge.
   struct Segment {
     WindowAcc total;
+    std::uint64_t arrival_ns = 0;  ///< the batch's wire-arrival stamp
     std::unordered_map<WindowKey, WindowAcc, WindowKeyHash> map;
     void clear() noexcept {
       total = WindowAcc{};
+      arrival_ns = 0;
       map.clear();
     }
     [[nodiscard]] bool empty() const noexcept {

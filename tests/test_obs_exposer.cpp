@@ -17,6 +17,8 @@
 
 #include "obs/http_exposer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace lockdown::obs {
@@ -193,8 +195,10 @@ TEST(HttpExposerHardening, TraceCaptureDoesNotBlockScrapes) {
     }
   });
 
-  // Two concurrent captures coalesce onto one session; a /metrics scrape
-  // issued mid-capture must complete long before the capture window does.
+  // Two concurrent captures with the SAME window coalesce onto one
+  // session (the first requester fixes the parameters; equal parameters
+  // join); a /metrics scrape issued mid-capture must complete long before
+  // the capture window does.
   std::string trace_a;
   std::string trace_b;
   std::thread ta([&] {
@@ -203,7 +207,7 @@ TEST(HttpExposerHardening, TraceCaptureDoesNotBlockScrapes) {
   });
   std::thread tb([&] {
     trace_b = http_get(exposer->port(),
-                       "GET /trace?ms=300 HTTP/1.1\r\nHost: x\r\n\r\n");
+                       "GET /trace?ms=400 HTTP/1.1\r\nHost: x\r\n\r\n");
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
   const auto t0 = std::chrono::steady_clock::now();
@@ -225,6 +229,137 @@ TEST(HttpExposerHardening, TraceCaptureDoesNotBlockScrapes) {
     EXPECT_NE(trace->find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(trace->find("\"name\":\"busy\""), std::string::npos);
   }
+}
+
+TEST(HttpExposerHardening, TraceConflictingWindowRejected409) {
+  Tracer tracer(256);
+  Registry registry;
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  cfg.tracer = &tracer;
+  cfg.max_trace_window = std::chrono::milliseconds(500);
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  std::string first;
+  std::thread holder([&] {
+    first = http_get(exposer->port(),
+                     "GET /trace?ms=400 HTTP/1.1\r\nHost: x\r\n\r\n");
+  });
+  // Wait for the session to be active, then ask for a different window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const std::string conflict = http_get(
+      exposer->port(), "GET /trace?ms=100 HTTP/1.1\r\nHost: x\r\n\r\n");
+  holder.join();
+
+  EXPECT_NE(conflict.find("HTTP/1.1 409"), std::string::npos);
+  EXPECT_NE(conflict.find("\"active_ms\":400"), std::string::npos)
+      << "the 409 body must name the active session's window: " << conflict;
+  EXPECT_NE(conflict.find("\"requested_ms\":100"), std::string::npos);
+  // The rejected request must not have disturbed the active session.
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(first.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(HttpExposerHardening, HistoryEndpointServesJsonAndCsv) {
+  Registry registry;
+  registry.counter("exposer_hist_total", {}, "help").add(5);
+  RecorderConfig rcfg;
+  rcfg.interval = std::chrono::milliseconds(10);
+  rcfg.capacity = 64;
+  MetricsRecorder recorder(registry, rcfg);
+
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  cfg.recorder = &recorder;
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  // The exposer's tick drives the recorder: samples accumulate with no
+  // recorder thread started.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (recorder.samples() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(recorder.samples(), 2u) << "loop tick never sampled";
+
+  const std::string json = http_get(
+      exposer->port(), "GET /history?series=exposer_* HTTP/1.1\r\n\r\n");
+  EXPECT_NE(json.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"exposer_hist_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find(",5]"), std::string::npos) << "counter value missing";
+
+  const std::string csv = http_get(
+      exposer->port(),
+      "GET /history?series=exposer_*&format=csv HTTP/1.1\r\n\r\n");
+  EXPECT_NE(csv.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(csv.find("text/csv"), std::string::npos);
+  EXPECT_NE(csv.find("unix_ms,series,type,value"), std::string::npos);
+  EXPECT_NE(csv.find("\"exposer_hist_total\",counter,5"), std::string::npos);
+
+  const std::string none = http_get(
+      exposer->port(), "GET /history?series=no_such_* HTTP/1.1\r\n\r\n");
+  EXPECT_NE(none.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(none.find("\"series\":[]"), std::string::npos);
+}
+
+TEST(HttpExposerHardening, HistoryWithoutRecorderIs404) {
+  Registry registry;
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+  const std::string resp =
+      http_get(exposer->port(), "GET /history HTTP/1.1\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST(HttpExposerHardening, ProfileSessionsCoalesceAndConflict) {
+  Registry registry;
+  HttpExposerConfig cfg;
+  cfg.registry = &registry;
+  cfg.profiler = &CpuProfiler::instance();
+  auto exposer = HttpExposer::create(std::move(cfg));
+  ASSERT_NE(exposer, nullptr);
+
+  if (!CpuProfiler::supported()) {
+    const std::string resp = http_get(
+        exposer->port(), "GET /profile?seconds=1 HTTP/1.1\r\n\r\n");
+    EXPECT_NE(resp.find("HTTP/1.1 501"), std::string::npos);
+    return;
+  }
+
+  std::string first;
+  std::string join;
+  std::thread holder([&] {
+    first = http_get(exposer->port(),
+                     "GET /profile?seconds=1&hz=97 HTTP/1.1\r\n\r\n");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+
+  // Different parameters: rejected without disturbing the session.
+  const std::string conflict = http_get(
+      exposer->port(), "GET /profile?seconds=2&hz=97 HTTP/1.1\r\n\r\n");
+  EXPECT_NE(conflict.find("HTTP/1.1 409"), std::string::npos);
+  EXPECT_NE(conflict.find("active_seconds"), std::string::npos) << conflict;
+
+  // Equal parameters: joins the running window and gets the same export.
+  std::thread joiner([&] {
+    join = http_get(exposer->port(),
+                    "GET /profile?seconds=1&hz=97 HTTP/1.1\r\n\r\n");
+  });
+  holder.join();
+  joiner.join();
+
+  EXPECT_NE(first.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(first.find("text/plain"), std::string::npos);
+  EXPECT_NE(join.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_FALSE(CpuProfiler::instance().running())
+      << "the loop must disarm the profiler at the session deadline";
 }
 
 }  // namespace
